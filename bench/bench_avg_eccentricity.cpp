@@ -1,0 +1,58 @@
+// E12 — Lemma 22: epsilon-additive average eccentricity.
+//
+// Reproduces: measured rounds ~ O~(D^{3/2} / epsilon) and the estimate's
+// epsilon-additive accuracy.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/apps/eccentricity.hpp"
+#include "src/net/generators.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::apps;
+
+void BM_AverageEccentricity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double epsilon = static_cast<double>(state.range(1)) / 100.0;
+  util::Rng rng(1);
+  net::Graph g = net::path_graph(n);  // wide spread of eccentricities
+  const double truth = g.average_eccentricity();
+  const double d = static_cast<double>(g.diameter());
+
+  double rounds = 0, abs_err = 0;
+  int within = 0, trials = 0;
+  for (auto _ : state) {
+    rounds = bench::median_of(5, [&] {
+      auto result = average_eccentricity_quantum(g, epsilon, rng);
+      ++trials;
+      double err = std::abs(result.estimate - truth);
+      abs_err += err;
+      if (err <= epsilon) ++within;
+      return static_cast<double>(result.cost.rounds);
+    });
+  }
+  double ratio = std::sqrt(d) / epsilon;
+  double bound = d + std::pow(d, 1.5) / epsilon *
+                         std::max(1.0, std::log2(ratio + 2.0));
+  bench::report(state, rounds, bound);
+  state.counters["mean_abs_err"] = trials > 0 ? abs_err / trials : 0;
+  state.counters["within_eps_rate"] =
+      trials > 0 ? static_cast<double>(within) / trials : 0;
+  state.counters["epsilon"] = epsilon;
+}
+BENCHMARK(BM_AverageEccentricity)
+    ->ArgNames({"n", "eps_x100"})
+    ->Args({32, 400})
+    ->Args({32, 200})
+    ->Args({32, 100})
+    ->Args({32, 50})
+    ->Args({64, 200})
+    ->Args({128, 200})
+    ->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// E16 — success-probability boosting (the paper's "Notation and
+// conventions" remark): pushing 2/3 to 1 - delta costs one log(1/delta)
+// factor. Sweeps delta for boosted find-one and boosted minimum finding,
+// reporting measured batches and empirical failure rates.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/query/boosted.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::query;
+
+void BM_BoostedFindOne(benchmark::State& state) {
+  const double delta = 1.0 / static_cast<double>(state.range(0));
+  const std::size_t k = 4096, p = 8;
+  util::Rng rng(1);
+  double batches = 0;
+  int failures = 0, trials = 0;
+  for (auto _ : state) {
+    batches = bench::median_of(20, [&] {
+      std::vector<Value> data(k, 0);
+      data[rng.index(k)] = 1;
+      InMemoryOracle oracle(data, p);
+      auto found = grover_find_one_boosted(
+          oracle, [](Value v) { return v == 1; }, delta, rng);
+      ++trials;
+      if (!found) ++failures;
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  double base = std::sqrt(static_cast<double>(k) / static_cast<double>(p));
+  bench::report(state, batches, base * (std::log2(1.0 / delta) + 1.0));
+  state.counters["repetition_budget"] = static_cast<double>(boost_repetitions(delta));
+  state.counters["failure_rate"] =
+      trials > 0 ? static_cast<double>(failures) / trials : 0.0;
+}
+BENCHMARK(BM_BoostedFindOne)
+    ->ArgName("inv_delta")
+    ->Arg(3)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Iterations(1);
+
+void BM_BoostedMinfind(benchmark::State& state) {
+  const double delta = 1.0 / static_cast<double>(state.range(0));
+  const std::size_t k = 2048, p = 8;
+  util::Rng rng(2);
+  double batches = 0;
+  int failures = 0, trials = 0;
+  for (auto _ : state) {
+    batches = bench::median_of(15, [&] {
+      std::vector<Value> data(k);
+      for (auto& v : data) v = static_cast<Value>(rng.index(100000)) + 5;
+      std::size_t min_at = rng.index(k);
+      data[min_at] = 1;
+      InMemoryOracle oracle(data, p);
+      ++trials;
+      if (minfind_boosted(oracle, delta, rng) != min_at) ++failures;
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  double base = std::sqrt(static_cast<double>(k) / static_cast<double>(p));
+  bench::report(state, batches, base * (std::log2(1.0 / delta) + 1.0));
+  state.counters["failure_rate"] =
+      trials > 0 ? static_cast<double>(failures) / trials : 0.0;
+}
+BENCHMARK(BM_BoostedMinfind)
+    ->ArgName("inv_delta")
+    ->Arg(3)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// E17 — the reduction arguments at the cut: words crossing the Alice/Bob
+// bipartition of the path gadgets. The proofs of Lemmas 11/13 and Theorem
+// 18 lower-bound exactly this quantity (Omega(k) classically); quantum
+// protocols cross the cut O(sqrt(kD)) (meeting scheduling) or O(polylog)
+// (Deutsch-Jozsa) times.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/apps/twoparty.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::apps;
+
+void BM_MeetingCutWords(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 6;
+  util::Rng rng(1);
+  auto gadget = meeting_scheduling_gadget(k, d, true, rng);
+  NetOptions options;
+  options.tracked_cut = path_gadget_cut(gadget.graph.num_nodes(), d / 2);
+
+  double classical = 0, quantum = 0;
+  for (auto _ : state) {
+    classical = static_cast<double>(
+        meeting_scheduling_classical(gadget.graph, gadget.calendars, options)
+            .cost.cut_words);
+    quantum = bench::median_of(5, [&] {
+      return static_cast<double>(
+          meeting_scheduling_quantum(gadget.graph, gadget.calendars, rng, options)
+              .cost.cut_words);
+    });
+  }
+  bench::report(state, classical, static_cast<double>(k));
+  state.counters["quantum_cut_words"] = quantum;
+}
+BENCHMARK(BM_MeetingCutWords)
+    ->ArgName("k")
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Arg(32768)
+    ->Iterations(1);
+
+void BM_DeutschJozsaCutWords(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 6;
+  util::Rng rng(2);
+  auto gadget = deutsch_jozsa_gadget(k, d, true, rng);
+  NetOptions options;
+  options.tracked_cut = path_gadget_cut(gadget.graph.num_nodes(), d / 2);
+
+  double classical = 0, quantum = 0;
+  for (auto _ : state) {
+    classical = static_cast<double>(
+        deutsch_jozsa_classical_exact(gadget.graph, gadget.data, options)
+            .cost.cut_words);
+    quantum = static_cast<double>(
+        deutsch_jozsa_quantum(gadget.graph, gadget.data, options).cost.cut_words);
+  }
+  bench::report(state, classical, static_cast<double>(k) / 2.0);
+  state.counters["quantum_cut_words"] = quantum;  // flat in k: the separation
+}
+BENCHMARK(BM_DeutschJozsaCutWords)
+    ->ArgName("k")
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// E10 — Theorem 17 vs Theorem 18: distributed Deutsch–Jozsa.
+//
+// Reproduces: exact quantum O(D ceil(log k / log n)) vs exact classical
+// Theta(k + D) measured rounds — the exponential separation in k — plus the
+// bounded-error classical sampler of the closing remark (O(D), errs on
+// balanced inputs with probability 2^-samples).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/twoparty.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::apps;
+
+void BM_DeutschJozsa(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(1);
+  auto gadget = deutsch_jozsa_gadget(k, d, /*balanced=*/true, rng);
+
+  // Also measure the induced two-party communication across the middle of
+  // the path — the quantity Theorem 18's reduction lower-bounds.
+  NetOptions options;
+  options.tracked_cut = path_gadget_cut(gadget.graph.num_nodes(), d / 2);
+
+  double quantum = 0, classical = 0, sampling = 0;
+  double quantum_cut = 0, classical_cut = 0;
+  bool all_exact = true;
+  for (auto _ : state) {
+    auto q = deutsch_jozsa_quantum(gadget.graph, gadget.data, options);
+    quantum = static_cast<double>(q.cost.rounds);
+    quantum_cut = static_cast<double>(q.cost.cut_words);
+    all_exact = all_exact && q.verdict == query::DjVerdict::kBalanced;
+    auto c = deutsch_jozsa_classical_exact(gadget.graph, gadget.data, options);
+    classical = static_cast<double>(c.cost.rounds);
+    classical_cut = static_cast<double>(c.cost.cut_words);
+    all_exact = all_exact && c.verdict == query::DjVerdict::kBalanced;
+    sampling = static_cast<double>(
+        deutsch_jozsa_classical_sampling(gadget.graph, gadget.data, 8, rng)
+            .cost.rounds);
+  }
+  double n = static_cast<double>(gadget.graph.num_nodes());
+  double bound = static_cast<double>(d) *
+                 std::max<double>(1.0, std::ceil(static_cast<double>(util::ceil_log2(k)) /
+                                                 static_cast<double>(util::ceil_log2(
+                                                     static_cast<std::uint64_t>(n)))));
+  bench::report(state, quantum, bound);
+  state.counters["classical_exact"] = classical;
+  state.counters["classical_bound"] = static_cast<double>(k / 2 + 1 + d);
+  state.counters["classical_sampling"] = sampling;
+  state.counters["exact_correct"] = all_exact ? 1.0 : 0.0;
+  state.counters["cut_words_quantum"] = quantum_cut;
+  state.counters["cut_words_classical"] = classical_cut;
+}
+BENCHMARK(BM_DeutschJozsa)
+    ->ArgNames({"k", "D"})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({1024, 8})
+    ->Args({4096, 8})
+    ->Args({16384, 8})
+    ->Args({1024, 4})
+    ->Args({1024, 16})
+    ->Args({1024, 32})
+    ->Iterations(1);
+
+}  // namespace

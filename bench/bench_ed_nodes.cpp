@@ -1,0 +1,56 @@
+// E9 — Corollary 14 vs Lemma 15: element distinctness between nodes.
+//
+// Reproduces: quantum O((n^{2/3} D^{1/3} + D) ceil(log N / log n)) vs the
+// classical gather (Theta(n)) on the two-star reduction gadget.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/apps/element_distinctness.hpp"
+#include "src/apps/twoparty.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::apps;
+
+void BM_EdNodesQuantumVsClassical(benchmark::State& state) {
+  const auto set_size = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  auto gadget = distinctness_nodes_gadget(set_size, true, rng);
+  const double n = static_cast<double>(gadget.graph.num_nodes());
+  const double d = static_cast<double>(gadget.graph.diameter());
+
+  double quantum = 0, classical = 0;
+  int successes = 0, trials = 0;
+  for (auto _ : state) {
+    classical = static_cast<double>(
+        element_distinctness_nodes_classical(gadget.graph, gadget.values,
+                                             gadget.value_range)
+            .cost.rounds);
+    quantum = bench::median_of(5, [&] {
+      auto result = element_distinctness_nodes_quantum(gadget.graph, gadget.values,
+                                                       gadget.value_range, rng);
+      ++trials;
+      if (result.collision.has_value()) ++successes;
+      return static_cast<double>(result.cost.rounds);
+    });
+  }
+  bench::report(state, quantum, std::pow(n, 2.0 / 3.0) * std::pow(d, 1.0 / 3.0) + d);
+  state.counters["classical"] = classical;
+  state.counters["quantum_wins"] = quantum < classical ? 1.0 : 0.0;
+  state.counters["success_rate"] =
+      trials > 0 ? static_cast<double>(successes) / trials : 0.0;
+}
+BENCHMARK(BM_EdNodesQuantumVsClassical)
+    ->ArgName("set_size")
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Iterations(1);
+
+}  // namespace

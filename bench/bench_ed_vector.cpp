@@ -1,0 +1,67 @@
+// E8 — Lemma 12 vs Lemma 13: element distinctness in a distributed vector.
+//
+// Reproduces: quantum O~(k^{2/3} D^{1/3} + D) vs classical Theta(k + D)
+// measured rounds on the Lemma 13 reduction gadget; one-sided correctness.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/apps/element_distinctness.hpp"
+#include "src/apps/twoparty.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::apps;
+
+void BM_EdVectorQuantumVsClassical(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(1);
+  auto gadget = distinctness_vector_gadget(k, d, true, rng);
+
+  double quantum = 0, classical = 0;
+  int successes = 0, trials = 0;
+  for (auto _ : state) {
+    classical = static_cast<double>(
+        element_distinctness_vector_classical(gadget.graph, gadget.data,
+                                              gadget.value_range)
+            .cost.rounds);
+    quantum = bench::median_of(7, [&] {
+      auto result = element_distinctness_vector_quantum(gadget.graph, gadget.data,
+                                                        gadget.value_range, rng);
+      ++trials;
+      if (result.collision.has_value()) ++successes;
+      return static_cast<double>(result.cost.rounds);
+    });
+  }
+  // The gadget's vector length is 2k; Lemma 12's bound carries the
+  // ceil(log N / log n) + ceil(log k / log n) word factor.
+  double kd = static_cast<double>(2 * k), dd = static_cast<double>(d);
+  double n = static_cast<double>(gadget.graph.num_nodes());
+  double log_n = std::max(1.0, std::log2(n));
+  double words = std::ceil(std::log2(static_cast<double>(gadget.value_range) * n) /
+                           log_n) +
+                 std::ceil(std::log2(kd) / log_n);
+  bench::report(state, quantum,
+                (std::pow(kd, 2.0 / 3.0) * std::pow(dd, 1.0 / 3.0) + dd) * words);
+  state.counters["classical"] = classical;
+  state.counters["classical_bound"] = (kd + dd) * words;
+  state.counters["quantum_wins"] = quantum < classical ? 1.0 : 0.0;
+  state.counters["success_rate"] =
+      trials > 0 ? static_cast<double>(successes) / trials : 0.0;
+}
+BENCHMARK(BM_EdVectorQuantumVsClassical)
+    ->ArgNames({"k", "D"})
+    ->Args({256, 6})
+    ->Args({1024, 6})
+    ->Args({4096, 6})
+    ->Args({16384, 6})
+    ->Args({4096, 3})
+    ->Args({16384, 3})
+    ->Args({4096, 12})
+    ->Iterations(1);
+
+}  // namespace

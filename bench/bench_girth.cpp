@@ -1,0 +1,56 @@
+// E14 — Corollary 26: girth computation.
+//
+// Reproduces: quantum O~(g + (gn)^{1/2 - 1/Theta(g)}) measured + charged
+// rounds vs the classical Theta(n) all-sources baseline, on known-girth
+// graphs; exactness of the returned girth.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/apps/girth.hpp"
+#include "src/net/generators.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::apps;
+
+void BM_Girth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto girth = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(1);
+  net::Graph g = net::cycle_with_trees(girth, n, rng);
+
+  double quantum = 0, classical = 0, iterations = 0;
+  int successes = 0, trials = 0;
+  for (auto _ : state) {
+    classical = static_cast<double>(girth_classical(g).cost.rounds);
+    quantum = bench::median_of(3, [&] {
+      auto result = girth_quantum(g, 0.5, rng);
+      ++trials;
+      iterations = static_cast<double>(result.iterations);
+      if (result.girth == std::optional<std::size_t>(girth)) ++successes;
+      return static_cast<double>(result.cost.rounds);
+    });
+  }
+  double gd = static_cast<double>(girth), nd = static_cast<double>(n);
+  double exponent = 0.5 - 1.0 / (4.0 * static_cast<double>((girth + 1) / 2) + 2.0);
+  bench::report(state, quantum, gd + std::pow(gd * nd, exponent));
+  state.counters["classical"] = classical;
+  state.counters["classical_bound"] = nd;
+  state.counters["geom_iterations"] = iterations;
+  state.counters["success_rate"] =
+      trials > 0 ? static_cast<double>(successes) / trials : 0.0;
+}
+BENCHMARK(BM_Girth)
+    ->ArgNames({"n", "girth"})
+    ->Args({64, 3})
+    ->Args({128, 3})
+    ->Args({128, 5})
+    ->Args({128, 8})
+    ->Args({256, 5})
+    ->Iterations(1);
+
+}  // namespace

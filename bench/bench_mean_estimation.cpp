@@ -1,0 +1,58 @@
+// E4 — Lemma 6: parallel-query mean estimation.
+//
+// Reproduces: b = O~(sigma / (sqrt(p) eps)) batches and the epsilon-additive
+// accuracy guarantee.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/query/mean_estimation.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::query;
+
+void BM_MeanEstimation(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const double epsilon = static_cast<double>(state.range(1)) / 100.0;
+  util::Rng rng(1);
+
+  std::vector<double> population;
+  for (int i = 0; i < 10000; ++i) population.push_back(static_cast<double>(i % 200));
+  PopulationSampleOracle oracle(population, p);
+  double sigma = std::sqrt(oracle.true_variance());
+
+  double batches = 0, abs_err = 0;
+  int within = 0, trials = 0;
+  for (auto _ : state) {
+    batches = bench::median_of(10, [&] {
+      auto est = estimate_mean(oracle, epsilon, sigma, rng);
+      ++trials;
+      double err = std::abs(est.value - oracle.true_mean());
+      abs_err += err;
+      if (err <= epsilon) ++within;
+      return static_cast<double>(est.batches);
+    });
+  }
+  double ratio = sigma / (std::sqrt(static_cast<double>(p)) * epsilon);
+  double bound = std::max(1.0, ratio * std::pow(std::log2(ratio + 2.0), 1.5));
+  bench::report(state, batches, bound);
+  state.counters["mean_abs_err"] = trials > 0 ? abs_err / trials : 0;
+  state.counters["within_eps_rate"] =
+      trials > 0 ? static_cast<double>(within) / trials : 0;
+}
+BENCHMARK(BM_MeanEstimation)
+    ->ArgNames({"p", "eps_x100"})
+    ->Args({1, 200})
+    ->Args({4, 200})
+    ->Args({16, 200})
+    ->Args({64, 200})
+    ->Args({16, 400})
+    ->Args({16, 100})
+    ->Args({16, 50})
+    ->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,150 @@
+// E15 — Lemmas 27–30: the non-oracle techniques of Section 6.
+//
+// Reproduces: amplification iterate cost O(R + D), amplitude amplification
+// O((R + D) log(1/delta) / sqrt(p)), phase estimation O(R/eps log(1/delta)
+// + D), amplitude estimation O((R + D) sqrt(p_max)/eps log(1/delta)), all
+// measured from real message schedules.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/framework/non_oracle.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/pipeline.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::framework;
+
+DistributedSubroutine make_subroutine(net::Engine& engine, const net::BfsTree& tree,
+                                      double p, std::size_t r) {
+  DistributedSubroutine s;
+  s.success_probability = p;
+  s.run = [&engine, &tree, r]() {
+    std::vector<std::int64_t> payload(r, 0);
+    return net::pipelined_downcast(engine, tree, payload, true).cost;
+  };
+  return s;
+}
+
+void BM_AmplificationIterate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto r = static_cast<std::size_t>(state.range(1));
+  net::Graph g = net::path_graph(n);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, 0.1, r);
+  double rounds = 0;
+  for (auto _ : state) {
+    rounds = static_cast<double>(amplification_iterate(engine, tree, sub).rounds);
+  }
+  bench::report(state, rounds,
+                static_cast<double>(r) + static_cast<double>(tree.height));
+}
+BENCHMARK(BM_AmplificationIterate)
+    ->ArgNames({"n", "R"})
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({64, 16})
+    ->Args({64, 64})
+    ->Iterations(1);
+
+void BM_AmplitudeAmplification(benchmark::State& state) {
+  const auto p_x1000 = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  net::Graph g = net::path_graph(32);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, static_cast<double>(p_x1000) / 1000.0, 4);
+  double rounds = 0;
+  int successes = 0, trials = 0;
+  for (auto _ : state) {
+    rounds = bench::median_of(5, [&] {
+      auto result = amplitude_amplify(engine, tree, sub, 0.1, rng);
+      ++trials;
+      if (result.success) ++successes;
+      return static_cast<double>(result.cost.rounds);
+    });
+  }
+  double p = static_cast<double>(p_x1000) / 1000.0;
+  bench::report(state, rounds,
+                (4.0 + static_cast<double>(tree.height)) / std::sqrt(p) *
+                    std::log2(1.0 / 0.1));
+  state.counters["success_rate"] =
+      trials > 0 ? static_cast<double>(successes) / trials : 0.0;
+}
+BENCHMARK(BM_AmplitudeAmplification)
+    ->ArgName("p_x1000")
+    ->Arg(200)
+    ->Arg(50)
+    ->Arg(12)
+    ->Arg(3)
+    ->Iterations(1);
+
+void BM_PhaseEstimation(benchmark::State& state) {
+  const auto eps_x1000 = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  net::Graph g = net::path_graph(16);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  const double true_theta = 2.0;
+  const std::size_t r = 3;
+  auto apply_u = [&]() {
+    std::vector<std::int64_t> payload(r, 0);
+    return net::pipelined_downcast(engine, tree, payload, true).cost;
+  };
+  double rounds = 0, err = 0;
+  for (auto _ : state) {
+    double eps = static_cast<double>(eps_x1000) / 1000.0;
+    auto result = phase_estimate(engine, tree, apply_u, true_theta, eps, 0.1, rng);
+    rounds = static_cast<double>(result.cost.rounds);
+    err = std::abs(result.theta - true_theta);
+  }
+  double eps = static_cast<double>(eps_x1000) / 1000.0;
+  bench::report(state, rounds,
+                static_cast<double>(r) / eps * std::log2(1.0 / 0.1) +
+                    static_cast<double>(tree.height));
+  state.counters["theta_error"] = err;
+  state.counters["epsilon"] = eps;
+}
+BENCHMARK(BM_PhaseEstimation)
+    ->ArgName("eps_x1000")
+    ->Arg(500)
+    ->Arg(250)
+    ->Arg(125)
+    ->Arg(62)
+    ->Iterations(1);
+
+void BM_AmplitudeEstimation(benchmark::State& state) {
+  const auto eps_x1000 = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  net::Graph g = net::path_graph(12);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, 0.2, 2);
+  double rounds = 0, err = 0;
+  for (auto _ : state) {
+    double eps = static_cast<double>(eps_x1000) / 1000.0;
+    auto result = amplitude_estimate(engine, tree, sub, 0.5, eps, 0.1, rng);
+    rounds = static_cast<double>(result.cost.rounds);
+    err = std::abs(result.p_estimate - 0.2);
+  }
+  double eps = static_cast<double>(eps_x1000) / 1000.0;
+  bench::report(state, rounds,
+                (2.0 + static_cast<double>(tree.height)) * std::sqrt(0.5) / eps *
+                    std::log2(1.0 / 0.1));
+  state.counters["p_error"] = err;
+  state.counters["epsilon"] = eps;
+}
+BENCHMARK(BM_AmplitudeEstimation)
+    ->ArgName("eps_x1000")
+    ->Arg(200)
+    ->Arg(100)
+    ->Arg(50)
+    ->Iterations(1);
+
+}  // namespace

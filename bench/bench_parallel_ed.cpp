@@ -1,0 +1,61 @@
+// E3 — Lemma 5: parallel element distinctness.
+//
+// Reproduces: b = O(ceil((k/p)^{2/3})) batches for the rebalanced Johnson
+// walk, plus the success-rate check that the walk stays above 2/3.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/query/element_distinctness.hpp"
+#include "src/query/oracle.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::query;
+
+std::vector<Value> one_collision_instance(std::size_t k, util::Rng& rng) {
+  std::vector<Value> data(k);
+  for (std::size_t i = 0; i < k; ++i) data[i] = static_cast<Value>(2 * i + 1);
+  std::size_t a = rng.index(k), b = rng.index(k);
+  while (b == a) b = rng.index(k);
+  data[b] = data[a];
+  return data;
+}
+
+void BM_ElementDistinctness(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto p = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(1);
+  double measured = 0;
+  int successes = 0, trials = 0;
+  for (auto _ : state) {
+    measured = bench::median_of(15, [&] {
+      InMemoryOracle oracle(one_collision_instance(k, rng), p);
+      auto pair = element_distinctness(oracle, rng);
+      ++trials;
+      if (pair) ++successes;
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  double bound = std::ceil(std::pow(static_cast<double>(k) / static_cast<double>(p),
+                                    2.0 / 3.0));
+  bench::report(state, measured, bound);
+  state.counters["schedule"] =
+      static_cast<double>(element_distinctness_schedule_batches(k, p));
+  state.counters["success_rate"] =
+      trials > 0 ? static_cast<double>(successes) / trials : 0.0;
+}
+BENCHMARK(BM_ElementDistinctness)
+    ->ArgNames({"k", "p"})
+    ->Args({512, 2})
+    ->Args({2048, 2})
+    ->Args({8192, 2})
+    ->Args({8192, 8})
+    ->Args({8192, 32})
+    ->Args({8192, 2048})  // large-p regime: full classical readout
+    ->Iterations(1);
+
+}  // namespace

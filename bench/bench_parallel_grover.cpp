@@ -1,0 +1,113 @@
+// E1 — Lemma 2: parallel Grover search.
+//
+// Reproduces: find-one batch count b = O(ceil(sqrt(k/(t p)))), find-all
+// b = O(sqrt(k t / p) + t), and the subset-vs-split ablation discussed in
+// the lemma's proof. Counters: measured median batches, the lemma's bound,
+// and their ratio (flat ratio across the sweep = correct shape).
+
+#include <set>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/query/oracle.hpp"
+#include "src/query/parallel_grover.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::query;
+
+std::vector<Value> random_instance(std::size_t k, std::size_t t, util::Rng& rng) {
+  std::vector<Value> x(k, 0);
+  std::set<std::size_t> ones;
+  while (ones.size() < t) ones.insert(rng.index(k));
+  for (auto i : ones) x[i] = 1;
+  return x;
+}
+
+void BM_FindOne(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto t = static_cast<std::size_t>(state.range(1));
+  const auto p = static_cast<std::size_t>(state.range(2));
+  util::Rng rng(1);
+  double measured = 0;
+  for (auto _ : state) {
+    measured = bench::median_of(25, [&] {
+      InMemoryOracle oracle(random_instance(k, t, rng), p);
+      (void)grover_find_one(oracle, [](Value v) { return v == 1; }, rng);
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  double bound = std::ceil(std::sqrt(static_cast<double>(k) /
+                                     static_cast<double>(t * p)));
+  bench::report(state, measured, bound);
+}
+BENCHMARK(BM_FindOne)
+    ->ArgNames({"k", "t", "p"})
+    ->Args({1024, 1, 4})
+    ->Args({4096, 1, 4})
+    ->Args({16384, 1, 4})
+    ->Args({16384, 4, 4})
+    ->Args({16384, 16, 4})
+    ->Args({16384, 64, 4})
+    ->Args({16384, 1, 1})
+    ->Args({16384, 1, 16})
+    ->Args({16384, 1, 64})
+    ->Iterations(1);
+
+void BM_FindOneSplitAblation(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto t = static_cast<std::size_t>(state.range(1));
+  const auto p = static_cast<std::size_t>(state.range(2));
+  util::Rng rng(2);
+  double subset = 0, split = 0;
+  for (auto _ : state) {
+    subset = bench::median_of(25, [&] {
+      InMemoryOracle oracle(random_instance(k, t, rng), p);
+      (void)grover_find_one(oracle, [](Value v) { return v == 1; }, rng);
+      return static_cast<double>(oracle.ledger().batches);
+    });
+    split = bench::median_of(25, [&] {
+      InMemoryOracle oracle(random_instance(k, t, rng), p);
+      (void)grover_find_one_split(oracle, [](Value v) { return v == 1; }, rng);
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  state.counters["subset_batches"] = subset;
+  state.counters["split_batches"] = split;
+}
+BENCHMARK(BM_FindOneSplitAblation)
+    ->ArgNames({"k", "t", "p"})
+    ->Args({8192, 1, 8})
+    ->Args({8192, 8, 8})
+    ->Args({8192, 64, 8})
+    ->Iterations(1);
+
+void BM_FindAll(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto t = static_cast<std::size_t>(state.range(1));
+  const auto p = static_cast<std::size_t>(state.range(2));
+  util::Rng rng(3);
+  double measured = 0;
+  for (auto _ : state) {
+    measured = bench::median_of(15, [&] {
+      InMemoryOracle oracle(random_instance(k, t, rng), p);
+      (void)grover_find_all(oracle, [](Value v) { return v == 1; }, rng);
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  double bound = std::sqrt(static_cast<double>(k * t) / static_cast<double>(p)) +
+                 static_cast<double>(t);
+  bench::report(state, measured, bound);
+}
+BENCHMARK(BM_FindAll)
+    ->ArgNames({"k", "t", "p"})
+    ->Args({4096, 1, 4})
+    ->Args({4096, 4, 4})
+    ->Args({4096, 16, 4})
+    ->Args({4096, 64, 4})
+    ->Args({4096, 16, 16})
+    ->Iterations(1);
+
+}  // namespace

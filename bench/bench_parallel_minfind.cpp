@@ -1,0 +1,76 @@
+// E2 — Lemma 3: parallel Durr-Hoyer minimum finding.
+//
+// Reproduces: b = O(ceil(sqrt(k / p))) batches, dropping to
+// O(ceil(sqrt(k / (l p)))) with an l-fold degenerate minimum.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/query/oracle.hpp"
+#include "src/query/parallel_minfind.hpp"
+
+namespace {
+
+using namespace qcongest;
+using namespace qcongest::query;
+
+void BM_Minfind(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto p = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(1);
+  double measured = 0;
+  for (auto _ : state) {
+    measured = bench::median_of(20, [&] {
+      std::vector<Value> data(k);
+      for (auto& v : data) v = static_cast<Value>(rng.index(1'000'000));
+      InMemoryOracle oracle(data, p);
+      (void)minfind(oracle, rng);
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  bench::report(state, measured,
+                std::ceil(std::sqrt(static_cast<double>(k) / static_cast<double>(p))));
+}
+BENCHMARK(BM_Minfind)
+    ->ArgNames({"k", "p"})
+    ->Args({1024, 4})
+    ->Args({4096, 4})
+    ->Args({16384, 4})
+    ->Args({65536, 4})
+    ->Args({16384, 1})
+    ->Args({16384, 16})
+    ->Args({16384, 64})
+    ->Iterations(1);
+
+void BM_MinfindDegenerate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto l = static_cast<std::size_t>(state.range(1));
+  const auto p = static_cast<std::size_t>(state.range(2));
+  util::Rng rng(2);
+  double measured = 0;
+  for (auto _ : state) {
+    measured = bench::median_of(20, [&] {
+      std::vector<Value> data(k, 1000);
+      for (std::size_t i = 0; i < l; ++i) data[i] = 1;
+      std::span<Value> view(data);
+      rng.shuffle(view);
+      InMemoryOracle oracle(data, p);
+      (void)minfind(oracle, rng);
+      return static_cast<double>(oracle.ledger().batches);
+    });
+  }
+  bench::report(state, measured,
+                std::ceil(std::sqrt(static_cast<double>(k) /
+                                    static_cast<double>(l * p))));
+}
+BENCHMARK(BM_MinfindDegenerate)
+    ->ArgNames({"k", "l", "p"})
+    ->Args({16384, 1, 4})
+    ->Args({16384, 16, 4})
+    ->Args({16384, 256, 4})
+    ->Args({16384, 1024, 4})
+    ->Iterations(1);
+
+}  // namespace

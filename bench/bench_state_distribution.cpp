@@ -1,0 +1,111 @@
+// E5 — Lemma 7: distributing a q-qubit register through the network.
+//
+// Reproduces: measured rounds = D + ceil(q / log n) - 1 for the pipelined
+// schedule, vs D * ceil(q / log n) for the naive one (the ablation the
+// lemma's proof calls out).
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/framework/distributed_state.hpp"
+#include "src/net/generators.hpp"
+
+namespace {
+
+using namespace qcongest;
+
+void BM_DistributeState(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto q = static_cast<std::size_t>(state.range(1));
+  net::Graph g = net::path_graph(n);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+
+  double pipelined = 0, naive = 0, reverse = 0;
+  for (auto _ : state) {
+    pipelined = static_cast<double>(framework::distribute_state(engine, tree, q).rounds);
+    naive = static_cast<double>(
+        framework::distribute_state_unpipelined(engine, tree, q).rounds);
+    reverse = static_cast<double>(framework::undistribute_state(engine, tree, q).rounds);
+  }
+  double words = static_cast<double>(framework::words_for_bits(q, n));
+  bench::report(state, pipelined, static_cast<double>(tree.height) + words);
+  state.counters["naive"] = naive;
+  state.counters["naive_bound"] = static_cast<double>(tree.height) * words;
+  state.counters["reverse"] = reverse;
+}
+BENCHMARK(BM_DistributeState)
+    ->ArgNames({"n", "q"})
+    ->Args({16, 8})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({64, 32})
+    ->Args({64, 128})
+    ->Args({64, 512})
+    ->Iterations(1);
+
+void BM_DistributeStateTopologies(benchmark::State& state) {
+  // Same q on topologies with very different diameters: rounds track
+  // D + q/log n, not n.
+  const auto topology = static_cast<std::size_t>(state.range(0));
+  const std::size_t q = 64;
+  util::Rng rng(2);
+  net::Graph g = [&] {
+    switch (topology) {
+      case 0:
+        return net::path_graph(100);
+      case 1:
+        return net::binary_tree(100);
+      case 2:
+        return net::star_graph(100);
+      default:
+        return net::random_connected_graph(100, 80, rng);
+    }
+  }();
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  double measured = 0;
+  for (auto _ : state) {
+    measured = static_cast<double>(framework::distribute_state(engine, tree, q).rounds);
+  }
+  bench::report(state, measured,
+                static_cast<double>(tree.height) +
+                    static_cast<double>(framework::words_for_bits(q, 100)));
+  state.counters["height"] = static_cast<double>(tree.height);
+}
+BENCHMARK(BM_DistributeStateTopologies)
+    ->ArgName("topology")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(1);
+
+void BM_CongestBandwidthSweep(benchmark::State& state) {
+  // CONGEST(B) ablation: widening the per-edge budget to B words shrinks the
+  // pipeline term from ceil(q / log n) to ceil(q / (B log n)).
+  const auto bandwidth = static_cast<std::size_t>(state.range(0));
+  net::Graph g = net::path_graph(40);
+  net::Engine engine(g, bandwidth, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  const std::size_t q = 512;
+  double measured = 0;
+  for (auto _ : state) {
+    measured = static_cast<double>(framework::distribute_state(engine, tree, q).rounds);
+  }
+  double words = static_cast<double>(framework::words_for_bits(q, 40));
+  bench::report(state, measured,
+                static_cast<double>(tree.height) +
+                    std::ceil(words / static_cast<double>(bandwidth)));
+}
+BENCHMARK(BM_CongestBandwidthSweep)
+    ->ArgName("B")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1);
+
+}  // namespace

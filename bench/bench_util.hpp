@@ -1,0 +1,29 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+namespace qcongest::bench {
+
+/// Median of `trials` runs of `f` (each returning a measured quantity).
+inline double median_of(int trials, const std::function<double()>& f) {
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) values.push_back(f());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// Standard counter triple: the measured quantity, the paper's predicted
+/// bound, and their ratio (which should stay roughly constant across a
+/// sweep if the shape matches).
+inline void report(benchmark::State& state, double measured, double bound) {
+  state.counters["measured"] = measured;
+  state.counters["bound"] = bound;
+  state.counters["ratio"] = bound > 0 ? measured / bound : 0.0;
+}
+
+}  // namespace qcongest::bench

@@ -1,0 +1,64 @@
+// Meeting scheduler (Section 4.1 of the paper).
+//
+// A committee of participants connected by a sparse network wants to pick
+// the time slot where the most members are available. Runs the quantum
+// protocol of Lemma 10 next to the classical streaming baseline and the
+// ground truth, on both a realistic committee network and the two-party
+// lower-bound gadget.
+//
+//   ./example_meeting_scheduler [slots]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/apps/twoparty.hpp"
+#include "src/net/generators.hpp"
+
+using namespace qcongest;
+using namespace qcongest::apps;
+
+namespace {
+
+void run_case(const char* name, const net::Graph& graph, const Calendars& calendars,
+              util::Rng& rng) {
+  auto reference = meeting_scheduling_reference(calendars);
+  auto classical = meeting_scheduling_classical(graph, calendars);
+  auto quantum = meeting_scheduling_quantum(graph, calendars, rng);
+
+  std::printf("--- %s (n=%zu, k=%zu, D=%zu) ---\n", name, graph.num_nodes(),
+              calendars[0].size(), graph.diameter());
+  std::printf("  ground truth : slot %zu with %lld available\n", reference.best_slot,
+              static_cast<long long>(reference.availability));
+  std::printf("  classical    : slot %zu, %zu rounds (exact)\n", classical.best_slot,
+              classical.cost.rounds);
+  std::printf("  quantum      : slot %zu, %zu rounds, %zu batches%s\n",
+              quantum.best_slot, quantum.cost.rounds, quantum.batches,
+              quantum.availability == reference.availability ? ""
+                                                             : "  [suboptimal run]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t k = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2048;
+  util::Rng rng(7);
+
+  // A 40-member committee: sparse random network, busy random calendars.
+  net::Graph committee = net::random_connected_graph(40, 30, rng);
+  Calendars calendars(40, std::vector<query::Value>(k, 0));
+  for (auto& row : calendars) {
+    for (auto& slot : row) slot = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  run_case("random committee", committee, calendars, rng);
+
+  // The Lemma 11 reduction gadget: two busy members at distance D, everyone
+  // in between free — the worst case for classical streaming.
+  auto gadget = meeting_scheduling_gadget(k, 8, /*intersect=*/true, rng);
+  run_case("two-party gadget", gadget.graph, gadget.calendars, rng);
+
+  std::printf("\nLemma 10: quantum O~(sqrt(kD) + D); classical Theta(k + D).\n");
+  std::printf("Re-run with a larger slot count to widen the gap, e.g. %s 16384\n",
+              argv[0]);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, every benchmark, every example,
+# and the CLI smoke commands — the one-command reproduction driver.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+(for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $(basename "$b") ====="
+  "$b"
+done) 2>&1 | tee bench_output.txt
+
+for e in build/examples/example_*; do
+  echo "===== $(basename "$e") ====="
+  "$e"
+done
+
+build/tools/qcongest_cli diameter --graph two-stars --nodes 64
+build/tools/qcongest_cli meeting --graph path --nodes 9 --k 16384
+build/tools/qcongest_cli girth --graph cycle-trees --nodes 50 --girth 6

@@ -1,0 +1,141 @@
+#include "src/apps/deutsch_jozsa.hpp"
+
+#include <stdexcept>
+
+#include "src/framework/distributed_oracle.hpp"
+#include "src/net/bfs.hpp"
+#include "src/net/pipeline.hpp"
+
+namespace qcongest::apps {
+
+namespace {
+
+void validate(const net::Graph& graph, const std::vector<std::vector<query::Value>>& data) {
+  if (data.size() != graph.num_nodes()) {
+    throw std::invalid_argument("deutsch-jozsa: one string per node");
+  }
+  if (data.empty() || data[0].empty() || data[0].size() % 2 != 0) {
+    throw std::invalid_argument("deutsch-jozsa: k must be even and positive");
+  }
+  for (const auto& row : data) {
+    if (row.size() != data[0].size()) {
+      throw std::invalid_argument("deutsch-jozsa: string sizes differ");
+    }
+    for (query::Value v : row) {
+      if (v != 0 && v != 1) throw std::invalid_argument("deutsch-jozsa: non-bit input");
+    }
+  }
+}
+
+struct Setup {
+  net::Engine engine;
+  net::BfsTree tree;
+  net::RunResult cost;
+};
+
+Setup make_setup(const net::Graph& graph, std::uint64_t seed,
+                 const NetOptions& options = {}) {
+  Setup s{net::Engine(graph, options.bandwidth, seed ^ options.seed), {}, {}};
+  s.engine.track_cut(options.tracked_cut);
+  auto election = net::elect_leader(s.engine);
+  s.cost += election.cost;
+  s.tree = net::build_bfs_tree(s.engine, election.leader);
+  s.cost += s.tree.cost;
+  return s;
+}
+
+}  // namespace
+
+DjResult deutsch_jozsa_quantum(const net::Graph& graph,
+                               const std::vector<std::vector<query::Value>>& data,
+                               const NetOptions& options) {
+  validate(graph, data);
+  Setup setup = make_setup(graph, 1, options);
+  DjResult result;
+  result.cost = setup.cost;
+
+  // Theorem 17: a (1, 1)-parallel-query algorithm with oplus = XOR, q = 1.
+  framework::OracleConfig config;
+  config.domain_size = data[0].size();
+  config.parallelism = 1;
+  config.value_bits = 1;
+  config.combine = [](std::int64_t a, std::int64_t b) { return a ^ b; };
+  config.identity = 0;
+  framework::DistributedOracle oracle(setup.engine, setup.tree, config, data);
+
+  result.verdict = query::deutsch_jozsa(oracle);
+  result.batches = oracle.ledger().batches;
+  result.cost += oracle.total_cost();
+  return result;
+}
+
+DjResult deutsch_jozsa_classical_exact(const net::Graph& graph,
+                                       const std::vector<std::vector<query::Value>>& data,
+                                       const NetOptions& options) {
+  validate(graph, data);
+  Setup setup = make_setup(graph, 2, options);
+  DjResult result;
+  result.cost = setup.cost;
+  const std::size_t k = data[0].size();
+
+  // Gather k/2 + 1 positions of x = XOR_v x^{(v)} at the leader; if all are
+  // equal the input must be constant (a balanced x cannot agree on k/2 + 1
+  // positions).
+  const std::size_t needed = k / 2 + 1;
+  std::vector<std::vector<std::int64_t>> slices(graph.num_nodes());
+  for (std::size_t v = 0; v < graph.num_nodes(); ++v) {
+    slices[v].assign(data[v].begin(),
+                     data[v].begin() + static_cast<std::ptrdiff_t>(needed));
+  }
+  auto conv = net::pipelined_convergecast(
+      setup.engine, setup.tree, slices, /*value_words=*/1,
+      [](std::int64_t a, std::int64_t b) { return a ^ b; }, /*quantum=*/false);
+  result.cost += conv.cost;
+
+  bool all_equal = true;
+  for (std::int64_t x : conv.totals) {
+    if (x != conv.totals[0]) all_equal = false;
+  }
+  result.verdict = all_equal ? query::DjVerdict::kConstant : query::DjVerdict::kBalanced;
+  result.batches = 1;
+  return result;
+}
+
+DjResult deutsch_jozsa_classical_sampling(const net::Graph& graph,
+                                          const std::vector<std::vector<query::Value>>& data,
+                                          std::size_t samples, util::Rng& rng) {
+  validate(graph, data);
+  if (samples == 0) throw std::invalid_argument("deutsch-jozsa: samples == 0");
+  Setup setup = make_setup(graph, 3);
+  DjResult result;
+  result.cost = setup.cost;
+  const std::size_t k = data[0].size();
+
+  // The leader broadcasts the sampled positions, the tree XOR-aggregates
+  // them: O(D + samples) rounds.
+  std::vector<std::size_t> positions;
+  for (std::size_t s = 0; s < samples; ++s) positions.push_back(rng.index(k));
+  std::vector<std::int64_t> payload(positions.begin(), positions.end());
+  result.cost += net::pipelined_downcast(setup.engine, setup.tree, payload,
+                                         /*quantum=*/false)
+                     .cost;
+
+  std::vector<std::vector<std::int64_t>> picks(graph.num_nodes());
+  for (std::size_t v = 0; v < graph.num_nodes(); ++v) {
+    for (std::size_t pos : positions) picks[v].push_back(data[v][pos]);
+  }
+  auto conv = net::pipelined_convergecast(
+      setup.engine, setup.tree, picks, 1,
+      [](std::int64_t a, std::int64_t b) { return a ^ b; }, /*quantum=*/false);
+  result.cost += conv.cost;
+
+  bool all_equal = true;
+  for (std::int64_t x : conv.totals) {
+    if (x != conv.totals[0]) all_equal = false;
+  }
+  result.verdict = all_equal ? query::DjVerdict::kConstant : query::DjVerdict::kBalanced;
+  result.batches = 1;
+  return result;
+}
+
+}  // namespace qcongest::apps

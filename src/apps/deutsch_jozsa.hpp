@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "src/apps/net_options.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/graph.hpp"
+#include "src/query/deutsch_jozsa.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::apps {
+
+struct DjResult {
+  query::DjVerdict verdict = query::DjVerdict::kConstant;
+  net::RunResult cost;
+  std::size_t batches = 0;
+};
+
+/// Problem 16 / Theorem 17: distributed Deutsch–Jozsa. Each node holds
+/// x^{(v)} in {0,1}^k; with x = XOR_v x^{(v)} promised constant or balanced,
+/// decide which — with probability 1 — in O(D ceil(log k / log n)) measured
+/// rounds: a single superposed query through the Theorem 8 oracle with
+/// oplus = XOR.
+DjResult deutsch_jozsa_quantum(const net::Graph& graph,
+                               const std::vector<std::vector<query::Value>>& data,
+                               const NetOptions& options = {});
+
+/// Exact classical baseline (Theorem 18's matching upper bound): any
+/// zero-error classical protocol must see k/2 + 1 positions of x in the
+/// worst case; this one gathers them at the leader through the tree —
+/// Theta(D + k) measured rounds, always correct.
+DjResult deutsch_jozsa_classical_exact(const net::Graph& graph,
+                                       const std::vector<std::vector<query::Value>>& data,
+                                       const NetOptions& options = {});
+
+/// Bounded-error classical protocol (the paper's closing remark of Section
+/// 4.3): sample a constant number of random positions; O(D) measured rounds,
+/// error probability <= 2^-samples on balanced inputs.
+DjResult deutsch_jozsa_classical_sampling(const net::Graph& graph,
+                                          const std::vector<std::vector<query::Value>>& data,
+                                          std::size_t samples, util::Rng& rng);
+
+}  // namespace qcongest::apps

@@ -1,0 +1,115 @@
+#include "src/apps/meeting_scheduling.hpp"
+
+#include <stdexcept>
+
+#include "src/framework/distributed_oracle.hpp"
+#include "src/net/bfs.hpp"
+#include "src/net/pipeline.hpp"
+#include "src/query/parallel_minfind.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::apps {
+
+namespace {
+
+void validate_calendars(const net::Graph& graph, const Calendars& calendars) {
+  if (calendars.size() != graph.num_nodes()) {
+    throw std::invalid_argument("meeting scheduling: one calendar per node");
+  }
+  if (calendars.empty() || calendars[0].empty()) {
+    throw std::invalid_argument("meeting scheduling: no slots");
+  }
+  for (const auto& c : calendars) {
+    if (c.size() != calendars[0].size()) {
+      throw std::invalid_argument("meeting scheduling: calendar sizes differ");
+    }
+    for (query::Value v : c) {
+      if (v != 0 && v != 1) {
+        throw std::invalid_argument("meeting scheduling: calendars must be 0/1");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MeetingSchedulingResult meeting_scheduling_reference(const Calendars& calendars) {
+  MeetingSchedulingResult result;
+  const std::size_t k = calendars[0].size();
+  for (std::size_t i = 0; i < k; ++i) {
+    query::Value total = 0;
+    for (const auto& c : calendars) total += c[i];
+    if (i == 0 || total > result.availability) {
+      result.availability = total;
+      result.best_slot = i;
+    }
+  }
+  result.cost.completed = true;
+  return result;
+}
+
+MeetingSchedulingResult meeting_scheduling_quantum(const net::Graph& graph,
+                                                   const Calendars& calendars,
+                                                   util::Rng& rng,
+                                                   const NetOptions& options) {
+  validate_calendars(graph, calendars);
+  const std::size_t n = graph.num_nodes();
+  const std::size_t k = calendars[0].size();
+
+  net::Engine engine(graph, options.bandwidth, rng.engine()());
+  engine.track_cut(options.tracked_cut);
+  MeetingSchedulingResult result;
+
+  auto election = net::elect_leader(engine);
+  result.cost += election.cost;
+  net::BfsTree tree = net::build_bfs_tree(engine, election.leader);
+  result.cost += tree.cost;
+
+  // Lemma 10: p = D (we use the measured tree height, the leader's actual
+  // knowledge of the network depth), A = [n] so q = ceil(log n).
+  framework::OracleConfig config;
+  config.domain_size = k;
+  config.parallelism = std::max<std::size_t>(1, tree.height);
+  config.value_bits = std::max<unsigned>(1, util::ceil_log2(n + 1));
+  config.combine = [](std::int64_t a, std::int64_t b) { return a + b; };
+  config.identity = 0;
+  framework::DistributedOracle oracle(engine, tree, config, calendars);
+
+  result.best_slot = query::maxfind(oracle, rng);
+  result.availability = oracle.peek(result.best_slot);
+  result.batches = oracle.ledger().batches;
+  result.cost += oracle.total_cost();
+  return result;
+}
+
+MeetingSchedulingResult meeting_scheduling_classical(const net::Graph& graph,
+                                                     const Calendars& calendars,
+                                                     const NetOptions& options) {
+  validate_calendars(graph, calendars);
+  net::Engine engine(graph, options.bandwidth, options.seed);
+  engine.track_cut(options.tracked_cut);
+  MeetingSchedulingResult result;
+
+  auto election = net::elect_leader(engine);
+  result.cost += election.cost;
+  net::BfsTree tree = net::build_bfs_tree(engine, election.leader);
+  result.cost += tree.cost;
+
+  // One batch of k parallel queries: the whole input is aggregated up the
+  // tree, pipelined over the k slots. Theta(D + k) rounds.
+  auto conv = net::pipelined_convergecast(
+      engine, tree, calendars, /*value_words=*/1,
+      [](std::int64_t a, std::int64_t b) { return a + b; }, /*quantum=*/false);
+  result.cost += conv.cost;
+
+  for (std::size_t i = 0; i < conv.totals.size(); ++i) {
+    if (i == 0 || conv.totals[i] > result.availability) {
+      result.availability = conv.totals[i];
+      result.best_slot = i;
+    }
+  }
+  result.batches = 1;
+  return result;
+}
+
+}  // namespace qcongest::apps

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "src/apps/net_options.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/graph.hpp"
+#include "src/query/oracle.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::apps {
+
+/// Input to the meeting scheduling problem (Section 4.1): calendar[v][i] = 1
+/// iff participant v is available in time slot i; k slots, n participants.
+using Calendars = std::vector<std::vector<query::Value>>;
+
+struct MeetingSchedulingResult {
+  std::size_t best_slot = 0;          // argmax_i sum_v calendar[v][i]
+  query::Value availability = 0;      // the attained maximum
+  net::RunResult cost;                // measured: election + BFS + batches
+  std::size_t batches = 0;            // charged query batches (quantum only)
+};
+
+/// Lemma 10: Quantum CONGEST meeting scheduling in
+/// O((sqrt(kD) + D) ceil(log k / log n)) measured rounds — parallel maximum
+/// finding (Lemma 3) with p = D over the Theorem 8 oracle with oplus = +.
+/// Success probability >= 2/3.
+MeetingSchedulingResult meeting_scheduling_quantum(const net::Graph& graph,
+                                                   const Calendars& calendars,
+                                                   util::Rng& rng,
+                                                   const NetOptions& options = {});
+
+/// The classical baseline (the paper's remark after Lemma 11): every node
+/// streams its whole calendar to the leader through the BFS tree — the
+/// trivial (1, k)-parallel-query protocol, Theta(D + k) measured rounds.
+/// Always exact.
+MeetingSchedulingResult meeting_scheduling_classical(const net::Graph& graph,
+                                                     const Calendars& calendars,
+                                                     const NetOptions& options = {});
+
+/// Ground truth (no network): for tests and success-rate measurements.
+MeetingSchedulingResult meeting_scheduling_reference(const Calendars& calendars);
+
+}  // namespace qcongest::apps

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qcongest::apps {
+
+/// Network-simulation options shared by the applications.
+struct NetOptions {
+  /// CONGEST(B): words per edge per direction per round.
+  std::size_t bandwidth = 1;
+  /// Engine seed (node-local randomness).
+  std::uint64_t seed = 1;
+  /// When non-empty (one bit per node), the run reports the words crossing
+  /// this bipartition in RunResult::cut_words — the induced two-party
+  /// communication of the reduction arguments (Lemmas 11/13/15, Thm 18).
+  std::vector<bool> tracked_cut;
+};
+
+}  // namespace qcongest::apps

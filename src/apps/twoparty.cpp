@@ -1,0 +1,123 @@
+#include "src/apps/twoparty.hpp"
+
+#include <stdexcept>
+
+#include "src/net/generators.hpp"
+
+namespace qcongest::apps {
+
+DisjointnessInstance random_disjointness(std::size_t k, bool intersect, util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("disjointness: k < 2");
+  DisjointnessInstance inst;
+  inst.x.assign(k, 0);
+  inst.y.assign(k, 0);
+  // Random sets over disjoint halves of the universe, so they never
+  // intersect by accident; then optionally plant one intersection point.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i % 2 == 0) {
+      inst.x[i] = rng.bernoulli(0.5) ? 1 : 0;
+    } else {
+      inst.y[i] = rng.bernoulli(0.5) ? 1 : 0;
+    }
+  }
+  if (intersect) {
+    std::size_t where = rng.index(k);
+    inst.x[where] = 1;
+    inst.y[where] = 1;
+    inst.intersects = true;
+  }
+  return inst;
+}
+
+MeetingGadget meeting_scheduling_gadget(std::size_t k, std::size_t distance,
+                                        bool intersect, util::Rng& rng) {
+  if (distance < 1) throw std::invalid_argument("gadget: distance < 1");
+  auto inst = random_disjointness(k, intersect, rng);
+  MeetingGadget gadget{net::path_graph(distance + 1), {}, inst.intersects};
+  gadget.calendars.assign(distance + 1, std::vector<query::Value>(k, 0));
+  gadget.calendars.front() = inst.x;
+  gadget.calendars.back() = inst.y;
+  return gadget;
+}
+
+DistinctnessGadget distinctness_vector_gadget(std::size_t k, std::size_t distance,
+                                              bool intersect, util::Rng& rng) {
+  if (distance < 1) throw std::invalid_argument("gadget: distance < 1");
+  auto inst = random_disjointness(k, intersect, rng);
+  // Lemma 13's encoding over index range 2k: slot i (i < k) carries A's
+  // value, slot k + i carries B's; a sum-collision exists iff some i is in
+  // both sets (both encode i + 1 there).
+  DistinctnessGadget gadget{net::path_graph(distance + 1), {}, 0, inst.intersects};
+  const std::size_t m = 2 * k;
+  gadget.data.assign(distance + 1, std::vector<query::Value>(m, 0));
+  auto& a = gadget.data.front();
+  auto& b = gadget.data.back();
+  for (std::size_t i = 0; i < k; ++i) {
+    a[i] = inst.x[i] == 1 ? static_cast<query::Value>(i + 1)
+                          : static_cast<query::Value>(2 * k + i + 1);
+    b[k + i] = inst.y[i] == 1 ? static_cast<query::Value>(i + 1)
+                              : static_cast<query::Value>(3 * k + i + 1);
+  }
+  gadget.value_range = static_cast<std::int64_t>(4 * k + 1);
+  return gadget;
+}
+
+NodeDistinctnessGadget distinctness_nodes_gadget(std::size_t set_size, bool intersect,
+                                                 util::Rng& rng) {
+  if (set_size < 2) throw std::invalid_argument("gadget: set_size < 2");
+  NodeDistinctnessGadget gadget{net::two_stars_graph(set_size, set_size, 1), {}, 0,
+                                intersect};
+  const std::size_t n = gadget.graph.num_nodes();
+  gadget.values.assign(n, 0);
+  // Universe [set_size * 4]: left leaves take even slots, right leaves take
+  // odd slots, so cross-star values differ unless planted. Centers get
+  // unique out-of-band values.
+  std::size_t left_center = set_size;
+  std::size_t right_center = set_size + 1;
+  gadget.values[left_center] = static_cast<query::Value>(8 * set_size + 1);
+  gadget.values[right_center] = static_cast<query::Value>(8 * set_size + 2);
+  for (std::size_t i = 0; i < set_size; ++i) {
+    gadget.values[i] = static_cast<query::Value>(4 * i);                  // left leaf
+    gadget.values[right_center + 1 + i] = static_cast<query::Value>(4 * i + 2);
+  }
+  if (intersect) {
+    std::size_t where = rng.index(set_size);
+    gadget.values[right_center + 1 + where] = gadget.values[where];
+  }
+  gadget.value_range = static_cast<std::int64_t>(8 * set_size + 3);
+  return gadget;
+}
+
+DjGadget deutsch_jozsa_gadget(std::size_t k, std::size_t distance, bool balanced,
+                              util::Rng& rng) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("dj gadget: k must be even >= 2");
+  if (distance < 1) throw std::invalid_argument("gadget: distance < 1");
+  DjGadget gadget{net::path_graph(distance + 1), {}, balanced};
+  gadget.data.assign(distance + 1, std::vector<query::Value>(k, 0));
+  auto& a = gadget.data.front();
+  auto& b = gadget.data.back();
+  // Split x = a XOR b randomly: pick a at random, then b = a XOR x.
+  std::vector<query::Value> x(k, 0);
+  if (balanced) {
+    auto positions = rng.sample_without_replacement(k, k / 2);
+    for (std::size_t pos : positions) x[pos] = 1;
+  } else if (rng.bernoulli(0.5)) {
+    x.assign(k, 1);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    a[i] = rng.bernoulli(0.5) ? 1 : 0;
+    b[i] = a[i] ^ x[i];
+  }
+  return gadget;
+}
+
+std::vector<bool> path_gadget_cut(std::size_t num_nodes, std::size_t alice_last) {
+  if (alice_last + 1 >= num_nodes) {
+    throw std::invalid_argument("path_gadget_cut: Bob's side would be empty");
+  }
+  std::vector<bool> side(num_nodes, true);
+  for (std::size_t v = 0; v <= alice_last; ++v) side[v] = false;
+  return side;
+}
+
+}  // namespace qcongest::apps

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/net/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::apps {
+
+/// Reduction-instance generators for the two-party lower bounds (Lemmas 11,
+/// 13, 15 and Theorem 18). Lower bounds cannot be executed; the benches run
+/// the best classical protocols on these gadget instances to exhibit the
+/// Omega(k / log n) and Omega(n / log n) scaling the reductions prove.
+
+/// A two-party disjointness instance: x, y in {0,1}^k with intersection
+/// controlled by `intersect`.
+struct DisjointnessInstance {
+  std::vector<query::Value> x;
+  std::vector<query::Value> y;
+  bool intersects = false;
+};
+DisjointnessInstance random_disjointness(std::size_t k, bool intersect, util::Rng& rng);
+
+/// Lemma 11's gadget: a path of length `distance` whose endpoints hold the
+/// two disjointness strings as calendars (all other nodes all-zero). Meeting
+/// scheduling answers 2 iff the sets intersect.
+struct MeetingGadget {
+  net::Graph graph;
+  Calendars calendars;
+  bool intersects = false;
+};
+MeetingGadget meeting_scheduling_gadget(std::size_t k, std::size_t distance,
+                                        bool intersect, util::Rng& rng);
+
+/// Lemma 13's gadget: endpoints hold the element-distinctness encoding of a
+/// disjointness instance (x has a duplicate iff the sets intersect).
+struct DistinctnessGadget {
+  net::Graph graph;
+  std::vector<std::vector<query::Value>> data;
+  std::int64_t value_range = 0;
+  bool collides = false;
+};
+DistinctnessGadget distinctness_vector_gadget(std::size_t k, std::size_t distance,
+                                              bool intersect, util::Rng& rng);
+
+/// Lemma 15's gadget: two stars joined by an edge-path; the star leaves hold
+/// the sets' elements as node values (a duplicate across the stars iff the
+/// sets intersect).
+struct NodeDistinctnessGadget {
+  net::Graph graph;
+  std::vector<query::Value> values;
+  std::int64_t value_range = 0;
+  bool collides = false;
+};
+NodeDistinctnessGadget distinctness_nodes_gadget(std::size_t set_size, bool intersect,
+                                                 util::Rng& rng);
+
+/// Theorem 18's gadget: a path with a Deutsch–Jozsa instance split across
+/// its endpoints (x constant or balanced under XOR).
+struct DjGadget {
+  net::Graph graph;
+  std::vector<std::vector<query::Value>> data;
+  bool balanced = false;
+};
+DjGadget deutsch_jozsa_gadget(std::size_t k, std::size_t distance, bool balanced,
+                              util::Rng& rng);
+
+/// The Alice/Bob bipartition of a path gadget: nodes up to (and including)
+/// position `alice_last` are Alice's; the rest Bob's. Feed it to
+/// NetOptions::tracked_cut to measure the induced two-party communication —
+/// the quantity the reductions of Lemmas 11/13 and Theorem 18 lower-bound
+/// (Omega(k) bits classically for disjointness / exact Deutsch–Jozsa).
+std::vector<bool> path_gadget_cut(std::size_t num_nodes, std::size_t alice_last);
+
+}  // namespace qcongest::apps

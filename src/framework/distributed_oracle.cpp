@@ -1,0 +1,120 @@
+#include "src/framework/distributed_oracle.hpp"
+
+#include <stdexcept>
+
+#include "src/framework/distributed_state.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::framework {
+
+namespace {
+
+void check_config(const OracleConfig& config, std::size_t num_nodes) {
+  if (config.domain_size == 0) throw std::invalid_argument("oracle: domain_size 0");
+  if (config.parallelism == 0) throw std::invalid_argument("oracle: parallelism 0");
+  if (config.value_bits == 0) throw std::invalid_argument("oracle: value_bits 0");
+  if (!config.combine) throw std::invalid_argument("oracle: no combine op");
+  if (num_nodes == 0) throw std::invalid_argument("oracle: empty network");
+}
+
+}  // namespace
+
+DistributedOracle::DistributedOracle(net::Engine& engine, const net::BfsTree& tree,
+                                     OracleConfig config,
+                                     std::vector<std::vector<query::Value>> data)
+    : engine_(&engine), tree_(&tree), config_(std::move(config)), data_(std::move(data)) {
+  check_config(config_, engine.graph().num_nodes());
+  if (data_.size() != engine.graph().num_nodes()) {
+    throw std::invalid_argument("oracle: one data vector per node required");
+  }
+  for (const auto& row : data_) {
+    if (row.size() != config_.domain_size) {
+      throw std::invalid_argument("oracle: data row size != domain_size");
+    }
+  }
+}
+
+DistributedOracle::DistributedOracle(net::Engine& engine, const net::BfsTree& tree,
+                                     OracleConfig config, BatchComputer computer,
+                                     std::function<query::Value(std::size_t)> truth)
+    : engine_(&engine),
+      tree_(&tree),
+      config_(std::move(config)),
+      computer_(std::move(computer)),
+      truth_(std::move(truth)) {
+  check_config(config_, engine.graph().num_nodes());
+  if (!computer_ || !truth_) {
+    throw std::invalid_argument("oracle: on-the-fly mode needs computer and truth");
+  }
+}
+
+query::Value DistributedOracle::peek(std::size_t index) const {
+  if (index >= config_.domain_size) throw std::out_of_range("oracle: peek out of range");
+  if (truth_) return truth_(index);
+  query::Value acc = config_.identity;
+  for (const auto& row : data_) acc = config_.combine(acc, row[index]);
+  return acc;
+}
+
+std::vector<query::Value> DistributedOracle::fetch(
+    std::span<const std::size_t> indices) {
+  const std::size_t n = engine_->graph().num_nodes();
+  const std::size_t idx_words =
+      words_for_bits(util::ceil_log2(config_.domain_size), n);
+  const std::size_t val_words = words_for_bits(config_.value_bits, n);
+
+  // Phase 1: downcast the p index registers (quantum words, pipelined).
+  std::vector<std::int64_t> index_payload;
+  index_payload.reserve(indices.size() * idx_words);
+  for (std::size_t idx : indices) {
+    index_payload.push_back(static_cast<std::int64_t>(idx));
+    for (std::size_t w = 1; w < idx_words; ++w) index_payload.push_back(0);
+  }
+  total_cost_ += net::pipelined_downcast(*engine_, *tree_, index_payload,
+                                         /*quantum=*/true)
+                     .cost;
+
+  // Phase 2 (Corollary 9): on-the-fly value computation, alpha(p) rounds.
+  std::vector<std::vector<query::Value>> batch_values;
+  if (computer_) {
+    BatchValues computed = computer_(indices);
+    if (computed.per_node.size() != n) {
+      throw std::logic_error("oracle: batch computer returned wrong node count");
+    }
+    total_cost_ += computed.cost;
+    batch_values = std::move(computed.per_node);
+  } else {
+    batch_values.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      batch_values[v].reserve(indices.size());
+      for (std::size_t idx : indices) batch_values[v].push_back(data_[v][idx]);
+    }
+  }
+
+  // Phase 3: aggregating convergecast of the p values.
+  auto conv = net::pipelined_convergecast(*engine_, *tree_, batch_values, val_words,
+                                          config_.combine, /*quantum=*/true);
+  total_cost_ += conv.cost;
+
+  // Phase 4: uncompute — results echoed back down so the nodes can erase
+  // their partial sums, and the index registers collected back at the
+  // leader. Mirror schedules of phases 3 and 1 (see DESIGN.md).
+  if (config_.charge_uncompute) {
+    std::vector<std::int64_t> result_payload;
+    result_payload.reserve(indices.size() * val_words);
+    for (std::int64_t total : conv.totals) {
+      result_payload.push_back(total);
+      for (std::size_t w = 1; w < val_words; ++w) result_payload.push_back(0);
+    }
+    total_cost_ += net::pipelined_downcast(*engine_, *tree_, result_payload,
+                                           /*quantum=*/true)
+                       .cost;
+    total_cost_ += undistribute_state(
+        *engine_, *tree_,
+        indices.size() * util::ceil_log2(config_.domain_size));
+  }
+
+  return conv.totals;
+}
+
+}  // namespace qcongest::framework

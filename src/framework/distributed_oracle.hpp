@@ -1,0 +1,84 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "src/net/bfs.hpp"
+#include "src/net/pipeline.hpp"
+#include "src/query/oracle.hpp"
+
+namespace qcongest::framework {
+
+/// Configuration of a Theorem 8 distributed oracle for
+/// f(x) = F(oplus_v x^{(v)}).
+struct OracleConfig {
+  std::size_t domain_size = 0;   // k — indices the query algorithm may ask
+  std::size_t parallelism = 0;   // p — queries per batch (O^{\otimes p})
+  std::size_t value_bits = 1;    // q = ceil(log |A|), width of one value
+  net::CombineOp combine;        // the commutative-semigroup oplus
+  std::int64_t identity = 0;     // oplus identity (value of "no data")
+  /// Charge the uncompute phases (results sent back down, indices
+  /// re-collected). Theorem 8 includes them; turning them off is an
+  /// ablation knob.
+  bool charge_uncompute = true;
+};
+
+/// The paper's core construction (Theorem 8 + Corollary 9): a
+/// query::BatchOracle whose every charged batch is executed as real message
+/// traffic on a CONGEST engine:
+///
+///   1. the leader downcasts the p query indices (p * ceil(log k / log n)
+///      qubit-words, pipelined — Lemma 7),
+///   2. [Corollary 9 only] the network computes the batch's values with a
+///      classical CONGEST subroutine (alpha(p) rounds),
+///   3. an aggregating convergecast combines oplus_v x_j^{(v)} for each of
+///      the p indices ((height + p) * ceil(q / log n) rounds, values not
+///      intra-streamable),
+///   4. the results are uncomputed down and the indices collected back
+///      (mirror schedules of 3 and 1).
+///
+/// The accumulated, *measured* round count is available via total_cost().
+class DistributedOracle final : public query::BatchOracle {
+ public:
+  /// Per-batch on-the-fly computer (Corollary 9): given the batch indices,
+  /// run a CONGEST subroutine, return values[node][index-in-batch] and the
+  /// subroutine's measured cost.
+  struct BatchValues {
+    std::vector<std::vector<query::Value>> per_node;  // [node][batch slot]
+    net::RunResult cost;
+  };
+  using BatchComputer = std::function<BatchValues(std::span<const std::size_t>)>;
+
+  /// Theorem 8 variant: data held in memory, data[v][j] = x_j^{(v)}.
+  DistributedOracle(net::Engine& engine, const net::BfsTree& tree, OracleConfig config,
+                    std::vector<std::vector<query::Value>> data);
+
+  /// Corollary 9 variant: values computed per batch; `truth` provides
+  /// uncharged simulator access for peek() (must equal the aggregated
+  /// value the network would compute).
+  DistributedOracle(net::Engine& engine, const net::BfsTree& tree, OracleConfig config,
+                    BatchComputer computer,
+                    std::function<query::Value(std::size_t)> truth);
+
+  std::size_t domain_size() const override { return config_.domain_size; }
+  std::size_t parallelism() const override { return config_.parallelism; }
+  query::Value peek(std::size_t index) const override;
+
+  /// Total measured network cost of every charged batch so far.
+  const net::RunResult& total_cost() const { return total_cost_; }
+  void reset_cost() { total_cost_ = net::RunResult{}; }
+
+ protected:
+  std::vector<query::Value> fetch(std::span<const std::size_t> indices) override;
+
+ private:
+  net::Engine* engine_;
+  const net::BfsTree* tree_;
+  OracleConfig config_;
+  std::vector<std::vector<query::Value>> data_;  // empty in on-the-fly mode
+  BatchComputer computer_;
+  std::function<query::Value(std::size_t)> truth_;
+  net::RunResult total_cost_;
+};
+
+}  // namespace qcongest::framework

@@ -1,0 +1,43 @@
+#include "src/framework/distributed_state.hpp"
+
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::framework {
+
+std::size_t words_for_bits(std::size_t bits, std::size_t num_nodes) {
+  std::size_t bits_per_word = std::max<std::size_t>(1, util::ceil_log2(num_nodes));
+  return std::max<std::size_t>(1, util::ceil_div(bits, bits_per_word));
+}
+
+net::RunResult distribute_state(net::Engine& engine, const net::BfsTree& tree,
+                                std::size_t q_qubits) {
+  // The amplitudes live in the central simulator; the network moves the
+  // register as ceil(q / log n) opaque qubit-words (see DESIGN.md).
+  std::vector<std::int64_t> payload(words_for_bits(q_qubits, engine.graph().num_nodes()),
+                                    0);
+  return net::pipelined_downcast(engine, tree, payload, /*quantum=*/true).cost;
+}
+
+net::RunResult undistribute_state(net::Engine& engine, const net::BfsTree& tree,
+                                  std::size_t q_qubits) {
+  // The reverse circuit streams the same words towards the root; schedule-
+  // wise this is a convergecast of the register's words with a trivial
+  // combine (each node's copy is uncomputed against its children's).
+  std::size_t words = words_for_bits(q_qubits, engine.graph().num_nodes());
+  std::vector<std::vector<std::int64_t>> values(
+      engine.graph().num_nodes(), std::vector<std::int64_t>(words, 0));
+  auto result = net::pipelined_convergecast(
+      engine, tree, values, /*value_words=*/1,
+      [](std::int64_t a, std::int64_t) { return a; }, /*quantum=*/true);
+  return result.cost;
+}
+
+net::RunResult distribute_state_unpipelined(net::Engine& engine,
+                                            const net::BfsTree& tree,
+                                            std::size_t q_qubits) {
+  std::vector<std::int64_t> payload(words_for_bits(q_qubits, engine.graph().num_nodes()),
+                                    0);
+  return net::unpipelined_downcast(engine, tree, payload, /*quantum=*/true).cost;
+}
+
+}  // namespace qcongest::framework

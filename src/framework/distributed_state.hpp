@@ -1,0 +1,30 @@
+#pragma once
+
+#include "src/net/bfs.hpp"
+#include "src/net/pipeline.hpp"
+
+namespace qcongest::framework {
+
+/// Number of CONGEST words needed for `bits` (qu)bits in an n-node network:
+/// ceil(bits / log2(n)), at least 1. One word is Theta(log n) (qu)bits.
+std::size_t words_for_bits(std::size_t bits, std::size_t num_nodes);
+
+/// Lemma 7, forward direction: the leader shares a q-qubit register with
+/// every node (CNOT fan-out plus pipelined qubit streaming down the BFS
+/// tree). The returned cost is *measured* from the message schedule:
+/// height + ceil(q / log n) - 1 rounds.
+net::RunResult distribute_state(net::Engine& engine, const net::BfsTree& tree,
+                                std::size_t q_qubits);
+
+/// Lemma 7, reverse direction: the shared state is collected back into the
+/// leader's register (the same schedule, run towards the root).
+net::RunResult undistribute_state(net::Engine& engine, const net::BfsTree& tree,
+                                  std::size_t q_qubits);
+
+/// Ablation: the naive unpipelined distribution, height * ceil(q / log n)
+/// rounds (the paper's "naively this would result in ..." remark).
+net::RunResult distribute_state_unpipelined(net::Engine& engine,
+                                            const net::BfsTree& tree,
+                                            std::size_t q_qubits);
+
+}  // namespace qcongest::framework

@@ -1,0 +1,161 @@
+#include "src/framework/non_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/framework/distributed_state.hpp"
+#include "src/net/pipeline.hpp"
+#include "src/query/grover_math.hpp"
+#include "src/util/combinatorics.hpp"
+#include "src/util/stats.hpp"
+
+namespace qcongest::framework {
+
+namespace {
+
+/// The distributed all-zero check of Lemma 27: every node reports whether
+/// its local registers are zero, ANDs flow to the leader (quantum words: the
+/// check is coherent), the leader applies Z; the computation is then undone
+/// (mirror downcast).
+net::RunResult zero_reflection(net::Engine& engine, const net::BfsTree& tree) {
+  std::vector<std::vector<std::int64_t>> flags(engine.graph().num_nodes(),
+                                               std::vector<std::int64_t>{1});
+  net::RunResult cost =
+      net::pipelined_convergecast(
+          engine, tree, flags, /*value_words=*/1,
+          [](std::int64_t a, std::int64_t b) { return a & b; }, /*quantum=*/true)
+          .cost;
+  cost += net::pipelined_downcast(engine, tree, {1}, /*quantum=*/true).cost;
+  return cost;
+}
+
+std::size_t repetitions_for(double delta) {
+  if (delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("non_oracle: delta must be in (0, 1)");
+  }
+  return static_cast<std::size_t>(std::ceil(std::log2(1.0 / delta))) + 1;
+}
+
+}  // namespace
+
+double qpe_outcome_probability(std::size_t big_k, double phi, std::size_t y) {
+  // |(1/K) sum_k e^{2 pi i k (phi - y/K)}|^2.
+  double d = phi - static_cast<double>(y) / static_cast<double>(big_k);
+  double kd = static_cast<double>(big_k);
+  double denom = std::sin(M_PI * d);
+  if (std::abs(denom) < 1e-15) return 1.0;
+  double num = std::sin(M_PI * kd * d);
+  return (num * num) / (kd * kd * denom * denom);
+}
+
+net::RunResult amplification_iterate(net::Engine& engine, const net::BfsTree& tree,
+                                     const DistributedSubroutine& subroutine) {
+  net::RunResult cost;
+  cost.completed = true;
+  // Good-part reflection: a single local Z, zero rounds.
+  cost += subroutine.run();                 // U^dagger
+  cost += zero_reflection(engine, tree);    // reflect through |0...0>
+  cost += subroutine.run();                 // U
+  return cost;
+}
+
+AmplifyResult amplitude_amplify(net::Engine& engine, const net::BfsTree& tree,
+                                const DistributedSubroutine& subroutine, double delta,
+                                util::Rng& rng) {
+  double p = subroutine.success_probability;
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("amplify: bad probability");
+  AmplifyResult result;
+  result.cost.completed = true;
+  if (p == 0.0) return result;  // nothing to amplify; never succeeds
+
+  double theta = query::grover_angle(p);
+  auto iterations = static_cast<std::size_t>(std::floor(M_PI / (4.0 * theta)));
+
+  std::size_t attempts = repetitions_for(delta);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    result.cost += subroutine.run();  // prepare |psi>
+    for (std::size_t it = 0; it < iterations; ++it) {
+      result.cost += amplification_iterate(engine, tree, subroutine);
+    }
+    // Distributed verification that we obtained |phi_1> (O(D) rounds).
+    result.cost += zero_reflection(engine, tree);
+    if (rng.bernoulli(query::grover_success_probability(iterations, theta))) {
+      result.success = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+PhaseEstimateResult phase_estimate(net::Engine& engine, const net::BfsTree& tree,
+                                   const std::function<net::RunResult()>& apply_u,
+                                   double true_theta, double epsilon, double delta,
+                                   util::Rng& rng) {
+  if (epsilon <= 0.0) throw std::invalid_argument("phase_estimate: epsilon <= 0");
+  const double phi = true_theta / (2.0 * M_PI);  // eigenphase as a fraction
+  const auto big_k = static_cast<std::size_t>(std::ceil(2.0 * M_PI / epsilon)) + 1;
+  const std::size_t reps = repetitions_for(delta);
+
+  PhaseEstimateResult result;
+  result.cost.completed = true;
+  std::vector<double> estimates;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // Share the control superposition over k = 0..K-1 (Lemma 7); the k
+    // registers of all repetitions could be streamed together, we charge
+    // them per repetition (a constant-factor simplification).
+    std::size_t q = std::max<std::size_t>(1, util::ceil_log2(big_k));
+    result.cost += distribute_state(engine, tree, q);
+    // Conditioned U^k: U applied K times in sequence, each conditioned on
+    // the shared control (no extra diameter term — phase kickback).
+    for (std::size_t k = 0; k < big_k; ++k) result.cost += apply_u();
+    result.cost += undistribute_state(engine, tree, q);
+    // Leader-local inverse QFT + measurement: sample the exact QPE law.
+    double r = rng.uniform();
+    double cumulative = 0.0;
+    std::size_t outcome = big_k - 1;
+    for (std::size_t y = 0; y < big_k; ++y) {
+      cumulative += qpe_outcome_probability(big_k, phi, y);
+      if (r < cumulative) {
+        outcome = y;
+        break;
+      }
+    }
+    estimates.push_back(2.0 * M_PI * static_cast<double>(outcome) /
+                        static_cast<double>(big_k));
+  }
+  result.theta = util::median(std::move(estimates));
+  return result;
+}
+
+AmplitudeEstimateResult amplitude_estimate(net::Engine& engine, const net::BfsTree& tree,
+                                           const DistributedSubroutine& subroutine,
+                                           double p_max, double epsilon, double delta,
+                                           util::Rng& rng) {
+  double p = subroutine.success_probability;
+  if (p < 0.0 || p > 1.0 || p > p_max + 1e-12) {
+    throw std::invalid_argument("amplitude_estimate: bad probabilities");
+  }
+  if (epsilon <= 0.0) throw std::invalid_argument("amplitude_estimate: epsilon <= 0");
+
+  // Phase estimation of the amplification iterate, whose eigenphase is
+  // 2 theta_p with sin^2(theta_p) = p. Estimating theta to additive error
+  // ~ epsilon / sqrt(p_max) suffices for |p_est - p| <= epsilon (BHMT).
+  const double theta_p = query::grover_angle(p);
+  const double theta_accuracy =
+      epsilon / std::max(2.0 * std::sqrt(p_max), 1e-9);
+
+  auto apply_iterate = [&]() { return amplification_iterate(engine, tree, subroutine); };
+  PhaseEstimateResult pe = phase_estimate(engine, tree, apply_iterate, 2.0 * theta_p,
+                                          2.0 * theta_accuracy, delta, rng);
+
+  AmplitudeEstimateResult result;
+  result.cost = pe.cost;
+  // Eigenphases come in a +-2 theta pair; fold into [0, pi].
+  double folded = pe.theta <= M_PI ? pe.theta : 2.0 * M_PI - pe.theta;
+  double s = std::sin(folded / 2.0);
+  result.p_estimate = s * s;
+  return result;
+}
+
+}  // namespace qcongest::framework

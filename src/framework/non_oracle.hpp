@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+
+#include "src/net/bfs.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::framework {
+
+/// A black-box distributed quantum subroutine (Section 6): an R-round
+/// Quantum CONGEST protocol preparing a state
+/// |psi> = sqrt(1-p)|phi_0>|0> + sqrt(p)|phi_1>|1> shared by the nodes.
+///
+/// `run` executes the protocol's communication schedule on the engine (used
+/// for U and U^dagger alike) and returns its measured cost;
+/// `success_probability` is p — simulator knowledge used to sample outcomes,
+/// exactly like BatchOracle::peek.
+struct DistributedSubroutine {
+  std::function<net::RunResult()> run;
+  double success_probability = 0.0;
+};
+
+/// Lemma 27: one amplitude-amplification iterate: U^dagger, a distributed
+/// reflection through |0...0> (each node ANDs "my registers are zero" up the
+/// tree, the leader applies Z, the computation is undone), then U, plus the
+/// free Z on the good flag. Measured cost O(R + D).
+net::RunResult amplification_iterate(net::Engine& engine, const net::BfsTree& tree,
+                                     const DistributedSubroutine& subroutine);
+
+struct AmplifyResult {
+  bool success = false;
+  net::RunResult cost;
+};
+
+/// Corollary 28: amplitude amplification boosting the subroutine's success
+/// probability to >= 1 - delta in O((R + D) log(1/delta) / sqrt(p)) measured
+/// rounds. Each attempt runs ~ pi/(4 asin(sqrt(p))) iterates and one O(D)
+/// distributed verification; outcomes follow the exact sin^2((2m+1) theta)
+/// law.
+AmplifyResult amplitude_amplify(net::Engine& engine, const net::BfsTree& tree,
+                                const DistributedSubroutine& subroutine, double delta,
+                                util::Rng& rng);
+
+struct PhaseEstimateResult {
+  double theta = 0.0;  // estimate of the eigenphase, in [0, 2 pi)
+  net::RunResult cost;
+};
+
+/// Lemma 29: distributed phase estimation of a shared-state eigenphase
+/// U|psi> = e^{i theta}|psi>. Per repetition the leader shares a
+/// superposition over k = 1..K (K = ceil(2 pi / epsilon)) via Lemma 7, the
+/// network applies U k times conditioned (K * R measured rounds), and the
+/// leader applies a local inverse QFT. O(log(1/delta)) repetitions, median
+/// outcome. Outcomes are sampled from the exact QPE distribution around
+/// `true_theta` (simulator knowledge).
+PhaseEstimateResult phase_estimate(net::Engine& engine, const net::BfsTree& tree,
+                                   const std::function<net::RunResult()>& apply_u,
+                                   double true_theta, double epsilon, double delta,
+                                   util::Rng& rng);
+
+struct AmplitudeEstimateResult {
+  double p_estimate = 0.0;
+  net::RunResult cost;
+};
+
+/// Corollary 30: amplitude estimation — phase estimation applied to the
+/// amplification iterate; estimates p <= p_max to additive error epsilon
+/// with probability >= 1 - delta in
+/// O((R + D) sqrt(p_max) / epsilon * log(1/delta)) measured rounds.
+AmplitudeEstimateResult amplitude_estimate(net::Engine& engine, const net::BfsTree& tree,
+                                           const DistributedSubroutine& subroutine,
+                                           double p_max, double epsilon, double delta,
+                                           util::Rng& rng);
+
+/// Exact QPE outcome distribution: probability that a K-point phase
+/// estimation of eigenphase phi (in [0, 1)) measures y. Exposed for tests.
+double qpe_outcome_probability(std::size_t big_k, double phi, std::size_t y);
+
+}  // namespace qcongest::framework

@@ -1,0 +1,129 @@
+#include "src/net/bfs.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace qcongest::net {
+
+namespace {
+
+constexpr std::int32_t kTagFloodMax = 1;
+constexpr std::int32_t kTagBfsToken = 2;
+constexpr std::int32_t kTagBfsAdopt = 3;
+
+class FloodMaxProgram final : public NodeProgram {
+ public:
+  NodeId best() const { return best_; }
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    bool improved = false;
+    if (ctx.round() == 0) {
+      best_ = ctx.id();
+      improved = true;
+    }
+    for (const Message& m : inbox) {
+      if (static_cast<NodeId>(m.word.a) > best_) {
+        best_ = static_cast<NodeId>(m.word.a);
+        improved = true;
+      }
+    }
+    if (improved) {
+      for (NodeId u : ctx.neighbors()) {
+        ctx.send(u, Word{kTagFloodMax, static_cast<std::int64_t>(best_), 0, false});
+      }
+    }
+  }
+
+ private:
+  NodeId best_ = 0;
+};
+
+class BfsBuildProgram final : public NodeProgram {
+ public:
+  explicit BfsBuildProgram(NodeId root) : root_(root) {}
+
+  NodeId parent() const { return parent_; }
+  std::size_t depth() const { return depth_; }
+  const std::vector<NodeId>& children() const { return children_; }
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    if (ctx.round() == 0 && ctx.id() == root_) {
+      parent_ = ctx.id();
+      depth_ = 0;
+      for (NodeId u : ctx.neighbors()) {
+        ctx.send(u, Word{kTagBfsToken, 1, 0, false});
+      }
+      return;
+    }
+    for (const Message& m : inbox) {
+      if (m.word.tag == kTagBfsAdopt) {
+        children_.push_back(m.from);
+      } else if (m.word.tag == kTagBfsToken && parent_ == kUnreachable) {
+        parent_ = m.from;
+        depth_ = static_cast<std::size_t>(m.word.a);
+        ctx.send(m.from, Word{kTagBfsAdopt, 0, 0, false});
+        for (NodeId u : ctx.neighbors()) {
+          if (u != m.from) {
+            ctx.send(u, Word{kTagBfsToken, static_cast<std::int64_t>(depth_ + 1), 0,
+                             false});
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  NodeId root_;
+  NodeId parent_ = kUnreachable;
+  std::size_t depth_ = 0;
+  std::vector<NodeId> children_;
+};
+
+}  // namespace
+
+LeaderElectionResult elect_leader(Engine& engine) {
+  const std::size_t n = engine.graph().num_nodes();
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) programs.push_back(std::make_unique<FloodMaxProgram>());
+
+  LeaderElectionResult result;
+  result.cost = engine.run(programs, 4 * n + 16);
+  result.leader = static_cast<FloodMaxProgram&>(*programs[0]).best();
+  for (NodeId v = 1; v < n; ++v) {
+    if (static_cast<FloodMaxProgram&>(*programs[v]).best() != result.leader) {
+      throw std::logic_error("elect_leader: nodes disagree (graph disconnected?)");
+    }
+  }
+  return result;
+}
+
+BfsTree build_bfs_tree(Engine& engine, NodeId root) {
+  const std::size_t n = engine.graph().num_nodes();
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(std::make_unique<BfsBuildProgram>(root));
+  }
+
+  BfsTree tree;
+  tree.root = root;
+  tree.cost = engine.run(programs, 4 * n + 16);
+  tree.parent.resize(n);
+  tree.children.resize(n);
+  tree.depth.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& p = static_cast<BfsBuildProgram&>(*programs[v]);
+    if (p.parent() == kUnreachable) {
+      throw std::logic_error("build_bfs_tree: node unreachable from root");
+    }
+    tree.parent[v] = p.parent();
+    tree.depth[v] = p.depth();
+    tree.children[v] = p.children();
+    std::sort(tree.children[v].begin(), tree.children[v].end());
+    tree.height = std::max(tree.height, p.depth());
+  }
+  return tree;
+}
+
+}  // namespace qcongest::net

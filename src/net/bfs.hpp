@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "src/net/engine.hpp"
+
+namespace qcongest::net {
+
+/// Result of leader election: every node agrees on the max-id node.
+struct LeaderElectionResult {
+  NodeId leader = 0;
+  RunResult cost;
+};
+
+/// Flood-max leader election: every node floods the largest identifier it
+/// has seen; after O(D) rounds all agree on the maximum. (The paper assumes
+/// a designated leader or picks the max id, noting O(D) rounds suffice.)
+LeaderElectionResult elect_leader(Engine& engine);
+
+/// A rooted BFS spanning tree, the communication backbone of Lemma 7 and
+/// Theorem 8.
+struct BfsTree {
+  NodeId root = 0;
+  std::vector<NodeId> parent;               // parent[root] == root
+  std::vector<std::vector<NodeId>> children;
+  std::vector<std::size_t> depth;
+  std::size_t height = 0;                   // max depth
+  RunResult cost;
+};
+
+/// Builds a BFS tree from `root` by the folklore flooding algorithm
+/// (footnote 2 of the paper): O(D) rounds; children register with their
+/// parent so the tree is usable for pipelined down- and up-casts.
+BfsTree build_bfs_tree(Engine& engine, NodeId root);
+
+}  // namespace qcongest::net

@@ -1,0 +1,139 @@
+#include "src/net/clustering.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::net {
+
+namespace {
+
+/// Nodes within `radius` hops of `src`.
+std::vector<NodeId> ball(const Graph& g, NodeId src, std::size_t radius) {
+  std::vector<std::size_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  std::vector<NodeId> members{src};
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    if (dist[v] == radius) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+        members.push_back(u);
+      }
+    }
+  }
+  return members;
+}
+
+}  // namespace
+
+Clustering cluster_graph(const Graph& graph, std::size_t d, util::Rng& rng) {
+  if (d == 0) throw std::invalid_argument("cluster_graph: d == 0");
+  const std::size_t n = graph.num_nodes();
+  const std::size_t log_n = util::ceil_log2(n) + 1;
+  const std::size_t radius = d * log_n;          // cluster radius R
+  const std::size_t separation = 2 * radius + d; // same-color center spacing
+
+  Clustering out;
+  out.clusters_of_node.resize(n);
+  std::vector<bool> covered(n, false);
+  std::size_t color = 0;
+  const std::size_t max_colors = 4 * log_n + 8;
+
+  while (true) {
+    std::vector<NodeId> uncovered;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!covered[v]) uncovered.push_back(v);
+    }
+    if (uncovered.empty()) break;
+    if (color >= max_colors) {
+      throw std::logic_error("cluster_graph: color budget exceeded");
+    }
+    rng.shuffle(std::span<NodeId>(uncovered));
+
+    // Greedy centers this color: blocked marks nodes within `separation` of
+    // an already-picked center of this color.
+    std::vector<bool> blocked(n, false);
+    for (NodeId v : uncovered) {
+      if (blocked[v]) continue;
+      Clustering::Cluster cluster;
+      cluster.center = v;
+      cluster.color = color;
+      cluster.members = ball(graph, v, radius);
+      std::size_t cluster_index = out.clusters.size();
+      for (NodeId u : cluster.members) {
+        covered[u] = true;
+        out.clusters_of_node[u].push_back(cluster_index);
+      }
+      for (NodeId u : ball(graph, v, separation)) blocked[u] = true;
+      out.clusters.push_back(std::move(cluster));
+    }
+    ++color;
+  }
+  out.num_colors = color;
+  // Lemma 24 round cost: O(d log^2 n).
+  out.charged_rounds = d * log_n * log_n;
+  return out;
+}
+
+void validate_clustering(const Graph& graph, const Clustering& clustering,
+                         std::size_t d) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t log_n = util::ceil_log2(n) + 1;
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (clustering.clusters_of_node[v].empty()) {
+      throw std::logic_error("clustering: node in no cluster");
+    }
+  }
+  if (clustering.num_colors > 4 * log_n + 8) {
+    throw std::logic_error("clustering: too many colors");
+  }
+  // Cluster (weak) diameter <= 2 R.
+  for (const auto& cluster : clustering.clusters) {
+    auto dist = graph.bfs_distances(cluster.center);
+    for (NodeId u : cluster.members) {
+      if (dist[u] > d * log_n) {
+        throw std::logic_error("clustering: cluster radius exceeded");
+      }
+    }
+  }
+  // Same-color clusters at distance >= d.
+  for (std::size_t i = 0; i < clustering.clusters.size(); ++i) {
+    auto& a = clustering.clusters[i];
+    std::vector<std::size_t> dist_to_a(n, kUnreachable);
+    {
+      std::deque<NodeId> queue;
+      for (NodeId u : a.members) {
+        dist_to_a[u] = 0;
+        queue.push_back(u);
+      }
+      while (!queue.empty()) {
+        NodeId v = queue.front();
+        queue.pop_front();
+        for (NodeId u : graph.neighbors(v)) {
+          if (dist_to_a[u] == kUnreachable) {
+            dist_to_a[u] = dist_to_a[v] + 1;
+            queue.push_back(u);
+          }
+        }
+      }
+    }
+    for (std::size_t j = i + 1; j < clustering.clusters.size(); ++j) {
+      auto& b = clustering.clusters[j];
+      if (a.color != b.color) continue;
+      for (NodeId u : b.members) {
+        if (dist_to_a[u] < d) {
+          throw std::logic_error("clustering: same-color clusters too close");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qcongest::net

@@ -1,0 +1,139 @@
+#include "src/net/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/net/trace.hpp"
+
+namespace qcongest::net {
+
+std::size_t Context::num_nodes() const { return engine_->graph().num_nodes(); }
+
+std::size_t Context::bandwidth() const { return engine_->bandwidth(); }
+
+const std::vector<NodeId>& Context::neighbors() const {
+  return engine_->graph().neighbors(id_);
+}
+
+void Context::send(NodeId to, Word word) { engine_->deliver(id_, to, word); }
+
+Engine::Engine(const Graph& graph, std::size_t bandwidth_words, std::uint64_t seed)
+    : graph_(&graph), bandwidth_(bandwidth_words), seed_rng_(seed) {
+  if (bandwidth_ == 0) throw std::invalid_argument("Engine: bandwidth 0");
+  node_rngs_.reserve(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) node_rngs_.push_back(seed_rng_.fork());
+
+  // Directed-edge slots for bandwidth accounting: node v's i-th neighbor
+  // edge occupies slot edge_slot_offset_[v] + i.
+  edge_slot_offset_.resize(graph.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    edge_slot_offset_[v + 1] = edge_slot_offset_[v] + graph.degree(v);
+  }
+}
+
+void Engine::track_cut(std::vector<bool> side) {
+  if (!side.empty() && side.size() != graph_->num_nodes()) {
+    throw std::invalid_argument("track_cut: one side bit per node required");
+  }
+  cut_side_ = std::move(side);
+}
+
+std::size_t Engine::edge_slot(NodeId from, NodeId to) const {
+  const auto& adj = graph_->neighbors(from);
+  auto it = std::find(adj.begin(), adj.end(), to);
+  if (it == adj.end()) {
+    throw std::invalid_argument("Engine: send to non-neighbor");
+  }
+  return edge_slot_offset_[from] + static_cast<std::size_t>(it - adj.begin());
+}
+
+void Engine::deliver(NodeId from, NodeId to, Word word) {
+  if (from != current_sender_) {
+    throw std::logic_error("Engine: context used outside its node's turn");
+  }
+  std::size_t slot = edge_slot(from, to);
+  if (sent_this_round_[slot] >= bandwidth_) {
+    throw std::runtime_error(
+        "CONGEST bandwidth exceeded: a node sent more than B words over one "
+        "edge in one round");
+  }
+  ++sent_this_round_[slot];
+  stats_.max_edge_words = std::max(stats_.max_edge_words, sent_this_round_[slot]);
+  if (!cut_side_.empty() && cut_side_[from] != cut_side_[to]) ++stats_.cut_words;
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{current_pass_, from, to, word.tag, word.quantum});
+  }
+  next_inbox_[to].push_back(Message{from, word});
+  ++stats_.messages;
+  if (word.quantum) {
+    ++stats_.quantum_words;
+  } else {
+    ++stats_.classical_words;
+  }
+}
+
+RunResult Engine::run(std::span<const std::unique_ptr<NodeProgram>> programs,
+                      std::size_t max_rounds) {
+  const std::size_t n = graph_->num_nodes();
+  if (programs.size() != n) {
+    throw std::invalid_argument("Engine::run: one program per node required");
+  }
+  stats_ = RunResult{};
+  next_inbox_.assign(n, {});
+  sent_this_round_.assign(edge_slot_offset_[n], 0);
+
+  std::vector<Context> contexts(n);
+  for (NodeId v = 0; v < n; ++v) {
+    contexts[v].engine_ = this;
+    contexts[v].id_ = v;
+    contexts[v].rng_ = &node_rngs_[v];
+  }
+
+  // Pass r delivers the words sent in pass r-1 (synchronous rounds). The
+  // protocol's round complexity is the index of the last pass that sent
+  // anything: a CONGEST round is a send plus its matching receive.
+  //
+  // Termination: (a) every node halted with nothing in flight, or (b)
+  // quiescence — nothing was delivered this pass after the first, which for
+  // event-driven programs (the only kind the protocol library uses) means
+  // nothing will ever happen again.
+  std::size_t last_send_pass = 0;
+  for (std::size_t pass = 1; pass <= max_rounds + 1; ++pass) {
+    std::vector<std::vector<Message>> inbox(n);
+    inbox.swap(next_inbox_);
+    next_inbox_.assign(n, {});
+    std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
+
+    bool all_halted = true;
+    bool any_inbox = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!inbox[v].empty()) any_inbox = true;
+      if (!contexts[v].halted_) all_halted = false;
+    }
+    if ((all_halted || pass > 1) && !any_inbox) {
+      stats_.rounds = last_send_pass;
+      stats_.completed = true;
+      return stats_;
+    }
+
+    current_pass_ = pass - 1;
+    std::size_t messages_before = stats_.messages;
+    for (NodeId v = 0; v < n; ++v) {
+      if (contexts[v].halted_) {
+        if (!inbox[v].empty()) {
+          throw std::logic_error("Engine: message delivered to a halted node");
+        }
+        continue;
+      }
+      contexts[v].round_ = pass - 1;
+      current_sender_ = v;
+      programs[v]->on_round(contexts[v], inbox[v]);
+    }
+    if (stats_.messages > messages_before) last_send_pass = pass;
+  }
+  stats_.rounds = last_send_pass;
+  stats_.completed = false;
+  return stats_;
+}
+
+}  // namespace qcongest::net

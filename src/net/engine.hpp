@@ -1,0 +1,135 @@
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/net/graph.hpp"
+#include "src/net/message.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::net {
+
+class Engine;
+
+/// Per-round, per-node view of the network. Programs may only touch their
+/// own id, their neighbor list, and their inbox — the CONGEST locality
+/// constraint.
+class Context {
+ public:
+  NodeId id() const { return id_; }
+  std::size_t round() const { return round_; }
+  std::size_t num_nodes() const;  // n is global knowledge in CONGEST
+  /// Per-edge per-direction words per round (the CONGEST(B) parameter).
+  std::size_t bandwidth() const;
+  const std::vector<NodeId>& neighbors() const;
+
+  /// Queue a word for delivery to `to` (must be a neighbor) at the start of
+  /// the next round. Throws if the edge's bandwidth for this round is
+  /// exhausted — protocols are responsible for their own congestion control.
+  void send(NodeId to, Word word);
+
+  /// Mark this node finished. A halted node is no longer scheduled; the run
+  /// ends when every node has halted and no messages are in flight.
+  void halt() { halted_ = true; }
+
+  /// Node-local randomness (forked per node from the engine seed).
+  util::Rng& rng() { return *rng_; }
+
+ private:
+  friend class Engine;
+  Engine* engine_ = nullptr;
+  NodeId id_ = 0;
+  std::size_t round_ = 0;
+  util::Rng* rng_ = nullptr;
+  bool halted_ = false;
+};
+
+/// A node's protocol logic. One instance per node; the engine invokes
+/// on_round once per round with all messages delivered this round.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  virtual void on_round(Context& ctx, const std::vector<Message>& inbox) = 0;
+};
+
+/// Statistics of one protocol run.
+struct RunResult {
+  std::size_t rounds = 0;
+  bool completed = false;  // all nodes halted before the round limit
+  std::size_t messages = 0;
+  std::size_t classical_words = 0;
+  std::size_t quantum_words = 0;
+  /// Peak words sent over one directed edge in one round; always <= the
+  /// engine's bandwidth (the CONGEST constraint), recorded for
+  /// observability and utilization analysis.
+  std::size_t max_edge_words = 0;
+  /// Words that crossed the tracked cut (Engine::track_cut), both
+  /// directions. Zero when no cut is tracked. This is the two-party
+  /// communication of the reduction arguments (Lemmas 11/13/15, Thm 18):
+  /// a CONGEST protocol on a gadget graph induces a two-party protocol
+  /// whose communication is exactly the words crossing the cut.
+  std::size_t cut_words = 0;
+
+  /// Accumulate a subsequent phase's cost (protocols compose sequentially).
+  RunResult& operator+=(const RunResult& other) {
+    rounds += other.rounds;
+    completed = completed && other.completed;
+    messages += other.messages;
+    classical_words += other.classical_words;
+    quantum_words += other.quantum_words;
+    max_edge_words = std::max(max_edge_words, other.max_edge_words);
+    cut_words += other.cut_words;
+    return *this;
+  }
+};
+
+/// Synchronous CONGEST round scheduler with per-edge bandwidth enforcement.
+class Engine {
+ public:
+  explicit Engine(const Graph& graph, std::size_t bandwidth_words = 1,
+                  std::uint64_t seed = 1);
+
+  const Graph& graph() const { return *graph_; }
+  std::size_t bandwidth() const { return bandwidth_; }
+
+  /// Run the given per-node programs (programs.size() == num_nodes) until
+  /// all halt or `max_rounds` is reached. Message delivery: words sent in
+  /// round r arrive in round r + 1.
+  RunResult run(std::span<const std::unique_ptr<NodeProgram>> programs,
+                std::size_t max_rounds);
+
+  /// Track the words crossing the node bipartition (side[v] false/true) in
+  /// every subsequent run — the two-party communication of the reduction
+  /// arguments. Pass an empty vector to stop tracking.
+  void track_cut(std::vector<bool> side);
+
+  /// Record every delivery of subsequent runs into `trace` (nullptr stops).
+  /// The trace is never cleared by the engine; phases accumulate.
+  void set_trace(class Trace* trace) { trace_ = trace; }
+
+ private:
+  friend class Context;
+
+  void deliver(NodeId from, NodeId to, Word word);
+
+  const Graph* graph_;
+  std::size_t bandwidth_;
+  util::Rng seed_rng_;
+  std::vector<util::Rng> node_rngs_;
+
+  // Per-run state.
+  std::vector<std::vector<Message>> next_inbox_;
+  std::vector<std::size_t> sent_this_round_;  // indexed by directed edge slot
+  std::vector<std::size_t> edge_slot_offset_;
+  std::vector<bool> cut_side_;  // empty when no cut is tracked
+  class Trace* trace_ = nullptr;
+  RunResult stats_;
+  NodeId current_sender_ = 0;
+  std::size_t current_pass_ = 0;
+
+  std::size_t edge_slot(NodeId from, NodeId to) const;
+};
+
+}  // namespace qcongest::net

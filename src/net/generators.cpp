@@ -1,0 +1,193 @@
+#include "src/net/generators.hpp"
+
+#include <stdexcept>
+
+namespace qcongest::net {
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: n < 3");
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+Graph star_graph(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("star_graph: n < 2");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph binary_tree(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2);
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph hypercube(unsigned dims) {
+  if (dims == 0 || dims > 20) throw std::invalid_argument("hypercube: bad dims");
+  std::size_t n = std::size_t{1} << dims;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (unsigned d = 0; d < dims; ++d) {
+      std::size_t u = v ^ (std::size_t{1} << d);
+      if (u > v) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+Graph petersen_graph() {
+  Graph g(10);
+  // Outer 5-cycle, inner pentagram, spokes.
+  for (std::size_t i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);
+    g.add_edge(5 + i, 5 + (i + 2) % 5);
+    g.add_edge(i, 5 + i);
+  }
+  return g;
+}
+
+Graph random_connected_graph(std::size_t n, std::size_t extra_edges, util::Rng& rng) {
+  Graph g(n);
+  // Random spanning tree: attach each node to a random earlier node of a
+  // random permutation.
+  auto order = rng.permutation(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(order[i], order[rng.index(i)]);
+  }
+  std::size_t added = 0, attempts = 0;
+  while (added < extra_edges && attempts < 20 * extra_edges + 100) {
+    ++attempts;
+    NodeId u = rng.index(n), v = rng.index(n);
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph two_stars_graph(std::size_t left_size, std::size_t right_size,
+                      std::size_t path_length) {
+  if (path_length == 0) throw std::invalid_argument("two_stars_graph: path_length 0");
+  // Layout: [0, left_size) left leaves, then left center, path interior,
+  // right center, then right leaves.
+  std::size_t left_center = left_size;
+  std::size_t right_center = left_size + path_length;
+  std::size_t n = left_size + path_length + 1 + right_size;
+  Graph g(n);
+  for (std::size_t i = 0; i < left_size; ++i) g.add_edge(i, left_center);
+  for (std::size_t i = left_center; i < right_center; ++i) g.add_edge(i, i + 1);
+  for (std::size_t i = 0; i < right_size; ++i) {
+    g.add_edge(right_center, right_center + 1 + i);
+  }
+  return g;
+}
+
+Graph cycle_with_trees(std::size_t girth, std::size_t n, util::Rng& rng) {
+  if (girth < 3 || girth > n) throw std::invalid_argument("cycle_with_trees: bad sizes");
+  Graph g(n);
+  for (std::size_t i = 0; i < girth; ++i) g.add_edge(i, (i + 1) % girth);
+  // Hang remaining nodes as trees off random existing nodes. Attaching a
+  // leaf never creates a cycle, so the girth stays exactly `girth`.
+  for (std::size_t v = girth; v < n; ++v) g.add_edge(v, rng.index(v));
+  return g;
+}
+
+Graph lollipop_graph(std::size_t clique_size, std::size_t path_length) {
+  if (clique_size < 2) throw std::invalid_argument("lollipop_graph: clique < 2");
+  std::size_t n = clique_size + path_length;
+  Graph g(n);
+  for (std::size_t i = 0; i < clique_size; ++i) {
+    for (std::size_t j = i + 1; j < clique_size; ++j) g.add_edge(i, j);
+  }
+  for (std::size_t i = clique_size; i < n; ++i) g.add_edge(i == clique_size ? 0 : i - 1, i);
+  return g;
+}
+
+Graph random_regular_graph(std::size_t n, std::size_t degree, util::Rng& rng) {
+  if (degree < 2 || degree >= n || (n * degree) % 2 != 0) {
+    throw std::invalid_argument("random_regular_graph: invalid (n, d)");
+  }
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    Graph g(n);
+    // Pairing model: stubs shuffled and matched greedily.
+    std::vector<NodeId> stubs;
+    stubs.reserve(n * degree);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < degree; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(std::span<NodeId>(stubs));
+    bool clean = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      NodeId u = stubs[i], v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) {
+        clean = false;  // tolerate: skip the bad pair (degree d-1 for both)
+        continue;
+      }
+      g.add_edge(u, v);
+    }
+    if (g.connected() && (clean || attempt >= 25)) return g;
+  }
+  throw std::runtime_error("random_regular_graph: failed to build a connected graph");
+}
+
+Graph caveman_graph(std::size_t communities, std::size_t clique_size) {
+  if (communities < 2 || clique_size < 2) {
+    throw std::invalid_argument("caveman_graph: need >= 2 communities of >= 2 nodes");
+  }
+  Graph g(communities * clique_size);
+  for (std::size_t c = 0; c < communities; ++c) {
+    std::size_t base = c * clique_size;
+    for (std::size_t i = 0; i < clique_size; ++i) {
+      for (std::size_t j = i + 1; j < clique_size; ++j) {
+        g.add_edge(base + i, base + j);
+      }
+    }
+    // One bridge to the next community on the ring.
+    std::size_t next = ((c + 1) % communities) * clique_size;
+    g.add_edge(base + clique_size - 1, next);
+  }
+  return g;
+}
+
+Graph balanced_tree(std::size_t branching, std::size_t depth) {
+  if (branching < 1) throw std::invalid_argument("balanced_tree: branching < 1");
+  std::size_t n = 1, layer = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    layer *= branching;
+    n += layer;
+  }
+  Graph g(n);
+  // Children of node v (0-indexed level order): branching*v + 1 .. + branching.
+  for (NodeId v = 1; v < n; ++v) g.add_edge(v, (v - 1) / branching);
+  return g;
+}
+
+}  // namespace qcongest::net

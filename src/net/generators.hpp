@@ -1,0 +1,58 @@
+#pragma once
+
+#include "src/net/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::net {
+
+/// Topology generators for experiments. All generated graphs are connected.
+
+Graph path_graph(std::size_t n);
+Graph cycle_graph(std::size_t n);
+Graph complete_graph(std::size_t n);
+Graph star_graph(std::size_t n);  // node 0 is the center
+
+/// Complete binary tree with n nodes (node 0 the root).
+Graph binary_tree(std::size_t n);
+
+/// rows x cols grid.
+Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube (n = 2^dims nodes).
+Graph hypercube(unsigned dims);
+
+/// The Petersen graph (n = 10, girth 5) — a girth test fixture.
+Graph petersen_graph();
+
+/// Connected Erdos–Renyi-style graph: a random spanning tree plus extra
+/// random edges up to ~`extra_edges` more.
+Graph random_connected_graph(std::size_t n, std::size_t extra_edges, util::Rng& rng);
+
+/// Two star graphs with `left_size` and `right_size` leaves whose centers
+/// are joined by a path with `path_length` edges. The reduction gadget for
+/// the two-party lower bounds (Lemmas 11, 13, 15): diameter ~ path_length+2.
+Graph two_stars_graph(std::size_t left_size, std::size_t right_size,
+                      std::size_t path_length);
+
+/// A cycle of length `girth` with trees hanging off it, total n nodes —
+/// a known-girth fixture for the girth benches.
+Graph cycle_with_trees(std::size_t girth, std::size_t n, util::Rng& rng);
+
+/// A path of `path_length` edges with a clique of `clique_size` nodes at one
+/// end (the "lollipop"); high-degree nodes for heavy-cycle detection tests.
+Graph lollipop_graph(std::size_t clique_size, std::size_t path_length);
+
+/// Random d-regular-ish connected graph (pairing model with retries; a few
+/// vertices may end up with degree d-1 when the pairing stalls). Requires
+/// n * d even, d >= 2, d < n.
+Graph random_regular_graph(std::size_t n, std::size_t degree, util::Rng& rng);
+
+/// "Caveman" community graph: `communities` cliques of `clique_size` nodes
+/// arranged in a ring, adjacent cliques joined by one edge. Low conductance,
+/// small diameter within communities — a realistic clustered topology.
+Graph caveman_graph(std::size_t communities, std::size_t clique_size);
+
+/// Balanced tree of given branching factor and depth.
+Graph balanced_tree(std::size_t branching, std::size_t depth);
+
+}  // namespace qcongest::net

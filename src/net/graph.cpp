@@ -1,0 +1,157 @@
+#include "src/net/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace qcongest::net {
+
+Graph::Graph(std::size_t num_nodes) : adjacency_(num_nodes) {
+  if (num_nodes == 0) throw std::invalid_argument("Graph: zero nodes");
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    throw std::out_of_range("Graph::add_edge: node out of range");
+  }
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (has_edge(u, v)) throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto& adj = neighbors(u);
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  if (v >= num_nodes()) throw std::out_of_range("Graph::neighbors: node out of range");
+  return adjacency_[v];
+}
+
+std::vector<std::size_t> Graph::bfs_distances(NodeId src) const {
+  std::vector<std::size_t> dist(num_nodes(), kUnreachable);
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId u : adjacency_[v]) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d == kUnreachable; });
+}
+
+std::size_t Graph::eccentricity(NodeId v) const {
+  auto dist = bfs_distances(v);
+  std::size_t ecc = 0;
+  for (std::size_t d : dist) {
+    if (d == kUnreachable) {
+      throw std::invalid_argument("eccentricity: graph not connected");
+    }
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::size_t Graph::diameter() const {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, eccentricity(v));
+  return best;
+}
+
+std::size_t Graph::radius() const {
+  std::size_t best = kUnreachable;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::min(best, eccentricity(v));
+  return best;
+}
+
+double Graph::average_eccentricity() const {
+  double total = 0.0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    total += static_cast<double>(eccentricity(v));
+  }
+  return total / static_cast<double>(num_nodes());
+}
+
+std::string Graph::to_dot(
+    const std::map<std::pair<NodeId, NodeId>, std::size_t>* edge_labels) const {
+  std::string out = "graph G {\n";
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    out += "  n" + std::to_string(v) + ";\n";
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId u : adjacency_[v]) {
+      if (u < v) continue;  // emit each undirected edge once
+      out += "  n" + std::to_string(v) + " -- n" + std::to_string(u);
+      if (edge_labels != nullptr) {
+        auto it = edge_labels->find({v, u});
+        if (it != edge_labels->end()) {
+          out += " [label=\"" + std::to_string(it->second) + "\"]";
+        }
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::optional<std::size_t> Graph::girth() const {
+  std::size_t best = kUnreachable;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (auto c = shortest_cycle_through(v, best == kUnreachable ? num_nodes() + 1
+                                               : best)) {
+      best = std::min(best, *c);
+    }
+  }
+  if (best == kUnreachable) return std::nullopt;
+  return best;
+}
+
+std::optional<std::size_t> Graph::shortest_cycle_through(
+    NodeId v, std::size_t max_length, std::optional<NodeId> excluded) const {
+  // BFS from v tracking the first edge of the path; the shortest cycle
+  // through v closes when two branches meet.
+  if (excluded && *excluded == v) {
+    throw std::invalid_argument("shortest_cycle_through: v excluded");
+  }
+  std::vector<std::size_t> dist(num_nodes(), kUnreachable);
+  std::vector<NodeId> branch(num_nodes(), kUnreachable);
+  std::deque<NodeId> queue{v};
+  dist[v] = 0;
+  branch[v] = v;
+  std::size_t best = kUnreachable;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    if (2 * dist[u] >= best || dist[u] > max_length / 2) continue;
+    for (NodeId w : adjacency_[u]) {
+      if (excluded && w == *excluded) continue;
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        branch[w] = (u == v) ? w : branch[u];
+        queue.push_back(w);
+      } else if (dist[w] >= dist[u] && (u == v ? w : branch[u]) != branch[w]) {
+        // Two distinct branches meet: cycle through v of this length.
+        best = std::min(best, dist[u] + dist[w] + 1);
+      }
+    }
+  }
+  if (best == kUnreachable || best > max_length) return std::nullopt;
+  return best;
+}
+
+}  // namespace qcongest::net

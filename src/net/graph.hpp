@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qcongest::net {
+
+using NodeId = std::size_t;
+
+inline constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+/// Undirected simple graph; the communication topology of a CONGEST network.
+///
+/// Besides the adjacency structure used by the engine, this class offers
+/// centralized analysis helpers (BFS, diameter, girth, ...). Those helpers
+/// are *ground truth* for tests and benches — protocols must never call
+/// them; they only see the per-node view the engine exposes.
+class Graph {
+ public:
+  explicit Graph(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}. Self-loops and duplicate edges are
+  /// rejected (CONGEST networks are simple graphs).
+  void add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  // --- Centralized ground-truth analysis (not visible to protocols) -------
+
+  /// Hop distances from src (kUnreachable where disconnected).
+  std::vector<std::size_t> bfs_distances(NodeId src) const;
+
+  bool connected() const;
+
+  /// max_u d(v, u); requires a connected graph.
+  std::size_t eccentricity(NodeId v) const;
+
+  std::size_t diameter() const;
+  std::size_t radius() const;
+  double average_eccentricity() const;
+
+  /// Length of the shortest cycle, or nullopt for forests. O(n m) BFS-based.
+  std::optional<std::size_t> girth() const;
+
+  /// GraphViz DOT rendering (undirected). Optional per-edge labels keyed by
+  /// the (min, max) endpoint pair — e.g. message counts from a Trace.
+  std::string to_dot(
+      const std::map<std::pair<NodeId, NodeId>, std::size_t>* edge_labels =
+          nullptr) const;
+
+  /// BFS-meeting cycle candidate through vertex v, capped at max_length
+  /// (nullopt if none). Every returned value is the length of a closed walk
+  /// containing a genuine cycle of at most that length, and the minimum
+  /// over all v equals the girth. With `excluded` set, the BFS runs on
+  /// G minus that vertex (the second stage of [CFGGLO20]'s heavy-cycle
+  /// procedure: BFS from the neighbors of s on G \ {s}).
+  std::optional<std::size_t> shortest_cycle_through(
+      NodeId v, std::size_t max_length,
+      std::optional<NodeId> excluded = std::nullopt) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace qcongest::net

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/graph.hpp"
+
+namespace qcongest::net {
+
+/// One CONGEST message word.
+///
+/// The CONGEST model allows O(log n) bits per edge per round. We account in
+/// *words*: one word is Theta(log n) bits — enough for a constant number of
+/// identifiers / values — and the engine enforces a per-edge per-direction
+/// budget of `bandwidth` words per round (1 by default). Quantum CONGEST
+/// words carry Theta(log n) qubits instead; the `quantum` flag only affects
+/// the statistics (and honesty of the model), not the scheduling.
+struct Word {
+  std::int32_t tag = 0;   // protocol-level multiplexing tag
+  std::int64_t a = 0;     // first payload field (e.g. an id or a value)
+  std::int64_t b = 0;     // second payload field
+  bool quantum = false;
+
+  friend bool operator==(const Word&, const Word&) = default;
+};
+
+/// A word in flight, annotated with its sender.
+struct Message {
+  NodeId from = 0;
+  Word word;
+};
+
+}  // namespace qcongest::net

@@ -1,0 +1,232 @@
+#include "src/net/multi_bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace qcongest::net {
+
+namespace {
+
+constexpr std::int32_t kTagBfsDist = 20;
+
+/// Relaxation-based multi-source BFS. Each node keeps its best known
+/// distance to every source and forwards improvements; outbound tokens are
+/// prioritized by distance (smaller first), which yields the O(|S| + D)
+/// schedule of [PRT12; HW12]. Late improvements re-trigger forwarding, so
+/// the final distances are exact regardless of queueing delays.
+class MultiBfsProgram final : public NodeProgram {
+ public:
+  MultiBfsProgram(const std::vector<NodeId>* sources, std::size_t depth_limit)
+      : sources_(sources), depth_limit_(depth_limit) {}
+
+  const std::vector<std::size_t>& dist() const { return dist_; }
+  const std::vector<NodeId>& parent() const { return parent_; }
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    if (ctx.round() == 0) {
+      dist_.assign(sources_->size(), kUnreachable);
+      parent_.assign(sources_->size(), kUnreachable);
+      outbox_.resize(ctx.neighbors().size());
+      for (std::size_t i = 0; i < sources_->size(); ++i) {
+        if ((*sources_)[i] == ctx.id()) relax(ctx, i, 0, kUnreachable);
+      }
+    }
+    for (const Message& m : inbox) {
+      if (m.word.tag != kTagBfsDist) continue;
+      relax(ctx, static_cast<std::size_t>(m.word.a),
+            static_cast<std::size_t>(m.word.b), m.from);
+    }
+    // Send up to B queued tokens per neighbor, smallest distance first.
+    // Stale entries (already improved upon) are skipped for free.
+    for (std::size_t ni = 0; ni < ctx.neighbors().size(); ++ni) {
+      auto& queue = outbox_[ni];
+      std::size_t budget = ctx.bandwidth();
+      while (!queue.empty() && budget > 0) {
+        auto it = queue.begin();
+        auto [d, src] = it->first;
+        queue.erase(it);
+        if (d != dist_[src]) continue;  // superseded by a later relaxation
+        ctx.send(ctx.neighbors()[ni],
+                 Word{kTagBfsDist, static_cast<std::int64_t>(src),
+                      static_cast<std::int64_t>(d + 1), false});
+        --budget;
+      }
+    }
+  }
+
+ private:
+  void relax(Context& ctx, std::size_t src, std::size_t d, NodeId from) {
+    if (src >= dist_.size()) throw std::logic_error("multi_bfs: bad source index");
+    if (d >= dist_[src]) return;
+    dist_[src] = d;
+    parent_[src] = from;
+    if (d >= depth_limit_) return;  // do not propagate past the depth limit
+    for (std::size_t ni = 0; ni < ctx.neighbors().size(); ++ni) {
+      outbox_[ni].emplace(std::pair{d, src}, 0);
+    }
+  }
+
+  const std::vector<NodeId>* sources_;
+  std::size_t depth_limit_;
+  std::vector<std::size_t> dist_;
+  std::vector<NodeId> parent_;
+  // Per-neighbor priority queue keyed by (distance, source).
+  std::vector<std::map<std::pair<std::size_t, std::size_t>, int>> outbox_;
+};
+
+constexpr std::int32_t kTagEchoParent = 21;
+constexpr std::int32_t kTagEchoDone = 22;
+constexpr std::int32_t kTagEchoMax = 23;
+
+/// The echo phase of Lemma 20: children register with their BFS parents
+/// (PARENT per source, then one DONE per edge); once a node has heard DONE
+/// from every neighbor and the echoes of all its registered children for a
+/// source, it forwards the subtree's distance maximum to its own parent.
+/// Sources collect their eccentricities.
+class EccEchoProgram final : public NodeProgram {
+ public:
+  EccEchoProgram(const std::vector<NodeId>* sources,
+                 const std::vector<std::size_t>* dist,
+                 const std::vector<NodeId>* parent)
+      : sources_(sources), dist_(dist), parent_(parent) {}
+
+  const std::vector<std::size_t>& eccentricity() const { return ecc_; }
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    const std::size_t slots = sources_->size();
+    const auto& adj = ctx.neighbors();
+    if (ctx.round() == 0) {
+      ecc_.assign(slots, 0);
+      expected_.assign(slots, 0);
+      echoed_.assign(slots, false);
+      subtree_max_.assign(slots, 0);
+      outbox_.resize(adj.size());
+      for (std::size_t i = 0; i < slots; ++i) {
+        subtree_max_[i] = (*dist_)[i] == kUnreachable ? 0 : (*dist_)[i];
+        if ((*parent_)[i] != kUnreachable) {
+          queue_to(ctx, (*parent_)[i],
+                   Word{kTagEchoParent, static_cast<std::int64_t>(i), 0, false});
+        }
+      }
+      for (std::size_t ni = 0; ni < adj.size(); ++ni) {
+        outbox_[ni].push_back(Word{kTagEchoDone, 0, 0, false});
+      }
+    }
+    for (const Message& m : inbox) {
+      switch (m.word.tag) {
+        case kTagEchoParent:
+          ++expected_[static_cast<std::size_t>(m.word.a)];
+          break;
+        case kTagEchoDone:
+          ++dones_;
+          break;
+        case kTagEchoMax: {
+          auto slot = static_cast<std::size_t>(m.word.a);
+          --expected_[slot];
+          subtree_max_[slot] = std::max(
+              subtree_max_[slot], static_cast<std::size_t>(m.word.b));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (dones_ == adj.size()) {
+      for (std::size_t i = 0; i < slots; ++i) {
+        if (echoed_[i] || expected_[i] != 0) continue;
+        echoed_[i] = true;
+        if ((*parent_)[i] != kUnreachable) {
+          queue_to(ctx, (*parent_)[i],
+                   Word{kTagEchoMax, static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(subtree_max_[i]), false});
+        } else if ((*sources_)[i] == ctx.id()) {
+          ecc_[i] = subtree_max_[i];
+        }
+      }
+    }
+    for (std::size_t ni = 0; ni < outbox_.size(); ++ni) {
+      auto& queue = outbox_[ni];
+      for (std::size_t budget = ctx.bandwidth(); budget > 0 && !queue.empty();
+           --budget) {
+        ctx.send(adj[ni], queue.front());
+        queue.pop_front();
+      }
+    }
+  }
+
+ private:
+  void queue_to(Context& ctx, NodeId target, Word word) {
+    const auto& adj = ctx.neighbors();
+    auto it = std::find(adj.begin(), adj.end(), target);
+    if (it == adj.end()) throw std::logic_error("ecc echo: parent not a neighbor");
+    outbox_[static_cast<std::size_t>(it - adj.begin())].push_back(word);
+  }
+
+  const std::vector<NodeId>* sources_;
+  const std::vector<std::size_t>* dist_;
+  const std::vector<NodeId>* parent_;
+  std::vector<std::size_t> ecc_;
+  std::vector<std::size_t> expected_;   // registered children minus echoes seen
+  std::vector<bool> echoed_;
+  std::vector<std::size_t> subtree_max_;
+  std::size_t dones_ = 0;
+  std::vector<std::deque<Word>> outbox_;
+};
+
+}  // namespace
+
+MultiBfsResult multi_source_bfs(Engine& engine, const std::vector<NodeId>& sources,
+                                std::size_t depth_limit) {
+  const std::size_t n = engine.graph().num_nodes();
+  if (sources.empty()) throw std::invalid_argument("multi_source_bfs: no sources");
+  for (NodeId s : sources) {
+    if (s >= n) throw std::invalid_argument("multi_source_bfs: source out of range");
+  }
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(std::make_unique<MultiBfsProgram>(&sources, depth_limit));
+  }
+  MultiBfsResult result;
+  std::size_t limit = 8 * (sources.size() + n) + 32;
+  result.cost = engine.run(programs, limit);
+  if (!result.cost.completed) throw std::logic_error("multi_source_bfs: did not finish");
+  result.dist.reserve(n);
+  result.parent.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.dist.push_back(static_cast<MultiBfsProgram&>(*programs[v]).dist());
+    result.parent.push_back(static_cast<MultiBfsProgram&>(*programs[v]).parent());
+  }
+  return result;
+}
+
+EccentricityEchoResult multi_source_eccentricities(Engine& engine,
+                                                   const std::vector<NodeId>& sources,
+                                                   std::size_t depth_limit) {
+  const std::size_t n = engine.graph().num_nodes();
+  EccentricityEchoResult result;
+  result.bfs = multi_source_bfs(engine, sources, depth_limit);
+
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(std::make_unique<EccEchoProgram>(
+        &sources, &result.bfs.dist[v], &result.bfs.parent[v]));
+  }
+  std::size_t limit = 8 * (sources.size() + n) + 64;
+  result.echo_cost = engine.run(programs, limit);
+  if (!result.echo_cost.completed) {
+    throw std::logic_error("multi_source_eccentricities: echo did not finish");
+  }
+  result.eccentricity.assign(sources.size(), 0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    result.eccentricity[i] =
+        static_cast<EccEchoProgram&>(*programs[sources[i]]).eccentricity()[i];
+  }
+  return result;
+}
+
+}  // namespace qcongest::net

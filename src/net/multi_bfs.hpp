@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "src/net/engine.hpp"
+
+namespace qcongest::net {
+
+/// Result of a multi-source BFS: hop distances from every source.
+struct MultiBfsResult {
+  /// dist[v][i] = d(v, sources[i]), kUnreachable beyond the depth limit.
+  std::vector<std::vector<std::size_t>> dist;
+  /// parent[v][i] = the neighbor that delivered v's final distance for
+  /// source i (kUnreachable at the source itself and at unreached nodes).
+  /// The parent pointers form a shortest-path forest rooted at each source.
+  std::vector<std::vector<NodeId>> parent;
+  RunResult cost;
+};
+
+/// Runs BFS from all `sources` simultaneously with per-edge congestion
+/// control (at most `bandwidth` distance tokens per edge per round, smaller
+/// distances first). Completes in O(|S| + D) rounds [PRT12; HW12] — the
+/// alpha(p) subroutine of Lemma 20 / Lemma 21.
+///
+/// `depth_limit` truncates each BFS at that hop distance (use
+/// kUnreachable-like large values, e.g. n, for unlimited).
+MultiBfsResult multi_source_bfs(Engine& engine, const std::vector<NodeId>& sources,
+                                std::size_t depth_limit);
+
+/// The full Lemma 20 ([PRT12; HW12]): each source *learns its own
+/// eccentricity* in O(|S| + D) rounds. Runs multi_source_bfs and then a
+/// per-source max-echo over each BFS tree (children register with their
+/// parents, DONE markers delimit the registration, echoes aggregate the
+/// subtree maxima upward) — all through per-edge word queues.
+struct EccentricityEchoResult {
+  /// eccentricity[i]: max_v d(v, sources[i]) over reached nodes, as learned
+  /// *at* sources[i].
+  std::vector<std::size_t> eccentricity;
+  MultiBfsResult bfs;
+  net::RunResult echo_cost;
+};
+EccentricityEchoResult multi_source_eccentricities(Engine& engine,
+                                                   const std::vector<NodeId>& sources,
+                                                   std::size_t depth_limit);
+
+}  // namespace qcongest::net

@@ -1,0 +1,209 @@
+#include "src/net/pipeline.hpp"
+
+#include <deque>
+#include <memory>
+#include <stdexcept>
+
+namespace qcongest::net {
+
+namespace {
+
+constexpr std::int32_t kTagDown = 10;
+constexpr std::int32_t kTagConv = 11;
+constexpr std::int32_t kTagConvPad = 12;
+
+/// Streams the root's payload down the tree. In pipelined mode a word is
+/// forwarded the round after it arrives; in unpipelined mode a node waits
+/// for the full payload first.
+class DowncastProgram final : public NodeProgram {
+ public:
+  DowncastProgram(const BfsTree& tree, const std::vector<std::int64_t>* payload,
+                  bool quantum, bool pipelined)
+      : tree_(&tree), payload_(payload), quantum_(quantum), pipelined_(pipelined) {}
+
+  const std::vector<std::int64_t>& received() const { return received_; }
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    const NodeId v = ctx.id();
+    if (v == tree_->root && received_.empty() && ctx.round() == 0) {
+      received_ = *payload_;  // the root "receives" its own payload at once
+    }
+    for (const Message& m : inbox) {
+      if (m.word.tag == kTagDown) {
+        if (static_cast<std::size_t>(m.word.a) != received_.size()) {
+          throw std::logic_error("downcast: word out of order");
+        }
+        received_.push_back(m.word.b);
+      }
+    }
+    // Forward the next word(s) to every child once eligible — up to B words
+    // per edge per round in the CONGEST(B) model.
+    for (std::size_t budget = ctx.bandwidth(); budget > 0; --budget) {
+      bool eligible = pipelined_ ? next_to_send_ < received_.size()
+                                 : received_.size() == payload_->size();
+      if (!eligible || next_to_send_ >= received_.size()) break;
+      for (NodeId c : tree_->children[v]) {
+        ctx.send(c, Word{kTagDown, static_cast<std::int64_t>(next_to_send_),
+                         received_[next_to_send_], quantum_});
+      }
+      ++next_to_send_;
+    }
+  }
+
+ private:
+  const BfsTree* tree_;
+  const std::vector<std::int64_t>* payload_;
+  bool quantum_;
+  bool pipelined_;
+  std::vector<std::int64_t> received_;
+  std::size_t next_to_send_ = 0;
+};
+
+DowncastResult run_downcast(Engine& engine, const BfsTree& tree,
+                            const std::vector<std::int64_t>& payload, bool quantum,
+                            bool pipelined) {
+  const std::size_t n = engine.graph().num_nodes();
+  if (payload.empty()) throw std::invalid_argument("downcast: empty payload");
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(
+        std::make_unique<DowncastProgram>(tree, &payload, quantum, pipelined));
+  }
+  DowncastResult result;
+  std::size_t limit = (tree.height + 2) * (payload.size() + 2) + 16;
+  result.cost = engine.run(programs, limit);
+  if (!result.cost.completed) throw std::logic_error("downcast: did not complete");
+  result.received.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& p = static_cast<DowncastProgram&>(*programs[v]);
+    if (p.received().size() != payload.size()) {
+      throw std::logic_error("downcast: node missed words");
+    }
+    result.received.push_back(p.received());
+  }
+  return result;
+}
+
+/// Aggregating convergecast. Each node owns one value per item; once all
+/// children have delivered their (full, value_words-wide) aggregate for item
+/// i, the node combines and enqueues item i for its parent. One word per
+/// round flows on each tree edge; items are pipelined, chunks of one item
+/// are not combinable until complete.
+class ConvergecastProgram final : public NodeProgram {
+ public:
+  ConvergecastProgram(const BfsTree& tree, std::vector<std::int64_t> own,
+                      std::size_t value_words, const CombineOp* op, bool quantum)
+      : tree_(&tree),
+        acc_(std::move(own)),
+        value_words_(value_words),
+        op_(op),
+        quantum_(quantum),
+        children_done_(acc_.size(), 0),
+        chunks_seen_(acc_.size()) {}
+
+  const std::vector<std::int64_t>& totals() const { return acc_; }
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    const NodeId v = ctx.id();
+    const std::size_t num_children = tree_->children[v].size();
+
+    for (const Message& m : inbox) {
+      if (m.word.tag == kTagConv) {
+        auto item = static_cast<std::size_t>(m.word.a);
+        pending_value_[m.from] = m.word.b;
+        note_chunk(m.from, item);
+      } else if (m.word.tag == kTagConvPad) {
+        note_chunk(m.from, static_cast<std::size_t>(m.word.a));
+      }
+    }
+
+    // Enqueue (in item order) every item whose children contributions are
+    // complete. Leaves enqueue everything in round 0.
+    while (next_ready_ < acc_.size() && children_done_[next_ready_] == num_children) {
+      if (v != tree_->root) {
+        outbox_.push_back(Word{kTagConv, static_cast<std::int64_t>(next_ready_),
+                               acc_[next_ready_], quantum_});
+        for (std::size_t c = 1; c < value_words_; ++c) {
+          outbox_.push_back(Word{kTagConvPad, static_cast<std::int64_t>(next_ready_),
+                                 static_cast<std::int64_t>(c), quantum_});
+        }
+      }
+      ++next_ready_;
+    }
+
+    for (std::size_t budget = ctx.bandwidth(); budget > 0 && !outbox_.empty();
+         --budget) {
+      ctx.send(tree_->parent[v], outbox_.front());
+      outbox_.pop_front();
+    }
+  }
+
+ private:
+  void note_chunk(NodeId child, std::size_t item) {
+    if (item >= acc_.size()) throw std::logic_error("convergecast: bad item");
+    std::size_t seen = ++chunks_seen_[item][child];
+    if (seen == value_words_) {
+      acc_[item] = (*op_)(acc_[item], pending_value_[child]);
+      ++children_done_[item];
+    }
+  }
+
+  const BfsTree* tree_;
+  std::vector<std::int64_t> acc_;
+  std::size_t value_words_;
+  const CombineOp* op_;
+  bool quantum_;
+  std::vector<std::size_t> children_done_;
+  std::vector<std::unordered_map<NodeId, std::size_t>> chunks_seen_;
+  std::unordered_map<NodeId, std::int64_t> pending_value_;
+  std::size_t next_ready_ = 0;
+  std::deque<Word> outbox_;
+};
+
+}  // namespace
+
+DowncastResult pipelined_downcast(Engine& engine, const BfsTree& tree,
+                                  const std::vector<std::int64_t>& payload,
+                                  bool quantum) {
+  return run_downcast(engine, tree, payload, quantum, /*pipelined=*/true);
+}
+
+DowncastResult unpipelined_downcast(Engine& engine, const BfsTree& tree,
+                                    const std::vector<std::int64_t>& payload,
+                                    bool quantum) {
+  return run_downcast(engine, tree, payload, quantum, /*pipelined=*/false);
+}
+
+ConvergecastResult pipelined_convergecast(
+    Engine& engine, const BfsTree& tree,
+    const std::vector<std::vector<std::int64_t>>& values, std::size_t value_words,
+    const CombineOp& op, bool quantum) {
+  const std::size_t n = engine.graph().num_nodes();
+  if (values.size() != n) {
+    throw std::invalid_argument("convergecast: one value vector per node");
+  }
+  if (value_words == 0) throw std::invalid_argument("convergecast: value_words 0");
+  const std::size_t items = values[0].size();
+  for (const auto& v : values) {
+    if (v.size() != items) {
+      throw std::invalid_argument("convergecast: item count mismatch");
+    }
+  }
+  if (items == 0) throw std::invalid_argument("convergecast: no items");
+
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(std::make_unique<ConvergecastProgram>(tree, values[v],
+                                                             value_words, &op, quantum));
+  }
+  ConvergecastResult result;
+  std::size_t limit = (tree.height + items + 2) * (value_words + 1) * 2 + 16;
+  result.cost = engine.run(programs, limit);
+  if (!result.cost.completed) throw std::logic_error("convergecast: did not complete");
+  result.totals = static_cast<ConvergecastProgram&>(*programs[tree.root]).totals();
+  return result;
+}
+
+}  // namespace qcongest::net

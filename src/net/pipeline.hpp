@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/net/bfs.hpp"
+#include "src/net/engine.hpp"
+
+namespace qcongest::net {
+
+/// Result of a pipelined downcast: every node holds a copy of the root's
+/// word sequence.
+struct DowncastResult {
+  std::vector<std::vector<std::int64_t>> received;  // [node][word index]
+  RunResult cost;
+};
+
+/// Lemma 7's communication pattern: the root streams `payload` down the BFS
+/// tree, one word per edge per round, fully pipelined — a node forwards word
+/// i the round after receiving it, while word i+1 is still in flight.
+/// Rounds: height + |payload| - 1 (vs height * |payload| unpipelined).
+/// `quantum` marks the words as qubit-words (Quantum CONGEST accounting).
+DowncastResult pipelined_downcast(Engine& engine, const BfsTree& tree,
+                                  const std::vector<std::int64_t>& payload,
+                                  bool quantum);
+
+/// Ablation baseline: the naive unpipelined downcast, where a node only
+/// starts forwarding after receiving the *entire* payload. Rounds:
+/// height * |payload|. Used by the Lemma 7 bench to show the gap.
+DowncastResult unpipelined_downcast(Engine& engine, const BfsTree& tree,
+                                    const std::vector<std::int64_t>& payload,
+                                    bool quantum);
+
+/// Commutative-semigroup combine operation (Theorem 8's oplus).
+using CombineOp = std::function<std::int64_t(std::int64_t, std::int64_t)>;
+
+/// Result of a pipelined aggregating convergecast.
+struct ConvergecastResult {
+  std::vector<std::int64_t> totals;  // [item] — oplus over all nodes, at root
+  RunResult cost;
+};
+
+/// Theorem 8's aggregation phase: every node holds `items` values (one per
+/// parallel query); the tree computes the element-wise oplus of all nodes'
+/// vectors at the root. Each value is `value_words` words wide and a node
+/// must receive a child's *full* value before combining (no intra-value
+/// streaming — the paper's "(D + p) * ceil(q / log n)" term), but distinct
+/// items are pipelined. `quantum` marks the words as qubit-words.
+ConvergecastResult pipelined_convergecast(Engine& engine, const BfsTree& tree,
+                                          const std::vector<std::vector<std::int64_t>>& values,
+                                          std::size_t value_words, const CombineOp& op,
+                                          bool quantum);
+
+}  // namespace qcongest::net

@@ -1,0 +1,115 @@
+#include "src/quantum/arithmetic.hpp"
+
+#include <stdexcept>
+
+namespace qcongest::quantum {
+
+namespace {
+
+struct Range {
+  unsigned offset;
+  unsigned width;
+};
+
+void check_registers(unsigned num_qubits, std::initializer_list<Range> ranges) {
+  for (const Range& r : ranges) {
+    if (r.width == 0) throw std::invalid_argument("arithmetic: zero-width register");
+    if (r.offset + r.width > num_qubits) {
+      throw std::invalid_argument("arithmetic: register out of range");
+    }
+  }
+  // Pairwise disjointness.
+  for (auto a = ranges.begin(); a != ranges.end(); ++a) {
+    for (auto b = std::next(a); b != ranges.end(); ++b) {
+      if (a->offset < b->offset + b->width && b->offset < a->offset + a->width) {
+        throw std::invalid_argument("arithmetic: overlapping registers");
+      }
+    }
+  }
+}
+
+/// MAJ(c, b, a): computes the carry majority in place (CDKM building block).
+void maj(Circuit& circuit, unsigned c, unsigned b, unsigned a) {
+  circuit.cnot(a, b);
+  circuit.cnot(a, c);
+  circuit.ccx(c, b, a);
+}
+
+/// UMA(c, b, a): undoes MAJ while writing the sum bit into b.
+void uma(Circuit& circuit, unsigned c, unsigned b, unsigned a) {
+  circuit.ccx(c, b, a);
+  circuit.cnot(a, c);
+  circuit.cnot(c, b);
+}
+
+/// The MAJ cascade of the CDKM adder; after it, a[width-1] holds the
+/// carry-out of a + b.
+Circuit maj_chain(unsigned num_qubits, unsigned a_offset, unsigned b_offset,
+                  unsigned ancilla, unsigned width) {
+  Circuit circuit(num_qubits);
+  maj(circuit, ancilla, b_offset, a_offset);
+  for (unsigned i = 1; i < width; ++i) {
+    maj(circuit, a_offset + i - 1, b_offset + i, a_offset + i);
+  }
+  return circuit;
+}
+
+}  // namespace
+
+Circuit adder_circuit(unsigned num_qubits, unsigned a_offset, unsigned b_offset,
+                      unsigned ancilla, unsigned width) {
+  check_registers(num_qubits, {{a_offset, width}, {b_offset, width}, {ancilla, 1}});
+
+  Circuit circuit = maj_chain(num_qubits, a_offset, b_offset, ancilla, width);
+  for (unsigned i = width; i-- > 1;) {
+    uma(circuit, a_offset + i - 1, b_offset + i, a_offset + i);
+  }
+  uma(circuit, ancilla, b_offset, a_offset);
+  return circuit;
+}
+
+Circuit carry_circuit(unsigned num_qubits, unsigned a_offset, unsigned b_offset,
+                      unsigned ancilla, unsigned flag, unsigned width) {
+  check_registers(num_qubits,
+                  {{a_offset, width}, {b_offset, width}, {ancilla, 1}, {flag, 1}});
+
+  Circuit chain = maj_chain(num_qubits, a_offset, b_offset, ancilla, width);
+  Circuit circuit(num_qubits);
+  circuit.append(chain);
+  circuit.cnot(a_offset + width - 1, flag);  // the carry-out lives here
+  circuit.append(chain.inverse());
+  return circuit;
+}
+
+Circuit less_than_constant_circuit(unsigned num_qubits, unsigned x_offset,
+                                   unsigned work_offset, unsigned ancilla,
+                                   unsigned flag, unsigned width,
+                                   std::uint64_t threshold) {
+  check_registers(num_qubits,
+                  {{x_offset, width}, {work_offset, width}, {ancilla, 1}, {flag, 1}});
+  std::uint64_t modulus = std::uint64_t{1} << width;
+  if (threshold > modulus) {
+    throw std::invalid_argument("less_than_constant: threshold > 2^width");
+  }
+
+  Circuit circuit(num_qubits);
+  if (threshold == 0) return circuit;  // x < 0 never holds
+  if (threshold == modulus) {          // x < 2^width always holds
+    circuit.x(flag);
+    return circuit;
+  }
+  // x >= T  <=>  x + (2^width - T) carries out; flag ^= carry, then invert.
+  std::uint64_t complement = modulus - threshold;
+  for (unsigned b = 0; b < width; ++b) {
+    if ((complement >> b) & 1) circuit.x(work_offset + b);
+  }
+  circuit.append(
+      carry_circuit(num_qubits, x_offset, work_offset, ancilla, flag, width));
+  for (unsigned b = 0; b < width; ++b) {
+    if ((complement >> b) & 1) circuit.x(work_offset + b);
+  }
+  circuit.x(flag);
+  return circuit;
+}
+
+}  // namespace qcongest::quantum

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/quantum/circuit.hpp"
+
+namespace qcongest::quantum {
+
+/// Reversible arithmetic circuits (Cuccaro–Draper–Kutin–Moulton ripple-carry
+/// construction). These make the library's oracles fully gate-level where
+/// the algorithms need *computed* predicates — e.g. the threshold
+/// comparisons of Dürr–Høyer minimum finding (Lemma 3), validated at toy
+/// scale against the distribution-exact implementation used by the
+/// framework.
+
+/// In-place ripple-carry adder: |a>|b>|0_anc> -> |a>|a + b mod 2^width>|0>.
+/// Registers: a at [a_offset, a_offset + width), b likewise; `ancilla` is a
+/// single scratch qubit (returned to |0>). All indices must be disjoint.
+Circuit adder_circuit(unsigned num_qubits, unsigned a_offset, unsigned b_offset,
+                      unsigned ancilla, unsigned width);
+
+/// Carry extractor: flips `flag` iff a + b >= 2^width (the carry-out),
+/// leaving a, b, and the ancilla unchanged (MAJ chain, CNOT, inverse chain).
+Circuit carry_circuit(unsigned num_qubits, unsigned a_offset, unsigned b_offset,
+                      unsigned ancilla, unsigned flag, unsigned width);
+
+/// Comparator against a classical constant: flips `flag` iff the value in
+/// register x is strictly less than `threshold` (0 <= threshold <= 2^width).
+/// `work` is a width-qubit scratch register (returned to |0>); `ancilla` a
+/// single scratch qubit.
+Circuit less_than_constant_circuit(unsigned num_qubits, unsigned x_offset,
+                                   unsigned work_offset, unsigned ancilla,
+                                   unsigned flag, unsigned width,
+                                   std::uint64_t threshold);
+
+}  // namespace qcongest::quantum

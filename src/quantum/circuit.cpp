@@ -1,0 +1,97 @@
+#include "src/quantum/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qcongest::quantum {
+
+Circuit& Circuit::gate(const Gate1& g, unsigned target, std::string name) {
+  if (target >= num_qubits_) throw std::invalid_argument("Circuit: target out of range");
+  ops_.push_back(Op{g, {}, target, std::move(name)});
+  return *this;
+}
+
+Circuit& Circuit::controlled(const Gate1& g, std::vector<unsigned> controls,
+                             unsigned target, std::string name) {
+  if (target >= num_qubits_) throw std::invalid_argument("Circuit: target out of range");
+  for (unsigned c : controls) {
+    if (c >= num_qubits_) throw std::invalid_argument("Circuit: control out of range");
+    if (c == target) throw std::invalid_argument("Circuit: control equals target");
+  }
+  ops_.push_back(Op{g, std::move(controls), target, std::move(name)});
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  if (other.num_qubits_ != num_qubits_) {
+    throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  }
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(num_qubits_);
+  inv.ops_.reserve(ops_.size());
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    inv.ops_.push_back(Op{gates::dagger(it->g), it->controls, it->target,
+                          it->name + "+"});
+  }
+  return inv;
+}
+
+Circuit Circuit::controlled_on(unsigned control) const {
+  if (control >= num_qubits_) {
+    throw std::invalid_argument("controlled_on: control out of range");
+  }
+  Circuit out(num_qubits_);
+  out.ops_.reserve(ops_.size());
+  for (const Op& op : ops_) {
+    if (op.target == control ||
+        std::find(op.controls.begin(), op.controls.end(), control) !=
+            op.controls.end()) {
+      throw std::invalid_argument("controlled_on: control overlaps circuit qubits");
+    }
+    Op c = op;
+    c.controls.push_back(control);
+    c.name = "c-" + c.name;
+    out.ops_.push_back(std::move(c));
+  }
+  return out;
+}
+
+Circuit Circuit::embedded(unsigned new_width, unsigned offset) const {
+  if (offset + num_qubits_ > new_width) {
+    throw std::invalid_argument("embedded: circuit does not fit");
+  }
+  Circuit out(new_width);
+  out.ops_.reserve(ops_.size());
+  for (const Op& op : ops_) {
+    Op shifted = op;
+    shifted.target += offset;
+    for (unsigned& c : shifted.controls) c += offset;
+    out.ops_.push_back(std::move(shifted));
+  }
+  return out;
+}
+
+void Circuit::apply_to(Statevector& state) const {
+  if (state.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Circuit::apply_to: qubit count mismatch");
+  }
+  for (const Op& op : ops_) {
+    if (op.controls.empty()) {
+      state.apply(op.g, op.target);
+    } else {
+      state.apply_controlled(op.g, op.controls, op.target);
+    }
+  }
+}
+
+Statevector Circuit::simulate() const {
+  Statevector state(num_qubits_);
+  apply_to(state);
+  return state;
+}
+
+}  // namespace qcongest::quantum

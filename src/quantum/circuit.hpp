@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/quantum/gates.hpp"
+#include "src/quantum/statevector.hpp"
+
+namespace qcongest::quantum {
+
+/// A straight-line quantum circuit: an ordered list of (possibly controlled)
+/// single-qubit gates. Supports composition and inversion, which is what the
+/// framework's "uncompute" steps need.
+class Circuit {
+ public:
+  explicit Circuit(unsigned num_qubits) : num_qubits_(num_qubits) {}
+
+  unsigned num_qubits() const { return num_qubits_; }
+  std::size_t size() const { return ops_.size(); }
+
+  Circuit& gate(const Gate1& g, unsigned target, std::string name = "u");
+  Circuit& controlled(const Gate1& g, std::vector<unsigned> controls, unsigned target,
+                      std::string name = "cu");
+
+  Circuit& h(unsigned q) { return gate(gates::hadamard(), q, "h"); }
+  Circuit& x(unsigned q) { return gate(gates::pauli_x(), q, "x"); }
+  Circuit& y(unsigned q) { return gate(gates::pauli_y(), q, "y"); }
+  Circuit& z(unsigned q) { return gate(gates::pauli_z(), q, "z"); }
+  Circuit& rz(unsigned q, double theta) { return gate(gates::rz(theta), q, "rz"); }
+  Circuit& ry(unsigned q, double theta) { return gate(gates::ry(theta), q, "ry"); }
+  Circuit& phase(unsigned q, double phi) { return gate(gates::phase(phi), q, "p"); }
+  Circuit& cnot(unsigned c, unsigned t) {
+    return controlled(gates::pauli_x(), {c}, t, "cx");
+  }
+  Circuit& cz(unsigned c, unsigned t) { return controlled(gates::pauli_z(), {c}, t, "cz"); }
+  Circuit& cphase(unsigned c, unsigned t, double phi) {
+    return controlled(gates::phase(phi), {c}, t, "cp");
+  }
+  Circuit& ccx(unsigned c1, unsigned c2, unsigned t) {
+    return controlled(gates::pauli_x(), {c1, c2}, t, "ccx");
+  }
+  Circuit& swap(unsigned a, unsigned b) {
+    cnot(a, b);
+    cnot(b, a);
+    return cnot(a, b);
+  }
+
+  /// Append all operations of `other` (must act on the same qubit count).
+  Circuit& append(const Circuit& other);
+
+  /// The adjoint circuit: gates reversed and conjugate-transposed.
+  Circuit inverse() const;
+
+  /// The circuit with `control` added as an extra control to every
+  /// operation (controlled-(AB) = controlled-A controlled-B). `control`
+  /// must not appear in any existing operation.
+  Circuit controlled_on(unsigned control) const;
+
+  /// The same circuit re-indexed into a wider register: qubit q becomes
+  /// qubit q + offset of a `new_width`-qubit circuit.
+  Circuit embedded(unsigned new_width, unsigned offset) const;
+
+  void apply_to(Statevector& state) const;
+
+  /// Run on |0...0> and return the resulting state.
+  Statevector simulate() const;
+
+ private:
+  struct Op {
+    Gate1 g;
+    std::vector<unsigned> controls;
+    unsigned target;
+    std::string name;
+  };
+
+  unsigned num_qubits_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace qcongest::quantum

@@ -1,0 +1,41 @@
+#include "src/quantum/oracle.hpp"
+
+namespace qcongest::quantum {
+
+namespace {
+
+std::uint64_t extract(BasisState b, unsigned first, unsigned width) {
+  return (b >> first) & ((std::uint64_t{1} << width) - 1);
+}
+
+}  // namespace
+
+void apply_bit_oracle(Statevector& state, unsigned index_first, unsigned index_width,
+                      unsigned target, const std::function<bool(std::uint64_t)>& f) {
+  BasisState tmask = BasisState{1} << target;
+  state.apply_permutation([&](BasisState b) {
+    std::uint64_t i = extract(b, index_first, index_width);
+    return f(i) ? (b ^ tmask) : b;
+  });
+}
+
+void apply_phase_oracle(Statevector& state, unsigned index_first, unsigned index_width,
+                        const std::function<bool(std::uint64_t)>& f) {
+  state.apply_diagonal([&](BasisState b) {
+    std::uint64_t i = extract(b, index_first, index_width);
+    return f(i) ? Amplitude{-1, 0} : Amplitude{1, 0};
+  });
+}
+
+void apply_value_oracle(Statevector& state, unsigned index_first, unsigned index_width,
+                        unsigned value_first, unsigned value_width,
+                        const std::function<std::uint64_t(std::uint64_t)>& x) {
+  std::uint64_t value_mask = (std::uint64_t{1} << value_width) - 1;
+  state.apply_permutation([&](BasisState b) {
+    std::uint64_t i = extract(b, index_first, index_width);
+    std::uint64_t xi = x(i) & value_mask;
+    return b ^ (xi << value_first);
+  });
+}
+
+}  // namespace qcongest::quantum

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+
+#include "src/quantum/statevector.hpp"
+
+namespace qcongest::quantum {
+
+/// Standard quantum oracles acting on a statevector. The index register is
+/// the qubit range [index_first, index_first + index_width); inputs i with
+/// f undefined (i >= domain size) are treated as f(i) = 0.
+
+/// Bit oracle O_f : |i>|b> -> |i>|b xor f(i)>, with the answer bit at
+/// qubit `target`.
+void apply_bit_oracle(Statevector& state, unsigned index_first, unsigned index_width,
+                      unsigned target, const std::function<bool(std::uint64_t)>& f);
+
+/// Phase oracle O_f : |i> -> (-1)^{f(i)} |i>.
+void apply_phase_oracle(Statevector& state, unsigned index_first, unsigned index_width,
+                        const std::function<bool(std::uint64_t)>& f);
+
+/// XOR-value oracle O_x : |i>|y> -> |i>|y xor x_i> for a value register of
+/// `value_width` qubits starting at `value_first`.
+void apply_value_oracle(Statevector& state, unsigned index_first, unsigned index_width,
+                        unsigned value_first, unsigned value_width,
+                        const std::function<std::uint64_t(std::uint64_t)>& x);
+
+}  // namespace qcongest::quantum

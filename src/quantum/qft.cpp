@@ -1,0 +1,31 @@
+#include "src/quantum/qft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qcongest::quantum {
+
+Circuit qft_circuit(unsigned num_qubits, unsigned first, unsigned width) {
+  if (first + width > num_qubits) throw std::invalid_argument("qft: register range");
+  Circuit c(num_qubits);
+  // Standard textbook QFT, most significant qubit (first + width - 1) first.
+  for (unsigned i = width; i-- > 0;) {
+    unsigned q = first + i;
+    c.h(q);
+    for (unsigned j = i; j-- > 0;) {
+      double angle = M_PI / static_cast<double>(std::uint64_t{1} << (i - j));
+      c.cphase(first + j, q, angle);
+    }
+  }
+  // Reverse qubit order to get the conventional output ordering.
+  for (unsigned i = 0; i < width / 2; ++i) {
+    c.swap(first + i, first + width - 1 - i);
+  }
+  return c;
+}
+
+Circuit inverse_qft_circuit(unsigned num_qubits, unsigned first, unsigned width) {
+  return qft_circuit(num_qubits, first, width).inverse();
+}
+
+}  // namespace qcongest::quantum

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "src/quantum/circuit.hpp"
+
+namespace qcongest::quantum {
+
+/// Quantum Fourier transform on the qubit range [first, first + width),
+/// mapping |j> -> (1/sqrt(2^w)) sum_k e^{2 pi i jk / 2^w} |k>, with qubit
+/// `first` the least significant bit of j.
+Circuit qft_circuit(unsigned num_qubits, unsigned first, unsigned width);
+
+/// Inverse QFT on the same register.
+Circuit inverse_qft_circuit(unsigned num_qubits, unsigned first, unsigned width);
+
+}  // namespace qcongest::quantum

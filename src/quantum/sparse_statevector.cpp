@@ -1,0 +1,158 @@
+#include "src/quantum/sparse_statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qcongest::quantum {
+
+SparseStatevector::SparseStatevector(unsigned num_qubits, BasisState basis)
+    : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("SparseStatevector: qubit count out of range");
+  }
+  if (num_qubits < 64 && basis >= (BasisState{1} << num_qubits)) {
+    throw std::invalid_argument("SparseStatevector: basis out of range");
+  }
+  amplitudes_[basis] = Amplitude{1, 0};
+}
+
+Amplitude SparseStatevector::amplitude(BasisState basis) const {
+  auto it = amplitudes_.find(basis);
+  return it == amplitudes_.end() ? Amplitude{0, 0} : it->second;
+}
+
+double SparseStatevector::norm() const {
+  double total = 0.0;
+  for (const auto& [basis, amp] : amplitudes_) total += std::norm(amp);
+  return std::sqrt(total);
+}
+
+Amplitude SparseStatevector::inner_product(const SparseStatevector& other) const {
+  if (other.num_qubits_ != num_qubits_) {
+    throw std::invalid_argument("inner_product: qubit count mismatch");
+  }
+  // Iterate over the smaller support.
+  const auto& small = amplitudes_.size() <= other.amplitudes_.size()
+                          ? amplitudes_
+                          : other.amplitudes_;
+  Amplitude sum{0, 0};
+  for (const auto& [basis, amp] : small) {
+    sum += std::conj(other.amplitude(basis)) * this->amplitude(basis);
+  }
+  return sum;
+}
+
+double SparseStatevector::fidelity(const SparseStatevector& other) const {
+  return std::norm(inner_product(other));
+}
+
+void SparseStatevector::apply(const Gate1& gate, unsigned target) {
+  check_qubit(target);
+  BasisState mask = BasisState{1} << target;
+  std::unordered_map<BasisState, Amplitude> next;
+  next.reserve(amplitudes_.size() * 2);
+  for (const auto& [basis, amp] : amplitudes_) {
+    unsigned bit = (basis & mask) ? 1 : 0;
+    Amplitude to_zero = gate(0, bit) * amp;
+    Amplitude to_one = gate(1, bit) * amp;
+    if (std::abs(to_zero) > kAmplitudeEpsilon) next[basis & ~mask] += to_zero;
+    if (std::abs(to_one) > kAmplitudeEpsilon) next[basis | mask] += to_one;
+  }
+  amplitudes_ = std::move(next);
+  prune();
+}
+
+void SparseStatevector::apply_controlled(const Gate1& gate,
+                                         std::span<const unsigned> controls,
+                                         unsigned target) {
+  check_qubit(target);
+  BasisState control_mask = 0;
+  for (unsigned c : controls) {
+    check_qubit(c);
+    if (c == target) throw std::invalid_argument("control equals target");
+    control_mask |= BasisState{1} << c;
+  }
+  BasisState tmask = BasisState{1} << target;
+  std::unordered_map<BasisState, Amplitude> next;
+  next.reserve(amplitudes_.size() * 2);
+  for (const auto& [basis, amp] : amplitudes_) {
+    if ((basis & control_mask) != control_mask) {
+      next[basis] += amp;
+      continue;
+    }
+    unsigned bit = (basis & tmask) ? 1 : 0;
+    Amplitude to_zero = gate(0, bit) * amp;
+    Amplitude to_one = gate(1, bit) * amp;
+    if (std::abs(to_zero) > kAmplitudeEpsilon) next[basis & ~tmask] += to_zero;
+    if (std::abs(to_one) > kAmplitudeEpsilon) next[basis | tmask] += to_one;
+  }
+  amplitudes_ = std::move(next);
+  prune();
+}
+
+void SparseStatevector::cnot(unsigned control, unsigned target) {
+  const unsigned controls[] = {control};
+  apply_controlled(gates::pauli_x(), controls, target);
+}
+
+void SparseStatevector::apply_diagonal(
+    const std::function<Amplitude(BasisState)>& phase) {
+  for (auto& [basis, amp] : amplitudes_) amp *= phase(basis);
+  prune();
+}
+
+void SparseStatevector::apply_permutation(
+    const std::function<BasisState(BasisState)>& pi) {
+  std::unordered_map<BasisState, Amplitude> next;
+  next.reserve(amplitudes_.size());
+  for (const auto& [basis, amp] : amplitudes_) {
+    BasisState image = pi(basis);
+    if (num_qubits_ < 64 && image >= (BasisState{1} << num_qubits_)) {
+      throw std::invalid_argument("apply_permutation: image out of range");
+    }
+    auto [it, inserted] = next.emplace(image, amp);
+    if (!inserted) throw std::invalid_argument("apply_permutation: not injective");
+  }
+  amplitudes_ = std::move(next);
+}
+
+BasisState SparseStatevector::sample(util::Rng& rng) const {
+  double r = rng.uniform();
+  double cumulative = 0.0;
+  BasisState last = 0;
+  for (const auto& [basis, amp] : amplitudes_) {
+    cumulative += std::norm(amp);
+    last = basis;
+    if (r < cumulative) return basis;
+  }
+  return last;
+}
+
+BasisState SparseStatevector::measure_all(util::Rng& rng) {
+  BasisState outcome = sample(rng);
+  amplitudes_.clear();
+  amplitudes_[outcome] = Amplitude{1, 0};
+  return outcome;
+}
+
+void SparseStatevector::prune() {
+  for (auto it = amplitudes_.begin(); it != amplitudes_.end();) {
+    if (std::abs(it->second) <= kAmplitudeEpsilon) {
+      it = amplitudes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SparseStatevector::check_qubit(unsigned q) const {
+  if (q >= num_qubits_) throw std::invalid_argument("qubit index out of range");
+}
+
+void fan_out_register(SparseStatevector& state, unsigned src, unsigned dst,
+                      unsigned width) {
+  if (src == dst) throw std::invalid_argument("fan_out_register: src == dst");
+  for (unsigned b = 0; b < width; ++b) state.cnot(src + b, dst + b);
+}
+
+}  // namespace qcongest::quantum

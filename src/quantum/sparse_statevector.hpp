@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/quantum/gates.hpp"
+#include "src/quantum/types.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::quantum {
+
+/// Sparse statevector over up to 62 qubits, storing only non-zero
+/// amplitudes. Efficient whenever the support stays small — which is
+/// exactly the regime of Lemma 7's distributed states: a q-qubit register
+/// in superposition over at most 2^q values, fanned out to n nodes, lives
+/// in an (n * q)-qubit space with support still <= 2^q. This class lets the
+/// tests validate the framework's *state-level* behaviour (leader register
+/// -> sum_i alpha_i |i>^{otimes n} -> back), complementing the engine's
+/// schedule-level accounting.
+class SparseStatevector {
+ public:
+  static constexpr unsigned kMaxQubits = 62;
+
+  explicit SparseStatevector(unsigned num_qubits, BasisState basis = 0);
+
+  unsigned num_qubits() const { return num_qubits_; }
+  std::size_t support_size() const { return amplitudes_.size(); }
+
+  Amplitude amplitude(BasisState basis) const;
+  double norm() const;
+
+  /// <other|this>.
+  Amplitude inner_product(const SparseStatevector& other) const;
+  double fidelity(const SparseStatevector& other) const;
+
+  // --- Gates (support may at most double per 1-qubit gate) ----------------
+
+  void apply(const Gate1& gate, unsigned target);
+  void apply_controlled(const Gate1& gate, std::span<const unsigned> controls,
+                        unsigned target);
+  void h(unsigned q) { apply(gates::hadamard(), q); }
+  void x(unsigned q) { apply(gates::pauli_x(), q); }
+  void z(unsigned q) { apply(gates::pauli_z(), q); }
+  void cnot(unsigned control, unsigned target);
+
+  /// |b> -> phase(b)|b> (support unchanged).
+  void apply_diagonal(const std::function<Amplitude(BasisState)>& phase);
+
+  /// Basis-state bijection |b> -> |pi(b)> (support unchanged).
+  void apply_permutation(const std::function<BasisState(BasisState)>& pi);
+
+  // --- Measurement ----------------------------------------------------------
+
+  BasisState sample(util::Rng& rng) const;
+  BasisState measure_all(util::Rng& rng);
+
+  /// Removes amplitudes below kAmplitudeEpsilon (gates do this implicitly).
+  void prune();
+
+ private:
+  void check_qubit(unsigned q) const;
+
+  unsigned num_qubits_;
+  std::unordered_map<BasisState, Amplitude> amplitudes_;
+};
+
+/// Lemma 7's fan-out as an explicit circuit on the sparse simulator: copies
+/// the `q`-qubit register at offset `src` onto the register at offset `dst`
+/// with transversal CNOTs (valid for basis-superposition registers; this is
+/// not cloning).
+void fan_out_register(SparseStatevector& state, unsigned src, unsigned dst,
+                      unsigned width);
+
+}  // namespace qcongest::quantum

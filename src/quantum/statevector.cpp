@@ -1,0 +1,185 @@
+#include "src/quantum/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qcongest::quantum {
+
+Statevector::Statevector(unsigned num_qubits) : Statevector(num_qubits, 0) {}
+
+Statevector::Statevector(unsigned num_qubits, BasisState basis)
+    : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("Statevector: qubit count out of range");
+  }
+  std::size_t dim = std::size_t{1} << num_qubits;
+  if (basis >= dim) throw std::invalid_argument("Statevector: basis out of range");
+  amplitudes_.assign(dim, Amplitude{0, 0});
+  amplitudes_[basis] = Amplitude{1, 0};
+}
+
+double Statevector::probability(BasisState basis) const {
+  return std::norm(amplitudes_.at(basis));
+}
+
+double Statevector::probability_of_one(unsigned qubit) const {
+  check_qubit(qubit);
+  BasisState mask = BasisState{1} << qubit;
+  double p = 0.0;
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    if (b & mask) p += std::norm(amplitudes_[b]);
+  }
+  return p;
+}
+
+double Statevector::norm() const {
+  double total = 0.0;
+  for (const Amplitude& a : amplitudes_) total += std::norm(a);
+  return std::sqrt(total);
+}
+
+Amplitude Statevector::inner_product(const Statevector& other) const {
+  if (other.num_qubits_ != num_qubits_) {
+    throw std::invalid_argument("inner_product: qubit count mismatch");
+  }
+  Amplitude sum{0, 0};
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    sum += std::conj(other.amplitudes_[b]) * amplitudes_[b];
+  }
+  return sum;
+}
+
+double Statevector::fidelity(const Statevector& other) const {
+  return std::norm(inner_product(other));
+}
+
+void Statevector::apply(const Gate1& gate, unsigned target) {
+  check_qubit(target);
+  BasisState mask = BasisState{1} << target;
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    if (b & mask) continue;  // visit each (b, b|mask) pair once, from the 0 side
+    Amplitude a0 = amplitudes_[b];
+    Amplitude a1 = amplitudes_[b | mask];
+    amplitudes_[b] = gate(0, 0) * a0 + gate(0, 1) * a1;
+    amplitudes_[b | mask] = gate(1, 0) * a0 + gate(1, 1) * a1;
+  }
+}
+
+void Statevector::apply_controlled(const Gate1& gate,
+                                   std::span<const unsigned> controls,
+                                   unsigned target) {
+  check_qubit(target);
+  BasisState control_mask = 0;
+  for (unsigned c : controls) {
+    check_qubit(c);
+    if (c == target) throw std::invalid_argument("control equals target");
+    control_mask |= BasisState{1} << c;
+  }
+  BasisState tmask = BasisState{1} << target;
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    if (b & tmask) continue;
+    if ((b & control_mask) != control_mask) continue;
+    Amplitude a0 = amplitudes_[b];
+    Amplitude a1 = amplitudes_[b | tmask];
+    amplitudes_[b] = gate(0, 0) * a0 + gate(0, 1) * a1;
+    amplitudes_[b | tmask] = gate(1, 0) * a0 + gate(1, 1) * a1;
+  }
+}
+
+void Statevector::cnot(unsigned control, unsigned target) {
+  const unsigned controls[] = {control};
+  apply_controlled(gates::pauli_x(), controls, target);
+}
+
+void Statevector::cz(unsigned control, unsigned target) {
+  const unsigned controls[] = {control};
+  apply_controlled(gates::pauli_z(), controls, target);
+}
+
+void Statevector::ccx(unsigned c1, unsigned c2, unsigned target) {
+  const unsigned controls[] = {c1, c2};
+  apply_controlled(gates::pauli_x(), controls, target);
+}
+
+void Statevector::swap_qubits(unsigned a, unsigned b) {
+  if (a == b) return;
+  cnot(a, b);
+  cnot(b, a);
+  cnot(a, b);
+}
+
+void Statevector::h_all() {
+  for (unsigned q = 0; q < num_qubits_; ++q) h(q);
+}
+
+void Statevector::apply_diagonal(const std::function<Amplitude(BasisState)>& phase) {
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    amplitudes_[b] *= phase(b);
+  }
+}
+
+void Statevector::apply_permutation(const std::function<BasisState(BasisState)>& pi) {
+  std::vector<Amplitude> next(amplitudes_.size(), Amplitude{0, 0});
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    BasisState target = pi(b);
+    if (target >= amplitudes_.size()) {
+      throw std::invalid_argument("apply_permutation: image out of range");
+    }
+    next[target] += amplitudes_[b];
+  }
+  // A genuine permutation preserves the norm; verify to catch non-bijections.
+  double total = 0.0;
+  for (const Amplitude& a : next) total += std::norm(a);
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("apply_permutation: map is not a bijection");
+  }
+  amplitudes_ = std::move(next);
+}
+
+BasisState Statevector::measure_all(util::Rng& rng) {
+  BasisState outcome = sample(rng);
+  amplitudes_.assign(amplitudes_.size(), Amplitude{0, 0});
+  amplitudes_[outcome] = Amplitude{1, 0};
+  return outcome;
+}
+
+bool Statevector::measure_qubit(unsigned qubit, util::Rng& rng) {
+  double p1 = probability_of_one(qubit);
+  bool outcome = rng.bernoulli(p1);
+  BasisState mask = BasisState{1} << qubit;
+  double keep_prob = outcome ? p1 : 1.0 - p1;
+  double scale = keep_prob > 0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    bool bit = (b & mask) != 0;
+    amplitudes_[b] = (bit == outcome) ? amplitudes_[b] * scale : Amplitude{0, 0};
+  }
+  return outcome;
+}
+
+BasisState Statevector::sample(util::Rng& rng) const {
+  double r = rng.uniform();
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    cumulative += std::norm(amplitudes_[b]);
+    if (r < cumulative) return b;
+  }
+  return amplitudes_.size() - 1;  // guard against rounding at the tail
+}
+
+std::vector<double> Statevector::marginal(unsigned first, unsigned count) const {
+  if (first + count > num_qubits_) {
+    throw std::invalid_argument("marginal: register out of range");
+  }
+  std::vector<double> dist(std::size_t{1} << count, 0.0);
+  BasisState reg_mask = ((BasisState{1} << count) - 1) << first;
+  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+    dist[(b & reg_mask) >> first] += std::norm(amplitudes_[b]);
+  }
+  return dist;
+}
+
+void Statevector::check_qubit(unsigned q) const {
+  if (q >= num_qubits_) throw std::invalid_argument("qubit index out of range");
+}
+
+}  // namespace qcongest::quantum

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/quantum/gates.hpp"
+#include "src/quantum/types.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::quantum {
+
+/// Dense statevector simulator over up to kMaxQubits qubits.
+///
+/// Qubit 0 is the least significant bit of the basis-state index. The class
+/// maintains the invariant that the state is normalized (up to floating
+/// point error) after every public mutating operation.
+class Statevector {
+ public:
+  static constexpr unsigned kMaxQubits = 26;
+
+  /// |0...0> on `num_qubits` qubits.
+  explicit Statevector(unsigned num_qubits);
+
+  /// A specific basis state on `num_qubits` qubits.
+  Statevector(unsigned num_qubits, BasisState basis);
+
+  unsigned num_qubits() const { return num_qubits_; }
+  std::size_t dimension() const { return amplitudes_.size(); }
+
+  Amplitude amplitude(BasisState basis) const { return amplitudes_.at(basis); }
+  std::span<const Amplitude> amplitudes() const { return amplitudes_; }
+
+  /// Probability of measuring exactly `basis` on all qubits.
+  double probability(BasisState basis) const;
+
+  /// Probability that measuring `qubit` yields 1.
+  double probability_of_one(unsigned qubit) const;
+
+  double norm() const;
+
+  /// <other|this>.
+  Amplitude inner_product(const Statevector& other) const;
+
+  /// Fidelity |<other|this>|^2.
+  double fidelity(const Statevector& other) const;
+
+  // --- Gates ---------------------------------------------------------------
+
+  void apply(const Gate1& gate, unsigned target);
+
+  /// Gate applied to `target`, controlled on every qubit in `controls` being 1.
+  void apply_controlled(const Gate1& gate, std::span<const unsigned> controls,
+                        unsigned target);
+
+  void h(unsigned q) { apply(gates::hadamard(), q); }
+  void x(unsigned q) { apply(gates::pauli_x(), q); }
+  void y(unsigned q) { apply(gates::pauli_y(), q); }
+  void z(unsigned q) { apply(gates::pauli_z(), q); }
+  void cnot(unsigned control, unsigned target);
+  void cz(unsigned control, unsigned target);
+  void ccx(unsigned c1, unsigned c2, unsigned target);
+  void swap_qubits(unsigned a, unsigned b);
+
+  /// Hadamard on every qubit.
+  void h_all();
+
+  // --- Oracles / bulk operations -------------------------------------------
+
+  /// |b> -> phase(b) * |b> for every basis state. `phase` must return a
+  /// unit-modulus complex number for the result to stay normalized.
+  void apply_diagonal(const std::function<Amplitude(BasisState)>& phase);
+
+  /// Permutation on basis states: |b> -> |pi(b)>. `pi` must be a bijection
+  /// on [0, 2^n).
+  void apply_permutation(const std::function<BasisState(BasisState)>& pi);
+
+  // --- Measurement ----------------------------------------------------------
+
+  /// Measure all qubits; collapses to the sampled basis state.
+  BasisState measure_all(util::Rng& rng);
+
+  /// Measure a single qubit; collapses (and renormalizes) the state.
+  bool measure_qubit(unsigned qubit, util::Rng& rng);
+
+  /// Sample a basis state without collapsing.
+  BasisState sample(util::Rng& rng) const;
+
+  /// Marginal distribution over the qubits [first, first + count).
+  std::vector<double> marginal(unsigned first, unsigned count) const;
+
+ private:
+  void check_qubit(unsigned q) const;
+
+  unsigned num_qubits_;
+  std::vector<Amplitude> amplitudes_;
+};
+
+}  // namespace qcongest::quantum

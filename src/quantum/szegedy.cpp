@@ -1,0 +1,197 @@
+#include "src/quantum/szegedy.hpp"
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::quantum {
+
+SzegedyWalk::SzegedyWalk(std::vector<std::vector<double>> transition)
+    : p_(std::move(transition)) {
+  const std::size_t n = p_.size();
+  if (n == 0 || n > 128) throw std::invalid_argument("SzegedyWalk: bad vertex count");
+  sqrt_p_.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t x = 0; x < n; ++x) {
+    if (p_[x].size() != n) throw std::invalid_argument("SzegedyWalk: ragged matrix");
+    double row = 0.0;
+    for (std::size_t y = 0; y < n; ++y) {
+      if (p_[x][y] < 0.0) throw std::invalid_argument("SzegedyWalk: negative entry");
+      if (std::abs(p_[x][y] - p_[y][x]) > 1e-12) {
+        throw std::invalid_argument("SzegedyWalk: matrix not symmetric");
+      }
+      row += p_[x][y];
+      sqrt_p_[x][y] = std::sqrt(p_[x][y]);
+    }
+    if (std::abs(row - 1.0) > 1e-9) {
+      throw std::invalid_argument("SzegedyWalk: row not stochastic");
+    }
+  }
+}
+
+std::vector<Amplitude> SzegedyWalk::stationary_state() const {
+  const std::size_t n = num_vertices();
+  std::vector<Amplitude> state(dimension(), Amplitude{0, 0});
+  double norm = 1.0 / std::sqrt(static_cast<double>(n));
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      state[x * n + y] = Amplitude{norm * sqrt_p_[x][y], 0};
+    }
+  }
+  return state;
+}
+
+void SzegedyWalk::reflect_a(std::vector<Amplitude>& state) const {
+  const std::size_t n = num_vertices();
+  for (std::size_t x = 0; x < n; ++x) {
+    Amplitude overlap{0, 0};
+    for (std::size_t y = 0; y < n; ++y) overlap += sqrt_p_[x][y] * state[x * n + y];
+    for (std::size_t y = 0; y < n; ++y) {
+      state[x * n + y] = 2.0 * overlap * sqrt_p_[x][y] - state[x * n + y];
+    }
+  }
+}
+
+void SzegedyWalk::reflect_b(std::vector<Amplitude>& state) const {
+  const std::size_t n = num_vertices();
+  for (std::size_t y = 0; y < n; ++y) {
+    Amplitude overlap{0, 0};
+    for (std::size_t x = 0; x < n; ++x) overlap += sqrt_p_[y][x] * state[x * n + y];
+    for (std::size_t x = 0; x < n; ++x) {
+      state[x * n + y] = 2.0 * overlap * sqrt_p_[y][x] - state[x * n + y];
+    }
+  }
+}
+
+void SzegedyWalk::apply(std::vector<Amplitude>& state) const {
+  if (state.size() != dimension()) throw std::invalid_argument("SzegedyWalk: size");
+  reflect_a(state);
+  reflect_b(state);
+}
+
+void SzegedyWalk::flip_marked(std::vector<Amplitude>& state,
+                              const std::vector<bool>& marked) const {
+  const std::size_t n = num_vertices();
+  if (marked.size() != n) throw std::invalid_argument("SzegedyWalk: marked size");
+  for (std::size_t x = 0; x < n; ++x) {
+    if (!marked[x]) continue;
+    for (std::size_t y = 0; y < n; ++y) state[x * n + y] = -state[x * n + y];
+  }
+}
+
+double SzegedyWalk::marked_probability(const std::vector<Amplitude>& state,
+                                       const std::vector<bool>& marked) const {
+  const std::size_t n = num_vertices();
+  double total = 0.0;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (!marked[x]) continue;
+    for (std::size_t y = 0; y < n; ++y) total += std::norm(state[x * n + y]);
+  }
+  return total;
+}
+
+std::vector<std::vector<double>> johnson_transition_matrix(std::size_t k,
+                                                           std::size_t z) {
+  auto subsets = util::all_subsets(k, z);
+  const std::size_t n = subsets.size();
+  if (n == 0) throw std::invalid_argument("johnson_transition_matrix: empty graph");
+  double degree = static_cast<double>(z * (k - z));
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (std::size_t a = 0; a < n; ++a) {
+    std::set<std::size_t> sa(subsets[a].begin(), subsets[a].end());
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      std::size_t shared = 0;
+      for (auto e : subsets[b]) {
+        if (sa.contains(e)) ++shared;
+      }
+      if (shared == z - 1) p[a][b] = 1.0 / degree;  // differ by one swap
+    }
+  }
+  return p;
+}
+
+double johnson_walk_search_probability(std::size_t k, std::size_t z,
+                                       const std::vector<int>& values,
+                                       std::size_t outer, std::size_t inner) {
+  if (values.size() != k) throw std::invalid_argument("walk search: values size");
+  auto subsets = util::all_subsets(k, z);
+  std::vector<bool> marked(subsets.size(), false);
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    std::set<int> seen;
+    for (auto idx : subsets[i]) {
+      if (!seen.insert(values[idx]).second) {
+        marked[i] = true;
+        break;
+      }
+    }
+  }
+  SzegedyWalk walk(johnson_transition_matrix(k, z));
+  auto state = walk.stationary_state();
+  for (std::size_t r = 0; r < outer; ++r) {
+    walk.flip_marked(state, marked);
+    for (std::size_t t = 0; t < inner; ++t) walk.apply(state);
+  }
+  return walk.marked_probability(state, marked);
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> johnson_walk_element_distinctness(
+    std::size_t k, std::size_t z, const std::vector<int>& values,
+    std::size_t attempts, util::Rng& rng) {
+  if (values.size() != k) throw std::invalid_argument("walk ed: values size");
+  auto subsets = util::all_subsets(k, z);
+  std::vector<bool> marked(subsets.size(), false);
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    std::set<int> seen;
+    for (auto idx : subsets[i]) {
+      if (!seen.insert(values[idx]).second) {
+        marked[i] = true;
+        break;
+      }
+    }
+  }
+  SzegedyWalk walk(johnson_transition_matrix(k, z));
+  double eps_lb = static_cast<double>(z) * (static_cast<double>(z) - 1.0) /
+                  (static_cast<double>(k) * (static_cast<double>(k) - 1.0));
+  auto outer_max = static_cast<std::size_t>(std::ceil(2.0 / std::sqrt(eps_lb)));
+  auto inner = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(z))));
+
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    auto state = walk.stationary_state();
+    std::size_t outer = rng.index(outer_max) + 1;
+    for (std::size_t r = 0; r < outer; ++r) {
+      walk.flip_marked(state, marked);
+      for (std::size_t t = 0; t < inner; ++t) walk.apply(state);
+    }
+    // Measure the first (subset) register.
+    const std::size_t n = walk.num_vertices();
+    double r = rng.uniform();
+    double cumulative = 0.0;
+    std::size_t measured = n - 1;
+    for (std::size_t x = 0; x < n; ++x) {
+      double mass = 0.0;
+      for (std::size_t y = 0; y < n; ++y) mass += std::norm(state[x * n + y]);
+      cumulative += mass;
+      if (r < cumulative) {
+        measured = x;
+        break;
+      }
+    }
+    // Classical check of the measured subset (C = 0 in the schedule).
+    std::map<int, std::size_t> seen;
+    for (auto idx : subsets[measured]) {
+      auto [it, inserted] = seen.try_emplace(values[idx], idx);
+      if (!inserted) {
+        std::size_t a = it->second, b = idx;
+        if (a > b) std::swap(a, b);
+        return std::pair{a, b};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qcongest::quantum

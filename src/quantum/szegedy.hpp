@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/quantum/types.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::quantum {
+
+/// Szegedy quantization of a symmetric random walk: the unitary
+/// W = R_B R_A on C^{V x V}, where R_A reflects around the span of
+/// |phi_x> = |x> sum_y sqrt(P(x,y)) |y> and R_B is its mirror image.
+///
+/// This is the operator underneath Lemma 5's quantum walk. It is only
+/// tractable as explicit linear algebra for toy vertex counts, which is
+/// exactly its role here: validating that the walk *schedule* charged by
+/// query::element_distinctness (sqrt(1/eps) outer steps of sqrt(1/delta)
+/// walk applications) really drives the marked amplitude to a constant —
+/// the substitution documented in DESIGN.md, pinned at gate level.
+class SzegedyWalk {
+ public:
+  /// P must be row-stochastic and symmetric (doubly stochastic); |V| <= 128
+  /// keeps the V^2 state tractable.
+  explicit SzegedyWalk(std::vector<std::vector<double>> transition);
+
+  std::size_t num_vertices() const { return p_.size(); }
+  std::size_t dimension() const { return p_.size() * p_.size(); }
+
+  /// The stationary superposition (1/sqrt|V|) sum_x |phi_x>.
+  std::vector<Amplitude> stationary_state() const;
+
+  /// One application of W = R_B R_A, in place.
+  void apply(std::vector<Amplitude>& state) const;
+
+  /// Phase flip of every |x>|y> with marked[x] (the first register).
+  void flip_marked(std::vector<Amplitude>& state,
+                   const std::vector<bool>& marked) const;
+
+  /// Probability mass currently on marked first-register vertices.
+  double marked_probability(const std::vector<Amplitude>& state,
+                            const std::vector<bool>& marked) const;
+
+ private:
+  void reflect_a(std::vector<Amplitude>& state) const;
+  void reflect_b(std::vector<Amplitude>& state) const;
+
+  std::vector<std::vector<double>> p_;        // transition probabilities
+  std::vector<std::vector<double>> sqrt_p_;   // precomputed sqrt(P(x,y))
+};
+
+/// The normalized Johnson-graph J(k, z) transition matrix (the walk of
+/// Lemma 5), as a dense matrix over the C(k, z) subsets in lexicographic
+/// order (see util::all_subsets).
+std::vector<std::vector<double>> johnson_transition_matrix(std::size_t k,
+                                                           std::size_t z);
+
+/// End-to-end toy validation of the Lemma 5 schedule: run `outer` steps of
+/// [flip marked, W^inner] from the stationary state (Ambainis's search
+/// iteration) and return the final marked probability. `marked[x]` flags
+/// the z-subsets containing a collision of `values`.
+double johnson_walk_search_probability(std::size_t k, std::size_t z,
+                                       const std::vector<int>& values,
+                                       std::size_t outer, std::size_t inner);
+
+/// Toy gate-level element distinctness: run the walk search with a
+/// BBHT-randomized outer count, measure the subset register, and return a
+/// collision pair from the measured subset (one-sided: nullopt on a miss,
+/// never a false pair). Repeats up to `attempts` times.
+std::optional<std::pair<std::size_t, std::size_t>> johnson_walk_element_distinctness(
+    std::size_t k, std::size_t z, const std::vector<int>& values,
+    std::size_t attempts, util::Rng& rng);
+
+}  // namespace qcongest::quantum

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace qcongest::quantum {
+
+using Amplitude = std::complex<double>;
+
+/// Basis states are indexed by unsigned 64-bit integers; qubit 0 is the
+/// least significant bit.
+using BasisState = std::uint64_t;
+
+inline constexpr double kAmplitudeEpsilon = 1e-12;
+
+}  // namespace qcongest::quantum

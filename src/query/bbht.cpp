@@ -1,0 +1,75 @@
+#include "src/query/bbht.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/query/grover_math.hpp"
+
+namespace qcongest::query {
+
+std::size_t bbht_default_cutoff(std::size_t k, std::size_t p) {
+  double expected_t1 = std::sqrt(static_cast<double>(k) / static_cast<double>(p));
+  return static_cast<std::size_t>(std::ceil(9.0 * expected_t1)) + 9;
+}
+
+std::optional<BbhtOutcome> bbht_subset_search(BatchOracle& oracle,
+                                              std::span<const std::size_t> marked,
+                                              util::Rng& rng, std::size_t max_batches) {
+  const std::size_t k = oracle.domain_size();
+  const std::size_t p = std::min(oracle.parallelism(), k);
+  const std::size_t t = marked.size();
+
+  std::size_t used = 0;
+  auto charge = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) oracle.charge_batch();
+    used += n;
+  };
+
+  // If a single batch covers the whole domain, one classical query decides.
+  if (p == k) {
+    if (max_batches == 0) return std::nullopt;
+    std::vector<std::size_t> all(k);
+    for (std::size_t i = 0; i < k; ++i) all[i] = i;
+    auto values = oracle.query(all);
+    ++used;
+    if (t == 0) return std::nullopt;
+    return BbhtOutcome{std::move(all), std::move(values)};
+  }
+
+  const double epsilon = marked_subset_fraction(k, t, p);
+  const double theta = grover_angle(epsilon);
+  // BBHT's critical m value: beyond 1/sqrt(epsilon) the success probability
+  // of a random iterate count is ~1/2 per attempt.
+  const double m_max =
+      (epsilon > 0.0) ? 1.0 / std::sqrt(epsilon)
+                      : std::sqrt(static_cast<double>(k) / static_cast<double>(p));
+  const double lambda = 6.0 / 5.0;
+
+  double m = 1.0;
+  while (used < max_batches) {
+    std::size_t j = rng.index(static_cast<std::size_t>(std::floor(m)) + 1);
+    // Never exceed the remaining budget with the iterations themselves;
+    // reserve one batch for the verification query.
+    std::size_t budget_left = max_batches - used;
+    if (budget_left == 0) break;
+    if (j + 1 > budget_left) j = budget_left - 1;
+
+    charge(j);  // j Grover iterations, each one use of O^{\otimes p}
+
+    bool success = t > 0 && rng.bernoulli(grover_success_probability(j, theta));
+    // Measurement: sample the measured subset, then verify with one charged
+    // classical batch on its concrete indices.
+    std::vector<std::size_t> measured =
+        success ? sample_subset_with_marked(k, marked, p, rng)
+                : (t < k ? sample_subset_without_marked(k, marked, p, rng)
+                         : sample_subset_with_marked(k, marked, p, rng));
+    if (used >= max_batches) break;
+    auto values = oracle.query(measured);
+    ++used;
+    if (success) return BbhtOutcome{std::move(measured), std::move(values)};
+    m = std::min(lambda * m, m_max);
+  }
+  return std::nullopt;
+}
+
+}  // namespace qcongest::query

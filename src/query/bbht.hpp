@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/query/oracle.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::query {
+
+/// Outcome of a successful subset-Grover measurement: the measured p-subset
+/// and the (charged) query results for its indices.
+struct BbhtOutcome {
+  std::vector<std::size_t> subset;
+  std::vector<Value> values;
+};
+
+/// Boyer–Brassard–Høyer–Tapp search over p-element subsets of [0, k), the
+/// core of Lemma 2's parallel Grover. A subset is marked iff it contains an
+/// index from `marked`. Every Grover iteration charges one batch on the
+/// oracle, and every measurement is verified by one charged batch on the
+/// measured subset's concrete indices. The evolution is simulated exactly in
+/// distribution via the two-dimensional invariant subspace (grover_math).
+///
+/// `marked` (sorted, unique) is simulator knowledge used only to sample the
+/// measurement outcomes; it never influences which batches are charged
+/// beyond what the real algorithm's own measurements would.
+///
+/// Gives up once `max_batches` batches have been charged to this call
+/// (returning std::nullopt, as the real algorithm would when it cuts off).
+/// Returns std::nullopt immediately-after-cutoff also when `marked` is empty.
+std::optional<BbhtOutcome> bbht_subset_search(BatchOracle& oracle,
+                                              std::span<const std::size_t> marked,
+                                              util::Rng& rng, std::size_t max_batches);
+
+/// The cutoff used for "conclude there is no marked element w.p. >= 2/3":
+/// a small constant times ceil(sqrt(k / p)) (the t = 1 expected cost).
+std::size_t bbht_default_cutoff(std::size_t k, std::size_t p);
+
+}  // namespace qcongest::query

@@ -1,0 +1,70 @@
+#include "src/query/boosted.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qcongest::query {
+
+std::size_t boost_repetitions(double delta) {
+  if (delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("boost_repetitions: delta must be in (0, 1)");
+  }
+  // Each run fails with probability <= 1/3: r runs fail together with
+  // probability <= 3^-r.
+  return static_cast<std::size_t>(std::ceil(std::log(1.0 / delta) / std::log(3.0))) + 1;
+}
+
+std::optional<std::size_t> grover_find_one_boosted(BatchOracle& oracle,
+                                                   const MarkPredicate& pred,
+                                                   double delta, util::Rng& rng) {
+  std::size_t reps = boost_repetitions(delta);
+  for (std::size_t r = 0; r < reps; ++r) {
+    if (auto found = grover_find_one(oracle, pred, rng)) return found;
+  }
+  return std::nullopt;
+}
+
+std::size_t minfind_boosted(BatchOracle& oracle, double delta, util::Rng& rng,
+                            bool maximum) {
+  std::size_t reps = boost_repetitions(delta);
+  std::vector<std::size_t> candidates;
+  candidates.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    candidates.push_back(maximum ? maxfind(oracle, rng) : minfind(oracle, rng));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Resolve the winner with charged verification batches of up to p
+  // candidates each.
+  const std::size_t p = oracle.parallelism();
+  std::optional<Value> best;
+  std::size_t best_index = candidates.front();
+  for (std::size_t off = 0; off < candidates.size(); off += p) {
+    std::span<const std::size_t> chunk(candidates.data() + off,
+                                       std::min(p, candidates.size() - off));
+    auto values = oracle.query(chunk);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      Value v = maximum ? -values[i] : values[i];
+      if (!best || v < *best) {
+        best = v;
+        best_index = chunk[i];
+      }
+    }
+  }
+  return best_index;
+}
+
+std::optional<CollisionPair> element_distinctness_boosted(BatchOracle& oracle,
+                                                          double delta,
+                                                          util::Rng& rng) {
+  std::size_t reps = boost_repetitions(delta);
+  for (std::size_t r = 0; r < reps; ++r) {
+    if (auto pair = element_distinctness(oracle, rng)) return pair;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qcongest::query

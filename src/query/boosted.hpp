@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+
+#include "src/query/element_distinctness.hpp"
+#include "src/query/oracle.hpp"
+#include "src/query/parallel_grover.hpp"
+#include "src/query/parallel_minfind.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::query {
+
+/// Success-probability boosting (the paper's "Notation and conventions"
+/// remark: a central leader combines O(log(1/delta)) independent runs to
+/// push the 2/3 guarantee to 1 - delta, costing one extra log factor).
+/// All combination steps stay protocol-legal: candidates from different
+/// runs are compared through charged verification batches, never through
+/// uncharged peeks.
+
+/// Number of independent 2/3-success runs needed for failure <= delta.
+std::size_t boost_repetitions(double delta);
+
+/// Lemma 2 find-one boosted to success >= 1 - delta (one-sided: repeats
+/// until a verified hit or the repetition budget is exhausted).
+std::optional<std::size_t> grover_find_one_boosted(BatchOracle& oracle,
+                                                   const MarkPredicate& pred,
+                                                   double delta, util::Rng& rng);
+
+/// Lemma 3 minimum finding boosted to success >= 1 - delta: the candidates
+/// of all runs are re-queried in one final charged batch and the smallest
+/// wins. `maximum` flips the comparison.
+std::size_t minfind_boosted(BatchOracle& oracle, double delta, util::Rng& rng,
+                            bool maximum = false);
+
+/// Lemma 5 element distinctness boosted to success >= 1 - delta (one-sided:
+/// a returned pair is always a genuine collision).
+std::optional<CollisionPair> element_distinctness_boosted(BatchOracle& oracle,
+                                                          double delta,
+                                                          util::Rng& rng);
+
+}  // namespace qcongest::query

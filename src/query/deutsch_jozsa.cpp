@@ -1,0 +1,39 @@
+#include "src/query/deutsch_jozsa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/quantum/qudit.hpp"
+
+namespace qcongest::query {
+
+DjVerdict deutsch_jozsa(BatchOracle& oracle) {
+  const std::size_t k = oracle.domain_size();
+  if (k == 0 || k % 2 != 0) {
+    throw std::invalid_argument("deutsch_jozsa: k must be even and positive");
+  }
+
+  // Validate the promise with simulator access; an input that is neither
+  // constant nor balanced makes the problem ill-defined.
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    Value v = oracle.peek(i);
+    if (v != 0 && v != 1) throw std::invalid_argument("deutsch_jozsa: non-bit value");
+    ones += static_cast<std::size_t>(v);
+  }
+  if (ones != 0 && ones != k && ones != k / 2) {
+    throw std::invalid_argument("deutsch_jozsa: promise violated");
+  }
+
+  // One charged batch: the single superposed query over all of [k].
+  oracle.charge_batch();
+
+  auto state = quantum::QuditState::uniform(k);
+  state.apply_phase_oracle([&](std::size_t i) { return oracle.peek(i) != 0; });
+  double overlap = std::norm(state.overlap_with_uniform());
+  // Given the promise, overlap is exactly 1 (constant) or exactly 0
+  // (balanced); threshold at 1/2 for floating-point robustness.
+  return overlap > 0.5 ? DjVerdict::kConstant : DjVerdict::kBalanced;
+}
+
+}  // namespace qcongest::query

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "src/query/oracle.hpp"
+
+namespace qcongest::query {
+
+enum class DjVerdict { kConstant, kBalanced };
+
+/// The Deutsch–Jozsa algorithm [DJ92]: decides, with zero error, whether a
+/// promise input x in {0,1}^k (k even, |x| in {0, k/2, k}) is constant or
+/// balanced, using exactly one charged query batch.
+///
+/// Simulated exactly in C^k with the qudit register: prepare the uniform
+/// superposition, apply the phase oracle, and measure the overlap with the
+/// uniform state (1 for constant, 0 for balanced — deterministically, given
+/// the promise).
+///
+/// Throws std::invalid_argument if the input violates the promise (the
+/// algorithm's output would be undefined).
+DjVerdict deutsch_jozsa(BatchOracle& oracle);
+
+}  // namespace qcongest::query

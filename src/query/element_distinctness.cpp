@@ -1,0 +1,240 @@
+#include "src/query/element_distinctness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <limits>
+
+#include "src/query/grover_math.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::query {
+
+namespace {
+
+struct WalkParams {
+  std::size_t z;              // Johnson-graph subset size
+  std::size_t setup_batches;  // ceil(z / p)
+  std::size_t outer_max;      // randomized-iterate bound ~ k / (2z)
+  std::size_t update;         // ceil(sqrt(z / p)) batches per outer step
+};
+
+/// Number of independent walk runs; each succeeds with probability >= 1/4
+/// (BBHT randomized-iterate bound), so 6 runs give >= 1 - (3/4)^6 ~ 0.82 —
+/// a comfortable margin above the promised 2/3.
+constexpr std::size_t kWalkRuns = 6;
+
+WalkParams walk_params(std::size_t k, std::size_t p) {
+  double kd = static_cast<double>(k), pd = static_cast<double>(p);
+  auto z = static_cast<std::size_t>(
+      std::ceil(std::pow(kd, 2.0 / 3.0) * std::pow(pd, 1.0 / 3.0)));
+  // The proof needs p < z <= k/2; clamp accordingly (the callers below only
+  // invoke the walk when p < k/8, where the clamps are non-binding anyway).
+  z = std::clamp<std::size_t>(z, std::min(p + 1, k / 2), std::max<std::size_t>(k / 2, 2));
+  WalkParams w;
+  w.z = z;
+  // The algorithm only knows eps >= z(z-1)/(k(k-1)) (one collision pair).
+  // With theta_lb = asin(sqrt(eps_lb)), a uniformly random iterate count in
+  // [0, outer_max] with outer_max >= 1/sin(2 theta_lb) succeeds w.p. >= 1/4
+  // whatever the true (larger) fraction is — no overshoot failure mode.
+  double eps_lb = static_cast<double>(z) * (static_cast<double>(z) - 1.0) /
+                  (kd * (kd - 1.0));
+  double theta_lb = grover_angle(std::min(eps_lb, 1.0));
+  w.outer_max = static_cast<std::size_t>(std::ceil(1.0 / std::sin(2.0 * theta_lb)));
+  w.setup_batches = (z + p - 1) / p;
+  w.update = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(z) / pd)));
+  return w;
+}
+
+/// True iff the subset contains two indices with equal (peeked) values.
+std::optional<CollisionPair> collision_in(const BatchOracle& oracle,
+                                          std::span<const std::size_t> subset) {
+  std::unordered_map<Value, std::size_t> seen;
+  seen.reserve(subset.size());
+  for (std::size_t idx : subset) {
+    Value v = oracle.peek(idx);
+    auto [it, inserted] = seen.try_emplace(v, idx);
+    if (!inserted) {
+      std::size_t a = it->second, b = idx;
+      if (a > b) std::swap(a, b);
+      return CollisionPair{a, b, v};
+    }
+  }
+  return std::nullopt;
+}
+
+bool has_any_collision(const BatchOracle& oracle) {
+  std::unordered_set<Value> seen;
+  seen.reserve(oracle.domain_size());
+  for (std::size_t i = 0; i < oracle.domain_size(); ++i) {
+    if (!seen.insert(oracle.peek(i)).second) return true;
+  }
+  return false;
+}
+
+
+/// Uniformly random z-subset containing a collision (rejection sampling with
+/// a constructive fallback so the simulator never stalls on tiny eps).
+std::vector<std::size_t> sample_marked_subset(const BatchOracle& oracle, std::size_t z,
+                                              double eps, util::Rng& rng) {
+  const std::size_t k = oracle.domain_size();
+  const auto max_tries =
+      static_cast<std::size_t>(std::min(1e6, std::ceil(20.0 / std::max(eps, 1e-9))));
+  for (std::size_t attempt = 0; attempt < max_tries; ++attempt) {
+    auto subset = rng.sample_without_replacement(k, z);
+    if (collision_in(oracle, subset)) return subset;
+  }
+  // Constructive fallback: place one uniformly random colliding pair, fill
+  // the rest uniformly. (Distribution of the *pair* is still uniform.)
+  std::unordered_map<Value, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < k; ++i) groups[oracle.peek(i)].push_back(i);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& [value, members] : groups) {
+    for (std::size_t a = 0; a + 1 < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        pairs.emplace_back(members[a], members[b]);
+      }
+    }
+  }
+  auto [i, j] = pairs[rng.index(pairs.size())];
+  std::unordered_set<std::size_t> chosen{i, j};
+  while (chosen.size() < z) chosen.insert(rng.index(k));
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace
+
+/// Marked-vertex fraction of J(k, z): probability that a uniform z-subset
+/// contains a collision, computed *exactly* from the multiset structure of
+/// the input. Group the k indices by value (sizes g_1..g_m); a subset is
+/// collision-free iff it takes at most one index per group, so
+///   P(no collision) = e_z(g_1, ..., g_m) / C(k, z),
+/// the elementary symmetric polynomial. With b groups of size >= 2 and m1
+/// singletons, e_z = sum_j c_j * C(m1, z - j) where the c_j come from the
+/// degree-b polynomial prod_i (1 + g_i x) — evaluated in log space for
+/// stability; the tiny-eps regime is handled through log1p/expm1.
+double collision_subset_fraction(const BatchOracle& oracle, std::size_t z,
+                              util::Rng& rng) {
+  const std::size_t k = oracle.domain_size();
+  std::unordered_map<Value, std::size_t> group_size;
+  group_size.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) ++group_size[oracle.peek(i)];
+
+  std::vector<double> big;  // sizes of the groups with >= 2 members
+  std::size_t singletons = 0;
+  for (const auto& [value, size] : group_size) {
+    if (size >= 2) {
+      big.push_back(static_cast<double>(size));
+    } else {
+      ++singletons;
+    }
+  }
+  if (big.empty()) return 0.0;
+
+  if (big.size() > 64) {
+    // Dense collision structure: Monte Carlo is both cheap and accurate
+    // because eps is large.
+    const int samples = 500;
+    int hits = 0;
+    for (int s = 0; s < samples; ++s) {
+      auto subset = rng.sample_without_replacement(k, z);
+      if (collision_in(oracle, subset)) ++hits;
+    }
+    return std::clamp(static_cast<double>(hits) / samples, 1e-9, 1.0);
+  }
+
+  // Coefficients of prod_i (1 + g_i x): c[j] = e_j(big sizes).
+  std::vector<double> c{1.0};
+  for (double g : big) {
+    c.push_back(0.0);
+    for (std::size_t j = c.size() - 1; j > 0; --j) c[j] += g * c[j - 1];
+  }
+
+  // log P(no collision) = logsumexp_j(log c_j + log C(m1, z-j)) - log C(k, z).
+  double log_ckz = util::log_binomial(k, z);
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    if (c[j] <= 0.0 || z < j || z - j > singletons) continue;
+    double t = std::log(c[j]) + util::log_binomial(singletons, z - j) - log_ckz;
+    terms.push_back(t);
+    max_term = std::max(max_term, t);
+  }
+  if (terms.empty()) return 1.0;  // no collision-free subset exists
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp(t - max_term);
+  double log_no_collision = max_term + std::log(sum);
+  if (log_no_collision >= 0.0) return 0.0;
+  double eps = -std::expm1(log_no_collision);
+  return std::clamp(eps, 0.0, 1.0);
+}
+
+std::size_t element_distinctness_schedule_batches(std::size_t k, std::size_t p) {
+  p = std::min(p, k);
+  if (p * 8 >= k) return (k + p - 1) / p;  // fully query the domain
+  WalkParams w = walk_params(k, p);
+  return kWalkRuns * (w.setup_batches + w.outer_max * w.update);
+}
+
+std::optional<CollisionPair> element_distinctness(BatchOracle& oracle, util::Rng& rng) {
+  const std::size_t k = oracle.domain_size();
+  const std::size_t p = std::min(oracle.parallelism(), k);
+
+  // Large-p regime (p >= k/8 in the paper): a constant number of parallel
+  // queries cover the whole input; query everything and answer exactly.
+  if (p * 8 >= k) {
+    std::vector<std::size_t> batch;
+    std::unordered_map<Value, std::size_t> seen;
+    std::optional<CollisionPair> found;
+    for (std::size_t start = 0; start < k; start += p) {
+      batch.clear();
+      for (std::size_t i = start; i < std::min(start + p, k); ++i) batch.push_back(i);
+      auto values = oracle.query(batch);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        auto [it, inserted] = seen.try_emplace(values[i], batch[i]);
+        if (!inserted && !found) {
+          found = CollisionPair{it->second, batch[i], values[i]};
+        }
+      }
+    }
+    return found;
+  }
+
+  WalkParams w = walk_params(k, p);
+  const bool any_collision = has_any_collision(oracle);
+  const double eps = any_collision ? collision_subset_fraction(oracle, w.z, rng) : 0.0;
+  const double theta = grover_angle(eps);
+
+  for (std::size_t run = 0; run < kWalkRuns; ++run) {
+    // Setup: query a uniformly random z-subset, ceil(z/p) charged batches.
+    auto start_subset = rng.sample_without_replacement(k, w.z);
+    for (std::size_t off = 0; off < w.z; off += p) {
+      std::span<const std::size_t> chunk(start_subset.data() + off,
+                                         std::min(p, w.z - off));
+      oracle.query(chunk);
+    }
+    // Free check on the setup subset (C = 0 in the paper's schedule).
+    if (auto pair = collision_in(oracle, start_subset)) return pair;
+
+    // Walk phase: a uniformly random number r <= outer_max of amplitude-
+    // amplification steps, each costing `update` charged batches (p
+    // classical Johnson steps folded into one quantum step).
+    std::size_t r = rng.index(w.outer_max + 1);
+    for (std::size_t step = 0; step < r; ++step) {
+      for (std::size_t u = 0; u < w.update; ++u) oracle.charge_batch();
+    }
+
+    if (!any_collision) continue;  // one-sided error: never a false positive
+
+    if (rng.bernoulli(grover_success_probability(r, theta))) {
+      auto measured = sample_marked_subset(oracle, w.z, eps, rng);
+      return collision_in(oracle, measured);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qcongest::query

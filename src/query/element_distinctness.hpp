@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+
+#include "src/query/oracle.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::query {
+
+/// A collision in the input string: i < j with x_i == x_j.
+struct CollisionPair {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  Value value = 0;
+
+  friend bool operator==(const CollisionPair&, const CollisionPair&) = default;
+};
+
+/// Lemma 5: parallel-query element distinctness via a quantum walk on the
+/// Johnson graph J(k, z) with z = k^{2/3} p^{1/3}, taking p classical walk
+/// steps per quantum step (the paper's rebalanced variant of
+/// Ambainis/Jeffery–Magniez–de Wolf).
+///
+/// Uses O(ceil((k/p)^{2/3})) charged batches. If a collision exists it is
+/// returned with probability at least 2/3; if none exists the result is
+/// always std::nullopt (one-sided error).
+///
+/// Simulation note (see DESIGN.md): the walk's state space (z-subsets of
+/// [k]) is too large for amplitude-exact simulation, so the MNRS schedule is
+/// charged batch-for-batch while the measurement outcome is sampled from the
+/// amplitude-amplification success curve sin^2((2r+1) asin(sqrt(eps))) with
+/// eps the true marked-vertex fraction; a successful measurement yields a
+/// uniformly random collision-containing subset. Outputs are exact; costs
+/// follow the proven schedule.
+std::optional<CollisionPair> element_distinctness(BatchOracle& oracle, util::Rng& rng);
+
+/// The batch count the Lemma 5 schedule charges for domain size k and
+/// parallelism p (setup + outer iterations * update steps). Exposed for the
+/// benches that compare measured vs predicted.
+std::size_t element_distinctness_schedule_batches(std::size_t k, std::size_t p);
+
+/// Exact probability that a uniform z-subset of the oracle's domain contains
+/// a collision (the Johnson-walk marked-vertex fraction), computed from the
+/// value-group structure via elementary symmetric polynomials in log space.
+/// Falls back to Monte Carlo only for dense collision structures (> 64
+/// groups of duplicates), where eps is large. Exposed for tests.
+double collision_subset_fraction(const BatchOracle& oracle, std::size_t z,
+                                 util::Rng& rng);
+
+}  // namespace qcongest::query

@@ -1,0 +1,129 @@
+#include "src/query/grover_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::query {
+
+double grover_angle(double marked_fraction) {
+  if (marked_fraction < 0.0 || marked_fraction > 1.0) {
+    throw std::invalid_argument("grover_angle: fraction out of [0, 1]");
+  }
+  return std::asin(std::sqrt(marked_fraction));
+}
+
+double grover_success_probability(std::uint64_t iterations, double theta) {
+  double s = std::sin((2.0 * static_cast<double>(iterations) + 1.0) * theta);
+  return s * s;
+}
+
+double marked_subset_fraction(std::size_t k, std::size_t t, std::size_t p) {
+  if (t > k || p > k) throw std::invalid_argument("marked_subset_fraction: t or p > k");
+  if (t == 0) return 0.0;
+  if (p == 0) return 0.0;
+  if (t + p > k) return 1.0;  // every p-subset must hit the marked set
+  // 1 - C(k-t, p)/C(k, p), via -expm1 of the log ratio for precision when
+  // the fraction is tiny.
+  double log_ratio = util::log_binomial(k - t, p) - util::log_binomial(k, p);
+  return -std::expm1(log_ratio);
+}
+
+namespace {
+
+/// Sample `count` distinct unmarked indices (not in `marked`, not in `used`).
+std::vector<std::size_t> sample_unmarked(std::size_t k,
+                                         std::span<const std::size_t> marked,
+                                         std::size_t count, util::Rng& rng,
+                                         const std::unordered_set<std::size_t>& used) {
+  std::size_t unmarked_total = k - marked.size();
+  if (count > unmarked_total) {
+    throw std::invalid_argument("sample_unmarked: not enough unmarked indices");
+  }
+  std::unordered_set<std::size_t> marked_set(marked.begin(), marked.end());
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  if (2 * (marked.size() + count + used.size()) < k) {
+    // Sparse regime: rejection sampling terminates quickly.
+    std::unordered_set<std::size_t> chosen(used);
+    while (out.size() < count) {
+      std::size_t i = rng.index(k);
+      if (marked_set.contains(i) || chosen.contains(i)) continue;
+      chosen.insert(i);
+      out.push_back(i);
+    }
+    return out;
+  }
+  // Dense regime: materialize the candidate pool.
+  std::vector<std::size_t> pool;
+  pool.reserve(unmarked_total);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!marked_set.contains(i) && !used.contains(i)) pool.push_back(i);
+  }
+  auto picks = rng.sample_without_replacement(pool.size(), count);
+  for (std::size_t idx : picks) out.push_back(pool[idx]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> sample_subset_with_marked(std::size_t k,
+                                                   std::span<const std::size_t> marked,
+                                                   std::size_t p, util::Rng& rng) {
+  std::size_t t = marked.size();
+  if (t == 0) throw std::invalid_argument("sample_subset_with_marked: no marked items");
+  if (p > k) throw std::invalid_argument("sample_subset_with_marked: p > k");
+  // P(j marked in subset | >= 1 marked) proportional to C(t, j) * C(k-t, p-j).
+  std::size_t j_max = std::min(t, p);
+  std::vector<double> log_w;
+  log_w.reserve(j_max);
+  double log_max = -std::numeric_limits<double>::infinity();
+  for (std::size_t j = 1; j <= j_max; ++j) {
+    if (p - j > k - t) {
+      log_w.push_back(-std::numeric_limits<double>::infinity());
+      continue;
+    }
+    double lw = util::log_binomial(t, j) + util::log_binomial(k - t, p - j);
+    log_w.push_back(lw);
+    log_max = std::max(log_max, lw);
+  }
+  double total = 0.0;
+  std::vector<double> w(log_w.size());
+  for (std::size_t i = 0; i < log_w.size(); ++i) {
+    w[i] = std::exp(log_w[i] - log_max);
+    total += w[i];
+  }
+  double r = rng.uniform() * total;
+  std::size_t j = j_max;  // fallback to the last bucket on rounding
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    cumulative += w[i];
+    if (r < cumulative) {
+      j = i + 1;
+      break;
+    }
+  }
+
+  std::vector<std::size_t> subset;
+  subset.reserve(p);
+  auto marked_picks = rng.sample_without_replacement(t, j);
+  std::unordered_set<std::size_t> used;
+  for (std::size_t idx : marked_picks) {
+    subset.push_back(marked[idx]);
+    used.insert(marked[idx]);
+  }
+  auto rest = sample_unmarked(k, marked, p - j, rng, used);
+  subset.insert(subset.end(), rest.begin(), rest.end());
+  rng.shuffle(std::span<std::size_t>(subset));
+  return subset;
+}
+
+std::vector<std::size_t> sample_subset_without_marked(
+    std::size_t k, std::span<const std::size_t> marked, std::size_t p, util::Rng& rng) {
+  return sample_unmarked(k, marked, p, rng, {});
+}
+
+}  // namespace qcongest::query

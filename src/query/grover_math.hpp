@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace qcongest::query {
+
+/// Exact mathematics of Grover-type algorithms. Grover's operator preserves
+/// the 2-dimensional subspace spanned by the uniform superpositions over
+/// marked and unmarked items, so the evolution is a rotation by angle
+/// 2*theta with theta = asin(sqrt(marked fraction)). These helpers let us
+/// simulate Grover search *exactly in distribution* at any scale, which the
+/// dense statevector simulator cannot reach.
+
+/// theta = asin(sqrt(fraction)), fraction in [0, 1].
+double grover_angle(double marked_fraction);
+
+/// Probability that measuring after `iterations` Grover iterations yields a
+/// marked item: sin^2((2j + 1) * theta).
+double grover_success_probability(std::uint64_t iterations, double theta);
+
+/// Fraction of p-element subsets of [k] containing at least one of t marked
+/// elements: 1 - C(k - t, p) / C(k, p). Computed with log-binomials, stable
+/// for large k.
+double marked_subset_fraction(std::size_t k, std::size_t t, std::size_t p);
+
+/// Uniformly random p-subset of [0, k) conditioned on containing at least
+/// one index from `marked` (which must be non-empty, sorted, and unique).
+/// Exact sampling over the hypergeometric profile of marked counts.
+std::vector<std::size_t> sample_subset_with_marked(std::size_t k,
+                                                   std::span<const std::size_t> marked,
+                                                   std::size_t p, util::Rng& rng);
+
+/// Uniformly random p-subset of [0, k) containing no marked index. Requires
+/// k - |marked| >= p.
+std::vector<std::size_t> sample_subset_without_marked(
+    std::size_t k, std::span<const std::size_t> marked, std::size_t p, util::Rng& rng);
+
+}  // namespace qcongest::query

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+namespace qcongest::query {
+
+/// Accounting record for a (b, p)-parallel-query algorithm (Definition 1 of
+/// the paper): `batches` counts uses of O^{\otimes p}; each batch contains at
+/// most `parallelism` individual queries.
+struct QueryLedger {
+  std::size_t batches = 0;         // b: uses of O^{\otimes p}
+  std::size_t total_queries = 0;   // sum of batch sizes actually used
+  std::size_t max_batch = 0;       // largest batch observed
+
+  void record(std::size_t batch_size) {
+    ++batches;
+    total_queries += batch_size;
+    if (batch_size > max_batch) max_batch = batch_size;
+  }
+
+  void reset() { *this = QueryLedger{}; }
+};
+
+}  // namespace qcongest::query

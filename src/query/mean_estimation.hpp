@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "src/query/ledger.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::query {
+
+/// Oracle for Lemma 6: each charged batch is one use of U_X^{\otimes p},
+/// producing p independent samples of the random variable X. The distributed
+/// implementation (framework) turns a batch into real network traffic.
+class SampleOracle {
+ public:
+  virtual ~SampleOracle() = default;
+
+  /// p — samples per charged batch.
+  virtual std::size_t parallelism() const = 0;
+
+  /// One charged batch of p samples.
+  std::vector<double> sample_batch(util::Rng& rng);
+
+  /// Simulator access to the true moments (used to model the estimator's
+  /// outcome; never charged).
+  virtual double true_mean() const = 0;
+  virtual double true_variance() const = 0;
+
+  const QueryLedger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_.reset(); }
+
+ protected:
+  virtual std::vector<double> draw(std::size_t count, util::Rng& rng) = 0;
+
+ private:
+  QueryLedger ledger_;
+};
+
+/// SampleOracle over a fixed finite population (uniform index draw); used by
+/// tests and by the average-eccentricity application.
+class PopulationSampleOracle final : public SampleOracle {
+ public:
+  PopulationSampleOracle(std::vector<double> population, std::size_t parallelism);
+
+  std::size_t parallelism() const override { return parallelism_; }
+  double true_mean() const override { return mean_; }
+  double true_variance() const override { return variance_; }
+
+ protected:
+  std::vector<double> draw(std::size_t count, util::Rng& rng) override;
+
+ private:
+  std::vector<double> population_;
+  std::size_t parallelism_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+struct MeanEstimate {
+  double value = 0.0;
+  std::size_t batches = 0;  // b charged to the oracle by this call
+};
+
+/// Lemma 6: estimate E[X] to additive error epsilon with success probability
+/// >= 2/3 using b = O(ceil(sigma/(sqrt(p) eps) log^{3/2}(sigma/(sqrt(p) eps))))
+/// charged batches. `sigma_bound` is the known upper bound on the standard
+/// deviation (the paper's sigma; e.g. D for eccentricities).
+///
+/// Simulation note (DESIGN.md): gate-level Montanaro estimation is
+/// infeasible at scale; the estimate is formed from the actually-drawn
+/// samples with the residual shrunk by the 1/sqrt(b) quantum factor, so the
+/// output error follows the quantum rate eps ~ sigma/(sqrt(p) b) while
+/// remaining driven by real sample noise.
+MeanEstimate estimate_mean(SampleOracle& oracle, double epsilon, double sigma_bound,
+                           util::Rng& rng);
+
+/// The batch count Lemma 6 charges for given sigma, epsilon, p.
+std::size_t mean_estimation_schedule_batches(double sigma, double epsilon,
+                                             std::size_t p);
+
+}  // namespace qcongest::query

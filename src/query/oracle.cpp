@@ -1,0 +1,43 @@
+#include "src/query/oracle.hpp"
+
+#include <stdexcept>
+
+namespace qcongest::query {
+
+std::vector<Value> BatchOracle::query(std::span<const std::size_t> indices) {
+  if (indices.empty()) throw std::invalid_argument("BatchOracle::query: empty batch");
+  if (indices.size() > parallelism()) {
+    throw std::invalid_argument("BatchOracle::query: batch exceeds parallelism p");
+  }
+  for (std::size_t i : indices) {
+    if (i >= domain_size()) {
+      throw std::out_of_range("BatchOracle::query: index out of domain");
+    }
+  }
+  ledger_.record(indices.size());
+  return fetch(indices);
+}
+
+void BatchOracle::charge_batch() {
+  // A superposed batch touches (up to) p positions in superposition. Run the
+  // same fetch path with placeholder indices so distributed implementations
+  // produce identical message schedules.
+  std::vector<std::size_t> placeholder(parallelism(), 0);
+  ledger_.record(parallelism());
+  fetch(placeholder);
+}
+
+InMemoryOracle::InMemoryOracle(std::vector<Value> data, std::size_t parallelism)
+    : data_(std::move(data)), parallelism_(parallelism) {
+  if (data_.empty()) throw std::invalid_argument("InMemoryOracle: empty data");
+  if (parallelism_ == 0) throw std::invalid_argument("InMemoryOracle: p == 0");
+}
+
+std::vector<Value> InMemoryOracle::fetch(std::span<const std::size_t> indices) {
+  std::vector<Value> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(data_.at(i));
+  return out;
+}
+
+}  // namespace qcongest::query

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/query/ledger.hpp"
+
+namespace qcongest::query {
+
+/// Oracle values. Wide enough for the paper's applications: availability
+/// counts (Lemma 10), summed vector entries (Lemma 12), eccentricities
+/// (Lemma 21), and cycle lengths (Lemma 23).
+using Value = std::int64_t;
+
+/// A batched query oracle over the index domain [0, k).
+///
+/// One call to `query` or `charge_batch` represents one use of O^{\otimes p}
+/// — a single *parallel* query batch in the sense of Definition 1. The
+/// distributed implementation (framework::DistributedOracle) turns each
+/// charged batch into real CONGEST message traffic; the ledger is the bridge
+/// between query complexity and round complexity.
+///
+/// `peek` is *simulator* access: the quantum-evolution simulator may read the
+/// truth to track amplitudes (physically, the information is present in the
+/// superposed query results). Peeks are never charged and never move
+/// messages; algorithms must not base *protocol decisions* on peeked values,
+/// only the outcome sampling of the simulated quantum state may.
+class BatchOracle {
+ public:
+  virtual ~BatchOracle() = default;
+
+  /// k — the size of the query domain.
+  virtual std::size_t domain_size() const = 0;
+
+  /// p — the maximum number of simultaneous queries per batch.
+  virtual std::size_t parallelism() const = 0;
+
+  /// One charged batch resolving concrete indices to values.
+  std::vector<Value> query(std::span<const std::size_t> indices);
+
+  /// One charged batch applied to an arbitrary superposition (no classical
+  /// outcome needed by the caller).
+  void charge_batch();
+
+  /// Uncharged simulator access (see class comment).
+  virtual Value peek(std::size_t index) const = 0;
+
+  const QueryLedger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_.reset(); }
+
+ protected:
+  /// Resolve a batch of indices. Also invoked (with placeholder indices) for
+  /// superposed batches so that distributed implementations generate the
+  /// exact same communication schedule either way.
+  virtual std::vector<Value> fetch(std::span<const std::size_t> indices) = 0;
+
+ private:
+  QueryLedger ledger_;
+};
+
+/// Oracle backed by a local in-memory vector; used by unit tests and to run
+/// the query algorithms outside a network.
+class InMemoryOracle final : public BatchOracle {
+ public:
+  InMemoryOracle(std::vector<Value> data, std::size_t parallelism);
+
+  std::size_t domain_size() const override { return data_.size(); }
+  std::size_t parallelism() const override { return parallelism_; }
+  Value peek(std::size_t index) const override { return data_.at(index); }
+
+ protected:
+  std::vector<Value> fetch(std::span<const std::size_t> indices) override;
+
+ private:
+  std::vector<Value> data_;
+  std::size_t parallelism_;
+};
+
+}  // namespace qcongest::query

@@ -1,0 +1,136 @@
+#include "src/query/parallel_grover.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/query/bbht.hpp"
+#include "src/query/grover_math.hpp"
+
+namespace qcongest::query {
+
+namespace {
+
+/// Simulator-side view of the marked set (uncharged peeks; see
+/// BatchOracle::peek).
+std::vector<std::size_t> collect_marked(const BatchOracle& oracle,
+                                        const MarkPredicate& pred) {
+  std::vector<std::size_t> marked;
+  for (std::size_t i = 0; i < oracle.domain_size(); ++i) {
+    if (pred(oracle.peek(i))) marked.push_back(i);
+  }
+  return marked;
+}
+
+}  // namespace
+
+std::optional<std::size_t> grover_find_one(BatchOracle& oracle, const MarkPredicate& pred,
+                                           util::Rng& rng) {
+  auto marked = collect_marked(oracle, pred);
+  std::size_t cutoff = bbht_default_cutoff(oracle.domain_size(), oracle.parallelism());
+  auto outcome = bbht_subset_search(oracle, marked, rng, cutoff);
+  if (!outcome) return std::nullopt;
+  // The verification batch returned the values of the measured subset; pick
+  // a marked index among them (one must exist for a successful measurement).
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < outcome->subset.size(); ++i) {
+    if (pred(outcome->values[i])) hits.push_back(outcome->subset[i]);
+  }
+  if (hits.empty()) return std::nullopt;  // defensive; cannot happen
+  return hits[rng.index(hits.size())];
+}
+
+std::vector<std::size_t> grover_find_all(BatchOracle& oracle, const MarkPredicate& pred,
+                                         util::Rng& rng) {
+  auto marked = collect_marked(oracle, pred);
+  std::unordered_set<std::size_t> remaining(marked.begin(), marked.end());
+  std::vector<std::size_t> found;
+
+  // Repeatedly search for a not-yet-found marked index. Every successful
+  // measurement may surface several new indices from its verification batch.
+  // The loop ends when a full-cutoff search comes up empty, which (for
+  // t' = 0 remaining) is the correct conclusion, and for t' >= 1 happens
+  // with probability <= 1/3 in total (the paper's Markov-stopping argument).
+  std::size_t cutoff = bbht_default_cutoff(oracle.domain_size(), oracle.parallelism());
+  while (true) {
+    std::vector<std::size_t> rem_sorted(remaining.begin(), remaining.end());
+    std::sort(rem_sorted.begin(), rem_sorted.end());
+    auto outcome = bbht_subset_search(oracle, rem_sorted, rng, cutoff);
+    if (!outcome) break;
+    bool progress = false;
+    for (std::size_t i = 0; i < outcome->subset.size(); ++i) {
+      if (pred(outcome->values[i]) && remaining.erase(outcome->subset[i]) > 0) {
+        found.push_back(outcome->subset[i]);
+        progress = true;
+      }
+    }
+    if (!progress) break;  // defensive; a successful measurement always progresses
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+std::optional<std::size_t> grover_find_one_split(BatchOracle& oracle,
+                                                 const MarkPredicate& pred,
+                                                 util::Rng& rng) {
+  const std::size_t k = oracle.domain_size();
+  const std::size_t p = std::min(oracle.parallelism(), k);
+  auto marked = collect_marked(oracle, pred);
+
+  // Block i holds the indices congruent to i mod p; per-block BBHT
+  // processes advance one Grover iteration per global batch.
+  struct Block {
+    std::size_t size = 0;
+    std::size_t marked = 0;
+    double theta = 0.0;
+    double m = 1.0;
+    std::size_t attempt_left = 0;   // iterations remaining in current attempt
+    std::size_t attempt_len = 0;
+  };
+  std::vector<Block> blocks(p);
+  for (std::size_t i = 0; i < k; ++i) ++blocks[i % p].size;
+  for (std::size_t idx : marked) ++blocks[idx % p].marked;
+  for (Block& b : blocks) {
+    double frac = b.size > 0 ? static_cast<double>(b.marked) /
+                                   static_cast<double>(b.size)
+                             : 0.0;
+    b.theta = grover_angle(frac);
+    b.attempt_len = rng.index(static_cast<std::size_t>(b.m) + 1);
+    b.attempt_left = b.attempt_len;
+  }
+
+  const std::size_t cutoff = bbht_default_cutoff(k, p);
+  std::size_t used = 0;
+  const double lambda = 6.0 / 5.0;
+  while (used + 1 < cutoff) {
+    oracle.charge_batch();  // one Grover iteration in every block at once
+    ++used;
+    for (std::size_t i = 0; i < p; ++i) {
+      Block& b = blocks[i];
+      if (b.size == 0) continue;
+      if (b.attempt_left > 0) {
+        --b.attempt_left;
+        continue;
+      }
+      // Attempt complete: measure this block.
+      if (b.marked > 0 &&
+          rng.bernoulli(grover_success_probability(b.attempt_len, b.theta))) {
+        // Verification batch on the measured indices (one per block slot).
+        std::vector<std::size_t> batch;
+        std::size_t hit = marked[rng.index(marked.size())];
+        while (hit % p != i) hit = marked[rng.index(marked.size())];
+        batch.push_back(hit);
+        auto values = oracle.query(batch);
+        ++used;
+        if (pred(values[0])) return hit;
+      }
+      double m_max = std::sqrt(static_cast<double>(b.size));
+      b.m = std::min(lambda * b.m, m_max);
+      b.attempt_len = rng.index(static_cast<std::size_t>(b.m) + 1);
+      b.attempt_left = b.attempt_len;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qcongest::query

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/query/oracle.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::query {
+
+/// Predicate deciding whether a value is "marked" (e.g. x_i == 1).
+using MarkPredicate = std::function<bool(Value)>;
+
+/// Lemma 2, first algorithm: parallel Grover search. Finds an index i with
+/// pred(x_i) using O(ceil(sqrt(k / (t p)))) charged batches (t the number of
+/// marked indices), or concludes within O(sqrt(k / p)) batches that none
+/// exists. Success probability >= 2/3.
+std::optional<std::size_t> grover_find_one(BatchOracle& oracle, const MarkPredicate& pred,
+                                           util::Rng& rng);
+
+/// Lemma 2, second algorithm: find *all* marked indices using
+/// O(sqrt(k t / p) + t) charged batches, success probability >= 2/3.
+/// The returned indices are sorted and unique.
+std::vector<std::size_t> grover_find_all(BatchOracle& oracle, const MarkPredicate& pred,
+                                         util::Rng& rng);
+
+/// Ablation baseline: the split approach of [Zal99; GR04] that the paper's
+/// subset search improves on — partition the input into p blocks and run p
+/// synchronized Grover searches, one per block. Needs O(sqrt(k/p)) batches
+/// even when t marked items exist (it cannot pool them across blocks), vs
+/// the subset search's O(sqrt(k/(t p))).
+std::optional<std::size_t> grover_find_one_split(BatchOracle& oracle,
+                                                 const MarkPredicate& pred,
+                                                 util::Rng& rng);
+
+}  // namespace qcongest::query

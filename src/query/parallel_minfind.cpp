@@ -1,0 +1,74 @@
+#include "src/query/parallel_minfind.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/query/bbht.hpp"
+
+namespace qcongest::query {
+
+namespace {
+
+/// Dürr–Høyer threshold descent. `sign` is +1 for minimum, -1 for maximum
+/// (we minimize sign * x).
+std::size_t extremum_find(BatchOracle& oracle, util::Rng& rng, Value sign) {
+  const std::size_t k = oracle.domain_size();
+  const std::size_t p = std::min(oracle.parallelism(), k);
+
+  // Total batch budget: the Dürr–Høyer analysis bounds the *expected* total
+  // Grover work of the full descent by a constant times the t = 1 search
+  // cost; tripling that keeps the failure probability under 1/3 (Markov).
+  const std::size_t budget = static_cast<std::size_t>(std::ceil(
+                                 24.0 * std::sqrt(static_cast<double>(k) /
+                                                  static_cast<double>(p)))) +
+                             24;
+  std::size_t used = 0;
+
+  // Start from the best element of one random batch (one charged batch).
+  std::vector<std::size_t> start = rng.sample_without_replacement(k, p);
+  std::vector<Value> start_values = oracle.query(start);
+  ++used;
+  std::size_t best_index = start[0];
+  Value best = sign * start_values[0];
+  for (std::size_t i = 1; i < start.size(); ++i) {
+    if (sign * start_values[i] < best) {
+      best = sign * start_values[i];
+      best_index = start[i];
+    }
+  }
+
+  // Repeatedly Grover-search for a strict improvement. The marked set is
+  // simulator knowledge used only to sample measurement outcomes.
+  while (used < budget) {
+    std::vector<std::size_t> marked;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (sign * oracle.peek(i) < best) marked.push_back(i);
+    }
+    if (marked.empty()) break;  // already optimal; remaining budget unused
+
+    std::size_t before = oracle.ledger().batches;
+    auto outcome = bbht_subset_search(oracle, marked, rng, budget - used);
+    used += oracle.ledger().batches - before;
+    if (!outcome) break;  // budget exhausted mid-search
+    for (std::size_t i = 0; i < outcome->subset.size(); ++i) {
+      if (sign * outcome->values[i] < best) {
+        best = sign * outcome->values[i];
+        best_index = outcome->subset[i];
+      }
+    }
+  }
+  return best_index;
+}
+
+}  // namespace
+
+std::size_t minfind(BatchOracle& oracle, util::Rng& rng) {
+  return extremum_find(oracle, rng, Value{1});
+}
+
+std::size_t maxfind(BatchOracle& oracle, util::Rng& rng) {
+  return extremum_find(oracle, rng, Value{-1});
+}
+
+}  // namespace qcongest::query

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/query/oracle.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::query {
+
+/// Lemma 3: parallel Dürr–Høyer minimum (or maximum) finding.
+///
+/// Returns an index i such that x_i = min_j x_j (resp. max) with probability
+/// at least 2/3, using O(ceil(sqrt(k / p))) charged batches. When the
+/// extremum is attained by at least l indices the expected batch count drops
+/// to O(ceil(sqrt(k / (l p)))), which the implementation inherits for free
+/// from the exact-in-distribution Grover core.
+std::size_t minfind(BatchOracle& oracle, util::Rng& rng);
+std::size_t maxfind(BatchOracle& oracle, util::Rng& rng);
+
+}  // namespace qcongest::query

@@ -1,0 +1,53 @@
+#include "src/util/combinatorics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qcongest::util {
+
+double binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0;
+  return std::exp(log_binomial(n, k));
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+std::uint64_t binomial_exact(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    std::uint64_t factor = n - k + i;
+    // result * factor / i is exact at every step; check for overflow first.
+    if (result > UINT64_MAX / factor) {
+      throw std::overflow_error("binomial_exact: result does not fit in 64 bits");
+    }
+    result = result * factor / i;
+  }
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> all_subsets(std::size_t n, std::size_t z) {
+  std::vector<std::vector<std::size_t>> out;
+  if (z > n) return out;
+  std::vector<std::size_t> cur(z);
+  for (std::size_t i = 0; i < z; ++i) cur[i] = i;
+  while (true) {
+    out.push_back(cur);
+    // Advance to the next subset in lexicographic order.
+    std::size_t i = z;
+    while (i > 0 && cur[i - 1] == n - z + i - 1) --i;
+    if (i == 0) break;
+    ++cur[i - 1];
+    for (std::size_t j = i; j < z; ++j) cur[j] = cur[j - 1] + 1;
+  }
+  return out;
+}
+
+}  // namespace qcongest::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qcongest::util {
+
+/// ceil(a / b) for positive integers. Requires b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// ceil(log2(n)) for n >= 1; returns 0 for n == 1.
+constexpr unsigned ceil_log2(std::uint64_t n) {
+  unsigned bits = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// floor(log2(n)) for n >= 1.
+constexpr unsigned floor_log2(std::uint64_t n) {
+  unsigned bits = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Integer power, overflow-unchecked (callers keep arguments small).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  while (exp-- > 0) r *= base;
+  return r;
+}
+
+/// Exact binomial coefficient C(n, k) as a double (handles large n without
+/// overflow; exact for values representable in 53 bits).
+double binomial(std::uint64_t n, std::uint64_t k);
+
+/// log(C(n, k)) via lgamma; stable for very large n, k.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Exact binomial for small arguments where the result fits in uint64_t.
+/// Throws std::overflow_error otherwise.
+std::uint64_t binomial_exact(std::uint64_t n, std::uint64_t k);
+
+/// All z-element subsets of [0, n), in lexicographic order. Intended for
+/// toy-scale exhaustive checks (e.g. validating the Johnson-graph walk).
+std::vector<std::vector<std::size_t>> all_subsets(std::size_t n, std::size_t z);
+
+}  // namespace qcongest::util

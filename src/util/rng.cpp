@@ -1,0 +1,40 @@
+#include "src/util/rng.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace qcongest::util {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t z) {
+  if (z > n) throw std::invalid_argument("Rng::sample_without_replacement: z > n");
+  // For dense samples a partial Fisher-Yates is cheaper; for sparse samples
+  // Floyd's algorithm avoids materializing [0, n).
+  if (z * 2 >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    for (std::size_t i = 0; i < z; ++i) {
+      std::swap(all[i], all[i + index(n - i)]);
+    }
+    all.resize(z);
+    return all;
+  }
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> result;
+  result.reserve(z);
+  for (std::size_t j = n - z; j < n; ++j) {
+    std::size_t t = index(j + 1);
+    if (chosen.contains(t)) t = j;
+    chosen.insert(t);
+    result.push_back(t);
+  }
+  return result;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(std::span<std::size_t>(p));
+  return p;
+}
+
+}  // namespace qcongest::util

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/element_distinctness.hpp"
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/apps/twoparty.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::apps {
+namespace {
+
+Calendars random_calendars(std::size_t n, std::size_t k, util::Rng& rng) {
+  Calendars calendars(n, std::vector<query::Value>(k, 0));
+  for (auto& row : calendars) {
+    for (auto& bit : row) bit = rng.bernoulli(0.4) ? 1 : 0;
+  }
+  return calendars;
+}
+
+TEST(MeetingScheduling, ClassicalIsExact) {
+  util::Rng rng(71);
+  net::Graph g = net::random_connected_graph(15, 10, rng);
+  Calendars calendars = random_calendars(15, 12, rng);
+  auto reference = meeting_scheduling_reference(calendars);
+  auto classical = meeting_scheduling_classical(g, calendars);
+  EXPECT_EQ(classical.availability, reference.availability);
+  EXPECT_GT(classical.cost.rounds, 0u);
+  EXPECT_EQ(classical.cost.quantum_words, 0u);
+}
+
+TEST(MeetingScheduling, QuantumSucceedsWithPromisedProbability) {
+  util::Rng rng(72);
+  int successes = 0;
+  const int trials = 20;
+  net::Graph g = net::random_connected_graph(12, 8, rng);
+  Calendars calendars = random_calendars(12, 40, rng);
+  auto reference = meeting_scheduling_reference(calendars);
+  for (int t = 0; t < trials; ++t) {
+    auto result = meeting_scheduling_quantum(g, calendars, rng);
+    if (result.availability == reference.availability) ++successes;
+    EXPECT_GT(result.cost.quantum_words, 0u);
+    EXPECT_GT(result.batches, 0u);
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(MeetingScheduling, QuantumBeatsClassicalOnLongPathManySlots) {
+  // The Lemma 10 vs Lemma 11 separation: sqrt(k D) < k for k >> D. With all
+  // implementation constants the crossover sits below k = 16384 at D = 8.
+  util::Rng rng(73);
+  std::size_t distance = 8, k = 16384;
+  auto gadget = meeting_scheduling_gadget(k, distance, true, rng);
+  auto classical = meeting_scheduling_classical(gadget.graph, gadget.calendars);
+  auto quantum = meeting_scheduling_quantum(gadget.graph, gadget.calendars, rng);
+  EXPECT_LT(quantum.cost.rounds, classical.cost.rounds);
+}
+
+TEST(MeetingScheduling, ScalingShapeMatchesTheory) {
+  // Classical rounds grow linearly in k; quantum rounds sublinearly
+  // (~ sqrt(k) log k). Compare growth factors over a 16x range of k.
+  util::Rng rng(173);
+  auto measure = [&](std::size_t k) {
+    auto gadget = meeting_scheduling_gadget(k, 8, true, rng);
+    auto classical = meeting_scheduling_classical(gadget.graph, gadget.calendars);
+    double quantum = 0.0;
+    const int trials = 3;
+    for (int t = 0; t < trials; ++t) {
+      quantum += static_cast<double>(
+          meeting_scheduling_quantum(gadget.graph, gadget.calendars, rng).cost.rounds);
+    }
+    return std::pair{static_cast<double>(classical.cost.rounds), quantum / trials};
+  };
+  auto [c_small, q_small] = measure(1024);
+  auto [c_big, q_big] = measure(16384);
+  EXPECT_GT(c_big / c_small, 8.0);   // ~ 16x
+  EXPECT_LT(q_big / q_small, 8.0);   // ~ sqrt(16) x polylog
+}
+
+TEST(MeetingScheduling, GadgetEncodesDisjointness) {
+  util::Rng rng(74);
+  auto yes = meeting_scheduling_gadget(32, 4, true, rng);
+  EXPECT_EQ(meeting_scheduling_reference(yes.calendars).availability, 2);
+  auto no = meeting_scheduling_gadget(32, 4, false, rng);
+  EXPECT_LE(meeting_scheduling_reference(no.calendars).availability, 1);
+}
+
+TEST(MeetingScheduling, InputValidation) {
+  util::Rng rng(75);
+  net::Graph g = net::path_graph(3);
+  EXPECT_THROW(meeting_scheduling_quantum(g, Calendars(2), rng), std::invalid_argument);
+  Calendars bad(3, std::vector<query::Value>{0, 2});
+  EXPECT_THROW(meeting_scheduling_quantum(g, bad, rng), std::invalid_argument);
+  Calendars ragged{{0, 1}, {0}, {1, 1}};
+  EXPECT_THROW(meeting_scheduling_classical(g, ragged), std::invalid_argument);
+}
+
+TEST(ElementDistinctnessApp, ClassicalIsExactOnGadget) {
+  util::Rng rng(76);
+  for (bool intersect : {false, true}) {
+    auto gadget = distinctness_vector_gadget(24, 5, intersect, rng);
+    auto result = element_distinctness_vector_classical(gadget.graph, gadget.data,
+                                                        gadget.value_range);
+    EXPECT_EQ(result.collision.has_value(), intersect);
+  }
+}
+
+TEST(ElementDistinctnessApp, QuantumFindsPlantedCollision) {
+  util::Rng rng(77);
+  int successes = 0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    auto gadget = distinctness_vector_gadget(64, 4, true, rng);
+    auto result = element_distinctness_vector_quantum(gadget.graph, gadget.data,
+                                                      gadget.value_range, rng);
+    if (result.collision) {
+      // Verify the pair against the aggregated truth.
+      query::Value vi = 0, vj = 0;
+      for (const auto& row : gadget.data) {
+        vi += row[result.collision->i];
+        vj += row[result.collision->j];
+      }
+      EXPECT_EQ(vi, vj);
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(ElementDistinctnessApp, QuantumNeverInventsCollision) {
+  util::Rng rng(78);
+  auto gadget = distinctness_vector_gadget(32, 3, false, rng);
+  for (int t = 0; t < 5; ++t) {
+    auto result = element_distinctness_vector_quantum(gadget.graph, gadget.data,
+                                                      gadget.value_range, rng);
+    EXPECT_FALSE(result.collision.has_value());
+  }
+}
+
+TEST(ElementDistinctnessApp, BetweenNodesVariant) {
+  util::Rng rng(79);
+  for (bool intersect : {false, true}) {
+    auto gadget = distinctness_nodes_gadget(10, intersect, rng);
+    auto classical = element_distinctness_nodes_classical(gadget.graph, gadget.values,
+                                                          gadget.value_range);
+    EXPECT_EQ(classical.collision.has_value(), intersect);
+    if (intersect) {
+      EXPECT_EQ(gadget.values[classical.collision->i],
+                gadget.values[classical.collision->j]);
+    }
+  }
+}
+
+TEST(ElementDistinctnessApp, BetweenNodesQuantum) {
+  util::Rng rng(80);
+  int successes = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto gadget = distinctness_nodes_gadget(12, true, rng);
+    auto result = element_distinctness_nodes_quantum(gadget.graph, gadget.values,
+                                                     gadget.value_range, rng);
+    if (result.collision &&
+        gadget.values[result.collision->i] == gadget.values[result.collision->j]) {
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(DeutschJozsaApp, QuantumIsExactOnBothPromises) {
+  util::Rng rng(81);
+  for (bool balanced : {false, true}) {
+    for (int t = 0; t < 5; ++t) {
+      auto gadget = deutsch_jozsa_gadget(32, 6, balanced, rng);
+      auto result = deutsch_jozsa_quantum(gadget.graph, gadget.data);
+      EXPECT_EQ(result.verdict == query::DjVerdict::kBalanced, balanced);
+      EXPECT_EQ(result.batches, 1u);
+    }
+  }
+}
+
+TEST(DeutschJozsaApp, ClassicalExactAlwaysCorrect) {
+  util::Rng rng(82);
+  for (bool balanced : {false, true}) {
+    auto gadget = deutsch_jozsa_gadget(40, 4, balanced, rng);
+    auto result = deutsch_jozsa_classical_exact(gadget.graph, gadget.data);
+    EXPECT_EQ(result.verdict == query::DjVerdict::kBalanced, balanced);
+  }
+}
+
+TEST(DeutschJozsaApp, QuantumExponentiallyCheaperThanExactClassical) {
+  // Theorem 17 vs Theorem 18: O(D log k / log n) vs Omega(k / log n + D).
+  util::Rng rng(83);
+  auto gadget = deutsch_jozsa_gadget(512, 6, true, rng);
+  auto quantum = deutsch_jozsa_quantum(gadget.graph, gadget.data);
+  auto classical = deutsch_jozsa_classical_exact(gadget.graph, gadget.data);
+  EXPECT_LT(4 * quantum.cost.rounds, classical.cost.rounds);
+}
+
+TEST(DeutschJozsaApp, SamplingBaselineIsFastButErrs) {
+  util::Rng rng(84);
+  auto gadget = deutsch_jozsa_gadget(256, 4, false, rng);
+  auto sampling = deutsch_jozsa_classical_sampling(gadget.graph, gadget.data, 8, rng);
+  // Constant inputs are always identified correctly.
+  EXPECT_EQ(sampling.verdict, query::DjVerdict::kConstant);
+  auto exact = deutsch_jozsa_classical_exact(gadget.graph, gadget.data);
+  EXPECT_LT(sampling.cost.rounds, exact.cost.rounds);
+}
+
+TEST(TwoParty, DisjointnessInstances) {
+  util::Rng rng(85);
+  auto yes = random_disjointness(50, true, rng);
+  bool found = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (yes.x[i] == 1 && yes.y[i] == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+  auto no = random_disjointness(50, false, rng);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_FALSE(no.x[i] == 1 && no.y[i] == 1);
+}
+
+}  // namespace
+}  // namespace qcongest::apps

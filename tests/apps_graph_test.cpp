@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/cycle_detection.hpp"
+#include "src/apps/eccentricity.hpp"
+#include "src/apps/girth.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::apps {
+namespace {
+
+TEST(Eccentricity, ClassicalDiameterAndRadiusExact) {
+  util::Rng rng(91);
+  for (auto make : {+[] { return net::path_graph(14); },
+                    +[] { return net::cycle_graph(11); },
+                    +[] { return net::grid_graph(4, 5); }}) {
+    net::Graph g = make();
+    auto diam = diameter_classical(g);
+    EXPECT_EQ(diam.value, g.diameter());
+    auto rad = radius_classical(g);
+    EXPECT_EQ(rad.value, g.radius());
+  }
+}
+
+TEST(Eccentricity, QuantumDiameterSucceeds) {
+  util::Rng rng(92);
+  net::Graph g = net::random_connected_graph(24, 14, rng);
+  int successes = 0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    auto result = diameter_quantum(g, rng);
+    if (result.value == g.diameter()) ++successes;
+    EXPECT_GT(result.cost.rounds, 0u);
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(Eccentricity, QuantumRadiusSucceeds) {
+  util::Rng rng(93);
+  net::Graph g = net::random_connected_graph(20, 12, rng);
+  int successes = 0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    auto result = radius_quantum(g, rng);
+    if (result.value == g.radius()) ++successes;
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(Eccentricity, EchoVariantAgreesWithConvergecastVariant) {
+  // The paper's literal "each queried node computes its eccentricity"
+  // strategy (Lemma 20 echo) and the framework-assembled strategy must
+  // both return the diameter, at comparable cost.
+  util::Rng rng(193);
+  net::Graph g = net::random_connected_graph(22, 14, rng);
+  int hits = 0;
+  const int trials = 8;
+  std::size_t echo_rounds = 0, conv_rounds = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto echo = diameter_quantum_echo(g, rng);
+    auto conv = diameter_quantum(g, rng);
+    if (echo.value == g.diameter()) ++hits;
+    echo_rounds += echo.cost.rounds;
+    conv_rounds += conv.cost.rounds;
+  }
+  EXPECT_GE(hits, 2 * trials / 3);
+  // Same asymptotics: within a small constant factor of each other.
+  EXPECT_LT(echo_rounds, 4 * conv_rounds);
+  EXPECT_LT(conv_rounds, 4 * echo_rounds);
+}
+
+TEST(Eccentricity, QuantumCheaperThanClassicalOnLowDiameter) {
+  // Lemma 21: sqrt(n D) << n when D << n. A two-star graph has D = 3.
+  util::Rng rng(94);
+  net::Graph g = net::two_stars_graph(30, 30, 1);
+  auto classical = diameter_classical(g);
+  auto quantum = diameter_quantum(g, rng);
+  EXPECT_EQ(classical.value, g.diameter());
+  EXPECT_LT(quantum.cost.rounds, classical.cost.rounds);
+}
+
+TEST(Eccentricity, DisconnectedRejected) {
+  util::Rng rng(95);
+  net::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW(diameter_quantum(g, rng), std::invalid_argument);
+  EXPECT_THROW(diameter_classical(g), std::invalid_argument);
+}
+
+TEST(AverageEccentricity, EstimateWithinEpsilon) {
+  util::Rng rng(96);
+  net::Graph g = net::cycle_graph(20);  // all eccentricities equal 10
+  auto result = average_eccentricity_quantum(g, 0.5, rng);
+  EXPECT_NEAR(result.estimate, 10.0, 0.5);
+  EXPECT_GT(result.cost.rounds, 0u);
+
+  net::Graph p = net::path_graph(15);
+  int within = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    auto r = average_eccentricity_quantum(p, 1.0, rng);
+    if (std::abs(r.estimate - p.average_eccentricity()) <= 1.0) ++within;
+  }
+  EXPECT_GE(within, 2 * trials / 3);
+}
+
+TEST(AverageEccentricity, ClassicalBaselineExact) {
+  for (auto make : {+[] { return net::path_graph(12); },
+                    +[] { return net::grid_graph(4, 4); },
+                    +[] { return net::cycle_graph(9); }}) {
+    net::Graph g = make();
+    auto result = average_eccentricity_classical(g);
+    EXPECT_NEAR(result.estimate, g.average_eccentricity(), 1e-12);
+    EXPECT_GE(result.cost.rounds, g.num_nodes() / 2);
+  }
+}
+
+TEST(AverageEccentricity, SmallerEpsilonCostsMore) {
+  util::Rng rng(97);
+  net::Graph g = net::path_graph(20);
+  auto coarse = average_eccentricity_quantum(g, 4.0, rng);
+  auto fine = average_eccentricity_quantum(g, 0.5, rng);
+  EXPECT_GT(fine.cost.rounds, coarse.cost.rounds);
+  EXPECT_THROW(average_eccentricity_quantum(g, 0.0, rng), std::invalid_argument);
+}
+
+TEST(CycleBfs, CandidatesRecoverGirth) {
+  util::Rng rng(98);
+  for (auto make : {+[] { return net::cycle_graph(9); },
+                    +[] { return net::petersen_graph(); },
+                    +[] { return net::grid_graph(4, 4); }}) {
+    net::Graph g = make();
+    net::Engine engine(g, 1, 5);
+    std::vector<bool> active(g.num_nodes(), true);
+    std::vector<net::NodeId> sources(g.num_nodes());
+    for (net::NodeId v = 0; v < g.num_nodes(); ++v) sources[v] = v;
+    auto result = cycle_bfs(engine, sources, active, g.num_nodes());
+    std::int64_t best = kNoCycle;
+    for (auto c : result.candidate) best = std::min(best, c);
+    EXPECT_EQ(static_cast<std::size_t>(best), *g.girth());
+  }
+}
+
+TEST(CycleBfs, ForestHasNoCandidates) {
+  net::Graph g = net::binary_tree(15);
+  net::Engine engine(g, 1, 6);
+  std::vector<bool> active(15, true);
+  std::vector<net::NodeId> sources(15);
+  for (net::NodeId v = 0; v < 15; ++v) sources[v] = v;
+  auto result = cycle_bfs(engine, sources, active, 15);
+  for (auto c : result.candidate) EXPECT_EQ(c, kNoCycle);
+}
+
+TEST(PerSourceCandidates, Stage1RecoversGirthOnCycleGraphs) {
+  // On a cycle every vertex lies on the unique shortest cycle: BFS from any
+  // vertex meets itself at exactly the cycle length.
+  for (std::size_t n : {5u, 8u, 11u}) {
+    net::Graph g = net::cycle_graph(n);
+    net::Engine engine(g, 1, 3);
+    std::vector<net::NodeId> queries{0, n / 2};
+    auto result = per_source_cycle_candidates(engine, queries, n, false);
+    for (std::size_t slot = 0; slot < queries.size(); ++slot) {
+      std::int64_t best = kNoCycle;
+      for (net::NodeId v = 0; v < g.num_nodes(); ++v) {
+        best = std::min(best, result.candidate[v][slot]);
+      }
+      EXPECT_EQ(best, static_cast<std::int64_t>(n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(PerSourceCandidates, CandidatesNeverBelowGirth) {
+  util::Rng rng(104);
+  net::Graph g = net::random_connected_graph(40, 40, rng);
+  auto girth = g.girth();
+  ASSERT_TRUE(girth.has_value());
+  net::Engine engine(g, 1, 4);
+  std::vector<net::NodeId> queries{1, 7, 20, 33};
+  for (bool stage2 : {false, true}) {
+    auto result = per_source_cycle_candidates(engine, queries, 12, stage2);
+    for (net::NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (std::size_t slot = 0; slot < queries.size(); ++slot) {
+        std::int64_t c = result.candidate[v][slot];
+        if (c < kNoCycle) {
+          EXPECT_GE(c, static_cast<std::int64_t>(*girth));
+        }
+      }
+    }
+  }
+}
+
+TEST(PerSourceCandidates, Stage2CrossBranchWitnessesCyclesThroughS) {
+  // Two triangles sharing vertex 0: on G \ {0} no cycle survives, but the
+  // cross-branch meetings between 0's neighbor-BFSs still witness the
+  // triangles *through* 0 (length d + d' + 2) — exactly length 3 here.
+  net::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  net::Engine engine(g, 1, 5);
+  std::vector<net::NodeId> queries{0};
+  auto stage2 = per_source_cycle_candidates(engine, queries, 6, true);
+  std::int64_t best2 = kNoCycle;
+  for (net::NodeId v = 0; v < 5; ++v) best2 = std::min(best2, stage2.candidate[v][0]);
+  EXPECT_EQ(best2, 3);
+  // Stage 1 from s = 0 sees the triangles too.
+  auto stage1 = per_source_cycle_candidates(engine, queries, 6, false);
+  std::int64_t best1 = kNoCycle;
+  for (net::NodeId v = 0; v < 5; ++v) best1 = std::min(best1, stage1.candidate[v][0]);
+  EXPECT_EQ(best1, 3);
+}
+
+TEST(PerSourceCandidates, ForestsProduceNoCandidates) {
+  net::Graph g = net::star_graph(8);
+  net::Engine engine(g, 1, 8);
+  std::vector<net::NodeId> queries{0, 3};
+  for (bool stage2 : {false, true}) {
+    auto result = per_source_cycle_candidates(engine, queries, 8, stage2);
+    for (net::NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (std::size_t slot = 0; slot < queries.size(); ++slot) {
+        EXPECT_EQ(result.candidate[v][slot], kNoCycle);
+      }
+    }
+  }
+}
+
+TEST(PerSourceCandidates, Stage2SeesCyclesThroughNeighbors) {
+  // Triangle 1-2-3 with s = 0 attached to 1: stage 2 for s = 0 BFSes from
+  // node 1 on G \ {0} and finds the triangle.
+  net::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  net::Engine engine(g, 1, 6);
+  std::vector<net::NodeId> queries{0};
+  auto stage2 = per_source_cycle_candidates(engine, queries, 6, true);
+  std::int64_t best = kNoCycle;
+  for (net::NodeId v = 0; v < 4; ++v) best = std::min(best, stage2.candidate[v][0]);
+  EXPECT_EQ(best, 3);
+}
+
+TEST(PerSourceCandidates, AggregatedMinMatchesCentralizedReplica) {
+  // min(stage1, stage2) aggregated over all nodes must coincide with the
+  // centralized two-stage value on vertex-transitive-ish fixtures.
+  net::Graph g = net::petersen_graph();
+  net::Engine engine(g, 1, 7);
+  std::vector<net::NodeId> queries{0, 3, 7};
+  auto s1 = per_source_cycle_candidates(engine, queries, 6, false);
+  auto s2 = per_source_cycle_candidates(engine, queries, 6, true);
+  for (std::size_t slot = 0; slot < queries.size(); ++slot) {
+    std::int64_t best = kNoCycle;
+    for (net::NodeId v = 0; v < g.num_nodes(); ++v) {
+      best = std::min({best, s1.candidate[v][slot], s2.candidate[v][slot]});
+    }
+    EXPECT_EQ(best, 5);  // every vertex of Petersen is on a 5-cycle
+  }
+}
+
+TEST(LightCycles, RespectsDegreeThreshold) {
+  // Lollipop: the only cycles pass through high-degree clique nodes, so a
+  // low threshold sees nothing while a high threshold finds the triangle.
+  net::Graph g = net::lollipop_graph(6, 8);
+  auto low = light_cycle_detection(g, 5, 2);
+  EXPECT_FALSE(low.cycle_length.has_value());
+  auto high = light_cycle_detection(g, 5, 10);
+  ASSERT_TRUE(high.cycle_length.has_value());
+  EXPECT_EQ(*high.cycle_length, 3u);
+}
+
+TEST(CycleDetection, FindsShortCyclesExactly) {
+  util::Rng rng(99);
+  struct Case {
+    net::Graph graph;
+    std::size_t k;
+    std::optional<std::size_t> expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({net::cycle_with_trees(4, 30, rng), 6, 4});
+  cases.push_back({net::petersen_graph(), 5, 5});
+  cases.push_back({net::grid_graph(4, 5), 4, 4});
+  cases.push_back({net::binary_tree(20), 6, std::nullopt});
+  cases.push_back({net::cycle_graph(12), 5, std::nullopt});  // girth 12 > 5
+
+  for (auto& c : cases) {
+    int agree = 0;
+    const int trials = 6;
+    for (int t = 0; t < trials; ++t) {
+      auto result = cycle_detection(c.graph, c.k, rng);
+      if (result.cycle_length == c.expected) ++agree;
+      // One-sided: a reported cycle is never shorter than the girth.
+      if (result.cycle_length) {
+        EXPECT_GE(*result.cycle_length, *c.graph.girth());
+      }
+    }
+    EXPECT_GE(agree, 2 * trials / 3);
+  }
+}
+
+TEST(CycleDetection, ClusteredVariantAgrees) {
+  util::Rng rng(100);
+  net::Graph g = net::cycle_with_trees(4, 40, rng);
+  int agree = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    auto result = cycle_detection_clustered(g, 6, rng);
+    if (result.cycle_length == std::optional<std::size_t>(4)) ++agree;
+    EXPECT_GT(result.charged_rounds, 0u);
+  }
+  EXPECT_GE(agree, 2 * trials / 3);
+}
+
+TEST(CycleDetection, BetaFormulaInRange) {
+  double beta = cycle_beta(1000, 10, 6);
+  EXPECT_GT(beta, 0.0);
+  EXPECT_LT(beta, 1.0);
+  // Larger k -> smaller beta (light stage must stay cheap).
+  EXPECT_LT(cycle_beta(1000, 10, 12), cycle_beta(1000, 10, 4));
+}
+
+TEST(Girth, QuantumComputesGirthOnKnownGraphs) {
+  util::Rng rng(101);
+  struct Case {
+    net::Graph graph;
+    std::optional<std::size_t> expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({net::petersen_graph(), 5});
+  cases.push_back({net::cycle_with_trees(7, 30, rng), 7});
+  cases.push_back({net::complete_graph(8), 3});
+  cases.push_back({net::binary_tree(12), std::nullopt});
+
+  for (auto& c : cases) {
+    int agree = 0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      auto result = girth_quantum(c.graph, 0.5, rng);
+      if (result.girth == c.expected) ++agree;
+    }
+    EXPECT_GE(agree, 2 * trials / 3) << "girth case";
+  }
+}
+
+TEST(BoostedApps, DiameterAndRadiusNearCertain) {
+  util::Rng rng(111);
+  net::Graph g = net::random_connected_graph(22, 12, rng);
+  int trials = 10, diam_hits = 0, rad_hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    if (diameter_quantum_boosted(g, 0.01, rng).value == g.diameter()) ++diam_hits;
+    if (radius_quantum_boosted(g, 0.01, rng).value == g.radius()) ++rad_hits;
+  }
+  EXPECT_GE(diam_hits, trials - 1);
+  EXPECT_GE(rad_hits, trials - 1);
+  EXPECT_THROW(diameter_quantum_boosted(g, 0.0, rng), std::invalid_argument);
+}
+
+TEST(BoostedApps, GirthNearCertainAndOneSided) {
+  util::Rng rng(112);
+  net::Graph g = net::cycle_with_trees(5, 30, rng);
+  int trials = 8, hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto result = girth_quantum_boosted(g, 0.5, 0.02, rng);
+    ASSERT_TRUE(result.girth.has_value());
+    EXPECT_GE(*result.girth, 5u);
+    if (*result.girth == 5u) ++hits;
+  }
+  EXPECT_GE(hits, trials - 1);
+  // Forests still come up empty under boosting.
+  EXPECT_FALSE(
+      girth_quantum_boosted(net::binary_tree(10), 0.5, 0.1, rng).girth.has_value());
+}
+
+TEST(Girth, ClassicalBaselineExact) {
+  util::Rng rng(102);
+  for (auto make : {+[] { return net::petersen_graph(); },
+                    +[] { return net::grid_graph(3, 4); },
+                    +[] { return net::cycle_graph(9); }}) {
+    net::Graph g = make();
+    auto result = girth_classical(g);
+    EXPECT_EQ(result.girth, g.girth());
+  }
+  EXPECT_FALSE(girth_classical(net::path_graph(10)).girth.has_value());
+}
+
+TEST(Girth, HeavyCycleGraphs) {
+  // Graphs whose short cycles pass through high-degree vertices exercise
+  // the heavy stage: the clique of a lollipop and the caveman communities.
+  util::Rng rng(104);
+  net::Graph lollipop = net::lollipop_graph(7, 6);
+  int hits = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    auto result = girth_quantum(lollipop, 0.5, rng);
+    if (result.girth == std::optional<std::size_t>(3)) ++hits;
+  }
+  EXPECT_GE(hits, 2 * trials / 3);
+
+  net::Graph caveman = net::caveman_graph(3, 5);
+  auto result = girth_quantum_boosted(caveman, 0.5, 0.05, rng);
+  EXPECT_EQ(result.girth, std::optional<std::size_t>(3));
+}
+
+TEST(Girth, ParameterValidation) {
+  util::Rng rng(103);
+  net::Graph g = net::cycle_graph(5);
+  EXPECT_THROW(girth_quantum(g, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(girth_quantum(g, 1.5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qcongest::apps

@@ -1,0 +1,164 @@
+// Parameterized sweeps over the applications: correctness, one-sidedness,
+// and the CONGEST bandwidth invariant across graph families and sizes.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/apps/cycle_detection.hpp"
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/eccentricity.hpp"
+#include "src/apps/girth.hpp"
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/apps/twoparty.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::apps {
+namespace {
+
+net::Graph family_graph(int family, std::size_t n, util::Rng& rng) {
+  switch (family) {
+    case 0:
+      return net::path_graph(n);
+    case 1:
+      return net::cycle_graph(std::max<std::size_t>(n, 3));
+    case 2:
+      return net::grid_graph(std::max<std::size_t>(n / 5, 2), 5);
+    case 3:
+      return net::two_stars_graph(n / 2, n / 2, 2);
+    default:
+      return net::random_connected_graph(n, n, rng);
+  }
+}
+
+class EccentricityFamilies
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(EccentricityFamilies, DiameterAndRadiusSucceedAndRespectBandwidth) {
+  auto [family, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(family) * 37 + n);
+  net::Graph g = family_graph(family, n, rng);
+
+  int diameter_hits = 0, radius_hits = 0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    auto diam = diameter_quantum(g, rng);
+    if (diam.value == g.diameter()) ++diameter_hits;
+    // The engine throws on violations; additionally assert the recorded
+    // peak utilization never exceeded the advertised bandwidth of 1.
+    EXPECT_LE(diam.cost.max_edge_words, 1u);
+    auto rad = radius_quantum(g, rng);
+    if (rad.value == g.radius()) ++radius_hits;
+  }
+  EXPECT_GE(diameter_hits, 2 * trials / 3);
+  EXPECT_GE(radius_hits, 2 * trials / 3);
+
+  EXPECT_EQ(diameter_classical(g).value, g.diameter());
+  EXPECT_EQ(radius_classical(g).value, g.radius());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EccentricityFamilies,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(16u, 36u)));
+
+class DeutschJozsaSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, bool>> {};
+
+TEST_P(DeutschJozsaSweep, AllThreeProtocolsBehaveAsPromised) {
+  auto [k, distance, balanced] = GetParam();
+  util::Rng rng(k * 7 + distance + (balanced ? 1 : 0));
+  auto gadget = deutsch_jozsa_gadget(k, distance, balanced, rng);
+  auto expected = balanced ? query::DjVerdict::kBalanced : query::DjVerdict::kConstant;
+
+  auto quantum = deutsch_jozsa_quantum(gadget.graph, gadget.data);
+  EXPECT_EQ(quantum.verdict, expected);  // probability-1 algorithm
+  EXPECT_LE(quantum.cost.max_edge_words, 1u);
+
+  auto classical = deutsch_jozsa_classical_exact(gadget.graph, gadget.data);
+  EXPECT_EQ(classical.verdict, expected);
+
+  auto sampling = deutsch_jozsa_classical_sampling(gadget.graph, gadget.data, 10, rng);
+  if (!balanced) {
+    // Constant inputs can never be misread by the sampler.
+    EXPECT_EQ(sampling.verdict, query::DjVerdict::kConstant);
+  }
+  // The quantum protocol's cost is independent of k up to word width.
+  EXPECT_LE(quantum.cost.rounds, 10 * distance + 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DeutschJozsaSweep,
+                         ::testing::Combine(::testing::Values(16u, 256u, 2048u),
+                                            ::testing::Values(3u, 9u),
+                                            ::testing::Bool()));
+
+class MeetingSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MeetingSweep, QuantumMatchesReferenceWithPromisedProbability) {
+  auto [n, k] = GetParam();
+  util::Rng rng(n * 13 + k);
+  net::Graph g = net::random_connected_graph(n, n / 2, rng);
+  Calendars calendars(n, std::vector<query::Value>(k, 0));
+  for (auto& row : calendars) {
+    for (auto& slot : row) slot = rng.bernoulli(0.25) ? 1 : 0;
+  }
+  auto reference = meeting_scheduling_reference(calendars);
+  EXPECT_EQ(meeting_scheduling_classical(g, calendars).availability,
+            reference.availability);
+  int hits = 0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    auto result = meeting_scheduling_quantum(g, calendars, rng);
+    if (result.availability == reference.availability) ++hits;
+    EXPECT_LE(result.cost.max_edge_words, 1u);
+  }
+  EXPECT_GE(hits, 2 * trials / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MeetingSweep,
+                         ::testing::Combine(::testing::Values(8u, 24u),
+                                            ::testing::Values(32u, 256u)));
+
+class GirthFamilies
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GirthFamilies, GirthIsNeverUnderestimatedAndUsuallyExact) {
+  auto [girth, n] = GetParam();
+  util::Rng rng(girth * 101 + n);
+  net::Graph g = net::cycle_with_trees(girth, n, rng);
+  int exact = 0;
+  const int trials = 4;
+  for (int t = 0; t < trials; ++t) {
+    auto result = girth_quantum(g, 0.5, rng);
+    ASSERT_TRUE(result.girth.has_value());
+    EXPECT_GE(*result.girth, girth);  // one-sided error
+    if (*result.girth == girth) ++exact;
+  }
+  EXPECT_GE(exact, 2 * trials / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GirthFamilies,
+                         ::testing::Combine(::testing::Values(3u, 4u, 6u, 9u),
+                                            ::testing::Values(24u, 48u)));
+
+class CycleDetectionNoFalsePositives : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CycleDetectionNoFalsePositives, ForestsAlwaysComeUpEmpty) {
+  std::size_t n = GetParam();
+  util::Rng rng(n);
+  net::Graph g = net::binary_tree(n);
+  for (std::size_t k : {4u, 8u}) {
+    auto result = cycle_detection(g, k, rng);
+    EXPECT_FALSE(result.cycle_length.has_value());
+    auto clustered = cycle_detection_clustered(g, k, rng);
+    EXPECT_FALSE(clustered.cycle_length.has_value());
+  }
+  EXPECT_FALSE(girth_quantum(g, 0.5, rng).girth.has_value());
+  EXPECT_FALSE(girth_classical(g).girth.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CycleDetectionNoFalsePositives,
+                         ::testing::Values(7u, 20u, 45u));
+
+}  // namespace
+}  // namespace qcongest::apps

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "src/quantum/arithmetic.hpp"
+#include "src/quantum/oracle.hpp"
+#include "src/quantum/statevector.hpp"
+#include "src/query/grover_math.hpp"
+
+namespace qcongest::quantum {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(Adder, ExhaustiveTruthTable) {
+  // width-3 adder: 2 * 3 + 1 = 7 qubits; check all 64 (a, b) pairs.
+  const unsigned w = 3;
+  Circuit add = adder_circuit(7, 0, w, 2 * w, w);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      Statevector state(7, a | (b << w));
+      add.apply_to(state);
+      BasisState expected = a | (((a + b) % 8) << w);
+      EXPECT_NEAR(state.probability(expected), 1.0, kTol)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Adder, WorksOnSuperpositions) {
+  // a in uniform superposition, b = 3: the adder must act linearly.
+  const unsigned w = 2;
+  Statevector state(5, 3u << w);  // b = 3
+  state.h(0);
+  state.h(1);
+  adder_circuit(5, 0, w, 2 * w, w).apply_to(state);
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    BasisState expected = a | (((a + 3) % 4) << w);
+    EXPECT_NEAR(state.probability(expected), 0.25, kTol) << a;
+  }
+}
+
+TEST(Adder, InverseSubtracts) {
+  const unsigned w = 3;
+  Circuit add = adder_circuit(7, 0, w, 2 * w, w);
+  Statevector state(7, 5u | (6u << w));
+  add.apply_to(state);
+  add.inverse().apply_to(state);
+  EXPECT_NEAR(state.probability(5u | (6u << w)), 1.0, kTol);
+}
+
+TEST(Carry, DetectsOverflowExactly) {
+  const unsigned w = 3;
+  // Layout: a [0,3), b [3,6), ancilla 6, flag 7.
+  Circuit carry = carry_circuit(8, 0, w, 6, 7, w);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      Statevector state(8, a | (b << w));
+      carry.apply_to(state);
+      BasisState expected = a | (b << w) | (a + b >= 8 ? (1ull << 7) : 0);
+      EXPECT_NEAR(state.probability(expected), 1.0, kTol)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(LessThanConstant, ExhaustiveAgainstClassicalComparison) {
+  const unsigned w = 3;
+  // Layout: x [0,3), work [3,6), ancilla 6, flag 7.
+  for (std::uint64_t threshold = 0; threshold <= 8; ++threshold) {
+    Circuit cmp = less_than_constant_circuit(8, 0, w, 6, 7, w, threshold);
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      Statevector state(8, x);
+      cmp.apply_to(state);
+      BasisState expected = x | (x < threshold ? (1ull << 7) : 0);
+      EXPECT_NEAR(state.probability(expected), 1.0, kTol)
+          << "x=" << x << " T=" << threshold;
+    }
+  }
+}
+
+TEST(LessThanConstant, IsSelfInverseOnTheFlag) {
+  const unsigned w = 2;
+  Circuit cmp = less_than_constant_circuit(6, 0, w, 4, 5, w, 2);
+  Statevector state(6, 1);  // x = 1 < 2
+  cmp.apply_to(state);
+  cmp.apply_to(state);
+  EXPECT_NEAR(state.probability(1), 1.0, kTol);
+}
+
+TEST(Arithmetic, RegisterValidation) {
+  EXPECT_THROW(adder_circuit(4, 0, 2, 3, 2), std::invalid_argument);  // overlap-ish OOB
+  EXPECT_THROW(adder_circuit(7, 0, 3, 7, 3), std::invalid_argument);  // ancilla OOB
+  EXPECT_THROW(less_than_constant_circuit(8, 0, 3, 6, 7, 3, 9), std::invalid_argument);
+  EXPECT_THROW(adder_circuit(7, 0, 3, 6, 0), std::invalid_argument);  // zero width
+}
+
+TEST(GateLevelThresholdOracle, GroverMarksValuesBelowThreshold) {
+  // Full gate-level "find an index with x_i < T" — the inner oracle of
+  // Durr-Hoyer, built from a value oracle plus the comparator circuit, and
+  // cross-checked against the analytic 2-D Grover model used at scale.
+  //
+  // Layout: index [0,3), value [3,6), work [6,9), ancilla 9, flag 10.
+  const unsigned idx_w = 3, val_w = 3;
+  const unsigned total = 11;
+  std::vector<std::uint64_t> data{5, 2, 7, 1, 6, 3, 4, 0};
+  const std::uint64_t threshold = 3;  // marked: x_i in {2, 1, 0} -> 3 indices
+
+  auto value_oracle = [&](Statevector& state) {
+    apply_value_oracle(state, 0, idx_w, idx_w, val_w,
+                       [&](std::uint64_t i) { return data[i]; });
+  };
+  Circuit comparator =
+      less_than_constant_circuit(total, idx_w, 2 * idx_w, 9, 10, val_w, threshold);
+
+  Statevector state(total);
+  for (unsigned q = 0; q < idx_w; ++q) state.h(q);
+
+  // Phase oracle: value oracle, compare into flag, Z on flag, uncompute.
+  auto apply_phase_oracle_via_arithmetic = [&](Statevector& s) {
+    value_oracle(s);
+    comparator.apply_to(s);
+    s.z(10);
+    comparator.inverse().apply_to(s);
+    value_oracle(s);
+  };
+
+  // One Grover iteration: marked fraction 3/8.
+  apply_phase_oracle_via_arithmetic(state);
+  // Diffusion on the index register.
+  for (unsigned q = 0; q < idx_w; ++q) state.h(q);
+  apply_phase_oracle(state, 0, idx_w, [](std::uint64_t i) { return i == 0; });
+  for (unsigned q = 0; q < idx_w; ++q) state.h(q);
+
+  double p_marked = 0.0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    if (data[i] < threshold) {
+      // Probability of measuring index i with all ancillas clean.
+      p_marked += state.probability(i);
+    }
+  }
+  double theta = query::grover_angle(3.0 / 8.0);
+  EXPECT_NEAR(p_marked, query::grover_success_probability(1, theta), 1e-9);
+}
+
+}  // namespace
+}  // namespace qcongest::quantum

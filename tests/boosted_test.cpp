@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/query/boosted.hpp"
+
+namespace qcongest::query {
+namespace {
+
+TEST(Boosting, RepetitionCounts) {
+  EXPECT_EQ(boost_repetitions(0.3), 3u);  // ceil(log3(1/0.3)) + 1
+  EXPECT_GE(boost_repetitions(0.01), 5u);
+  EXPECT_GT(boost_repetitions(1e-9), boost_repetitions(1e-3));
+  EXPECT_THROW(boost_repetitions(0.0), std::invalid_argument);
+  EXPECT_THROW(boost_repetitions(1.0), std::invalid_argument);
+}
+
+TEST(Boosting, FindOneRarelyFails) {
+  util::Rng rng(1);
+  int successes = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Value> data(512, 0);
+    data[rng.index(512)] = 1;
+    InMemoryOracle oracle(data, 8);
+    auto found = grover_find_one_boosted(
+        oracle, [](Value v) { return v == 1; }, 0.01, rng);
+    if (found && oracle.peek(*found) == 1) ++successes;
+  }
+  // delta = 0.01: essentially never fails over 60 trials.
+  EXPECT_GE(successes, 59);
+}
+
+TEST(Boosting, FindOneStillNulloptOnEmpty) {
+  util::Rng rng(2);
+  InMemoryOracle oracle(std::vector<Value>(128, 0), 8);
+  EXPECT_FALSE(grover_find_one_boosted(oracle, [](Value v) { return v == 1; }, 0.05,
+                                       rng)
+                   .has_value());
+}
+
+TEST(Boosting, MinfindRarelyFails) {
+  util::Rng rng(3);
+  int successes = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Value> data(400);
+    for (auto& v : data) v = static_cast<Value>(rng.index(100000)) + 10;
+    std::size_t min_at = rng.index(400);
+    data[min_at] = 1;
+    InMemoryOracle oracle(data, 8);
+    if (minfind_boosted(oracle, 0.02, rng) == min_at) ++successes;
+  }
+  EXPECT_GE(successes, 39);
+}
+
+TEST(Boosting, MaxfindVariant) {
+  util::Rng rng(4);
+  std::vector<Value> data(300, 5);
+  data[123] = 99;
+  InMemoryOracle oracle(data, 8);
+  EXPECT_EQ(minfind_boosted(oracle, 0.02, rng, /*maximum=*/true), 123u);
+}
+
+TEST(Boosting, ElementDistinctnessRarelyFails) {
+  util::Rng rng(5);
+  int successes = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Value> data(400);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<Value>(i);
+    data[rng.index(200)] = data[200 + rng.index(200)];
+    InMemoryOracle oracle(data, 4);
+    auto pair = element_distinctness_boosted(oracle, 0.02, rng);
+    if (pair && oracle.peek(pair->i) == oracle.peek(pair->j)) ++successes;
+  }
+  EXPECT_GE(successes, 24);
+}
+
+TEST(Boosting, ElementDistinctnessOneSided) {
+  util::Rng rng(6);
+  std::vector<Value> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<Value>(i);
+  InMemoryOracle oracle(data, 4);
+  EXPECT_FALSE(element_distinctness_boosted(oracle, 0.1, rng).has_value());
+}
+
+TEST(Boosting, CostGrowsLogarithmically) {
+  // Halving delta repeatedly adds only ~constant batches per halving.
+  util::Rng rng(7);
+  std::vector<Value> data(1024, 0);
+  data[77] = 1;
+  auto batches_at = [&](double delta) {
+    double total = 0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      InMemoryOracle oracle(data, 8);
+      (void)grover_find_one_boosted(oracle, [](Value v) { return v == 1; }, delta,
+                                    rng);
+      total += static_cast<double>(oracle.ledger().batches);
+    }
+    return total / trials;
+  };
+  double coarse = batches_at(0.3);
+  double fine = batches_at(0.3 * 1e-4);
+  // 4 orders of magnitude of delta: at most ~9x the cost (log factor).
+  EXPECT_LT(fine, 10.0 * coarse + 20.0);
+}
+
+}  // namespace
+}  // namespace qcongest::query

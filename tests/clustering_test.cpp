@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/net/clustering.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::net {
+namespace {
+
+TEST(Clustering, PropertiesHoldOnVariousGraphs) {
+  util::Rng rng(51);
+  struct Case {
+    Graph graph;
+    std::size_t d;
+  };
+  std::vector<Case> cases;
+  cases.push_back({path_graph(60), 4});
+  cases.push_back({cycle_graph(50), 3});
+  cases.push_back({grid_graph(8, 8), 5});
+  cases.push_back({random_connected_graph(80, 60, rng), 4});
+  cases.push_back({star_graph(30), 2});
+
+  for (auto& c : cases) {
+    Clustering clustering = cluster_graph(c.graph, c.d, rng);
+    EXPECT_NO_THROW(validate_clustering(c.graph, clustering, c.d));
+    EXPECT_GT(clustering.charged_rounds, 0u);
+    EXPECT_GE(clustering.num_colors, 1u);
+  }
+}
+
+TEST(Clustering, SmallDiameterGraphIsOneCluster) {
+  util::Rng rng(52);
+  Graph g = complete_graph(12);
+  Clustering clustering = cluster_graph(g, 2, rng);
+  // The first cluster's ball of radius d*log(n) covers the whole clique.
+  EXPECT_EQ(clustering.num_colors, 1u);
+  EXPECT_EQ(clustering.clusters.size(), 1u);
+  EXPECT_EQ(clustering.clusters[0].members.size(), 12u);
+}
+
+TEST(Clustering, EveryNodeCovered) {
+  util::Rng rng(53);
+  Graph g = path_graph(200);
+  Clustering clustering = cluster_graph(g, 6, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_FALSE(clustering.clusters_of_node[v].empty());
+  }
+}
+
+TEST(Clustering, RejectsZeroD) {
+  util::Rng rng(54);
+  Graph g = path_graph(5);
+  EXPECT_THROW(cluster_graph(g, 0, rng), std::invalid_argument);
+}
+
+TEST(Clustering, ValidatorCatchesBrokenCover) {
+  util::Rng rng(55);
+  Graph g = path_graph(30);
+  Clustering clustering = cluster_graph(g, 3, rng);
+  // Sabotage: claim two same-color clusters that are adjacent.
+  Clustering broken = clustering;
+  broken.clusters.clear();
+  broken.clusters.push_back({0, 0, {0, 1, 2}});
+  broken.clusters.push_back({3, 0, {3, 4}});
+  EXPECT_THROW(validate_clustering(g, broken, 3), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qcongest::net

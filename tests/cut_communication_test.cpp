@@ -1,0 +1,115 @@
+// Tests of the two-party-cut accounting: a CONGEST protocol on a gadget
+// graph induces a two-party protocol whose communication is the words
+// crossing the Alice/Bob cut. The reductions (Lemmas 11/13, Theorem 18)
+// prove Omega(k) classical lower bounds for that quantity; here we verify
+// the measured cut traffic of our protocols behaves accordingly.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/apps/twoparty.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::apps {
+namespace {
+
+TEST(CutCommunication, PathGadgetCutConstruction) {
+  auto side = path_gadget_cut(6, 2);
+  EXPECT_EQ(side, (std::vector<bool>{false, false, false, true, true, true}));
+  EXPECT_THROW(path_gadget_cut(4, 3), std::invalid_argument);
+}
+
+TEST(CutCommunication, UntrackedRunsReportZero) {
+  util::Rng rng(1);
+  auto gadget = meeting_scheduling_gadget(64, 4, true, rng);
+  auto result = meeting_scheduling_classical(gadget.graph, gadget.calendars);
+  EXPECT_EQ(result.cost.cut_words, 0u);
+}
+
+TEST(CutCommunication, ClassicalMeetingSchedulingMovesOmegaKAcrossCut) {
+  util::Rng rng(2);
+  const std::size_t k = 512, distance = 6;
+  auto gadget = meeting_scheduling_gadget(k, distance, true, rng);
+  NetOptions options;
+  options.tracked_cut = path_gadget_cut(gadget.graph.num_nodes(), distance / 2);
+  auto result = meeting_scheduling_classical(gadget.graph, gadget.calendars, options);
+  // The whole aggregated calendar crosses the cut: >= k words.
+  EXPECT_GE(result.cost.cut_words, k);
+}
+
+TEST(CutCommunication, QuantumMeetingSchedulingMovesFarLessForLargeK) {
+  util::Rng rng(3);
+  const std::size_t k = 4096, distance = 6;
+  auto gadget = meeting_scheduling_gadget(k, distance, true, rng);
+  NetOptions options;
+  options.tracked_cut = path_gadget_cut(gadget.graph.num_nodes(), distance / 2);
+  auto classical =
+      meeting_scheduling_classical(gadget.graph, gadget.calendars, options);
+  auto quantum =
+      meeting_scheduling_quantum(gadget.graph, gadget.calendars, rng, options);
+  EXPECT_GE(classical.cost.cut_words, k);
+  EXPECT_LT(quantum.cost.cut_words, classical.cost.cut_words);
+}
+
+TEST(CutCommunication, DeutschJozsaSeparationAtTheCut) {
+  // Theorem 17/18 at the cut: the exact classical protocol must move
+  // Omega(k) words across; the quantum one a constant number of qubit-words
+  // times D-independent factors.
+  util::Rng rng(4);
+  const std::size_t k = 1024, distance = 6;
+  auto gadget = deutsch_jozsa_gadget(k, distance, true, rng);
+  NetOptions options;
+  options.tracked_cut = path_gadget_cut(gadget.graph.num_nodes(), distance / 2);
+
+  auto classical = deutsch_jozsa_classical_exact(gadget.graph, gadget.data, options);
+  auto quantum = deutsch_jozsa_quantum(gadget.graph, gadget.data, options);
+  EXPECT_EQ(classical.verdict, query::DjVerdict::kBalanced);
+  EXPECT_EQ(quantum.verdict, query::DjVerdict::kBalanced);
+  EXPECT_GE(classical.cost.cut_words, k / 2);
+  // Quantum: one superposed query, a handful of words per phase.
+  EXPECT_LT(quantum.cost.cut_words * 10, classical.cost.cut_words);
+}
+
+TEST(CutCommunication, CongestBSpeedsUpAppsEndToEnd) {
+  // CONGEST(B) through the whole app stack: wider bandwidth reduces the
+  // measured rounds of both protocols without changing answers.
+  util::Rng rng(6);
+  auto gadget = meeting_scheduling_gadget(1024, 6, true, rng);
+  NetOptions narrow;
+  NetOptions wide;
+  wide.bandwidth = 4;
+  auto reference = meeting_scheduling_reference(gadget.calendars);
+  auto c_narrow = meeting_scheduling_classical(gadget.graph, gadget.calendars, narrow);
+  auto c_wide = meeting_scheduling_classical(gadget.graph, gadget.calendars, wide);
+  EXPECT_EQ(c_narrow.availability, reference.availability);
+  EXPECT_EQ(c_wide.availability, reference.availability);
+  EXPECT_LT(2 * c_wide.cost.rounds, c_narrow.cost.rounds);
+  EXPECT_LE(c_wide.cost.max_edge_words, 4u);
+
+  // Same algorithm randomness for both bandwidths: identical batch
+  // schedules, so the comparison isolates the bandwidth effect.
+  util::Rng rng_narrow(99), rng_wide(99);
+  auto q_narrow =
+      meeting_scheduling_quantum(gadget.graph, gadget.calendars, rng_narrow, narrow);
+  auto q_wide =
+      meeting_scheduling_quantum(gadget.graph, gadget.calendars, rng_wide, wide);
+  EXPECT_LT(q_wide.cost.rounds, q_narrow.cost.rounds);
+}
+
+TEST(CutCommunication, CutWordsGrowLinearlyInKClassically) {
+  util::Rng rng(5);
+  auto measure = [&](std::size_t k) {
+    auto gadget = meeting_scheduling_gadget(k, 4, true, rng);
+    NetOptions options;
+    options.tracked_cut = path_gadget_cut(gadget.graph.num_nodes(), 1);
+    return meeting_scheduling_classical(gadget.graph, gadget.calendars, options)
+        .cost.cut_words;
+  };
+  double small = static_cast<double>(measure(256));
+  double large = static_cast<double>(measure(2048));
+  EXPECT_NEAR(large / small, 8.0, 1.5);
+}
+
+}  // namespace
+}  // namespace qcongest::apps

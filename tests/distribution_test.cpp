@@ -1,0 +1,132 @@
+// Statistical cross-validation between independent implementations: the
+// gate-level simulators on one side, the analytic distributions the scaled
+// layer samples from on the other. Agreement here is what justifies using
+// the analytic forms at sizes the statevector cannot reach.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/framework/non_oracle.hpp"
+#include "src/query/gate_level.hpp"
+#include "src/query/grover_math.hpp"
+#include "src/query/mean_estimation.hpp"
+#include "src/quantum/statevector.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest {
+namespace {
+
+TEST(Distribution, GateLevelQpeMatchesAnalyticFormula) {
+  // Histogram gate-level QPE outcomes for an off-grid phase and compare to
+  // framework::qpe_outcome_probability (used by the scaled phase
+  // estimation). 4 precision bits -> 16 outcomes.
+  util::Rng rng(1);
+  const double phi = 0.23;
+  quantum::Circuit u(1);
+  u.phase(0, 2.0 * M_PI * phi);
+  quantum::Circuit prep(1);
+  prep.x(0);
+
+  const int trials = 4000;
+  std::map<int, int> histogram;
+  for (int t = 0; t < trials; ++t) {
+    double est = query::gate_level_phase_estimation(u, prep, 4, rng);
+    histogram[static_cast<int>(std::lround(est * 16.0)) % 16]++;
+  }
+  for (int y = 0; y < 16; ++y) {
+    double expected =
+        framework::qpe_outcome_probability(16, phi, static_cast<std::size_t>(y));
+    double observed = static_cast<double>(histogram[y]) / trials;
+    // Tolerance ~ 4 standard errors for the largest bins.
+    EXPECT_NEAR(observed, expected, 0.035) << "y=" << y;
+  }
+}
+
+TEST(Distribution, GateLevelGroverOutcomesMatchRotationLaw) {
+  // Measure after j iterations at gate level; empirical marked-probability
+  // must track sin^2((2j+1) theta).
+  util::Rng rng(2);
+  const unsigned width = 4;
+  const std::vector<quantum::BasisState> marked{2, 7, 11};
+  double theta = query::grover_angle(3.0 / 16.0);
+  for (std::uint64_t j : {std::uint64_t{1}, std::uint64_t{2}}) {
+    int hits = 0;
+    const int trials = 2500;
+    quantum::Statevector reference(width);
+    reference.h_all();
+    quantum::Circuit q = query::grover_iterate_circuit(width, marked);
+    for (std::uint64_t it = 0; it < j; ++it) q.apply_to(reference);
+    for (int t = 0; t < trials; ++t) {
+      quantum::Statevector state = reference;
+      auto outcome = state.measure_all(rng);
+      if (std::find(marked.begin(), marked.end(), outcome) != marked.end()) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / trials,
+                query::grover_success_probability(j, theta), 0.04)
+        << "j=" << j;
+  }
+}
+
+TEST(Distribution, MarkedSubsetFractionMatchesEmpiricalSampling) {
+  // The closed-form marked_subset_fraction must agree with brute-force
+  // sampling of random subsets.
+  util::Rng rng(3);
+  const std::size_t k = 60, t = 7, p = 5;
+  std::vector<bool> is_marked(k, false);
+  for (std::size_t i = 0; i < t; ++i) is_marked[i * 8] = true;
+  int hits = 0;
+  const int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto subset = rng.sample_without_replacement(k, p);
+    for (auto idx : subset) {
+      if (is_marked[idx]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, query::marked_subset_fraction(k, t, p),
+              0.012);
+}
+
+TEST(Distribution, SampleOracleIsUnbiased) {
+  util::Rng rng(4);
+  std::vector<double> population;
+  for (int i = 0; i < 500; ++i) population.push_back(static_cast<double>(i % 10));
+  query::PopulationSampleOracle oracle(population, 10);
+  double sum = 0.0;
+  int count = 0;
+  for (int batch = 0; batch < 600; ++batch) {
+    for (double x : oracle.sample_batch(rng)) {
+      sum += x;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(sum / count, oracle.true_mean(), 0.1);
+}
+
+TEST(Distribution, QpeProbabilitiesFormDistributionForManyPhases) {
+  for (double phi : {0.0, 0.1, 0.37, 0.5, 0.93}) {
+    for (std::size_t big_k : {4u, 16u, 64u}) {
+      double total = 0.0;
+      std::size_t best = 0;
+      for (std::size_t y = 0; y < big_k; ++y) {
+        double p = framework::qpe_outcome_probability(big_k, phi, y);
+        EXPECT_GE(p, -1e-12);
+        total += p;
+        if (p > framework::qpe_outcome_probability(big_k, phi, best)) best = y;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9);
+      // The mode is within one grid cell of the true phase.
+      double mode_phase = static_cast<double>(best) / static_cast<double>(big_k);
+      double err = std::abs(mode_phase - phi);
+      err = std::min(err, 1.0 - err);
+      EXPECT_LE(err, 1.0 / static_cast<double>(big_k) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcongest

@@ -1,0 +1,118 @@
+// Edge-case and robustness sweeps: tiny networks, degenerate inputs, and
+// the new generator families.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/eccentricity.hpp"
+#include "src/apps/element_distinctness.hpp"
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::apps {
+namespace {
+
+TEST(Generators2, RandomRegularDegreesAndConnectivity) {
+  util::Rng rng(1);
+  for (auto [n, d] : {std::pair{8u, 3u}, {20u, 4u}, {30u, 3u}}) {
+    net::Graph g = net::random_regular_graph(n, d, rng);
+    EXPECT_TRUE(g.connected());
+    std::size_t full_degree = 0;
+    for (net::NodeId v = 0; v < n; ++v) {
+      EXPECT_LE(g.degree(v), d);
+      EXPECT_GE(g.degree(v) + 2, d);  // the pairing model may skip pairs
+      if (g.degree(v) == d) ++full_degree;
+    }
+    EXPECT_GE(full_degree, 3 * n / 4);  // near-regular
+  }
+  EXPECT_THROW(net::random_regular_graph(5, 3, rng), std::invalid_argument);  // odd
+  EXPECT_THROW(net::random_regular_graph(4, 1, rng), std::invalid_argument);
+}
+
+TEST(Generators2, CavemanStructure) {
+  net::Graph g = net::caveman_graph(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.girth(), 3u);
+  // 4 cliques of C(5,2) edges plus 4 bridges.
+  EXPECT_EQ(g.num_edges(), 4 * 10 + 4);
+  EXPECT_THROW(net::caveman_graph(1, 5), std::invalid_argument);
+}
+
+TEST(Generators2, BalancedTreeShape) {
+  net::Graph g = net::balanced_tree(3, 2);  // 1 + 3 + 9
+  EXPECT_EQ(g.num_nodes(), 13u);
+  EXPECT_FALSE(g.girth().has_value());
+  EXPECT_EQ(g.bfs_distances(0)[12], 2u);
+  net::Graph line = net::balanced_tree(1, 5);
+  EXPECT_EQ(line.num_nodes(), 6u);
+  EXPECT_EQ(line.diameter(), 5u);
+}
+
+TEST(EdgeCases, SingleNodeNetworkApps) {
+  util::Rng rng(2);
+  net::Graph g(1);
+  // Meeting scheduling with one participant.
+  Calendars calendars{{1, 0, 1, 1}};
+  auto classical = meeting_scheduling_classical(g, calendars);
+  EXPECT_EQ(classical.availability, 1);
+  auto quantum = meeting_scheduling_quantum(g, calendars, rng);
+  EXPECT_EQ(quantum.availability, 1);
+  // Eccentricity on a single node: diameter 0.
+  EXPECT_EQ(diameter_classical(g).value, 0u);
+  EXPECT_EQ(diameter_quantum(g, rng).value, 0u);
+}
+
+TEST(EdgeCases, TwoNodeNetwork) {
+  util::Rng rng(3);
+  net::Graph g = net::path_graph(2);
+  EXPECT_EQ(diameter_quantum(g, rng).value, 1u);
+  EXPECT_EQ(radius_quantum(g, rng).value, 1u);
+
+  std::vector<query::Value> same{7, 7};
+  auto result = element_distinctness_nodes_classical(g, same, 10);
+  ASSERT_TRUE(result.collision.has_value());
+  EXPECT_EQ(result.collision->i, 0u);
+  EXPECT_EQ(result.collision->j, 1u);
+}
+
+TEST(EdgeCases, SingleSlotMeeting) {
+  util::Rng rng(4);
+  net::Graph g = net::path_graph(4);
+  Calendars calendars(4, std::vector<query::Value>{1});
+  auto quantum = meeting_scheduling_quantum(g, calendars, rng);
+  EXPECT_EQ(quantum.best_slot, 0u);
+  EXPECT_EQ(quantum.availability, 4);
+}
+
+TEST(EdgeCases, MinimalDeutschJozsa) {
+  // k = 2: constant or |x| = 1 balanced.
+  net::Graph g = net::path_graph(3);
+  std::vector<std::vector<query::Value>> constant(3, std::vector<query::Value>{1, 1});
+  // XOR over three ones per slot = 1,1 -> constant one.
+  EXPECT_EQ(deutsch_jozsa_quantum(g, constant).verdict, query::DjVerdict::kConstant);
+  std::vector<std::vector<query::Value>> balanced(3, std::vector<query::Value>{0, 0});
+  balanced[1] = {1, 0};  // x = (1, 0): balanced
+  EXPECT_EQ(deutsch_jozsa_quantum(g, balanced).verdict, query::DjVerdict::kBalanced);
+}
+
+TEST(EdgeCases, DistinctnessWithAllEqualValues) {
+  util::Rng rng(5);
+  net::Graph g = net::star_graph(6);
+  std::vector<query::Value> values(6, 42);
+  auto quantum = element_distinctness_nodes_quantum(g, values, 100, rng);
+  // Dense collisions: the walk should essentially always find one.
+  ASSERT_TRUE(quantum.collision.has_value());
+  EXPECT_EQ(quantum.collision->value, 42);
+}
+
+TEST(EdgeCases, AppsOnCavemanAndRegularGraphs) {
+  util::Rng rng(6);
+  net::Graph caveman = net::caveman_graph(3, 4);
+  EXPECT_EQ(diameter_quantum(caveman, rng).value, caveman.diameter());
+  net::Graph regular = net::random_regular_graph(16, 4, rng);
+  EXPECT_EQ(diameter_classical(regular).value, regular.diameter());
+}
+
+}  // namespace
+}  // namespace qcongest::apps

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/net/bfs.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::net {
+namespace {
+
+/// Floods a single token from node 0; used to test delivery and round
+/// accounting.
+class FloodOnce final : public NodeProgram {
+ public:
+  bool reached = false;
+  std::size_t reached_round = 0;
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    if (ctx.round() == 0 && ctx.id() == 0 && !reached) {
+      reached = true;
+      for (NodeId u : ctx.neighbors()) ctx.send(u, Word{1, 42, 0, false});
+      return;
+    }
+    for (const Message& m : inbox) {
+      if (m.word.tag == 1 && !reached) {
+        reached = true;
+        reached_round = ctx.round();
+        for (NodeId u : ctx.neighbors()) {
+          if (u != m.from) ctx.send(u, Word{1, m.word.a, 0, false});
+        }
+      }
+    }
+  }
+};
+
+std::vector<std::unique_ptr<NodeProgram>> make_flood(std::size_t n) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t i = 0; i < n; ++i) programs.push_back(std::make_unique<FloodOnce>());
+  return programs;
+}
+
+TEST(Engine, FloodReachesAllAndRoundsEqualEccentricity) {
+  Graph g = path_graph(6);
+  Engine engine(g);
+  auto programs = make_flood(6);
+  RunResult result = engine.run(programs, 100);
+  EXPECT_TRUE(result.completed);
+  // Node 0's eccentricity is 5: the last send happens in pass 5.
+  EXPECT_EQ(result.rounds, 5u);
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_TRUE(static_cast<FloodOnce&>(*programs[v]).reached);
+  }
+  EXPECT_EQ(result.quantum_words, 0u);
+  EXPECT_GT(result.classical_words, 0u);
+}
+
+TEST(Engine, QuiescenceOnSilentPrograms) {
+  class Silent final : public NodeProgram {
+    void on_round(Context&, const std::vector<Message>&) override {}
+  };
+  Graph g = path_graph(3);
+  Engine engine(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (int i = 0; i < 3; ++i) programs.push_back(std::make_unique<Silent>());
+  RunResult result = engine.run(programs, 50);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Engine, BandwidthEnforced) {
+  class DoubleSend final : public NodeProgram {
+    void on_round(Context& ctx, const std::vector<Message>&) override {
+      if (ctx.round() == 0 && ctx.id() == 0) {
+        ctx.send(1, Word{});
+        ctx.send(1, Word{});  // second word on the same edge: over budget
+      }
+    }
+  };
+  Graph g = path_graph(2);
+  Engine engine(g, /*bandwidth_words=*/1);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<DoubleSend>());
+  programs.push_back(std::make_unique<DoubleSend>());
+  EXPECT_THROW(engine.run(programs, 10), std::runtime_error);
+
+  Engine wide(g, /*bandwidth_words=*/2);
+  std::vector<std::unique_ptr<NodeProgram>> programs2;
+  programs2.push_back(std::make_unique<DoubleSend>());
+  programs2.push_back(std::make_unique<DoubleSend>());
+  EXPECT_NO_THROW(wide.run(programs2, 10));
+}
+
+TEST(Engine, SendToNonNeighborRejected) {
+  class BadSend final : public NodeProgram {
+    void on_round(Context& ctx, const std::vector<Message>&) override {
+      if (ctx.round() == 0 && ctx.id() == 0) ctx.send(2, Word{});
+    }
+  };
+  Graph g = path_graph(3);  // 0 and 2 are not adjacent
+  Engine engine(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (int i = 0; i < 3; ++i) programs.push_back(std::make_unique<BadSend>());
+  EXPECT_THROW(engine.run(programs, 10), std::invalid_argument);
+}
+
+TEST(Engine, QuantumWordsCounted) {
+  class QuantumSend final : public NodeProgram {
+    void on_round(Context& ctx, const std::vector<Message>&) override {
+      if (ctx.round() == 0 && ctx.id() == 0) {
+        ctx.send(1, Word{1, 0, 0, /*quantum=*/true});
+      }
+    }
+  };
+  Graph g = path_graph(2);
+  Engine engine(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<QuantumSend>());
+  programs.push_back(std::make_unique<QuantumSend>());
+  RunResult result = engine.run(programs, 10);
+  EXPECT_EQ(result.quantum_words, 1u);
+  EXPECT_EQ(result.classical_words, 0u);
+}
+
+TEST(LeaderElection, PicksMaxIdOnVariousTopologies) {
+  for (auto make : {+[] { return path_graph(9); }, +[] { return cycle_graph(8); },
+                    +[] { return star_graph(6); }, +[] { return grid_graph(3, 3); }}) {
+    Graph g = make();
+    Engine engine(g);
+    auto result = elect_leader(engine);
+    EXPECT_EQ(result.leader, g.num_nodes() - 1);
+    EXPECT_TRUE(result.cost.completed);
+    // Flood-max stabilizes within about 2 diameters.
+    EXPECT_LE(result.cost.rounds, 2 * g.diameter() + 2);
+  }
+}
+
+TEST(BfsTree, StructureMatchesGroundTruth) {
+  util::Rng rng(33);
+  Graph g = random_connected_graph(40, 30, rng);
+  Engine engine(g);
+  NodeId root = 7;
+  BfsTree tree = build_bfs_tree(engine, root);
+  auto truth = g.bfs_distances(root);
+
+  EXPECT_EQ(tree.root, root);
+  EXPECT_EQ(tree.parent[root], root);
+  std::size_t max_depth = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(tree.depth[v], truth[v]) << "node " << v;
+    max_depth = std::max(max_depth, tree.depth[v]);
+    if (v != root) {
+      EXPECT_TRUE(g.has_edge(v, tree.parent[v]));
+      EXPECT_EQ(tree.depth[v], tree.depth[tree.parent[v]] + 1);
+      // v must be registered as its parent's child.
+      const auto& siblings = tree.children[tree.parent[v]];
+      EXPECT_TRUE(std::find(siblings.begin(), siblings.end(), v) != siblings.end());
+    }
+  }
+  EXPECT_EQ(tree.height, max_depth);
+  EXPECT_LE(tree.cost.rounds, g.diameter() + 2);
+}
+
+TEST(BfsTree, SingleNodeGraph) {
+  Graph g(1);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  EXPECT_EQ(tree.height, 0u);
+  EXPECT_TRUE(tree.children[0].empty());
+}
+
+TEST(BfsTree, DisconnectedThrows) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  Engine engine(g);
+  EXPECT_THROW(build_bfs_tree(engine, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qcongest::net

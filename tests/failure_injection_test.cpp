@@ -1,0 +1,131 @@
+// Failure injection: misbehaving node programs must be caught loudly by the
+// engine's invariant checks, never silently absorbed — the property that
+// lets us trust every measured number.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/net/bfs.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::net {
+namespace {
+
+class Flooder final : public NodeProgram {
+ public:
+  explicit Flooder(std::size_t words_per_round) : words_(words_per_round) {}
+  void on_round(Context& ctx, const std::vector<Message>&) override {
+    if (ctx.round() > 2) return;
+    for (NodeId u : ctx.neighbors()) {
+      for (std::size_t w = 0; w < words_; ++w) ctx.send(u, Word{1, 0, 0, false});
+    }
+  }
+
+ private:
+  std::size_t words_;
+};
+
+TEST(FailureInjection, OverBudgetSenderIsRejected) {
+  Graph g = cycle_graph(5);
+  for (std::size_t bandwidth : {1u, 3u}) {
+    Engine engine(g, bandwidth, 1);
+    std::vector<std::unique_ptr<NodeProgram>> ok, bad;
+    for (int i = 0; i < 5; ++i) {
+      ok.push_back(std::make_unique<Flooder>(bandwidth));
+      bad.push_back(std::make_unique<Flooder>(bandwidth + 1));
+    }
+    EXPECT_NO_THROW(engine.run(ok, 20));
+    EXPECT_THROW(engine.run(bad, 20), std::runtime_error);
+  }
+}
+
+class HaltsThenGetsMail final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, const std::vector<Message>&) override {
+    if (ctx.id() == 1 && ctx.round() == 0) {
+      ctx.halt();  // halts while node 0's message is already in flight
+      return;
+    }
+    if (ctx.id() == 0 && ctx.round() == 0) ctx.send(1, Word{1, 0, 0, false});
+  }
+};
+
+TEST(FailureInjection, MessageToHaltedNodeIsAnError) {
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 1);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<HaltsThenGetsMail>());
+  programs.push_back(std::make_unique<HaltsThenGetsMail>());
+  EXPECT_THROW(engine.run(programs, 10), std::logic_error);
+}
+
+class ImpersonatingSender final : public NodeProgram {
+ public:
+  void on_round(Context& ctx, const std::vector<Message>&) override {
+    if (ctx.id() == 0 && ctx.round() == 0) {
+      stolen_ = &ctx;  // leak the context to another node's turn
+    }
+    if (ctx.id() == 1 && ctx.round() == 0 && stolen_ != nullptr) {
+      // Sending through node 0's context from node 1's turn must be caught.
+      EXPECT_THROW(stolen_->send(1, Word{}), std::logic_error);
+    }
+  }
+
+ private:
+  static Context* stolen_;
+};
+Context* ImpersonatingSender::stolen_ = nullptr;
+
+TEST(FailureInjection, ContextCannotBeUsedOutOfTurn) {
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 1);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<ImpersonatingSender>());
+  programs.push_back(std::make_unique<ImpersonatingSender>());
+  engine.run(programs, 5);
+}
+
+TEST(FailureInjection, RoundLimitReportsIncomplete) {
+  // An endless ping-pong must hit the round limit with completed = false
+  // and rounds equal to the cap's last sending pass.
+  class PingPong final : public NodeProgram {
+   public:
+    void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+      if (ctx.id() == 0 && ctx.round() == 0) {
+        ctx.send(1, Word{1, 0, 0, false});
+        return;
+      }
+      for (const Message& m : inbox) ctx.send(m.from, m.word);
+    }
+  };
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 1);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<PingPong>());
+  programs.push_back(std::make_unique<PingPong>());
+  RunResult result = engine.run(programs, 25);
+  EXPECT_FALSE(result.completed);
+  EXPECT_GE(result.rounds, 25u);
+}
+
+TEST(FailureInjection, WrongProgramCountRejected) {
+  Graph g = path_graph(3);
+  Engine engine(g, 1, 1);
+  std::vector<std::unique_ptr<NodeProgram>> two;
+  two.push_back(std::make_unique<Flooder>(1));
+  two.push_back(std::make_unique<Flooder>(1));
+  EXPECT_THROW(engine.run(two, 10), std::invalid_argument);
+}
+
+TEST(FailureInjection, CutSpecValidation) {
+  Graph g = path_graph(4);
+  Engine engine(g, 1, 1);
+  EXPECT_THROW(engine.track_cut(std::vector<bool>(3, false)), std::invalid_argument);
+  EXPECT_NO_THROW(engine.track_cut(std::vector<bool>(4, false)));
+  EXPECT_NO_THROW(engine.track_cut({}));
+}
+
+}  // namespace
+}  // namespace qcongest::net

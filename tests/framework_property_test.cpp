@@ -1,0 +1,182 @@
+// Parameterized sweeps over the Theorem 8 framework: correctness of the
+// aggregation for every semigroup, cost monotonicity, and consistency
+// between peek and charged queries.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/framework/distributed_oracle.hpp"
+#include "src/framework/distributed_state.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::framework {
+namespace {
+
+struct Semigroup {
+  const char* name;
+  net::CombineOp op;
+  std::int64_t identity;
+};
+
+std::vector<Semigroup> semigroups() {
+  return {
+      {"sum", [](std::int64_t a, std::int64_t b) { return a + b; }, 0},
+      {"max", [](std::int64_t a, std::int64_t b) { return std::max(a, b); },
+       std::numeric_limits<std::int64_t>::min()},
+      {"min", [](std::int64_t a, std::int64_t b) { return std::min(a, b); },
+       std::numeric_limits<std::int64_t>::max()},
+      {"xor", [](std::int64_t a, std::int64_t b) { return a ^ b; }, 0},
+      {"or", [](std::int64_t a, std::int64_t b) { return a | b; }, 0},
+  };
+}
+
+class OracleSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {
+};
+
+TEST_P(OracleSweep, PeekAgreesWithChargedQueriesForEverySemigroup) {
+  auto [n, k, p] = GetParam();
+  util::Rng rng(n * 31 + k + p);
+  net::Graph g = net::random_connected_graph(n, n / 2, rng);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+
+  std::vector<std::vector<query::Value>> data(n, std::vector<query::Value>(k));
+  for (auto& row : data) {
+    for (auto& v : row) v = rng.uniform_int(-50, 50);
+  }
+
+  for (const auto& sg : semigroups()) {
+    OracleConfig config;
+    config.domain_size = k;
+    config.parallelism = p;
+    config.value_bits = 12;
+    config.combine = sg.op;
+    config.identity = sg.identity;
+    DistributedOracle oracle(engine, tree, config, data);
+
+    auto batch_picks = rng.sample_without_replacement(k, std::min(p, k));
+    auto values = oracle.query(batch_picks);
+    for (std::size_t i = 0; i < batch_picks.size(); ++i) {
+      EXPECT_EQ(values[i], oracle.peek(batch_picks[i])) << sg.name;
+      std::int64_t expected = sg.identity;
+      for (std::size_t v = 0; v < n; ++v) {
+        expected = sg.op(expected, data[v][batch_picks[i]]);
+      }
+      EXPECT_EQ(values[i], expected) << sg.name;
+    }
+    EXPECT_LE(oracle.total_cost().max_edge_words, 1u);
+  }
+}
+
+TEST_P(OracleSweep, CostIsDeterministicPerBatch) {
+  auto [n, k, p] = GetParam();
+  util::Rng rng(n + k + p);
+  net::Graph g = net::path_graph(n);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  std::vector<std::vector<query::Value>> data(n, std::vector<query::Value>(k, 1));
+
+  OracleConfig config;
+  config.domain_size = k;
+  config.parallelism = p;
+  config.value_bits = 8;
+  config.combine = [](std::int64_t a, std::int64_t b) { return a + b; };
+  config.identity = 0;
+  DistributedOracle oracle(engine, tree, config, data);
+
+  oracle.charge_batch();
+  std::size_t first = oracle.total_cost().rounds;
+  oracle.charge_batch();
+  std::size_t second = oracle.total_cost().rounds - first;
+  // The schedule depends only on (tree, p, widths): batches cost the same.
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OracleSweep,
+                         ::testing::Combine(::testing::Values(4u, 12u, 24u),
+                                            ::testing::Values(8u, 64u),
+                                            ::testing::Values(1u, 4u, 16u)));
+
+class StateDistributionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(StateDistributionSweep, PipelinedBeatsNaiveAndMatchesFormula) {
+  auto [n, q] = GetParam();
+  net::Graph g = net::path_graph(n);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+
+  auto pipelined = distribute_state(engine, tree, q);
+  auto naive = distribute_state_unpipelined(engine, tree, q);
+  std::size_t words = words_for_bits(q, n);
+  if (n > 1) {
+    EXPECT_EQ(pipelined.rounds, tree.height + words - 1);
+    EXPECT_EQ(naive.rounds, tree.height * words);
+    EXPECT_LE(pipelined.rounds, naive.rounds);
+  }
+  // Both directions carry the same number of qubit-words.
+  auto reverse = undistribute_state(engine, tree, q);
+  EXPECT_EQ(reverse.quantum_words, pipelined.quantum_words);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StateDistributionSweep,
+                         ::testing::Combine(::testing::Values(2u, 9u, 33u),
+                                            ::testing::Values(1u, 16u, 100u)));
+
+TEST(OracleCostShape, CongestBReducesBatchRounds) {
+  // The whole Theorem 8 pipeline honors CONGEST(B): quadrupling the per-
+  // edge budget cuts a batch's measured rounds substantially and never
+  // changes the aggregates.
+  net::Graph g = net::path_graph(20);
+  std::vector<std::vector<query::Value>> data(20, std::vector<query::Value>(32, 2));
+  auto run_with = [&](std::size_t bandwidth) {
+    net::Engine engine(g, bandwidth, 1);
+    net::BfsTree tree = net::build_bfs_tree(engine, 0);
+    OracleConfig config;
+    config.domain_size = 32;
+    config.parallelism = 8;
+    config.value_bits = 16;
+    config.combine = [](std::int64_t a, std::int64_t b) { return a + b; };
+    config.identity = 0;
+    DistributedOracle oracle(engine, tree, config, data);
+    std::vector<std::size_t> batch{0, 5, 31};
+    auto values = oracle.query(batch);
+    return std::pair{values, oracle.total_cost().rounds};
+  };
+  auto [v1, r1] = run_with(1);
+  auto [v4, r4] = run_with(4);
+  EXPECT_EQ(v1, v4);
+  EXPECT_EQ(v1[0], 40);  // 20 nodes x 2
+  EXPECT_LT(2 * r4, r1 + 8);
+}
+
+TEST(OracleCostShape, RoundsGrowLinearlyInValueWords) {
+  // Theorem 8: the (D + p) ceil(q / log n) term.
+  net::Graph g = net::path_graph(16);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  std::vector<std::vector<query::Value>> data(16, std::vector<query::Value>(8, 1));
+
+  auto cost_at = [&](std::size_t value_bits) {
+    OracleConfig config;
+    config.domain_size = 8;
+    config.parallelism = 4;
+    config.value_bits = value_bits;
+    config.combine = [](std::int64_t a, std::int64_t b) { return a + b; };
+    config.identity = 0;
+    DistributedOracle oracle(engine, tree, config, data);
+    oracle.charge_batch();
+    return oracle.total_cost().rounds;
+  };
+  double one_word = static_cast<double>(cost_at(4));     // 1 word at n = 16
+  double four_words = static_cast<double>(cost_at(16));  // 4 words
+  // The value-carrying phases scale ~4x; the index phases are unchanged, so
+  // the total lands between those extremes.
+  EXPECT_GT(four_words, 1.6 * one_word);
+  EXPECT_LT(four_words, 4.5 * one_word);
+}
+
+}  // namespace
+}  // namespace qcongest::framework

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/framework/distributed_oracle.hpp"
+#include "src/framework/distributed_state.hpp"
+#include "src/framework/non_oracle.hpp"
+#include "src/net/generators.hpp"
+#include "src/query/parallel_grover.hpp"
+#include "src/query/parallel_minfind.hpp"
+
+namespace qcongest::framework {
+namespace {
+
+TEST(WordsForBits, RoundsUpToLogN) {
+  // 64 nodes -> 6 bits per word (ceil_log2).
+  EXPECT_EQ(words_for_bits(1, 64), 1u);
+  EXPECT_EQ(words_for_bits(6, 64), 1u);
+  EXPECT_EQ(words_for_bits(7, 64), 2u);
+  EXPECT_EQ(words_for_bits(0, 64), 1u);
+  EXPECT_EQ(words_for_bits(5, 2), 5u);
+}
+
+TEST(DistributedState, PipelinedCostIsDepthPlusWords) {
+  net::Graph g = net::path_graph(30);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);  // height 29
+  // q = 40 qubits, n = 30 -> ceil(40/5) = 8 words.
+  auto cost = distribute_state(engine, tree, 40);
+  EXPECT_EQ(cost.rounds, tree.height + 8 - 1);
+  EXPECT_GT(cost.quantum_words, 0u);
+
+  auto naive = distribute_state_unpipelined(engine, tree, 40);
+  EXPECT_EQ(naive.rounds, tree.height * 8);
+}
+
+TEST(DistributedState, UndistributeComparableCost) {
+  net::Graph g = net::path_graph(20);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto down = distribute_state(engine, tree, 30);
+  auto up = undistribute_state(engine, tree, 30);
+  // Mirror schedules: within a factor ~2 of each other.
+  EXPECT_LE(up.rounds, 2 * down.rounds + 4);
+  EXPECT_GE(up.rounds, down.rounds / 2);
+}
+
+OracleConfig sum_config(std::size_t k, std::size_t p, std::size_t value_bits = 20) {
+  OracleConfig config;
+  config.domain_size = k;
+  config.parallelism = p;
+  config.value_bits = value_bits;
+  config.combine = [](std::int64_t a, std::int64_t b) { return a + b; };
+  config.identity = 0;
+  return config;
+}
+
+TEST(DistributedOracle, AggregatesSumsAcrossNodes) {
+  util::Rng rng(61);
+  net::Graph g = net::random_connected_graph(20, 10, rng);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 5);
+
+  const std::size_t k = 16;
+  std::vector<std::vector<query::Value>> data(20, std::vector<query::Value>(k, 0));
+  std::vector<query::Value> expected(k, 0);
+  for (std::size_t v = 0; v < 20; ++v) {
+    for (std::size_t j = 0; j < k; ++j) {
+      data[v][j] = static_cast<query::Value>((v * 7 + j * 3) % 11);
+      expected[j] += data[v][j];
+    }
+  }
+  DistributedOracle oracle(engine, tree, sum_config(k, 4), data);
+
+  for (std::size_t j = 0; j < k; ++j) EXPECT_EQ(oracle.peek(j), expected[j]);
+
+  std::vector<std::size_t> batch{0, 5, 10, 15};
+  auto values = oracle.query(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) EXPECT_EQ(values[i], expected[batch[i]]);
+  EXPECT_EQ(oracle.ledger().batches, 1u);
+  EXPECT_GT(oracle.total_cost().rounds, 0u);
+  EXPECT_GT(oracle.total_cost().quantum_words, 0u);
+}
+
+TEST(DistributedOracle, BatchCostMatchesTheorem8Shape) {
+  // On a path (height D), one batch should cost
+  // ~ 2 (D + p * w_idx) + 2 (D + p) * w_val rounds.
+  net::Graph g = net::path_graph(32);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  const std::size_t k = 1024, p = 8;
+  std::vector<std::vector<query::Value>> data(32, std::vector<query::Value>(k, 1));
+  DistributedOracle oracle(engine, tree, sum_config(k, p, 10), data);
+
+  oracle.charge_batch();
+  std::size_t d = tree.height;
+  std::size_t w_idx = words_for_bits(10, 32);  // log2(1024) = 10 bits
+  std::size_t w_val = words_for_bits(10, 32);
+  std::size_t predicted = 2 * (d + p * w_idx) + 2 * (d + p) * w_val;
+  double ratio = static_cast<double>(oracle.total_cost().rounds) /
+                 static_cast<double>(predicted);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(DistributedOracle, UncomputeAblationReducesCost) {
+  net::Graph g = net::path_graph(16);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  std::vector<std::vector<query::Value>> data(16, std::vector<query::Value>(8, 1));
+
+  OracleConfig with = sum_config(8, 4);
+  DistributedOracle oracle_with(engine, tree, with, data);
+  oracle_with.charge_batch();
+
+  OracleConfig without = sum_config(8, 4);
+  without.charge_uncompute = false;
+  DistributedOracle oracle_without(engine, tree, without, data);
+  oracle_without.charge_batch();
+
+  EXPECT_LT(oracle_without.total_cost().rounds, oracle_with.total_cost().rounds);
+}
+
+TEST(DistributedOracle, OnTheFlyComputerInvokedAndCharged) {
+  net::Graph g = net::path_graph(8);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+
+  // Value j is held by node j only: x_j^{(v)} = (v == j) ? j * j : 0.
+  int computer_calls = 0;
+  DistributedOracle::BatchComputer computer =
+      [&](std::span<const std::size_t> indices) {
+        ++computer_calls;
+        DistributedOracle::BatchValues out;
+        out.per_node.assign(8, std::vector<query::Value>(indices.size(), 0));
+        for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+          std::size_t j = indices[slot];
+          out.per_node[j][slot] = static_cast<query::Value>(j * j);
+        }
+        out.cost.rounds = 5;  // pretend the subroutine took 5 rounds
+        out.cost.completed = true;
+        return out;
+      };
+  auto truth = [](std::size_t j) { return static_cast<query::Value>(j * j); };
+
+  DistributedOracle oracle(engine, tree, sum_config(8, 2), computer, truth);
+  std::vector<std::size_t> batch{3, 7};
+  auto values = oracle.query(batch);
+  EXPECT_EQ(values[0], 9);
+  EXPECT_EQ(values[1], 49);
+  EXPECT_EQ(computer_calls, 1);
+  EXPECT_EQ(oracle.peek(5), 25);
+  EXPECT_EQ(computer_calls, 1);  // peek never runs the network
+}
+
+TEST(DistributedOracle, WorksWithQueryAlgorithms) {
+  // End-to-end: parallel Grover and minfind running against the network.
+  util::Rng rng(62);
+  net::Graph g = net::random_connected_graph(24, 12, rng);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+
+  const std::size_t k = 64;
+  std::vector<std::vector<query::Value>> data(24, std::vector<query::Value>(k, 0));
+  data[13][37] = 1;  // node 13 holds the single marked slot 37
+
+  int found_count = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    DistributedOracle oracle(engine, tree, sum_config(k, 6, 6), data);
+    auto found = query::grover_find_one(
+        oracle, [](query::Value v) { return v == 1; }, rng);
+    if (found == 37u) ++found_count;
+  }
+  EXPECT_GE(found_count, 7);
+}
+
+TEST(DistributedOracle, ConfigValidation) {
+  net::Graph g = net::path_graph(4);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  std::vector<std::vector<query::Value>> data(4, std::vector<query::Value>(4, 0));
+
+  OracleConfig bad = sum_config(4, 2);
+  bad.domain_size = 0;
+  EXPECT_THROW(DistributedOracle(engine, tree, bad, data), std::invalid_argument);
+
+  std::vector<std::vector<query::Value>> ragged(4, std::vector<query::Value>(3, 0));
+  EXPECT_THROW(DistributedOracle(engine, tree, sum_config(4, 2), ragged),
+               std::invalid_argument);
+
+  std::vector<std::vector<query::Value>> wrong_nodes(3,
+                                                     std::vector<query::Value>(4, 0));
+  EXPECT_THROW(DistributedOracle(engine, tree, sum_config(4, 2), wrong_nodes),
+               std::invalid_argument);
+}
+
+TEST(NonOracle, QpeDistributionPeaksAtTruth) {
+  // phi exactly on the grid: outcome deterministic.
+  EXPECT_NEAR(qpe_outcome_probability(16, 5.0 / 16.0, 5), 1.0, 1e-12);
+  // Off grid: probabilities over all outcomes sum to 1.
+  double total = 0.0;
+  for (std::size_t y = 0; y < 16; ++y) total += qpe_outcome_probability(16, 0.3, y);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Mass concentrates within one grid cell of the truth.
+  double near = qpe_outcome_probability(16, 0.3, 4) + qpe_outcome_probability(16, 0.3, 5);
+  EXPECT_GT(near, 0.8);
+}
+
+DistributedSubroutine make_subroutine(net::Engine& engine, const net::BfsTree& tree,
+                                      double p, std::size_t r_rounds) {
+  DistributedSubroutine s;
+  s.success_probability = p;
+  s.run = [&engine, &tree, r_rounds]() {
+    // Model an R-round protocol with R pipelined one-word broadcasts'
+    // worth of traffic; measured cost ~ height + R.
+    std::vector<std::int64_t> payload(r_rounds, 0);
+    return net::pipelined_downcast(engine, tree, payload, true).cost;
+  };
+  return s;
+}
+
+TEST(NonOracle, AmplificationIterateCostIsRPlusD) {
+  net::Graph g = net::path_graph(20);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, 0.1, 6);
+  auto cost = amplification_iterate(engine, tree, sub);
+  // 2 runs (~ D + R each) + zero reflection (~ 2 D): Theta(R + D).
+  std::size_t d = tree.height;
+  EXPECT_GE(cost.rounds, 2 * d);
+  EXPECT_LE(cost.rounds, 6 * (d + 6) + 16);
+}
+
+TEST(NonOracle, AmplitudeAmplificationSucceeds) {
+  util::Rng rng(63);
+  net::Graph g = net::path_graph(10);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, 0.05, 3);
+  int successes = 0;
+  for (int t = 0; t < 20; ++t) {
+    auto result = amplitude_amplify(engine, tree, sub, 0.05, rng);
+    if (result.success) ++successes;
+    EXPECT_GT(result.cost.rounds, 0u);
+  }
+  EXPECT_GE(successes, 18);
+}
+
+TEST(NonOracle, AmplifyZeroProbabilityNeverSucceeds) {
+  util::Rng rng(64);
+  net::Graph g = net::path_graph(5);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, 0.0, 2);
+  EXPECT_FALSE(amplitude_amplify(engine, tree, sub, 0.1, rng).success);
+}
+
+TEST(NonOracle, PhaseEstimationAccuracy) {
+  util::Rng rng(65);
+  net::Graph g = net::path_graph(8);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  double true_theta = 1.234;
+  auto apply_u = [&]() {
+    return net::pipelined_downcast(engine, tree, {0}, true).cost;
+  };
+  int close = 0;
+  for (int t = 0; t < 15; ++t) {
+    auto result = phase_estimate(engine, tree, apply_u, true_theta, 0.2, 0.1, rng);
+    double err = std::abs(result.theta - true_theta);
+    err = std::min(err, 2.0 * M_PI - err);
+    if (err <= 0.2) ++close;
+  }
+  EXPECT_GE(close, 12);
+}
+
+TEST(NonOracle, AmplitudeEstimationAccuracy) {
+  util::Rng rng(66);
+  net::Graph g = net::path_graph(6);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, 0.2, 2);
+  int close = 0;
+  for (int t = 0; t < 15; ++t) {
+    auto result = amplitude_estimate(engine, tree, sub, 0.5, 0.1, 0.1, rng);
+    if (std::abs(result.p_estimate - 0.2) <= 0.1) ++close;
+  }
+  EXPECT_GE(close, 12);
+}
+
+TEST(NonOracle, ParameterValidation) {
+  util::Rng rng(67);
+  net::Graph g = net::path_graph(4);
+  net::Engine engine(g);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  auto sub = make_subroutine(engine, tree, 0.5, 1);
+  EXPECT_THROW(amplitude_amplify(engine, tree, sub, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(amplitude_estimate(engine, tree, sub, 0.4, 0.1, 0.1, rng),
+               std::invalid_argument);  // p > p_max
+  auto apply_u = [&]() { return net::RunResult{}; };
+  EXPECT_THROW(phase_estimate(engine, tree, apply_u, 1.0, 0.0, 0.1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qcongest::framework

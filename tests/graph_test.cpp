@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "src/net/generators.hpp"
+#include "src/net/graph.hpp"
+
+namespace qcongest::net {
+namespace {
+
+TEST(Graph, AddEdgeValidation) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_THROW(Graph(0), std::invalid_argument);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  Graph g = path_graph(5);
+  auto dist = g.bfs_distances(0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  EXPECT_EQ(g.bfs_distances(0)[2], kUnreachable);
+  EXPECT_THROW(g.eccentricity(0), std::invalid_argument);
+}
+
+TEST(Graph, DiameterRadiusOnKnownGraphs) {
+  EXPECT_EQ(path_graph(10).diameter(), 9u);
+  EXPECT_EQ(path_graph(10).radius(), 5u);  // ceil(9/2)
+  EXPECT_EQ(cycle_graph(8).diameter(), 4u);
+  EXPECT_EQ(cycle_graph(8).radius(), 4u);
+  EXPECT_EQ(complete_graph(6).diameter(), 1u);
+  EXPECT_EQ(star_graph(7).diameter(), 2u);
+  EXPECT_EQ(star_graph(7).radius(), 1u);
+  EXPECT_EQ(grid_graph(3, 4).diameter(), 5u);
+  EXPECT_EQ(hypercube(4).diameter(), 4u);
+}
+
+TEST(Graph, AverageEccentricity) {
+  // Path of 3: eccentricities are 2, 1, 2.
+  EXPECT_NEAR(path_graph(3).average_eccentricity(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(complete_graph(4).average_eccentricity(), 1.0, 1e-12);
+}
+
+TEST(Graph, GirthOnKnownGraphs) {
+  EXPECT_EQ(cycle_graph(7).girth(), 7u);
+  EXPECT_EQ(complete_graph(5).girth(), 3u);
+  EXPECT_EQ(grid_graph(3, 3).girth(), 4u);
+  EXPECT_EQ(petersen_graph().girth(), 5u);
+  EXPECT_EQ(hypercube(3).girth(), 4u);
+  EXPECT_FALSE(path_graph(6).girth().has_value());
+  EXPECT_FALSE(binary_tree(15).girth().has_value());
+}
+
+TEST(Graph, GirthOnCycleWithTrees) {
+  util::Rng rng(31);
+  for (std::size_t girth : {3u, 5u, 9u}) {
+    Graph g = cycle_with_trees(girth, 40, rng);
+    ASSERT_TRUE(g.girth().has_value());
+    EXPECT_EQ(*g.girth(), girth);
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST(Graph, ShortestCycleThroughBasics) {
+  Graph g = petersen_graph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto c = g.shortest_cycle_through(v, 10);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_GE(*c, 5u);  // never below the girth
+  }
+  // Cap excludes long cycles.
+  EXPECT_FALSE(cycle_graph(9).shortest_cycle_through(0, 5).has_value());
+  EXPECT_EQ(cycle_graph(9).shortest_cycle_through(0, 9), 9u);
+}
+
+TEST(Graph, ShortestCycleThroughWithExclusion) {
+  // Two triangles sharing vertex 0: 0-1-2 and 0-3-4.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  EXPECT_EQ(g.shortest_cycle_through(1, 10), 3u);
+  // Excluding 0 destroys every cycle through 1.
+  EXPECT_FALSE(g.shortest_cycle_through(1, 10, NodeId{0}).has_value());
+  // Excluding 2 leaves the other triangle via 0.
+  EXPECT_FALSE(g.shortest_cycle_through(1, 10, NodeId{2}).has_value());
+  EXPECT_EQ(g.shortest_cycle_through(3, 10, NodeId{2}), 3u);
+  EXPECT_THROW(g.shortest_cycle_through(1, 10, NodeId{1}), std::invalid_argument);
+}
+
+TEST(Generators, PetersenStructure) {
+  Graph g = petersen_graph();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(g.diameter(), 2u);
+}
+
+TEST(Generators, RandomConnectedGraphIsConnected) {
+  util::Rng rng(32);
+  for (std::size_t n : {2u, 10u, 100u}) {
+    Graph g = random_connected_graph(n, n / 2, rng);
+    EXPECT_TRUE(g.connected());
+    EXPECT_GE(g.num_edges(), n - 1);
+  }
+}
+
+TEST(Generators, TwoStarsStructure) {
+  Graph g = two_stars_graph(5, 7, 4);
+  EXPECT_EQ(g.num_nodes(), 5u + 7u + 5u);
+  EXPECT_TRUE(g.connected());
+  // Leaf-to-leaf across: 1 + 4 + 1 = 6 = diameter.
+  EXPECT_EQ(g.diameter(), 6u);
+  EXPECT_EQ(g.degree(5), 6u);   // left center: 5 leaves + path
+  EXPECT_EQ(g.degree(9), 8u);   // right center: 7 leaves + path
+}
+
+TEST(Generators, LollipopStructure) {
+  Graph g = lollipop_graph(5, 4);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.girth(), 3u);
+  EXPECT_EQ(g.degree(0), 5u);  // in-clique degree 4 + path
+}
+
+TEST(Generators, BinaryTreeDepth) {
+  Graph g = binary_tree(15);
+  auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[14], 3u);
+  EXPECT_EQ(g.num_edges(), 14u);
+}
+
+TEST(Generators, InvalidArguments) {
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+  EXPECT_THROW(star_graph(1), std::invalid_argument);
+  EXPECT_THROW(hypercube(0), std::invalid_argument);
+  EXPECT_THROW(two_stars_graph(2, 2, 0), std::invalid_argument);
+  util::Rng rng(1);
+  EXPECT_THROW(cycle_with_trees(2, 10, rng), std::invalid_argument);
+  EXPECT_THROW(lollipop_graph(1, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qcongest::net

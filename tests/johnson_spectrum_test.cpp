@@ -1,0 +1,131 @@
+// Numeric validation of Lemma 5's spectral ingredients: the Johnson graph
+// J(k, z) has spectral gap delta = Omega(1/z) (the [BH12] fact the proof
+// uses), and the p-th power walk has gap >= 1 - (1 - delta)^p >= p delta / 2
+// for p < 1/delta. We build the normalized adjacency operator explicitly
+// for small (k, z) and extract the second eigenvalue by power iteration
+// with deflation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/util/combinatorics.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest {
+namespace {
+
+/// Normalized adjacency (random-walk) matrix of J(k, z) applied to a
+/// vector: neighbors differ by one swap; degree z (k - z).
+class JohnsonWalk {
+ public:
+  JohnsonWalk(std::size_t k, std::size_t z)
+      : k_(k), z_(z), subsets_(util::all_subsets(k, z)) {
+    // Index subsets for O(1) lookup.
+    for (std::size_t i = 0; i < subsets_.size(); ++i) {
+      index_[key(subsets_[i])] = i;
+    }
+  }
+
+  std::size_t size() const { return subsets_.size(); }
+
+  std::vector<double> step(const std::vector<double>& x) const {
+    std::vector<double> y(x.size(), 0.0);
+    double degree = static_cast<double>(z_ * (k_ - z_));
+    for (std::size_t i = 0; i < subsets_.size(); ++i) {
+      const auto& s = subsets_[i];
+      std::vector<bool> in(k_, false);
+      for (auto e : s) in[e] = true;
+      for (std::size_t out_pos = 0; out_pos < z_; ++out_pos) {
+        for (std::size_t add = 0; add < k_; ++add) {
+          if (in[add]) continue;
+          auto t = s;
+          t[out_pos] = add;
+          std::sort(t.begin(), t.end());
+          y[index_.at(key(t))] += x[i] / degree;
+        }
+      }
+    }
+    return y;
+  }
+
+ private:
+  static std::uint64_t key(const std::vector<std::size_t>& s) {
+    std::uint64_t k = 0;
+    for (auto e : s) k |= std::uint64_t{1} << e;
+    return k;
+  }
+
+  std::size_t k_, z_;
+  std::vector<std::vector<std::size_t>> subsets_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+/// Second-largest eigenvalue via power iteration orthogonal to the
+/// uniform (top) eigenvector.
+double second_eigenvalue(const JohnsonWalk& walk, util::Rng& rng) {
+  std::size_t n = walk.size();
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  auto deflate = [&](std::vector<double>& v) {
+    double mean = 0.0;
+    for (double e : v) mean += e;
+    mean /= static_cast<double>(n);
+    for (double& e : v) e -= mean;
+  };
+  auto normalize = [&](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double e : v) norm += e * e;
+    norm = std::sqrt(norm);
+    for (double& e : v) e /= norm;
+    return norm;
+  };
+  deflate(x);
+  normalize(x);
+  double eigenvalue = 0.0;
+  for (int it = 0; it < 400; ++it) {
+    auto y = walk.step(x);
+    deflate(y);
+    eigenvalue = normalize(y);
+    x = std::move(y);
+  }
+  return eigenvalue;
+}
+
+class JohnsonSpectrum
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(JohnsonSpectrum, GapIsOmegaOneOverZ) {
+  auto [k, z] = GetParam();
+  util::Rng rng(k * 10 + z);
+  JohnsonWalk walk(k, z);
+  double lambda2 = second_eigenvalue(walk, rng);
+  double delta = 1.0 - lambda2;
+  // Exact second eigenvalue of J(k, z): lambda2 = 1 - k / (z (k - z)),
+  // hence delta = k / (z (k - z)) >= 1/z.
+  double exact = static_cast<double>(k) /
+                 (static_cast<double>(z) * static_cast<double>(k - z));
+  EXPECT_NEAR(delta, exact, 1e-6) << "k=" << k << " z=" << z;
+  EXPECT_GE(delta + 1e-9, 1.0 / static_cast<double>(z));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JohnsonSpectrum,
+                         ::testing::Values(std::tuple{6u, 2u}, std::tuple{6u, 3u},
+                                           std::tuple{8u, 3u}, std::tuple{8u, 4u},
+                                           std::tuple{10u, 4u}, std::tuple{12u, 3u}));
+
+TEST(JohnsonSpectrum, PowerWalkGapGrowsLinearlyInP) {
+  // 1 - (1 - delta)^p >= p delta / 2 for p <= 1/delta: the rebalancing step
+  // of Lemma 5 (p classical steps folded into one quantum step).
+  for (double delta : {0.05, 0.2, 0.5}) {
+    for (std::size_t p = 1; p <= static_cast<std::size_t>(1.0 / delta); ++p) {
+      double power_gap = 1.0 - std::pow(1.0 - delta, static_cast<double>(p));
+      EXPECT_GE(power_gap, static_cast<double>(p) * delta / 2.0);
+      EXPECT_LE(power_gap, static_cast<double>(p) * delta + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcongest

@@ -1,0 +1,205 @@
+// Property-based sweeps over the CONGEST layer: protocol invariants that
+// must hold on every topology, seed, and payload shape.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "src/net/bfs.hpp"
+#include "src/net/clustering.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/multi_bfs.hpp"
+#include "src/net/pipeline.hpp"
+
+namespace qcongest::net {
+namespace {
+
+/// Topology family index -> generated graph.
+Graph make_graph(int family, std::size_t n, util::Rng& rng) {
+  switch (family) {
+    case 0:
+      return path_graph(n);
+    case 1:
+      return cycle_graph(std::max<std::size_t>(n, 3));
+    case 2:
+      return star_graph(std::max<std::size_t>(n, 2));
+    case 3:
+      return binary_tree(n);
+    case 4:
+      return grid_graph(std::max<std::size_t>(n / 6, 2), 6);
+    default:
+      return random_connected_graph(n, n / 2 + 1, rng);
+  }
+}
+
+class TopologySweep : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {
+ protected:
+  Graph graph() {
+    auto [family, n] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(family) * 1000 + n);
+    return make_graph(family, n, rng);
+  }
+};
+
+TEST_P(TopologySweep, LeaderElectionAgreesAndIsFast) {
+  Graph g = graph();
+  Engine engine(g);
+  auto result = elect_leader(engine);
+  EXPECT_EQ(result.leader, g.num_nodes() - 1);
+  EXPECT_TRUE(result.cost.completed);
+  EXPECT_LE(result.cost.rounds, 2 * g.diameter() + 2);
+}
+
+TEST_P(TopologySweep, BfsTreeMatchesGroundTruthEverywhere) {
+  Graph g = graph();
+  Engine engine(g);
+  for (NodeId root : {NodeId{0}, g.num_nodes() / 2, g.num_nodes() - 1}) {
+    BfsTree tree = build_bfs_tree(engine, root);
+    auto truth = g.bfs_distances(root);
+    std::size_t total_children = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(tree.depth[v], truth[v]);
+      total_children += tree.children[v].size();
+    }
+    // The children lists form a spanning tree: n - 1 edges.
+    EXPECT_EQ(total_children, g.num_nodes() - 1);
+    EXPECT_LE(tree.cost.rounds, g.diameter() + 2);
+  }
+}
+
+TEST_P(TopologySweep, DowncastDeliversToEveryNodeWithinBound) {
+  Graph g = graph();
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  std::vector<std::int64_t> payload{1, -2, 3, -4, 5, -6, 7};
+  auto result = pipelined_downcast(engine, tree, payload, true);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(result.received[v], payload);
+  if (g.num_nodes() > 1) {
+    EXPECT_EQ(result.cost.rounds, tree.height + payload.size() - 1);
+  }
+}
+
+TEST_P(TopologySweep, ConvergecastComputesSemigroupAggregates) {
+  Graph g = graph();
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, g.num_nodes() - 1);
+  const std::size_t items = 5;
+  util::Rng rng(99);
+
+  struct Semigroup {
+    CombineOp op;
+    std::int64_t identity;
+  };
+  std::vector<Semigroup> semigroups{
+      {[](std::int64_t a, std::int64_t b) { return a + b; }, 0},
+      {[](std::int64_t a, std::int64_t b) { return std::max(a, b); },
+       std::numeric_limits<std::int64_t>::min()},
+      {[](std::int64_t a, std::int64_t b) { return std::min(a, b); },
+       std::numeric_limits<std::int64_t>::max()},
+      {[](std::int64_t a, std::int64_t b) { return a ^ b; }, 0},
+  };
+
+  std::vector<std::vector<std::int64_t>> values(g.num_nodes(),
+                                                std::vector<std::int64_t>(items));
+  for (auto& row : values) {
+    for (auto& v : row) v = rng.uniform_int(-1000, 1000);
+  }
+  for (const auto& sg : semigroups) {
+    auto result = pipelined_convergecast(engine, tree, values, 1, sg.op, false);
+    for (std::size_t i = 0; i < items; ++i) {
+      std::int64_t expected = sg.identity;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) expected = sg.op(expected, values[v][i]);
+      EXPECT_EQ(result.totals[i], expected);
+    }
+  }
+}
+
+TEST_P(TopologySweep, MultiBfsMatchesGroundTruthForRandomSources) {
+  Graph g = graph();
+  Engine engine(g);
+  util::Rng rng(g.num_nodes());
+  auto source_picks = rng.sample_without_replacement(
+      g.num_nodes(), std::min<std::size_t>(g.num_nodes(), 5));
+  std::vector<NodeId> sources(source_picks.begin(), source_picks.end());
+  auto result = multi_source_bfs(engine, sources, g.num_nodes());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    auto truth = g.bfs_distances(sources[i]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(result.dist[v][i], truth[v]);
+    }
+  }
+  EXPECT_LE(result.cost.rounds, 4 * (sources.size() + g.diameter()) + 8);
+}
+
+TEST_P(TopologySweep, ClusteringPropertiesHold) {
+  Graph g = graph();
+  util::Rng rng(g.num_nodes() + 7);
+  for (std::size_t d : {2u, 5u}) {
+    Clustering clustering = cluster_graph(g, d, rng);
+    EXPECT_NO_THROW(validate_clustering(g, clustering, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopologySweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                                            ::testing::Values(8u, 30u, 61u)));
+
+class BandwidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BandwidthSweep, CongestBReducesPipelineRoundsProportionally) {
+  std::size_t bandwidth = GetParam();
+  Graph g = path_graph(12);
+  Engine narrow(g, 1, 1);
+  Engine wide(g, bandwidth, 1);
+  BfsTree tree_narrow = build_bfs_tree(narrow, 0);
+  BfsTree tree_wide = build_bfs_tree(wide, 0);
+  std::vector<std::int64_t> payload(32, 1);
+  auto r_narrow = pipelined_downcast(narrow, tree_narrow, payload, true);
+  auto r_wide = pipelined_downcast(wide, tree_wide, payload, true);
+  EXPECT_LE(r_wide.cost.rounds, r_narrow.cost.rounds);
+  // height + ceil(L / B) - 1 in CONGEST(B).
+  EXPECT_EQ(r_wide.cost.rounds,
+            tree_wide.height + (payload.size() + bandwidth - 1) / bandwidth - 1);
+  EXPECT_LE(r_wide.cost.max_edge_words, bandwidth);
+  // Same content delivered either way.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(r_wide.received[v], payload);
+  }
+}
+
+TEST_P(BandwidthSweep, ConvergecastBenefitsFromBandwidth) {
+  std::size_t bandwidth = GetParam();
+  Graph g = path_graph(10);
+  Engine narrow(g, 1, 1);
+  Engine wide(g, bandwidth, 1);
+  BfsTree tn = build_bfs_tree(narrow, 0);
+  BfsTree tw = build_bfs_tree(wide, 0);
+  std::vector<std::vector<std::int64_t>> values(10, std::vector<std::int64_t>(16, 1));
+  auto op = [](std::int64_t a, std::int64_t b) { return a + b; };
+  auto rn = pipelined_convergecast(narrow, tn, values, 1, op, true);
+  auto rw = pipelined_convergecast(wide, tw, values, 1, op, true);
+  EXPECT_EQ(rn.totals, rw.totals);
+  EXPECT_LE(rw.cost.rounds, rn.cost.rounds);
+  if (bandwidth >= 4) {
+    EXPECT_LT(2 * rw.cost.rounds, 3 * rn.cost.rounds);
+  }
+}
+
+TEST_P(BandwidthSweep, MultiBfsStillCorrectUnderCongestB) {
+  std::size_t bandwidth = GetParam();
+  util::Rng rng(bandwidth);
+  Graph g = random_connected_graph(25, 20, rng);
+  Engine engine(g, bandwidth, 1);
+  std::vector<NodeId> sources{0, 7, 13, 24};
+  auto result = multi_source_bfs(engine, sources, g.num_nodes());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    auto truth = g.bfs_distances(sources[i]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(result.dist[v][i], truth[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BandwidthSweep, ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace qcongest::net

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/net/bfs.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/multi_bfs.hpp"
+#include "src/net/pipeline.hpp"
+
+namespace qcongest::net {
+namespace {
+
+TEST(Downcast, EveryNodeReceivesPayloadInOrder) {
+  Graph g = binary_tree(31);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  std::vector<std::int64_t> payload{5, -3, 99, 12345678901LL, 0};
+  auto result = pipelined_downcast(engine, tree, payload, /*quantum=*/true);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(result.received[v], payload);
+  }
+  EXPECT_GT(result.cost.quantum_words, 0u);
+  EXPECT_EQ(result.cost.classical_words, 0u);
+}
+
+TEST(Downcast, PipelinedRoundsAreHeightPlusLength) {
+  // Lemma 7: D + q/log(n) rather than D * q/log(n).
+  Graph g = path_graph(20);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);  // height 19
+  std::vector<std::int64_t> payload(10);
+  std::iota(payload.begin(), payload.end(), 0);
+  auto result = pipelined_downcast(engine, tree, payload, true);
+  EXPECT_EQ(result.cost.rounds, tree.height + payload.size() - 1);
+}
+
+TEST(Downcast, UnpipelinedIsHeightTimesLength) {
+  Graph g = path_graph(12);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);  // height 11
+  std::vector<std::int64_t> payload(6);
+  auto pipelined = pipelined_downcast(engine, tree, payload, true);
+  auto naive = unpipelined_downcast(engine, tree, payload, true);
+  EXPECT_EQ(naive.cost.rounds, tree.height * payload.size());
+  EXPECT_LT(pipelined.cost.rounds, naive.cost.rounds);
+}
+
+TEST(Downcast, SingleNodeIsFree) {
+  Graph g(1);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  auto result = pipelined_downcast(engine, tree, {1, 2, 3}, false);
+  EXPECT_EQ(result.cost.rounds, 0u);
+  EXPECT_EQ(result.received[0], (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Convergecast, SumsAcrossAllNodes) {
+  util::Rng rng(41);
+  Graph g = random_connected_graph(25, 15, rng);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 3);
+
+  const std::size_t items = 4;
+  std::vector<std::vector<std::int64_t>> values(g.num_nodes());
+  std::vector<std::int64_t> expected(items, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::size_t i = 0; i < items; ++i) {
+      std::int64_t x = static_cast<std::int64_t>(v * 10 + i);
+      values[v].push_back(x);
+      expected[i] += x;
+    }
+  }
+  auto result = pipelined_convergecast(
+      engine, tree, values, /*value_words=*/1,
+      [](std::int64_t a, std::int64_t b) { return a + b; }, /*quantum=*/true);
+  EXPECT_EQ(result.totals, expected);
+}
+
+TEST(Convergecast, MaxSemigroup) {
+  Graph g = star_graph(10);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  std::vector<std::vector<std::int64_t>> values(10, std::vector<std::int64_t>{0});
+  values[7][0] = 42;
+  auto result = pipelined_convergecast(
+      engine, tree, values, 1,
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); }, false);
+  EXPECT_EQ(result.totals[0], 42);
+}
+
+TEST(Convergecast, RoundsScaleAsHeightPlusItems) {
+  // Theorem 8's (D + p) ceil(q/log n) term: on a path (height D), p items of
+  // one word each should take ~ D + p rounds, not D * p.
+  Graph g = path_graph(16);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);  // height 15
+  const std::size_t items = 8;
+  std::vector<std::vector<std::int64_t>> values(16, std::vector<std::int64_t>(items, 1));
+  auto result = pipelined_convergecast(
+      engine, tree, values, 1,
+      [](std::int64_t a, std::int64_t b) { return a + b; }, true);
+  for (std::size_t i = 0; i < items; ++i) EXPECT_EQ(result.totals[i], 16);
+  EXPECT_LE(result.cost.rounds, tree.height + items + 2);
+  EXPECT_GE(result.cost.rounds, tree.height);
+}
+
+TEST(Convergecast, MultiWordValuesCostMore) {
+  Graph g = path_graph(10);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  std::vector<std::vector<std::int64_t>> values(10, std::vector<std::int64_t>(4, 2));
+  auto one_word = pipelined_convergecast(
+      engine, tree, values, 1, [](std::int64_t a, std::int64_t b) { return a + b; },
+      true);
+  auto three_words = pipelined_convergecast(
+      engine, tree, values, 3, [](std::int64_t a, std::int64_t b) { return a + b; },
+      true);
+  EXPECT_EQ(one_word.totals, three_words.totals);
+  // Each hop of each item now takes 3 words; rounds roughly triple.
+  EXPECT_GE(three_words.cost.rounds, 2 * one_word.cost.rounds);
+  EXPECT_EQ(three_words.cost.quantum_words, 3 * one_word.cost.quantum_words);
+}
+
+TEST(Convergecast, InputValidation) {
+  Graph g = path_graph(3);
+  Engine engine(g);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  std::vector<std::vector<std::int64_t>> wrong_count(2, std::vector<std::int64_t>{1});
+  auto op = [](std::int64_t a, std::int64_t b) { return a + b; };
+  EXPECT_THROW(pipelined_convergecast(engine, tree, wrong_count, 1, op, false),
+               std::invalid_argument);
+  std::vector<std::vector<std::int64_t>> ragged{{1}, {1, 2}, {1}};
+  EXPECT_THROW(pipelined_convergecast(engine, tree, ragged, 1, op, false),
+               std::invalid_argument);
+  std::vector<std::vector<std::int64_t>> ok(3, std::vector<std::int64_t>{1});
+  EXPECT_THROW(pipelined_convergecast(engine, tree, ok, 0, op, false),
+               std::invalid_argument);
+}
+
+TEST(MultiBfs, DistancesMatchGroundTruth) {
+  util::Rng rng(42);
+  Graph g = random_connected_graph(30, 25, rng);
+  Engine engine(g);
+  std::vector<NodeId> sources{0, 5, 12, 29};
+  auto result = multi_source_bfs(engine, sources, g.num_nodes());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    auto truth = g.bfs_distances(sources[i]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(result.dist[v][i], truth[v]) << "src " << sources[i] << " v " << v;
+    }
+  }
+}
+
+TEST(MultiBfs, DepthLimitTruncates) {
+  Graph g = path_graph(10);
+  Engine engine(g);
+  auto result = multi_source_bfs(engine, {0}, 3);
+  EXPECT_EQ(result.dist[3][0], 3u);
+  EXPECT_EQ(result.dist[4][0], kUnreachable);
+}
+
+TEST(MultiBfs, RoundsScaleAsSourcesPlusDiameter) {
+  // O(|S| + D), not |S| * D: on a cycle, 8 sources should finish well under
+  // 8 * D rounds.
+  Graph g = cycle_graph(40);
+  Engine engine(g);
+  std::vector<NodeId> sources{0, 5, 10, 15, 20, 25, 30, 35};
+  auto result = multi_source_bfs(engine, sources, g.num_nodes());
+  std::size_t d = g.diameter();
+  EXPECT_LE(result.cost.rounds, 3 * (sources.size() + d));
+  EXPECT_GE(result.cost.rounds, d);
+}
+
+TEST(MultiBfs, ParentsFormShortestPathForest) {
+  util::Rng rng(43);
+  Graph g = random_connected_graph(30, 20, rng);
+  Engine engine(g);
+  std::vector<NodeId> sources{2, 9, 21};
+  auto result = multi_source_bfs(engine, sources, g.num_nodes());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == sources[i]) {
+        EXPECT_EQ(result.parent[v][i], kUnreachable);
+        continue;
+      }
+      NodeId p = result.parent[v][i];
+      ASSERT_NE(p, kUnreachable);
+      EXPECT_TRUE(g.has_edge(v, p));
+      EXPECT_LT(result.dist[p][i], result.dist[v][i]);
+    }
+  }
+}
+
+TEST(MultiBfs, EccentricityEchoDeliversTruthToSources) {
+  // Lemma 20 end to end: every queried source learns its exact
+  // eccentricity, in O(|S| + D) rounds.
+  util::Rng rng(44);
+  for (auto make : {+[](util::Rng& r) { return random_connected_graph(40, 30, r); },
+                    +[](util::Rng&) { return cycle_graph(24); },
+                    +[](util::Rng&) { return two_stars_graph(10, 10, 3); }}) {
+    Graph g = make(rng);
+    Engine engine(g);
+    std::vector<NodeId> sources{0, 5, g.num_nodes() - 1};
+    auto result = multi_source_eccentricities(engine, sources, g.num_nodes());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(result.eccentricity[i], g.eccentricity(sources[i])) << sources[i];
+    }
+    EXPECT_LE(result.echo_cost.rounds,
+              6 * (sources.size() + g.diameter()) + 24);
+    EXPECT_LE(result.echo_cost.max_edge_words, 1u);
+  }
+}
+
+TEST(MultiBfs, EccentricityEchoWithDepthLimitTruncates) {
+  Graph g = path_graph(12);
+  Engine engine(g);
+  auto result = multi_source_eccentricities(engine, {0}, 4);
+  EXPECT_EQ(result.eccentricity[0], 4u);  // max over reached nodes
+}
+
+TEST(MultiBfs, AllSourcesSingleNode) {
+  Graph g(1);
+  Engine engine(g);
+  auto result = multi_source_bfs(engine, {0}, 5);
+  EXPECT_EQ(result.dist[0][0], 0u);
+  EXPECT_EQ(result.cost.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace qcongest::net

@@ -1,0 +1,239 @@
+// Property-based sweeps over the quantum simulator: invariants that must
+// hold for every gate, circuit, width, and seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/quantum/circuit.hpp"
+#include "src/quantum/oracle.hpp"
+#include "src/quantum/qft.hpp"
+#include "src/quantum/qudit.hpp"
+#include "src/quantum/statevector.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::quantum {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Random circuit of `depth` operations over `width` qubits.
+Circuit random_circuit(unsigned width, unsigned depth, util::Rng& rng) {
+  Circuit c(width);
+  for (unsigned i = 0; i < depth; ++i) {
+    switch (rng.index(7)) {
+      case 0:
+        c.h(static_cast<unsigned>(rng.index(width)));
+        break;
+      case 1:
+        c.x(static_cast<unsigned>(rng.index(width)));
+        break;
+      case 2:
+        c.rz(static_cast<unsigned>(rng.index(width)), rng.uniform(-3.0, 3.0));
+        break;
+      case 3:
+        c.ry(static_cast<unsigned>(rng.index(width)), rng.uniform(-3.0, 3.0));
+        break;
+      case 4:
+        c.phase(static_cast<unsigned>(rng.index(width)), rng.uniform(0.0, 6.28));
+        break;
+      case 5: {
+        if (width < 2) break;
+        unsigned a = static_cast<unsigned>(rng.index(width));
+        unsigned b = static_cast<unsigned>(rng.index(width));
+        if (a != b) c.cnot(a, b);
+        break;
+      }
+      default: {
+        if (width < 3) break;
+        unsigned a = static_cast<unsigned>(rng.index(width));
+        unsigned b = static_cast<unsigned>(rng.index(width));
+        unsigned t = static_cast<unsigned>(rng.index(width));
+        if (a != b && b != t && a != t) c.ccx(a, b, t);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+class RandomCircuitProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, int>> {};
+
+TEST_P(RandomCircuitProperty, PreservesNorm) {
+  auto [width, depth, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  Statevector state = random_circuit(width, depth, rng).simulate();
+  EXPECT_NEAR(state.norm(), 1.0, kTol);
+}
+
+TEST_P(RandomCircuitProperty, InverseIsExact) {
+  auto [width, depth, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 1000);
+  Circuit c = random_circuit(width, depth, rng);
+  Statevector state = c.simulate();
+  c.inverse().apply_to(state);
+  EXPECT_NEAR(state.probability(0), 1.0, kTol);
+}
+
+TEST_P(RandomCircuitProperty, ControlledVersionFixesZeroControl) {
+  auto [width, depth, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 2000);
+  Circuit c = random_circuit(width, depth, rng);
+  // Embed with one extra (control) qubit left in |0>: the controlled
+  // circuit must act as the identity.
+  Circuit controlled = c.embedded(width + 1, 0).controlled_on(width);
+  Statevector state(width + 1);
+  controlled.apply_to(state);
+  EXPECT_NEAR(state.probability(0), 1.0, kTol);
+
+  // With the control in |1>, it must act exactly as the original.
+  Statevector on(width + 1, BasisState{1} << width);
+  controlled.apply_to(on);
+  Statevector expected = c.simulate();
+  for (BasisState b = 0; b < expected.dimension(); ++b) {
+    EXPECT_NEAR(std::abs(on.amplitude(b | (BasisState{1} << width)) -
+                         expected.amplitude(b)),
+                0.0, kTol);
+  }
+}
+
+TEST_P(RandomCircuitProperty, MarginalsAreDistributions) {
+  auto [width, depth, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 3000);
+  Statevector state = random_circuit(width, depth, rng).simulate();
+  for (unsigned first = 0; first < width; ++first) {
+    auto dist = state.marginal(first, 1);
+    EXPECT_NEAR(dist[0] + dist[1], 1.0, kTol);
+    EXPECT_GE(dist[0], -kTol);
+    EXPECT_GE(dist[1], -kTol);
+  }
+}
+
+TEST_P(RandomCircuitProperty, MeasurementCollapsesConsistently) {
+  auto [width, depth, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 4000);
+  Statevector state = random_circuit(width, depth, rng).simulate();
+  unsigned q = static_cast<unsigned>(rng.index(width));
+  bool outcome = state.measure_qubit(q, rng);
+  EXPECT_NEAR(state.norm(), 1.0, kTol);
+  EXPECT_NEAR(state.probability_of_one(q), outcome ? 1.0 : 0.0, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomCircuitProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 6u),
+                       ::testing::Values(5u, 25u, 80u), ::testing::Values(1, 2, 3)));
+
+class OracleRoundTrip : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(OracleRoundTrip, BitOracleIsSelfInverse) {
+  auto [index_width, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  unsigned width = index_width + 1;
+  Statevector state = random_circuit(width, 30, rng).simulate();
+  Statevector original = state;
+  auto f = [seed](std::uint64_t i) {
+    return ((i * 2654435761u) >> 3) % 3 == static_cast<std::uint64_t>(seed % 3);
+  };
+  apply_bit_oracle(state, 0, index_width, index_width, f);
+  apply_bit_oracle(state, 0, index_width, index_width, f);
+  EXPECT_NEAR(state.fidelity(original), 1.0, kTol);
+}
+
+TEST_P(OracleRoundTrip, PhaseOracleSquaresToIdentity) {
+  auto [index_width, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 50);
+  Statevector state = random_circuit(index_width, 30, rng).simulate();
+  Statevector original = state;
+  auto f = [](std::uint64_t i) { return (i % 5) == 2; };
+  apply_phase_oracle(state, 0, index_width, f);
+  apply_phase_oracle(state, 0, index_width, f);
+  EXPECT_NEAR(state.fidelity(original), 1.0, kTol);
+}
+
+TEST_P(OracleRoundTrip, ValueOracleUncomputes) {
+  auto [index_width, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 100);
+  unsigned value_width = 2;
+  unsigned width = index_width + value_width;
+  Statevector state = random_circuit(width, 30, rng).simulate();
+  Statevector original = state;
+  auto x = [](std::uint64_t i) { return (i * 7 + 3) % 4; };
+  apply_value_oracle(state, 0, index_width, index_width, value_width, x);
+  apply_value_oracle(state, 0, index_width, index_width, value_width, x);
+  EXPECT_NEAR(state.fidelity(original), 1.0, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OracleRoundTrip,
+                         ::testing::Combine(::testing::Values(2u, 3u, 4u),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+class QftProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QftProperty, ParsevalAndRoundTrip) {
+  unsigned width = GetParam();
+  util::Rng rng(width);
+  Statevector state = random_circuit(width, 40, rng).simulate();
+  Statevector original = state;
+  qft_circuit(width, 0, width).apply_to(state);
+  EXPECT_NEAR(state.norm(), 1.0, kTol);  // Parseval
+  inverse_qft_circuit(width, 0, width).apply_to(state);
+  EXPECT_NEAR(state.fidelity(original), 1.0, kTol);
+}
+
+TEST_P(QftProperty, MapsShiftToPhase) {
+  // QFT |j+1 mod N> = phase-shifted QFT |j>: check via amplitudes.
+  unsigned width = GetParam();
+  const std::uint64_t N = std::uint64_t{1} << width;
+  Statevector a(width, 1);
+  qft_circuit(width, 0, width).apply_to(a);
+  Statevector b(width, 2 % N);
+  qft_circuit(width, 0, width).apply_to(b);
+  for (std::uint64_t m = 0; m < N; ++m) {
+    Amplitude rotated =
+        a.amplitude(m) * std::polar(1.0, 2.0 * M_PI * static_cast<double>(m) /
+                                             static_cast<double>(N));
+    EXPECT_NEAR(std::abs(rotated - b.amplitude(m)), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QftProperty, ::testing::Values(1u, 2u, 3u, 5u, 7u));
+
+class QuditProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuditProperty, ReflectionIsInvolutionAndNormPreserving) {
+  std::size_t dim = GetParam();
+  util::Rng rng(dim);
+  auto s = QuditState::uniform(dim);
+  s.apply_phase_oracle([&](std::size_t i) { return i % 3 == 1; });
+  auto before = s;
+  s.reflect_about_uniform();
+  EXPECT_NEAR(s.norm(), 1.0, kTol);
+  s.reflect_about_uniform();
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(std::abs(s.amplitude(i) - before.amplitude(i)), 0.0, kTol);
+  }
+}
+
+TEST_P(QuditProperty, GroverIterationMatchesAnalyticAngle) {
+  // One qudit Grover iteration on t marked of dim: marked probability must
+  // equal sin^2(3 theta).
+  std::size_t dim = GetParam();
+  std::size_t t = std::max<std::size_t>(1, dim / 7);
+  auto s = QuditState::uniform(dim);
+  auto marked = [t](std::size_t i) { return i < t; };
+  s.apply_phase_oracle(marked);
+  s.reflect_about_uniform();
+  double p_marked = 0.0;
+  for (std::size_t i = 0; i < t; ++i) p_marked += s.probability(i);
+  double theta = std::asin(std::sqrt(static_cast<double>(t) / static_cast<double>(dim)));
+  EXPECT_NEAR(p_marked, std::pow(std::sin(3 * theta), 2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuditProperty,
+                         ::testing::Values(2u, 7u, 16u, 100u, 1024u, 65536u));
+
+}  // namespace
+}  // namespace qcongest::quantum

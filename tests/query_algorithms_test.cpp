@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/query/bbht.hpp"
+#include "src/query/deutsch_jozsa.hpp"
+#include "src/query/element_distinctness.hpp"
+#include "src/query/mean_estimation.hpp"
+#include "src/query/oracle.hpp"
+#include "src/query/parallel_grover.hpp"
+#include "src/util/combinatorics.hpp"
+#include "src/query/parallel_minfind.hpp"
+
+namespace qcongest::query {
+namespace {
+
+std::vector<Value> bitstring(std::size_t k, const std::set<std::size_t>& ones) {
+  std::vector<Value> x(k, 0);
+  for (auto i : ones) x.at(i) = 1;
+  return x;
+}
+
+MarkPredicate is_one() {
+  return [](Value v) { return v == 1; };
+}
+
+TEST(Bbht, FindsTheOnlyMarkedElement) {
+  util::Rng rng(1);
+  int successes = 0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    InMemoryOracle oracle(bitstring(256, {123}), 8);
+    std::vector<std::size_t> marked{123};
+    auto outcome = bbht_subset_search(oracle, marked, rng,
+                                      bbht_default_cutoff(256, 8));
+    if (outcome) {
+      EXPECT_TRUE(std::find(outcome->subset.begin(), outcome->subset.end(), 123u) !=
+                  outcome->subset.end());
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(Bbht, EmptyMarkedSetReturnsNulloptWithinCutoff) {
+  util::Rng rng(2);
+  InMemoryOracle oracle(bitstring(128, {}), 4);
+  std::size_t cutoff = bbht_default_cutoff(128, 4);
+  auto outcome = bbht_subset_search(oracle, {}, rng, cutoff);
+  EXPECT_FALSE(outcome.has_value());
+  EXPECT_LE(oracle.ledger().batches, cutoff);
+}
+
+TEST(Bbht, FullDomainBatchIsOneQuery) {
+  util::Rng rng(3);
+  InMemoryOracle oracle(bitstring(8, {5}), 8);
+  std::vector<std::size_t> marked{5};
+  auto outcome = bbht_subset_search(oracle, marked, rng, 10);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(oracle.ledger().batches, 1u);
+  EXPECT_EQ(outcome->subset.size(), 8u);
+}
+
+TEST(GroverFindOne, SucceedsWithPromisedProbability) {
+  util::Rng rng(4);
+  int successes = 0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    InMemoryOracle oracle(bitstring(512, {7, 300}), 16);
+    auto found = grover_find_one(oracle, is_one(), rng);
+    if (found && (*found == 7 || *found == 300)) ++successes;
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(GroverFindOne, NoMarkedGivesNullopt) {
+  util::Rng rng(5);
+  InMemoryOracle oracle(bitstring(256, {}), 8);
+  EXPECT_FALSE(grover_find_one(oracle, is_one(), rng).has_value());
+}
+
+TEST(GroverFindOne, BatchCountScalesWithSqrtKOverTp) {
+  // With everything else fixed, quadrupling t should roughly halve the
+  // number of batches; use medians over repetitions.
+  util::Rng rng(6);
+  auto median_batches = [&](std::size_t k, std::size_t t, std::size_t p) {
+    std::vector<double> counts;
+    for (int trial = 0; trial < 40; ++trial) {
+      std::set<std::size_t> ones;
+      while (ones.size() < t) ones.insert(rng.index(k));
+      InMemoryOracle oracle(bitstring(k, ones), p);
+      (void)grover_find_one(oracle, is_one(), rng);
+      counts.push_back(static_cast<double>(oracle.ledger().batches));
+    }
+    std::sort(counts.begin(), counts.end());
+    return counts[counts.size() / 2];
+  };
+  double few = median_batches(4096, 4, 4);
+  double many = median_batches(4096, 64, 4);
+  EXPECT_LT(many, few);  // more marked -> fewer batches
+  double small_p = median_batches(4096, 4, 2);
+  double large_p = median_batches(4096, 4, 32);
+  EXPECT_LT(large_p, small_p);  // more parallelism -> fewer batches
+}
+
+TEST(GroverFindOneSplit, FindsMarkedElement) {
+  util::Rng rng(31);
+  int successes = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    InMemoryOracle oracle(bitstring(512, {77}), 8);
+    auto found = grover_find_one_split(oracle, is_one(), rng);
+    if (found == 77u) ++successes;
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(GroverFindOneSplit, NoMarkedGivesNullopt) {
+  util::Rng rng(32);
+  InMemoryOracle oracle(bitstring(256, {}), 8);
+  EXPECT_FALSE(grover_find_one_split(oracle, is_one(), rng).has_value());
+}
+
+TEST(GroverFindOneSplit, BothVariantsScaleWithMarkedCount) {
+  // Empirical ablation of Lemma 2's discussion: for find-ONE the split
+  // approach races its blocks and the first lucky success terminates it, so
+  // it tracks the subset search within a constant factor (the paper's
+  // log(p) penalty applies to making *all* block runs succeed, as find-all
+  // or deterministic-cutoff semantics require). Both must shrink with t.
+  util::Rng rng(33);
+  const std::size_t k = 8192, p = 8;
+  auto median_of = [&](std::size_t t, auto&& algo) {
+    std::vector<double> counts;
+    for (int trial = 0; trial < 30; ++trial) {
+      std::set<std::size_t> ones;
+      while (ones.size() < t) ones.insert(rng.index(k));
+      InMemoryOracle oracle(bitstring(k, ones), p);
+      (void)algo(oracle);
+      counts.push_back(static_cast<double>(oracle.ledger().batches));
+    }
+    std::sort(counts.begin(), counts.end());
+    return counts[counts.size() / 2];
+  };
+  auto subset = [&](BatchOracle& o) { return grover_find_one(o, is_one(), rng); };
+  auto split = [&](BatchOracle& o) { return grover_find_one_split(o, is_one(), rng); };
+  double subset_1 = median_of(1, subset), subset_64 = median_of(64, subset);
+  double split_1 = median_of(1, split), split_64 = median_of(64, split);
+  EXPECT_LT(subset_64, subset_1);
+  EXPECT_LT(split_64, split_1);
+  // Within a constant factor of each other in the find-one race.
+  EXPECT_LT(subset_1, 3.0 * split_1 + 8.0);
+  EXPECT_LT(split_1, 3.0 * subset_1 + 8.0);
+}
+
+TEST(GroverFindAll, FindsEveryMarkedIndex) {
+  util::Rng rng(7);
+  int perfect = 0;
+  const int trials = 40;
+  std::set<std::size_t> ones{3, 99, 250, 511};
+  for (int trial = 0; trial < trials; ++trial) {
+    InMemoryOracle oracle(bitstring(512, ones), 16);
+    auto found = grover_find_all(oracle, is_one(), rng);
+    std::set<std::size_t> found_set(found.begin(), found.end());
+    for (auto f : found_set) EXPECT_TRUE(ones.contains(f));
+    if (found_set == ones) ++perfect;
+  }
+  EXPECT_GE(perfect, 2 * trials / 3);
+}
+
+TEST(GroverFindAll, EmptyInputGivesEmptyOutput) {
+  util::Rng rng(8);
+  InMemoryOracle oracle(bitstring(128, {}), 8);
+  EXPECT_TRUE(grover_find_all(oracle, is_one(), rng).empty());
+}
+
+TEST(Minfind, FindsMinimumWithPromisedProbability) {
+  util::Rng rng(9);
+  int successes = 0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<Value> data(400);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<Value>(rng.index(10000)) + 5;
+    }
+    std::size_t min_at = rng.index(data.size());
+    data[min_at] = 1;
+    InMemoryOracle oracle(data, 10);
+    if (minfind(oracle, rng) == min_at) ++successes;
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(Maxfind, FindsMaximum) {
+  util::Rng rng(10);
+  int successes = 0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<Value> data(300);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<Value>(rng.index(1000));
+    }
+    std::size_t max_at = rng.index(data.size());
+    data[max_at] = 5000;
+    InMemoryOracle oracle(data, 10);
+    if (maxfind(oracle, rng) == max_at) ++successes;
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(Minfind, BatchBudgetRespected) {
+  util::Rng rng(11);
+  const std::size_t k = 1024, p = 16;
+  std::vector<Value> data(k);
+  for (std::size_t i = 0; i < k; ++i) data[i] = static_cast<Value>(i);
+  InMemoryOracle oracle(data, p);
+  (void)minfind(oracle, rng);
+  // Budget in the implementation: 24 sqrt(k/p) + 24 plus the final BBHT's
+  // bounded overshoot. Verify the ledger is in that ballpark.
+  double bound = 26.0 * std::sqrt(static_cast<double>(k) / p) + 30.0;
+  EXPECT_LE(static_cast<double>(oracle.ledger().batches), bound);
+}
+
+TEST(Minfind, DegenerateMinimumIsCheaper) {
+  // Lemma 3, second part: an l-fold minimum reduces the batch count.
+  util::Rng rng(12);
+  auto mean_batches = [&](std::size_t l) {
+    double total = 0;
+    const int trials = 40;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<Value> data(2048, 100);
+      for (std::size_t i = 0; i < l; ++i) data[i] = 1;
+      // Shuffle so minima are in random positions.
+      std::span<Value> view(data);
+      rng.shuffle(view);
+      InMemoryOracle oracle(data, 8);
+      (void)minfind(oracle, rng);
+      total += static_cast<double>(oracle.ledger().batches);
+    }
+    return total / trials;
+  };
+  EXPECT_LT(mean_batches(256), mean_batches(1));
+}
+
+TEST(ElementDistinctness, FindsCollisionWithPromisedProbability) {
+  util::Rng rng(13);
+  int successes = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::size_t k = 512;
+    std::vector<Value> data(k);
+    for (std::size_t i = 0; i < k; ++i) data[i] = static_cast<Value>(i * 2 + 1);
+    std::size_t a = rng.index(k), b = rng.index(k);
+    while (b == a) b = rng.index(k);
+    data[b] = data[a];
+    InMemoryOracle oracle(data, 4);
+    auto pair = element_distinctness(oracle, rng);
+    if (pair) {
+      EXPECT_EQ(oracle.peek(pair->i), oracle.peek(pair->j));
+      EXPECT_LT(pair->i, pair->j);
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+}
+
+TEST(ElementDistinctness, NoCollisionNeverReportsOne) {
+  util::Rng rng(14);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Value> data(256);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<Value>(i);
+    InMemoryOracle oracle(data, 4);
+    EXPECT_FALSE(element_distinctness(oracle, rng).has_value());
+  }
+}
+
+TEST(ElementDistinctness, LargePRegimeIsExact) {
+  util::Rng rng(15);
+  std::vector<Value> data{5, 9, 2, 9, 7, 1, 3, 4};
+  InMemoryOracle oracle(data, 8);  // p == k: query everything in one batch
+  auto pair = element_distinctness(oracle, rng);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->i, 1u);
+  EXPECT_EQ(pair->j, 3u);
+  EXPECT_EQ(pair->value, 9);
+  EXPECT_EQ(oracle.ledger().batches, 1u);
+}
+
+TEST(ElementDistinctness, BatchCountFollowsSchedule) {
+  util::Rng rng(16);
+  const std::size_t k = 1000, p = 4;
+  std::vector<Value> data(k);
+  for (std::size_t i = 0; i < k; ++i) data[i] = static_cast<Value>(i);
+  data[999] = data[0];
+  InMemoryOracle oracle(data, p);
+  (void)element_distinctness(oracle, rng);
+  // The charged batches equal the deterministic schedule unless the setup
+  // subset already contained the collision (then it is at most the setup).
+  EXPECT_LE(oracle.ledger().batches, element_distinctness_schedule_batches(k, p));
+}
+
+TEST(ElementDistinctness, ScheduleScalesAsKOverPToTwoThirds) {
+  double b1 = static_cast<double>(element_distinctness_schedule_batches(8000, 1));
+  double b8 = static_cast<double>(element_distinctness_schedule_batches(64000, 8));
+  // k/p identical -> schedule within a small factor of each other.
+  EXPECT_NEAR(b8 / b1, 1.0, 0.5);
+  double big = static_cast<double>(element_distinctness_schedule_batches(64000, 1));
+  // (64000)^{2/3} / (8000)^{2/3} = 4.
+  EXPECT_NEAR(big / b1, 4.0, 1.2);
+}
+
+TEST(ElementDistinctness, CollisionSubsetFractionExact) {
+  util::Rng rng(41);
+  // One pair among k = 6, z = 2: eps = z(z-1)/(k(k-1)) = 2/30.
+  InMemoryOracle one_pair({1, 2, 3, 4, 5, 1}, 2);
+  EXPECT_NEAR(collision_subset_fraction(one_pair, 2, rng), 2.0 / 30.0, 1e-9);
+
+  // No duplicates: eps = 0.
+  InMemoryOracle distinct({1, 2, 3, 4}, 2);
+  EXPECT_DOUBLE_EQ(collision_subset_fraction(distinct, 2, rng), 0.0);
+
+  // Verify against exhaustive counting for a mixed structure:
+  // values {1,1,1,2,2,3,4} (k=7), z = 3.
+  InMemoryOracle mixed({1, 1, 1, 2, 2, 3, 4}, 2);
+  for (std::size_t z = 2; z <= 5; ++z) {
+    std::size_t collision_subsets = 0, total = 0;
+    for (const auto& subset : util::all_subsets(7, z)) {
+      ++total;
+      std::set<Value> seen;
+      bool collides = false;
+      for (auto idx : subset) {
+        if (!seen.insert(mixed.peek(idx)).second) collides = true;
+      }
+      if (collides) ++collision_subsets;
+    }
+    double expected = static_cast<double>(collision_subsets) / total;
+    EXPECT_NEAR(collision_subset_fraction(mixed, z, rng), expected, 1e-9) << z;
+  }
+
+  // All identical: every z >= 2 subset collides.
+  InMemoryOracle all_same({7, 7, 7, 7}, 2);
+  EXPECT_DOUBLE_EQ(collision_subset_fraction(all_same, 3, rng), 1.0);
+}
+
+TEST(DeutschJozsa, ExactVerdicts) {
+  util::Rng rng(17);
+  InMemoryOracle constant0(std::vector<Value>(64, 0), 1);
+  EXPECT_EQ(deutsch_jozsa(constant0), DjVerdict::kConstant);
+  EXPECT_EQ(constant0.ledger().batches, 1u);
+
+  InMemoryOracle constant1(std::vector<Value>(64, 1), 1);
+  EXPECT_EQ(deutsch_jozsa(constant1), DjVerdict::kConstant);
+
+  std::vector<Value> balanced(64, 0);
+  for (std::size_t i = 0; i < 32; ++i) balanced[i * 2] = 1;
+  InMemoryOracle bal(balanced, 1);
+  EXPECT_EQ(deutsch_jozsa(bal), DjVerdict::kBalanced);
+}
+
+TEST(DeutschJozsa, RejectsPromiseViolations) {
+  InMemoryOracle bad_count(bitstring(8, {0}), 1);  // |x| = 1, not 0, 4, or 8
+  EXPECT_THROW(deutsch_jozsa(bad_count), std::invalid_argument);
+
+  InMemoryOracle odd(std::vector<Value>(7, 0), 1);
+  EXPECT_THROW(deutsch_jozsa(odd), std::invalid_argument);
+
+  InMemoryOracle non_bit(std::vector<Value>{0, 2}, 1);
+  EXPECT_THROW(deutsch_jozsa(non_bit), std::invalid_argument);
+}
+
+TEST(MeanEstimation, EstimateWithinEpsilon) {
+  util::Rng rng(18);
+  std::vector<double> population;
+  for (int i = 0; i < 1000; ++i) population.push_back(static_cast<double>(i % 50));
+  PopulationSampleOracle oracle(population, 8);
+  double epsilon = 0.5;
+  int within = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto est = estimate_mean(oracle, epsilon, std::sqrt(oracle.true_variance()), rng);
+    if (std::abs(est.value - oracle.true_mean()) <= epsilon) ++within;
+  }
+  EXPECT_GE(within, 2 * trials / 3);
+}
+
+TEST(MeanEstimation, BatchCountMatchesSchedule) {
+  util::Rng rng(19);
+  PopulationSampleOracle oracle({1.0, 2.0, 3.0, 4.0}, 4);
+  double sigma = std::sqrt(oracle.true_variance());
+  auto est = estimate_mean(oracle, 0.1, sigma, rng);
+  EXPECT_EQ(est.batches, mean_estimation_schedule_batches(sigma, 0.1, 4));
+  EXPECT_EQ(oracle.ledger().batches, est.batches);
+}
+
+TEST(MeanEstimation, ScheduleShrinksWithParallelismAndEpsilon) {
+  auto b = [](double sigma, double eps, std::size_t p) {
+    return mean_estimation_schedule_batches(sigma, eps, p);
+  };
+  EXPECT_LT(b(10.0, 0.1, 16), b(10.0, 0.1, 1));
+  EXPECT_LT(b(10.0, 0.2, 1), b(10.0, 0.1, 1));
+  EXPECT_EQ(b(0.1, 10.0, 1), 1u);  // trivially easy
+  EXPECT_THROW(b(1.0, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qcongest::query

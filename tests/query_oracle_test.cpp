@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/query/grover_math.hpp"
+#include "src/query/oracle.hpp"
+#include "src/util/combinatorics.hpp"
+
+namespace qcongest::query {
+namespace {
+
+TEST(InMemoryOracle, BasicQueryAndLedger) {
+  InMemoryOracle oracle({10, 20, 30, 40}, 2);
+  EXPECT_EQ(oracle.domain_size(), 4u);
+  EXPECT_EQ(oracle.parallelism(), 2u);
+
+  std::vector<std::size_t> batch{1, 3};
+  auto values = oracle.query(batch);
+  EXPECT_EQ(values, (std::vector<Value>{20, 40}));
+  EXPECT_EQ(oracle.ledger().batches, 1u);
+  EXPECT_EQ(oracle.ledger().total_queries, 2u);
+  EXPECT_EQ(oracle.ledger().max_batch, 2u);
+
+  oracle.charge_batch();
+  EXPECT_EQ(oracle.ledger().batches, 2u);
+
+  oracle.reset_ledger();
+  EXPECT_EQ(oracle.ledger().batches, 0u);
+}
+
+TEST(InMemoryOracle, PeekIsUncharged) {
+  InMemoryOracle oracle({1, 2, 3}, 1);
+  EXPECT_EQ(oracle.peek(2), 3);
+  EXPECT_EQ(oracle.ledger().batches, 0u);
+}
+
+TEST(InMemoryOracle, RejectsBadBatches) {
+  InMemoryOracle oracle({1, 2, 3}, 2);
+  std::vector<std::size_t> too_big{0, 1, 2};
+  EXPECT_THROW(oracle.query(too_big), std::invalid_argument);
+  std::vector<std::size_t> out_of_range{5};
+  EXPECT_THROW(oracle.query(out_of_range), std::out_of_range);
+  std::vector<std::size_t> empty;
+  EXPECT_THROW(oracle.query(empty), std::invalid_argument);
+}
+
+TEST(InMemoryOracle, RejectsBadConstruction) {
+  EXPECT_THROW(InMemoryOracle({}, 1), std::invalid_argument);
+  EXPECT_THROW(InMemoryOracle({1}, 0), std::invalid_argument);
+}
+
+TEST(GroverMath, AngleAndSuccessProbability) {
+  EXPECT_DOUBLE_EQ(grover_angle(0.0), 0.0);
+  EXPECT_NEAR(grover_angle(1.0), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(grover_angle(0.25), M_PI / 6.0, 1e-12);
+  // One iteration on fraction 1/4: sin^2(3 * pi/6) = 1.
+  EXPECT_NEAR(grover_success_probability(1, grover_angle(0.25)), 1.0, 1e-12);
+  // Zero iterations: just the initial fraction.
+  EXPECT_NEAR(grover_success_probability(0, grover_angle(0.1)), 0.1, 1e-12);
+  EXPECT_THROW(grover_angle(1.5), std::invalid_argument);
+}
+
+TEST(GroverMath, MarkedSubsetFractionMatchesExactCounting) {
+  // Compare against exact counting for small (k, t, p).
+  for (std::size_t k : {6u, 10u}) {
+    for (std::size_t t = 0; t <= k; ++t) {
+      for (std::size_t p = 1; p <= k; ++p) {
+        double expected =
+            1.0 - util::binomial(k - t, p) / util::binomial(k, p);
+        EXPECT_NEAR(marked_subset_fraction(k, t, p), expected, 1e-9)
+            << "k=" << k << " t=" << t << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(GroverMath, MarkedSubsetFractionTinyValuesStable) {
+  // k = 1e6, t = 1, p = 10: fraction ~ p/k = 1e-5; log-space math must not
+  // lose it to cancellation.
+  double f = marked_subset_fraction(1000000, 1, 10);
+  EXPECT_NEAR(f, 1e-5, 1e-7);
+}
+
+TEST(GroverMath, SampleSubsetWithMarkedAlwaysContainsMarked) {
+  util::Rng rng(17);
+  std::vector<std::size_t> marked{3, 77, 500};
+  for (int trial = 0; trial < 200; ++trial) {
+    auto subset = sample_subset_with_marked(1000, marked, 10, rng);
+    EXPECT_EQ(subset.size(), 10u);
+    std::set<std::size_t> s(subset.begin(), subset.end());
+    EXPECT_EQ(s.size(), 10u);  // distinct
+    bool hit = s.contains(3) || s.contains(77) || s.contains(500);
+    EXPECT_TRUE(hit);
+    for (auto v : subset) EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(GroverMath, SampleSubsetWithoutMarkedAvoidsMarked) {
+  util::Rng rng(18);
+  std::vector<std::size_t> marked{0, 1, 2};
+  for (int trial = 0; trial < 100; ++trial) {
+    auto subset = sample_subset_without_marked(50, marked, 5, rng);
+    EXPECT_EQ(subset.size(), 5u);
+    for (auto v : subset) {
+      EXPECT_GT(v, 2u);
+      EXPECT_LT(v, 50u);
+    }
+  }
+}
+
+TEST(GroverMath, SampleSubsetWithMarkedMatchesHypergeometric) {
+  // With k=20, t=10, p=2, P(2 marked | >=1 marked) = C(10,2)/(C(20,2)-C(10,2))
+  // = 45/145.
+  util::Rng rng(19);
+  std::vector<std::size_t> marked;
+  for (std::size_t i = 0; i < 10; ++i) marked.push_back(i);
+  int both = 0;
+  const int trials = 6000;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto subset = sample_subset_with_marked(20, marked, 2, rng);
+    int hits = 0;
+    for (auto v : subset) {
+      if (v < 10) ++hits;
+    }
+    EXPECT_GE(hits, 1);
+    if (hits == 2) ++both;
+  }
+  EXPECT_NEAR(static_cast<double>(both) / trials, 45.0 / 145.0, 0.03);
+}
+
+TEST(GroverMath, DenseMarkedRegimeWorks) {
+  util::Rng rng(20);
+  // Most of the domain marked: exercises the dense sampling path.
+  std::vector<std::size_t> marked;
+  for (std::size_t i = 0; i < 90; ++i) marked.push_back(i);
+  auto subset = sample_subset_with_marked(100, marked, 20, rng);
+  EXPECT_EQ(subset.size(), 20u);
+  auto unmarked_subset = sample_subset_without_marked(100, marked, 10, rng);
+  for (auto v : unmarked_subset) EXPECT_GE(v, 90u);
+}
+
+}  // namespace
+}  // namespace qcongest::query

@@ -1,0 +1,83 @@
+// Scale smoke tests: the simulator's formulas keep holding well past the
+// sizes the unit tests use, and runtimes stay sane.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/apps/twoparty.hpp"
+#include "src/framework/distributed_state.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/multi_bfs.hpp"
+
+namespace qcongest {
+namespace {
+
+TEST(Stress, StateDistributionOnThousandNodePath) {
+  net::Graph g = net::path_graph(1000);
+  net::Engine engine(g, 1, 1);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  ASSERT_EQ(tree.height, 999u);
+  auto cost = framework::distribute_state(engine, tree, 2000);
+  std::size_t words = framework::words_for_bits(2000, 1000);
+  EXPECT_EQ(cost.rounds, 999 + words - 1);
+  EXPECT_EQ(cost.max_edge_words, 1u);
+}
+
+TEST(Stress, MultiBfsOnLargeRandomGraph) {
+  util::Rng rng(1);
+  net::Graph g = net::random_connected_graph(300, 400, rng);
+  net::Engine engine(g, 1, 1);
+  std::vector<net::NodeId> sources;
+  for (std::size_t i = 0; i < 30; ++i) sources.push_back(i * 10);
+  auto result = net::multi_source_bfs(engine, sources, g.num_nodes());
+  // Spot-check a handful of sources against ground truth.
+  for (std::size_t i : {0u, 14u, 29u}) {
+    auto truth = g.bfs_distances(sources[i]);
+    for (net::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(result.dist[v][i], truth[v]);
+    }
+  }
+  EXPECT_LE(result.cost.rounds, 4 * (sources.size() + g.diameter()) + 16);
+}
+
+TEST(Stress, ClassicalMeetingSchedulingAtHundredThousandSlots) {
+  util::Rng rng(2);
+  const std::size_t k = 100000;
+  net::Graph g = net::path_graph(5);
+  apps::Calendars calendars(5, std::vector<query::Value>(k, 0));
+  calendars[2][77777] = 1;
+  calendars[4][77777] = 1;
+  auto result = apps::meeting_scheduling_classical(g, calendars);
+  EXPECT_EQ(result.best_slot, 77777u);
+  EXPECT_EQ(result.availability, 2);
+  // Theta(D + k) rounds.
+  EXPECT_GE(result.cost.rounds, k);
+  EXPECT_LE(result.cost.rounds, k + 64);
+}
+
+TEST(Stress, QuantumDeutschJozsaAtMillionSlots) {
+  // The qudit register lives in C^k — a million amplitudes is trivial —
+  // and the network cost stays O(D log k / log n).
+  util::Rng rng(3);
+  const std::size_t k = 1 << 20;
+  net::Graph g = net::path_graph(6);
+  std::vector<std::vector<query::Value>> data(6, std::vector<query::Value>(k, 0));
+  // Balanced input planted in node 3.
+  for (std::size_t i = 0; i < k / 2; ++i) data[3][2 * i] = 1;
+  auto result = apps::deutsch_jozsa_quantum(g, data);
+  EXPECT_EQ(result.verdict, query::DjVerdict::kBalanced);
+  EXPECT_LE(result.cost.rounds, 200u);  // flat in k
+}
+
+TEST(Stress, QuantumMeetingSchedulingMidScale) {
+  util::Rng rng(4);
+  const std::size_t k = 32768;
+  auto gadget = apps::meeting_scheduling_gadget(k, 6, true, rng);
+  auto result = apps::meeting_scheduling_quantum(gadget.graph, gadget.calendars, rng);
+  EXPECT_LT(result.cost.rounds, k);  // far below the classical Theta(k)
+  EXPECT_GT(result.batches, 0u);
+}
+
+}  // namespace
+}  // namespace qcongest

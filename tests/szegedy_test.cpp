@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/quantum/szegedy.hpp"
+#include "src/util/combinatorics.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::quantum {
+namespace {
+
+double norm_of(const std::vector<Amplitude>& state) {
+  double total = 0.0;
+  for (const Amplitude& a : state) total += std::norm(a);
+  return std::sqrt(total);
+}
+
+TEST(Szegedy, JohnsonTransitionMatrixIsDoublyStochastic) {
+  for (auto [k, z] : {std::pair{5u, 2u}, {6u, 3u}, {7u, 2u}}) {
+    auto p = johnson_transition_matrix(k, z);
+    EXPECT_EQ(p.size(), util::binomial_exact(k, z));
+    for (std::size_t x = 0; x < p.size(); ++x) {
+      double row = 0.0;
+      for (std::size_t y = 0; y < p.size(); ++y) {
+        row += p[x][y];
+        EXPECT_DOUBLE_EQ(p[x][y], p[y][x]);
+      }
+      EXPECT_NEAR(row, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Szegedy, WalkOperatorIsUnitary) {
+  util::Rng rng(1);
+  SzegedyWalk walk(johnson_transition_matrix(6, 2));
+  std::vector<Amplitude> state(walk.dimension());
+  for (auto& a : state) a = Amplitude{rng.normal(), rng.normal()};
+  double scale = 1.0 / norm_of(state);
+  for (auto& a : state) a *= scale;
+  for (int t = 0; t < 20; ++t) walk.apply(state);
+  EXPECT_NEAR(norm_of(state), 1.0, 1e-9);
+}
+
+TEST(Szegedy, StationaryStateIsFixed) {
+  SzegedyWalk walk(johnson_transition_matrix(6, 3));
+  auto pi = walk.stationary_state();
+  EXPECT_NEAR(norm_of(pi), 1.0, 1e-12);
+  auto evolved = pi;
+  walk.apply(evolved);
+  double fidelity = 0.0;
+  Amplitude overlap{0, 0};
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    overlap += std::conj(pi[i]) * evolved[i];
+  }
+  fidelity = std::norm(overlap);
+  EXPECT_NEAR(fidelity, 1.0, 1e-12);
+}
+
+TEST(Szegedy, SearchAmplifiesMarkedSubsets) {
+  // Lemma 5's schedule at gate level: one colliding pair among k = 8 values,
+  // walk on J(8, 4). eps ~ (z/k)^2 ~ 0.21, delta ~ 1/z: a handful of outer
+  // steps with ~sqrt(z) walk applications must lift the marked probability
+  // from eps to a constant.
+  const std::size_t k = 8, z = 4;
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 0};  // one collision: {0, 7}
+  double initial = johnson_walk_search_probability(k, z, values, 0, 0);
+  // Stationary mass on marked vertices = exact marked fraction.
+  double eps = static_cast<double>(z) * (z - 1) /
+               (static_cast<double>(k) * (k - 1));
+  EXPECT_NEAR(initial, eps, 1e-9);
+
+  const std::size_t inner = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(z))));
+  double best = 0.0;
+  const auto outer_budget = static_cast<std::size_t>(
+      std::ceil(2.0 / std::sqrt(eps)));
+  for (std::size_t outer = 1; outer <= outer_budget; ++outer) {
+    best = std::max(best,
+                    johnson_walk_search_probability(k, z, values, outer, inner));
+  }
+  EXPECT_GE(best, 0.3);  // constant success within the charged schedule
+}
+
+TEST(Szegedy, NoCollisionNothingAmplifies) {
+  const std::size_t k = 6, z = 3;
+  std::vector<int> values{0, 1, 2, 3, 4, 5};
+  for (std::size_t outer : {1u, 3u, 6u}) {
+    EXPECT_DOUBLE_EQ(johnson_walk_search_probability(k, z, values, outer, 2), 0.0);
+  }
+}
+
+TEST(Szegedy, DenserCollisionsAmplifyFaster) {
+  const std::size_t k = 8, z = 4;
+  std::vector<int> one_pair{0, 1, 2, 3, 4, 5, 6, 0};
+  std::vector<int> many{0, 0, 1, 1, 2, 2, 3, 3};
+  double p_one = johnson_walk_search_probability(k, z, one_pair, 1, 2);
+  double p_many = johnson_walk_search_probability(k, z, many, 1, 2);
+  EXPECT_GT(p_many, p_one);
+}
+
+TEST(Szegedy, EndToEndElementDistinctness) {
+  util::Rng rng(7);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 0};  // collision {0, 7}
+  int successes = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    auto pair = johnson_walk_element_distinctness(8, 4, values, 8, rng);
+    if (pair) {
+      EXPECT_EQ(values[pair->first], values[pair->second]);
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 2 * trials / 3);
+  // One-sided: distinct inputs never produce a pair.
+  std::vector<int> distinct{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_FALSE(johnson_walk_element_distinctness(8, 4, distinct, 8, rng).has_value());
+}
+
+TEST(Szegedy, InputValidation) {
+  EXPECT_THROW(SzegedyWalk({{0.5, 0.5}, {0.9, 0.1}}), std::invalid_argument);
+  EXPECT_THROW(SzegedyWalk({{1.5, -0.5}, {-0.5, 1.5}}), std::invalid_argument);
+  std::vector<int> wrong_size{1, 2};
+  EXPECT_THROW(johnson_walk_search_probability(6, 2, wrong_size, 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qcongest::quantum

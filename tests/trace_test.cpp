@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/net/bfs.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/pipeline.hpp"
+#include "src/net/trace.hpp"
+
+namespace qcongest::net {
+namespace {
+
+TEST(Trace, RecordsEveryDelivery) {
+  Graph g = path_graph(5);
+  Engine engine(g);
+  Trace trace;
+  engine.set_trace(&trace);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  EXPECT_EQ(trace.size(), tree.cost.messages);
+  // Rounds in the trace are consistent with the measured round count.
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_LT(e.round, tree.cost.rounds + 1);
+    EXPECT_TRUE(g.has_edge(e.from, e.to));
+  }
+}
+
+TEST(Trace, PerRoundCountsSumToTotal) {
+  Graph g = star_graph(8);
+  Engine engine(g);
+  Trace trace;
+  engine.set_trace(&trace);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  auto down = pipelined_downcast(engine, tree, {1, 2, 3, 4}, true);
+  std::size_t total = 0;
+  for (std::size_t c : trace.per_round_counts()) total += c;
+  EXPECT_EQ(total, trace.size());
+  EXPECT_EQ(trace.size(), tree.cost.messages + down.cost.messages);
+}
+
+TEST(Trace, BusiestEdgesAndTags) {
+  Graph g = path_graph(4);
+  Engine engine(g);
+  Trace trace;
+  engine.set_trace(&trace);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  trace.clear();
+  (void)pipelined_downcast(engine, tree, {1, 2, 3, 4, 5}, false);
+  auto busiest = trace.busiest_edges(2);
+  ASSERT_EQ(busiest.size(), 2u);
+  EXPECT_EQ(busiest[0].second, 5u);  // every tree edge carries 5 words
+  auto tags = trace.per_tag_counts();
+  EXPECT_EQ(tags.size(), 1u);  // only the downcast tag
+  EXPECT_EQ(tags.begin()->second, 15u);  // 3 edges x 5 words
+}
+
+TEST(Trace, TimelineRenders) {
+  Graph g = path_graph(3);
+  Engine engine(g);
+  Trace trace;
+  engine.set_trace(&trace);
+  (void)build_bfs_tree(engine, 0);
+  std::string timeline = trace.render_timeline(20);
+  EXPECT_NE(timeline.find("r0 |"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  // Detaching stops recording.
+  engine.set_trace(nullptr);
+  std::size_t before = trace.size();
+  (void)build_bfs_tree(engine, 0);
+  EXPECT_EQ(trace.size(), before);
+}
+
+TEST(Trace, EdgeTotalsFeedDotExport) {
+  Graph g = path_graph(3);
+  Engine engine(g);
+  Trace trace;
+  engine.set_trace(&trace);
+  BfsTree tree = build_bfs_tree(engine, 0);
+  (void)pipelined_downcast(engine, tree, {1, 2}, false);
+  auto totals = trace.edge_totals();
+  EXPECT_EQ(totals.size(), 2u);  // both path edges used
+  std::string dot = g.to_dot(&totals);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1 [label="), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2 [label="), std::string::npos);
+}
+
+TEST(Trace, DotExportWithoutLabels) {
+  Graph g = cycle_graph(4);
+  std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n3;"), std::string::npos);
+  // Each undirected edge exactly once.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '-') / 2, 4);
+}
+
+TEST(Trace, EmptyTraceBehaves) {
+  Trace trace;
+  EXPECT_TRUE(trace.per_round_counts().empty());
+  EXPECT_TRUE(trace.busiest_edges(3).empty());
+  EXPECT_EQ(trace.render_timeline(), "");
+}
+
+}  // namespace
+}  // namespace qcongest::net
