@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_avg_eccentricity.dir/bench_avg_eccentricity.cpp.o"
+  "CMakeFiles/bench_avg_eccentricity.dir/bench_avg_eccentricity.cpp.o.d"
+  "bench_avg_eccentricity"
+  "bench_avg_eccentricity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_avg_eccentricity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

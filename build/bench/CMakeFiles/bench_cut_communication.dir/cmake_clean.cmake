@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cut_communication.dir/bench_cut_communication.cpp.o"
+  "CMakeFiles/bench_cut_communication.dir/bench_cut_communication.cpp.o.d"
+  "bench_cut_communication"
+  "bench_cut_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cut_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

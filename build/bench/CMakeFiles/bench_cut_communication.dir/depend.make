@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cut_communication.
+# This may be replaced when dependencies are built.

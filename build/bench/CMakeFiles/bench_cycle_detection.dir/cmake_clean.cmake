@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_detection.dir/bench_cycle_detection.cpp.o"
+  "CMakeFiles/bench_cycle_detection.dir/bench_cycle_detection.cpp.o.d"
+  "bench_cycle_detection"
+  "bench_cycle_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

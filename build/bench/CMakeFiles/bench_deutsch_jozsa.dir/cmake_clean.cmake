@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deutsch_jozsa.dir/bench_deutsch_jozsa.cpp.o"
+  "CMakeFiles/bench_deutsch_jozsa.dir/bench_deutsch_jozsa.cpp.o.d"
+  "bench_deutsch_jozsa"
+  "bench_deutsch_jozsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deutsch_jozsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

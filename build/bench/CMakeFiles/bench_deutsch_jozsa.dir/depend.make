@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_deutsch_jozsa.
+# This may be replaced when dependencies are built.

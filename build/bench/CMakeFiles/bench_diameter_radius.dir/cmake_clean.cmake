@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diameter_radius.dir/bench_diameter_radius.cpp.o"
+  "CMakeFiles/bench_diameter_radius.dir/bench_diameter_radius.cpp.o.d"
+  "bench_diameter_radius"
+  "bench_diameter_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diameter_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

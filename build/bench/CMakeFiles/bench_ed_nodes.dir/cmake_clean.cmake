@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ed_nodes.dir/bench_ed_nodes.cpp.o"
+  "CMakeFiles/bench_ed_nodes.dir/bench_ed_nodes.cpp.o.d"
+  "bench_ed_nodes"
+  "bench_ed_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ed_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

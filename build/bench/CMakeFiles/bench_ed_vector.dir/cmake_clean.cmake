@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ed_vector.dir/bench_ed_vector.cpp.o"
+  "CMakeFiles/bench_ed_vector.dir/bench_ed_vector.cpp.o.d"
+  "bench_ed_vector"
+  "bench_ed_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ed_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

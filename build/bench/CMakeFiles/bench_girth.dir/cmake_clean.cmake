@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_girth.dir/bench_girth.cpp.o"
+  "CMakeFiles/bench_girth.dir/bench_girth.cpp.o.d"
+  "bench_girth"
+  "bench_girth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_girth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

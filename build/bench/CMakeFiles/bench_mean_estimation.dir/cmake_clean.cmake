@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mean_estimation.dir/bench_mean_estimation.cpp.o"
+  "CMakeFiles/bench_mean_estimation.dir/bench_mean_estimation.cpp.o.d"
+  "bench_mean_estimation"
+  "bench_mean_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mean_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

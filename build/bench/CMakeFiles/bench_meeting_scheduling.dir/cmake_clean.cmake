@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_meeting_scheduling.dir/bench_meeting_scheduling.cpp.o"
+  "CMakeFiles/bench_meeting_scheduling.dir/bench_meeting_scheduling.cpp.o.d"
+  "bench_meeting_scheduling"
+  "bench_meeting_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meeting_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_non_oracle.dir/bench_non_oracle.cpp.o"
+  "CMakeFiles/bench_non_oracle.dir/bench_non_oracle.cpp.o.d"
+  "bench_non_oracle"
+  "bench_non_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_non_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_ed.dir/bench_parallel_ed.cpp.o"
+  "CMakeFiles/bench_parallel_ed.dir/bench_parallel_ed.cpp.o.d"
+  "bench_parallel_ed"
+  "bench_parallel_ed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_ed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_grover.dir/bench_parallel_grover.cpp.o"
+  "CMakeFiles/bench_parallel_grover.dir/bench_parallel_grover.cpp.o.d"
+  "bench_parallel_grover"
+  "bench_parallel_grover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_grover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

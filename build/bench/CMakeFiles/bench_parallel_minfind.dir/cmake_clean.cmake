@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_minfind.dir/bench_parallel_minfind.cpp.o"
+  "CMakeFiles/bench_parallel_minfind.dir/bench_parallel_minfind.cpp.o.d"
+  "bench_parallel_minfind"
+  "bench_parallel_minfind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_minfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_distribution.dir/bench_state_distribution.cpp.o"
+  "CMakeFiles/bench_state_distribution.dir/bench_state_distribution.cpp.o.d"
+  "bench_state_distribution"
+  "bench_state_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

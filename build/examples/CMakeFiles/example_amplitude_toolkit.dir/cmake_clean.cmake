@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_amplitude_toolkit.dir/amplitude_toolkit.cpp.o"
+  "CMakeFiles/example_amplitude_toolkit.dir/amplitude_toolkit.cpp.o.d"
+  "example_amplitude_toolkit"
+  "example_amplitude_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_amplitude_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distinctness_audit.dir/distinctness_audit.cpp.o"
+  "CMakeFiles/example_distinctness_audit.dir/distinctness_audit.cpp.o.d"
+  "example_distinctness_audit"
+  "example_distinctness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distinctness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_meeting_scheduler.dir/meeting_scheduler.cpp.o"
+  "CMakeFiles/example_meeting_scheduler.dir/meeting_scheduler.cpp.o.d"
+  "example_meeting_scheduler"
+  "example_meeting_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_meeting_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_protocol_inspector.dir/protocol_inspector.cpp.o"
+  "CMakeFiles/example_protocol_inspector.dir/protocol_inspector.cpp.o.d"
+  "example_protocol_inspector"
+  "example_protocol_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_protocol_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cycle_detection.cpp" "src/CMakeFiles/qcongest.dir/apps/cycle_detection.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/cycle_detection.cpp.o.d"
+  "/root/repo/src/apps/deutsch_jozsa.cpp" "src/CMakeFiles/qcongest.dir/apps/deutsch_jozsa.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/deutsch_jozsa.cpp.o.d"
+  "/root/repo/src/apps/eccentricity.cpp" "src/CMakeFiles/qcongest.dir/apps/eccentricity.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/eccentricity.cpp.o.d"
+  "/root/repo/src/apps/element_distinctness.cpp" "src/CMakeFiles/qcongest.dir/apps/element_distinctness.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/element_distinctness.cpp.o.d"
+  "/root/repo/src/apps/even_cycle.cpp" "src/CMakeFiles/qcongest.dir/apps/even_cycle.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/even_cycle.cpp.o.d"
+  "/root/repo/src/apps/girth.cpp" "src/CMakeFiles/qcongest.dir/apps/girth.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/girth.cpp.o.d"
+  "/root/repo/src/apps/meeting_scheduling.cpp" "src/CMakeFiles/qcongest.dir/apps/meeting_scheduling.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/meeting_scheduling.cpp.o.d"
+  "/root/repo/src/apps/twoparty.cpp" "src/CMakeFiles/qcongest.dir/apps/twoparty.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/apps/twoparty.cpp.o.d"
+  "/root/repo/src/framework/distributed_oracle.cpp" "src/CMakeFiles/qcongest.dir/framework/distributed_oracle.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/framework/distributed_oracle.cpp.o.d"
+  "/root/repo/src/framework/distributed_state.cpp" "src/CMakeFiles/qcongest.dir/framework/distributed_state.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/framework/distributed_state.cpp.o.d"
+  "/root/repo/src/framework/non_oracle.cpp" "src/CMakeFiles/qcongest.dir/framework/non_oracle.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/framework/non_oracle.cpp.o.d"
+  "/root/repo/src/net/bfs.cpp" "src/CMakeFiles/qcongest.dir/net/bfs.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/bfs.cpp.o.d"
+  "/root/repo/src/net/clustering.cpp" "src/CMakeFiles/qcongest.dir/net/clustering.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/clustering.cpp.o.d"
+  "/root/repo/src/net/engine.cpp" "src/CMakeFiles/qcongest.dir/net/engine.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/engine.cpp.o.d"
+  "/root/repo/src/net/generators.cpp" "src/CMakeFiles/qcongest.dir/net/generators.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/generators.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/CMakeFiles/qcongest.dir/net/graph.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/graph.cpp.o.d"
+  "/root/repo/src/net/multi_bfs.cpp" "src/CMakeFiles/qcongest.dir/net/multi_bfs.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/multi_bfs.cpp.o.d"
+  "/root/repo/src/net/pipeline.cpp" "src/CMakeFiles/qcongest.dir/net/pipeline.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/pipeline.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/qcongest.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/net/trace.cpp.o.d"
+  "/root/repo/src/quantum/arithmetic.cpp" "src/CMakeFiles/qcongest.dir/quantum/arithmetic.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/arithmetic.cpp.o.d"
+  "/root/repo/src/quantum/circuit.cpp" "src/CMakeFiles/qcongest.dir/quantum/circuit.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/circuit.cpp.o.d"
+  "/root/repo/src/quantum/gates.cpp" "src/CMakeFiles/qcongest.dir/quantum/gates.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/gates.cpp.o.d"
+  "/root/repo/src/quantum/oracle.cpp" "src/CMakeFiles/qcongest.dir/quantum/oracle.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/oracle.cpp.o.d"
+  "/root/repo/src/quantum/qft.cpp" "src/CMakeFiles/qcongest.dir/quantum/qft.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/qft.cpp.o.d"
+  "/root/repo/src/quantum/qudit.cpp" "src/CMakeFiles/qcongest.dir/quantum/qudit.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/qudit.cpp.o.d"
+  "/root/repo/src/quantum/sparse_statevector.cpp" "src/CMakeFiles/qcongest.dir/quantum/sparse_statevector.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/sparse_statevector.cpp.o.d"
+  "/root/repo/src/quantum/statevector.cpp" "src/CMakeFiles/qcongest.dir/quantum/statevector.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/statevector.cpp.o.d"
+  "/root/repo/src/quantum/szegedy.cpp" "src/CMakeFiles/qcongest.dir/quantum/szegedy.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/quantum/szegedy.cpp.o.d"
+  "/root/repo/src/query/bbht.cpp" "src/CMakeFiles/qcongest.dir/query/bbht.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/bbht.cpp.o.d"
+  "/root/repo/src/query/boosted.cpp" "src/CMakeFiles/qcongest.dir/query/boosted.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/boosted.cpp.o.d"
+  "/root/repo/src/query/deutsch_jozsa.cpp" "src/CMakeFiles/qcongest.dir/query/deutsch_jozsa.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/deutsch_jozsa.cpp.o.d"
+  "/root/repo/src/query/element_distinctness.cpp" "src/CMakeFiles/qcongest.dir/query/element_distinctness.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/element_distinctness.cpp.o.d"
+  "/root/repo/src/query/gate_level.cpp" "src/CMakeFiles/qcongest.dir/query/gate_level.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/gate_level.cpp.o.d"
+  "/root/repo/src/query/grover_math.cpp" "src/CMakeFiles/qcongest.dir/query/grover_math.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/grover_math.cpp.o.d"
+  "/root/repo/src/query/mean_estimation.cpp" "src/CMakeFiles/qcongest.dir/query/mean_estimation.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/mean_estimation.cpp.o.d"
+  "/root/repo/src/query/oracle.cpp" "src/CMakeFiles/qcongest.dir/query/oracle.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/oracle.cpp.o.d"
+  "/root/repo/src/query/parallel_grover.cpp" "src/CMakeFiles/qcongest.dir/query/parallel_grover.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/parallel_grover.cpp.o.d"
+  "/root/repo/src/query/parallel_minfind.cpp" "src/CMakeFiles/qcongest.dir/query/parallel_minfind.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/query/parallel_minfind.cpp.o.d"
+  "/root/repo/src/util/combinatorics.cpp" "src/CMakeFiles/qcongest.dir/util/combinatorics.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/util/combinatorics.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/qcongest.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/qcongest.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/qcongest.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

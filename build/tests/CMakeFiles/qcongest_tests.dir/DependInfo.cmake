@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_data_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/apps_data_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/apps_data_test.cpp.o.d"
+  "/root/repo/tests/apps_graph_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/apps_graph_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/apps_graph_test.cpp.o.d"
+  "/root/repo/tests/apps_property_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/apps_property_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/apps_property_test.cpp.o.d"
+  "/root/repo/tests/arithmetic_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/arithmetic_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/arithmetic_test.cpp.o.d"
+  "/root/repo/tests/boosted_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/boosted_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/boosted_test.cpp.o.d"
+  "/root/repo/tests/clustering_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/clustering_test.cpp.o.d"
+  "/root/repo/tests/cut_communication_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/cut_communication_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/cut_communication_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/distribution_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/distribution_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/even_cycle_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/even_cycle_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/even_cycle_test.cpp.o.d"
+  "/root/repo/tests/failure_injection_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/framework_property_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/framework_property_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/framework_property_test.cpp.o.d"
+  "/root/repo/tests/framework_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/framework_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/framework_test.cpp.o.d"
+  "/root/repo/tests/gate_level_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/gate_level_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/gate_level_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/johnson_spectrum_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/johnson_spectrum_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/johnson_spectrum_test.cpp.o.d"
+  "/root/repo/tests/net_property_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/net_property_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/net_property_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/quantum_property_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/quantum_property_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/quantum_property_test.cpp.o.d"
+  "/root/repo/tests/quantum_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/quantum_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/quantum_test.cpp.o.d"
+  "/root/repo/tests/query_algorithms_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/query_algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/query_algorithms_test.cpp.o.d"
+  "/root/repo/tests/query_oracle_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/query_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/query_oracle_test.cpp.o.d"
+  "/root/repo/tests/sparse_statevector_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/sparse_statevector_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/sparse_statevector_test.cpp.o.d"
+  "/root/repo/tests/state_level_framework_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/state_level_framework_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/state_level_framework_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/szegedy_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/szegedy_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/szegedy_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/qcongest_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/qcongest_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qcongest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
