@@ -1,0 +1,108 @@
+// E-fault — the price of reliability: measured round overhead of the
+// ack/retransmit link layer (src/net/reliable.hpp) as the deterministic
+// fault rate rises, for representative communication patterns (BFS-tree
+// construction and the Lemma 7 pipelined downcast).
+//
+// Reports, per fault level: median rounds over the reliable transport, the
+// clean-network baseline, their ratio (the overhead curve chaos_run plots),
+// and retransmissions per run. The drop rate is the knob; corruption and
+// duplication ride along at rate/5 and rate/10 like in tools/chaos_run.cpp.
+
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/net/bfs.hpp"
+#include "src/net/fault.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/pipeline.hpp"
+
+namespace {
+
+using namespace qcongest;
+
+net::FaultPlan plan_for(double rate_permille, std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.link.drop = rate_permille / 1000.0;
+  plan.link.corrupt = plan.link.drop / 5.0;
+  plan.link.duplicate = plan.link.drop / 10.0;
+  plan.seed = seed;
+  return plan;
+}
+
+net::Engine make_engine(const net::Graph& graph, double rate_permille,
+                        std::uint64_t seed) {
+  net::Engine engine(graph, 1, seed);
+  net::FaultPlan plan = plan_for(rate_permille, seed * 31 + 7);
+  if (plan.active()) engine.set_fault_plan(plan);
+  engine.set_transport(net::Transport::kReliable);
+  return engine;
+}
+
+void BM_FaultOverheadBfs(benchmark::State& state) {
+  const auto rate_permille = static_cast<double>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  net::Graph g = net::binary_tree(n);
+
+  double rounds = 0, retrans = 0;
+  for (auto _ : state) {
+    std::uint64_t seed = 1;
+    rounds = bench::median_of(5, [&] {
+      net::Engine engine = make_engine(g, rate_permille, seed++);
+      net::BfsTree tree = net::build_bfs_tree(engine, 0);
+      retrans = static_cast<double>(tree.cost.retransmissions);
+      return static_cast<double>(tree.cost.rounds);
+    });
+  }
+  net::Engine clean_engine = make_engine(g, 0.0, 1);
+  double clean = static_cast<double>(net::build_bfs_tree(clean_engine, 0).cost.rounds);
+  bench::report(state, rounds, clean);
+  state.counters["retransmissions"] = retrans;
+}
+BENCHMARK(BM_FaultOverheadBfs)
+    ->ArgNames({"drop_permille", "n"})
+    ->Args({0, 31})
+    ->Args({10, 31})
+    ->Args({20, 31})
+    ->Args({50, 31})
+    ->Args({100, 31})
+    ->Args({50, 63})
+    ->Args({100, 63});
+
+void BM_FaultOverheadDowncast(benchmark::State& state) {
+  const auto rate_permille = static_cast<double>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto words = static_cast<std::size_t>(state.range(2));
+  net::Graph g = net::binary_tree(n);
+  std::vector<std::int64_t> payload(words);
+  std::iota(payload.begin(), payload.end(), 1);
+
+  double rounds = 0, retrans = 0;
+  for (auto _ : state) {
+    std::uint64_t seed = 1;
+    rounds = bench::median_of(5, [&] {
+      net::Engine engine = make_engine(g, rate_permille, seed++);
+      net::BfsTree tree = net::build_bfs_tree(engine, 0);
+      auto down = net::pipelined_downcast(engine, tree, payload, /*quantum=*/false);
+      retrans = static_cast<double>(down.cost.retransmissions);
+      return static_cast<double>(down.cost.rounds);
+    });
+  }
+  net::Engine clean_engine = make_engine(g, 0.0, 1);
+  net::BfsTree clean_tree = net::build_bfs_tree(clean_engine, 0);
+  double clean = static_cast<double>(
+      net::pipelined_downcast(clean_engine, clean_tree, payload, false).cost.rounds);
+  bench::report(state, rounds, clean);
+  state.counters["retransmissions"] = retrans;
+}
+BENCHMARK(BM_FaultOverheadDowncast)
+    ->ArgNames({"drop_permille", "n", "words"})
+    ->Args({0, 31, 64})
+    ->Args({10, 31, 64})
+    ->Args({20, 31, 64})
+    ->Args({50, 31, 64})
+    ->Args({100, 31, 64})
+    ->Args({50, 31, 256});
+
+}  // namespace

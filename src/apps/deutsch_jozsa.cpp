@@ -36,7 +36,7 @@ struct Setup {
 Setup make_setup(const net::Graph& graph, std::uint64_t seed,
                  const NetOptions& options = {}) {
   Setup s{net::Engine(graph, options.bandwidth, seed ^ options.seed), {}, {}};
-  s.engine.track_cut(options.tracked_cut);
+  options.configure(s.engine);
   auto election = net::elect_leader(s.engine);
   s.cost += election.cost;
   s.tree = net::build_bfs_tree(s.engine, election.leader);

@@ -22,11 +22,13 @@ struct Setup {
   net::RunResult cost;
 };
 
-Setup make_setup(const net::Graph& graph, std::uint64_t seed) {
+Setup make_setup(const net::Graph& graph, std::uint64_t seed,
+                 const NetOptions& options = {}) {
   if (!graph.connected()) {
     throw std::invalid_argument("eccentricity: graph must be connected");
   }
-  Setup s{net::Engine(graph, 1, seed), {}, {}};
+  Setup s{net::Engine(graph, options.bandwidth, seed ^ options.seed), {}, {}};
+  options.configure(s.engine);
   auto election = net::elect_leader(s.engine);
   s.cost += election.cost;
   s.tree = net::build_bfs_tree(s.engine, election.leader);
@@ -68,8 +70,8 @@ framework::DistributedOracle make_ecc_oracle(Setup& setup, const net::Graph& gra
 }
 
 EccentricityResult extremum_quantum(const net::Graph& graph, util::Rng& rng,
-                                    bool maximum) {
-  Setup setup = make_setup(graph, rng.engine()());
+                                    bool maximum, const NetOptions& options = {}) {
+  Setup setup = make_setup(graph, rng.engine()(), options);
   EccentricityResult result;
   result.cost = setup.cost;
 
@@ -82,8 +84,9 @@ EccentricityResult extremum_quantum(const net::Graph& graph, util::Rng& rng,
   return result;
 }
 
-EccentricityResult extremum_classical(const net::Graph& graph, bool maximum) {
-  Setup setup = make_setup(graph, 4);
+EccentricityResult extremum_classical(const net::Graph& graph, bool maximum,
+                                      const NetOptions& options = {}) {
+  Setup setup = make_setup(graph, 4, options);
   EccentricityResult result;
   result.cost = setup.cost;
   const std::size_t n = graph.num_nodes();
@@ -178,8 +181,9 @@ class EccentricitySampler final : public query::SampleOracle {
 
 }  // namespace
 
-EccentricityResult diameter_quantum(const net::Graph& graph, util::Rng& rng) {
-  return extremum_quantum(graph, rng, /*maximum=*/true);
+EccentricityResult diameter_quantum(const net::Graph& graph, util::Rng& rng,
+                                    const NetOptions& options) {
+  return extremum_quantum(graph, rng, /*maximum=*/true, options);
 }
 
 EccentricityResult diameter_quantum_echo(const net::Graph& graph, util::Rng& rng) {
@@ -224,8 +228,9 @@ EccentricityResult diameter_quantum_echo(const net::Graph& graph, util::Rng& rng
   return result;
 }
 
-EccentricityResult radius_quantum(const net::Graph& graph, util::Rng& rng) {
-  return extremum_quantum(graph, rng, /*maximum=*/false);
+EccentricityResult radius_quantum(const net::Graph& graph, util::Rng& rng,
+                                  const NetOptions& options) {
+  return extremum_quantum(graph, rng, /*maximum=*/false, options);
 }
 
 namespace {
@@ -254,8 +259,9 @@ EccentricityResult extremum_boosted(const net::Graph& graph, double delta,
 
 }  // namespace
 
-EccentricityResult diameter_classical(const net::Graph& graph) {
-  return extremum_classical(graph, /*maximum=*/true);
+EccentricityResult diameter_classical(const net::Graph& graph,
+                                      const NetOptions& options) {
+  return extremum_classical(graph, /*maximum=*/true, options);
 }
 
 EccentricityResult diameter_quantum_boosted(const net::Graph& graph, double delta,
@@ -268,8 +274,9 @@ EccentricityResult radius_quantum_boosted(const net::Graph& graph, double delta,
   return extremum_boosted(graph, delta, rng, /*maximum=*/false);
 }
 
-EccentricityResult radius_classical(const net::Graph& graph) {
-  return extremum_classical(graph, /*maximum=*/false);
+EccentricityResult radius_classical(const net::Graph& graph,
+                                    const NetOptions& options) {
+  return extremum_classical(graph, /*maximum=*/false, options);
 }
 
 AverageEccentricityResult average_eccentricity_classical(const net::Graph& graph) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "src/apps/net_options.hpp"
 #include "src/net/graph.hpp"
 #include "src/util/rng.hpp"
 #include "src/net/engine.hpp"
@@ -18,10 +19,12 @@ struct EccentricityResult {
 /// on-the-fly subroutine is a p-source BFS (Lemma 20, O(p + D) rounds); the
 /// framework's max-convergecast itself assembles each queried node's
 /// eccentricity. Success probability >= 2/3.
-EccentricityResult diameter_quantum(const net::Graph& graph, util::Rng& rng);
+EccentricityResult diameter_quantum(const net::Graph& graph, util::Rng& rng,
+                                    const NetOptions& options = {});
 
 /// Lemma 21, minimum variant: the radius.
-EccentricityResult radius_quantum(const net::Graph& graph, util::Rng& rng);
+EccentricityResult radius_quantum(const net::Graph& graph, util::Rng& rng,
+                                  const NetOptions& options = {});
 
 /// The paper's literal phrasing of the Lemma 21 subroutine: "we will query
 /// the eccentricity of a node; to compute this eccentricity we first
@@ -35,8 +38,10 @@ EccentricityResult diameter_quantum_echo(const net::Graph& graph, util::Rng& rng
 
 /// Classical baseline: full n-source BFS (O(n + D) rounds) plus a
 /// max/min-convergecast; exact.
-EccentricityResult diameter_classical(const net::Graph& graph);
-EccentricityResult radius_classical(const net::Graph& graph);
+EccentricityResult diameter_classical(const net::Graph& graph,
+                                      const NetOptions& options = {});
+EccentricityResult radius_classical(const net::Graph& graph,
+                                    const NetOptions& options = {});
 
 /// Success boosted to >= 1 - delta by combining O(log 1/delta) independent
 /// runs (the paper's standard remark). One-sidedness makes the combination

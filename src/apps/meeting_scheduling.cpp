@@ -57,7 +57,7 @@ MeetingSchedulingResult meeting_scheduling_quantum(const net::Graph& graph,
   const std::size_t k = calendars[0].size();
 
   net::Engine engine(graph, options.bandwidth, rng.engine()());
-  engine.track_cut(options.tracked_cut);
+  options.configure(engine);
   MeetingSchedulingResult result;
 
   auto election = net::elect_leader(engine);

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/net/engine.hpp"
+#include "src/net/fault.hpp"
+
 namespace qcongest::apps {
 
 /// Network-simulation options shared by the applications.
@@ -15,6 +18,22 @@ struct NetOptions {
   /// this bipartition in RunResult::cut_words — the induced two-party
   /// communication of the reduction arguments (Lemmas 11/13/15, Thm 18).
   std::vector<bool> tracked_cut;
+  /// Deterministic fault schedule applied to every delivery (drops,
+  /// corruption, duplication, crash windows). Default: perfect network.
+  net::FaultPlan fault_plan;
+  /// kReliable runs every protocol over the ack/retransmit link layer
+  /// (src/net/reliable.hpp) — required for correctness under an active
+  /// fault plan unless the app brings its own recovery.
+  net::Transport transport = net::Transport::kDirect;
+  net::ReliableParams reliable_params;
+
+  /// Apply cut tracking, the fault plan, and the transport to an engine
+  /// (bandwidth and seed are constructor parameters of Engine).
+  void configure(net::Engine& engine) const {
+    engine.track_cut(tracked_cut);
+    if (fault_plan.active()) engine.set_fault_plan(fault_plan);
+    engine.set_transport(transport, reliable_params);
+  }
 };
 
 }  // namespace qcongest::apps

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/framework/distributed_state.hpp"
+#include "src/net/pipeline.hpp"
+
+namespace qcongest::framework {
+
+/// Graceful degradation for the framework's tree phases on a *direct*
+/// (unreliable) transport: each phase is made end-to-end verifiable and is
+/// retried on detected failure, up to a bounded budget. This is the
+/// application-level alternative to Engine's reliable link transport — it
+/// costs extra rounds only when something actually went wrong, but can
+/// only detect corruption, not prevent it, and aborts when the budget is
+/// exhausted.
+///
+/// Failure detection per phase:
+///  - downcast: a checksum word is appended to the payload; every node
+///    verifies locally and the verdicts are combined by a sentinel-vote
+///    convergecast (a single bit flip can never forge the OK sentinel).
+///  - convergecast: temporal redundancy — the phase is re-run until two
+///    runs agree on every total (corruption is drawn independently per
+///    run, so a repeated identical corruption is overwhelmingly unlikely).
+///  - quantum state distribution: qubit payloads cannot be checksummed
+///    (no-cloning), so only *detected* failures (lost words breaking the
+///    schedule) are retried; qubit corruption maps to state infidelity,
+///    which the framework's query algorithms already absorb in their
+///    success probability.
+///
+/// Transient failures surface from the phases as logic/runtime errors
+/// (missed words, out-of-order words, incomplete schedules); those are
+/// caught and charged to the accumulated cost via Engine::last_stats, so
+/// aborted attempts are paid for honestly.
+struct RetryPolicy {
+  /// Total attempts (initial + retries) before giving up. The resilient
+  /// convergecast needs at least 2 (two runs must agree).
+  std::size_t max_attempts = 3;
+};
+
+/// Thrown when a phase stays broken after RetryPolicy::max_attempts
+/// attempts. Carries everything spent so callers can still charge the
+/// failed phase to their cost accounting.
+class PhaseAborted : public std::runtime_error {
+ public:
+  PhaseAborted(const std::string& phase, std::size_t attempts, net::RunResult cost)
+      : std::runtime_error("resilient " + phase + " aborted after " +
+                           std::to_string(attempts) + " attempts"),
+        attempts_(attempts),
+        cost_(cost) {}
+
+  std::size_t attempts() const { return attempts_; }
+  const net::RunResult& cost() const { return cost_; }
+
+ private:
+  std::size_t attempts_;
+  net::RunResult cost_;
+};
+
+struct ResilientDowncastResult {
+  /// The verified payload at every node (the checksum word is stripped).
+  std::vector<std::vector<std::int64_t>> received;
+  std::size_t attempts = 1;
+  /// Total measured cost: failed attempts, successful attempt, and the
+  /// verification convergecast of every attempt.
+  net::RunResult cost;
+};
+
+/// Checksummed, verified, retried pipelined_downcast (Lemma 7's pattern).
+ResilientDowncastResult resilient_downcast(net::Engine& engine,
+                                           const net::BfsTree& tree,
+                                           const std::vector<std::int64_t>& payload,
+                                           bool quantum,
+                                           const RetryPolicy& policy = {});
+
+struct ResilientConvergecastResult {
+  std::vector<std::int64_t> totals;
+  std::size_t attempts = 2;  // temporal redundancy: at least two runs
+  net::RunResult cost;
+};
+
+/// Run-twice-compare pipelined_convergecast (Theorem 8's aggregation).
+ResilientConvergecastResult resilient_convergecast(
+    net::Engine& engine, const net::BfsTree& tree,
+    const std::vector<std::vector<std::int64_t>>& values, std::size_t value_words,
+    const net::CombineOp& op, bool quantum, const RetryPolicy& policy = {});
+
+struct ResilientPhaseResult {
+  std::size_t attempts = 1;
+  net::RunResult cost;
+};
+
+/// distribute_state (Lemma 7) retried on detected loss.
+ResilientPhaseResult distribute_state_resilient(net::Engine& engine,
+                                                const net::BfsTree& tree,
+                                                std::size_t q_qubits,
+                                                const RetryPolicy& policy = {});
+
+/// The checksum the resilient downcast appends and each node re-derives.
+/// Exposed for tests.
+std::int64_t payload_checksum(const std::vector<std::int64_t>& payload);
+
+}  // namespace qcongest::framework

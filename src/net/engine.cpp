@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/net/reliable.hpp"
 #include "src/net/trace.hpp"
 
 namespace qcongest::net {
@@ -38,6 +39,41 @@ void Engine::track_cut(std::vector<bool> side) {
   cut_side_ = std::move(side);
 }
 
+void Engine::set_fault_plan(FaultPlan plan) {
+  plan.validate(graph_->num_nodes());
+  fault_plan_ = std::move(plan);
+  fault_active_ = fault_plan_.active();
+  edge_rates_.clear();
+  crash_schedule_.clear();
+  if (!fault_active_) return;
+
+  edge_rates_.assign(edge_slot_offset_[graph_->num_nodes()], fault_plan_.link);
+  for (const auto& [edge, rates] : fault_plan_.edge_overrides) {
+    if (!graph_->has_edge(edge.first, edge.second)) {
+      throw std::invalid_argument("FaultPlan: override on a non-edge");
+    }
+    edge_rates_[edge_slot(edge.first, edge.second)] = rates;
+  }
+  crash_schedule_.assign(graph_->num_nodes(), {});
+  for (const CrashEvent& c : fault_plan_.crashes) crash_schedule_[c.node].push_back(c);
+  fault_rng_ = util::Rng(fault_plan_.seed);
+}
+
+void Engine::clear_fault_plan() {
+  fault_plan_ = FaultPlan{};
+  fault_active_ = false;
+  edge_rates_.clear();
+  crash_schedule_.clear();
+}
+
+void Engine::set_transport(Transport transport, ReliableParams params) {
+  if (params.window == 0 || params.rto_rounds == 0 || params.round_stretch == 0) {
+    throw std::invalid_argument("ReliableParams: window/rto/stretch must be positive");
+  }
+  transport_ = transport;
+  reliable_params_ = params;
+}
+
 std::size_t Engine::edge_slot(NodeId from, NodeId to) const {
   const auto& adj = graph_->neighbors(from);
   auto it = std::find(adj.begin(), adj.end(), to);
@@ -45,6 +81,42 @@ std::size_t Engine::edge_slot(NodeId from, NodeId to) const {
     throw std::invalid_argument("Engine: send to non-neighbor");
   }
   return edge_slot_offset_[from] + static_cast<std::size_t>(it - adj.begin());
+}
+
+bool Engine::crashed_at(NodeId node, std::size_t round) const {
+  if (crash_schedule_.empty()) return false;
+  for (const CrashEvent& c : crash_schedule_[node]) {
+    if (round >= c.crash_round && round < c.restart_round) return true;
+  }
+  return false;
+}
+
+bool Engine::restart_pending(std::size_t round) const {
+  if (crash_schedule_.empty()) return false;
+  for (const auto& events : crash_schedule_) {
+    for (const CrashEvent& c : events) {
+      if (c.restart_round == CrashEvent::kNeverRestarts) continue;
+      // <= restart_round: the node must get its first post-outage round
+      // before quiescence may end the run, or a scheduled restart could be
+      // silently skipped.
+      if (round >= c.crash_round && round <= c.restart_round) return true;
+    }
+  }
+  return false;
+}
+
+void Engine::corrupt_payload(Word& word) {
+  // Flip exactly one uniformly random bit of the 128 payload bits. The tag
+  // is never corrupted (headers are assumed protected by heavier coding).
+  std::size_t bit = fault_rng_.index(128);
+  auto flip = [](std::int64_t v, unsigned b) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) ^ (1ULL << b));
+  };
+  if (bit < 64) {
+    word.a = flip(word.a, static_cast<unsigned>(bit));
+  } else {
+    word.b = flip(word.b, static_cast<unsigned>(bit - 64));
+  }
 }
 
 void Engine::deliver(NodeId from, NodeId to, Word word) {
@@ -63,17 +135,61 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
   if (trace_ != nullptr) {
     trace_->record(TraceEvent{current_pass_, from, to, word.tag, word.quantum});
   }
-  next_inbox_[to].push_back(Message{from, word});
   ++stats_.messages;
   if (word.quantum) {
     ++stats_.quantum_words;
   } else {
     ++stats_.classical_words;
   }
+
+  if (!fault_active_) {
+    next_inbox_[to].push_back(Message{from, word});
+    return;
+  }
+
+  // Fault lottery. Sends are counted above regardless of fate, so a plan
+  // with all-zero rates leaves every legacy counter byte-identical
+  // (Rng::bernoulli(0) draws nothing from the fault stream).
+  std::size_t arrival_round = current_pass_ + 1;
+  if (crashed_at(to, arrival_round)) {
+    ++stats_.dropped_words;
+    return;
+  }
+  const FaultRates& rates = edge_rates_[slot];
+  if (fault_rng_.bernoulli(rates.drop)) {
+    ++stats_.dropped_words;
+    return;
+  }
+  Word delivered = word;
+  if (fault_rng_.bernoulli(rates.corrupt)) {
+    corrupt_payload(delivered);
+    ++stats_.corrupted_words;
+  }
+  next_inbox_[to].push_back(Message{from, delivered});
+  if (fault_rng_.bernoulli(rates.duplicate)) {
+    // The network, not the sender, duplicates: the extra copy is charged to
+    // no edge budget and appears only in duplicated_words.
+    next_inbox_[to].push_back(Message{from, delivered});
+    ++stats_.duplicated_words;
+  }
 }
 
 RunResult Engine::run(std::span<const std::unique_ptr<NodeProgram>> programs,
                       std::size_t max_rounds) {
+  if (transport_ != Transport::kReliable) return run_direct(programs, max_rounds);
+  // The reliable link layer needs extra physical rounds per virtual round
+  // (frame chunking, acks, fences, retransmissions); stretch the budget so
+  // callers keep passing their protocol-level round limits unchanged.
+  std::size_t stretch = reliable_params_.round_stretch;
+  std::size_t budget = max_rounds < static_cast<std::size_t>(-1) / stretch
+                           ? max_rounds * stretch + reliable_params_.round_slack
+                           : static_cast<std::size_t>(-1);
+  auto wrapped = wrap_reliable(programs, *this, reliable_params_);
+  return run_direct(wrapped, budget);
+}
+
+RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> programs,
+                             std::size_t max_rounds) {
   const std::size_t n = graph_->num_nodes();
   if (programs.size() != n) {
     throw std::invalid_argument("Engine::run: one program per node required");
@@ -88,48 +204,73 @@ RunResult Engine::run(std::span<const std::unique_ptr<NodeProgram>> programs,
     contexts[v].id_ = v;
     contexts[v].rng_ = &node_rngs_[v];
   }
+  std::vector<bool> was_crashed(fault_active_ ? n : 0, false);
 
   // Pass r delivers the words sent in pass r-1 (synchronous rounds). The
   // protocol's round complexity is the index of the last pass that sent
   // anything: a CONGEST round is a send plus its matching receive.
   //
   // Termination: (a) every node halted with nothing in flight, or (b)
-  // quiescence — nothing was delivered this pass after the first, which for
-  // event-driven programs (the only kind the protocol library uses) means
-  // nothing will ever happen again.
+  // quiescence — nothing was delivered this pass after the first, no
+  // program asked to be kept alive (Context::keep_alive) in the previous
+  // pass, and no crashed node is still waiting to restart. For
+  // event-driven programs (the only kind the protocol library uses)
+  // quiescence means nothing will ever happen again; programs that idle
+  // intending to act later must call keep_alive every idle round.
   std::size_t last_send_pass = 0;
+  bool keep_alive_pending = false;
+  bool sent_last_pass = false;
   for (std::size_t pass = 1; pass <= max_rounds + 1; ++pass) {
     std::vector<std::vector<Message>> inbox(n);
     inbox.swap(next_inbox_);
     next_inbox_.assign(n, {});
     std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
 
+    const std::size_t round = pass - 1;
     bool all_halted = true;
     bool any_inbox = false;
     for (NodeId v = 0; v < n; ++v) {
       if (!inbox[v].empty()) any_inbox = true;
       if (!contexts[v].halted_) all_halted = false;
     }
-    if ((all_halted || pass > 1) && !any_inbox) {
+    // sent_last_pass matters only under faults: without them every send
+    // becomes a delivery, so any_inbox covers it. With drops, a node whose
+    // every word was lost still transmitted — it must stay scheduled.
+    if ((all_halted || pass > 1) && !any_inbox && !sent_last_pass &&
+        !keep_alive_pending && !(fault_active_ && restart_pending(round))) {
       stats_.rounds = last_send_pass;
       stats_.completed = true;
       return stats_;
     }
 
-    current_pass_ = pass - 1;
+    current_pass_ = round;
+    keep_alive_pending = false;
     std::size_t messages_before = stats_.messages;
     for (NodeId v = 0; v < n; ++v) {
+      if (fault_active_ && !crash_schedule_.empty()) {
+        bool crashed = crashed_at(v, round);
+        if (crashed && !was_crashed[v]) ++stats_.crashed_nodes;
+        was_crashed[v] = crashed;
+        if (crashed) {
+          // Words addressed to a crashed node were already dropped at
+          // delivery time; the node simply is not scheduled.
+          continue;
+        }
+      }
       if (contexts[v].halted_) {
         if (!inbox[v].empty()) {
           throw std::logic_error("Engine: message delivered to a halted node");
         }
         continue;
       }
-      contexts[v].round_ = pass - 1;
+      contexts[v].round_ = round;
+      contexts[v].keep_alive_ = false;
       current_sender_ = v;
       programs[v]->on_round(contexts[v], inbox[v]);
+      if (contexts[v].keep_alive_) keep_alive_pending = true;
     }
-    if (stats_.messages > messages_before) last_send_pass = pass;
+    sent_last_pass = stats_.messages > messages_before;
+    if (sent_last_pass) last_send_pass = pass;
   }
   stats_.rounds = last_send_pass;
   stats_.completed = false;

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "src/net/fault.hpp"
 #include "src/net/graph.hpp"
 #include "src/net/message.hpp"
 #include "src/util/rng.hpp"
@@ -16,8 +17,14 @@ class Engine;
 /// Per-round, per-node view of the network. Programs may only touch their
 /// own id, their neighbor list, and their inbox — the CONGEST locality
 /// constraint.
+///
+/// The mutating entry points (send / halt / keep_alive) are virtual so a
+/// transport adapter (see src/net/reliable.hpp) can interpose between a
+/// NodeProgram and the engine without the program being rewritten.
 class Context {
  public:
+  virtual ~Context() = default;
+
   NodeId id() const { return id_; }
   std::size_t round() const { return round_; }
   std::size_t num_nodes() const;  // n is global knowledge in CONGEST
@@ -28,22 +35,31 @@ class Context {
   /// Queue a word for delivery to `to` (must be a neighbor) at the start of
   /// the next round. Throws if the edge's bandwidth for this round is
   /// exhausted — protocols are responsible for their own congestion control.
-  void send(NodeId to, Word word);
+  virtual void send(NodeId to, Word word);
 
   /// Mark this node finished. A halted node is no longer scheduled; the run
   /// ends when every node has halted and no messages are in flight.
-  void halt() { halted_ = true; }
+  virtual void halt() { halted_ = true; }
+
+  /// Declare that this node intends to act in a *later* round even though it
+  /// neither sent nor received anything this round (e.g. it is waiting on a
+  /// retransmission timer). The engine's quiescence rule — terminate after
+  /// any globally silent pass — would otherwise end the run underneath it.
+  /// Call this every round the intent holds; it is cleared each pass.
+  virtual void keep_alive() { keep_alive_ = true; }
 
   /// Node-local randomness (forked per node from the engine seed).
-  util::Rng& rng() { return *rng_; }
+  virtual util::Rng& rng() { return *rng_; }
 
- private:
+ protected:
+  // Adapters populate these directly (they have no Engine of their own).
   friend class Engine;
   Engine* engine_ = nullptr;
   NodeId id_ = 0;
   std::size_t round_ = 0;
   util::Rng* rng_ = nullptr;
   bool halted_ = false;
+  bool keep_alive_ = false;
 };
 
 /// A node's protocol logic. One instance per node; the engine invokes
@@ -57,7 +73,11 @@ class NodeProgram {
 /// Statistics of one protocol run.
 struct RunResult {
   std::size_t rounds = 0;
-  bool completed = false;  // all nodes halted before the round limit
+  /// All nodes halted (or quiesced) before the round limit. Defaults to
+  /// true so that a fresh RunResult{} is the identity of operator+= — a
+  /// phase accumulator that never runs a phase is vacuously complete, and
+  /// one incomplete phase poisons the whole sum.
+  bool completed = true;
   std::size_t messages = 0;
   std::size_t classical_words = 0;
   std::size_t quantum_words = 0;
@@ -72,7 +92,24 @@ struct RunResult {
   /// whose communication is exactly the words crossing the cut.
   std::size_t cut_words = 0;
 
+  // --- Fault-injection counters (zero on a perfect network) --------------
+  /// Words lost in transit: the drop lottery, plus words that arrived at a
+  /// crashed node.
+  std::size_t dropped_words = 0;
+  /// Words whose payload bits were flipped in transit (still delivered).
+  std::size_t corrupted_words = 0;
+  /// Extra copies injected by the duplication lottery (not charged against
+  /// the sender's bandwidth — the network, not the node, duplicates).
+  std::size_t duplicated_words = 0;
+  /// Frames re-sent by the reliable link layer (reported via
+  /// Engine::note_retransmission by the transport).
+  std::size_t retransmissions = 0;
+  /// Crash events that actually fired during the run (a node with two
+  /// disjoint outage windows counts twice).
+  std::size_t crashed_nodes = 0;
+
   /// Accumulate a subsequent phase's cost (protocols compose sequentially).
+  /// RunResult{} is the identity: completed starts true, everything else 0.
   RunResult& operator+=(const RunResult& other) {
     rounds += other.rounds;
     completed = completed && other.completed;
@@ -81,11 +118,45 @@ struct RunResult {
     quantum_words += other.quantum_words;
     max_edge_words = std::max(max_edge_words, other.max_edge_words);
     cut_words += other.cut_words;
+    dropped_words += other.dropped_words;
+    corrupted_words += other.corrupted_words;
+    duplicated_words += other.duplicated_words;
+    retransmissions += other.retransmissions;
+    crashed_nodes += other.crashed_nodes;
     return *this;
   }
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
-/// Synchronous CONGEST round scheduler with per-edge bandwidth enforcement.
+/// How Engine::run moves words between programs.
+enum class Transport {
+  /// Words sent in round r arrive in round r + 1, subject to the fault plan.
+  kDirect,
+  /// Every program is wrapped in the ack/retransmit sliding-window link
+  /// layer (src/net/reliable.hpp): programs see perfect synchronous rounds
+  /// even on a lossy network, at a measured round/word overhead.
+  kReliable,
+};
+
+/// Tuning of the reliable link transport (Transport::kReliable).
+struct ReliableParams {
+  /// Max unacknowledged frames per directed link before new frames queue.
+  std::size_t window = 16;
+  /// Initial retransmission timeout in physical rounds.
+  std::size_t rto_rounds = 8;
+  /// Exponential-backoff cap for the timeout.
+  std::size_t rto_cap = 128;
+  /// Physical-round budget per virtual round: run(programs, R) may spend up
+  /// to R * round_stretch + round_slack physical rounds before giving up.
+  std::size_t round_stretch = 24;
+  std::size_t round_slack = 256;
+  /// Salt of the per-word checksums.
+  std::uint64_t checksum_salt = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Synchronous CONGEST round scheduler with per-edge bandwidth enforcement,
+/// deterministic fault injection, and an optional reliable link transport.
 class Engine {
  public:
   explicit Engine(const Graph& graph, std::size_t bandwidth_words = 1,
@@ -109,15 +180,54 @@ class Engine {
   /// The trace is never cleared by the engine; phases accumulate.
   void set_trace(class Trace* trace) { trace_ = trace; }
 
+  /// Install a deterministic fault schedule consulted on every delivery of
+  /// every subsequent run. The plan is validated against the graph. An
+  /// inactive plan (all-zero rates, no crashes) is equivalent to
+  /// clear_fault_plan(): the delivery fast path is taken and runs are
+  /// byte-identical to a fault-free engine.
+  void set_fault_plan(FaultPlan plan);
+  void clear_fault_plan();
+  bool fault_plan_active() const { return fault_active_; }
+
+  /// Select the transport for subsequent runs (default kDirect).
+  void set_transport(Transport transport, ReliableParams params = {});
+  Transport transport() const { return transport_; }
+  const ReliableParams& reliable_params() const { return reliable_params_; }
+
+  /// Stats of the run in progress (or the last run) — valid even when run()
+  /// exits by exception, so callers can charge aborted phases honestly.
+  const RunResult& last_stats() const { return stats_; }
+
+  /// Called by the reliable transport each time it re-sends a frame.
+  void note_retransmission() { ++stats_.retransmissions; }
+
  private:
   friend class Context;
 
+  RunResult run_direct(std::span<const std::unique_ptr<NodeProgram>> programs,
+                       std::size_t max_rounds);
   void deliver(NodeId from, NodeId to, Word word);
+  void corrupt_payload(Word& word);
+  /// True when `node` is inside a crash window at round `round`.
+  bool crashed_at(NodeId node, std::size_t round) const;
+  /// True when some node has a restart scheduled strictly after `round`
+  /// whose outage has already begun (the run must idle until it wakes).
+  bool restart_pending(std::size_t round) const;
 
   const Graph* graph_;
   std::size_t bandwidth_;
   util::Rng seed_rng_;
   std::vector<util::Rng> node_rngs_;
+
+  // Fault state (compiled from the plan).
+  FaultPlan fault_plan_;
+  bool fault_active_ = false;
+  std::vector<FaultRates> edge_rates_;  // per directed edge slot
+  std::vector<std::vector<CrashEvent>> crash_schedule_;  // per node
+  util::Rng fault_rng_{0};
+
+  Transport transport_ = Transport::kDirect;
+  ReliableParams reliable_params_;
 
   // Per-run state.
   std::vector<std::vector<Message>> next_inbox_;

@@ -1,0 +1,56 @@
+#include "src/net/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qcongest::net {
+
+namespace {
+
+void check_rates(const FaultRates& rates, const char* where) {
+  auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!in_unit(rates.drop) || !in_unit(rates.corrupt) || !in_unit(rates.duplicate)) {
+    throw std::invalid_argument(std::string("FaultPlan: probability outside [0, 1] in ") +
+                                where);
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::active() const {
+  if (link.any() || !crashes.empty()) return true;
+  return std::any_of(edge_overrides.begin(), edge_overrides.end(),
+                     [](const auto& e) { return e.second.any(); });
+}
+
+void FaultPlan::validate(std::size_t num_nodes) const {
+  check_rates(link, "link");
+  for (const auto& [edge, rates] : edge_overrides) {
+    if (edge.first >= num_nodes || edge.second >= num_nodes) {
+      throw std::invalid_argument("FaultPlan: edge override endpoint out of range");
+    }
+    check_rates(rates, "edge override");
+  }
+  // Per-node crash windows must be disjoint so "is v crashed at round r" is
+  // unambiguous.
+  std::vector<CrashEvent> sorted = crashes;
+  for (const CrashEvent& c : sorted) {
+    if (c.node >= num_nodes) {
+      throw std::invalid_argument("FaultPlan: crash node out of range");
+    }
+    if (c.restart_round <= c.crash_round) {
+      throw std::invalid_argument("FaultPlan: crash window is empty");
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const CrashEvent& a, const CrashEvent& b) {
+    return a.node != b.node ? a.node < b.node : a.crash_round < b.crash_round;
+  });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].node == sorted[i - 1].node &&
+        sorted[i].crash_round < sorted[i - 1].restart_round) {
+      throw std::invalid_argument("FaultPlan: overlapping crash windows for one node");
+    }
+  }
+}
+
+}  // namespace qcongest::net

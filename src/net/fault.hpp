@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/net/graph.hpp"
+
+namespace qcongest::net {
+
+/// Per-word fault probabilities on a directed link. All probabilities are
+/// independent per word: a word is first subjected to the drop lottery; a
+/// surviving word may be corrupted (random payload bit flips) and/or
+/// duplicated (a second copy of the — possibly corrupted — word arrives).
+/// Corruption never touches the protocol tag: headers are assumed to be
+/// protected by heavier coding, the standard link-layer fault model.
+struct FaultRates {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double duplicate = 0.0;
+
+  bool any() const { return drop > 0.0 || corrupt > 0.0 || duplicate > 0.0; }
+};
+
+/// A scheduled node outage. The node executes no rounds in
+/// [crash_round, restart_round): its program is not invoked and every word
+/// that would arrive in that window is dropped (counted as dropped_words).
+/// Program state is preserved across the outage (crash-restart); with
+/// restart_round == kNeverRestarts the node is crash-stopped for the rest
+/// of the run. Rounds are the values Context::round() reports.
+struct CrashEvent {
+  static constexpr std::size_t kNeverRestarts = static_cast<std::size_t>(-1);
+
+  NodeId node = 0;
+  std::size_t crash_round = 0;
+  std::size_t restart_round = kNeverRestarts;
+};
+
+/// A deterministic, seeded fault schedule for one engine. The fault lottery
+/// uses its own RNG (seeded from `seed`), independent of the node RNGs, so
+/// identical (plan, engine seed, programs) triples reproduce bit-identical
+/// RunResults including every fault counter. A plan whose rates are all zero
+/// and whose crash list is empty is exactly the perfect network: the engine
+/// takes the unfaulted fast path and all counters stay zero.
+struct FaultPlan {
+  /// Default rates applied to every directed edge.
+  FaultRates link;
+  /// Per-directed-edge overrides (from, to) -> rates; replaces `link` for
+  /// that direction only.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, FaultRates>> edge_overrides;
+  /// Scheduled outages. Multiple events per node are allowed as long as
+  /// their [crash, restart) windows are disjoint.
+  std::vector<CrashEvent> crashes;
+  /// Seed of the fault lottery.
+  std::uint64_t seed = 0x0fa17ab1e5eedULL;
+
+  /// True when the plan can affect a run at all.
+  bool active() const;
+
+  /// Throws std::invalid_argument on out-of-range probabilities, unknown
+  /// nodes, or overlapping crash windows.
+  void validate(std::size_t num_nodes) const;
+};
+
+}  // namespace qcongest::net

@@ -1,0 +1,564 @@
+#include "src/net/reliable.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace qcongest::net {
+
+namespace {
+
+// Link-layer chunk tags live in the negative tag space so they can never
+// collide with protocol-level tags (which are small positive constants).
+constexpr std::int32_t kRelData0 = -101;  // a = seq<<32 | inner tag, b = word.a
+constexpr std::int32_t kRelData1 = -102;  // a = seq<<32 | cksum<<2 | q<<1, b = word.b
+constexpr std::int32_t kRelFence = -103;  // a = seq<<32 | cksum<<2 | final<<1, b = round
+constexpr std::int32_t kRelAck = -104;    // a = cksum<<2, b = next expected seq
+constexpr std::int32_t kRelPoll = -105;   // a = cksum<<2, b = demanded fence round
+
+constexpr std::uint64_t kChecksumMask = 0x3FFFFFFF;  // 30 bits
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint32_t fold30(std::initializer_list<std::uint64_t> fields, std::uint64_t salt) {
+  std::uint64_t h = salt;
+  for (std::uint64_t f : fields) h = mix64(h ^ f);
+  return static_cast<std::uint32_t>(h & kChecksumMask);
+}
+
+std::uint32_t data_checksum(std::uint32_t seq, const Word& w, std::uint64_t salt) {
+  return fold30({seq, static_cast<std::uint32_t>(w.tag), static_cast<std::uint64_t>(w.a),
+                 static_cast<std::uint64_t>(w.b), w.quantum ? 1u : 0u, 0xDAu},
+                salt);
+}
+
+std::uint32_t fence_checksum(std::uint32_t seq, std::size_t round, bool final,
+                             std::uint64_t salt) {
+  return fold30({seq, static_cast<std::uint64_t>(round), final ? 1u : 0u, 0xFEu}, salt);
+}
+
+std::uint32_t ack_checksum(std::uint32_t next_expected, std::uint64_t salt) {
+  return fold30({next_expected, 0xACu}, salt);
+}
+
+std::uint32_t poll_checksum(std::size_t round, std::uint64_t salt) {
+  return fold30({static_cast<std::uint64_t>(round), 0xB0u}, salt);
+}
+
+std::int64_t pack(std::uint32_t hi, std::uint32_t lo) {
+  return static_cast<std::int64_t>((static_cast<std::uint64_t>(hi) << 32) | lo);
+}
+
+std::uint32_t hi32(std::int64_t v) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> 32);
+}
+
+std::uint32_t lo32(std::int64_t v) {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) & 0xFFFFFFFFULL);
+}
+
+/// One sequence-numbered item of a per-link stream: a logical data word or a
+/// round fence (final = the sender's program halted; every later round is
+/// implicitly fenced too).
+struct Item {
+  bool is_fence = false;
+  Word word;
+  std::size_t fence_round = 0;
+  bool fence_final = false;
+
+  std::size_t chunk_count() const { return is_fence ? 1 : 2; }
+};
+
+class ReliableProgram;
+
+/// The Context subclass handed to the wrapped program: send/halt/keep_alive
+/// route into the link layer; id/neighbors/bandwidth/rng come straight from
+/// the engine (set up once via configure), and round() reports the *virtual*
+/// round.
+class ReliableContext final : public Context {
+ public:
+  void configure(Engine* engine, NodeId id, util::Rng* rng, ReliableProgram* owner) {
+    engine_ = engine;
+    id_ = id;
+    rng_ = rng;
+    owner_ = owner;
+  }
+  void set_round(std::size_t r) { round_ = r; }
+
+  void send(NodeId to, Word word) override;
+  void halt() override;
+  void keep_alive() override;
+
+ private:
+  ReliableProgram* owner_ = nullptr;
+};
+
+class ReliableProgram final : public NodeProgram {
+ public:
+  ReliableProgram(NodeProgram& inner, Engine& engine, const ReliableParams& params)
+      : inner_(&inner), engine_(&engine), params_(params) {}
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    if (!initialized_) initialize(ctx);
+    const std::size_t now = ctx.round();
+
+    for (const Message& m : inbox) {
+      auto it = peer_index_.find(m.from);
+      if (it == peer_index_.end()) continue;  // cannot happen: engine checks edges
+      handle_chunk(it->second, m.word);
+    }
+    for (std::size_t ni = 0; ni < adj_.size(); ++ni) drain_ready(ni);
+
+    // Execute every inner round we have a reason to execute (exec_target)
+    // and whose inputs are complete (can_execute). A degree-0 node has no
+    // fences to wait on; cap it at one round per pass so it advances in
+    // step with physical time.
+    std::size_t executed = 0;
+    while (!inner_halted_ &&
+           (inner_keep_alive_ ||
+            static_cast<std::int64_t>(next_round_) <= exec_target()) &&
+           can_execute(next_round_) && (!adj_.empty() || executed == 0)) {
+      execute_round(next_round_);
+      ++executed;
+    }
+    if (inner_halted_ && !final_fence_sent_) {
+      for (std::size_t ni = 0; ni < adj_.size(); ++ni) {
+        enqueue_fence(ni, next_round_ == 0 ? 0 : next_round_ - 1, /*final=*/true);
+        fenced_up_to_[ni] = static_cast<std::int64_t>(next_round_);
+      }
+      final_fence_sent_ = true;
+    }
+    // Demanded fences: a neighbor polled for rounds we withheld (they were
+    // silent). Release what we have executed, up to the demand.
+    if (!final_fence_sent_ && next_round_ > 0) {
+      for (std::size_t ni = 0; ni < adj_.size(); ++ni) {
+        std::int64_t level = std::min(out_[ni].demanded,
+                                      static_cast<std::int64_t>(next_round_) - 1);
+        if (level > fenced_up_to_[ni]) {
+          enqueue_fence(ni, static_cast<std::size_t>(level), /*final=*/false);
+          fenced_up_to_[ni] = level;
+        }
+      }
+    }
+    // Polls: we want to execute next_round_ but some neighbor has not
+    // fenced next_round_ - 1 (it idled and lazily withheld the fence).
+    // Demand it, re-demanding on the retransmission timer in case the poll
+    // itself is lost.
+    bool want_more = !inner_halted_ &&
+                     (inner_keep_alive_ ||
+                      static_cast<std::int64_t>(next_round_) <= exec_target());
+    if (want_more && next_round_ > 0 && !can_execute(next_round_)) {
+      for (std::size_t ni = 0; ni < adj_.size(); ++ni) {
+        InLink& in = in_[ni];
+        if (in.final_seen) continue;
+        if (in.fenced_round >= static_cast<std::int64_t>(next_round_) - 1) continue;
+        if (static_cast<std::int64_t>(now) >=
+            in.last_poll + static_cast<std::int64_t>(params_.rto_rounds)) {
+          in.poll_pending = true;
+          in.poll_target = next_round_ - 1;
+          in.last_poll = static_cast<std::int64_t>(now);
+        }
+      }
+    }
+
+    transmit(ctx, now);
+
+    if (inner_keep_alive_ || want_more || link_work_pending()) ctx.keep_alive();
+  }
+
+  // --- called by ReliableContext -----------------------------------------
+
+  void inner_send(NodeId to, Word word) {
+    auto it = peer_index_.find(to);
+    if (it == peer_index_.end()) {
+      throw std::invalid_argument("Engine: send to non-neighbor");
+    }
+    std::size_t ni = it->second;
+    if (++sent_this_vround_[ni] > engine_->bandwidth()) {
+      throw std::runtime_error(
+          "CONGEST bandwidth exceeded: a node sent more than B words over one "
+          "edge in one round");
+    }
+    sent_any_ = true;
+    Item item;
+    item.word = word;
+    enqueue_item(ni, std::move(item));
+  }
+
+  void inner_halt() { inner_halted_ = true; }
+  void inner_keep_alive() { inner_keep_alive_ = true; }
+
+ private:
+  struct InFlight {
+    Item item;
+    std::size_t chunks_sent = 0;
+    std::size_t last_sent_round = 0;
+    std::size_t rto = 0;
+    bool fully_sent = false;
+  };
+
+  struct OutLink {
+    std::uint32_t next_seq = 0;
+    std::uint32_t acked_prefix = 0;
+    std::map<std::uint32_t, InFlight> inflight;
+    std::deque<std::pair<std::uint32_t, Item>> queue;
+    /// Highest round the peer has demanded we fence (via a poll); sticky.
+    std::int64_t demanded = -1;
+  };
+
+  struct Partial {
+    bool have0 = false, have1 = false;
+    std::int64_t a0 = 0, b0 = 0, a1 = 0, b1 = 0;
+  };
+
+  struct InLink {
+    std::uint32_t next_expected = 0;
+    std::map<std::uint32_t, Item> ready;
+    std::map<std::uint32_t, Partial> partial;
+    bool ack_dirty = false;
+    std::vector<Word> unfenced_words;
+    std::map<std::size_t, std::vector<Word>> words_by_round;
+    std::int64_t fenced_round = -1;
+    bool final_seen = false;
+    // Outgoing poll state: when we block on this peer's withheld fence.
+    std::int64_t last_poll = std::numeric_limits<std::int64_t>::min() / 2;
+    bool poll_pending = false;
+    std::size_t poll_target = 0;
+  };
+
+  /// The highest inner round this node has a reason to execute: round 0
+  /// always runs; delivered-but-unconsumed data for round m forces rounds
+  /// up to m + 1; a neighbor's demand forces rounds up to the demanded
+  /// fence; momentum (our own last executed round sent something) grants
+  /// one more round, since senders drive their own clock. Rounds beyond
+  /// the target are provably silent for well-behaved programs (event-driven
+  /// or keep_alive-honest) and are simply not executed — that is what lets
+  /// a quiet network quiesce.
+  std::int64_t exec_target() const {
+    std::int64_t t = next_round_ == 0 ? 0 : -1;
+    if (momentum_) t = std::max(t, static_cast<std::int64_t>(next_round_));
+    for (const OutLink& out : out_) t = std::max(t, out.demanded);
+    for (const InLink& in : in_) {
+      if (!in.words_by_round.empty()) {
+        t = std::max(t,
+                     static_cast<std::int64_t>(in.words_by_round.rbegin()->first) + 1);
+      }
+    }
+    return t;
+  }
+
+  void initialize(Context& ctx) {
+    id_ = ctx.id();
+    adj_ = ctx.neighbors();
+    for (std::size_t ni = 0; ni < adj_.size(); ++ni) peer_index_[adj_[ni]] = ni;
+    out_.resize(adj_.size());
+    in_.resize(adj_.size());
+    sent_this_vround_.assign(adj_.size(), 0);
+    fenced_up_to_.assign(adj_.size(), -1);
+    inner_ctx_.configure(engine_, id_, &ctx.rng(), this);
+    initialized_ = true;
+  }
+
+  bool can_execute(std::size_t r) const {
+    if (r == 0) return true;
+    for (const InLink& in : in_) {
+      if (!in.final_seen && in.fenced_round < static_cast<std::int64_t>(r) - 1) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void execute_round(std::size_t r) {
+    std::vector<Message> inbox;
+    if (r > 0) {
+      for (std::size_t ni = 0; ni < adj_.size(); ++ni) {
+        auto it = in_[ni].words_by_round.find(r - 1);
+        if (it == in_[ni].words_by_round.end()) continue;
+        for (const Word& w : it->second) inbox.push_back(Message{adj_[ni], w});
+        in_[ni].words_by_round.erase(it);
+      }
+    }
+    inner_ctx_.set_round(r);
+    inner_keep_alive_ = false;
+    sent_any_ = false;
+    std::fill(sent_this_vround_.begin(), sent_this_vround_.end(), 0);
+    inner_->on_round(inner_ctx_, inbox);
+    next_round_ = r + 1;
+    momentum_ = sent_any_;
+    // Active rounds are fenced immediately; silent rounds withhold the
+    // fence until a neighbor demands it (poll), so a globally quiet network
+    // goes silent and the engine can quiesce.
+    if (!inbox.empty() || sent_any_ || inner_keep_alive_ || inner_halted_) {
+      fence_all(r);
+    }
+  }
+
+  void fence_all(std::size_t r) {
+    if (final_fence_sent_) return;
+    for (std::size_t ni = 0; ni < adj_.size(); ++ni) {
+      if (fenced_up_to_[ni] < static_cast<std::int64_t>(r)) {
+        enqueue_fence(ni, r, /*final=*/false);
+        fenced_up_to_[ni] = static_cast<std::int64_t>(r);
+      }
+    }
+  }
+
+  void enqueue_fence(std::size_t ni, std::size_t round, bool final) {
+    Item item;
+    item.is_fence = true;
+    item.fence_round = round;
+    item.fence_final = final;
+    enqueue_item(ni, std::move(item));
+  }
+
+  void enqueue_item(std::size_t ni, Item item) {
+    OutLink& out = out_[ni];
+    out.queue.emplace_back(out.next_seq++, std::move(item));
+  }
+
+  /// Returns true when the chunk carried valid information (data, fence, or
+  /// ack — including duplicates, which trigger a re-ack and may wake us).
+  bool handle_chunk(std::size_t ni, const Word& w) {
+    InLink& in = in_[ni];
+    OutLink& out = out_[ni];
+    switch (w.tag) {
+      case kRelAck: {
+        auto next = static_cast<std::uint32_t>(static_cast<std::uint64_t>(w.b));
+        if (hi32(w.a) != 0 || lo32(w.a) >> 2 != ack_checksum(next, params_.checksum_salt))
+          return false;  // corrupted ack
+        if (next > out.next_seq) return false;
+        if (next > out.acked_prefix) {
+          out.acked_prefix = next;
+          out.inflight.erase(out.inflight.begin(), out.inflight.lower_bound(next));
+        }
+        return true;
+      }
+      case kRelData0:
+      case kRelData1: {
+        std::uint32_t seq = hi32(w.a);
+        if (!plausible_seq(in, seq)) return seq < in.next_expected || in.ready.count(seq)
+                                                ? (in.ack_dirty = true)
+                                                : false;
+        Partial& p = in.partial[seq];
+        if (w.tag == kRelData0) {
+          p.have0 = true;
+          p.a0 = w.a;
+          p.b0 = w.b;
+        } else {
+          p.have1 = true;
+          p.a1 = w.a;
+          p.b1 = w.b;
+        }
+        if (!(p.have0 && p.have1)) return true;
+        Word word;
+        word.tag = static_cast<std::int32_t>(lo32(p.a0));
+        word.a = p.b0;
+        word.b = p.b1;
+        word.quantum = ((lo32(p.a1) >> 1) & 1) != 0;
+        std::uint32_t cksum = lo32(p.a1) >> 2;
+        in.partial.erase(seq);
+        if (cksum != data_checksum(seq, word, params_.checksum_salt)) {
+          return false;  // corrupted frame: discard, retransmission recovers it
+        }
+        Item item;
+        item.word = word;
+        in.ready.emplace(seq, std::move(item));
+        in.ack_dirty = true;
+        return true;
+      }
+      case kRelFence: {
+        std::uint32_t seq = hi32(w.a);
+        if (!plausible_seq(in, seq)) return seq < in.next_expected || in.ready.count(seq)
+                                                ? (in.ack_dirty = true)
+                                                : false;
+        bool final = ((lo32(w.a) >> 1) & 1) != 0;
+        auto round = static_cast<std::size_t>(w.b);
+        if (lo32(w.a) >> 2 != fence_checksum(seq, round, final, params_.checksum_salt)) {
+          return false;
+        }
+        Item item;
+        item.is_fence = true;
+        item.fence_round = round;
+        item.fence_final = final;
+        in.ready.emplace(seq, std::move(item));
+        in.ack_dirty = true;
+        return true;
+      }
+      case kRelPoll: {
+        auto round = static_cast<std::size_t>(w.b);
+        if (hi32(w.a) != 0 ||
+            lo32(w.a) >> 2 != poll_checksum(round, params_.checksum_salt)) {
+          return false;  // corrupted poll; the peer re-polls on its timer
+        }
+        out.demanded = std::max(out.demanded, static_cast<std::int64_t>(round));
+        return true;
+      }
+      default:
+        return false;  // not a link-layer chunk; ignore
+    }
+  }
+
+  /// A fresh, in-window sequence number. Duplicates and garbage (corrupted
+  /// sequence bits far outside the window) are handled by the caller.
+  bool plausible_seq(const InLink& in, std::uint32_t seq) const {
+    if (seq < in.next_expected) return false;                        // duplicate
+    if (seq >= in.next_expected + 4 * params_.window) return false;  // garbage
+    return in.ready.find(seq) == in.ready.end();                     // duplicate
+  }
+
+  void drain_ready(std::size_t ni) {
+    InLink& in = in_[ni];
+    while (!in.ready.empty() && in.ready.begin()->first == in.next_expected) {
+      Item item = std::move(in.ready.begin()->second);
+      in.ready.erase(in.ready.begin());
+      ++in.next_expected;
+      in.ack_dirty = true;
+      if (item.is_fence) {
+        // Stream order guarantees all data belonging to rounds <= fence_round
+        // precedes the fence; buffered words belong to exactly fence_round.
+        if (!in.unfenced_words.empty()) {
+          auto& bucket = in.words_by_round[item.fence_round];
+          bucket.insert(bucket.end(), in.unfenced_words.begin(), in.unfenced_words.end());
+          in.unfenced_words.clear();
+        }
+        in.fenced_round =
+            std::max(in.fenced_round, static_cast<std::int64_t>(item.fence_round));
+        if (item.fence_final) in.final_seen = true;
+      } else {
+        if (inner_halted_) {
+          throw std::logic_error("Engine: message delivered to a halted node");
+        }
+        in.unfenced_words.push_back(item.word);
+      }
+    }
+  }
+
+  void transmit(Context& ctx, std::size_t now) {
+    for (std::size_t ni = 0; ni < adj_.size(); ++ni) {
+      std::size_t budget = ctx.bandwidth();
+      NodeId peer = adj_[ni];
+      InLink& in = in_[ni];
+      OutLink& out = out_[ni];
+
+      if (budget > 0 && in.ack_dirty) {
+        std::uint32_t cksum = ack_checksum(in.next_expected, params_.checksum_salt);
+        ctx.send(peer, Word{kRelAck, pack(0, cksum << 2),
+                            static_cast<std::int64_t>(in.next_expected), false});
+        in.ack_dirty = false;
+        --budget;
+      }
+      if (budget > 0 && in.poll_pending) {
+        std::uint32_t cksum = poll_checksum(in.poll_target, params_.checksum_salt);
+        ctx.send(peer, Word{kRelPoll, pack(0, cksum << 2),
+                            static_cast<std::int64_t>(in.poll_target), false});
+        in.poll_pending = false;
+        --budget;
+      }
+      // Admit queued items into the sliding window (chunks go out as budget
+      // allows, resuming across rounds via the chunks_sent cursor).
+      while (!out.queue.empty() && out.inflight.size() < params_.window) {
+        auto& [seq, item] = out.queue.front();
+        InFlight fl;
+        fl.item = std::move(item);
+        fl.rto = params_.rto_rounds;
+        fl.last_sent_round = now;
+        out.inflight.emplace(seq, std::move(fl));
+        out.queue.pop_front();
+      }
+      // In-flight frames, oldest first: finish initial transmissions and
+      // restart timed-out ones with exponential backoff.
+      for (auto& [seq, fl] : out.inflight) {
+        if (budget == 0) break;
+        if (fl.fully_sent && now >= fl.last_sent_round + fl.rto) {
+          fl.fully_sent = false;
+          fl.chunks_sent = 0;
+          fl.rto = std::min(fl.rto * 2, params_.rto_cap);
+          engine_->note_retransmission();
+        }
+        while (budget > 0 && !fl.fully_sent) {
+          ctx.send(peer, make_chunk(seq, fl.item, fl.chunks_sent));
+          ++fl.chunks_sent;
+          --budget;
+          if (fl.chunks_sent == fl.item.chunk_count()) {
+            fl.fully_sent = true;
+            fl.last_sent_round = now;
+          }
+        }
+      }
+    }
+  }
+
+  Word make_chunk(std::uint32_t seq, const Item& item, std::size_t chunk) const {
+    if (item.is_fence) {
+      std::uint32_t cksum =
+          fence_checksum(seq, item.fence_round, item.fence_final, params_.checksum_salt);
+      std::uint32_t lo = (cksum << 2) | (item.fence_final ? 2u : 0u);
+      return Word{kRelFence, pack(seq, lo), static_cast<std::int64_t>(item.fence_round),
+                  false};
+    }
+    const Word& w = item.word;
+    if (chunk == 0) {
+      return Word{kRelData0, pack(seq, static_cast<std::uint32_t>(w.tag)), w.a, w.quantum};
+    }
+    std::uint32_t cksum = data_checksum(seq, w, params_.checksum_salt);
+    std::uint32_t lo = (cksum << 2) | (w.quantum ? 2u : 0u);
+    return Word{kRelData1, pack(seq, lo), w.b, w.quantum};
+  }
+
+  bool link_work_pending() const {
+    for (std::size_t ni = 0; ni < adj_.size(); ++ni) {
+      if (!out_[ni].queue.empty() || !out_[ni].inflight.empty()) return true;
+      if (in_[ni].ack_dirty || in_[ni].poll_pending) return true;
+    }
+    return false;
+  }
+
+  NodeProgram* inner_;
+  Engine* engine_;
+  ReliableParams params_;
+  bool initialized_ = false;
+  NodeId id_ = 0;
+  std::vector<NodeId> adj_;
+  std::unordered_map<NodeId, std::size_t> peer_index_;
+  std::vector<OutLink> out_;
+  std::vector<InLink> in_;
+
+  ReliableContext inner_ctx_;
+  std::size_t next_round_ = 0;  // next inner round to execute
+  bool inner_halted_ = false;
+  bool inner_keep_alive_ = false;
+  bool sent_any_ = false;
+  bool momentum_ = false;  // last executed round sent something
+  bool final_fence_sent_ = false;
+  std::vector<std::size_t> sent_this_vround_;
+  std::vector<std::int64_t> fenced_up_to_;
+};
+
+void ReliableContext::send(NodeId to, Word word) { owner_->inner_send(to, word); }
+void ReliableContext::halt() { owner_->inner_halt(); }
+void ReliableContext::keep_alive() { owner_->inner_keep_alive(); }
+
+}  // namespace
+
+std::vector<std::unique_ptr<NodeProgram>> wrap_reliable(
+    std::span<const std::unique_ptr<NodeProgram>> programs, Engine& engine,
+    const ReliableParams& params) {
+  std::vector<std::unique_ptr<NodeProgram>> wrapped;
+  wrapped.reserve(programs.size());
+  for (const auto& program : programs) {
+    wrapped.push_back(std::make_unique<ReliableProgram>(*program, engine, params));
+  }
+  return wrapped;
+}
+
+}  // namespace qcongest::net

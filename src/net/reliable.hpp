@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "src/net/engine.hpp"
+
+namespace qcongest::net {
+
+/// The reliable link transport: an ack/retransmit sliding-window link layer
+/// that presents *perfect synchronous rounds* to an unmodified NodeProgram
+/// while running over a network with drops, corruption, duplication, and
+/// crash-restart outages.
+///
+/// Mechanism (per directed link, all deterministic):
+///  - Every logical word and every round fence is a sequence-numbered item
+///    in a per-link stream. Data items travel as two physical word chunks
+///    (header+payload-a, checksum+payload-b); fences and acks are one word.
+///  - A per-item checksum (salted 30-bit mix over the full frame) detects
+///    payload corruption; corrupted or incomplete frames are discarded and
+///    recovered by retransmission.
+///  - Cumulative acks; unacked items are re-sent after a timeout with
+///    exponential backoff (Engine::note_retransmission counts each re-send).
+///  - Duplicates are discarded by sequence number; delivery to the program
+///    is exactly-once, in order.
+///
+/// Round synchronization uses lazy fences with demand-driven execution:
+/// after an *active* virtual round (non-empty inbox, something sent, or
+/// the inner program called keep_alive) a node fences the round on every
+/// link; silent rounds are not even executed unless there is a reason to —
+/// pending delivered data, a latched keep_alive, momentum (the node's own
+/// previous round sent something), or an explicit demand. A node that
+/// needs a lagging neighbor's fence to execute its next round sends that
+/// neighbor a *poll* (repeated on the retransmission timer, so polls
+/// tolerate loss); the polled node catches up and fences up to the demand.
+/// Traffic therefore provably ceases once no node wants progress, and the
+/// engine's quiescence-based termination still fires. A node executes
+/// inner round r+1 once every neighbor has fenced round r; fenced data is
+/// buffered per (neighbor, round) and the inbox is assembled in neighbor
+/// order, which makes the inner execution — and hence the protocol's
+/// outputs — identical across fault rates and fault seeds.
+///
+/// Contract: a program that idles intending to act in a later round must
+/// call Context::keep_alive every idle round — the same contract the
+/// engine's own quiescence rule already imposes, applied per node.
+///
+/// The CONGEST(B) budget is respected physically: acks, fences, chunks, and
+/// retransmissions all share the B words per edge per round, which is what
+/// the measured "reliability tax" in rounds and words consists of.
+///
+/// Programs opt in without rewrites: they receive a ReliableContext (a
+/// Context subclass) whose send/halt/keep_alive route through the link
+/// layer. Enable per engine with
+/// `engine.set_transport(Transport::kReliable, params)`.
+std::vector<std::unique_ptr<NodeProgram>> wrap_reliable(
+    std::span<const std::unique_ptr<NodeProgram>> programs, Engine& engine,
+    const ReliableParams& params);
+
+}  // namespace qcongest::net

@@ -1,0 +1,346 @@
+// The deterministic fault-injection layer: plan validation, the zero-rate
+// byte-identity guarantee, seeded replay of fault lotteries, counter
+// semantics, crash-stop / crash-restart scheduling, and the RunResult
+// monoid identity the phase accumulators rely on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/net/bfs.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/fault.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::net {
+namespace {
+
+/// Sends `count` consecutive integers from node 0 to node 1, one per round;
+/// node 1 records what it sees.
+class Streamer final : public NodeProgram {
+ public:
+  explicit Streamer(std::size_t count) : count_(count) {}
+  std::vector<std::int64_t> received;
+
+  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    for (const Message& m : inbox) {
+      if (m.word.tag == 7) received.push_back(m.word.a);
+    }
+    if (ctx.id() == 0) {
+      if (ctx.round() < count_) {
+        ctx.send(1, Word{7, static_cast<std::int64_t>(ctx.round()), 0, false});
+      } else {
+        ctx.halt();
+      }
+    }
+  }
+
+ private:
+  std::size_t count_;
+};
+
+std::vector<std::unique_ptr<NodeProgram>> make_streamers(std::size_t n,
+                                                         std::size_t count) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t i = 0; i < n; ++i) {
+    programs.push_back(std::make_unique<Streamer>(count));
+  }
+  return programs;
+}
+
+TEST(FaultPlan, RejectsBadProbabilities) {
+  Graph g = path_graph(2);
+  Engine engine(g);
+  FaultPlan plan;
+  plan.link.drop = 1.5;
+  EXPECT_THROW(engine.set_fault_plan(plan), std::invalid_argument);
+  plan.link.drop = -0.1;
+  EXPECT_THROW(engine.set_fault_plan(plan), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsBadCrashWindows) {
+  Graph g = path_graph(3);
+  Engine engine(g);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{5, 0, 10});  // node out of range
+  EXPECT_THROW(engine.set_fault_plan(plan), std::invalid_argument);
+  plan.crashes = {CrashEvent{1, 10, 10}};  // empty window
+  EXPECT_THROW(engine.set_fault_plan(plan), std::invalid_argument);
+  plan.crashes = {CrashEvent{1, 0, 10}, CrashEvent{1, 5, 20}};  // overlap
+  EXPECT_THROW(engine.set_fault_plan(plan), std::invalid_argument);
+  plan.crashes = {CrashEvent{1, 0, 10}, CrashEvent{1, 10, 20}};  // touching: ok
+  EXPECT_NO_THROW(engine.set_fault_plan(plan));
+}
+
+TEST(FaultPlan, RejectsOverrideOnNonEdge) {
+  Graph g = path_graph(3);  // edges 0-1, 1-2
+  Engine engine(g);
+  FaultPlan plan;
+  plan.edge_overrides.push_back({{0, 2}, FaultRates{0.5, 0.0, 0.0}});
+  EXPECT_THROW(engine.set_fault_plan(plan), std::invalid_argument);
+}
+
+TEST(FaultPlan, InactivePlanIsInactive) {
+  Graph g = path_graph(2);
+  Engine engine(g);
+  engine.set_fault_plan(FaultPlan{});
+  EXPECT_FALSE(engine.fault_plan_active());
+}
+
+// An *active* plan whose rates are all zero (a crash scheduled far past the
+// end of the run) must leave every legacy counter identical to a fault-free
+// engine: the lottery path runs but Rng::bernoulli(0) draws nothing.
+TEST(FaultPlan, ZeroRatesAreByteIdentical) {
+  util::Rng topo(21);
+  Graph g = random_connected_graph(24, 20, topo);
+  auto run = [&](bool with_plan) {
+    Engine engine(g, 1, 42);
+    if (with_plan) {
+      FaultPlan plan;
+      plan.crashes.push_back(CrashEvent{0, 1000000, CrashEvent::kNeverRestarts});
+      engine.set_fault_plan(plan);
+      EXPECT_TRUE(engine.fault_plan_active());
+    }
+    RunResult total;
+    auto election = elect_leader(engine);
+    total += election.cost;
+    total += build_bfs_tree(engine, election.leader).cost;
+    return total;
+  };
+  RunResult clean = run(false);
+  RunResult faulty_path = run(true);
+  EXPECT_EQ(clean, faulty_path);
+}
+
+TEST(FaultPlan, SeededLotteryReplays) {
+  util::Rng topo(31);
+  Graph g = random_connected_graph(20, 16, topo);
+  FaultPlan plan;
+  plan.link = FaultRates{0.1, 0.05, 0.05};
+  plan.seed = 777;
+  auto run = [&] {
+    Engine engine(g, 1, 9);
+    engine.set_fault_plan(plan);
+    auto programs = make_streamers(g.num_nodes(), 0);
+    // Flood-max leader election exercises every edge repeatedly.
+    return elect_leader(engine).cost;
+  };
+  RunResult first = run();
+  RunResult second = run();
+  EXPECT_EQ(first, second);  // includes the fault counters
+  EXPECT_GT(first.dropped_words, 0u);
+
+  plan.seed = 778;
+  RunResult reseeded = [&] {
+    Engine engine(g, 1, 9);
+    engine.set_fault_plan(plan);
+    return elect_leader(engine).cost;
+  }();
+  // A different fault seed draws a different lottery (overwhelmingly).
+  EXPECT_NE(first.dropped_words + first.corrupted_words,
+            reseeded.dropped_words + reseeded.corrupted_words);
+}
+
+TEST(FaultPlan, DropLotteryDropsWords) {
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  FaultPlan plan;
+  plan.link.drop = 1.0;
+  engine.set_fault_plan(plan);
+  auto programs = make_streamers(2, 10);
+  RunResult result = engine.run(programs, 50);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.dropped_words, 10u);
+  EXPECT_TRUE(static_cast<Streamer&>(*programs[1]).received.empty());
+  EXPECT_EQ(result.messages, 10u);  // sends are counted before the lottery
+}
+
+TEST(FaultPlan, CorruptionFlipsExactlyOnePayloadBit) {
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  FaultPlan plan;
+  plan.link.corrupt = 1.0;
+  engine.set_fault_plan(plan);
+  auto programs = make_streamers(2, 8);
+  RunResult result = engine.run(programs, 50);
+  EXPECT_EQ(result.corrupted_words, 8u);
+  const auto& received = static_cast<Streamer&>(*programs[1]).received;
+  ASSERT_EQ(received.size(), 8u);
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    // Tag survives (words still routed); payload differs from the original
+    // in exactly one bit position of (a, b) — and b was sent as 0.
+    std::uint64_t delta = static_cast<std::uint64_t>(received[i]) ^ i;
+    // Either a changed by one bit (b untouched) or a is intact (b changed).
+    EXPECT_TRUE(delta == 0 || (delta & (delta - 1)) == 0);
+  }
+}
+
+TEST(FaultPlan, DuplicationDeliversTwice) {
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  FaultPlan plan;
+  plan.link.duplicate = 1.0;
+  engine.set_fault_plan(plan);
+  auto programs = make_streamers(2, 5);
+  RunResult result = engine.run(programs, 50);
+  EXPECT_EQ(result.duplicated_words, 5u);
+  const auto& received = static_cast<Streamer&>(*programs[1]).received;
+  ASSERT_EQ(received.size(), 10u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(received[2 * i], static_cast<std::int64_t>(i));
+    EXPECT_EQ(received[2 * i + 1], static_cast<std::int64_t>(i));
+  }
+  // Duplicates are injected by the network: bandwidth accounting unchanged.
+  EXPECT_EQ(result.max_edge_words, 1u);
+}
+
+TEST(FaultPlan, EdgeOverrideBeatsLinkRates) {
+  Graph g = path_graph(3);  // 0-1-2
+  Engine engine(g, 1, 3);
+  FaultPlan plan;
+  plan.link.drop = 1.0;
+  plan.edge_overrides.push_back({{0, 1}, FaultRates{}});  // 0->1 is perfect
+  engine.set_fault_plan(plan);
+  auto programs = make_streamers(3, 4);
+  engine.run(programs, 50);
+  EXPECT_EQ(static_cast<Streamer&>(*programs[1]).received.size(), 4u);
+}
+
+TEST(FaultPlan, CrashStopSilencesNode) {
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{1, 0, CrashEvent::kNeverRestarts});
+  engine.set_fault_plan(plan);
+  auto programs = make_streamers(2, 6);
+  RunResult result = engine.run(programs, 50);
+  EXPECT_EQ(result.crashed_nodes, 1u);
+  EXPECT_EQ(result.dropped_words, 6u);  // everything addressed to 1 is lost
+  EXPECT_TRUE(static_cast<Streamer&>(*programs[1]).received.empty());
+}
+
+TEST(FaultPlan, CrashRestartResumesScheduling) {
+  /// Node 1 is down for arrival rounds [1, 4): words sent in rounds 0..2
+  /// are lost, words sent in rounds 3..5 arrive in rounds 4..6.
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{1, 1, 4});
+  engine.set_fault_plan(plan);
+  auto programs = make_streamers(2, 6);
+  RunResult result = engine.run(programs, 50);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.crashed_nodes, 1u);
+  EXPECT_EQ(result.dropped_words, 3u);
+  const auto& received = static_cast<Streamer&>(*programs[1]).received;
+  EXPECT_EQ(received, (std::vector<std::int64_t>{3, 4, 5}));
+}
+
+// A restart scheduled beyond the natural quiescence point must still
+// happen: the run idles through the outage instead of terminating.
+TEST(FaultPlan, RestartOutlivesQuiescence) {
+  class LateEcho final : public NodeProgram {
+   public:
+    bool woke = false;
+    void on_round(Context& ctx, const std::vector<Message>&) override {
+      // Node 1 acts only when it is scheduled at round >= 8 (after its
+      // outage); everyone else is silent from the start.
+      if (ctx.id() == 1 && ctx.round() >= 8 && !woke) {
+        woke = true;
+        ctx.send(0, Word{9, 1, 0, false});
+        ctx.halt();
+      }
+    }
+  };
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{1, 1, 8});
+  engine.set_fault_plan(plan);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<LateEcho>());
+  programs.push_back(std::make_unique<LateEcho>());
+  RunResult result = engine.run(programs, 50);
+  EXPECT_TRUE(static_cast<LateEcho&>(*programs[1]).woke);
+  EXPECT_EQ(result.rounds, 9u);  // the post-restart send is the last send
+}
+
+// --- RunResult monoid identity (regression: default completed poisoned
+// sums before phase accumulators ran anything) ---------------------------
+
+TEST(RunResult, DefaultIsIdentityOfAccumulation) {
+  RunResult sum;  // fresh accumulator: must be the identity
+  EXPECT_TRUE(sum.completed);
+
+  RunResult phase;
+  phase.rounds = 5;
+  phase.messages = 7;
+  phase.completed = true;
+  sum += phase;
+  EXPECT_TRUE(sum.completed);
+  EXPECT_EQ(sum.rounds, 5u);
+  EXPECT_EQ(sum.messages, 7u);
+
+  RunResult failed;
+  failed.completed = false;
+  sum += failed;
+  EXPECT_FALSE(sum.completed);  // one incomplete phase poisons the total
+
+  RunResult identity;
+  RunResult copy = phase;
+  copy += identity;
+  EXPECT_EQ(copy, phase);  // right identity, all counters included
+}
+
+// --- Context::keep_alive: idle-then-act programs survive quiescence -----
+
+TEST(Engine, KeepAliveDefersQuiescence) {
+  class Sleeper final : public NodeProgram {
+   public:
+    bool delivered = false;
+    void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+      if (!inbox.empty()) delivered = true;
+      if (ctx.id() != 0) return;
+      if (ctx.round() < 5) {
+        ctx.keep_alive();  // idle on purpose: waiting on a timer
+      } else if (ctx.round() == 5) {
+        ctx.send(1, Word{3, 1, 0, false});
+        ctx.halt();
+      }
+    }
+  };
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<Sleeper>());
+  programs.push_back(std::make_unique<Sleeper>());
+  RunResult result = engine.run(programs, 50);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(static_cast<Sleeper&>(*programs[1]).delivered);
+  EXPECT_EQ(result.rounds, 6u);
+}
+
+TEST(Engine, WithoutKeepAliveQuiescenceWins) {
+  class SilentSleeper final : public NodeProgram {
+   public:
+    bool delivered = false;
+    void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+      if (!inbox.empty()) delivered = true;
+      if (ctx.id() == 0 && ctx.round() == 5) ctx.send(1, Word{3, 1, 0, false});
+    }
+  };
+  Graph g = path_graph(2);
+  Engine engine(g, 1, 3);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<SilentSleeper>());
+  programs.push_back(std::make_unique<SilentSleeper>());
+  RunResult result = engine.run(programs, 50);
+  // The engine quiesces after the first silent pass — the round-5 send
+  // never happens. keep_alive exists precisely to opt out of this.
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_FALSE(static_cast<SilentSleeper&>(*programs[1]).delivered);
+}
+
+}  // namespace
+}  // namespace qcongest::net

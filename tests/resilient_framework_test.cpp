@@ -1,0 +1,148 @@
+// Framework graceful degradation on an unreliable *direct* transport:
+// checksummed downcast with verification votes, run-twice-compare
+// convergecast, bounded retry budgets, and honest cost accounting of
+// failed attempts (PhaseAborted still carries what was spent).
+
+#include <gtest/gtest.h>
+
+#include "src/framework/resilient.hpp"
+#include "src/net/bfs.hpp"
+#include "src/net/fault.hpp"
+#include "src/net/generators.hpp"
+
+namespace qcongest::framework {
+namespace {
+
+struct Fixture {
+  net::Graph graph;
+  net::Engine engine;
+  net::BfsTree tree;
+
+  explicit Fixture(std::uint64_t seed = 3)
+      : graph(net::binary_tree(15)), engine(graph, 1, seed) {
+    tree = net::build_bfs_tree(engine, 0);
+  }
+};
+
+std::vector<std::int64_t> sample_payload() { return {11, 22, 33, 44, 55, 66}; }
+
+TEST(Resilient, ChecksumSeparatesSingleBitFlips) {
+  std::vector<std::int64_t> payload = sample_payload();
+  std::int64_t base = payload_checksum(payload);
+  for (std::size_t w = 0; w < payload.size(); ++w) {
+    for (unsigned bit = 0; bit < 64; bit += 7) {
+      auto flipped = payload;
+      flipped[w] ^= std::int64_t{1} << bit;
+      EXPECT_NE(payload_checksum(flipped), base) << "word " << w << " bit " << bit;
+    }
+  }
+}
+
+TEST(Resilient, DowncastPerfectNetworkSingleAttempt) {
+  Fixture f;
+  auto result = resilient_downcast(f.engine, f.tree, sample_payload(), false);
+  EXPECT_EQ(result.attempts, 1u);
+  for (const auto& row : result.received) EXPECT_EQ(row, sample_payload());
+  EXPECT_GT(result.cost.rounds, 0u);  // downcast + verification vote
+}
+
+TEST(Resilient, DowncastDetectsCorruptionAndRecovers) {
+  Fixture f;
+  net::FaultPlan plan;
+  plan.link.corrupt = 0.02;
+  plan.seed = 97;
+  f.engine.set_fault_plan(plan);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  auto result = resilient_downcast(f.engine, f.tree, sample_payload(), false, policy);
+  for (const auto& row : result.received) EXPECT_EQ(row, sample_payload());
+  EXPECT_LE(result.attempts, policy.max_attempts);
+}
+
+TEST(Resilient, DowncastAbortsWhenLinksAreDead) {
+  Fixture f;
+  net::FaultPlan plan;
+  plan.link.drop = 1.0;
+  f.engine.set_fault_plan(plan);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  try {
+    resilient_downcast(f.engine, f.tree, sample_payload(), false, policy);
+    FAIL() << "expected PhaseAborted";
+  } catch (const PhaseAborted& aborted) {
+    EXPECT_EQ(aborted.attempts(), 3u);
+    // The failed attempts are still charged: words were sent and lost.
+    EXPECT_GT(aborted.cost().messages, 0u);
+    EXPECT_GT(aborted.cost().dropped_words, 0u);
+  }
+}
+
+TEST(Resilient, ConvergecastPerfectNetworkTwoRuns) {
+  Fixture f;
+  const std::size_t n = f.graph.num_nodes();
+  std::vector<std::vector<std::int64_t>> values(n, {1, 2});
+  auto result = resilient_convergecast(
+      f.engine, f.tree, values, 1, [](std::int64_t a, std::int64_t b) { return a + b; },
+      false);
+  EXPECT_EQ(result.attempts, 2u);  // temporal redundancy needs agreement
+  EXPECT_EQ(result.totals,
+            (std::vector<std::int64_t>{static_cast<std::int64_t>(n),
+                                       static_cast<std::int64_t>(2 * n)}));
+}
+
+TEST(Resilient, ConvergecastSurvivesCorruption) {
+  Fixture f;
+  net::FaultPlan plan;
+  plan.link.corrupt = 0.02;
+  plan.seed = 51;
+  f.engine.set_fault_plan(plan);
+  const std::size_t n = f.graph.num_nodes();
+  std::vector<std::vector<std::int64_t>> values(n, {5});
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  auto result = resilient_convergecast(
+      f.engine, f.tree, values, 1, [](std::int64_t a, std::int64_t b) { return a + b; },
+      false, policy);
+  EXPECT_EQ(result.totals, (std::vector<std::int64_t>{static_cast<std::int64_t>(5 * n)}));
+  EXPECT_GE(result.attempts, 2u);
+}
+
+TEST(Resilient, StateDistributionRetriesOnLoss) {
+  Fixture f;
+  net::FaultPlan plan;
+  plan.link.drop = 0.02;
+  plan.seed = 23;
+  f.engine.set_fault_plan(plan);
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  auto result = distribute_state_resilient(f.engine, f.tree, 32, policy);
+  EXPECT_GE(result.attempts, 1u);
+  EXPECT_TRUE(result.cost.completed || result.attempts > 1);
+  EXPECT_GT(result.cost.quantum_words, 0u);
+}
+
+TEST(Resilient, AbortedPhaseCostIncludesEveryAttempt) {
+  Fixture f;
+  net::FaultPlan plan;
+  plan.link.drop = 1.0;
+  f.engine.set_fault_plan(plan);
+  RetryPolicy one;
+  one.max_attempts = 1;
+  RetryPolicy three;
+  three.max_attempts = 3;
+  auto spent = [&](const RetryPolicy& policy) {
+    try {
+      resilient_downcast(f.engine, f.tree, sample_payload(), false, policy);
+    } catch (const PhaseAborted& aborted) {
+      return aborted.cost().messages;
+    }
+    return std::size_t{0};
+  };
+  std::size_t once = spent(one);
+  std::size_t thrice = spent(three);
+  EXPECT_GT(once, 0u);
+  EXPECT_GT(thrice, once);
+}
+
+}  // namespace
+}  // namespace qcongest::framework

@@ -1,0 +1,282 @@
+// chaos_run — sweep deterministic fault rates over the application suite
+// and report, per (app, fault level): success rate, median measured rounds,
+// round overhead versus the clean run, and retransmissions per attempt.
+//
+//   chaos_run [--nodes N] [--trials T] [--graph FAMILY]
+//             [--transport reliable|direct] [--seed S]
+//
+// families: tree | path | cycle | grid | random
+//
+// Fault levels pair a word-drop probability with proportional corruption
+// (rate/5) and duplication (rate/10) so a single knob exercises all three
+// lotteries. With --transport direct the sweep shows how quickly the
+// unprotected protocols fall over; with the default reliable transport it
+// measures what the ack/retransmit layer pays to hide the same faults.
+//
+// Examples:
+//   chaos_run --nodes 15 --trials 9
+//   chaos_run --graph grid --nodes 16 --transport direct
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/apps/eccentricity.hpp"
+#include "src/apps/net_options.hpp"
+#include "src/net/bfs.hpp"
+#include "src/net/fault.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/multi_bfs.hpp"
+#include "src/net/pipeline.hpp"
+#include "src/util/rng.hpp"
+
+using namespace qcongest;
+
+namespace {
+
+struct Options {
+  std::size_t nodes = 15;
+  std::size_t trials = 9;
+  std::string graph = "tree";
+  net::Transport transport = net::Transport::kReliable;
+  std::uint64_t seed = 1;
+};
+
+struct Outcome {
+  bool success = false;
+  net::RunResult cost;
+};
+
+/// One application under test: run it on `graph` with the given fault plan
+/// and transport, and self-check the answer against ground truth.
+using App = std::function<Outcome(const net::Graph&, const apps::NetOptions&)>;
+
+struct AppEntry {
+  const char* name;
+  App run;
+};
+
+net::Engine make_engine(const net::Graph& graph, const apps::NetOptions& options) {
+  net::Engine engine(graph, options.bandwidth, options.seed);
+  options.configure(engine);
+  return engine;
+}
+
+Outcome run_leader(const net::Graph& graph, const apps::NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  auto election = net::elect_leader(engine);
+  Outcome out{election.cost.completed &&
+                  election.leader == graph.num_nodes() - 1,
+              election.cost};
+  return out;
+}
+
+Outcome run_bfs(const net::Graph& graph, const apps::NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  std::vector<std::size_t> truth = graph.bfs_distances(0);
+  Outcome out;
+  out.cost = tree.cost;
+  out.success = tree.cost.completed && tree.depth == truth;
+  return out;
+}
+
+Outcome run_downcast(const net::Graph& graph, const apps::NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  Outcome out;
+  out.cost = tree.cost;
+  std::vector<std::int64_t> payload(32);
+  std::iota(payload.begin(), payload.end(), 100);
+  auto down = net::pipelined_downcast(engine, tree, payload, /*quantum=*/false);
+  out.cost += down.cost;
+  out.success = down.cost.completed;
+  for (const auto& row : down.received) {
+    if (row != payload) out.success = false;
+  }
+  return out;
+}
+
+Outcome run_convergecast(const net::Graph& graph, const apps::NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  Outcome out;
+  out.cost = tree.cost;
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::vector<std::int64_t>> values(n);
+  for (std::size_t v = 0; v < n; ++v) values[v] = {static_cast<std::int64_t>(v), 1};
+  auto conv = net::pipelined_convergecast(
+      engine, tree, values, /*value_words=*/1,
+      [](std::int64_t a, std::int64_t b) { return a + b; }, /*quantum=*/false);
+  out.cost += conv.cost;
+  auto expected = std::vector<std::int64_t>{
+      static_cast<std::int64_t>(n * (n - 1) / 2), static_cast<std::int64_t>(n)};
+  out.success = conv.cost.completed && conv.totals == expected;
+  return out;
+}
+
+Outcome run_multibfs(const net::Graph& graph, const apps::NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  const std::size_t n = graph.num_nodes();
+  std::vector<net::NodeId> sources;
+  for (std::size_t s = 0; s < std::min<std::size_t>(4, n); ++s) sources.push_back(s);
+  auto bfs = net::multi_source_bfs(engine, sources, n);
+  Outcome out;
+  out.cost = bfs.cost;
+  out.success = bfs.cost.completed;
+  for (std::size_t slot = 0; slot < sources.size() && out.success; ++slot) {
+    std::vector<std::size_t> truth = graph.bfs_distances(sources[slot]);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<std::size_t>(bfs.dist[v][slot]) != truth[v]) {
+        out.success = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Outcome run_diameter(const net::Graph& graph, const apps::NetOptions& options) {
+  auto result = apps::diameter_classical(graph, options);
+  return {result.cost.completed && result.value == graph.diameter(), result.cost};
+}
+
+Outcome run_radius(const net::Graph& graph, const apps::NetOptions& options) {
+  auto result = apps::radius_classical(graph, options);
+  return {result.cost.completed && result.value == graph.radius(), result.cost};
+}
+
+net::Graph make_graph(const Options& opt) {
+  if (opt.graph == "tree") return net::binary_tree(opt.nodes);
+  if (opt.graph == "path") return net::path_graph(opt.nodes);
+  if (opt.graph == "cycle") return net::cycle_graph(opt.nodes);
+  if (opt.graph == "grid") {
+    std::size_t side = 1;
+    while ((side + 1) * (side + 1) <= opt.nodes) ++side;
+    return net::grid_graph(side, side);
+  }
+  if (opt.graph == "random") {
+    util::Rng rng(opt.seed);
+    return net::random_connected_graph(opt.nodes, opt.nodes / 2, rng);
+  }
+  std::fprintf(stderr, "unknown graph family: %s\n", opt.graph.c_str());
+  std::exit(2);
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--nodes") {
+      opt.nodes = static_cast<std::size_t>(std::stoul(value));
+    } else if (flag == "--trials") {
+      opt.trials = static_cast<std::size_t>(std::stoul(value));
+    } else if (flag == "--graph") {
+      opt.graph = value;
+    } else if (flag == "--seed") {
+      opt.seed = std::stoull(value);
+    } else if (flag == "--transport") {
+      if (value == "reliable") {
+        opt.transport = net::Transport::kReliable;
+      } else if (value == "direct") {
+        opt.transport = net::Transport::kDirect;
+      } else {
+        std::fprintf(stderr, "unknown transport: %s\n", value.c_str());
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return opt.trials > 0 && opt.nodes > 1;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    std::puts(
+        "usage: chaos_run [--nodes N] [--trials T] [--graph FAMILY]\n"
+        "                 [--transport reliable|direct] [--seed S]\n"
+        "families: tree path cycle grid random");
+    return 2;
+  }
+
+  const net::Graph graph = make_graph(opt);
+  const std::vector<AppEntry> suite = {
+      {"leader", run_leader},         {"bfs", run_bfs},
+      {"downcast", run_downcast},     {"convergecast", run_convergecast},
+      {"multibfs", run_multibfs},     {"diameter", run_diameter},
+      {"radius", run_radius},
+  };
+  const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.1};
+
+  std::printf("# graph=%s nodes=%zu trials=%zu transport=%s\n", opt.graph.c_str(),
+              graph.num_nodes(), opt.trials,
+              opt.transport == net::Transport::kReliable ? "reliable" : "direct");
+  std::printf("%-12s %6s %8s %6s %9s %11s %9s %13s\n", "app", "drop", "corrupt",
+              "dup", "success", "med_rounds", "overhead", "retrans/run");
+
+  int exit_code = 0;
+  for (const AppEntry& app : suite) {
+    double clean_rounds = 0.0;
+    for (double rate : rates) {
+      apps::NetOptions options;
+      options.transport = opt.transport;
+      options.fault_plan.link.drop = rate;
+      options.fault_plan.link.corrupt = rate / 5.0;
+      options.fault_plan.link.duplicate = rate / 10.0;
+
+      std::size_t successes = 0;
+      std::size_t retransmissions = 0;
+      std::vector<double> rounds;
+      for (std::size_t trial = 0; trial < opt.trials; ++trial) {
+        options.seed = opt.seed + trial;
+        options.fault_plan.seed = opt.seed * 1000 + trial;
+        Outcome out;
+        try {
+          out = app.run(graph, options);
+        } catch (const std::exception&) {
+          out.success = false;  // a faulted run that tripped an invariant
+        }
+        retransmissions += out.cost.retransmissions;
+        if (out.success) {
+          ++successes;
+          rounds.push_back(static_cast<double>(out.cost.rounds));
+        }
+      }
+
+      double med = median(rounds);
+      if (rate == 0.0) clean_rounds = med;
+      double overhead = clean_rounds > 0.0 && med > 0.0 ? med / clean_rounds : 0.0;
+      double success_rate =
+          static_cast<double>(successes) / static_cast<double>(opt.trials);
+      std::printf("%-12s %6.2f %8.3f %6.3f %8.0f%% %11.0f %8.2fx %13.1f\n",
+                  app.name, rate, rate / 5.0, rate / 10.0, 100.0 * success_rate,
+                  med, overhead,
+                  static_cast<double>(retransmissions) /
+                      static_cast<double>(opt.trials));
+      // The acceptance bar: with the reliable transport every app must keep
+      // a success rate of at least 2/3 at every swept fault level.
+      if (opt.transport == net::Transport::kReliable && 3 * successes < 2 * opt.trials) {
+        exit_code = 1;
+      }
+    }
+  }
+  if (exit_code != 0) {
+    std::fprintf(stderr, "chaos_run: some app fell below 2/3 success\n");
+  }
+  return exit_code;
+}
