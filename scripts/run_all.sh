@@ -1,25 +1,70 @@
 #!/usr/bin/env bash
-# Build everything, run the full test suite, every benchmark, every example,
-# and the CLI smoke commands — the one-command reproduction driver.
-set -euo pipefail
+# Build everything, run the full test suite, the repo linter, the
+# determinism audit, every benchmark, every example, and the CLI smoke
+# commands — the one-command reproduction driver.
+#
+# Every step runs even if an earlier one failed; the script exits non-zero
+# if ANY step failed, naming the failures at the end.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+failures=()
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+# run <name> <cmd...>: run a step, record its exit code, keep going.
+run() {
+  local name=$1
+  shift
+  echo "===== ${name} ====="
+  if ! "$@"; then
+    echo "FAILED: ${name} (exit $?)" >&2
+    failures+=("${name}")
+  fi
+}
 
-(for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] || continue
-  echo "===== $(basename "$b") ====="
-  "$b"
-done) 2>&1 | tee bench_output.txt
+# A fresh checkout configures with Ninja; an existing build dir keeps
+# whatever generator it was created with (cmake rejects a switch).
+if [ -f build/CMakeCache.txt ]; then
+  run "configure" cmake -B build
+else
+  run "configure" cmake -B build -G Ninja
+fi
+run "build" cmake --build build
 
-for e in build/examples/example_*; do
-  echo "===== $(basename "$e") ====="
-  "$e"
-done
+run_tests() { ctest --test-dir build 2>&1 | tee test_output.txt; }
+run "tests" run_tests
 
-build/tools/qcongest_cli diameter --graph two-stars --nodes 64
-build/tools/qcongest_cli meeting --graph path --nodes 9 --k 16384
-build/tools/qcongest_cli girth --graph cycle-trees --nodes 50 --girth 6
+run "qlint" ./build/tools/qlint --root src --root tools --root tests \
+  --allow tools/qlint_allow.txt
+
+run "determinism-audit" ./build/tools/chaos_run --audit-determinism \
+  --graph tree --nodes 15
+
+run_benchmarks() {
+  (for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b" || return 1
+  done) 2>&1 | tee bench_output.txt
+}
+run "benchmarks" run_benchmarks
+
+run_examples() {
+  local e
+  for e in build/examples/example_*; do
+    echo "===== $(basename "$e") ====="
+    "$e" || return 1
+  done
+}
+run "examples" run_examples
+
+run "cli-diameter" build/tools/qcongest_cli diameter --graph two-stars --nodes 64
+run "cli-meeting" build/tools/qcongest_cli meeting --graph path --nodes 9 --k 16384
+run "cli-girth" build/tools/qcongest_cli girth --graph cycle-trees --nodes 50 --girth 6
+
+if [ "${#failures[@]}" -gt 0 ]; then
+  echo
+  echo "run_all: ${#failures[@]} step(s) failed: ${failures[*]}" >&2
+  exit 1
+fi
+echo
+echo "run_all: all steps passed"

@@ -26,13 +26,24 @@ struct NetOptions {
   /// fault plan unless the app brings its own recovery.
   net::Transport transport = net::Transport::kDirect;
   net::ReliableParams reliable_params;
+  /// When non-null, every delivery of every run is recorded here (see
+  /// Engine::set_trace) — the determinism auditor in tools/chaos_run diffs
+  /// two such recordings byte-for-byte.
+  net::Trace* trace = nullptr;
+  /// When non-null, installed as the engine's passive observer; the
+  /// model-conformance verifier (src/check/verifier.hpp) is the intended
+  /// client. Must outlive every run of the configured engine.
+  net::EngineObserver* observer = nullptr;
 
-  /// Apply cut tracking, the fault plan, and the transport to an engine
-  /// (bandwidth and seed are constructor parameters of Engine).
+  /// Apply cut tracking, the fault plan, the transport, and any trace /
+  /// observer taps to an engine (bandwidth and seed are constructor
+  /// parameters of Engine).
   void configure(net::Engine& engine) const {
     engine.track_cut(tracked_cut);
     if (fault_plan.active()) engine.set_fault_plan(fault_plan);
     engine.set_transport(transport, reliable_params);
+    engine.set_trace(trace);
+    engine.set_observer(observer);
   }
 };
 

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/net/graph.hpp"
+
+namespace qcongest::check {
+
+/// The invariants the model-conformance verifier enforces. Each one guards a
+/// clause of the CONGEST model (or of the quantum simulation contract) that
+/// the paper's round-complexity claims silently rely on; see DESIGN.md
+/// "Invariants & static analysis" for the invariant -> paper-clause map.
+enum class InvariantKind {
+  /// <= B words per directed edge per round (the CONGEST(B) rule).
+  kBandwidthPerRound,
+  /// Per directed edge, total words (retransmissions included — they are
+  /// sends) <= B x elapsed rounds.
+  kBandwidthAggregate,
+  /// Every admitted word is delivered or dropped, exactly once:
+  /// sent = delivered + dropped, and inbox insertions = delivered +
+  /// duplicated. Nothing is silently created or destroyed.
+  kConservation,
+  /// The engine's RunResult counters must equal the observer's independent
+  /// tally (messages, drops, corruptions, duplicates, retransmissions,
+  /// max_edge_words).
+  kCounterMismatch,
+  /// The reported round count is the last pass that sent anything, and a
+  /// completed run really went quiet (no sends after the reported round).
+  kQuiescence,
+  /// A statevector's norm drifted more than the tolerance from 1.
+  kStateNorm,
+  /// A circuit is not unitary (checked by explicit matrix reconstruction at
+  /// small scale).
+  kCircuitUnitarity,
+  /// A model rule the engine itself enforced by throwing CongestViolation
+  /// (over-budget send, non-neighbor send), recorded with its provenance.
+  kModelRule,
+};
+
+const char* invariant_name(InvariantKind kind);
+
+/// One observed invariant violation, with provenance. `round`/`from`/`to`
+/// are meaningful only when `has_round`/`has_edge` say so (norm checks, for
+/// example, have neither).
+struct Violation {
+  InvariantKind kind = InvariantKind::kModelRule;
+  bool has_round = false;
+  std::size_t round = 0;
+  bool has_edge = false;
+  net::NodeId from = 0;
+  net::NodeId to = 0;
+  std::string detail;
+
+  /// "[bandwidth-per-round] round 3, edge 1 -> 2: <detail>"
+  std::string to_string() const;
+};
+
+}  // namespace qcongest::check

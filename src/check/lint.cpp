@@ -1,0 +1,469 @@
+#include "src/check/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qcongest::check {
+
+namespace {
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Whole-word occurrence of `word` in `line` starting at or after `pos`;
+/// npos if none.
+std::size_t find_word(const std::string& line, const std::string& word,
+                      std::size_t pos = 0) {
+  while (true) {
+    std::size_t at = line.find(word, pos);
+    if (at == std::string::npos) return std::string::npos;
+    bool left_ok = at == 0 || !ident_char(line[at - 1]);
+    std::size_t end = at + word.size();
+    bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return at;
+    pos = at + 1;
+  }
+}
+
+/// Strip string/char literal contents and // comments; replaces them with
+/// spaces so column positions survive. `in_block_comment` carries /* */
+/// state across lines.
+std::string strip_noise(const std::string& line, bool& in_block_comment) {
+  std::string out(line.size(), ' ');
+  bool in_string = false, in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_block_comment) {
+      if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out[i] = c;
+      continue;
+    }
+    if (c == '\'' && i > 0 && !std::isdigit(static_cast<unsigned char>(line[i - 1]))) {
+      // Digit separators (1'000'000) are not char literals.
+      in_char = true;
+      out[i] = c;
+      continue;
+    }
+    out[i] = c;
+  }
+  return out;
+}
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// `// qlint-allow(rule)` anywhere on the raw line suppresses `rule` there.
+bool inline_allowed(const std::string& raw_line, const std::string& rule) {
+  std::size_t at = raw_line.find("qlint-allow(");
+  if (at == std::string::npos) return false;
+  std::size_t open = at + std::string("qlint-allow(").size();
+  std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return false;
+  std::string listed = raw_line.substr(open, close - open);
+  std::istringstream parts(listed);
+  std::string entry;
+  while (std::getline(parts, entry, ',')) {
+    entry.erase(std::remove_if(entry.begin(), entry.end(), ::isspace), entry.end());
+    if (entry == rule || entry == "*") return true;
+  }
+  return false;
+}
+
+bool config_allowed(const LintConfig& config, const LintDiagnostic& diag) {
+  for (const std::string& entry : config.allow) {
+    std::size_t first = entry.find(':');
+    if (first == std::string::npos) continue;
+    std::string rule = entry.substr(0, first);
+    std::string rest = entry.substr(first + 1);
+    std::size_t second = rest.find(':');
+    std::string path_sub = second == std::string::npos ? rest : rest.substr(0, second);
+    std::string needle = second == std::string::npos ? "" : rest.substr(second + 1);
+    if (rule != "*" && rule != diag.rule) continue;
+    if (path_sub != "*" && diag.file.find(path_sub) == std::string::npos) continue;
+    if (!needle.empty() && diag.line_text.find(needle) == std::string::npos) continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+// --- Rule: banned-random ---------------------------------------------------
+
+const char* kRandomTokens[] = {"std::random_device", "random_device"};
+
+void check_banned_random(const std::string& path, const std::string& stripped,
+                         std::size_t line_no, const std::string& raw,
+                         std::vector<LintDiagnostic>& out) {
+  // src/util is the one place allowed to touch entropy (it seeds util::Rng).
+  if (path_contains(path, "src/util/") || path_contains(path, "util/rng")) return;
+  auto flag = [&](const std::string& what) {
+    out.push_back({path, line_no, "banned-random",
+                   what + ": all randomness must flow through the seeded util::Rng "
+                         "(determinism contract; see DESIGN.md)",
+                   raw});
+  };
+  for (const char* token : kRandomTokens) {
+    if (stripped.find(token) != std::string::npos) {
+      flag(std::string("'") + token + "'");
+      return;
+    }
+  }
+  std::size_t at = find_word(stripped, "rand");
+  if (at != std::string::npos) {
+    std::size_t after = stripped.find_first_not_of(' ', at + 4);
+    if (after != std::string::npos && stripped[after] == '(') {
+      flag("'rand()'");
+      return;
+    }
+  }
+  if (find_word(stripped, "srand") != std::string::npos) {
+    flag("'srand'");
+    return;
+  }
+  at = find_word(stripped, "time");
+  if (at != std::string::npos) {
+    std::size_t open = stripped.find_first_not_of(' ', at + 4);
+    if (open != std::string::npos && stripped[open] == '(') {
+      std::size_t arg = stripped.find_first_not_of(' ', open + 1);
+      if (arg != std::string::npos &&
+          (stripped.compare(arg, 4, "NULL") == 0 ||
+           stripped.compare(arg, 7, "nullptr") == 0 || stripped[arg] == '0')) {
+        flag("'time(NULL)'-style seeding");
+      }
+    }
+  }
+}
+
+// --- Rule: unordered-iter --------------------------------------------------
+
+void check_unordered_iter(const std::string& path, const std::string& stripped,
+                          std::size_t line_no, const std::string& raw,
+                          const std::vector<std::string>& names,
+                          std::vector<LintDiagnostic>& out) {
+  for (const std::string& name : names) {
+    std::size_t at = find_word(stripped, name);
+    while (at != std::string::npos) {
+      // Range-for: "for (... : name" with the loop variable to the left.
+      std::size_t before = at;
+      while (before > 0 && stripped[before - 1] == ' ') --before;
+      bool range_for = before > 0 && stripped[before - 1] == ':' &&
+                       (before < 2 || stripped[before - 2] != ':') &&
+                       stripped.find("for") != std::string::npos &&
+                       stripped.find("for") < at;
+      // Iterator walk: "name.begin(" / cbegin / rbegin.
+      std::size_t after = at + name.size();
+      bool begin_call = stripped.compare(after, 7, ".begin(") == 0 ||
+                        stripped.compare(after, 8, ".cbegin(") == 0 ||
+                        stripped.compare(after, 8, ".rbegin(") == 0;
+      if (range_for || begin_call) {
+        out.push_back(
+            {path, line_no, "unordered-iter",
+             "iteration over unordered container '" + name +
+                 "': visit order is implementation-defined and will differ across "
+                 "standard libraries — sort first, or use std::map/std::set/vector "
+                 "before the order can reach messages, samples, or float sums",
+             raw});
+        return;  // one diagnostic per line is enough
+      }
+      at = find_word(stripped, name, at + 1);
+    }
+  }
+}
+
+// --- Rule: float-equal -----------------------------------------------------
+
+bool float_literal_left(const std::string& s, std::size_t op_at) {
+  std::size_t i = op_at;
+  while (i > 0 && s[i - 1] == ' ') --i;
+  // Walk back over a token that may be a numeric literal.
+  std::size_t end = i;
+  while (i > 0 && (ident_char(s[i - 1]) || s[i - 1] == '.')) --i;
+  std::string token = s.substr(i, end - i);
+  return token.find('.') != std::string::npos && !token.empty() &&
+         std::isdigit(static_cast<unsigned char>(token[0]));
+}
+
+bool float_literal_right(const std::string& s, std::size_t after_op) {
+  std::size_t i = after_op;
+  while (i < s.size() && s[i] == ' ') ++i;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+  std::size_t start = i;
+  while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+                          s[i] == 'e' || s[i] == 'E' || s[i] == 'f')) {
+    ++i;
+  }
+  std::string token = s.substr(start, i - start);
+  return token.find('.') != std::string::npos &&
+         std::isdigit(static_cast<unsigned char>(token.empty() ? ' ' : token[0]));
+}
+
+void check_float_equal(const std::string& path, const std::string& stripped,
+                       std::size_t line_no, const std::string& raw,
+                       std::vector<LintDiagnostic>& out) {
+  if (!path_contains(path, "quantum/") && !path_contains(path, "query/")) return;
+  for (std::size_t i = 0; i + 1 < stripped.size(); ++i) {
+    bool eq = stripped[i] == '=' && stripped[i + 1] == '=';
+    bool ne = stripped[i] == '!' && stripped[i + 1] == '=';
+    if (!eq && !ne) continue;
+    if (i > 0 && (stripped[i - 1] == '=' || stripped[i - 1] == '!' ||
+                  stripped[i - 1] == '<' || stripped[i - 1] == '>')) {
+      continue;
+    }
+    if (i + 2 < stripped.size() && stripped[i + 2] == '=') continue;
+    if (float_literal_left(stripped, i) || float_literal_right(stripped, i + 2)) {
+      out.push_back({path, line_no, "float-equal",
+                     "exact floating-point comparison against a literal in quantum "
+                     "code: amplitudes carry rounding error, compare within a "
+                     "tolerance (e.g. std::abs(x - y) <= 1e-9)",
+                     raw});
+      return;
+    }
+  }
+}
+
+// --- Rule: runresult-discard -----------------------------------------------
+
+/// Framework phases whose return value carries round/word costs; discarding
+/// one silently loses rounds from the accounting.
+const char* kPhaseCalls[] = {
+    "distribute_state",  "undistribute_state",     "distribute_state_unpipelined",
+    "zero_reflection",   "amplification_iterate",  "pipelined_downcast",
+    "unpipelined_downcast", "pipelined_convergecast", "elect_leader",
+    "build_bfs_tree",    "multi_source_bfs",
+};
+
+void check_runresult_discard(const std::string& path, const std::string& stripped,
+                             std::size_t line_no, const std::string& raw,
+                             bool statement_start, std::vector<LintDiagnostic>& out) {
+  if (!path_contains(path, "framework/")) return;
+  // A call on a continuation line is part of an enclosing expression whose
+  // value may well be consumed — only statement-leading calls discard.
+  if (!statement_start) return;
+  std::size_t first = stripped.find_first_not_of(' ');
+  if (first == std::string::npos) return;
+  std::string trimmed = stripped.substr(first);
+
+  // True when the statement begins with `name(` or a namespace-qualified
+  // `ns::...::name(` — i.e. the call's value cannot be consumed.
+  auto starts_call = [&](const std::string& name) {
+    std::size_t pos = 0;
+    while (true) {
+      std::size_t id_end = pos;
+      while (id_end < trimmed.size() && ident_char(trimmed[id_end])) ++id_end;
+      if (trimmed.compare(id_end, 2, "::") != 0) break;
+      pos = id_end + 2;
+    }
+    if (trimmed.compare(pos, name.size(), name) != 0) return false;
+    std::size_t after = pos + name.size();
+    if (after < trimmed.size() && ident_char(trimmed[after])) return false;
+    std::size_t open = trimmed.find_first_not_of(' ', after);
+    return open != std::string::npos && trimmed[open] == '(';
+  };
+
+  // A bare "engine.run(...)" / "subroutine.run()" statement discards the
+  // RunResult as well.
+  bool method_run = false;
+  std::size_t run_at = find_word(trimmed, "run");
+  if (run_at != std::string::npos && run_at > 0 &&
+      (trimmed[run_at - 1] == '.' ||
+       (run_at > 1 && trimmed[run_at - 2] == '-' && trimmed[run_at - 1] == '>'))) {
+    std::size_t head_end = run_at - (trimmed[run_at - 1] == '.' ? 1 : 2);
+    bool head_is_ident = head_end > 0 && ident_char(trimmed[head_end - 1]);
+    std::size_t open = run_at + 3;
+    bool calls = open < trimmed.size() && trimmed[open] == '(';
+    // Only a *statement-leading* receiver counts as a discard.
+    std::size_t head_start = head_end;
+    while (head_start > 0 && ident_char(trimmed[head_start - 1])) --head_start;
+    method_run = head_is_ident && calls && head_start == 0;
+  }
+
+  bool discarded_phase = false;
+  std::string which;
+  for (const char* name : kPhaseCalls) {
+    if (starts_call(name)) {
+      discarded_phase = true;
+      which = name;
+      break;
+    }
+  }
+  if (method_run) {
+    discarded_phase = true;
+    which = "run";
+  }
+  if (!discarded_phase) return;
+  // Assignments / returns / accumulations never reach here because the line
+  // would not *start* with the call; "(void)" casts do not either.
+  out.push_back({path, line_no, "runresult-discard",
+                 "the RunResult (cost) of '" + which +
+                     "' is discarded: rounds vanish from the complexity "
+                     "accounting — accumulate it with += into the phase cost",
+                 raw});
+}
+
+}  // namespace
+
+std::vector<std::string> collect_unordered_names(const std::string& content) {
+  std::vector<std::string> names;
+  bool in_block_comment = false;
+  for (const std::string& raw : split_lines(content)) {
+    std::string line = strip_noise(raw, in_block_comment);
+    if (line.find("#include") != std::string::npos) continue;
+    std::size_t decl = line.find("unordered_map<");
+    if (decl == std::string::npos) decl = line.find("unordered_set<");
+    if (decl == std::string::npos) continue;
+    // The declared identifier follows the last '>' of the type on this line.
+    std::size_t close = line.rfind('>');
+    if (close == std::string::npos || close < decl) continue;
+    std::size_t start = close + 1;
+    if (start < line.size() && line[start] == '&') ++start;  // reference params
+    while (start < line.size() && line[start] == ' ') ++start;
+    std::size_t end = start;
+    while (end < line.size() && ident_char(line[end])) ++end;
+    if (end > start) names.push_back(line.substr(start, end - start));
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<LintDiagnostic> lint_source(
+    const std::string& path, const std::string& content, const LintConfig& config,
+    const std::vector<std::string>& extra_unordered_names) {
+  std::vector<std::string> names = collect_unordered_names(content);
+  names.insert(names.end(), extra_unordered_names.begin(), extra_unordered_names.end());
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+
+  std::vector<LintDiagnostic> diagnostics;
+  bool in_block_comment = false;
+  std::size_t line_no = 0;
+  char prev_end = ';';  // start of file begins a statement
+  for (const std::string& raw : split_lines(content)) {
+    ++line_no;
+    std::string stripped = strip_noise(raw, in_block_comment);
+    bool statement_start =
+        prev_end == ';' || prev_end == '{' || prev_end == '}' || prev_end == ':';
+    std::size_t last = stripped.find_last_not_of(' ');
+    if (last != std::string::npos) prev_end = stripped[last];
+    std::vector<LintDiagnostic> line_diags;
+    check_banned_random(path, stripped, line_no, raw, line_diags);
+    check_unordered_iter(path, stripped, line_no, raw, names, line_diags);
+    check_float_equal(path, stripped, line_no, raw, line_diags);
+    check_runresult_discard(path, stripped, line_no, raw, statement_start, line_diags);
+    for (LintDiagnostic& diag : line_diags) {
+      if (inline_allowed(raw, diag.rule)) continue;
+      if (config_allowed(config, diag)) continue;
+      diagnostics.push_back(std::move(diag));
+    }
+  }
+  return diagnostics;
+}
+
+LintResult lint_tree(const std::string& root, const LintConfig& config) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(root)) {
+    throw std::invalid_argument("lint_tree: no such directory: " + root);
+  }
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory()) {
+      std::string dir = it->path().filename().string();
+      if (dir == "build" || dir == ".git") it.disable_recursion_pending();
+      continue;
+    }
+    std::string ext = it->path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp") files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+
+  auto read_file = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  LintResult result;
+  for (const fs::path& file : files) {
+    std::string content = read_file(file);
+    std::vector<std::string> extra;
+    if (file.extension() == ".cpp") {
+      fs::path header = file;
+      header.replace_extension(".hpp");
+      if (fs::exists(header)) extra = collect_unordered_names(read_file(header));
+    }
+    auto diags = lint_source(file.generic_string(), content, config, extra);
+    result.diagnostics.insert(result.diagnostics.end(),
+                              std::make_move_iterator(diags.begin()),
+                              std::make_move_iterator(diags.end()));
+    ++result.files_scanned;
+  }
+  return result;
+}
+
+LintConfig load_allowlist(const std::string& path) {
+  LintConfig config;
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("load_allowlist: cannot read " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line.erase(0, line.find_first_not_of(" \t"));
+    std::size_t last = line.find_last_not_of(" \t\r");
+    if (last == std::string::npos) continue;
+    line.erase(last + 1);
+    config.allow.push_back(line);
+  }
+  return config;
+}
+
+}  // namespace qcongest::check

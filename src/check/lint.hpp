@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qcongest::check {
+
+/// qlint — repo-specific static checks the general-purpose tools cannot
+/// express. Four rules, each guarding a determinism or accounting contract
+/// of the reproduction (see DESIGN.md "Invariants & static analysis"):
+///
+///   banned-random      rand()/srand()/std::random_device/time(NULL) outside
+///                      src/util — all randomness must flow through the
+///                      seeded util::Rng or runs are not reproducible.
+///   unordered-iter     iteration over a std::unordered_{map,set} (range-for
+///                      or .begin()): the visit order is implementation-
+///                      defined, so anything it feeds — protocol messages,
+///                      samples, accumulated floats — silently varies across
+///                      standard libraries.
+///   float-equal        == / != against a floating-point literal inside
+///                      src/quantum or src/query; amplitudes carry rounding
+///                      error, compare within a tolerance.
+///   runresult-discard  a statement in src/framework that calls a phase
+///                      returning RunResult (or a *Result carrying .cost)
+///                      and drops the value — rounds vanish from the
+///                      accounting, the exact failure mode "Mind the O-tilde"
+///                      warns about.
+///
+/// Suppression: append `// qlint-allow(rule): reason` to the flagged line,
+/// or list `rule:path-substring[:line-substring]` in an allowlist file.
+
+struct LintDiagnostic {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  std::string line_text;  // the offending source line, for allowlist needles
+
+  std::string to_string() const {
+    return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+  }
+};
+
+struct LintConfig {
+  /// Entries "rule:path-substring" (allow everywhere in matching files) or
+  /// "rule:path-substring:line-substring" (allow only on matching lines).
+  /// "*" matches any rule or any path.
+  std::vector<std::string> allow;
+};
+
+/// Identifiers declared as std::unordered_{map,set} in `content` (heuristic,
+/// one declaration per line). Exposed so lint_tree can feed a header's
+/// member names into its implementation file.
+std::vector<std::string> collect_unordered_names(const std::string& content);
+
+/// Lint one translation unit. `extra_unordered_names` augments the names
+/// found in `content` itself (pass the paired header's names).
+std::vector<LintDiagnostic> lint_source(
+    const std::string& path, const std::string& content, const LintConfig& config = {},
+    const std::vector<std::string>& extra_unordered_names = {});
+
+struct LintResult {
+  std::vector<LintDiagnostic> diagnostics;
+  std::size_t files_scanned = 0;
+};
+
+/// Recursively lint every .cpp/.hpp under `root` (skipping build/
+/// directories), pairing each foo.cpp with its sibling foo.hpp for
+/// unordered-container member names. Results are sorted by (file, line).
+LintResult lint_tree(const std::string& root, const LintConfig& config = {});
+
+/// Parse an allowlist file: one entry per line, '#' starts a comment.
+LintConfig load_allowlist(const std::string& path);
+
+}  // namespace qcongest::check

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/check/invariant.hpp"
+
+namespace qcongest::quantum {
+class Statevector;
+class SparseStatevector;
+class Circuit;
+}  // namespace qcongest::quantum
+
+namespace qcongest::check {
+
+/// Quantum-layer invariants of the simulation contract (DESIGN.md §1): every
+/// public mutating operation leaves a statevector normalized, and every
+/// circuit the framework applies is unitary. Each check returns the
+/// violation (with a human-readable `where` provenance string) or nullopt.
+
+/// |norm - 1| <= tol. The contract tolerance is 1e-9.
+std::optional<Violation> check_state_norm(const quantum::Statevector& state,
+                                          const std::string& where, double tol = 1e-9);
+std::optional<Violation> check_state_norm(const quantum::SparseStatevector& state,
+                                          const std::string& where, double tol = 1e-9);
+
+/// Reconstructs the circuit's full matrix by simulating every basis state
+/// and checks U^dagger U = I entry-wise within tol. Exponential in qubits by
+/// construction — refuses (throws std::invalid_argument) above
+/// kMaxUnitarityQubits so it cannot be misused at scale.
+inline constexpr unsigned kMaxUnitarityQubits = 10;
+std::optional<Violation> check_circuit_unitary(const quantum::Circuit& circuit,
+                                               const std::string& where,
+                                               double tol = 1e-9);
+
+}  // namespace qcongest::check

@@ -5,6 +5,7 @@
 
 #include "src/net/reliable.hpp"
 #include "src/net/trace.hpp"
+#include "src/net/violation.hpp"
 
 namespace qcongest::net {
 
@@ -78,7 +79,8 @@ std::size_t Engine::edge_slot(NodeId from, NodeId to) const {
   const auto& adj = graph_->neighbors(from);
   auto it = std::find(adj.begin(), adj.end(), to);
   if (it == adj.end()) {
-    throw std::invalid_argument("Engine: send to non-neighbor");
+    throw CongestViolation(CongestViolation::Kind::kNonNeighborSend, current_pass_,
+                           from, to, /*words_attempted=*/1, bandwidth_);
   }
   return edge_slot_offset_[from] + static_cast<std::size_t>(it - adj.begin());
 }
@@ -125,9 +127,8 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
   }
   std::size_t slot = edge_slot(from, to);
   if (sent_this_round_[slot] >= bandwidth_) {
-    throw std::runtime_error(
-        "CONGEST bandwidth exceeded: a node sent more than B words over one "
-        "edge in one round");
+    throw CongestViolation(CongestViolation::Kind::kBandwidthExceeded, current_pass_,
+                           from, to, sent_this_round_[slot] + 1, bandwidth_);
   }
   ++sent_this_round_[slot];
   stats_.max_edge_words = std::max(stats_.max_edge_words, sent_this_round_[slot]);
@@ -141,9 +142,16 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
   } else {
     ++stats_.classical_words;
   }
+  if (observer_ != nullptr) {
+    observer_->on_send(current_pass_, from, to, word, sent_this_round_[slot]);
+  }
 
   if (!fault_active_) {
     next_inbox_[to].push_back(Message{from, word});
+    if (observer_ != nullptr) {
+      observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDelivered,
+                             /*corrupted=*/false, /*duplicated=*/false);
+    }
     return;
   }
 
@@ -153,24 +161,40 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
   std::size_t arrival_round = current_pass_ + 1;
   if (crashed_at(to, arrival_round)) {
     ++stats_.dropped_words;
+    if (observer_ != nullptr) {
+      observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDroppedCrashed,
+                             false, false);
+    }
     return;
   }
   const FaultRates& rates = edge_rates_[slot];
   if (fault_rng_.bernoulli(rates.drop)) {
     ++stats_.dropped_words;
+    if (observer_ != nullptr) {
+      observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDroppedLottery,
+                             false, false);
+    }
     return;
   }
   Word delivered = word;
+  bool corrupted = false;
   if (fault_rng_.bernoulli(rates.corrupt)) {
     corrupt_payload(delivered);
     ++stats_.corrupted_words;
+    corrupted = true;
   }
   next_inbox_[to].push_back(Message{from, delivered});
+  bool duplicated = false;
   if (fault_rng_.bernoulli(rates.duplicate)) {
     // The network, not the sender, duplicates: the extra copy is charged to
     // no edge budget and appears only in duplicated_words.
     next_inbox_[to].push_back(Message{from, delivered});
     ++stats_.duplicated_words;
+    duplicated = true;
+  }
+  if (observer_ != nullptr) {
+    observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDelivered,
+                           corrupted, duplicated);
   }
 }
 
@@ -197,6 +221,7 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
   stats_ = RunResult{};
   next_inbox_.assign(n, {});
   sent_this_round_.assign(edge_slot_offset_[n], 0);
+  if (observer_ != nullptr) observer_->on_run_begin(*this);
 
   std::vector<Context> contexts(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -240,6 +265,7 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
         !keep_alive_pending && !(fault_active_ && restart_pending(round))) {
       stats_.rounds = last_send_pass;
       stats_.completed = true;
+      if (observer_ != nullptr) observer_->on_run_end(stats_);
       return stats_;
     }
 
@@ -271,9 +297,11 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
     }
     sent_last_pass = stats_.messages > messages_before;
     if (sent_last_pass) last_send_pass = pass;
+    if (observer_ != nullptr) observer_->on_round_end(round);
   }
   stats_.rounds = last_send_pass;
   stats_.completed = false;
+  if (observer_ != nullptr) observer_->on_run_end(stats_);
   return stats_;
 }
 

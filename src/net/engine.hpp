@@ -13,6 +13,52 @@
 namespace qcongest::net {
 
 class Engine;
+struct RunResult;
+
+/// What the fault lottery decided for one admitted word.
+enum class DeliveryFate {
+  /// Placed in the receiver's next-round inbox.
+  kDelivered,
+  /// Lost to the per-link drop lottery.
+  kDroppedLottery,
+  /// Lost because the receiver is inside a crash window at arrival time.
+  kDroppedCrashed,
+};
+
+/// Passive tap on the engine's scheduling and delivery decisions, the hook
+/// the model-conformance verifier (src/check/verifier.hpp) hangs off.
+/// Observers must not mutate the engine or send messages; they see every
+/// admitted word, its fate, every retransmission note, and round/run
+/// boundaries — enough to re-derive all of RunResult independently and
+/// cross-check the engine's own accounting.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// A fresh run is starting (per-run observer state should reset).
+  virtual void on_run_begin(const Engine& engine) { (void)engine; }
+  /// A word passed bandwidth admission on (from, to) in `round`.
+  /// `edge_words` is the per-round count on that directed edge after this
+  /// send (so 1 <= edge_words <= bandwidth when the engine is honest).
+  virtual void on_send(std::size_t round, NodeId from, NodeId to, const Word& word,
+                       std::size_t edge_words) {
+    (void)round, (void)from, (void)to, (void)word, (void)edge_words;
+  }
+  /// The fate of the word just admitted by on_send. `corrupted` /
+  /// `duplicated` only apply to delivered words.
+  virtual void on_delivery(std::size_t round, NodeId from, NodeId to,
+                           DeliveryFate fate, bool corrupted, bool duplicated) {
+    (void)round, (void)from, (void)to, (void)fate, (void)corrupted, (void)duplicated;
+  }
+  /// The reliable transport re-sent a frame during `round`.
+  virtual void on_retransmission(std::size_t round) { (void)round; }
+  /// All programs have taken their turn for `round`.
+  virtual void on_round_end(std::size_t round) { (void)round; }
+  /// The run returned normally with the given final stats. Not called when
+  /// run() exits by exception — the caller that catches it decides what to
+  /// do with the partial observations.
+  virtual void on_run_end(const RunResult& stats) { (void)stats; }
+};
 
 /// Per-round, per-node view of the network. Programs may only touch their
 /// own id, their neighbor list, and their inbox — the CONGEST locality
@@ -199,7 +245,17 @@ class Engine {
   const RunResult& last_stats() const { return stats_; }
 
   /// Called by the reliable transport each time it re-sends a frame.
-  void note_retransmission() { ++stats_.retransmissions; }
+  void note_retransmission() {
+    ++stats_.retransmissions;
+    if (observer_ != nullptr) observer_->on_retransmission(current_pass_);
+  }
+
+  /// Attach a passive observer notified of every admitted send, delivery
+  /// fate, retransmission, and round/run boundary (nullptr detaches). The
+  /// observer must outlive every subsequent run. One observer per engine;
+  /// src/check/Verifier is the intended client.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+  EngineObserver* observer() const { return observer_; }
 
  private:
   friend class Context;
@@ -235,6 +291,7 @@ class Engine {
   std::vector<std::size_t> edge_slot_offset_;
   std::vector<bool> cut_side_;  // empty when no cut is tracked
   class Trace* trace_ = nullptr;
+  EngineObserver* observer_ = nullptr;
   RunResult stats_;
   NodeId current_sender_ = 0;
   std::size_t current_pass_ = 0;

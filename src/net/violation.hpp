@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "src/net/graph.hpp"
+
+namespace qcongest::net {
+
+/// A CONGEST model rule was broken by a protocol (or by the engine itself).
+/// Unlike a bare std::runtime_error, the violation carries full provenance —
+/// which rule, in which round, on which directed edge, and how far over the
+/// line the offender went — so the model-conformance verifier
+/// (src/check/verifier.hpp) can report it, and tests can assert on the
+/// specifics instead of matching message strings.
+class CongestViolation : public std::runtime_error {
+ public:
+  enum class Kind {
+    /// More than B words pushed into one directed edge in one round.
+    kBandwidthExceeded,
+    /// A send addressed to a node that is not a neighbor of the sender.
+    kNonNeighborSend,
+  };
+
+  CongestViolation(Kind kind, std::size_t round, NodeId from, NodeId to,
+                   std::size_t words_attempted, std::size_t budget)
+      : std::runtime_error(describe(kind, round, from, to, words_attempted, budget)),
+        kind_(kind),
+        round_(round),
+        from_(from),
+        to_(to),
+        words_attempted_(words_attempted),
+        budget_(budget) {}
+
+  Kind kind() const { return kind_; }
+  std::size_t round() const { return round_; }
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  /// Words the sender tried to place on the edge this round (the violating
+  /// send included).
+  std::size_t words_attempted() const { return words_attempted_; }
+  /// The per-edge per-round budget in force (the CONGEST B parameter).
+  std::size_t budget() const { return budget_; }
+
+  static std::string describe(Kind kind, std::size_t round, NodeId from, NodeId to,
+                              std::size_t words_attempted, std::size_t budget) {
+    std::string what;
+    switch (kind) {
+      case Kind::kBandwidthExceeded:
+        what = "CONGEST bandwidth exceeded";
+        break;
+      case Kind::kNonNeighborSend:
+        what = "CONGEST send to non-neighbor";
+        break;
+    }
+    what += ": round " + std::to_string(round) + ", edge " + std::to_string(from) +
+            " -> " + std::to_string(to) + ", words attempted " +
+            std::to_string(words_attempted) + ", budget " + std::to_string(budget);
+    return what;
+  }
+
+ private:
+  Kind kind_;
+  std::size_t round_;
+  NodeId from_;
+  NodeId to_;
+  std::size_t words_attempted_;
+  std::size_t budget_;
+};
+
+}  // namespace qcongest::net

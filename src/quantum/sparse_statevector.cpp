@@ -49,8 +49,7 @@ double SparseStatevector::fidelity(const SparseStatevector& other) const {
 void SparseStatevector::apply(const Gate1& gate, unsigned target) {
   check_qubit(target);
   BasisState mask = BasisState{1} << target;
-  std::unordered_map<BasisState, Amplitude> next;
-  next.reserve(amplitudes_.size() * 2);
+  std::map<BasisState, Amplitude> next;
   for (const auto& [basis, amp] : amplitudes_) {
     unsigned bit = (basis & mask) ? 1 : 0;
     Amplitude to_zero = gate(0, bit) * amp;
@@ -73,8 +72,7 @@ void SparseStatevector::apply_controlled(const Gate1& gate,
     control_mask |= BasisState{1} << c;
   }
   BasisState tmask = BasisState{1} << target;
-  std::unordered_map<BasisState, Amplitude> next;
-  next.reserve(amplitudes_.size() * 2);
+  std::map<BasisState, Amplitude> next;
   for (const auto& [basis, amp] : amplitudes_) {
     if ((basis & control_mask) != control_mask) {
       next[basis] += amp;
@@ -103,8 +101,7 @@ void SparseStatevector::apply_diagonal(
 
 void SparseStatevector::apply_permutation(
     const std::function<BasisState(BasisState)>& pi) {
-  std::unordered_map<BasisState, Amplitude> next;
-  next.reserve(amplitudes_.size());
+  std::map<BasisState, Amplitude> next;
   for (const auto& [basis, amp] : amplitudes_) {
     BasisState image = pi(basis);
     if (num_qubits_ < 64 && image >= (BasisState{1} << num_qubits_)) {

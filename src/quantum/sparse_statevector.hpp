@@ -1,7 +1,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/quantum/gates.hpp"
@@ -62,7 +62,10 @@ class SparseStatevector {
   void check_qubit(unsigned q) const;
 
   unsigned num_qubits_;
-  std::unordered_map<BasisState, Amplitude> amplitudes_;
+  // Ordered on purpose: iteration feeds measurement sampling and norm sums,
+  // so a hash-ordered container would make outcomes (and float rounding)
+  // depend on the standard library's hash — caught by qlint unordered-iter.
+  std::map<BasisState, Amplitude> amplitudes_;
 };
 
 /// Lemma 7's fan-out as an explicit circuit on the sparse simulator: copies

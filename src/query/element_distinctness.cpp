@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -89,7 +91,10 @@ std::vector<std::size_t> sample_marked_subset(const BatchOracle& oracle, std::si
   }
   // Constructive fallback: place one uniformly random colliding pair, fill
   // the rest uniformly. (Distribution of the *pair* is still uniform.)
-  std::unordered_map<Value, std::vector<std::size_t>> groups;
+  // Ordered containers: hash-ordered iteration here would make which pair
+  // the rng.index pick lands on — and the returned subset order — depend on
+  // the standard library's hash (qlint: unordered-iter).
+  std::map<Value, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < k; ++i) groups[oracle.peek(i)].push_back(i);
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
   for (const auto& [value, members] : groups) {
@@ -100,7 +105,7 @@ std::vector<std::size_t> sample_marked_subset(const BatchOracle& oracle, std::si
     }
   }
   auto [i, j] = pairs[rng.index(pairs.size())];
-  std::unordered_set<std::size_t> chosen{i, j};
+  std::set<std::size_t> chosen{i, j};
   while (chosen.size() < z) chosen.insert(rng.index(k));
   return {chosen.begin(), chosen.end()};
 }
@@ -119,8 +124,9 @@ std::vector<std::size_t> sample_marked_subset(const BatchOracle& oracle, std::si
 double collision_subset_fraction(const BatchOracle& oracle, std::size_t z,
                               util::Rng& rng) {
   const std::size_t k = oracle.domain_size();
-  std::unordered_map<Value, std::size_t> group_size;
-  group_size.reserve(k);
+  // Ordered so the fp summation order in `big`/`c` below is fixed across
+  // standard libraries (qlint: unordered-iter).
+  std::map<Value, std::size_t> group_size;
   for (std::size_t i = 0; i < k; ++i) ++group_size[oracle.peek(i)];
 
   std::vector<double> big;  // sizes of the groups with >= 2 members

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <set>
 
 #include "src/query/bbht.hpp"
 #include "src/query/grover_math.hpp"
@@ -43,7 +43,9 @@ std::optional<std::size_t> grover_find_one(BatchOracle& oracle, const MarkPredic
 std::vector<std::size_t> grover_find_all(BatchOracle& oracle, const MarkPredicate& pred,
                                          util::Rng& rng) {
   auto marked = collect_marked(oracle, pred);
-  std::unordered_set<std::size_t> remaining(marked.begin(), marked.end());
+  // Ordered so the subset handed to each search round is independent of the
+  // standard library's hash (qlint: unordered-iter).
+  std::set<std::size_t> remaining(marked.begin(), marked.end());
   std::vector<std::size_t> found;
 
   // Repeatedly search for a not-yet-found marked index. Every successful
@@ -54,7 +56,6 @@ std::vector<std::size_t> grover_find_all(BatchOracle& oracle, const MarkPredicat
   std::size_t cutoff = bbht_default_cutoff(oracle.domain_size(), oracle.parallelism());
   while (true) {
     std::vector<std::size_t> rem_sorted(remaining.begin(), remaining.end());
-    std::sort(rem_sorted.begin(), rem_sorted.end());
     auto outcome = bbht_subset_search(oracle, rem_sorted, rng, cutoff);
     if (!outcome) break;
     bool progress = false;

@@ -5,6 +5,7 @@
 #include "src/net/bfs.hpp"
 #include "src/net/engine.hpp"
 #include "src/net/generators.hpp"
+#include "src/net/violation.hpp"
 
 namespace qcongest::net {
 namespace {
@@ -82,7 +83,17 @@ TEST(Engine, BandwidthEnforced) {
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.push_back(std::make_unique<DoubleSend>());
   programs.push_back(std::make_unique<DoubleSend>());
-  EXPECT_THROW(engine.run(programs, 10), std::runtime_error);
+  try {
+    engine.run(programs, 10);
+    FAIL() << "over-budget send must throw CongestViolation";
+  } catch (const CongestViolation& v) {
+    EXPECT_EQ(v.kind(), CongestViolation::Kind::kBandwidthExceeded);
+    EXPECT_EQ(v.round(), 0u);
+    EXPECT_EQ(v.from(), 0u);
+    EXPECT_EQ(v.to(), 1u);
+    EXPECT_EQ(v.words_attempted(), 2u);
+    EXPECT_EQ(v.budget(), 1u);
+  }
 
   Engine wide(g, /*bandwidth_words=*/2);
   std::vector<std::unique_ptr<NodeProgram>> programs2;
@@ -101,7 +112,14 @@ TEST(Engine, SendToNonNeighborRejected) {
   Engine engine(g);
   std::vector<std::unique_ptr<NodeProgram>> programs;
   for (int i = 0; i < 3; ++i) programs.push_back(std::make_unique<BadSend>());
-  EXPECT_THROW(engine.run(programs, 10), std::invalid_argument);
+  try {
+    engine.run(programs, 10);
+    FAIL() << "non-neighbor send must throw CongestViolation";
+  } catch (const CongestViolation& v) {
+    EXPECT_EQ(v.kind(), CongestViolation::Kind::kNonNeighborSend);
+    EXPECT_EQ(v.from(), 0u);
+    EXPECT_EQ(v.to(), 2u);
+  }
 }
 
 TEST(Engine, QuantumWordsCounted) {

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/check/lint.hpp"
+
+namespace qcongest::check {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<LintDiagnostic>& diagnostics) {
+  std::vector<std::string> rules;
+  for (const auto& d : diagnostics) rules.push_back(d.rule);
+  return rules;
+}
+
+bool flags(const std::vector<LintDiagnostic>& diagnostics, const std::string& rule) {
+  auto rules = rules_of(diagnostics);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// --- banned-random -----------------------------------------------------------
+
+TEST(Qlint, FlagsRandOutsideUtil) {
+  auto d = lint_source("src/query/foo.cpp", "int x = rand() % 6;\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "banned-random");
+  EXPECT_EQ(d[0].line, 1u);
+}
+
+TEST(Qlint, FlagsRandomDeviceAndSrand) {
+  EXPECT_TRUE(flags(lint_source("src/net/foo.cpp", "std::random_device rd;\n"),
+                    "banned-random"));
+  EXPECT_TRUE(flags(lint_source("src/net/foo.cpp", "srand(42);\n"), "banned-random"));
+}
+
+TEST(Qlint, AllowsRandInsideUtil) {
+  EXPECT_TRUE(lint_source("src/util/rng.cpp", "std::random_device rd;\n").empty());
+}
+
+TEST(Qlint, IgnoresRandInCommentsAndStrings) {
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", "// rand() would be bad here\n").empty());
+  EXPECT_TRUE(lint_source("src/net/foo.cpp",
+                          "const char* s = \"rand() is banned\";\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/net/foo.cpp",
+                          "/* std::random_device is\n   banned */ int x;\n")
+                  .empty());
+}
+
+TEST(Qlint, WholeWordMatchOnly) {
+  // `operand()` and `my_rand()` must not be mistaken for rand().
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", "auto v = operand();\n").empty());
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", "auto v = my_rand();\n").empty());
+}
+
+// --- unordered-iter ----------------------------------------------------------
+
+TEST(Qlint, FlagsRangeForOverUnorderedMap) {
+  std::string source =
+      "std::unordered_map<int, int> counts;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : counts) {}\n"
+      "}\n";
+  auto d = lint_source("src/net/foo.cpp", source);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "unordered-iter");
+  EXPECT_EQ(d[0].line, 3u);
+}
+
+TEST(Qlint, FlagsBeginOnUnorderedSet) {
+  std::string source =
+      "std::unordered_set<int> seen;\n"
+      "auto it = seen.begin();\n";
+  EXPECT_TRUE(flags(lint_source("src/net/foo.cpp", source), "unordered-iter"));
+}
+
+TEST(Qlint, OrderedMapIterationClean) {
+  std::string source =
+      "std::map<int, int> counts;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : counts) {}\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
+TEST(Qlint, MembershipOnlyUseOfUnorderedClean) {
+  std::string source =
+      "std::unordered_set<int> seen;\n"
+      "bool f(int x) { return seen.count(x) > 0; }\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
+TEST(Qlint, HeaderMemberNamesCarryIntoImplementation) {
+  // The member is declared in the header; the iteration lives in the .cpp.
+  auto names = collect_unordered_names("std::unordered_map<K, V> amplitudes_;\n");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "amplitudes_");
+  std::string impl = "for (const auto& [b, a] : amplitudes_) {}\n";
+  EXPECT_TRUE(lint_source("src/quantum/foo.cpp", impl).empty());
+  EXPECT_TRUE(flags(lint_source("src/quantum/foo.cpp", impl, {}, names),
+                    "unordered-iter"));
+}
+
+// --- float-equal -------------------------------------------------------------
+
+TEST(Qlint, FlagsFloatEqualityInQuantumCode) {
+  auto d = lint_source("src/quantum/foo.cpp", "if (norm == 1.0) {}\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "float-equal");
+}
+
+TEST(Qlint, FlagsFloatInequalityInQueryCode) {
+  EXPECT_TRUE(flags(lint_source("src/query/foo.cpp", "if (eps != 0.5) {}\n"),
+                    "float-equal"));
+}
+
+TEST(Qlint, FloatComparisonOutsideQuantumScopeClean) {
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", "if (rate == 0.0) {}\n").empty());
+}
+
+TEST(Qlint, FloatToleranceComparisonClean) {
+  EXPECT_TRUE(
+      lint_source("src/quantum/foo.cpp", "if (std::abs(norm - 1.0) <= 1e-9) {}\n")
+          .empty());
+  EXPECT_TRUE(lint_source("src/quantum/foo.cpp", "if (count == 10) {}\n").empty());
+}
+
+// --- runresult-discard -------------------------------------------------------
+
+TEST(Qlint, FlagsDiscardedPhaseCall) {
+  auto d = lint_source("src/framework/foo.cpp",
+                       "void f(net::Engine& e) {\n"
+                       "  distribute_state(e, state);\n"
+                       "}\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "runresult-discard");
+  EXPECT_EQ(d[0].line, 2u);
+}
+
+TEST(Qlint, AccumulatedPhaseCallClean) {
+  EXPECT_TRUE(lint_source("src/framework/foo.cpp",
+                          "void f(net::Engine& e) {\n"
+                          "  auto cost = distribute_state(e, state);\n"
+                          "  total += zero_reflection(e, state);\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(Qlint, ContinuationLineOfAssignmentClean) {
+  // The call starts a line but not a statement: it is the RHS of an
+  // assignment broken across lines.
+  EXPECT_TRUE(lint_source("src/framework/foo.cpp",
+                          "void f(net::Engine& e) {\n"
+                          "  net::RunResult cost =\n"
+                          "      net::pipelined_convergecast(e, depth);\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(Qlint, PhaseCallOutsideFrameworkClean) {
+  EXPECT_TRUE(
+      lint_source("src/apps/foo.cpp", "  distribute_state(e, state);\n").empty());
+}
+
+// --- suppression -------------------------------------------------------------
+
+TEST(Qlint, InlineSuppressionSilencesRule) {
+  EXPECT_TRUE(lint_source("src/net/foo.cpp",
+                          "srand(42);  // qlint-allow(banned-random): fixture\n")
+                  .empty());
+  // Suppressing a different rule does not help.
+  EXPECT_TRUE(flags(lint_source("src/net/foo.cpp",
+                                "srand(42);  // qlint-allow(float-equal): wrong\n"),
+                    "banned-random"));
+}
+
+TEST(Qlint, AllowlistByRuleAndPath) {
+  LintConfig config;
+  config.allow.push_back("banned-random:src/net/legacy");
+  EXPECT_TRUE(lint_source("src/net/legacy_seed.cpp", "srand(42);\n", config).empty());
+  EXPECT_TRUE(
+      flags(lint_source("src/net/other.cpp", "srand(42);\n", config), "banned-random"));
+}
+
+TEST(Qlint, AllowlistWildcardAndLineNeedle) {
+  LintConfig wildcard;
+  wildcard.allow.push_back("*:src/net/foo.cpp");
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", "srand(42);\n", wildcard).empty());
+
+  LintConfig needle;
+  needle.allow.push_back("banned-random:src/net:srand(42)");
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", "srand(42);\n", needle).empty());
+  EXPECT_TRUE(
+      flags(lint_source("src/net/foo.cpp", "srand(7);\n", needle), "banned-random"));
+}
+
+TEST(Qlint, LoadAllowlistParsesEntriesAndComments) {
+  std::string path = testing::TempDir() + "qlint_allow_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "\n";
+    out << "banned-random:src/net/legacy\n";
+    out << "  unordered-iter:src/query  # trailing comment\n";
+  }
+  LintConfig config = load_allowlist(path);
+  ASSERT_EQ(config.allow.size(), 2u);
+  EXPECT_EQ(config.allow[0], "banned-random:src/net/legacy");
+  EXPECT_EQ(config.allow[1], "unordered-iter:src/query");
+  std::remove(path.c_str());
+}
+
+// --- repo gate ---------------------------------------------------------------
+
+TEST(Qlint, RepoSourceTreeIsClean) {
+  // The same gate CI runs: the shipped tree must lint clean with the shipped
+  // allowlist.
+  std::string root = std::string(QCONGEST_SOURCE_DIR) + "/src";
+  std::ifstream probe(root + "/check/lint.hpp");
+  if (!probe.good()) GTEST_SKIP() << "source tree not present at " << root;
+  LintResult result = lint_tree(root);
+  std::string all;
+  for (const auto& d : result.diagnostics) all += d.to_string() + "\n";
+  EXPECT_TRUE(result.diagnostics.empty()) << all;
+  EXPECT_GT(result.files_scanned, 50u);
+}
+
+}  // namespace
+}  // namespace qcongest::check

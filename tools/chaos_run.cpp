@@ -4,6 +4,7 @@
 //
 //   chaos_run [--nodes N] [--trials T] [--graph FAMILY]
 //             [--transport reliable|direct] [--seed S]
+//             [--verify] [--audit-determinism]
 //
 // families: tree | path | cycle | grid | random
 //
@@ -13,9 +14,18 @@
 // unprotected protocols fall over; with the default reliable transport it
 // measures what the ack/retransmit layer pays to hide the same faults.
 //
+// --verify attaches the model-conformance verifier (src/check) to every
+// engine of the sweep and fails the run if any CONGEST invariant broke.
+//
+// --audit-determinism replaces the sweep with the reproducibility gate:
+// every app runs twice from the same seed and the two delivery traces are
+// diffed byte-for-byte — any divergence (hash-order iteration, unseeded
+// randomness, uninitialized reads) fails the audit.
+//
 // Examples:
 //   chaos_run --nodes 15 --trials 9
 //   chaos_run --graph grid --nodes 16 --transport direct
+//   chaos_run --audit-determinism --graph random --nodes 12
 
 #include <algorithm>
 #include <cstdio>
@@ -27,11 +37,13 @@
 
 #include "src/apps/eccentricity.hpp"
 #include "src/apps/net_options.hpp"
+#include "src/check/verifier.hpp"
 #include "src/net/bfs.hpp"
 #include "src/net/fault.hpp"
 #include "src/net/generators.hpp"
 #include "src/net/multi_bfs.hpp"
 #include "src/net/pipeline.hpp"
+#include "src/net/trace.hpp"
 #include "src/util/rng.hpp"
 
 using namespace qcongest;
@@ -44,6 +56,8 @@ struct Options {
   std::string graph = "tree";
   net::Transport transport = net::Transport::kReliable;
   std::uint64_t seed = 1;
+  bool verify = false;
+  bool audit_determinism = false;
 };
 
 struct Outcome {
@@ -168,9 +182,21 @@ net::Graph make_graph(const Options& opt) {
 }
 
 bool parse(int argc, char** argv, Options& opt) {
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
-    std::string value = argv[i + 1];
+    if (flag == "--verify") {
+      opt.verify = true;
+      continue;
+    }
+    if (flag == "--audit-determinism") {
+      opt.audit_determinism = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+      return false;
+    }
+    std::string value = argv[++i];
     if (flag == "--nodes") {
       opt.nodes = static_cast<std::size_t>(std::stoul(value));
     } else if (flag == "--trials") {
@@ -202,6 +228,92 @@ double median(std::vector<double> v) {
   return v[v.size() / 2];
 }
 
+/// Canonical byte transcript of one run: every delivery in order plus the
+/// final cost counters. Two runs from the same seed must produce identical
+/// transcripts or the simulation is not reproducible.
+std::string transcript(const net::Trace& trace, const Outcome& out) {
+  std::string s;
+  s.reserve(trace.size() * 16 + 64);
+  for (const net::TraceEvent& e : trace.events()) {
+    s += std::to_string(e.round) + ' ' + std::to_string(e.from) + ' ' +
+         std::to_string(e.to) + ' ' + std::to_string(e.tag) + ' ' +
+         (e.quantum ? '1' : '0') + '\n';
+  }
+  s += "success=" + std::to_string(out.success ? 1 : 0);
+  s += " rounds=" + std::to_string(out.cost.rounds);
+  s += " messages=" + std::to_string(out.cost.messages);
+  s += " dropped=" + std::to_string(out.cost.dropped_words);
+  s += " corrupted=" + std::to_string(out.cost.corrupted_words);
+  s += " duplicated=" + std::to_string(out.cost.duplicated_words);
+  s += " retrans=" + std::to_string(out.cost.retransmissions);
+  s += '\n';
+  return s;
+}
+
+/// First line on which two transcripts diverge (1-based), for the report.
+std::size_t first_divergence(const std::string& a, const std::string& b) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a[i] != b[i]) return line;
+    if (a[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// Determinism auditor: run each app twice from the same seed (clean and
+/// under faults) and diff the delivery transcripts byte-for-byte.
+int run_determinism_audit(const net::Graph& graph, const Options& opt,
+                          const std::vector<AppEntry>& suite) {
+  const std::vector<double> rates = {0.0, 0.05};
+  std::printf("# determinism audit: graph=%s nodes=%zu transport=%s seed=%llu\n",
+              opt.graph.c_str(), graph.num_nodes(),
+              opt.transport == net::Transport::kReliable ? "reliable" : "direct",
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("%-12s %6s %10s %s\n", "app", "drop", "deliveries", "verdict");
+  int exit_code = 0;
+  for (const AppEntry& app : suite) {
+    for (double rate : rates) {
+      std::string runs[2];
+      std::size_t deliveries = 0;
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        apps::NetOptions options;
+        options.transport = opt.transport;
+        options.seed = opt.seed;
+        options.fault_plan.link.drop = rate;
+        options.fault_plan.link.corrupt = rate / 5.0;
+        options.fault_plan.link.duplicate = rate / 10.0;
+        options.fault_plan.seed = opt.seed * 1000;
+        net::Trace trace;
+        options.trace = &trace;
+        Outcome out;
+        try {
+          out = app.run(graph, options);
+        } catch (const std::exception& e) {
+          out.success = false;
+          out.cost = net::RunResult{};
+          trace.record(net::TraceEvent{0, 0, 0, -1, false});  // poison marker
+        }
+        deliveries = trace.size();
+        runs[repeat] = transcript(trace, out);
+      }
+      bool same = runs[0] == runs[1];
+      if (same) {
+        std::printf("%-12s %6.2f %10zu PASS\n", app.name, rate, deliveries);
+      } else {
+        std::printf("%-12s %6.2f %10zu FAIL (first divergence at line %zu)\n",
+                    app.name, rate, deliveries, first_divergence(runs[0], runs[1]));
+        exit_code = 1;
+      }
+    }
+  }
+  if (exit_code != 0) {
+    std::fprintf(stderr,
+                 "chaos_run: same-seed runs diverged — the simulation is not "
+                 "deterministic\n");
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -210,6 +322,7 @@ int main(int argc, char** argv) {
     std::puts(
         "usage: chaos_run [--nodes N] [--trials T] [--graph FAMILY]\n"
         "                 [--transport reliable|direct] [--seed S]\n"
+        "                 [--verify] [--audit-determinism]\n"
         "families: tree path cycle grid random");
     return 2;
   }
@@ -221,6 +334,10 @@ int main(int argc, char** argv) {
       {"multibfs", run_multibfs},     {"diameter", run_diameter},
       {"radius", run_radius},
   };
+
+  if (opt.audit_determinism) return run_determinism_audit(graph, opt, suite);
+
+  check::Verifier verifier;
   const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.1};
 
   std::printf("# graph=%s nodes=%zu trials=%zu transport=%s\n", opt.graph.c_str(),
@@ -238,6 +355,7 @@ int main(int argc, char** argv) {
       options.fault_plan.link.drop = rate;
       options.fault_plan.link.corrupt = rate / 5.0;
       options.fault_plan.link.duplicate = rate / 10.0;
+      if (opt.verify) options.observer = &verifier;
 
       std::size_t successes = 0;
       std::size_t retransmissions = 0;
@@ -250,6 +368,7 @@ int main(int argc, char** argv) {
           out = app.run(graph, options);
         } catch (const std::exception&) {
           out.success = false;  // a faulted run that tripped an invariant
+          verifier.abandon_run();
         }
         retransmissions += out.cost.retransmissions;
         if (out.success) {
@@ -277,6 +396,10 @@ int main(int argc, char** argv) {
   }
   if (exit_code != 0) {
     std::fprintf(stderr, "chaos_run: some app fell below 2/3 success\n");
+  }
+  if (opt.verify) {
+    std::printf("%s\n", verifier.report().c_str());
+    if (!verifier.ok()) exit_code = 1;
   }
   return exit_code;
 }

@@ -1,0 +1,105 @@
+// qlint — repo-specific static checks for the qcongest codebase.
+//
+//   qlint [--root DIR]... [--allow FILE] [--quiet] [--list-rules]
+//
+// Scans every .cpp/.hpp under the given roots (default: src) for the
+// determinism and accounting contracts the general-purpose tools cannot
+// express — banned randomness sources, iteration over unordered containers,
+// exact float equality in quantum code, discarded RunResults in framework
+// phases. See src/check/lint.hpp for the rule definitions and suppression
+// syntax. Exit status: 0 clean, 1 violations found, 2 usage error.
+//
+// Examples:
+//   qlint --root src --allow tools/qlint_allow.txt
+//   qlint --root src --root tools --quiet
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/check/lint.hpp"
+
+using qcongest::check::LintConfig;
+using qcongest::check::LintResult;
+
+namespace {
+
+const char* kRuleHelp =
+    "rules:\n"
+    "  banned-random      rand()/srand()/std::random_device/time(NULL) outside\n"
+    "                     src/util — randomness must flow through util::Rng\n"
+    "  unordered-iter     iteration over std::unordered_{map,set}: visit order\n"
+    "                     is implementation-defined (protocol nondeterminism)\n"
+    "  float-equal        ==/!= against a float literal in src/quantum, src/query\n"
+    "  runresult-discard  framework phase called without accumulating its cost\n"
+    "suppress with `// qlint-allow(rule): reason` or an allowlist entry\n"
+    "`rule:path-substring[:line-substring]`\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string allow_file;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--list-rules") {
+      std::fputs(kRuleHelp, stdout);
+      return 0;
+    }
+    if (flag == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if ((flag == "--root" || flag == "--allow") && i + 1 >= argc) {
+      std::fprintf(stderr, "qlint: %s needs a value\n", flag.c_str());
+      return 2;
+    }
+    if (flag == "--root") {
+      roots.push_back(argv[++i]);
+    } else if (flag == "--allow") {
+      allow_file = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: qlint [--root DIR]... [--allow FILE] [--quiet] "
+                   "[--list-rules]\n");
+      return 2;
+    }
+  }
+  if (roots.empty()) roots.push_back("src");
+
+  LintConfig config;
+  try {
+    if (!allow_file.empty()) config = qcongest::check::load_allowlist(allow_file);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qlint: %s\n", e.what());
+    return 2;
+  }
+
+  std::size_t files = 0;
+  std::size_t violations = 0;
+  for (const std::string& root : roots) {
+    LintResult result;
+    try {
+      result = qcongest::check::lint_tree(root, config);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "qlint: %s\n", e.what());
+      return 2;
+    }
+    files += result.files_scanned;
+    violations += result.diagnostics.size();
+    for (const auto& diag : result.diagnostics) {
+      std::printf("%s\n", diag.to_string().c_str());
+      if (!quiet) std::printf("    %s\n", diag.line_text.c_str());
+    }
+  }
+
+  if (violations == 0) {
+    std::printf("qlint: %zu files clean\n", files);
+    return 0;
+  }
+  std::fprintf(stderr, "qlint: %zu violation(s) in %zu files scanned\n", violations,
+               files);
+  return 1;
+}
