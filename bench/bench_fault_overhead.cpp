@@ -45,15 +45,20 @@ void BM_FaultOverheadBfs(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(1));
   net::Graph g = net::binary_tree(n);
 
+  // Per-trial seeds derive from the trial index, so median_of can run the
+  // trials concurrently (QCONGEST_BENCH_THREADS) with unchanged results.
   double rounds = 0, retrans = 0;
+  std::vector<double> trial_retrans(5, 0.0);
   for (auto _ : state) {
-    std::uint64_t seed = 1;
-    rounds = bench::median_of(5, [&] {
-      net::Engine engine = make_engine(g, rate_permille, seed++);
+    rounds = bench::median_of(5, [&](int t) {
+      net::Engine engine =
+          make_engine(g, rate_permille, static_cast<std::uint64_t>(t) + 1);
       net::BfsTree tree = net::build_bfs_tree(engine, 0);
-      retrans = static_cast<double>(tree.cost.retransmissions);
+      trial_retrans[static_cast<std::size_t>(t)] =
+          static_cast<double>(tree.cost.retransmissions);
       return static_cast<double>(tree.cost.rounds);
     });
+    retrans = trial_retrans[trial_retrans.size() / 2];
   }
   net::Engine clean_engine = make_engine(g, 0.0, 1);
   double clean = static_cast<double>(net::build_bfs_tree(clean_engine, 0).cost.rounds);
@@ -79,15 +84,18 @@ void BM_FaultOverheadDowncast(benchmark::State& state) {
   std::iota(payload.begin(), payload.end(), 1);
 
   double rounds = 0, retrans = 0;
+  std::vector<double> trial_retrans(5, 0.0);
   for (auto _ : state) {
-    std::uint64_t seed = 1;
-    rounds = bench::median_of(5, [&] {
-      net::Engine engine = make_engine(g, rate_permille, seed++);
+    rounds = bench::median_of(5, [&](int t) {
+      net::Engine engine =
+          make_engine(g, rate_permille, static_cast<std::uint64_t>(t) + 1);
       net::BfsTree tree = net::build_bfs_tree(engine, 0);
       auto down = net::pipelined_downcast(engine, tree, payload, /*quantum=*/false);
-      retrans = static_cast<double>(down.cost.retransmissions);
+      trial_retrans[static_cast<std::size_t>(t)] =
+          static_cast<double>(down.cost.retransmissions);
       return static_cast<double>(down.cost.rounds);
     });
+    retrans = trial_retrans[trial_retrans.size() / 2];
   }
   net::Engine clean_engine = make_engine(g, 0.0, 1);
   net::BfsTree clean_tree = net::build_bfs_tree(clean_engine, 0);

@@ -73,14 +73,18 @@ void BM_ParallelismSweep(benchmark::State& state) {
   // sweep p. Total rounds = b(p) * batch_cost(p) bottoms out near p ~ D.
   const auto p = static_cast<std::size_t>(state.range(0));
   const std::size_t n = 33, k = 4096;
-  util::Rng rng(3);
   net::Graph g = net::path_graph(n);  // D = 32
-  net::Engine engine(g, 1, 1);
-  net::BfsTree tree = net::build_bfs_tree(engine, 0);
 
+  // Trials are fully independent — own engine, own RNG forked from the
+  // trial index — so median_of may fan them out across
+  // QCONGEST_BENCH_THREADS workers without changing the reported median.
   double measured = 0, batches = 0;
+  std::vector<double> trial_batches(7, 0.0);
   for (auto _ : state) {
-    measured = bench::median_of(7, [&] {
+    measured = bench::median_of(7, [&](int t) {
+      util::Rng rng(3 + static_cast<std::uint64_t>(t));
+      net::Engine engine(g, 1, 1);
+      net::BfsTree tree = net::build_bfs_tree(engine, 0);
       std::vector<std::vector<query::Value>> data(n,
                                                   std::vector<query::Value>(k, 0));
       for (std::size_t j = 0; j < k; ++j) {
@@ -88,9 +92,11 @@ void BM_ParallelismSweep(benchmark::State& state) {
       }
       framework::DistributedOracle oracle(engine, tree, sum_config(k, p, 16), data);
       (void)query::minfind(oracle, rng);
-      batches = static_cast<double>(oracle.ledger().batches);
+      trial_batches[static_cast<std::size_t>(t)] =
+          static_cast<double>(oracle.ledger().batches);
       return static_cast<double>(oracle.total_cost().rounds);
     });
+    batches = trial_batches[trial_batches.size() / 2];
   }
   state.counters["rounds"] = measured;
   state.counters["batches"] = batches;

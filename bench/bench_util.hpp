@@ -1,18 +1,45 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "src/util/thread_pool.hpp"
+
 namespace qcongest::bench {
+
+/// Trial-level parallelism knob for median_of: QCONGEST_BENCH_THREADS in the
+/// environment (default 1 = serial). One process-wide pool, sized once.
+inline util::ThreadPool& trial_pool() {
+  static util::ThreadPool pool([] {
+    const char* env = std::getenv("QCONGEST_BENCH_THREADS");
+    long threads = env != nullptr ? std::strtol(env, nullptr, 10) : 1;
+    return threads > 1 ? static_cast<std::size_t>(threads) : std::size_t{1};
+  }());
+  return pool;
+}
 
 /// Median of `trials` runs of `f` (each returning a measured quantity).
 inline double median_of(int trials, const std::function<double()>& f) {
   std::vector<double> values;
   values.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) values.push_back(f());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// Indexed overload: trial t computes f(t), and independent trials fan out
+/// across trial_pool() (QCONGEST_BENCH_THREADS). Each trial must be
+/// self-contained — build its own engine and fork its own RNG from t — so
+/// the reported median is the same for any thread count.
+inline double median_of(int trials, const std::function<double(int)>& f) {
+  std::vector<double> values(static_cast<std::size_t>(trials), 0.0);
+  trial_pool().parallel_for(values.size(), [&](std::size_t t) {
+    values[t] = f(static_cast<int>(t));
+  });
   std::sort(values.begin(), values.end());
   return values[values.size() / 2];
 }

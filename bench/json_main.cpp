@@ -1,0 +1,104 @@
+// Shared entry point for every benchmark binary: runs the registered
+// benchmarks with the usual console output, then emits a machine-readable
+// BENCH_<binary>.json next to the working directory (override the directory
+// with QCONGEST_BENCH_JSON_DIR). The JSON carries, per benchmark run, the
+// wall-clock per iteration plus every user counter (measured / bound /
+// ratio from bench::report), which is what tools/perf_gate consumes in the
+// CI perf-smoke job.
+//
+// This replaces benchmark::benchmark_main because the library version we
+// build against has no per-run name hook usable from inside a benchmark
+// body; a reporter subclass is the supported way to see final run results.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop control chars
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Console output as usual, plus a copy of every finished run for the JSON
+/// dump after the session.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> collected;
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) collected.push_back(run);
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
+std::string binary_name(const char* argv0) {
+  std::string path = argv0 != nullptr ? argv0 : "bench";
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+void write_json(const std::string& binary,
+                const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  const char* dir = std::getenv("QCONGEST_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "");
+  path += "BENCH_" + binary + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out.precision(12);
+  out << "{\n  \"binary\": \"" << json_escape(binary) << "\",\n";
+  out << "  \"benchmarks\": [\n";
+  bool first = true;
+  for (const auto& run : runs) {
+    if (run.error_occurred) continue;
+    if (!first) out << ",\n";
+    first = false;
+    const double iterations = run.iterations > 0
+                                  ? static_cast<double>(run.iterations)
+                                  : 1.0;
+    out << "    {\n";
+    out << "      \"name\": \"" << json_escape(run.benchmark_name()) << "\",\n";
+    out << "      \"iterations\": " << run.iterations << ",\n";
+    out << "      \"real_time_ns\": " << run.real_accumulated_time * 1e9 / iterations
+        << ",\n";
+    out << "      \"cpu_time_ns\": " << run.cpu_accumulated_time * 1e9 / iterations;
+    for (const auto& [name, counter] : run.counters) {
+      out << ",\n      \"" << json_escape(name) << "\": " << counter.value;
+    }
+    out << "\n    }";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string binary = binary_name(argc > 0 ? argv[0] : nullptr);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_json(binary, reporter.collected);
+  benchmark::Shutdown();
+  return 0;
+}

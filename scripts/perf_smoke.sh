@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf-smoke gate: run a small pinned benchmark subset, dump BENCH_*.json
+# (bench/json_main.cpp), and compare against the committed baselines in
+# bench/baselines/ with tools/perf_gate. The gate fails on a >25% wall-clock
+# regression or on ANY drift in a deterministic counter (round counts,
+# ledger totals) — the latter is machine-independent, so the job stays
+# meaningful even when the CI runner is faster than the machine that
+# recorded the baselines.
+#
+# Usage:
+#   scripts/perf_smoke.sh [build_dir]             # gate against baselines
+#   scripts/perf_smoke.sh [build_dir] --record    # re-record the baselines
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+MODE=${2:-check}
+BASELINE_DIR=bench/baselines
+
+# The pinned subset: one framework batch-cost point, the two interesting
+# parallelism-sweep points (p=1 serial-engine hot path, p=32 ~ diameter),
+# and the clean + faulty BFS rows of the reliable-transport overhead bench.
+FRAMEWORK_FILTER='BM_BatchCost/n:64/k:1024/p:8/q:10|BM_ParallelismSweep/p:(1|32)/'
+FAULT_FILTER='BM_FaultOverheadBfs/drop_permille:(0|50)/n:31'
+
+OUT_DIR=$(mktemp -d)
+trap 'rm -rf "${OUT_DIR}"' EXIT
+export QCONGEST_BENCH_JSON_DIR="${OUT_DIR}"
+
+"${BUILD_DIR}/bench/bench_framework" --benchmark_filter="${FRAMEWORK_FILTER}"
+"${BUILD_DIR}/bench/bench_fault_overhead" --benchmark_filter="${FAULT_FILTER}"
+
+if [ "${MODE}" = "--record" ]; then
+  mkdir -p "${BASELINE_DIR}"
+  cp "${OUT_DIR}"/BENCH_*.json "${BASELINE_DIR}/"
+  echo "perf_smoke: baselines re-recorded into ${BASELINE_DIR}/"
+  exit 0
+fi
+
+status=0
+for baseline in "${BASELINE_DIR}"/BENCH_*.json; do
+  name=$(basename "${baseline}")
+  if ! "${BUILD_DIR}/tools/perf_gate" "${baseline}" "${OUT_DIR}/${name}"; then
+    status=1
+  fi
+done
+exit "${status}"

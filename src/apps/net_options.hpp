@@ -34,6 +34,10 @@ struct NetOptions {
   /// model-conformance verifier (src/check/verifier.hpp) is the intended
   /// client. Must outlive every run of the configured engine.
   net::EngineObserver* observer = nullptr;
+  /// Worker threads for the engine's deterministic sharded round execution
+  /// (Engine::set_threads). 1 = serial; any value produces byte-identical
+  /// runs. No-op under Transport::kReliable.
+  std::size_t threads = 1;
 
   /// Apply cut tracking, the fault plan, the transport, and any trace /
   /// observer taps to an engine (bandwidth and seed are constructor
@@ -44,6 +48,7 @@ struct NetOptions {
     engine.set_transport(transport, reliable_params);
     engine.set_trace(trace);
     engine.set_observer(observer);
+    engine.set_threads(threads);
   }
 };
 

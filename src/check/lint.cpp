@@ -181,6 +181,47 @@ void check_banned_random(const std::string& path, const std::string& stripped,
   }
 }
 
+// --- Rule: raw-thread ------------------------------------------------------
+
+const char* kThreadTokens[] = {"std::thread", "std::jthread", "std::async"};
+
+void check_raw_thread(const std::string& path, const std::string& stripped,
+                      std::size_t line_no, const std::string& raw,
+                      std::vector<LintDiagnostic>& out) {
+  // The pool is the one blessed home for raw threads: it owns shard
+  // determinism and exception propagation, so ad-hoc std::thread elsewhere
+  // would bypass both.
+  if (path_contains(path, "src/util/thread_pool")) return;
+  auto flag = [&](const std::string& what) {
+    out.push_back({path, line_no, "raw-thread",
+                   what + ": concurrency must go through util::ThreadPool, which "
+                         "owns shard scheduling, exception propagation, and the "
+                         "determinism contract (see DESIGN.md)",
+                   raw});
+  };
+  for (const char* token : kThreadTokens) {
+    std::size_t at = stripped.find(token);
+    if (at == std::string::npos) continue;
+    // Whole token only: skip when the match merely prefixes a longer name
+    // (an identifier continues, or a nested name like std::thread::id —
+    // reading the id type does not spawn anything).
+    std::size_t end = at + std::string(token).size();
+    if (end < stripped.size() && ident_char(stripped[end])) continue;
+    if (end + 1 < stripped.size() && stripped[end] == ':' && stripped[end + 1] == ':') {
+      continue;
+    }
+    flag(std::string("'") + token + "'");
+    return;
+  }
+  std::size_t at = stripped.find(".detach(");
+  if (at == std::string::npos) {
+    at = stripped.find("->detach(");
+  }
+  if (at != std::string::npos) {
+    flag("'.detach()'");
+  }
+}
+
 // --- Rule: unordered-iter --------------------------------------------------
 
 void check_unordered_iter(const std::string& path, const std::string& stripped,
@@ -394,6 +435,7 @@ std::vector<LintDiagnostic> lint_source(
     if (last != std::string::npos) prev_end = stripped[last];
     std::vector<LintDiagnostic> line_diags;
     check_banned_random(path, stripped, line_no, raw, line_diags);
+    check_raw_thread(path, stripped, line_no, raw, line_diags);
     check_unordered_iter(path, stripped, line_no, raw, names, line_diags);
     check_float_equal(path, stripped, line_no, raw, line_diags);
     check_runresult_discard(path, stripped, line_no, raw, statement_start, line_diags);

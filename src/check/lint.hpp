@@ -7,12 +7,17 @@
 namespace qcongest::check {
 
 /// qlint — repo-specific static checks the general-purpose tools cannot
-/// express. Four rules, each guarding a determinism or accounting contract
+/// express. Five rules, each guarding a determinism or accounting contract
 /// of the reproduction (see DESIGN.md "Invariants & static analysis"):
 ///
 ///   banned-random      rand()/srand()/std::random_device/time(NULL) outside
 ///                      src/util — all randomness must flow through the
 ///                      seeded util::Rng or runs are not reproducible.
+///   raw-thread         std::thread / std::jthread / std::async / .detach()
+///                      outside src/util/thread_pool — ad-hoc threads bypass
+///                      the pool's shard scheduling and exception discipline,
+///                      the two things the deterministic parallel engine
+///                      relies on.
 ///   unordered-iter     iteration over a std::unordered_{map,set} (range-for
 ///                      or .begin()): the visit order is implementation-
 ///                      defined, so anything it feeds — protocol messages,

@@ -1,7 +1,9 @@
 #include "src/net/engine.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
+#include <utility>
 
 #include "src/net/reliable.hpp"
 #include "src/net/trace.hpp"
@@ -46,18 +48,64 @@ void Engine::set_fault_plan(FaultPlan plan) {
   fault_active_ = fault_plan_.active();
   edge_rates_.clear();
   crash_schedule_.clear();
+  crash_nodes_.clear();
+  restart_windows_.clear();
+  restart_prefix_max_.clear();
+  edge_fault_rngs_.clear();
   if (!fault_active_) return;
 
-  edge_rates_.assign(edge_slot_offset_[graph_->num_nodes()], fault_plan_.link);
+  const std::size_t n = graph_->num_nodes();
+  edge_rates_.assign(edge_slot_offset_[n], fault_plan_.link);
   for (const auto& [edge, rates] : fault_plan_.edge_overrides) {
     if (!graph_->has_edge(edge.first, edge.second)) {
       throw std::invalid_argument("FaultPlan: override on a non-edge");
     }
     edge_rates_[edge_slot(edge.first, edge.second)] = rates;
   }
-  crash_schedule_.assign(graph_->num_nodes(), {});
-  for (const CrashEvent& c : fault_plan_.crashes) crash_schedule_[c.node].push_back(c);
-  fault_rng_ = util::Rng(fault_plan_.seed);
+
+  crash_schedule_.assign(n, {});
+  for (const CrashEvent& c : fault_plan_.crashes) {
+    if (crash_schedule_[c.node].empty()) crash_nodes_.push_back(c.node);
+    crash_schedule_[c.node].push_back(c);
+    if (c.restart_round != CrashEvent::kNeverRestarts) {
+      restart_windows_.emplace_back(c.crash_round, c.restart_round);
+    }
+  }
+  std::sort(crash_nodes_.begin(), crash_nodes_.end());
+  // Per-node events sorted by crash start, with restart_round replaced by a
+  // running max: "crashed at r" becomes one binary search for the last
+  // window starting at or before r. The running max keeps the answer
+  // correct even for overlapping windows (equivalent to OR-ing them all).
+  for (auto& events : crash_schedule_) {
+    std::sort(events.begin(), events.end(),
+              [](const CrashEvent& a, const CrashEvent& b) {
+                return a.crash_round < b.crash_round;
+              });
+    std::size_t running = 0;
+    for (CrashEvent& c : events) {
+      running = std::max(running, c.restart_round);
+      c.restart_round = running;
+    }
+  }
+  // Same trick globally for restart_pending: finite-restart windows sorted
+  // by crash start plus a prefix max of restart rounds.
+  std::sort(restart_windows_.begin(), restart_windows_.end());
+  restart_prefix_max_.reserve(restart_windows_.size());
+  std::size_t running = 0;
+  for (const auto& [crash_round, restart_round] : restart_windows_) {
+    running = std::max(running, restart_round);
+    restart_prefix_max_.push_back(running);
+  }
+
+  // One independent lottery stream per directed edge, forked in slot order
+  // from the plan seed. An edge's draws then depend only on its own traffic
+  // order, never on how sends across edges interleave — the property that
+  // keeps faulty runs byte-identical between the serial and sharded paths.
+  util::Rng base(fault_plan_.seed);
+  edge_fault_rngs_.reserve(edge_slot_offset_[n]);
+  for (std::size_t s = 0; s < edge_slot_offset_[n]; ++s) {
+    edge_fault_rngs_.push_back(base.fork());
+  }
 }
 
 void Engine::clear_fault_plan() {
@@ -65,6 +113,10 @@ void Engine::clear_fault_plan() {
   fault_active_ = false;
   edge_rates_.clear();
   crash_schedule_.clear();
+  crash_nodes_.clear();
+  restart_windows_.clear();
+  restart_prefix_max_.clear();
+  edge_fault_rngs_.clear();
 }
 
 void Engine::set_transport(Transport transport, ReliableParams params) {
@@ -75,42 +127,51 @@ void Engine::set_transport(Transport transport, ReliableParams params) {
   reliable_params_ = params;
 }
 
+void Engine::set_threads(std::size_t threads) {
+  threads_ = threads == 0 ? 1 : threads;
+  if (threads_ == 1) pool_.reset();
+}
+
 std::size_t Engine::edge_slot(NodeId from, NodeId to) const {
-  const auto& adj = graph_->neighbors(from);
-  auto it = std::find(adj.begin(), adj.end(), to);
-  if (it == adj.end()) {
+  std::size_t index = graph_->neighbor_index(from, to);
+  if (index == kUnreachable) {
     throw CongestViolation(CongestViolation::Kind::kNonNeighborSend, current_pass_,
                            from, to, /*words_attempted=*/1, bandwidth_);
   }
-  return edge_slot_offset_[from] + static_cast<std::size_t>(it - adj.begin());
+  return edge_slot_offset_[from] + index;
 }
 
 bool Engine::crashed_at(NodeId node, std::size_t round) const {
   if (crash_schedule_.empty()) return false;
-  for (const CrashEvent& c : crash_schedule_[node]) {
-    if (round >= c.crash_round && round < c.restart_round) return true;
-  }
-  return false;
+  const auto& events = crash_schedule_[node];
+  auto it = std::upper_bound(events.begin(), events.end(), round,
+                             [](std::size_t r, const CrashEvent& c) {
+                               return r < c.crash_round;
+                             });
+  if (it == events.begin()) return false;
+  // restart_round holds the running max over all windows starting earlier
+  // (see set_fault_plan), so this single check covers them all.
+  return round < std::prev(it)->restart_round;
 }
 
 bool Engine::restart_pending(std::size_t round) const {
-  if (crash_schedule_.empty()) return false;
-  for (const auto& events : crash_schedule_) {
-    for (const CrashEvent& c : events) {
-      if (c.restart_round == CrashEvent::kNeverRestarts) continue;
-      // <= restart_round: the node must get its first post-outage round
-      // before quiescence may end the run, or a scheduled restart could be
-      // silently skipped.
-      if (round >= c.crash_round && round <= c.restart_round) return true;
-    }
-  }
-  return false;
+  if (restart_windows_.empty()) return false;
+  // Windows with crash_round <= round are the prefix [begin, it).
+  auto it = std::upper_bound(
+      restart_windows_.begin(), restart_windows_.end(),
+      std::make_pair(round, static_cast<std::size_t>(-1)));
+  if (it == restart_windows_.begin()) return false;
+  std::size_t idx = static_cast<std::size_t>(it - restart_windows_.begin()) - 1;
+  // <= restart_round: the node must get its first post-outage round before
+  // quiescence may end the run, or a scheduled restart could be silently
+  // skipped.
+  return restart_prefix_max_[idx] >= round;
 }
 
-void Engine::corrupt_payload(Word& word) {
+void Engine::corrupt_payload(Word& word, util::Rng& rng) {
   // Flip exactly one uniformly random bit of the 128 payload bits. The tag
   // is never corrupted (headers are assumed protected by heavier coding).
-  std::size_t bit = fault_rng_.index(128);
+  std::size_t bit = rng.index(128);
   auto flip = [](std::int64_t v, unsigned b) {
     return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) ^ (1ULL << b));
   };
@@ -121,17 +182,37 @@ void Engine::corrupt_payload(Word& word) {
   }
 }
 
-void Engine::deliver(NodeId from, NodeId to, Word word) {
-  if (from != current_sender_) {
-    throw std::logic_error("Engine: context used outside its node's turn");
-  }
+std::size_t Engine::admit(NodeId from, NodeId to) {
   std::size_t slot = edge_slot(from, to);
   if (sent_this_round_[slot] >= bandwidth_) {
     throw CongestViolation(CongestViolation::Kind::kBandwidthExceeded, current_pass_,
                            from, to, sent_this_round_[slot] + 1, bandwidth_);
   }
   ++sent_this_round_[slot];
-  stats_.max_edge_words = std::max(stats_.max_edge_words, sent_this_round_[slot]);
+  return slot;
+}
+
+void Engine::deliver(NodeId from, NodeId to, Word word) {
+  if (parallel_pass_) {
+    // Shard path: admission (bandwidth enforcement) happens here in the
+    // sender's shard — each directed edge's budget is touched only by its
+    // own sender, so this is race-free — while everything observable
+    // (stats, trace, observer, fault lottery, inbox push) waits for the
+    // canonical-order merge on the engine thread.
+    std::size_t slot = admit(from, to);
+    outbox_[from].push_back(PendingSend{to, word, slot, sent_this_round_[slot]});
+    return;
+  }
+  if (from != current_sender_) {
+    throw std::logic_error("Engine: context used outside its node's turn");
+  }
+  std::size_t slot = admit(from, to);
+  commit(from, to, word, slot, sent_this_round_[slot]);
+}
+
+void Engine::commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
+                    std::size_t edge_words) {
+  stats_.max_edge_words = std::max(stats_.max_edge_words, edge_words);
   if (!cut_side_.empty() && cut_side_[from] != cut_side_[to]) ++stats_.cut_words;
   if (trace_ != nullptr) {
     trace_->record(TraceEvent{current_pass_, from, to, word.tag, word.quantum});
@@ -143,11 +224,15 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
     ++stats_.classical_words;
   }
   if (observer_ != nullptr) {
-    observer_->on_send(current_pass_, from, to, word, sent_this_round_[slot]);
+    observer_->on_send(current_pass_, from, to, word, edge_words);
   }
 
   if (!fault_active_) {
+    if (contexts_[to].halted_) {
+      throw std::logic_error("Engine: message delivered to a halted node");
+    }
     next_inbox_[to].push_back(Message{from, word});
+    delivered_any_ = true;
     if (observer_ != nullptr) {
       observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDelivered,
                              /*corrupted=*/false, /*duplicated=*/false);
@@ -158,8 +243,7 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
   // Fault lottery. Sends are counted above regardless of fate, so a plan
   // with all-zero rates leaves every legacy counter byte-identical
   // (Rng::bernoulli(0) draws nothing from the fault stream).
-  std::size_t arrival_round = current_pass_ + 1;
-  if (crashed_at(to, arrival_round)) {
+  if (crashed_arrival_[to] != 0) {
     ++stats_.dropped_words;
     if (observer_ != nullptr) {
       observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDroppedCrashed,
@@ -168,7 +252,8 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
     return;
   }
   const FaultRates& rates = edge_rates_[slot];
-  if (fault_rng_.bernoulli(rates.drop)) {
+  util::Rng& lottery = edge_fault_rngs_[slot];
+  if (lottery.bernoulli(rates.drop)) {
     ++stats_.dropped_words;
     if (observer_ != nullptr) {
       observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDroppedLottery,
@@ -178,14 +263,18 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
   }
   Word delivered = word;
   bool corrupted = false;
-  if (fault_rng_.bernoulli(rates.corrupt)) {
-    corrupt_payload(delivered);
+  if (lottery.bernoulli(rates.corrupt)) {
+    corrupt_payload(delivered, lottery);
     ++stats_.corrupted_words;
     corrupted = true;
   }
+  if (contexts_[to].halted_) {
+    throw std::logic_error("Engine: message delivered to a halted node");
+  }
   next_inbox_[to].push_back(Message{from, delivered});
+  delivered_any_ = true;
   bool duplicated = false;
-  if (fault_rng_.bernoulli(rates.duplicate)) {
+  if (lottery.bernoulli(rates.duplicate)) {
     // The network, not the sender, duplicates: the extra copy is charged to
     // no edge budget and appears only in duplicated_words.
     next_inbox_[to].push_back(Message{from, delivered});
@@ -219,17 +308,45 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
     throw std::invalid_argument("Engine::run: one program per node required");
   }
   stats_ = RunResult{};
-  next_inbox_.assign(n, {});
-  sent_this_round_.assign(edge_slot_offset_[n], 0);
-  if (observer_ != nullptr) observer_->on_run_begin(*this);
 
-  std::vector<Context> contexts(n);
-  for (NodeId v = 0; v < n; ++v) {
-    contexts[v].engine_ = this;
-    contexts[v].id_ = v;
-    contexts[v].rng_ = &node_rngs_[v];
+  // The reliable transport's link adapters mutate shared engine state from
+  // inside on_round (note_retransmission), so its runs stay serial; see
+  // DESIGN.md "Execution model".
+  const bool parallel = threads_ > 1 && transport_ == Transport::kDirect && n > 1;
+  if (parallel && (pool_ == nullptr || pool_->threads() != threads_)) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
   }
-  std::vector<bool> was_crashed(fault_active_ ? n : 0, false);
+
+  // All per-run buffers persist across passes and runs: inner vectors are
+  // clear()ed (capacity retained), so the steady-state hot loop allocates
+  // nothing.
+  inbox_.resize(n);
+  next_inbox_.resize(n);
+  for (auto& box : inbox_) box.clear();
+  for (auto& box : next_inbox_) box.clear();
+  sent_this_round_.assign(edge_slot_offset_[n], 0);
+  contexts_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    Context& ctx = contexts_[v];
+    ctx.engine_ = this;
+    ctx.id_ = v;
+    ctx.round_ = 0;
+    ctx.rng_ = &node_rngs_[v];
+    ctx.halted_ = false;
+    ctx.keep_alive_ = false;
+  }
+  active_.resize(n);
+  for (NodeId v = 0; v < n; ++v) active_[v] = v;
+  const bool crash_active = fault_active_ && !crash_nodes_.empty();
+  if (fault_active_) {
+    was_crashed_.assign(n, 0);
+    crashed_now_.assign(n, 0);
+    crashed_arrival_.assign(n, 0);
+  }
+  delivered_any_ = false;
+  parallel_pass_ = false;
+  keep_alive_pending_ = false;
+  if (observer_ != nullptr) observer_->on_run_begin(*this);
 
   // Pass r delivers the words sent in pass r-1 (synchronous rounds). The
   // protocol's round complexity is the index of the last pass that sent
@@ -243,57 +360,63 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
   // quiescence means nothing will ever happen again; programs that idle
   // intending to act later must call keep_alive every idle round.
   std::size_t last_send_pass = 0;
-  bool keep_alive_pending = false;
   bool sent_last_pass = false;
   for (std::size_t pass = 1; pass <= max_rounds + 1; ++pass) {
-    std::vector<std::vector<Message>> inbox(n);
-    inbox.swap(next_inbox_);
-    next_inbox_.assign(n, {});
+    inbox_.swap(next_inbox_);
+    for (auto& box : next_inbox_) box.clear();
     std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
 
     const std::size_t round = pass - 1;
-    bool all_halted = true;
-    bool any_inbox = false;
-    for (NodeId v = 0; v < n; ++v) {
-      if (!inbox[v].empty()) any_inbox = true;
-      if (!contexts[v].halted_) all_halted = false;
+    const bool any_inbox = delivered_any_;
+    delivered_any_ = false;
+
+    // Drop newly halted nodes from the schedule. A word can land in a
+    // halted node's inbox only when the receiver halted later in the same
+    // pass as the send (commit catches the already-halted case), so this is
+    // the one place left that must police stray deliveries.
+    std::size_t keep = 0;
+    for (NodeId v : active_) {
+      if (contexts_[v].halted_) {
+        if (!inbox_[v].empty()) {
+          throw std::logic_error("Engine: message delivered to a halted node");
+        }
+        continue;
+      }
+      active_[keep++] = v;
     }
+    active_.resize(keep);
+    const bool all_halted = active_.empty();
+
     // sent_last_pass matters only under faults: without them every send
     // becomes a delivery, so any_inbox covers it. With drops, a node whose
     // every word was lost still transmitted — it must stay scheduled.
     if ((all_halted || pass > 1) && !any_inbox && !sent_last_pass &&
-        !keep_alive_pending && !(fault_active_ && restart_pending(round))) {
+        !keep_alive_pending_ && !(fault_active_ && restart_pending(round))) {
       stats_.rounds = last_send_pass;
       stats_.completed = true;
       if (observer_ != nullptr) observer_->on_run_end(stats_);
       return stats_;
     }
 
-    current_pass_ = round;
-    keep_alive_pending = false;
-    std::size_t messages_before = stats_.messages;
-    for (NodeId v = 0; v < n; ++v) {
-      if (fault_active_ && !crash_schedule_.empty()) {
+    if (crash_active) {
+      // Only nodes with crash events can ever transition; everyone else's
+      // flags stay false for the whole run.
+      for (NodeId v : crash_nodes_) {
         bool crashed = crashed_at(v, round);
-        if (crashed && !was_crashed[v]) ++stats_.crashed_nodes;
-        was_crashed[v] = crashed;
-        if (crashed) {
-          // Words addressed to a crashed node were already dropped at
-          // delivery time; the node simply is not scheduled.
-          continue;
-        }
+        if (crashed && was_crashed_[v] == 0) ++stats_.crashed_nodes;
+        was_crashed_[v] = crashed ? 1 : 0;
+        crashed_now_[v] = crashed ? 1 : 0;
+        crashed_arrival_[v] = crashed_at(v, round + 1) ? 1 : 0;
       }
-      if (contexts[v].halted_) {
-        if (!inbox[v].empty()) {
-          throw std::logic_error("Engine: message delivered to a halted node");
-        }
-        continue;
-      }
-      contexts[v].round_ = round;
-      contexts[v].keep_alive_ = false;
-      current_sender_ = v;
-      programs[v]->on_round(contexts[v], inbox[v]);
-      if (contexts[v].keep_alive_) keep_alive_pending = true;
+    }
+
+    current_pass_ = round;
+    keep_alive_pending_ = false;
+    const std::size_t messages_before = stats_.messages;
+    if (parallel) {
+      run_pass_parallel(programs, round, crash_active);
+    } else {
+      run_pass_serial(programs, round, crash_active);
     }
     sent_last_pass = stats_.messages > messages_before;
     if (sent_last_pass) last_send_pass = pass;
@@ -303,6 +426,88 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
   stats_.completed = false;
   if (observer_ != nullptr) observer_->on_run_end(stats_);
   return stats_;
+}
+
+void Engine::run_pass_serial(std::span<const std::unique_ptr<NodeProgram>> programs,
+                             std::size_t round, bool crash_active) {
+  for (NodeId v : active_) {
+    // Words addressed to a crashed node were already dropped at delivery
+    // time; the node simply is not scheduled.
+    if (crash_active && crashed_now_[v] != 0) continue;
+    Context& ctx = contexts_[v];
+    ctx.round_ = round;
+    ctx.keep_alive_ = false;
+    current_sender_ = v;
+    programs[v]->on_round(ctx, inbox_[v]);
+    if (ctx.keep_alive_) keep_alive_pending_ = true;
+  }
+}
+
+void Engine::run_pass_parallel(std::span<const std::unique_ptr<NodeProgram>> programs,
+                               std::size_t round, bool crash_active) {
+  runnable_.clear();
+  for (NodeId v : active_) {
+    if (crash_active && crashed_now_[v] != 0) continue;
+    runnable_.push_back(v);
+  }
+  const std::size_t count = runnable_.size();
+  if (count == 0) return;
+
+  if (outbox_.size() < graph_->num_nodes()) outbox_.resize(graph_->num_nodes());
+  for (NodeId v : runnable_) {
+    outbox_[v].clear();
+    Context& ctx = contexts_[v];
+    ctx.round_ = round;
+    ctx.keep_alive_ = false;
+  }
+
+  // Contiguous shards over the ascending runnable list. Workers only touch
+  // sender-owned state (their nodes' contexts, rngs, inboxes, outboxes, and
+  // directed-edge budgets), so shards never race; everything observable is
+  // replayed below in canonical order.
+  const std::size_t shards = std::min(pool_->threads(), count);
+  std::vector<std::pair<NodeId, std::exception_ptr>> shard_error(shards);
+  parallel_pass_ = true;
+  pool_->parallel_for(shards, [&](std::size_t s) {
+    const std::size_t lo = count * s / shards;
+    const std::size_t hi = count * (s + 1) / shards;
+    for (std::size_t i = lo; i < hi; ++i) {
+      NodeId v = runnable_[i];
+      try {
+        programs[v]->on_round(contexts_[v], inbox_[v]);
+      } catch (...) {
+        // First failure stops the shard; the merge below reconstructs the
+        // serial engine's behavior from the smallest failing node.
+        shard_error[s] = {v, std::current_exception()};
+        return;
+      }
+    }
+  });
+  parallel_pass_ = false;
+
+  NodeId error_node = kUnreachable;
+  std::exception_ptr error;
+  for (const auto& [v, e] : shard_error) {
+    if (e != nullptr && (error == nullptr || v < error_node)) {
+      error_node = v;
+      error = e;
+    }
+  }
+
+  // Canonical-order merge: ascending (sender, send order) is exactly the
+  // serial engine's delivery order, so stats, trace, observer stream, and
+  // fault-lottery draws come out byte-identical for any thread count. On a
+  // failure, nodes before the smallest offender plus the offender's
+  // pre-failure sends are merged first — the same partial state the serial
+  // engine leaves behind — then the offender's exception propagates.
+  for (NodeId v : runnable_) {
+    current_sender_ = v;
+    for (const PendingSend& send : outbox_[v]) {
+      commit(v, send.to, send.word, send.slot, send.edge_words);
+    }
+    if (error != nullptr && v == error_node) std::rethrow_exception(error);
+    if (contexts_[v].keep_alive_) keep_alive_pending_ = true;
+  }
 }
 
 }  // namespace qcongest::net

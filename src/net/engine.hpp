@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/net/fault.hpp"
 #include "src/net/graph.hpp"
 #include "src/net/message.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace qcongest::net {
 
@@ -31,6 +33,11 @@ enum class DeliveryFate {
 /// admitted word, its fate, every retransmission note, and round/run
 /// boundaries — enough to re-derive all of RunResult independently and
 /// cross-check the engine's own accounting.
+///
+/// Observer callbacks always fire on the engine's own thread in canonical
+/// delivery order — ascending (sender, send order) within a round — even
+/// when the round itself was executed by parallel shards (see
+/// Engine::set_threads), so an observer never needs locks.
 class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
@@ -110,6 +117,14 @@ class Context {
 
 /// A node's protocol logic. One instance per node; the engine invokes
 /// on_round once per round with all messages delivered this round.
+///
+/// Under Engine::set_threads(t > 1) different nodes' on_round calls for the
+/// same round may execute concurrently. A program may freely touch its own
+/// state, its Context, and per-node slots of shared result arrays (distinct
+/// elements of a std::vector<T> for T other than bool are distinct memory
+/// locations); it must not mutate state shared with other nodes' programs
+/// mid-round — which a correct CONGEST protocol has no business doing
+/// anyway, since nodes only communicate through messages.
 class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
@@ -202,7 +217,9 @@ struct ReliableParams {
 };
 
 /// Synchronous CONGEST round scheduler with per-edge bandwidth enforcement,
-/// deterministic fault injection, and an optional reliable link transport.
+/// deterministic fault injection, an optional reliable link transport, and
+/// a deterministic sharded parallel execution mode (the "ParallelEngine"
+/// mode, see set_threads).
 class Engine {
  public:
   explicit Engine(const Graph& graph, std::size_t bandwidth_words = 1,
@@ -231,6 +248,12 @@ class Engine {
   /// inactive plan (all-zero rates, no crashes) is equivalent to
   /// clear_fault_plan(): the delivery fast path is taken and runs are
   /// byte-identical to a fault-free engine.
+  ///
+  /// The fault lottery draws from an independent RNG stream *per directed
+  /// edge* (forked deterministically from the plan seed), so an edge's
+  /// draws depend only on that edge's own traffic order — never on how
+  /// sends across different edges interleave. This is what keeps faulty
+  /// runs byte-identical between the serial and sharded-parallel paths.
   void set_fault_plan(FaultPlan plan);
   void clear_fault_plan();
   bool fault_plan_active() const { return fault_active_; }
@@ -239,6 +262,22 @@ class Engine {
   void set_transport(Transport transport, ReliableParams params = {});
   Transport transport() const { return transport_; }
   const ReliableParams& reliable_params() const { return reliable_params_; }
+
+  /// Deterministic sharded round execution — the ParallelEngine mode.
+  /// With threads > 1, each pass partitions the runnable nodes into
+  /// contiguous shards executed concurrently on an internal worker pool;
+  /// sends are admitted (bandwidth-checked) in the worker and buffered in
+  /// a per-sender outbox, then merged on the engine thread in ascending
+  /// (sender, send-order) — which is exactly the serial engine's delivery
+  /// order, so traces, observer callbacks, fault lotteries, and every
+  /// RunResult counter are byte-identical to threads == 1, for any thread
+  /// count.
+  ///
+  /// threads == 0 or 1 selects the serial path. The knob is a no-op (runs
+  /// stay serial) under Transport::kReliable, whose link adapters mutate
+  /// shared engine state mid-round; see DESIGN.md "Execution model".
+  void set_threads(std::size_t threads);
+  std::size_t threads() const { return threads_ == 0 ? 1 : threads_; }
 
   /// Stats of the run in progress (or the last run) — valid even when run()
   /// exits by exception, so callers can charge aborted phases honestly.
@@ -260,15 +299,42 @@ class Engine {
  private:
   friend class Context;
 
+  /// A send admitted by a parallel shard, awaiting the canonical-order
+  /// merge on the engine thread. `edge_words` is the per-round count on the
+  /// directed edge right after admission (what on_send reports).
+  struct PendingSend {
+    NodeId to = 0;
+    Word word{};
+    std::size_t slot = 0;
+    std::size_t edge_words = 0;
+  };
+
   RunResult run_direct(std::span<const std::unique_ptr<NodeProgram>> programs,
                        std::size_t max_rounds);
+  void run_pass_serial(std::span<const std::unique_ptr<NodeProgram>> programs,
+                       std::size_t round, bool crash_active);
+  void run_pass_parallel(std::span<const std::unique_ptr<NodeProgram>> programs,
+                         std::size_t round, bool crash_active);
   void deliver(NodeId from, NodeId to, Word word);
-  void corrupt_payload(Word& word);
+  /// Bandwidth admission: validates the edge and charges one word against
+  /// its per-round budget. Returns the slot; `sent_this_round_[slot]` is
+  /// the count including this word. Safe to call from the sender's shard —
+  /// a directed edge's budget is only ever touched by its own sender.
+  std::size_t admit(NodeId from, NodeId to);
+  /// Everything after admission: stats, cut tracking, trace, observer,
+  /// fault lottery, and the inbox push. Engine thread only.
+  void commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
+              std::size_t edge_words);
+  void corrupt_payload(Word& word, util::Rng& rng);
   /// True when `node` is inside a crash window at round `round`.
+  /// O(log events-on-node) via the per-node sorted crash schedule.
   bool crashed_at(NodeId node, std::size_t round) const;
-  /// True when some node has a restart scheduled strictly after `round`
-  /// whose outage has already begun (the run must idle until it wakes).
+  /// True when some node has a restart scheduled at or after `round` whose
+  /// outage has already begun (the run must idle until it wakes).
+  /// O(log restarts) via the sorted interval index built by set_fault_plan.
   bool restart_pending(std::size_t round) const;
+
+  std::size_t edge_slot(NodeId from, NodeId to) const;
 
   const Graph* graph_;
   std::size_t bandwidth_;
@@ -279,14 +345,32 @@ class Engine {
   FaultPlan fault_plan_;
   bool fault_active_ = false;
   std::vector<FaultRates> edge_rates_;  // per directed edge slot
-  std::vector<std::vector<CrashEvent>> crash_schedule_;  // per node
-  util::Rng fault_rng_{0};
+  std::vector<std::vector<CrashEvent>> crash_schedule_;  // per node, sorted
+  std::vector<NodeId> crash_nodes_;  // nodes with at least one crash event
+  /// Finite-restart windows sorted by crash_round with a running max of
+  /// restart_round — the O(log) index behind restart_pending.
+  std::vector<std::pair<std::size_t, std::size_t>> restart_windows_;
+  std::vector<std::size_t> restart_prefix_max_;
+  std::vector<util::Rng> edge_fault_rngs_;  // per directed edge slot
 
   Transport transport_ = Transport::kDirect;
   ReliableParams reliable_params_;
 
-  // Per-run state.
-  std::vector<std::vector<Message>> next_inbox_;
+  // Parallel execution (the ParallelEngine mode).
+  std::size_t threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // Per-run state. All buffers persist across passes and runs so the hot
+  // loop never reallocates: inner vectors are clear()ed, keeping capacity.
+  std::vector<std::vector<Message>> inbox_;       // delivered this pass
+  std::vector<std::vector<Message>> next_inbox_;  // filling for next pass
+  std::vector<Context> contexts_;
+  std::vector<NodeId> active_;    // not-yet-halted nodes, ascending
+  std::vector<NodeId> runnable_;  // active minus currently-crashed, per pass
+  std::vector<std::vector<PendingSend>> outbox_;  // per sender, parallel mode
+  std::vector<unsigned char> crashed_now_;      // node crashed this round
+  std::vector<unsigned char> crashed_arrival_;  // node crashed next round
+  std::vector<unsigned char> was_crashed_;
   std::vector<std::size_t> sent_this_round_;  // indexed by directed edge slot
   std::vector<std::size_t> edge_slot_offset_;
   std::vector<bool> cut_side_;  // empty when no cut is tracked
@@ -295,8 +379,9 @@ class Engine {
   RunResult stats_;
   NodeId current_sender_ = 0;
   std::size_t current_pass_ = 0;
-
-  std::size_t edge_slot(NodeId from, NodeId to) const;
+  bool parallel_pass_ = false;   // sends buffer to outboxes instead of committing
+  bool delivered_any_ = false;   // something landed in next_inbox_ this pass
+  bool keep_alive_pending_ = false;
 };
 
 }  // namespace qcongest::net

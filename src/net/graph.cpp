@@ -6,7 +6,8 @@
 
 namespace qcongest::net {
 
-Graph::Graph(std::size_t num_nodes) : adjacency_(num_nodes) {
+Graph::Graph(std::size_t num_nodes)
+    : adjacency_(num_nodes), sorted_index_(num_nodes) {
   if (num_nodes == 0) throw std::invalid_argument("Graph: zero nodes");
 }
 
@@ -16,14 +17,31 @@ void Graph::add_edge(NodeId u, NodeId v) {
   }
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
   if (has_edge(u, v)) throw std::invalid_argument("Graph::add_edge: duplicate edge");
-  adjacency_[u].push_back(v);
-  adjacency_[v].push_back(u);
+  auto link = [this](NodeId a, NodeId b) {
+    auto& index = sorted_index_[a];
+    auto at = std::lower_bound(index.begin(), index.end(),
+                               std::make_pair(b, std::size_t{0}));
+    index.insert(at, {b, adjacency_[a].size()});
+    adjacency_[a].push_back(b);
+  };
+  link(u, v);
+  link(v, u);
   ++num_edges_;
 }
 
+std::size_t Graph::neighbor_index(NodeId u, NodeId v) const {
+  if (u >= num_nodes()) {
+    throw std::out_of_range("Graph::neighbor_index: node out of range");
+  }
+  const auto& index = sorted_index_[u];
+  auto at = std::lower_bound(index.begin(), index.end(),
+                             std::make_pair(v, std::size_t{0}));
+  if (at == index.end() || at->first != v) return kUnreachable;
+  return at->second;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
-  const auto& adj = neighbors(u);
-  return std::find(adj.begin(), adj.end(), v) != adj.end();
+  return v < num_nodes() && neighbor_index(u, v) != kUnreachable;
 }
 
 const std::vector<NodeId>& Graph::neighbors(NodeId v) const {

@@ -34,6 +34,13 @@ class Graph {
   const std::vector<NodeId>& neighbors(NodeId v) const;
   std::size_t degree(NodeId v) const { return neighbors(v).size(); }
 
+  /// Position of v in neighbors(u), or kUnreachable when {u, v} is not an
+  /// edge. O(log deg(u)) via the sorted neighbor-index table maintained by
+  /// add_edge — the engine's per-send edge-slot lookup, so it must never
+  /// fall back to a linear neighbor scan. Read-only and safe to call from
+  /// concurrent shards.
+  std::size_t neighbor_index(NodeId u, NodeId v) const;
+
   // --- Centralized ground-truth analysis (not visible to protocols) -------
 
   /// Hop distances from src (kUnreachable where disconnected).
@@ -69,6 +76,10 @@ class Graph {
 
  private:
   std::vector<std::vector<NodeId>> adjacency_;
+  /// Per node: (neighbor, position in adjacency_[node]) sorted by neighbor,
+  /// kept in lockstep with adjacency_ by add_edge. Backs neighbor_index /
+  /// has_edge with binary search instead of a linear scan.
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> sorted_index_;
   std::size_t num_edges_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "src/quantum/statevector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -55,13 +56,24 @@ double Statevector::fidelity(const Statevector& other) const {
 
 void Statevector::apply(const Gate1& gate, unsigned target) {
   check_qubit(target);
-  BasisState mask = BasisState{1} << target;
-  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
-    if (b & mask) continue;  // visit each (b, b|mask) pair once, from the 0 side
-    Amplitude a0 = amplitudes_[b];
-    Amplitude a1 = amplitudes_[b | mask];
-    amplitudes_[b] = gate(0, 0) * a0 + gate(0, 1) * a1;
-    amplitudes_[b | mask] = gate(1, 0) * a0 + gate(1, 1) * a1;
+  // Strided pair iteration: the 0-side indices of the (b, b | 1<<target)
+  // pairs are exactly the runs [base, base + stride) for base stepping by
+  // 2 * stride, so the inner loop is branch-free — no per-index bit test —
+  // and walks two contiguous ranges the hardware prefetcher likes.
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t dim = amplitudes_.size();
+  const Amplitude g00 = gate(0, 0), g01 = gate(0, 1);
+  const Amplitude g10 = gate(1, 0), g11 = gate(1, 1);
+  Amplitude* amps = amplitudes_.data();
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    Amplitude* lo = amps + base;
+    Amplitude* hi = lo + stride;
+    for (std::size_t off = 0; off < stride; ++off) {
+      const Amplitude a0 = lo[off];
+      const Amplitude a1 = hi[off];
+      lo[off] = g00 * a0 + g01 * a1;
+      hi[off] = g10 * a0 + g11 * a1;
+    }
   }
 }
 
@@ -75,14 +87,24 @@ void Statevector::apply_controlled(const Gate1& gate,
     if (c == target) throw std::invalid_argument("control equals target");
     control_mask |= BasisState{1} << c;
   }
-  BasisState tmask = BasisState{1} << target;
-  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
-    if (b & tmask) continue;
-    if ((b & control_mask) != control_mask) continue;
-    Amplitude a0 = amplitudes_[b];
-    Amplitude a1 = amplitudes_[b | tmask];
-    amplitudes_[b] = gate(0, 0) * a0 + gate(0, 1) * a1;
-    amplitudes_[b | tmask] = gate(1, 0) * a0 + gate(1, 1) * a1;
+  // Same strided pair walk as apply(); only the control test remains in the
+  // inner loop (it cannot be folded into the stride pattern for arbitrary
+  // control sets without enumerating subcubes).
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t dim = amplitudes_.size();
+  const Amplitude g00 = gate(0, 0), g01 = gate(0, 1);
+  const Amplitude g10 = gate(1, 0), g11 = gate(1, 1);
+  Amplitude* amps = amplitudes_.data();
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    Amplitude* lo = amps + base;
+    Amplitude* hi = lo + stride;
+    for (std::size_t off = 0; off < stride; ++off) {
+      if (((base + off) & control_mask) != control_mask) continue;
+      const Amplitude a0 = lo[off];
+      const Amplitude a1 = hi[off];
+      lo[off] = g00 * a0 + g01 * a1;
+      hi[off] = g10 * a0 + g11 * a1;
+    }
   }
 }
 
@@ -113,27 +135,11 @@ void Statevector::h_all() {
 }
 
 void Statevector::apply_diagonal(const std::function<Amplitude(BasisState)>& phase) {
-  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
-    amplitudes_[b] *= phase(b);
-  }
+  diagonal_impl(phase);
 }
 
 void Statevector::apply_permutation(const std::function<BasisState(BasisState)>& pi) {
-  std::vector<Amplitude> next(amplitudes_.size(), Amplitude{0, 0});
-  for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
-    BasisState target = pi(b);
-    if (target >= amplitudes_.size()) {
-      throw std::invalid_argument("apply_permutation: image out of range");
-    }
-    next[target] += amplitudes_[b];
-  }
-  // A genuine permutation preserves the norm; verify to catch non-bijections.
-  double total = 0.0;
-  for (const Amplitude& a : next) total += std::norm(a);
-  if (std::abs(total - 1.0) > 1e-6) {
-    throw std::invalid_argument("apply_permutation: map is not a bijection");
-  }
-  amplitudes_ = std::move(next);
+  permutation_impl(pi);
 }
 
 BasisState Statevector::measure_all(util::Rng& rng) {
@@ -180,6 +186,38 @@ std::vector<double> Statevector::marginal(unsigned first, unsigned count) const 
 
 void Statevector::check_qubit(unsigned q) const {
   if (q >= num_qubits_) throw std::invalid_argument("qubit index out of range");
+}
+
+CumulativeSampler::CumulativeSampler(const Statevector& state) {
+  cumulative_.reserve(state.dimension());
+  double running = 0.0;
+  for (const Amplitude& a : state.amplitudes()) {
+    running += std::norm(a);
+    cumulative_.push_back(running);
+  }
+}
+
+CumulativeSampler::CumulativeSampler(std::span<const double> probabilities) {
+  if (probabilities.empty()) {
+    throw std::invalid_argument("CumulativeSampler: empty distribution");
+  }
+  cumulative_.reserve(probabilities.size());
+  double running = 0.0;
+  for (double p : probabilities) {
+    if (p < 0.0) throw std::invalid_argument("CumulativeSampler: negative weight");
+    running += p;
+    cumulative_.push_back(running);
+  }
+}
+
+BasisState CumulativeSampler::sample(util::Rng& rng) const {
+  double r = rng.uniform();
+  // First index with cumulative > r — the binary-search twin of the linear
+  // scan in Statevector::sample, including its tail guard, so both return
+  // identical draws for the same rng stream.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), r);
+  if (it == cumulative_.end()) return cumulative_.size() - 1;
+  return static_cast<BasisState>(it - cumulative_.begin());
 }
 
 }  // namespace qcongest::quantum

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/quantum/gates.hpp"
@@ -69,11 +72,25 @@ class Statevector {
 
   /// |b> -> phase(b) * |b> for every basis state. `phase` must return a
   /// unit-modulus complex number for the result to stay normalized.
+  ///
+  /// The template overload binds lambdas and function objects directly, so
+  /// the per-amplitude call inlines instead of going through a type-erased
+  /// std::function dispatch; the std::function overload remains for callers
+  /// that already hold one.
   void apply_diagonal(const std::function<Amplitude(BasisState)>& phase);
+  template <typename PhaseFn>
+  void apply_diagonal(PhaseFn&& phase) {
+    diagonal_impl(std::forward<PhaseFn>(phase));
+  }
 
   /// Permutation on basis states: |b> -> |pi(b)>. `pi` must be a bijection
-  /// on [0, 2^n).
+  /// on [0, 2^n). Same overload pair as apply_diagonal: the template
+  /// overload avoids per-amplitude std::function dispatch.
   void apply_permutation(const std::function<BasisState(BasisState)>& pi);
+  template <typename PiFn>
+  void apply_permutation(PiFn&& pi) {
+    permutation_impl(std::forward<PiFn>(pi));
+  }
 
   // --- Measurement ----------------------------------------------------------
 
@@ -92,8 +109,65 @@ class Statevector {
  private:
   void check_qubit(unsigned q) const;
 
+  template <typename PhaseFn>
+  void diagonal_impl(PhaseFn&& phase) {
+    for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+      amplitudes_[b] *= phase(static_cast<BasisState>(b));
+    }
+  }
+
+  template <typename PiFn>
+  void permutation_impl(PiFn&& pi) {
+    // scratch_ is reused across calls (boosting loops permute repeatedly),
+    // so the steady state allocates nothing.
+    scratch_.assign(amplitudes_.size(), Amplitude{0, 0});
+    for (std::size_t b = 0; b < amplitudes_.size(); ++b) {
+      BasisState target = pi(static_cast<BasisState>(b));
+      if (target >= amplitudes_.size()) {
+        throw std::invalid_argument("apply_permutation: image out of range");
+      }
+      scratch_[target] += amplitudes_[b];
+    }
+    // A genuine permutation preserves the norm; verify to catch non-bijections.
+    double total = 0.0;
+    for (const Amplitude& a : scratch_) total += std::norm(a);
+    if (std::abs(total - 1.0) > 1e-6) {
+      throw std::invalid_argument("apply_permutation: map is not a bijection");
+    }
+    amplitudes_.swap(scratch_);
+  }
+
   unsigned num_qubits_;
   std::vector<Amplitude> amplitudes_;
+  std::vector<Amplitude> scratch_;  // apply_permutation workspace
+};
+
+/// Precomputed cumulative-probability table for repeated sampling of one
+/// fixed distribution — the boosting-loop companion of Statevector::sample.
+///
+/// Statevector::sample is a full O(2^n) scan per draw; snapshotting the
+/// cumulative probabilities once turns every further draw into an O(n)
+/// binary search, and the draws are byte-identical to what the scan would
+/// have returned for the same RNG stream (first index whose cumulative
+/// probability exceeds the uniform draw, tail-guarded against rounding).
+///
+/// The table is a snapshot: mutating the state afterwards does not
+/// invalidate the sampler, it just keeps sampling the old distribution.
+class CumulativeSampler {
+ public:
+  explicit CumulativeSampler(const Statevector& state);
+  /// From an explicit distribution (e.g. Statevector::marginal); weights
+  /// must be non-negative and sum to ~1.
+  explicit CumulativeSampler(std::span<const double> probabilities);
+
+  std::size_t size() const { return cumulative_.size(); }
+
+  /// One draw; O(log size). Identical to the linear scan in
+  /// Statevector::sample for the same rng stream.
+  BasisState sample(util::Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
 };
 
 }  // namespace qcongest::quantum

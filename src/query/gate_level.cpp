@@ -111,16 +111,7 @@ double gate_level_phase_estimation(const Circuit& u, const Circuit& prep,
 
   // Measure the precision register only (via its marginal distribution).
   std::vector<double> dist = state.marginal(m, precision);
-  double r = rng.uniform();
-  double cumulative = 0.0;
-  std::size_t outcome = dist.size() - 1;
-  for (std::size_t y = 0; y < dist.size(); ++y) {
-    cumulative += dist[y];
-    if (r < cumulative) {
-      outcome = y;
-      break;
-    }
-  }
+  std::size_t outcome = quantum::CumulativeSampler(dist).sample(rng);
   return static_cast<double>(outcome) / static_cast<double>(dist.size());
 }
 

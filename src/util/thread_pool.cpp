@@ -1,0 +1,89 @@
+#include "src/util/thread_pool.hpp"
+
+namespace qcongest::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return stopping_ || (job_.fn != nullptr && generation_ != seen);
+    });
+    if (stopping_) return;
+    seen = generation_;
+    drain_job(lock);
+  }
+}
+
+void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
+  while (job_.fn != nullptr && job_.next < job_.count) {
+    std::size_t index = job_.next++;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*job_.fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && (!job_.error || index < job_.error_index)) {
+      job_.error = error;
+      job_.error_index = index;
+    }
+    if (--job_.unfinished == 0) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    // No concurrency available (or needed): plain loop, same error rule.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_.fn = &fn;
+  job_.count = count;
+  job_.next = 0;
+  job_.unfinished = count;
+  job_.error = nullptr;
+  job_.error_index = 0;
+  ++generation_;
+  work_ready_.notify_all();
+
+  drain_job(lock);  // the calling thread participates
+  job_done_.wait(lock, [&] { return job_.unfinished == 0; });
+  job_.fn = nullptr;
+  std::exception_ptr error = job_.error;
+  job_.error = nullptr;
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace qcongest::util

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>  // qlint-allow(raw-thread): the pool is the one blessed home for std::thread
+#include <vector>
+
+namespace qcongest::util {
+
+/// The repo's one and only thread-spawning utility. Everything parallel —
+/// the engine's sharded rounds, trial fan-out in benches and tools — goes
+/// through a ThreadPool; raw std::thread / std::async elsewhere is banned
+/// by qlint's `raw-thread` rule, because ad-hoc threads are where
+/// nondeterminism and leaked joins come from.
+///
+/// The pool is deliberately minimal: a fixed set of workers and one
+/// blocking primitive, parallel_for. Determinism is the caller's job — the
+/// pool guarantees only that every index runs exactly once and that
+/// parallel_for does not return before all of them finished; callers that
+/// need a deterministic result must make each index's work independent and
+/// merge results in index order afterwards (see net::Engine's sharded
+/// round merge for the canonical pattern).
+class ThreadPool {
+ public:
+  /// A pool that runs `threads` tasks concurrently. The calling thread of
+  /// parallel_for participates as one of them, so `threads == 1` (or 0)
+  /// spawns no workers at all and parallel_for degrades to a plain loop.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (spawned workers + the calling thread).
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Run fn(0) ... fn(count - 1), each exactly once, across the pool; the
+  /// calling thread works too. Blocks until every index completed. If one
+  /// or more calls throw, the exception of the smallest index is rethrown
+  /// (deterministic regardless of scheduling); the remaining indices still
+  /// run to completion first.
+  ///
+  /// Not reentrant: fn must not call parallel_for on the same pool.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::size_t next = 0;       // next unclaimed index
+    std::size_t unfinished = 0; // indices claimed-or-unclaimed but not done
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+  };
+
+  void worker_loop();
+  /// Claim and run indices of the current job until none remain. Returns
+  /// with the pool mutex held by `lock`.
+  void drain_job(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::vector<std::thread> workers_;  // qlint-allow(raw-thread): pool internals
+  Job job_;
+  std::uint64_t generation_ = 0;  // bumped per job so sleeping workers wake once
+  bool stopping_ = false;
+};
+
+}  // namespace qcongest::util

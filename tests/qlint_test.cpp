@@ -57,6 +57,40 @@ TEST(Qlint, WholeWordMatchOnly) {
   EXPECT_TRUE(lint_source("src/net/foo.cpp", "auto v = my_rand();\n").empty());
 }
 
+// --- raw-thread --------------------------------------------------------------
+
+TEST(Qlint, FlagsRawThreadOutsidePool) {
+  auto d = lint_source("src/net/engine.cpp", "std::thread worker(loop);\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "raw-thread");
+  EXPECT_TRUE(flags(lint_source("src/net/foo.cpp", "auto f = std::async(job);\n"),
+                    "raw-thread"));
+  EXPECT_TRUE(flags(lint_source("tools/foo.cpp", "std::jthread t(loop);\n"),
+                    "raw-thread"));
+  EXPECT_TRUE(flags(lint_source("src/net/foo.cpp", "worker.detach();\n"),
+                    "raw-thread"));
+}
+
+TEST(Qlint, AllowsThreadsInsideThreadPool) {
+  EXPECT_TRUE(
+      lint_source("src/util/thread_pool.cpp", "std::thread worker(loop);\n").empty());
+}
+
+TEST(Qlint, ThreadMentionsThatSpawnNothingClean) {
+  // Nested-name uses and comments read thread identity; they start nothing.
+  EXPECT_TRUE(
+      lint_source("src/net/foo.cpp", "std::thread::id tid = owner_;\n").empty());
+  EXPECT_TRUE(
+      lint_source("src/net/foo.cpp", "// std::thread is banned here\n").empty());
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", "my_threads.at(0);\n").empty());
+}
+
+TEST(Qlint, RawThreadInlineSuppression) {
+  EXPECT_TRUE(lint_source("src/net/foo.cpp",
+                          "std::thread t(f);  // qlint-allow(raw-thread): fixture\n")
+                  .empty());
+}
+
 // --- unordered-iter ----------------------------------------------------------
 
 TEST(Qlint, FlagsRangeForOverUnorderedMap) {

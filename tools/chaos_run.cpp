@@ -4,9 +4,18 @@
 //
 //   chaos_run [--nodes N] [--trials T] [--graph FAMILY]
 //             [--transport reliable|direct] [--seed S]
+//             [--threads T] [--jobs J]
 //             [--verify] [--audit-determinism]
 //
 // families: tree | path | cycle | grid | random
+//
+// --threads T runs every engine in its deterministic sharded-parallel mode
+// (Engine::set_threads); results are byte-identical to --threads 1. The
+// determinism audit exploits this: with --threads > 1 it diffs a serial run
+// against a sharded run instead of two serial runs, which is the strongest
+// reproducibility check the tool offers. --jobs J fans independent sweep
+// trials across J workers (ignored under --verify, whose shared conformance
+// observer must see runs one at a time).
 //
 // Fault levels pair a word-drop probability with proportional corruption
 // (rate/5) and duplication (rate/10) so a single knob exercises all three
@@ -45,6 +54,7 @@
 #include "src/net/pipeline.hpp"
 #include "src/net/trace.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 
 using namespace qcongest;
 
@@ -56,6 +66,8 @@ struct Options {
   std::string graph = "tree";
   net::Transport transport = net::Transport::kReliable;
   std::uint64_t seed = 1;
+  std::size_t threads = 1;  // engine shards per run (deterministic)
+  std::size_t jobs = 1;     // concurrent sweep trials
   bool verify = false;
   bool audit_determinism = false;
 };
@@ -205,6 +217,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.graph = value;
     } else if (flag == "--seed") {
       opt.seed = std::stoull(value);
+    } else if (flag == "--threads") {
+      opt.threads = static_cast<std::size_t>(std::stoul(value));
+      if (opt.threads == 0) opt.threads = 1;
+    } else if (flag == "--jobs") {
+      opt.jobs = static_cast<std::size_t>(std::stoul(value));
+      if (opt.jobs == 0) opt.jobs = 1;
     } else if (flag == "--transport") {
       if (value == "reliable") {
         opt.transport = net::Transport::kReliable;
@@ -265,10 +283,15 @@ std::size_t first_divergence(const std::string& a, const std::string& b) {
 int run_determinism_audit(const net::Graph& graph, const Options& opt,
                           const std::vector<AppEntry>& suite) {
   const std::vector<double> rates = {0.0, 0.05};
-  std::printf("# determinism audit: graph=%s nodes=%zu transport=%s seed=%llu\n",
-              opt.graph.c_str(), graph.num_nodes(),
-              opt.transport == net::Transport::kReliable ? "reliable" : "direct",
-              static_cast<unsigned long long>(opt.seed));
+  std::printf(
+      "# determinism audit: graph=%s nodes=%zu transport=%s seed=%llu threads=%zu\n",
+      opt.graph.c_str(), graph.num_nodes(),
+      opt.transport == net::Transport::kReliable ? "reliable" : "direct",
+      static_cast<unsigned long long>(opt.seed), opt.threads);
+  if (opt.threads > 1) {
+    std::printf("# diffing serial (threads=1) against sharded (threads=%zu) runs\n",
+                opt.threads);
+  }
   std::printf("%-12s %6s %10s %s\n", "app", "drop", "deliveries", "verdict");
   int exit_code = 0;
   for (const AppEntry& app : suite) {
@@ -283,6 +306,9 @@ int run_determinism_audit(const net::Graph& graph, const Options& opt,
         options.fault_plan.link.corrupt = rate / 5.0;
         options.fault_plan.link.duplicate = rate / 10.0;
         options.fault_plan.seed = opt.seed * 1000;
+        // The second run uses the sharded engine; transcripts must still be
+        // byte-identical to the serial first run.
+        options.threads = repeat == 0 ? 1 : opt.threads;
         net::Trace trace;
         options.trace = &trace;
         Outcome out;
@@ -322,6 +348,7 @@ int main(int argc, char** argv) {
     std::puts(
         "usage: chaos_run [--nodes N] [--trials T] [--graph FAMILY]\n"
         "                 [--transport reliable|direct] [--seed S]\n"
+        "                 [--threads T] [--jobs J]\n"
         "                 [--verify] [--audit-determinism]\n"
         "families: tree path cycle grid random");
     return 2;
@@ -340,9 +367,17 @@ int main(int argc, char** argv) {
   check::Verifier verifier;
   const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.1};
 
-  std::printf("# graph=%s nodes=%zu trials=%zu transport=%s\n", opt.graph.c_str(),
-              graph.num_nodes(), opt.trials,
-              opt.transport == net::Transport::kReliable ? "reliable" : "direct");
+  std::size_t jobs = opt.jobs;
+  if (opt.verify && jobs > 1) {
+    std::printf("# --verify shares one conformance observer; trials run serially\n");
+    jobs = 1;
+  }
+  util::ThreadPool trial_pool(jobs);
+
+  std::printf("# graph=%s nodes=%zu trials=%zu transport=%s threads=%zu jobs=%zu\n",
+              opt.graph.c_str(), graph.num_nodes(), opt.trials,
+              opt.transport == net::Transport::kReliable ? "reliable" : "direct",
+              opt.threads, jobs);
   std::printf("%-12s %6s %8s %6s %9s %11s %9s %13s\n", "app", "drop", "corrupt",
               "dup", "success", "med_rounds", "overhead", "retrans/run");
 
@@ -352,24 +387,31 @@ int main(int argc, char** argv) {
     for (double rate : rates) {
       apps::NetOptions options;
       options.transport = opt.transport;
+      options.threads = opt.threads;
       options.fault_plan.link.drop = rate;
       options.fault_plan.link.corrupt = rate / 5.0;
       options.fault_plan.link.duplicate = rate / 10.0;
       if (opt.verify) options.observer = &verifier;
 
+      // Independent trials (own engine, own seeds) fan out across the job
+      // pool; aggregation below stays in trial order, so the report is the
+      // same for any --jobs value.
+      std::vector<Outcome> outcomes(opt.trials);
+      trial_pool.parallel_for(opt.trials, [&](std::size_t trial) {
+        apps::NetOptions trial_options = options;
+        trial_options.seed = opt.seed + trial;
+        trial_options.fault_plan.seed = opt.seed * 1000 + trial;
+        try {
+          outcomes[trial] = app.run(graph, trial_options);
+        } catch (const std::exception&) {
+          outcomes[trial].success = false;  // a run that tripped an invariant
+          if (opt.verify) verifier.abandon_run();
+        }
+      });
       std::size_t successes = 0;
       std::size_t retransmissions = 0;
       std::vector<double> rounds;
-      for (std::size_t trial = 0; trial < opt.trials; ++trial) {
-        options.seed = opt.seed + trial;
-        options.fault_plan.seed = opt.seed * 1000 + trial;
-        Outcome out;
-        try {
-          out = app.run(graph, options);
-        } catch (const std::exception&) {
-          out.success = false;  // a faulted run that tripped an invariant
-          verifier.abandon_run();
-        }
+      for (const Outcome& out : outcomes) {
         retransmissions += out.cost.retransmissions;
         if (out.success) {
           ++successes;

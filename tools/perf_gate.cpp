@@ -1,0 +1,193 @@
+// perf_gate — the CI perf-smoke comparator. Reads two BENCH_*.json files
+// (the format bench/json_main.cpp emits: one object per benchmark run with
+// "name", "real_time_ns", and the user counters) and fails when the current
+// run regresses against the committed baseline:
+//
+//   * wall-clock: current real_time_ns > threshold × baseline (default
+//     1.25, i.e. a >25% regression fails). Runs faster than --min-ns
+//     (default 1e6 ns) in the baseline are skipped — sub-millisecond
+//     timings are noise, not signal.
+//   * deterministic counters (rounds, batches, measured, bound,
+//     retransmissions): any drift at all fails. These are seeded round
+//     counts, identical on every machine, so they catch algorithmic cost
+//     regressions even when the runner is faster than the machine that
+//     recorded the baseline (which makes the wall-clock gate lenient,
+//     never spurious).
+//
+// Usage: perf_gate <baseline.json> <current.json>
+//          [--threshold R] [--min-ns N] [--no-time]
+//
+// Exit 0 when every benchmark present in the baseline passes; 1 on any
+// regression or missing benchmark; 2 on usage/parse errors.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchRun {
+  double real_time_ns = 0.0;
+  std::map<std::string, double> counters;  // every other numeric field
+};
+
+/// Counters that are deterministic functions of the seed (round counts and
+/// ledger totals), so any drift is a real behavioural change, not noise.
+const char* kExactCounters[] = {"measured", "bound",   "ratio",
+                                "rounds",   "batches", "retransmissions"};
+
+bool exact_counter(const std::string& name) {
+  for (const char* c : kExactCounters) {
+    if (name == c) return true;
+  }
+  return false;
+}
+
+/// Parse the pretty-printed JSON json_main.cpp writes: one "key": value
+/// field per line. A "name" field starts a new run; numeric fields attach
+/// to the current run. This is not a general JSON parser on purpose — the
+/// gate owns both ends of the format.
+std::map<std::string, BenchRun> parse_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::map<std::string, BenchRun> runs;
+  std::string current;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t key_open = line.find('"');
+    if (key_open == std::string::npos) continue;
+    std::size_t key_close = line.find('"', key_open + 1);
+    if (key_close == std::string::npos) continue;
+    std::string key = line.substr(key_open + 1, key_close - key_open - 1);
+    std::size_t colon = line.find(':', key_close);
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    // Trim whitespace and the trailing comma of all-but-last fields.
+    while (!value.empty() && (value.back() == ',' || value.back() == ' ' ||
+                              value.back() == '\r')) {
+      value.pop_back();
+    }
+    std::size_t first = value.find_first_not_of(' ');
+    if (first == std::string::npos) continue;
+    value = value.substr(first);
+    if (key == "binary" || key == "benchmarks") continue;
+    if (key == "name") {
+      std::size_t open = value.find('"');
+      std::size_t close = value.rfind('"');
+      if (open == std::string::npos || close <= open) continue;
+      current = value.substr(open + 1, close - open - 1);
+      runs[current] = BenchRun{};
+      continue;
+    }
+    if (current.empty()) continue;
+    char* end = nullptr;
+    double number = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) continue;  // not numeric
+    if (key == "real_time_ns") {
+      runs[current].real_time_ns = number;
+    } else {
+      runs[current].counters[key] = number;
+    }
+  }
+  if (runs.empty()) throw std::runtime_error("no benchmark runs in " + path);
+  return runs;
+}
+
+int usage() {
+  std::cerr << "usage: perf_gate <baseline.json> <current.json>"
+            << " [--threshold R] [--min-ns N] [--no-time]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double threshold = 1.25;
+  double min_ns = 1e6;
+  bool check_time = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-ns" && i + 1 < argc) {
+      min_ns = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--no-time") {
+      check_time = false;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return usage();
+
+  std::map<std::string, BenchRun> baseline, current;
+  try {
+    baseline = parse_bench_json(positional[0]);
+    current = parse_bench_json(positional[1]);
+  } catch (const std::exception& e) {
+    std::cerr << "perf_gate: " << e.what() << "\n";
+    return 2;
+  }
+
+  int failures = 0;
+  auto fail = [&](const std::string& what) {
+    std::cerr << "FAIL  " << what << "\n";
+    ++failures;
+  };
+
+  for (const auto& [name, base] : baseline) {
+    auto it = current.find(name);
+    if (it == current.end()) {
+      fail(name + ": present in baseline but missing from current run");
+      continue;
+    }
+    const BenchRun& cur = it->second;
+
+    if (check_time && base.real_time_ns >= min_ns) {
+      double ratio = cur.real_time_ns / base.real_time_ns;
+      std::ostringstream row;
+      row.precision(3);
+      row << name << ": real_time " << base.real_time_ns / 1e6 << "ms -> "
+          << cur.real_time_ns / 1e6 << "ms (x" << ratio << ", limit x"
+          << threshold << ")";
+      if (ratio > threshold) {
+        fail(row.str());
+      } else {
+        std::cout << "ok    " << row.str() << "\n";
+      }
+    }
+
+    for (const auto& [counter, expected] : base.counters) {
+      if (!exact_counter(counter)) continue;
+      auto cit = cur.counters.find(counter);
+      if (cit == cur.counters.end()) {
+        fail(name + ": counter '" + counter + "' missing from current run");
+        continue;
+      }
+      if (std::abs(cit->second - expected) > 1e-9 * std::max(1.0, std::abs(expected))) {
+        std::ostringstream row;
+        row.precision(12);
+        row << name << ": deterministic counter '" << counter << "' drifted "
+            << expected << " -> " << cit->second;
+        fail(row.str());
+      }
+    }
+  }
+
+  if (failures > 0) {
+    std::cerr << "perf_gate: " << failures << " regression(s) against "
+              << positional[0] << "\n";
+    return 1;
+  }
+  std::cout << "perf_gate: all " << baseline.size() << " benchmarks within limits\n";
+  return 0;
+}
