@@ -14,6 +14,8 @@
 #include "src/framework/distributed_oracle.hpp"
 #include "src/framework/distributed_state.hpp"
 #include "src/net/generators.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/round_profiler.hpp"
 #include "src/query/parallel_minfind.hpp"
 #include "src/util/combinatorics.hpp"
 
@@ -41,12 +43,23 @@ void BM_BatchCost(benchmark::State& state) {
   net::BfsTree tree = net::build_bfs_tree(engine, 0);
   std::vector<std::vector<query::Value>> data(n, std::vector<query::Value>(k, 1));
 
+  // Profile the charged batch (not the BFS setup above): per-round traffic
+  // plus the Theorem 8 phase spans, deposited into the session run report.
+  obs::RoundProfiler profiler;
+  engine.set_observer(&profiler);
+  framework::OracleConfig config = sum_config(k, p, q);
+  config.profiler = &profiler;
+
   double measured = 0;
+  net::RunResult cost;
   for (auto _ : state) {
-    framework::DistributedOracle oracle(engine, tree, sum_config(k, p, q), data);
+    profiler.reset();
+    framework::DistributedOracle oracle(engine, tree, config, data);
     oracle.charge_batch();
-    measured = static_cast<double>(oracle.total_cost().rounds);
+    cost = oracle.total_cost();
+    measured = static_cast<double>(cost.rounds);
   }
+  engine.set_observer(nullptr);
   double d = static_cast<double>(tree.height);
   double w_val = static_cast<double>(framework::words_for_bits(q, n));
   double w_idx =
@@ -55,6 +68,30 @@ void BM_BatchCost(benchmark::State& state) {
   // Factor 2 for the uncompute mirrors, as in the Theorem 8 constant.
   double bound = 2.0 * ((d + pd) * w_val + pd * w_idx + d);
   bench::report(state, measured, bound);
+
+  const std::string section_name = "BM_BatchCost/n:" + std::to_string(n) +
+                                   "/k:" + std::to_string(k) + "/p:" + std::to_string(p) +
+                                   "/q:" + std::to_string(q);
+  obs::RunReport& report = bench::session_report();
+  bool already = false;
+  for (const obs::RunReport::Section& s : report.sections()) {
+    if (s.name() == section_name) already = true;
+  }
+  if (!already) {
+    obs::RunReport::Section& section = report.add_section(section_name);
+    section.set_label("n", std::to_string(n));
+    section.set_label("k", std::to_string(k));
+    section.set_label("p", std::to_string(p));
+    section.set_label("q", std::to_string(q));
+    section.set_outcome(measured <= bound);
+    section.set_result(cost);
+    section.set_profile(profiler);
+    obs::MetricsRegistry metrics;
+    metrics.set_gauge("measured", measured);
+    metrics.set_gauge("bound", bound);
+    metrics.set_gauge("ratio", bound > 0 ? measured / bound : 0.0);
+    section.set_metrics(metrics);
+  }
 }
 BENCHMARK(BM_BatchCost)
     ->ArgNames({"n", "k", "p", "q"})

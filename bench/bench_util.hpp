@@ -1,34 +1,47 @@
 #pragma once
 
-#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "src/obs/run_report.hpp"
+#include "src/util/env.hpp"
+#include "src/util/stats.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace qcongest::bench {
 
 /// Trial-level parallelism knob for median_of: QCONGEST_BENCH_THREADS in the
 /// environment (default 1 = serial). One process-wide pool, sized once.
+/// Values that fail strict parsing (garbage, zero, negatives, overflow) are
+/// rejected with a warning instead of being silently treated as serial.
 inline util::ThreadPool& trial_pool() {
   static util::ThreadPool pool([] {
-    const char* env = std::getenv("QCONGEST_BENCH_THREADS");
-    long threads = env != nullptr ? std::strtol(env, nullptr, 10) : 1;
-    return threads > 1 ? static_cast<std::size_t>(threads) : std::size_t{1};
+    std::string warning;
+    std::size_t threads = util::env_thread_count(
+        std::getenv("QCONGEST_BENCH_THREADS"), 1, &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "warning: QCONGEST_BENCH_THREADS %s\n", warning.c_str());
+    }
+    return threads;
   }());
   return pool;
 }
 
 /// Median of `trials` runs of `f` (each returning a measured quantity).
+/// Even trial counts average the two middle elements (util::median) — the
+/// upper-middle shortcut used previously biased every even-count median
+/// upward.
 inline double median_of(int trials, const std::function<double()>& f) {
   std::vector<double> values;
   values.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) values.push_back(f());
-  std::sort(values.begin(), values.end());
-  return values[values.size() / 2];
+  return util::median(std::move(values));
 }
 
 /// Indexed overload: trial t computes f(t), and independent trials fan out
@@ -40,8 +53,7 @@ inline double median_of(int trials, const std::function<double(int)>& f) {
   trial_pool().parallel_for(values.size(), [&](std::size_t t) {
     values[t] = f(static_cast<int>(t));
   });
-  std::sort(values.begin(), values.end());
-  return values[values.size() / 2];
+  return util::median(std::move(values));
 }
 
 /// Standard counter triple: the measured quantity, the paper's predicted
@@ -51,6 +63,17 @@ inline void report(benchmark::State& state, double measured, double bound) {
   state.counters["measured"] = measured;
   state.counters["bound"] = bound;
   state.counters["ratio"] = bound > 0 ? measured / bound : 0.0;
+}
+
+/// Process-wide run-report store. Benchmark bodies deposit sections
+/// (per-round series, phase spans, deterministic counters — never
+/// wall-clock time); bench/json_main.cpp writes the accumulated document
+/// to REPORT_<binary>.json after the session. Deliberately separate from
+/// BENCH_<binary>.json, which carries timings and is therefore not
+/// byte-reproducible.
+inline obs::RunReport& session_report() {
+  static obs::RunReport report("bench");
+  return report;
 }
 
 }  // namespace qcongest::bench

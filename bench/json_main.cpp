@@ -1,10 +1,17 @@
 // Shared entry point for every benchmark binary: runs the registered
 // benchmarks with the usual console output, then emits a machine-readable
 // BENCH_<binary>.json next to the working directory (override the directory
-// with QCONGEST_BENCH_JSON_DIR). The JSON carries, per benchmark run, the
-// wall-clock per iteration plus every user counter (measured / bound /
-// ratio from bench::report), which is what tools/perf_gate consumes in the
-// CI perf-smoke job.
+// with QCONGEST_BENCH_JSON_DIR; trailing slashes are normalized away). The
+// JSON carries, per benchmark run, the wall-clock per iteration plus every
+// user counter (measured / bound / ratio from bench::report), which is what
+// tools/perf_gate consumes in the CI perf-smoke job. Non-finite counter
+// values (NaN, +-Inf) have no JSON representation and are serialized as
+// null with a warning — previously they were printed raw, which produced
+// documents perf_gate and python3 -m json.tool could not parse.
+//
+// Benchmarks that deposit run-report sections into bench::session_report()
+// additionally get a REPORT_<binary>.json: a schema-versioned, fully
+// deterministic document (no timings) that CI byte-compares across runs.
 //
 // This replaces benchmark::benchmark_main because the library version we
 // build against has no per-run name hook usable from inside a benchmark
@@ -12,30 +19,20 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
+#include "src/obs/json.hpp"
+#include "src/util/env.hpp"
+
 namespace {
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) break;  // drop control chars
-        out += c;
-    }
-  }
-  return out;
-}
+using qcongest::obs::json_escape;
+using qcongest::obs::json_number;
 
 /// Console output as usual, plus a copy of every finished run for the JSON
 /// dump after the session.
@@ -55,18 +52,22 @@ std::string binary_name(const char* argv0) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
+std::string output_path(const std::string& file) {
+  std::string dir =
+      qcongest::util::env_directory(std::getenv("QCONGEST_BENCH_JSON_DIR"));
+  return dir.empty() ? file : dir + "/" + file;
+}
+
 void write_json(const std::string& binary,
                 const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
-  const char* dir = std::getenv("QCONGEST_BENCH_JSON_DIR");
-  std::string path = (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "");
-  path += "BENCH_" + binary + ".json";
+  std::string path = output_path("BENCH_" + binary + ".json");
   std::ofstream out(path);
   if (!out) {
     std::cerr << "warning: cannot write " << path << "\n";
     return;
   }
-  out.precision(12);
-  out << "{\n  \"binary\": \"" << json_escape(binary) << "\",\n";
+  out << "{\n  \"schema_version\": 1,\n";
+  out << "  \"binary\": \"" << json_escape(binary) << "\",\n";
   out << "  \"benchmarks\": [\n";
   bool first = true;
   for (const auto& run : runs) {
@@ -79,15 +80,33 @@ void write_json(const std::string& binary,
     out << "    {\n";
     out << "      \"name\": \"" << json_escape(run.benchmark_name()) << "\",\n";
     out << "      \"iterations\": " << run.iterations << ",\n";
-    out << "      \"real_time_ns\": " << run.real_accumulated_time * 1e9 / iterations
-        << ",\n";
-    out << "      \"cpu_time_ns\": " << run.cpu_accumulated_time * 1e9 / iterations;
+    out << "      \"real_time_ns\": "
+        << json_number(run.real_accumulated_time * 1e9 / iterations) << ",\n";
+    out << "      \"cpu_time_ns\": "
+        << json_number(run.cpu_accumulated_time * 1e9 / iterations);
     for (const auto& [name, counter] : run.counters) {
-      out << ",\n      \"" << json_escape(name) << "\": " << counter.value;
+      if (!std::isfinite(counter.value)) {
+        std::cerr << "warning: " << run.benchmark_name() << ": counter '" << name
+                  << "' is non-finite (" << counter.value
+                  << "); serialized as null\n";
+      }
+      out << ",\n      \"" << json_escape(name)
+          << "\": " << json_number(counter.value);
     }
     out << "\n    }";
   }
   out << "\n  ]\n}\n";
+}
+
+void write_report(const std::string& binary) {
+  qcongest::obs::RunReport& report = qcongest::bench::session_report();
+  if (report.empty()) return;
+  report.set_producer(binary);
+  std::string path = output_path("REPORT_" + binary + ".json");
+  std::string error;
+  if (!report.write(path, &error)) {
+    std::cerr << "warning: " << error << "\n";
+  }
 }
 
 }  // namespace
@@ -99,6 +118,7 @@ int main(int argc, char** argv) {
   CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   write_json(binary, reporter.collected);
+  write_report(binary);
   benchmark::Shutdown();
   return 0;
 }

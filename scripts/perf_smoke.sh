@@ -7,6 +7,11 @@
 # meaningful even when the CI runner is faster than the machine that
 # recorded the baselines.
 #
+# Benchmarks that deposit run-report sections additionally emit
+# REPORT_*.json (fully deterministic, no timings). Those are gated with
+# perf_gate --report: byte-identity against the committed baseline, on any
+# machine.
+#
 # Usage:
 #   scripts/perf_smoke.sh [build_dir]             # gate against baselines
 #   scripts/perf_smoke.sh [build_dir] --record    # re-record the baselines
@@ -33,6 +38,9 @@ export QCONGEST_BENCH_JSON_DIR="${OUT_DIR}"
 if [ "${MODE}" = "--record" ]; then
   mkdir -p "${BASELINE_DIR}"
   cp "${OUT_DIR}"/BENCH_*.json "${BASELINE_DIR}/"
+  if compgen -G "${OUT_DIR}/REPORT_*.json" > /dev/null; then
+    cp "${OUT_DIR}"/REPORT_*.json "${BASELINE_DIR}/"
+  fi
   echo "perf_smoke: baselines re-recorded into ${BASELINE_DIR}/"
   exit 0
 fi
@@ -41,6 +49,13 @@ status=0
 for baseline in "${BASELINE_DIR}"/BENCH_*.json; do
   name=$(basename "${baseline}")
   if ! "${BUILD_DIR}/tools/perf_gate" "${baseline}" "${OUT_DIR}/${name}"; then
+    status=1
+  fi
+done
+for baseline in "${BASELINE_DIR}"/REPORT_*.json; do
+  [ -e "${baseline}" ] || continue
+  name=$(basename "${baseline}")
+  if ! "${BUILD_DIR}/tools/perf_gate" --report "${baseline}" "${OUT_DIR}/${name}"; then
     status=1
   fi
 done

@@ -61,6 +61,7 @@ DjResult deutsch_jozsa_quantum(const net::Graph& graph,
   config.value_bits = 1;
   config.combine = [](std::int64_t a, std::int64_t b) { return a ^ b; };
   config.identity = 0;
+  config.profiler = options.metrics;
   framework::DistributedOracle oracle(setup.engine, setup.tree, config, data);
 
   result.verdict = query::deutsch_jozsa(oracle);

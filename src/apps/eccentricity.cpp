@@ -40,7 +40,8 @@ Setup make_setup(const net::Graph& graph, std::uint64_t seed,
 /// queries triggers a multi-source BFS from exactly those nodes (Lemma 20);
 /// node v's contribution for query j is d(v, j) and the framework's
 /// max-convergecast assembles ecc(j).
-framework::DistributedOracle make_ecc_oracle(Setup& setup, const net::Graph& graph) {
+framework::DistributedOracle make_ecc_oracle(Setup& setup, const net::Graph& graph,
+                                             obs::RoundProfiler* profiler = nullptr) {
   const std::size_t n = graph.num_nodes();
   framework::OracleConfig config;
   config.domain_size = n;
@@ -48,6 +49,7 @@ framework::DistributedOracle make_ecc_oracle(Setup& setup, const net::Graph& gra
   config.value_bits = std::max<unsigned>(1, util::ceil_log2(n));
   config.combine = [](std::int64_t a, std::int64_t b) { return std::max(a, b); };
   config.identity = 0;
+  config.profiler = profiler;
 
   framework::DistributedOracle::BatchComputer computer =
       [&setup, n](std::span<const std::size_t> indices) {
@@ -75,7 +77,7 @@ EccentricityResult extremum_quantum(const net::Graph& graph, util::Rng& rng,
   EccentricityResult result;
   result.cost = setup.cost;
 
-  framework::DistributedOracle oracle = make_ecc_oracle(setup, graph);
+  framework::DistributedOracle oracle = make_ecc_oracle(setup, graph, options.metrics);
   std::size_t witness = maximum ? query::maxfind(oracle, rng) : query::minfind(oracle, rng);
   result.witness = witness;
   result.value = static_cast<std::size_t>(oracle.peek(witness));

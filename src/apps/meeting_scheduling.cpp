@@ -73,6 +73,7 @@ MeetingSchedulingResult meeting_scheduling_quantum(const net::Graph& graph,
   config.value_bits = std::max<unsigned>(1, util::ceil_log2(n + 1));
   config.combine = [](std::int64_t a, std::int64_t b) { return a + b; };
   config.identity = 0;
+  config.profiler = options.metrics;
   framework::DistributedOracle oracle(engine, tree, config, calendars);
 
   result.best_slot = query::maxfind(oracle, rng);

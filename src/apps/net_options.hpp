@@ -5,6 +5,7 @@
 
 #include "src/net/engine.hpp"
 #include "src/net/fault.hpp"
+#include "src/obs/round_profiler.hpp"
 
 namespace qcongest::apps {
 
@@ -34,6 +35,12 @@ struct NetOptions {
   /// model-conformance verifier (src/check/verifier.hpp) is the intended
   /// client. Must outlive every run of the configured engine.
   net::EngineObserver* observer = nullptr;
+  /// When non-null, the metrics tap: a RoundProfiler recording per-round
+  /// traffic series and phase spans for run reports (src/obs). The engine
+  /// has a single observer slot, so the profiler takes it and forwards
+  /// every callback to `observer` — both taps see identical streams. Must
+  /// outlive every run of the configured engine.
+  obs::RoundProfiler* metrics = nullptr;
   /// Worker threads for the engine's deterministic sharded round execution
   /// (Engine::set_threads). 1 = serial; any value produces byte-identical
   /// runs. No-op under Transport::kReliable.
@@ -47,7 +54,12 @@ struct NetOptions {
     if (fault_plan.active()) engine.set_fault_plan(fault_plan);
     engine.set_transport(transport, reliable_params);
     engine.set_trace(trace);
-    engine.set_observer(observer);
+    if (metrics != nullptr) {
+      metrics->set_downstream(observer);
+      engine.set_observer(metrics);
+    } else {
+      engine.set_observer(observer);
+    }
     engine.set_threads(threads);
   }
 };

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/framework/distributed_state.hpp"
+#include "src/obs/round_profiler.hpp"
 #include "src/util/combinatorics.hpp"
 
 namespace qcongest::framework {
@@ -62,8 +63,14 @@ std::vector<query::Value> DistributedOracle::fetch(
   const std::size_t idx_words =
       words_for_bits(util::ceil_log2(config_.domain_size), n);
   const std::size_t val_words = words_for_bits(config_.value_bits, n);
+  // Phase spans for the run report (no-ops without a profiler). The names
+  // are part of the report schema — see DESIGN.md §10.
+  auto mark = [this](const char* phase) {
+    if (config_.profiler != nullptr) config_.profiler->begin_phase(phase);
+  };
 
   // Phase 1: downcast the p index registers (quantum words, pipelined).
+  mark("query-broadcast");
   std::vector<std::int64_t> index_payload;
   index_payload.reserve(indices.size() * idx_words);
   for (std::size_t idx : indices) {
@@ -77,6 +84,7 @@ std::vector<query::Value> DistributedOracle::fetch(
   // Phase 2 (Corollary 9): on-the-fly value computation, alpha(p) rounds.
   std::vector<std::vector<query::Value>> batch_values;
   if (computer_) {
+    mark("batch-compute");
     BatchValues computed = computer_(indices);
     if (computed.per_node.size() != n) {
       throw std::logic_error("oracle: batch computer returned wrong node count");
@@ -92,6 +100,7 @@ std::vector<query::Value> DistributedOracle::fetch(
   }
 
   // Phase 3: aggregating convergecast of the p values.
+  mark("combine");
   auto conv = net::pipelined_convergecast(*engine_, *tree_, batch_values, val_words,
                                           config_.combine, /*quantum=*/true);
   total_cost_ += conv.cost;
@@ -100,6 +109,7 @@ std::vector<query::Value> DistributedOracle::fetch(
   // their partial sums, and the index registers collected back at the
   // leader. Mirror schedules of phases 3 and 1 (see DESIGN.md).
   if (config_.charge_uncompute) {
+    mark("uncompute");
     std::vector<std::int64_t> result_payload;
     result_payload.reserve(indices.size() * val_words);
     for (std::int64_t total : conv.totals) {
@@ -113,6 +123,7 @@ std::vector<query::Value> DistributedOracle::fetch(
         *engine_, *tree_,
         indices.size() * util::ceil_log2(config_.domain_size));
   }
+  if (config_.profiler != nullptr) config_.profiler->end_phase();
 
   return conv.totals;
 }

@@ -7,6 +7,10 @@
 #include "src/net/pipeline.hpp"
 #include "src/query/oracle.hpp"
 
+namespace qcongest::obs {
+class RoundProfiler;
+}  // namespace qcongest::obs
+
 namespace qcongest::framework {
 
 /// Configuration of a Theorem 8 distributed oracle for
@@ -21,6 +25,11 @@ struct OracleConfig {
   /// re-collected). Theorem 8 includes them; turning them off is an
   /// ablation knob.
   bool charge_uncompute = true;
+  /// When non-null, every charged batch marks its phases — query-broadcast,
+  /// batch-compute (Corollary 9 only), combine, uncompute — as spans on
+  /// this profiler, which must also be the engine's observer (see
+  /// apps::NetOptions::metrics) and must outlive the oracle.
+  obs::RoundProfiler* profiler = nullptr;
 };
 
 /// The paper's core construction (Theorem 8 + Corollary 9): a

@@ -18,8 +18,13 @@ std::vector<std::pair<std::pair<NodeId, NodeId>, std::size_t>> Trace::busiest_ed
   for (const TraceEvent& e : events_) ++counts[{e.from, e.to}];
   std::vector<std::pair<std::pair<NodeId, NodeId>, std::size_t>> sorted(
       counts.begin(), counts.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  // Total order — count descending, then (from, to) ascending — so tied
+  // edges come back in the same order on every STL implementation (the
+  // comparator alone makes the result unique; sort stability is moot).
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
   if (sorted.size() > top) sorted.resize(top);
   return sorted;
 }

@@ -1,0 +1,95 @@
+#include "src/obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace qcongest::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: at least one bucket bound required");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = bounds_.size();  // overflow unless a bound admits it
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+void MetricsRegistry::count(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+    return it->second;
+  }
+  if (!upper_bounds.empty() && upper_bounds != it->second.upper_bounds()) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-created with different bounds");
+  }
+  return it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::write_json(JsonWriter& writer) const {
+  writer.begin_object();
+  writer.key("counters").begin_object();
+  for (const auto& [name, value] : counters_) writer.key(name).value(value);
+  writer.end_object();
+  writer.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges_) writer.key(name).value(value);
+  writer.end_object();
+  writer.key("histograms").begin_object();
+  for (const auto& [name, histogram] : histograms_) {
+    writer.key(name).begin_object();
+    writer.key("upper_bounds").begin_array();
+    for (double bound : histogram.upper_bounds()) writer.value(bound);
+    writer.end_array();
+    writer.key("bucket_counts").begin_array();
+    for (std::uint64_t c : histogram.bucket_counts()) writer.value(c);
+    writer.end_array();
+    writer.key("count").value(histogram.count());
+    writer.key("sum").value(histogram.sum());
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+}
+
+}  // namespace qcongest::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace qcongest::obs {
+
+/// Fixed-bucket histogram. `upper_bounds` (strictly increasing) are fixed
+/// at creation: bucket i counts observations <= upper_bounds[i], and one
+/// trailing bucket counts the overflow. Fixing the layout up front keeps
+/// snapshots from different runs field-for-field comparable — there is no
+/// dynamic rebucketing to make two equal runs serialize differently.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// bucket_counts().size() == upper_bounds().size() + 1; the last entry is
+  /// the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Deterministic metrics registry: named counters (monotonic integers),
+/// gauges (last-write doubles), and fixed-bucket histograms.
+///
+/// Determinism contract (DESIGN.md §10): metrics live in std::map keyed by
+/// name, so iteration, snapshot and JSON order depend only on the names —
+/// never on insertion order, hashing, or the standard library. Two
+/// registries fed the same operations serialize byte-identically.
+class MetricsRegistry {
+ public:
+  /// Add `delta` to counter `name` (created at zero on first touch).
+  void count(const std::string& name, std::uint64_t delta = 1);
+  /// Current value of counter `name` (0 when never touched).
+  std::uint64_t counter(const std::string& name) const;
+
+  void set_gauge(const std::string& name, double value);
+
+  /// The histogram `name`, created with `upper_bounds` on first call.
+  /// Later calls must pass the same bounds (or none) — a mismatch throws,
+  /// because silently rebucketing would break snapshot comparability.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+  const Histogram* find_histogram(const std::string& name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// Serialize as one JSON object ({"counters": ..., "gauges": ...,
+  /// "histograms": ...}), names sorted.
+  void write_json(JsonWriter& writer) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace qcongest::obs

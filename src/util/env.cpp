@@ -1,0 +1,56 @@
+#include "src/util/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+namespace qcongest::util {
+
+std::size_t env_thread_count(const char* text, std::size_t fallback,
+                             std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  if (text == nullptr) return fallback;
+
+  const char* p = text;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') {
+    if (warning != nullptr) *warning = "is empty; using default";
+    return fallback;
+  }
+
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(p, &end, 10);
+  bool overflowed = errno == ERANGE;
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) ++end;
+
+  if (end == p || end == nullptr || *end != '\0') {
+    if (warning != nullptr) {
+      *warning = "is not a number ('" + std::string(text) + "'); using default";
+    }
+    return fallback;
+  }
+  if (overflowed || value > static_cast<long>(INT_MAX)) {
+    if (warning != nullptr) {
+      *warning = "is out of range ('" + std::string(text) + "'); using default";
+    }
+    return fallback;
+  }
+  if (value < 1) {
+    if (warning != nullptr) {
+      *warning = "must be >= 1 (got '" + std::string(text) + "'); using default";
+    }
+    return fallback;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::string env_directory(const char* text) {
+  if (text == nullptr) return "";
+  std::string dir = text;
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  return dir;
+}
+
+}  // namespace qcongest::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace qcongest::util {
+
+/// Strict parse of a worker/thread-count environment value. Accepts an
+/// optionally whitespace-wrapped base-10 integer >= 1; everything else —
+/// null, empty, trailing garbage ("4x"), zero, negatives, overflow — is
+/// rejected: the function returns `fallback` and, when `warning` is
+/// non-null and the value was present but invalid, stores a human-readable
+/// reason (empty string means the value was accepted or simply unset).
+///
+/// The previous ad-hoc strtol call silently mapped garbage and negative
+/// values to "serial", which hid typos like QCONGEST_BENCH_THREADS=8x
+/// behind an unexplained 8x slowdown.
+std::size_t env_thread_count(const char* text, std::size_t fallback,
+                             std::string* warning = nullptr);
+
+/// Normalize a directory value from the environment: null or empty -> ""
+/// (meaning "current directory"), otherwise trailing '/' characters are
+/// stripped — except a lone "/" which stays the filesystem root — so
+/// callers can unconditionally append "/file" without doubling separators.
+std::string env_directory(const char* text);
+
+}  // namespace qcongest::util

@@ -1,0 +1,85 @@
+// Regression tests for the benchmark-harness helpers: median_of (the
+// even-trial-count midpoint fix), the strict QCONGEST_BENCH_THREADS parse,
+// and the QCONGEST_BENCH_JSON_DIR normalization.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.hpp"
+#include "src/util/env.hpp"
+
+namespace qcongest {
+namespace {
+
+TEST(MedianOf, OddTrialCountsPickTheMiddle) {
+  int call = 0;
+  double values[] = {5.0, 1.0, 3.0};
+  double result = bench::median_of(3, std::function<double()>([&] {
+                                     return values[call++];
+                                   }));
+  EXPECT_DOUBLE_EQ(result, 3.0);
+}
+
+TEST(MedianOf, EvenTrialCountsAverageTheMiddlePair) {
+  // Regression test: the old implementation returned the upper-middle
+  // element for even trial counts, biasing every even-count median upward.
+  int call = 0;
+  double values[] = {4.0, 1.0, 3.0, 2.0};
+  double result = bench::median_of(4, std::function<double()>([&] {
+                                     return values[call++];
+                                   }));
+  EXPECT_DOUBLE_EQ(result, 2.5);
+}
+
+TEST(MedianOf, IndexedOverloadMatchesSerialOverload) {
+  auto f = [](int t) { return static_cast<double>((t * 7 + 3) % 10); };
+  for (int trials : {1, 2, 4, 5, 8}) {
+    std::vector<double> values;
+    for (int t = 0; t < trials; ++t) values.push_back(f(t));
+    double expected = util::median(std::move(values));
+    EXPECT_DOUBLE_EQ(bench::median_of(trials, std::function<double(int)>(f)),
+                     expected)
+        << "trials=" << trials;
+  }
+}
+
+TEST(EnvThreadCount, AcceptsPositiveIntegers) {
+  std::string warning;
+  EXPECT_EQ(util::env_thread_count(nullptr, 1, &warning), 1u);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(util::env_thread_count("8", 1, &warning), 8u);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(util::env_thread_count("  16  ", 1, &warning), 16u);
+  EXPECT_TRUE(warning.empty());
+}
+
+TEST(EnvThreadCount, RejectsGarbageWithWarning) {
+  // Regression test: these all used to silently fall back to serial via
+  // atoi-style parsing; now each produces an explicit warning.
+  for (const char* bad : {"", "  ", "abc", "4x", "0", "-2", "2.5",
+                          "999999999999999999999999"}) {
+    std::string warning;
+    EXPECT_EQ(util::env_thread_count(bad, 3, &warning), 3u) << "input: " << bad;
+    EXPECT_FALSE(warning.empty()) << "input: " << bad;
+  }
+}
+
+TEST(EnvDirectory, NormalizesTrailingSlashes) {
+  // Regression test: "dir/" + "/" + file used to produce "dir//file".
+  EXPECT_EQ(util::env_directory(nullptr), "");
+  EXPECT_EQ(util::env_directory(""), "");
+  EXPECT_EQ(util::env_directory("out"), "out");
+  EXPECT_EQ(util::env_directory("out/"), "out");
+  EXPECT_EQ(util::env_directory("out///"), "out");
+  EXPECT_EQ(util::env_directory("/tmp/x/"), "/tmp/x");
+  EXPECT_EQ(util::env_directory("/"), "/");  // root stays root
+}
+
+TEST(SessionReport, IsProcessWideAndStartsEmpty) {
+  obs::RunReport& report = bench::session_report();
+  EXPECT_EQ(&report, &bench::session_report());
+  report.clear();
+  EXPECT_TRUE(report.empty());
+}
+
+}  // namespace
+}  // namespace qcongest

@@ -100,5 +100,68 @@ TEST(Trace, EmptyTraceBehaves) {
   EXPECT_EQ(trace.render_timeline(), "");
 }
 
+TEST(Trace, BusiestEdgesBreaksTiesByEndpoints) {
+  // Four directed edges, all with the same count: the result must come back
+  // sorted by (from, to) ascending, independent of recording order.
+  // Regression test — the old comparator only ordered by count, leaving tied
+  // edges in whatever order the sort left them.
+  Trace trace;
+  for (auto [from, to] : {std::pair<NodeId, NodeId>{3, 1},
+                          {0, 2},
+                          {1, 0},
+                          {0, 1}}) {
+    trace.record({/*round=*/0, from, to, /*tag=*/7, /*quantum=*/false});
+    trace.record({/*round=*/1, from, to, /*tag=*/7, /*quantum=*/false});
+  }
+  auto busiest = trace.busiest_edges(4);
+  ASSERT_EQ(busiest.size(), 4u);
+  std::vector<std::pair<NodeId, NodeId>> order;
+  for (const auto& [edge, count] : busiest) {
+    EXPECT_EQ(count, 2u);
+    order.push_back(edge);
+  }
+  std::vector<std::pair<NodeId, NodeId>> expected = {{0, 1}, {0, 2}, {1, 0}, {3, 1}};
+  EXPECT_EQ(order, expected);
+  // A higher-count edge still sorts first regardless of endpoints.
+  trace.record({/*round=*/2, 9, 9, /*tag=*/7, /*quantum=*/false});
+  trace.record({/*round=*/2, 9, 9, /*tag=*/7, /*quantum=*/false});
+  trace.record({/*round=*/3, 9, 9, /*tag=*/7, /*quantum=*/false});
+  auto with_peak = trace.busiest_edges(1);
+  ASSERT_EQ(with_peak.size(), 1u);
+  EXPECT_EQ(with_peak[0].first, (std::pair<NodeId, NodeId>{9, 9}));
+  EXPECT_EQ(with_peak[0].second, 3u);
+}
+
+TEST(Trace, TimelineHandlesSilentRounds) {
+  // Events only in round 2: rounds 0 and 1 must still render, with empty
+  // bars, and the round-2 bar is scaled to the peak.
+  Trace trace;
+  trace.record({/*round=*/2, 0, 1, /*tag=*/1, /*quantum=*/false});
+  trace.record({/*round=*/2, 1, 2, /*tag=*/1, /*quantum=*/false});
+  auto counts = trace.per_round_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 2u);
+  std::string timeline = trace.render_timeline(10);
+  EXPECT_NE(timeline.find("r0 | 0\n"), std::string::npos);
+  EXPECT_NE(timeline.find("r1 | 0\n"), std::string::npos);
+  EXPECT_NE(timeline.find("r2 |########## 2\n"), std::string::npos);
+}
+
+TEST(Trace, EdgeTotalsMergeBothDirections) {
+  // Traffic in both directions over the same physical edge lands in one
+  // undirected (min, max) bucket.
+  Trace trace;
+  trace.record({/*round=*/0, 0, 1, /*tag=*/1, /*quantum=*/false});
+  trace.record({/*round=*/0, 1, 0, /*tag=*/1, /*quantum=*/false});
+  trace.record({/*round=*/1, 1, 0, /*tag=*/1, /*quantum=*/false});
+  trace.record({/*round=*/1, 2, 1, /*tag=*/1, /*quantum=*/false});
+  auto totals = trace.edge_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ((totals.at({0, 1})), 3u);
+  EXPECT_EQ((totals.at({1, 2})), 1u);
+}
+
 }  // namespace
 }  // namespace qcongest::net

@@ -5,7 +5,7 @@
 //   chaos_run [--nodes N] [--trials T] [--graph FAMILY]
 //             [--transport reliable|direct] [--seed S]
 //             [--threads T] [--jobs J]
-//             [--verify] [--audit-determinism]
+//             [--verify] [--audit-determinism] [--report PATH]
 //
 // families: tree | path | cycle | grid | random
 //
@@ -25,6 +25,14 @@
 //
 // --verify attaches the model-conformance verifier (src/check) to every
 // engine of the sweep and fails the run if any CONGEST invariant broke.
+//
+// --report PATH additionally runs every app once clean and once at the 0.05
+// fault level with the full observability stack attached (trace +
+// RoundProfiler metrics tap) and writes one schema-versioned run-report
+// JSON (src/obs) to PATH: per-app RunResult counters, per-round traffic
+// series, phase spans, trace summaries, and a metrics snapshot. The report
+// carries only seed-deterministic fields — it is byte-identical for any
+// --threads value, which CI exploits by diffing the two.
 //
 // --audit-determinism replaces the sweep with the reproducibility gate:
 // every app runs twice from the same seed and the two delivery traces are
@@ -53,6 +61,9 @@
 #include "src/net/multi_bfs.hpp"
 #include "src/net/pipeline.hpp"
 #include "src/net/trace.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/round_profiler.hpp"
+#include "src/obs/run_report.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -70,6 +81,7 @@ struct Options {
   std::size_t jobs = 1;     // concurrent sweep trials
   bool verify = false;
   bool audit_determinism = false;
+  std::string report;  // run-report output path ("" = no report)
 };
 
 struct Outcome {
@@ -223,6 +235,8 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (flag == "--jobs") {
       opt.jobs = static_cast<std::size_t>(std::stoul(value));
       if (opt.jobs == 0) opt.jobs = 1;
+    } else if (flag == "--report") {
+      opt.report = value;
     } else if (flag == "--transport") {
       if (value == "reliable") {
         opt.transport = net::Transport::kReliable;
@@ -340,6 +354,90 @@ int run_determinism_audit(const net::Graph& graph, const Options& opt,
   return exit_code;
 }
 
+/// Format a fault rate as a short fixed-point label ("0.05").
+std::string rate_label(double rate) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2f", rate);
+  return buf;
+}
+
+/// The --report pass: one instrumented run per (app, fault level) with the
+/// full observability stack attached, merged into a single schema-versioned
+/// document. Everything recorded is seed-deterministic (no wall-clock, no
+/// thread counts), so the file is byte-identical for any --threads value.
+int write_run_report(const net::Graph& graph, const Options& opt,
+                     const std::vector<AppEntry>& suite) {
+  obs::RunReport report("chaos_run");
+  const std::vector<double> rates = {0.0, 0.05};
+  for (const AppEntry& app : suite) {
+    for (double rate : rates) {
+      apps::NetOptions options;
+      options.transport = opt.transport;
+      options.threads = opt.threads;
+      options.seed = opt.seed;
+      options.fault_plan.link.drop = rate;
+      options.fault_plan.link.corrupt = rate / 5.0;
+      options.fault_plan.link.duplicate = rate / 10.0;
+      options.fault_plan.seed = opt.seed * 1000;
+
+      net::Trace trace;
+      obs::RoundProfiler profiler;
+      options.trace = &trace;
+      options.metrics = &profiler;
+
+      Outcome out;
+      bool threw = false;
+      try {
+        out = app.run(graph, options);
+      } catch (const std::exception&) {
+        threw = true;
+        out.success = false;
+      }
+
+      obs::MetricsRegistry metrics;
+      metrics.count("runs", profiler.total_runs());
+      metrics.count("messages", trace.size());
+      if (out.success) metrics.count("successes");
+      if (threw) metrics.count("aborted_runs");
+      obs::Histogram& load =
+          metrics.histogram("messages_per_round", {1, 2, 4, 8, 16, 32, 64, 128});
+      for (std::size_t count : trace.per_round_counts()) {
+        load.observe(static_cast<double>(count));
+      }
+
+      obs::RunReport::Section& section =
+          report.add_section(std::string(app.name) + "@drop=" + rate_label(rate));
+      section.set_label("app", app.name);
+      section.set_label("graph", opt.graph);
+      section.set_label("nodes", std::to_string(graph.num_nodes()));
+      section.set_label("drop", rate_label(rate));
+      section.set_label("transport", opt.transport == net::Transport::kReliable
+                                         ? "reliable"
+                                         : "direct");
+      section.set_label("seed", std::to_string(opt.seed));
+      section.set_outcome(out.success);
+      section.set_result(out.cost);
+      section.set_profile(profiler);
+      section.set_trace(trace);
+      section.set_metrics(metrics);
+    }
+  }
+  std::string json = report.to_json();
+  std::string error;
+  if (!obs::json_valid(json, &error)) {
+    std::fprintf(stderr, "chaos_run: generated report is not valid JSON (%s)\n",
+                 error.c_str());
+    return 1;
+  }
+  if (!report.write(opt.report, &error)) {
+    std::fprintf(stderr, "chaos_run: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("# run report: %s (%zu sections)\n", opt.report.c_str(),
+              report.sections().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,7 +447,7 @@ int main(int argc, char** argv) {
         "usage: chaos_run [--nodes N] [--trials T] [--graph FAMILY]\n"
         "                 [--transport reliable|direct] [--seed S]\n"
         "                 [--threads T] [--jobs J]\n"
-        "                 [--verify] [--audit-determinism]\n"
+        "                 [--verify] [--audit-determinism] [--report PATH]\n"
         "families: tree path cycle grid random");
     return 2;
   }
@@ -442,6 +540,10 @@ int main(int argc, char** argv) {
   if (opt.verify) {
     std::printf("%s\n", verifier.report().c_str());
     if (!verifier.ok()) exit_code = 1;
+  }
+  if (!opt.report.empty()) {
+    int report_code = write_run_report(graph, opt, suite);
+    if (report_code != 0) exit_code = report_code;
   }
   return exit_code;
 }

@@ -14,8 +14,16 @@
 //     recorded the baseline (which makes the wall-clock gate lenient,
 //     never spurious).
 //
+// With --report the two files are REPORT_*.json run reports instead
+// (src/obs/run_report.hpp): schema-versioned documents whose determinism
+// contract says equal seeded workloads serialize byte-identically. The gate
+// then validates both documents as JSON (obs::json_valid) and requires them
+// to be byte-identical — any drift in round series, phase spans, trace
+// digests, or metrics is a behavioural change and fails, with the first
+// differing line printed.
+//
 // Usage: perf_gate <baseline.json> <current.json>
-//          [--threshold R] [--min-ns N] [--no-time]
+//          [--threshold R] [--min-ns N] [--no-time] [--report]
 //
 // Exit 0 when every benchmark present in the baseline passes; 1 on any
 // regression or missing benchmark; 2 on usage/parse errors.
@@ -30,6 +38,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "src/obs/json.hpp"
 
 namespace {
 
@@ -102,8 +112,61 @@ std::map<std::string, BenchRun> parse_bench_json(const std::string& path) {
 
 int usage() {
   std::cerr << "usage: perf_gate <baseline.json> <current.json>"
-            << " [--threshold R] [--min-ns N] [--no-time]\n";
+            << " [--threshold R] [--min-ns N] [--no-time] [--report]\n";
   return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// --report mode: both documents must be valid JSON and byte-identical
+/// (run reports contain only seed-deterministic fields, so equality is the
+/// specified behaviour, not a flaky hope).
+int compare_reports(const std::string& baseline_path, const std::string& current_path) {
+  std::string baseline, current;
+  try {
+    baseline = read_file(baseline_path);
+    current = read_file(current_path);
+  } catch (const std::exception& e) {
+    std::cerr << "perf_gate: " << e.what() << "\n";
+    return 2;
+  }
+  std::string error;
+  if (!qcongest::obs::json_valid(baseline, &error)) {
+    std::cerr << "perf_gate: " << baseline_path << ": invalid JSON: " << error << "\n";
+    return 2;
+  }
+  if (!qcongest::obs::json_valid(current, &error)) {
+    std::cerr << "perf_gate: " << current_path << ": invalid JSON: " << error << "\n";
+    return 2;
+  }
+  if (baseline == current) {
+    std::cout << "perf_gate: reports are byte-identical (" << baseline.size()
+              << " bytes)\n";
+    return 0;
+  }
+  std::istringstream base_lines(baseline), cur_lines(current);
+  std::string base_line, cur_line;
+  std::size_t line_no = 0;
+  while (true) {
+    ++line_no;
+    bool base_ok = static_cast<bool>(std::getline(base_lines, base_line));
+    bool cur_ok = static_cast<bool>(std::getline(cur_lines, cur_line));
+    if (!base_ok && !cur_ok) break;
+    if (!base_ok || !cur_ok || base_line != cur_line) {
+      std::cerr << "FAIL  reports differ at line " << line_no << ":\n"
+                << "  baseline: " << (base_ok ? base_line : "<end of file>") << "\n"
+                << "  current:  " << (cur_ok ? cur_line : "<end of file>") << "\n";
+      break;
+    }
+  }
+  std::cerr << "perf_gate: run report drifted from " << baseline_path << "\n";
+  return 1;
 }
 
 }  // namespace
@@ -113,6 +176,7 @@ int main(int argc, char** argv) {
   double threshold = 1.25;
   double min_ns = 1e6;
   bool check_time = true;
+  bool report_mode = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--threshold" && i + 1 < argc) {
@@ -121,6 +185,8 @@ int main(int argc, char** argv) {
       min_ns = std::strtod(argv[++i], nullptr);
     } else if (arg == "--no-time") {
       check_time = false;
+    } else if (arg == "--report") {
+      report_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -128,6 +194,7 @@ int main(int argc, char** argv) {
     }
   }
   if (positional.size() != 2) return usage();
+  if (report_mode) return compare_reports(positional[0], positional[1]);
 
   std::map<std::string, BenchRun> baseline, current;
   try {

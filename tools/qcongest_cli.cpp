@@ -2,22 +2,31 @@
 // from the command line, printing the answer and the measured round costs.
 //
 //   qcongest_cli <problem> [--graph FAMILY] [--nodes N] [--k K]
-//                [--epsilon E] [--seed S] [--girth G]
+//                [--epsilon E] [--seed S] [--girth G] [--report PATH]
 //
 // problems:  diameter | radius | avgecc | girth | cycle | meeting | dj
 //            | distinctness | exactcycle
 // families:  path | cycle | grid | star | tree | random | petersen
 //            | two-stars | cycle-trees | lollipop
 //
+// --report PATH writes a schema-versioned run report (src/obs): one section
+// per printed cost line with the full RunResult counters, plus — for the
+// problems that accept a NetOptions (diameter, radius, meeting, dj) — the
+// per-round traffic series, phase spans, and a trace digest. The document
+// is fully deterministic for a fixed seed (see DESIGN.md §10).
+//
 // Examples:
 //   qcongest_cli diameter --graph two-stars --nodes 64
 //   qcongest_cli meeting --graph path --nodes 9 --k 4096
 //   qcongest_cli girth --graph cycle-trees --nodes 50 --girth 6
+//   qcongest_cli dj --nodes 16 --k 64 --report dj_report.json
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/apps/cycle_detection.hpp"
 #include "src/apps/deutsch_jozsa.hpp"
@@ -28,6 +37,10 @@
 #include "src/apps/meeting_scheduling.hpp"
 #include "src/apps/twoparty.hpp"
 #include "src/net/generators.hpp"
+#include "src/net/trace.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/round_profiler.hpp"
+#include "src/obs/run_report.hpp"
 
 using namespace qcongest;
 
@@ -42,16 +55,19 @@ struct Options {
   std::size_t bandwidth = 1;
   double epsilon = 1.0;
   std::uint64_t seed = 1;
+  std::string report;  // when non-empty, write a run report here
 };
 
 void usage() {
   std::puts(
       "usage: qcongest_cli <problem> [--graph FAMILY] [--nodes N] [--k K]\n"
       "                    [--epsilon E] [--seed S] [--girth G] [--bandwidth B]\n"
+      "                    [--report PATH]\n"
       "problems: diameter radius avgecc girth cycle meeting dj distinctness\n"
       "          exactcycle\n"
       "families: path cycle grid star tree random petersen two-stars\n"
-      "          cycle-trees lollipop");
+      "          cycle-trees lollipop\n"
+      "--report PATH: write a deterministic, schema-versioned JSON run report");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -74,6 +90,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.seed = std::stoull(value);
     } else if (flag == "--bandwidth") {
       opt.bandwidth = static_cast<std::size_t>(std::stoul(value));
+    } else if (flag == "--report") {
+      opt.report = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -99,23 +117,40 @@ net::Graph make_graph(const Options& opt, util::Rng& rng) {
   throw std::invalid_argument("unknown graph family: " + opt.graph);
 }
 
-void print_cost(const char* label, const net::RunResult& cost) {
-  std::printf("  %-22s %8zu rounds  %10zu messages  (%zu quantum words)\n", label,
-              cost.rounds, cost.messages, cost.quantum_words);
-}
+/// Everything --report needs, accumulated while the problem runs: the taps
+/// handed to apps that take a NetOptions, plus every printed cost line.
+struct ReportState {
+  bool enabled = false;
+  net::Trace trace;
+  obs::RoundProfiler profiler;
+  std::vector<std::pair<std::string, net::RunResult>> costs;
+};
 
-int run(const Options& opt) {
+int run_problem(const Options& opt, ReportState& rs) {
   util::Rng rng(opt.seed);
   net::Graph graph = make_graph(opt, rng);
   std::printf("graph: %s  n=%zu m=%zu D=%zu\n", opt.graph.c_str(), graph.num_nodes(),
               graph.num_edges(), graph.diameter());
 
+  auto print_cost = [&rs](const char* label, const net::RunResult& cost) {
+    std::printf("  %-22s %8zu rounds  %10zu messages  (%zu quantum words)\n", label,
+                cost.rounds, cost.messages, cost.quantum_words);
+    rs.costs.emplace_back(label, cost);
+  };
+  apps::NetOptions net_options;
+  net_options.bandwidth = opt.bandwidth;
+  net_options.seed = opt.seed;
+  if (rs.enabled) {
+    net_options.trace = &rs.trace;
+    net_options.metrics = &rs.profiler;
+  }
+
   if (opt.problem == "diameter" || opt.problem == "radius") {
     bool diameter = opt.problem == "diameter";
-    auto quantum =
-        diameter ? apps::diameter_quantum(graph, rng) : apps::radius_quantum(graph, rng);
-    auto classical =
-        diameter ? apps::diameter_classical(graph) : apps::radius_classical(graph);
+    auto quantum = diameter ? apps::diameter_quantum(graph, rng, net_options)
+                            : apps::radius_quantum(graph, rng, net_options);
+    auto classical = diameter ? apps::diameter_classical(graph, net_options)
+                              : apps::radius_classical(graph, net_options);
     std::printf("%s: quantum=%zu classical=%zu truth=%zu\n", opt.problem.c_str(),
                 quantum.value, classical.value,
                 diameter ? graph.diameter() : graph.radius());
@@ -172,8 +207,6 @@ int run(const Options& opt) {
     for (auto& row : calendars) {
       for (auto& slot : row) slot = rng.bernoulli(0.3) ? 1 : 0;
     }
-    apps::NetOptions net_options;
-    net_options.bandwidth = opt.bandwidth;
     auto reference = apps::meeting_scheduling_reference(calendars);
     auto quantum = apps::meeting_scheduling_quantum(graph, calendars, rng, net_options);
     auto classical = apps::meeting_scheduling_classical(graph, calendars, net_options);
@@ -189,8 +222,9 @@ int run(const Options& opt) {
     std::size_t k = opt.k % 2 == 0 ? opt.k : opt.k + 1;
     auto gadget = apps::deutsch_jozsa_gadget(k, std::max(graph.diameter(), std::size_t{1}),
                                              rng.bernoulli(0.5), rng);
-    auto quantum = apps::deutsch_jozsa_quantum(gadget.graph, gadget.data);
-    auto classical = apps::deutsch_jozsa_classical_exact(gadget.graph, gadget.data);
+    auto quantum = apps::deutsch_jozsa_quantum(gadget.graph, gadget.data, net_options);
+    auto classical =
+        apps::deutsch_jozsa_classical_exact(gadget.graph, gadget.data, net_options);
     std::printf("deutsch-jozsa (k=%zu, planted %s): quantum says %s\n", k,
                 gadget.balanced ? "balanced" : "constant",
                 quantum.verdict == query::DjVerdict::kBalanced ? "balanced"
@@ -223,6 +257,59 @@ int run(const Options& opt) {
   }
   std::fprintf(stderr, "unknown problem: %s\n", opt.problem.c_str());
   return 2;
+}
+
+int write_report(const Options& opt, const ReportState& rs) {
+  obs::RunReport report("qcongest_cli");
+
+  // Overview section: run parameters, the profiler's per-round series and
+  // phase spans, the trace digest, and totals across every cost line.
+  obs::RunReport::Section& overview = report.add_section(opt.problem);
+  overview.set_label("problem", opt.problem);
+  overview.set_label("graph", opt.graph);
+  overview.set_label("nodes", std::to_string(opt.nodes));
+  overview.set_label("k", std::to_string(opt.k));
+  overview.set_label("bandwidth", std::to_string(opt.bandwidth));
+  overview.set_label("seed", std::to_string(opt.seed));
+  overview.set_outcome(true);
+  overview.set_profile(rs.profiler);
+  overview.set_trace(rs.trace);
+  obs::MetricsRegistry metrics;
+  metrics.count("cost_lines", rs.costs.size());
+  for (const auto& [label, cost] : rs.costs) {
+    metrics.count("total_rounds", cost.rounds);
+    metrics.count("total_messages", cost.messages);
+    metrics.count("total_quantum_words", cost.quantum_words);
+  }
+  overview.set_metrics(metrics);
+
+  // One section per printed cost line, carrying the full RunResult.
+  for (const auto& [label, cost] : rs.costs) {
+    obs::RunReport::Section& section = report.add_section(opt.problem + "/" + label);
+    section.set_label("variant", label);
+    section.set_result(cost);
+  }
+
+  std::string error;
+  if (!obs::json_valid(report.to_json(), &error)) {
+    std::fprintf(stderr, "error: report self-validation failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (!report.write(opt.report, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("report: %s (%zu sections)\n", opt.report.c_str(),
+              report.sections().size());
+  return 0;
+}
+
+int run(const Options& opt) {
+  ReportState rs;
+  rs.enabled = !opt.report.empty();
+  int code = run_problem(opt, rs);
+  if (rs.enabled && code == 0) code = write_report(opt, rs);
+  return code;
 }
 
 }  // namespace
