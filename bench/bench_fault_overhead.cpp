@@ -113,4 +113,46 @@ BENCHMARK(BM_FaultOverheadDowncast)
     ->Args({100, 31, 64})
     ->Args({50, 31, 256});
 
+// The retransmission-backoff satellite: at a punishing drop rate, sweep the
+// backoff cap (ReliableParams::rto_cap). The doubling RTO is capped there
+// and deterministically jittered per link, so repeated losses neither back
+// off unboundedly (a capped link retries within rto_cap rounds of any
+// delivery) nor resynchronise into lockstep retry bursts. A tight cap buys
+// rounds with duplicate traffic; a loose cap the reverse — the sweep shows
+// the curve the default (128) sits on.
+void BM_FaultOverheadBackoffCap(benchmark::State& state) {
+  const auto rate_permille = static_cast<double>(state.range(0));
+  const auto cap = static_cast<std::size_t>(state.range(1));
+  net::Graph g = net::binary_tree(31);
+
+  double rounds = 0, retrans = 0;
+  std::vector<double> trial_retrans(5, 0.0);
+  for (auto _ : state) {
+    rounds = bench::median_of(5, [&](int t) {
+      net::Engine engine(g, 1, static_cast<std::uint64_t>(t) + 1);
+      net::FaultPlan plan =
+          plan_for(rate_permille, static_cast<std::uint64_t>(t) * 31 + 7);
+      engine.set_fault_plan(plan);
+      net::ReliableParams params;
+      params.rto_cap = cap;
+      engine.set_transport(net::Transport::kReliable, params);
+      net::BfsTree tree = net::build_bfs_tree(engine, 0);
+      trial_retrans[static_cast<std::size_t>(t)] =
+          static_cast<double>(tree.cost.retransmissions);
+      return static_cast<double>(tree.cost.rounds);
+    });
+    retrans = trial_retrans[trial_retrans.size() / 2];
+  }
+  net::Engine clean_engine = make_engine(g, 0.0, 1);
+  double clean = static_cast<double>(net::build_bfs_tree(clean_engine, 0).cost.rounds);
+  bench::report(state, rounds, clean);
+  state.counters["retransmissions"] = retrans;
+}
+BENCHMARK(BM_FaultOverheadBackoffCap)
+    ->ArgNames({"drop_permille", "rto_cap"})
+    ->Args({100, 8})
+    ->Args({100, 32})
+    ->Args({100, 128})
+    ->Args({100, 1024});
+
 }  // namespace

@@ -24,9 +24,12 @@ BASELINE_DIR=bench/baselines
 
 # The pinned subset: one framework batch-cost point, the two interesting
 # parallelism-sweep points (p=1 serial-engine hot path, p=32 ~ diameter),
-# and the clean + faulty BFS rows of the reliable-transport overhead bench.
+# the clean + faulty BFS rows of the reliable-transport overhead bench,
+# and two recovery-tax rows (full replay vs dense checkpoints) whose
+# recovery_rounds/recovery_words counters pin the E-recover accounting.
 FRAMEWORK_FILTER='BM_BatchCost/n:64/k:1024/p:8/q:10|BM_ParallelismSweep/p:(1|32)/'
 FAULT_FILTER='BM_FaultOverheadBfs/drop_permille:(0|50)/n:31'
+RECOVER_FILTER='BM_RecoveryTaxBfs/ckpt_every:(0|2)/n:31'
 
 OUT_DIR=$(mktemp -d)
 trap 'rm -rf "${OUT_DIR}"' EXIT
@@ -34,6 +37,7 @@ export QCONGEST_BENCH_JSON_DIR="${OUT_DIR}"
 
 "${BUILD_DIR}/bench/bench_framework" --benchmark_filter="${FRAMEWORK_FILTER}"
 "${BUILD_DIR}/bench/bench_fault_overhead" --benchmark_filter="${FAULT_FILTER}"
+"${BUILD_DIR}/bench/bench_recovery" --benchmark_filter="${RECOVER_FILTER}"
 
 if [ "${MODE}" = "--record" ]; then
   mkdir -p "${BASELINE_DIR}"

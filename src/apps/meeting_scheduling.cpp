@@ -88,7 +88,7 @@ MeetingSchedulingResult meeting_scheduling_classical(const net::Graph& graph,
                                                      const NetOptions& options) {
   validate_calendars(graph, calendars);
   net::Engine engine(graph, options.bandwidth, options.seed);
-  engine.track_cut(options.tracked_cut);
+  options.configure(engine);
   MeetingSchedulingResult result;
 
   auto election = net::elect_leader(engine);

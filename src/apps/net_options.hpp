@@ -6,6 +6,8 @@
 #include "src/net/engine.hpp"
 #include "src/net/fault.hpp"
 #include "src/obs/round_profiler.hpp"
+#include "src/recover/checkpoint.hpp"
+#include "src/recover/watchdog.hpp"
 
 namespace qcongest::apps {
 
@@ -45,21 +47,36 @@ struct NetOptions {
   /// (Engine::set_threads). 1 = serial; any value produces byte-identical
   /// runs. No-op under Transport::kReliable.
   std::size_t threads = 1;
+  /// Crash-with-amnesia recovery: when enabled, the engine checkpoints node
+  /// state per CheckpointPolicy and amnesia-crashed nodes rebuild themselves
+  /// from their last checkpoint plus neighbor-assisted catch-up (src/recover).
+  /// The extra traffic is reported in RunResult::recovery_words/rounds.
+  recover::RecoveryPolicy recovery;
+  /// When non-null, a run-level liveness watchdog inserted into the observer
+  /// chain: it converts quiescence-without-termination and retransmit-storm
+  /// livelock into a thrown recover::LivelockError naming suspected-dead
+  /// nodes. Must outlive every run of the configured engine.
+  recover::Watchdog* watchdog = nullptr;
 
-  /// Apply cut tracking, the fault plan, the transport, and any trace /
-  /// observer taps to an engine (bandwidth and seed are constructor
-  /// parameters of Engine).
+  /// Apply cut tracking, the fault plan, the transport, recovery, and any
+  /// trace / observer taps to an engine (bandwidth and seed are constructor
+  /// parameters of Engine). Observer chain: metrics -> watchdog -> observer.
   void configure(net::Engine& engine) const {
     engine.track_cut(tracked_cut);
     if (fault_plan.active()) engine.set_fault_plan(fault_plan);
     engine.set_transport(transport, reliable_params);
     engine.set_trace(trace);
-    if (metrics != nullptr) {
-      metrics->set_downstream(observer);
-      engine.set_observer(metrics);
-    } else {
-      engine.set_observer(observer);
+    engine.set_recovery(recovery);
+    net::EngineObserver* tail = observer;
+    if (watchdog != nullptr) {
+      watchdog->set_downstream(tail);
+      tail = watchdog;
     }
+    if (metrics != nullptr) {
+      metrics->set_downstream(tail);
+      tail = metrics;
+    }
+    engine.set_observer(tail);
     engine.set_threads(threads);
   }
 };

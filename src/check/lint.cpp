@@ -388,6 +388,167 @@ void check_runresult_discard(const std::string& path, const std::string& strippe
                  raw});
 }
 
+// --- Rule: unsnapshotted-state ---------------------------------------------
+
+/// True when `line` carries a base-clause mention of NodeProgram — i.e. the
+/// class on this (or the enclosing) header line derives from it: the
+/// occurrence, after unwinding namespace qualifiers, is preceded by an
+/// access specifier, a lone ':', or a ',' of the base list. Plain uses
+/// (`std::unique_ptr<NodeProgram>`) do not match.
+bool derives_node_program(const std::string& line) {
+  std::size_t at = find_word(line, "NodeProgram");
+  while (at != std::string::npos) {
+    std::size_t i = at;
+    while (i >= 2 && line[i - 1] == ':' && line[i - 2] == ':') {
+      i -= 2;
+      while (i > 0 && ident_char(line[i - 1])) --i;
+    }
+    while (i > 0 && line[i - 1] == ' ') --i;
+    auto keyword_before = [&](const std::string& kw) {
+      return i >= kw.size() && line.compare(i - kw.size(), kw.size(), kw) == 0 &&
+             (i == kw.size() || !ident_char(line[i - kw.size() - 1]));
+    };
+    if (keyword_before("public") || keyword_before("protected") ||
+        keyword_before("private")) {
+      return true;
+    }
+    if (i > 0 && (line[i - 1] == ',' ||
+                  (line[i - 1] == ':' && (i < 2 || line[i - 2] != ':')))) {
+      return true;
+    }
+    at = find_word(line, "NodeProgram", at + 1);
+  }
+  return false;
+}
+
+/// Identifiers with the member naming convention (trailing '_') on a
+/// stripped declaration line.
+std::vector<std::string> trailing_underscore_idents(const std::string& line) {
+  std::vector<std::string> names;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (!ident_char(line[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < line.size() && ident_char(line[i])) ++i;
+    if (line[i - 1] == '_' && i - start > 1) names.push_back(line.substr(start, i - start));
+  }
+  return names;
+}
+
+/// Whole-file pass: inside every class deriving from NodeProgram that
+/// overrides snapshot() — the act that declares the program recoverable —
+/// each mutable data member (trailing underscore, non-pointer, non-const,
+/// non-static) must appear by name in the snapshot() or restore() body, or
+/// an amnesia restart silently resets it to its constructed value.
+void check_unsnapshotted_state(const std::string& path,
+                               const std::vector<std::string>& stripped_lines,
+                               const std::vector<std::string>& raw_lines,
+                               std::vector<LintDiagnostic>& out) {
+  struct Member {
+    std::size_t line = 0;  // 1-based
+    std::string name;
+  };
+  bool in_class = false;
+  bool body_open = false;
+  int base_depth = 0;       // brace depth just before the class's '{'
+  bool capturing = false;   // inside a snapshot()/restore() body
+  bool overrides_snapshot = false;
+  std::string coverage;     // accumulated snapshot()/restore() text
+  std::vector<Member> members;
+
+  int depth = 0;
+  for (std::size_t idx = 0; idx < stripped_lines.size(); ++idx) {
+    const std::string& line = stripped_lines[idx];
+    int opens = static_cast<int>(std::count(line.begin(), line.end(), '{'));
+    int closes = static_cast<int>(std::count(line.begin(), line.end(), '}'));
+
+    if (!in_class && derives_node_program(line) &&
+        (find_word(line, "class") != std::string::npos ||
+         find_word(line, "struct") != std::string::npos ||
+         (idx > 0 && (find_word(stripped_lines[idx - 1], "class") != std::string::npos ||
+                      find_word(stripped_lines[idx - 1], "struct") != std::string::npos)))) {
+      in_class = true;
+      body_open = false;
+      base_depth = depth;
+      capturing = false;
+      overrides_snapshot = false;
+      coverage.clear();
+      members.clear();
+    }
+
+    if (in_class) {
+      if (capturing) {
+        coverage += line;
+        coverage += '\n';
+      } else if (body_open && depth == base_depth + 1) {
+        // Method-body entry: `bool snapshot(...)` / `bool restore(...)`
+        // defined at member depth.
+        std::size_t snap = find_word(line, "snapshot");
+        std::size_t rest = find_word(line, "restore");
+        bool is_snapshot = snap != std::string::npos &&
+                           line.find('(', snap) != std::string::npos;
+        bool is_restore = rest != std::string::npos &&
+                          line.find('(', rest) != std::string::npos;
+        if (is_snapshot || is_restore) {
+          if (is_snapshot) overrides_snapshot = true;
+          capturing = true;
+          coverage += line;
+          coverage += '\n';
+        } else {
+          // Member declaration: plain `Type name_ = init;` — no braces, no
+          // calls, not a type alias / static / pointer / const.
+          std::size_t last = line.find_last_not_of(' ');
+          bool decl = last != std::string::npos && line[last] == ';' &&
+                      line.find('(') == std::string::npos &&
+                      line.find('{') == std::string::npos &&
+                      line.find('*') == std::string::npos &&
+                      find_word(line, "const") == std::string::npos &&
+                      find_word(line, "static") == std::string::npos &&
+                      find_word(line, "using") == std::string::npos;
+          if (decl) {
+            for (const std::string& name : trailing_underscore_idents(line)) {
+              members.push_back({idx + 1, name});
+            }
+          }
+        }
+      }
+    }
+
+    depth += opens - closes;
+
+    if (in_class) {
+      if (depth > base_depth) body_open = true;
+      if (capturing && depth <= base_depth + 1) capturing = false;
+      if (body_open && depth <= base_depth) {
+        // Class closed: recoverable programs must cover every member — except
+        // forwarding adapters, whose snapshot() delegates to a wrapped
+        // program (`inner_->snapshot(...)`): their own members are transport
+        // state that deliberately survives an amnesia wipe (the NIC analogy
+        // of DESIGN.md "Recovery model"), not node state.
+        bool delegates = coverage.find("->snapshot(") != std::string::npos;
+        if (overrides_snapshot && !delegates) {
+          for (const Member& m : members) {
+            if (find_word(coverage, m.name) != std::string::npos) continue;
+            out.push_back(
+                {path, m.line, "unsnapshotted-state",
+                 "member '" + m.name +
+                     "' of a recoverable NodeProgram (it overrides snapshot) is "
+                     "serialized by neither snapshot() nor restore(): after an "
+                     "amnesia restart it reverts to its constructed value and the "
+                     "node replays from a state that never existed — cover it, or "
+                     "mark deliberately reconstructed config with qlint-allow",
+                 raw_lines[m.line - 1]});
+          }
+        }
+        in_class = false;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> collect_unordered_names(const std::string& content) {
@@ -422,28 +583,41 @@ std::vector<LintDiagnostic> lint_source(
   std::sort(names.begin(), names.end());
   names.erase(std::unique(names.begin(), names.end()), names.end());
 
-  std::vector<LintDiagnostic> diagnostics;
+  std::vector<std::string> raw_lines = split_lines(content);
+  std::vector<std::string> stripped_lines;
+  stripped_lines.reserve(raw_lines.size());
   bool in_block_comment = false;
-  std::size_t line_no = 0;
+  for (const std::string& raw : raw_lines) {
+    stripped_lines.push_back(strip_noise(raw, in_block_comment));
+  }
+
+  std::vector<LintDiagnostic> candidates;
   char prev_end = ';';  // start of file begins a statement
-  for (const std::string& raw : split_lines(content)) {
-    ++line_no;
-    std::string stripped = strip_noise(raw, in_block_comment);
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& raw = raw_lines[i];
+    const std::string& stripped = stripped_lines[i];
+    std::size_t line_no = i + 1;
     bool statement_start =
         prev_end == ';' || prev_end == '{' || prev_end == '}' || prev_end == ':';
     std::size_t last = stripped.find_last_not_of(' ');
     if (last != std::string::npos) prev_end = stripped[last];
-    std::vector<LintDiagnostic> line_diags;
-    check_banned_random(path, stripped, line_no, raw, line_diags);
-    check_raw_thread(path, stripped, line_no, raw, line_diags);
-    check_unordered_iter(path, stripped, line_no, raw, names, line_diags);
-    check_float_equal(path, stripped, line_no, raw, line_diags);
-    check_runresult_discard(path, stripped, line_no, raw, statement_start, line_diags);
-    for (LintDiagnostic& diag : line_diags) {
-      if (inline_allowed(raw, diag.rule)) continue;
-      if (config_allowed(config, diag)) continue;
-      diagnostics.push_back(std::move(diag));
-    }
+    check_banned_random(path, stripped, line_no, raw, candidates);
+    check_raw_thread(path, stripped, line_no, raw, candidates);
+    check_unordered_iter(path, stripped, line_no, raw, names, candidates);
+    check_float_equal(path, stripped, line_no, raw, candidates);
+    check_runresult_discard(path, stripped, line_no, raw, statement_start, candidates);
+  }
+  check_unsnapshotted_state(path, stripped_lines, raw_lines, candidates);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const LintDiagnostic& a, const LintDiagnostic& b) {
+                     return a.line < b.line;
+                   });
+
+  std::vector<LintDiagnostic> diagnostics;
+  for (LintDiagnostic& diag : candidates) {
+    if (inline_allowed(raw_lines[diag.line - 1], diag.rule)) continue;
+    if (config_allowed(config, diag)) continue;
+    diagnostics.push_back(std::move(diag));
   }
   return diagnostics;
 }

@@ -7,7 +7,7 @@
 namespace qcongest::check {
 
 /// qlint — repo-specific static checks the general-purpose tools cannot
-/// express. Five rules, each guarding a determinism or accounting contract
+/// express. Six rules, each guarding a determinism or accounting contract
 /// of the reproduction (see DESIGN.md "Invariants & static analysis"):
 ///
 ///   banned-random      rand()/srand()/std::random_device/time(NULL) outside
@@ -31,6 +31,13 @@ namespace qcongest::check {
 ///                      and drops the value — rounds vanish from the
 ///                      accounting, the exact failure mode "Mind the O-tilde"
 ///                      warns about.
+///   unsnapshotted-state  a NodeProgram that declares recoverability by
+///                      overriding snapshot() but has a mutable data member
+///                      (trailing-underscore, non-pointer, non-const) that
+///                      neither snapshot() nor restore() mentions: after an
+///                      amnesia restart that member silently reverts to its
+///                      constructed value and the node replays from a state
+///                      that never existed (see DESIGN.md "Recovery model").
 ///
 /// Suppression: append `// qlint-allow(rule): reason` to the flagged line,
 /// or list `rule:path-substring[:line-substring]` in an allowlist file.

@@ -34,6 +34,19 @@ class FloodMaxProgram final : public NodeProgram {
     }
   }
 
+  bool snapshot(std::vector<std::int64_t>& out) const override {
+    out.push_back(static_cast<std::int64_t>(best_));
+    return true;
+  }
+
+  bool restore(std::uint32_t version, std::span<const std::int64_t> words) override {
+    if (version != 1 || words.size() != 1) return false;
+    best_ = static_cast<NodeId>(words[0]);
+    return true;
+  }
+
+  std::uint32_t state_version() const override { return 1; }
+
  private:
   NodeId best_ = 0;
 };
@@ -72,8 +85,31 @@ class BfsBuildProgram final : public NodeProgram {
     }
   }
 
+  bool snapshot(std::vector<std::int64_t>& out) const override {
+    out.push_back(static_cast<std::int64_t>(parent_));
+    out.push_back(static_cast<std::int64_t>(depth_));
+    out.push_back(static_cast<std::int64_t>(children_.size()));
+    for (NodeId c : children_) out.push_back(static_cast<std::int64_t>(c));
+    return true;
+  }
+
+  bool restore(std::uint32_t version, std::span<const std::int64_t> words) override {
+    if (version != 1 || words.size() < 3) return false;
+    auto count = static_cast<std::size_t>(words[2]);
+    if (words.size() != 3 + count) return false;
+    parent_ = static_cast<NodeId>(words[0]);
+    depth_ = static_cast<std::size_t>(words[1]);
+    children_.assign(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      children_[i] = static_cast<NodeId>(words[3 + i]);
+    }
+    return true;
+  }
+
+  std::uint32_t state_version() const override { return 1; }
+
  private:
-  NodeId root_;
+  NodeId root_;  // qlint-allow(unsnapshotted-state): factory-reconstructed config
   NodeId parent_ = kUnreachable;
   std::size_t depth_ = 0;
   std::vector<NodeId> children_;
@@ -86,6 +122,8 @@ LeaderElectionResult elect_leader(Engine& engine) {
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(n);
   for (NodeId v = 0; v < n; ++v) programs.push_back(std::make_unique<FloodMaxProgram>());
+  engine.set_program_factory(
+      [](NodeId) { return std::make_unique<FloodMaxProgram>(); });
 
   LeaderElectionResult result;
   result.cost = engine.run(programs, 4 * n + 16);
@@ -105,6 +143,8 @@ BfsTree build_bfs_tree(Engine& engine, NodeId root) {
   for (NodeId v = 0; v < n; ++v) {
     programs.push_back(std::make_unique<BfsBuildProgram>(root));
   }
+  engine.set_program_factory(
+      [root](NodeId) { return std::make_unique<BfsBuildProgram>(root); });
 
   BfsTree tree;
   tree.root = root;

@@ -64,13 +64,16 @@ void Engine::set_fault_plan(FaultPlan plan) {
   }
 
   crash_schedule_.assign(n, {});
+  amnesia_restarts_.assign(n, {});
   for (const CrashEvent& c : fault_plan_.crashes) {
     if (crash_schedule_[c.node].empty()) crash_nodes_.push_back(c.node);
     crash_schedule_[c.node].push_back(c);
     if (c.restart_round != CrashEvent::kNeverRestarts) {
       restart_windows_.emplace_back(c.crash_round, c.restart_round);
+      if (c.amnesia) amnesia_restarts_[c.node].push_back(c.restart_round);
     }
   }
+  for (auto& rounds : amnesia_restarts_) std::sort(rounds.begin(), rounds.end());
   std::sort(crash_nodes_.begin(), crash_nodes_.end());
   // Per-node events sorted by crash start, with restart_round replaced by a
   // running max: "crashed at r" becomes one binary search for the last
@@ -117,6 +120,7 @@ void Engine::clear_fault_plan() {
   restart_windows_.clear();
   restart_prefix_max_.clear();
   edge_fault_rngs_.clear();
+  amnesia_restarts_.clear();
 }
 
 void Engine::set_transport(Transport transport, ReliableParams params) {
@@ -289,6 +293,12 @@ void Engine::commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
 
 RunResult Engine::run(std::span<const std::unique_ptr<NodeProgram>> programs,
                       std::size_t max_rounds) {
+  // The program factory captures the calling protocol function's locals;
+  // drop it on every exit path so it can never dangle into the next run.
+  struct FactoryGuard {
+    Engine* engine;
+    ~FactoryGuard() { engine->program_factory_ = nullptr; }
+  } factory_guard{this};
   if (transport_ != Transport::kReliable) return run_direct(programs, max_rounds);
   // The reliable link layer needs extra physical rounds per virtual round
   // (frame chunking, acks, fences, retransmissions); stretch the budget so
@@ -343,10 +353,21 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
     crashed_now_.assign(n, 0);
     crashed_arrival_.assign(n, 0);
   }
+  if (crash_active) {
+    amnesia_dead_.assign(n, 0);
+    amnesia_cursor_.assign(n, 0);
+  }
+  // Checkpoints never outlive their run: each framework phase (= one engine
+  // run) recovers within itself.
+  if (recovery_.enabled) checkpoint_store_.reset(n);
+  recovery_activity_ = false;
   delivered_any_ = false;
   parallel_pass_ = false;
   keep_alive_pending_ = false;
   if (observer_ != nullptr) observer_->on_run_begin(*this);
+  if (recovery_.enabled && recovery_.checkpoint.at_phase_start) {
+    write_checkpoints(programs, /*rounds_done=*/0);
+  }
 
   // Pass r delivers the words sent in pass r-1 (synchronous rounds). The
   // protocol's round complexity is the index of the last pass that sent
@@ -404,9 +425,24 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
       for (NodeId v : crash_nodes_) {
         bool crashed = crashed_at(v, round);
         if (crashed && was_crashed_[v] == 0) ++stats_.crashed_nodes;
+        if (!crashed && was_crashed_[v] != 0 && amnesia_dead_[v] == 0) {
+          // The node is restarting this round. If any amnesia window ended
+          // inside the outage it just left (adjacent windows merge into one
+          // observed outage), its volatile state is gone now.
+          auto& cursor = amnesia_cursor_[v];
+          const auto& wipes = amnesia_restarts_[v];
+          bool wiped = false;
+          while (cursor < wipes.size() && wipes[cursor] <= round) {
+            wiped = true;
+            ++cursor;
+          }
+          if (wiped) handle_amnesia_restart(*programs[v], v, round);
+        }
+        if (amnesia_dead_[v] != 0) crashed = true;
         was_crashed_[v] = crashed ? 1 : 0;
         crashed_now_[v] = crashed ? 1 : 0;
-        crashed_arrival_[v] = crashed_at(v, round + 1) ? 1 : 0;
+        crashed_arrival_[v] =
+            (crashed_at(v, round + 1) || amnesia_dead_[v] != 0) ? 1 : 0;
       }
     }
 
@@ -420,12 +456,83 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
     }
     sent_last_pass = stats_.messages > messages_before;
     if (sent_last_pass) last_send_pass = pass;
+    if (recovery_.enabled && transport_ == Transport::kDirect &&
+        recovery_.checkpoint.due(pass)) {
+      write_checkpoints(programs, /*rounds_done=*/pass);
+    }
+    if (recovery_activity_) {
+      ++stats_.recovery_rounds;
+      recovery_activity_ = false;
+    }
     if (observer_ != nullptr) observer_->on_round_end(round);
   }
   stats_.rounds = last_send_pass;
   stats_.completed = false;
   if (observer_ != nullptr) observer_->on_run_end(stats_);
   return stats_;
+}
+
+void Engine::handle_amnesia_restart(NodeProgram& program, NodeId v, std::size_t round) {
+  // First offer: the outermost program may own the wipe (the reliable
+  // transport adapter reconstructs its inner program and catches up via
+  // neighbor-assisted state transfer, src/net/reliable.cpp). The program
+  // reports its own recovery activity, so an "I had nothing to lose" true
+  // does not inflate the recovery tax.
+  if (program.on_amnesia_restart(round)) return;
+  if (recovery_.enabled && program_factory_ != nullptr &&
+      transport_ == Transport::kDirect) {
+    // Direct-transport path: destroy-and-reconstruct by state transplant — a
+    // factory-fresh program's serialized (round-0) state overwrites the
+    // scheduled object, then the latest checkpoint rolls it forward. The
+    // direct transport keeps no send logs, so the rounds between that
+    // checkpoint and the crash are accepted as bounded rollback
+    // (DESIGN.md §11).
+    std::unique_ptr<NodeProgram> fresh = program_factory_(v);
+    std::vector<std::int64_t> words;
+    if (fresh != nullptr && fresh->snapshot(words) &&
+        program.restore(fresh->state_version(), words)) {
+      const recover::Snapshot* snap = checkpoint_store_.latest(v);
+      if (snap == nullptr) {
+        note_recovery_activity();  // recovered to phase-start state
+        return;
+      }
+      if (snap->intact() && program.restore(snap->version, snap->words)) {
+        note_recovery_activity();
+        return;
+      }
+    }
+  }
+  // No recovery path: the restart leaves the node effectively crash-stopped
+  // (it keeps dropping arrivals and is never scheduled again). Words already
+  // in flight toward the restart round were committed before the death was
+  // known — drop them here so the counters match a crash-stop exactly.
+  amnesia_dead_[v] = 1;
+  for (const Message& m : inbox_[v]) {
+    ++stats_.dropped_words;
+    if (observer_ != nullptr) {
+      observer_->on_delivery(round, m.from, v, DeliveryFate::kDroppedCrashed,
+                             /*corrupted=*/false, /*duplicated=*/false);
+    }
+  }
+  inbox_[v].clear();
+}
+
+void Engine::write_checkpoints(std::span<const std::unique_ptr<NodeProgram>> programs,
+                               std::size_t rounds_done) {
+  const bool crash_active = fault_active_ && !crash_nodes_.empty();
+  std::vector<std::int64_t> words;
+  for (NodeId v : active_) {
+    // A crashed node did not execute this round; its previous checkpoint is
+    // still the honest one.
+    if (crash_active && crashed_now_[v] != 0) continue;
+    words.clear();
+    if (!programs[v]->snapshot(words)) continue;  // program opted out
+    recover::Snapshot snap;
+    snap.version = programs[v]->state_version();
+    snap.round = rounds_done;
+    snap.words = words;
+    checkpoint_store_.put(v, std::move(snap));
+  }
 }
 
 void Engine::run_pass_serial(std::span<const std::unique_ptr<NodeProgram>> programs,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <span>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "src/net/fault.hpp"
 #include "src/net/graph.hpp"
 #include "src/net/message.hpp"
+#include "src/recover/checkpoint.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -129,6 +131,47 @@ class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
   virtual void on_round(Context& ctx, const std::vector<Message>& inbox) = 0;
+
+  // --- Durable-state interface (crash-with-amnesia recovery) -------------
+  // A program opts in to recoverability by overriding snapshot/restore (and
+  // bumping state_version when the word format changes). The contract: the
+  // serialized words must capture the program's entire evolving state — so
+  // that restore(snapshot()) followed by a replay of the same inboxes
+  // reproduces the same behavior — and a recoverable program must not draw
+  // from ctx.rng() (replayed rounds would re-draw from an advanced stream).
+  // Members reconstructed by the run's program factory (config, pointers to
+  // shared immutable inputs) are exempt; the qlint `unsnapshotted-state`
+  // rule checks the rest.
+
+  /// Append the program's durable state to `out` as words. Return false if
+  /// the program does not support snapshots (the default).
+  virtual bool snapshot(std::vector<std::int64_t>& out) const {
+    (void)out;
+    return false;
+  }
+  /// Overwrite the program's state from words produced by snapshot() under
+  /// the given state-format version. Return false to reject (unknown
+  /// version, malformed words) — the node then recovers from the start of
+  /// the phase, or dies if it cannot.
+  virtual bool restore(std::uint32_t version, std::span<const std::int64_t> words) {
+    (void)version, (void)words;
+    return false;
+  }
+  /// Version tag of the snapshot word format.
+  virtual std::uint32_t state_version() const { return 0; }
+
+  /// Hook invoked on the outermost program when its node restarts from an
+  /// amnesia crash (engine thread, ascending node order, before the restart
+  /// round executes). Return true when the program handled the wipe itself —
+  /// the reliable-transport adapter does, reconstructing its inner program
+  /// and orchestrating neighbor-assisted catch-up (src/net/reliable.cpp).
+  /// The default returns false, letting the engine apply its direct-transport
+  /// recovery path (factory reconstruction + checkpoint restore) or declare
+  /// the node dead.
+  virtual bool on_amnesia_restart(std::size_t restart_round) {
+    (void)restart_round;
+    return false;
+  }
 };
 
 /// Statistics of one protocol run.
@@ -169,6 +212,15 @@ struct RunResult {
   /// disjoint outage windows counts twice).
   std::size_t crashed_nodes = 0;
 
+  // --- Recovery counters (the "recovery tax", zero without amnesia) ------
+  /// Physical state-transfer words spent on neighbor-assisted catch-up
+  /// (requests, headers, replayed data, including their retransmissions).
+  /// They share the CONGEST(B) budget with protocol traffic.
+  std::size_t recovery_words = 0;
+  /// Rounds in which any recovery activity happened (a node was catching up
+  /// or state-transfer words moved).
+  std::size_t recovery_rounds = 0;
+
   /// Accumulate a subsequent phase's cost (protocols compose sequentially).
   /// RunResult{} is the identity: completed starts true, everything else 0.
   RunResult& operator+=(const RunResult& other) {
@@ -184,6 +236,8 @@ struct RunResult {
     duplicated_words += other.duplicated_words;
     retransmissions += other.retransmissions;
     crashed_nodes += other.crashed_nodes;
+    recovery_words += other.recovery_words;
+    recovery_rounds += other.recovery_rounds;
     return *this;
   }
 
@@ -289,6 +343,41 @@ class Engine {
     if (observer_ != nullptr) observer_->on_retransmission(current_pass_);
   }
 
+  // --- Crash-with-amnesia recovery (src/recover, DESIGN.md §11) ----------
+
+  /// Configure recovery for subsequent runs. When enabled, nodes hit by an
+  /// amnesia crash (CrashEvent::amnesia) reconstruct their program from the
+  /// run's program factory, restore their latest checkpoint from the
+  /// engine-owned store, and catch up; when disabled, an amnesia restart
+  /// leaves the node effectively crash-stopped.
+  void set_recovery(recover::RecoveryPolicy policy) { recovery_ = policy; }
+  const recover::RecoveryPolicy& recovery() const { return recovery_; }
+
+  /// The per-node "stable storage" checkpoints survive amnesia in. Reset at
+  /// the start of every run (each framework phase recovers within itself).
+  recover::CheckpointStore& checkpoint_store() { return checkpoint_store_; }
+
+  /// Reconstructs a node's program from scratch — the recovery analogue of
+  /// the construction the protocol function itself performed. Installed by
+  /// each protocol-library phase for the duration of its run (it captures
+  /// the phase's locals) and cleared when run() returns, so it never
+  /// dangles.
+  using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(NodeId)>;
+  void set_program_factory(ProgramFactory factory) {
+    program_factory_ = std::move(factory);
+  }
+  const ProgramFactory& program_factory() const { return program_factory_; }
+
+  /// Called by the transport for every physical state-transfer word it puts
+  /// on the wire (recovery traffic shares the CONGEST(B) budget).
+  void note_recovery_words(std::size_t words) {
+    stats_.recovery_words += words;
+    recovery_activity_ = true;
+  }
+  /// Flag the current round as spent (in part) on recovery; rounds with the
+  /// flag raised are tallied into RunResult::recovery_rounds at pass end.
+  void note_recovery_activity() { recovery_activity_ = true; }
+
   /// Attach a passive observer notified of every admitted send, delivery
   /// fate, retransmission, and round/run boundary (nullptr detaches). The
   /// observer must outlive every subsequent run. One observer per engine;
@@ -311,6 +400,16 @@ class Engine {
 
   RunResult run_direct(std::span<const std::unique_ptr<NodeProgram>> programs,
                        std::size_t max_rounds);
+  /// Amnesia handling for node v restarting at `round`: offer the wipe to
+  /// the program (reliable adapter recovers itself); otherwise apply the
+  /// engine's direct-transport path — transplant factory-fresh state into
+  /// the program object and restore the latest checkpoint. Marks the node
+  /// amnesia-dead when neither succeeds. Engine thread only.
+  void handle_amnesia_restart(NodeProgram& program, NodeId v, std::size_t round);
+  /// Engine-driven checkpointing (direct transport; the reliable adapter
+  /// checkpoints at virtual-round boundaries itself).
+  void write_checkpoints(std::span<const std::unique_ptr<NodeProgram>> programs,
+                         std::size_t rounds_done);
   void run_pass_serial(std::span<const std::unique_ptr<NodeProgram>> programs,
                        std::size_t round, bool crash_active);
   void run_pass_parallel(std::span<const std::unique_ptr<NodeProgram>> programs,
@@ -355,6 +454,22 @@ class Engine {
 
   Transport transport_ = Transport::kDirect;
   ReliableParams reliable_params_;
+
+  // Crash-with-amnesia recovery.
+  recover::RecoveryPolicy recovery_;
+  recover::CheckpointStore checkpoint_store_;
+  ProgramFactory program_factory_;
+  /// Per node: sorted restart rounds of its amnesia crash windows (finite
+  /// restarts only), compiled by set_fault_plan.
+  std::vector<std::vector<std::size_t>> amnesia_restarts_;
+  /// Nodes whose amnesia restart failed (no recovery path): treated as
+  /// crashed for the rest of the run.
+  std::vector<unsigned char> amnesia_dead_;
+  /// Per node: index of the first not-yet-applied entry of amnesia_restarts_
+  /// this run (adjacent windows merge into one observed outage, so a single
+  /// restart can consume several wipes).
+  std::vector<std::size_t> amnesia_cursor_;
+  bool recovery_activity_ = false;  // current pass touched recovery
 
   // Parallel execution (the ParallelEngine mode).
   std::size_t threads_ = 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace qcongest::net {
 
@@ -36,19 +37,36 @@ void FaultPlan::validate(std::size_t num_nodes) const {
   std::vector<CrashEvent> sorted = crashes;
   for (const CrashEvent& c : sorted) {
     if (c.node >= num_nodes) {
-      throw std::invalid_argument("FaultPlan: crash node out of range");
+      throw std::invalid_argument("FaultPlan: crash node " + std::to_string(c.node) +
+                                  " out of range (num_nodes " +
+                                  std::to_string(num_nodes) + ")");
     }
     if (c.restart_round <= c.crash_round) {
-      throw std::invalid_argument("FaultPlan: crash window is empty");
+      // Covers the restart_round == crash_round degenerate case: a window
+      // [r, r) schedules no outage rounds at all, which is far more likely a
+      // caller bug than an intentional no-op.
+      throw std::invalid_argument(
+          "FaultPlan: empty crash window on node " + std::to_string(c.node) +
+          ": [" + std::to_string(c.crash_round) + ", " +
+          std::to_string(c.restart_round) + ") schedules no outage rounds");
     }
   }
   std::sort(sorted.begin(), sorted.end(), [](const CrashEvent& a, const CrashEvent& b) {
     return a.node != b.node ? a.node < b.node : a.crash_round < b.crash_round;
   });
   for (std::size_t i = 1; i < sorted.size(); ++i) {
-    if (sorted[i].node == sorted[i - 1].node &&
-        sorted[i].crash_round < sorted[i - 1].restart_round) {
-      throw std::invalid_argument("FaultPlan: overlapping crash windows for one node");
+    const CrashEvent& prev = sorted[i - 1];
+    const CrashEvent& cur = sorted[i];
+    if (cur.node == prev.node && cur.crash_round < prev.restart_round) {
+      auto window = [](const CrashEvent& c) {
+        std::string hi = c.restart_round == CrashEvent::kNeverRestarts
+                             ? std::string("never")
+                             : std::to_string(c.restart_round);
+        return "[" + std::to_string(c.crash_round) + ", " + hi + ")";
+      };
+      throw std::invalid_argument("FaultPlan: overlapping crash windows on node " +
+                                  std::to_string(cur.node) + ": " + window(prev) +
+                                  " overlaps " + window(cur));
     }
   }
 }

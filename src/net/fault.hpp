@@ -25,15 +25,23 @@ struct FaultRates {
 /// A scheduled node outage. The node executes no rounds in
 /// [crash_round, restart_round): its program is not invoked and every word
 /// that would arrive in that window is dropped (counted as dropped_words).
-/// Program state is preserved across the outage (crash-restart); with
-/// restart_round == kNeverRestarts the node is crash-stopped for the rest
-/// of the run. Rounds are the values Context::round() reports.
+/// By default program state is preserved across the outage (crash-restart);
+/// with restart_round == kNeverRestarts the node is crash-stopped for the
+/// rest of the run. Rounds are the values Context::round() reports.
 struct CrashEvent {
   static constexpr std::size_t kNeverRestarts = static_cast<std::size_t>(-1);
 
   NodeId node = 0;
   std::size_t crash_round = 0;
   std::size_t restart_round = kNeverRestarts;
+  /// Crash-with-amnesia: at restart the node's volatile program state is
+  /// destroyed and a fresh program is reconstructed from the run's program
+  /// factory. The node survives only if recovery is enabled
+  /// (Engine::set_recovery) — restoring its last checkpoint and replaying
+  /// forward with neighbor-assisted state transfer (see src/recover and
+  /// DESIGN.md §11); otherwise the restart leaves it effectively
+  /// crash-stopped. Meaningless combined with kNeverRestarts.
+  bool amnesia = false;
 };
 
 /// A deterministic, seeded fault schedule for one engine. The fault lottery

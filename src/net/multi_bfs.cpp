@@ -57,6 +57,66 @@ class MultiBfsProgram final : public NodeProgram {
     }
   }
 
+  bool snapshot(std::vector<std::int64_t>& out) const override {
+    out.push_back(static_cast<std::int64_t>(dist_.size()));
+    for (std::size_t d : dist_) out.push_back(static_cast<std::int64_t>(d));
+    for (NodeId p : parent_) out.push_back(static_cast<std::int64_t>(p));
+    out.push_back(static_cast<std::int64_t>(outbox_.size()));
+    for (const auto& queue : outbox_) {
+      out.push_back(static_cast<std::int64_t>(queue.size()));
+      for (const auto& [key, unused] : queue) {
+        (void)unused;
+        out.push_back(static_cast<std::int64_t>(key.first));
+        out.push_back(static_cast<std::int64_t>(key.second));
+      }
+    }
+    return true;
+  }
+
+  bool restore(std::uint32_t version, std::span<const std::int64_t> words) override {
+    if (version != 1) return false;
+    std::size_t pos = 0;
+    auto take = [&](std::int64_t& out) {
+      if (pos >= words.size()) return false;
+      out = words[pos++];
+      return true;
+    };
+    std::int64_t w = 0;
+    if (!take(w)) return false;
+    const auto slots = static_cast<std::size_t>(w);
+    std::vector<std::size_t> dist(slots);
+    std::vector<NodeId> parent(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      if (!take(w)) return false;
+      dist[i] = static_cast<std::size_t>(w);
+    }
+    for (std::size_t i = 0; i < slots; ++i) {
+      if (!take(w)) return false;
+      parent[i] = static_cast<NodeId>(w);
+    }
+    if (!take(w)) return false;
+    std::vector<std::map<std::pair<std::size_t, std::size_t>, int>> outbox(
+        static_cast<std::size_t>(w));
+    for (auto& queue : outbox) {
+      if (!take(w)) return false;
+      for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
+        std::int64_t d = 0;
+        std::int64_t src = 0;
+        if (!take(d) || !take(src)) return false;
+        queue.emplace(std::pair{static_cast<std::size_t>(d),
+                                static_cast<std::size_t>(src)},
+                      0);
+      }
+    }
+    if (pos != words.size()) return false;
+    dist_ = std::move(dist);
+    parent_ = std::move(parent);
+    outbox_ = std::move(outbox);
+    return true;
+  }
+
+  std::uint32_t state_version() const override { return 1; }
+
  private:
   void relax(Context& ctx, std::size_t src, std::size_t d, NodeId from) {
     if (src >= dist_.size()) throw std::logic_error("multi_bfs: bad source index");
@@ -70,7 +130,7 @@ class MultiBfsProgram final : public NodeProgram {
   }
 
   const std::vector<NodeId>* sources_;
-  std::size_t depth_limit_;
+  std::size_t depth_limit_;  // qlint-allow(unsnapshotted-state): factory-reconstructed config
   std::vector<std::size_t> dist_;
   std::vector<NodeId> parent_;
   // Per-neighbor priority queue keyed by (distance, source).
@@ -157,6 +217,83 @@ class EccEchoProgram final : public NodeProgram {
     }
   }
 
+  bool snapshot(std::vector<std::int64_t>& out) const override {
+    out.push_back(static_cast<std::int64_t>(ecc_.size()));
+    for (std::size_t e : ecc_) out.push_back(static_cast<std::int64_t>(e));
+    for (std::size_t e : expected_) out.push_back(static_cast<std::int64_t>(e));
+    for (bool e : echoed_) out.push_back(e ? 1 : 0);
+    for (std::size_t m : subtree_max_) out.push_back(static_cast<std::int64_t>(m));
+    out.push_back(static_cast<std::int64_t>(dones_));
+    out.push_back(static_cast<std::int64_t>(outbox_.size()));
+    for (const auto& queue : outbox_) {
+      out.push_back(static_cast<std::int64_t>(queue.size()));
+      for (const Word& w : queue) {
+        out.push_back(w.tag);
+        out.push_back(w.a);
+        out.push_back(w.b);
+        out.push_back(w.quantum ? 1 : 0);
+      }
+    }
+    return true;
+  }
+
+  bool restore(std::uint32_t version, std::span<const std::int64_t> words) override {
+    if (version != 1) return false;
+    std::size_t pos = 0;
+    auto take = [&](std::int64_t& out) {
+      if (pos >= words.size()) return false;
+      out = words[pos++];
+      return true;
+    };
+    auto take_sizes = [&](std::vector<std::size_t>& out, std::size_t count) {
+      out.assign(count, 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        std::int64_t w = 0;
+        if (!take(w)) return false;
+        out[i] = static_cast<std::size_t>(w);
+      }
+      return true;
+    };
+    std::int64_t w = 0;
+    if (!take(w)) return false;
+    const auto slots = static_cast<std::size_t>(w);
+    std::vector<std::size_t> ecc;
+    std::vector<std::size_t> expected;
+    std::vector<bool> echoed(slots, false);
+    std::vector<std::size_t> subtree_max;
+    if (!take_sizes(ecc, slots) || !take_sizes(expected, slots)) return false;
+    for (std::size_t i = 0; i < slots; ++i) {
+      if (!take(w)) return false;
+      echoed[i] = w != 0;
+    }
+    if (!take_sizes(subtree_max, slots)) return false;
+    if (!take(w)) return false;
+    const auto dones = static_cast<std::size_t>(w);
+    if (!take(w)) return false;
+    std::vector<std::deque<Word>> outbox(static_cast<std::size_t>(w));
+    for (auto& queue : outbox) {
+      if (!take(w)) return false;
+      for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
+        std::int64_t tag = 0;
+        std::int64_t a = 0;
+        std::int64_t b = 0;
+        std::int64_t quantum = 0;
+        if (!take(tag) || !take(a) || !take(b) || !take(quantum)) return false;
+        queue.push_back(Word{static_cast<std::int32_t>(tag), a, b, quantum != 0});
+      }
+    }
+    if (pos != words.size()) return false;
+    ecc_ = std::move(ecc);
+    expected_ = std::move(expected);
+    echoed_ = std::move(echoed);
+    subtree_max_ = std::move(subtree_max);
+    dones_ = dones;
+    outbox_ = std::move(outbox);
+    return true;
+  }
+
+  std::uint32_t state_version() const override { return 1; }
+
  private:
   void queue_to(Context& ctx, NodeId target, Word word) {
     const auto& adj = ctx.neighbors();
@@ -190,6 +327,9 @@ MultiBfsResult multi_source_bfs(Engine& engine, const std::vector<NodeId>& sourc
   for (NodeId v = 0; v < n; ++v) {
     programs.push_back(std::make_unique<MultiBfsProgram>(&sources, depth_limit));
   }
+  engine.set_program_factory([&sources, depth_limit](NodeId) {
+    return std::make_unique<MultiBfsProgram>(&sources, depth_limit);
+  });
   MultiBfsResult result;
   std::size_t limit = 8 * (sources.size() + n) + 32;
   result.cost = engine.run(programs, limit);
@@ -216,6 +356,10 @@ EccentricityEchoResult multi_source_eccentricities(Engine& engine,
     programs.push_back(std::make_unique<EccEchoProgram>(
         &sources, &result.bfs.dist[v], &result.bfs.parent[v]));
   }
+  engine.set_program_factory([&sources, &result](NodeId v) {
+    return std::make_unique<EccEchoProgram>(&sources, &result.bfs.dist[v],
+                                            &result.bfs.parent[v]);
+  });
   std::size_t limit = 8 * (sources.size() + n) + 64;
   result.echo_cost = engine.run(programs, limit);
   if (!result.echo_cost.completed) {

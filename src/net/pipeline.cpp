@@ -1,5 +1,6 @@
 #include "src/net/pipeline.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <stdexcept>
@@ -50,11 +51,29 @@ class DowncastProgram final : public NodeProgram {
     }
   }
 
+  bool snapshot(std::vector<std::int64_t>& out) const override {
+    out.push_back(static_cast<std::int64_t>(next_to_send_));
+    out.push_back(static_cast<std::int64_t>(received_.size()));
+    out.insert(out.end(), received_.begin(), received_.end());
+    return true;
+  }
+
+  bool restore(std::uint32_t version, std::span<const std::int64_t> words) override {
+    if (version != 1 || words.size() < 2) return false;
+    auto count = static_cast<std::size_t>(words[1]);
+    if (words.size() != 2 + count) return false;
+    next_to_send_ = static_cast<std::size_t>(words[0]);
+    received_.assign(words.begin() + 2, words.end());
+    return true;
+  }
+
+  std::uint32_t state_version() const override { return 1; }
+
  private:
   const BfsTree* tree_;
   const std::vector<std::int64_t>* payload_;
-  bool quantum_;
-  bool pipelined_;
+  bool quantum_;    // qlint-allow(unsnapshotted-state): factory-reconstructed config
+  bool pipelined_;  // qlint-allow(unsnapshotted-state): factory-reconstructed config
   std::vector<std::int64_t> received_;
   std::size_t next_to_send_ = 0;
 };
@@ -70,6 +89,9 @@ DowncastResult run_downcast(Engine& engine, const BfsTree& tree,
     programs.push_back(
         std::make_unique<DowncastProgram>(tree, &payload, quantum, pipelined));
   }
+  engine.set_program_factory([&tree, &payload, quantum, pipelined](NodeId) {
+    return std::make_unique<DowncastProgram>(tree, &payload, quantum, pipelined);
+  });
   DowncastResult result;
   std::size_t limit = (tree.height + 2) * (payload.size() + 2) + 16;
   result.cost = engine.run(programs, limit);
@@ -139,6 +161,108 @@ class ConvergecastProgram final : public NodeProgram {
     }
   }
 
+  // Unordered maps are serialized with keys sorted so the byte stream is
+  // independent of hash-table iteration order; on_round only ever looks the
+  // maps up by key, so the rebuilt layout is observationally identical.
+  bool snapshot(std::vector<std::int64_t>& out) const override {
+    const std::size_t items = acc_.size();
+    out.push_back(static_cast<std::int64_t>(items));
+    out.insert(out.end(), acc_.begin(), acc_.end());
+    for (std::size_t done : children_done_) {
+      out.push_back(static_cast<std::int64_t>(done));
+    }
+    out.push_back(static_cast<std::int64_t>(next_ready_));
+    // qlint-allow(unordered-iter): iterates the outer vector; map entries sorted below
+    for (const auto& per_child : chunks_seen_) {  // qlint-allow(unordered-iter)
+      std::vector<std::pair<NodeId, std::size_t>> entries(
+          per_child.begin(), per_child.end());  // qlint-allow(unordered-iter): sorted next line
+      std::sort(entries.begin(), entries.end());
+      out.push_back(static_cast<std::int64_t>(entries.size()));
+      for (const auto& [child, seen] : entries) {
+        out.push_back(static_cast<std::int64_t>(child));
+        out.push_back(static_cast<std::int64_t>(seen));
+      }
+    }
+    std::vector<std::pair<NodeId, std::int64_t>> sorted_pending(
+        pending_value_.begin(), pending_value_.end());  // qlint-allow(unordered-iter): sorted next line
+    std::sort(sorted_pending.begin(), sorted_pending.end());
+    out.push_back(static_cast<std::int64_t>(sorted_pending.size()));
+    for (const auto& [child, value] : sorted_pending) {
+      out.push_back(static_cast<std::int64_t>(child));
+      out.push_back(value);
+    }
+    out.push_back(static_cast<std::int64_t>(outbox_.size()));
+    for (const Word& w : outbox_) {
+      out.push_back(w.tag);
+      out.push_back(w.a);
+      out.push_back(w.b);
+      out.push_back(w.quantum ? 1 : 0);
+    }
+    return true;
+  }
+
+  bool restore(std::uint32_t version, std::span<const std::int64_t> words) override {
+    if (version != 1) return false;
+    std::size_t pos = 0;
+    auto take = [&](std::int64_t& out) {
+      if (pos >= words.size()) return false;
+      out = words[pos++];
+      return true;
+    };
+    std::int64_t w = 0;
+    if (!take(w) || static_cast<std::size_t>(w) != acc_.size()) return false;
+    const std::size_t items = acc_.size();
+    std::vector<std::int64_t> acc(items);
+    std::vector<std::size_t> done(items);
+    for (std::size_t i = 0; i < items; ++i) {
+      if (!take(acc[i])) return false;
+    }
+    for (std::size_t i = 0; i < items; ++i) {
+      if (!take(w)) return false;
+      done[i] = static_cast<std::size_t>(w);
+    }
+    if (!take(w)) return false;
+    const auto next_ready = static_cast<std::size_t>(w);
+    std::vector<std::unordered_map<NodeId, std::size_t>> chunks(items);
+    for (std::size_t i = 0; i < items; ++i) {
+      if (!take(w)) return false;
+      for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
+        std::int64_t child = 0;
+        std::int64_t seen = 0;
+        if (!take(child) || !take(seen)) return false;
+        chunks[i][static_cast<NodeId>(child)] = static_cast<std::size_t>(seen);
+      }
+    }
+    std::unordered_map<NodeId, std::int64_t> pending;
+    if (!take(w)) return false;
+    for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
+      std::int64_t child = 0;
+      std::int64_t value = 0;
+      if (!take(child) || !take(value)) return false;
+      pending[static_cast<NodeId>(child)] = value;
+    }
+    if (!take(w)) return false;
+    std::deque<Word> outbox;
+    for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
+      std::int64_t tag = 0;
+      std::int64_t a = 0;
+      std::int64_t b = 0;
+      std::int64_t quantum = 0;
+      if (!take(tag) || !take(a) || !take(b) || !take(quantum)) return false;
+      outbox.push_back(Word{static_cast<std::int32_t>(tag), a, b, quantum != 0});
+    }
+    if (pos != words.size()) return false;
+    acc_ = std::move(acc);
+    children_done_ = std::move(done);
+    next_ready_ = next_ready;
+    chunks_seen_ = std::move(chunks);
+    pending_value_ = std::move(pending);
+    outbox_ = std::move(outbox);
+    return true;
+  }
+
+  std::uint32_t state_version() const override { return 1; }
+
  private:
   void note_chunk(NodeId child, std::size_t item) {
     if (item >= acc_.size()) throw std::logic_error("convergecast: bad item");
@@ -151,9 +275,9 @@ class ConvergecastProgram final : public NodeProgram {
 
   const BfsTree* tree_;
   std::vector<std::int64_t> acc_;
-  std::size_t value_words_;
+  std::size_t value_words_;  // qlint-allow(unsnapshotted-state): factory-reconstructed config
   const CombineOp* op_;
-  bool quantum_;
+  bool quantum_;  // qlint-allow(unsnapshotted-state): factory-reconstructed config
   std::vector<std::size_t> children_done_;
   std::vector<std::unordered_map<NodeId, std::size_t>> chunks_seen_;
   std::unordered_map<NodeId, std::int64_t> pending_value_;
@@ -198,6 +322,10 @@ ConvergecastResult pipelined_convergecast(
     programs.push_back(std::make_unique<ConvergecastProgram>(tree, values[v],
                                                              value_words, &op, quantum));
   }
+  engine.set_program_factory([&tree, &values, value_words, &op, quantum](NodeId v) {
+    return std::make_unique<ConvergecastProgram>(tree, values[v], value_words, &op,
+                                                 quantum);
+  });
   ConvergecastResult result;
   std::size_t limit = (tree.height + items + 2) * (value_words + 1) * 2 + 16;
   result.cost = engine.run(programs, limit);

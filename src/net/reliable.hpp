@@ -21,6 +21,10 @@ namespace qcongest::net {
 ///    recovered by retransmission.
 ///  - Cumulative acks; unacked items are re-sent after a timeout with
 ///    exponential backoff (Engine::note_retransmission counts each re-send).
+///    Backoff is capped at ReliableParams::rto_cap and deterministically
+///    jittered (a hash of link, sequence number, and current timeout) so
+///    that retransmissions for independent links desynchronize instead of
+///    thundering in lockstep.
 ///  - Duplicates are discarded by sequence number; delivery to the program
 ///    is exactly-once, in order.
 ///
@@ -47,6 +51,23 @@ namespace qcongest::net {
 /// The CONGEST(B) budget is respected physically: acks, fences, chunks, and
 /// retransmissions all share the B words per edge per round, which is what
 /// the measured "reliability tax" in rounds and words consists of.
+///
+/// Crash-with-amnesia recovery (when Engine::set_recovery is enabled): each
+/// wrapper keeps per-link logs of the words its program sent in every
+/// virtual round (pruned once a checkpoint makes them unnecessary) and
+/// periodically checkpoints the inner program's snapshot. When an amnesia
+/// crash destroys a node's volatile state, the wrapper rebuilds the program
+/// by state transplant — a factory-fresh instance's snapshot restored into
+/// the scheduled object — then restores the last intact checkpoint and
+/// replays the checkpoint-to-crash virtual rounds against neighbor-assisted
+/// state transfer: REQ/HDR/DATA items (sequence-numbered like any other
+/// item, sharing the CONGEST(B) budget) ship the neighbors' logged sends
+/// for the replay window. Replayed rounds re-derive the node's own sends,
+/// fences, and momentum, so the node lands exactly on its pre-crash
+/// trajectory; the extra traffic is the *recovery tax* reported in
+/// RunResult::recovery_words / recovery_rounds. Link-layer state (sequence
+/// numbers, in-flight windows, fences) deliberately survives amnesia — it
+/// models the NIC, not the node's volatile memory.
 ///
 /// Programs opt in without rewrites: they receive a ReliableContext (a
 /// Context subclass) whose send/halt/keep_alive route through the link

@@ -27,6 +27,8 @@ void write_run_result_json(JsonWriter& writer, const net::RunResult& result) {
   writer.key("duplicated_words").value(result.duplicated_words);
   writer.key("retransmissions").value(result.retransmissions);
   writer.key("crashed_nodes").value(result.crashed_nodes);
+  writer.key("recovery_words").value(result.recovery_words);
+  writer.key("recovery_rounds").value(result.recovery_rounds);
   writer.end_object();
 }
 

@@ -8,7 +8,10 @@
 
 #include "src/net/bfs.hpp"
 #include "src/net/engine.hpp"
+#include "src/net/fault.hpp"
 #include "src/net/generators.hpp"
+#include "src/recover/checkpoint.hpp"
+#include "src/recover/watchdog.hpp"
 
 namespace qcongest::net {
 namespace {
@@ -125,6 +128,96 @@ TEST(FailureInjection, CutSpecValidation) {
   EXPECT_THROW(engine.track_cut(std::vector<bool>(3, false)), std::invalid_argument);
   EXPECT_NO_THROW(engine.track_cut(std::vector<bool>(4, false)));
   EXPECT_NO_THROW(engine.track_cut({}));
+}
+
+// --- The amnesia-crash matrix -------------------------------------------
+//
+// One protocol (flood-max leader election over the reliable transport), one
+// crash schedule on node 3, four failure severities. The matrix pins down
+// the semantics boundary: state survives -> full recovery for free; state
+// lost but checkpointed -> full recovery at a measured tax; state lost and
+// unrecoverable -> the node is dead and the watchdog says so.
+
+struct MatrixRun {
+  NodeId leader = 0;
+  RunResult cost;
+};
+
+MatrixRun run_election(const FaultPlan& plan, bool recovery_enabled,
+                       recover::Watchdog* watchdog) {
+  util::Rng topo(41);
+  Graph g = random_connected_graph(9, 5, topo);
+  Engine engine(g, 1, 37);
+  engine.set_transport(Transport::kReliable);
+  engine.set_fault_plan(plan);
+  if (recovery_enabled) {
+    recover::RecoveryPolicy recovery;
+    recovery.enabled = true;
+    recovery.checkpoint.every_rounds = 3;
+    engine.set_recovery(recovery);
+  }
+  if (watchdog != nullptr) engine.set_observer(watchdog);
+  MatrixRun run;
+  auto election = elect_leader(engine);
+  run.leader = election.leader;
+  run.cost = election.cost;
+  return run;
+}
+
+FaultPlan amnesia_window_plan(std::size_t crash, std::size_t restart, bool amnesia) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{3, crash, restart});
+  plan.crashes[0].amnesia = amnesia;
+  return plan;
+}
+
+TEST(AmnesiaMatrix, RestartWithStateRecoversForFree) {
+  MatrixRun run = run_election(amnesia_window_plan(12, 48, false), false, nullptr);
+  EXPECT_TRUE(run.cost.completed);
+  EXPECT_EQ(run.leader, 8u);
+  EXPECT_EQ(run.cost.crashed_nodes, 1u);
+  EXPECT_EQ(run.cost.recovery_words, 0u);
+  EXPECT_EQ(run.cost.recovery_rounds, 0u);
+}
+
+TEST(AmnesiaMatrix, AmnesiaWithCheckpointsRecoversAtATax) {
+  MatrixRun baseline = run_election(amnesia_window_plan(12, 48, false), false, nullptr);
+  MatrixRun run = run_election(amnesia_window_plan(12, 48, true), true, nullptr);
+  EXPECT_TRUE(run.cost.completed);
+  // Identical final output as the with-state restart of the same schedule.
+  EXPECT_EQ(run.leader, baseline.leader);
+  EXPECT_EQ(run.cost.crashed_nodes, 1u);
+  // The tax is honest: the amnesia run paid recovery rounds, the with-state
+  // run did not (its counters are asserted zero above).
+  EXPECT_GT(run.cost.recovery_rounds, 0u);
+}
+
+TEST(AmnesiaMatrix, AmnesiaWithoutRecoveryIsDiagnosedAsDead) {
+  recover::Watchdog watchdog(recover::WatchdogConfig{/*stall_rounds=*/96,
+                                                     /*deadline_rounds=*/0});
+  try {
+    run_election(amnesia_window_plan(12, 48, true), false, &watchdog);
+    FAIL() << "expected LivelockError: the wiped node can never rejoin";
+  } catch (const recover::LivelockError& e) {
+    EXPECT_EQ(e.kind(), recover::LivelockError::Kind::kRetransmitStorm);
+    EXPECT_EQ(e.suspects(), (std::vector<NodeId>{3}));
+  }
+}
+
+TEST(AmnesiaMatrix, NeverRestartingCrashIsDiagnosedNotHung) {
+  recover::Watchdog watchdog(recover::WatchdogConfig{/*stall_rounds=*/96,
+                                                     /*deadline_rounds=*/0});
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{3, 12, CrashEvent::kNeverRestarts});
+  try {
+    run_election(plan, false, &watchdog);
+    FAIL() << "expected LivelockError instead of burning the round budget";
+  } catch (const recover::LivelockError& e) {
+    EXPECT_EQ(e.kind(), recover::LivelockError::Kind::kRetransmitStorm);
+    EXPECT_GE(e.round(), 96u);  // the stall clock ran after the last delivery
+    EXPECT_EQ(e.suspects(), (std::vector<NodeId>{3}));
+    EXPECT_NE(std::string(e.what()).find("suspected dead: 3"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -72,6 +72,36 @@ TEST(FaultPlan, RejectsBadCrashWindows) {
   EXPECT_NO_THROW(engine.set_fault_plan(plan));
 }
 
+// The rejection messages must name the offending node and rounds — a
+// hand-written 40-event chaos schedule is undebuggable from a bare
+// "invalid plan".
+TEST(FaultPlan, ValidationMessagesNameNodeAndRounds) {
+  Graph g = path_graph(3);
+  Engine engine(g);
+  FaultPlan plan;
+  plan.crashes = {CrashEvent{1, 7, 7}};  // restart_round == crash_round
+  try {
+    engine.set_fault_plan(plan);
+    FAIL() << "expected invalid_argument for the empty window";
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("node 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("[7, 7)"), std::string::npos) << what;
+  }
+
+  plan.crashes = {CrashEvent{2, 3, 9},
+                  CrashEvent{2, 5, CrashEvent::kNeverRestarts}};
+  try {
+    engine.set_fault_plan(plan);
+    FAIL() << "expected invalid_argument for the overlap";
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("node 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("[3, 9)"), std::string::npos) << what;
+    EXPECT_NE(what.find("[5, never)"), std::string::npos) << what;
+  }
+}
+
 TEST(FaultPlan, RejectsOverrideOnNonEdge) {
   Graph g = path_graph(3);  // edges 0-1, 1-2
   Engine engine(g);

@@ -200,6 +200,110 @@ TEST(Qlint, PhaseCallOutsideFrameworkClean) {
       lint_source("src/apps/foo.cpp", "  distribute_state(e, state);\n").empty());
 }
 
+// --- unsnapshotted-state -----------------------------------------------------
+
+TEST(Qlint, FlagsUncoveredMemberOfRecoverableProgram) {
+  std::string source =
+      "class Counter final : public NodeProgram {\n"
+      " public:\n"
+      "  bool snapshot(std::vector<std::int64_t>& words) const override {\n"
+      "    words = {sum_};\n"
+      "    return true;\n"
+      "  }\n"
+      "  bool restore(std::uint32_t v, std::span<const std::int64_t> words) override {\n"
+      "    sum_ = words[0];\n"
+      "    return true;\n"
+      "  }\n"
+      " private:\n"
+      "  std::int64_t sum_ = 0;\n"
+      "  std::size_t forgotten_ = 0;\n"
+      "};\n";
+  auto d = lint_source("src/net/foo.cpp", source);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "unsnapshotted-state");
+  EXPECT_EQ(d[0].line, 13u);
+  EXPECT_NE(d[0].message.find("forgotten_"), std::string::npos);
+}
+
+TEST(Qlint, CoveredMembersOfRecoverableProgramClean) {
+  std::string source =
+      "class Counter final : public net::NodeProgram {\n"
+      "  bool snapshot(std::vector<std::int64_t>& words) const override {\n"
+      "    words = {sum_, static_cast<std::int64_t>(steps_)};\n"
+      "    return true;\n"
+      "  }\n"
+      "  std::int64_t sum_ = 0;\n"
+      "  std::size_t steps_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
+TEST(Qlint, NonRecoverableProgramIsExemptFromSnapshotCoverage) {
+  // Not overriding snapshot() means crash-stop semantics: nothing to cover.
+  std::string source =
+      "class Flooder final : public NodeProgram {\n"
+      "  void on_round(Context& ctx, const std::vector<Message>& inbox) override;\n"
+      "  std::size_t words_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
+TEST(Qlint, PointerConstAndStaticMembersAreExempt) {
+  // Pointers are rewired and const members rebuilt by the program factory;
+  // neither is node state a checkpoint could (or should) carry.
+  std::string source =
+      "class P final : public NodeProgram {\n"
+      "  bool snapshot(std::vector<std::int64_t>& words) const override {\n"
+      "    words = {sum_};\n"
+      "    return true;\n"
+      "  }\n"
+      "  std::int64_t sum_ = 0;\n"
+      "  const Graph* graph_ = nullptr;\n"
+      "  const std::size_t limit_ = 8;\n"
+      "  static std::size_t instances_;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
+TEST(Qlint, ForwardingAdapterIsExemptFromSnapshotCoverage) {
+  // A transport adapter delegates snapshot() to the wrapped program; its
+  // own members are link state that deliberately survives an amnesia wipe.
+  std::string source =
+      "class Adapter final : public NodeProgram {\n"
+      "  bool snapshot(std::vector<std::int64_t>& words) const override {\n"
+      "    return inner_->snapshot(words);\n"
+      "  }\n"
+      "  std::size_t next_round_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
+TEST(Qlint, UnsnapshottedStateInlineSuppression) {
+  std::string source =
+      "class C final : public NodeProgram {\n"
+      "  bool snapshot(std::vector<std::int64_t>& words) const override {\n"
+      "    words = {sum_};\n"
+      "    return true;\n"
+      "  }\n"
+      "  std::int64_t sum_ = 0;\n"
+      "  std::size_t rounds_ = 0;  // qlint-allow(unsnapshotted-state): config\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
+TEST(Qlint, PlainNodeProgramUsesAreNotABaseClause) {
+  // Mentioning the type is not deriving from it: factories, containers, and
+  // the base class definition itself must stay exempt.
+  std::string source =
+      "class NodeProgram {\n"
+      "  virtual bool snapshot(std::vector<std::int64_t>& words) const {\n"
+      "    return false;\n"
+      "  }\n"
+      "};\n"
+      "std::vector<std::unique_ptr<NodeProgram>> programs_;\n";
+  EXPECT_TRUE(lint_source("src/net/foo.cpp", source).empty());
+}
+
 // --- suppression -------------------------------------------------------------
 
 TEST(Qlint, InlineSuppressionSilencesRule) {

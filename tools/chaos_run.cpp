@@ -6,6 +6,7 @@
 //             [--transport reliable|direct] [--seed S]
 //             [--threads T] [--jobs J]
 //             [--verify] [--audit-determinism] [--report PATH]
+//             [--amnesia] [--recover]
 //
 // families: tree | path | cycle | grid | random
 //
@@ -34,6 +35,20 @@
 // carries only seed-deterministic fields — it is byte-identical for any
 // --threads value, which CI exploits by diffing the two.
 //
+// --amnesia replaces the sweep with the recovery lane: every app (plus the
+// framework apps dj and meeting) runs over the reliable transport with one
+// crash-with-amnesia window scheduled on a middle node, a liveness watchdog
+// attached. With --recover the engine checkpoints node state and the wiped
+// node rebuilds itself from its last checkpoint plus neighbor-assisted
+// catch-up; the lane passes when every app still computes the right answer
+// AND pays a visible recovery tax (RunResult::recovery_rounds > 0 — the
+// counters are honest, so a free recovery would be a bug). Without
+// --recover the wiped node can never rejoin; the lane passes when the
+// watchdog converts the would-be livelock into a LivelockError naming the
+// victim instead of silently burning the round budget. Combine with
+// --report to capture the recovery sections (including the recovery-tax
+// counters) in the run-report JSON.
+//
 // --audit-determinism replaces the sweep with the reproducibility gate:
 // every app runs twice from the same seed and the two delivery traces are
 // diffed byte-for-byte — any divergence (hash-order iteration, unseeded
@@ -52,7 +67,9 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/deutsch_jozsa.hpp"
 #include "src/apps/eccentricity.hpp"
+#include "src/apps/meeting_scheduling.hpp"
 #include "src/apps/net_options.hpp"
 #include "src/check/verifier.hpp"
 #include "src/net/bfs.hpp"
@@ -81,8 +98,20 @@ struct Options {
   std::size_t jobs = 1;     // concurrent sweep trials
   bool verify = false;
   bool audit_determinism = false;
+  bool amnesia = false;  // run the crash-with-amnesia recovery lane
+  bool recover = false;  // ...with checkpointing + neighbor-assisted catch-up
   std::string report;  // run-report output path ("" = no report)
 };
+
+// Crash window of the --amnesia lane, in physical rounds: late enough that
+// at least one committed virtual round of state is lost, early enough that
+// every app's first engine run is still in flight when it opens.
+constexpr std::size_t kCrashRound = 30;
+constexpr std::size_t kRestartRound = 60;
+// Watchdog stall bound: must comfortably exceed the crash window plus the
+// reliable transport's retransmission backoff cap (ReliableParams::rto_cap).
+constexpr std::size_t kLaneStallRounds = 512;
+constexpr std::size_t kLaneCheckpointEvery = 3;  // virtual rounds per checkpoint
 
 struct Outcome {
   bool success = false;
@@ -188,6 +217,32 @@ Outcome run_radius(const net::Graph& graph, const apps::NetOptions& options) {
   return {result.cost.completed && result.value == graph.radius(), result.cost};
 }
 
+Outcome run_dj(const net::Graph& graph, const apps::NetOptions& options) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t k = 8;
+  // Node 0 holds 01010101, everyone else all-zero: x = XOR_v x^{(v)} is
+  // balanced, and the exact protocol must say so.
+  std::vector<std::vector<query::Value>> data(n, std::vector<query::Value>(k, 0));
+  for (std::size_t i = 1; i < k; i += 2) data[0][i] = 1;
+  auto result = apps::deutsch_jozsa_classical_exact(graph, data, options);
+  return {result.cost.completed && result.verdict == query::DjVerdict::kBalanced,
+          result.cost};
+}
+
+Outcome run_meeting(const net::Graph& graph, const apps::NetOptions& options) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t k = 12;
+  apps::Calendars calendars(n, std::vector<query::Value>(k, 0));
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < k; ++i) calendars[v][i] = (v + i) % 3 == 0 ? 1 : 0;
+  }
+  auto truth = apps::meeting_scheduling_reference(calendars);
+  auto result = apps::meeting_scheduling_classical(graph, calendars, options);
+  return {result.cost.completed && result.best_slot == truth.best_slot &&
+              result.availability == truth.availability,
+          result.cost};
+}
+
 net::Graph make_graph(const Options& opt) {
   if (opt.graph == "tree") return net::binary_tree(opt.nodes);
   if (opt.graph == "path") return net::path_graph(opt.nodes);
@@ -214,6 +269,14 @@ bool parse(int argc, char** argv, Options& opt) {
     }
     if (flag == "--audit-determinism") {
       opt.audit_determinism = true;
+      continue;
+    }
+    if (flag == "--amnesia") {
+      opt.amnesia = true;
+      continue;
+    }
+    if (flag == "--recover") {
+      opt.recover = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -278,6 +341,8 @@ std::string transcript(const net::Trace& trace, const Outcome& out) {
   s += " corrupted=" + std::to_string(out.cost.corrupted_words);
   s += " duplicated=" + std::to_string(out.cost.duplicated_words);
   s += " retrans=" + std::to_string(out.cost.retransmissions);
+  s += " recwords=" + std::to_string(out.cost.recovery_words);
+  s += " recrounds=" + std::to_string(out.cost.recovery_rounds);
   s += '\n';
   return s;
 }
@@ -354,6 +419,124 @@ int run_determinism_audit(const net::Graph& graph, const Options& opt,
   return exit_code;
 }
 
+/// The deterministic fault schedule of the --amnesia lane: one
+/// crash-with-amnesia window on a middle node. Applied to every engine run
+/// an app performs, so multi-phase apps (election, tree build, pipeline)
+/// lose and recover the victim's state once per phase that lives past the
+/// crash round.
+net::FaultPlan amnesia_plan(net::NodeId victim, std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.crashes.push_back(net::CrashEvent{victim, kCrashRound, kRestartRound});
+  plan.crashes[0].amnesia = true;
+  plan.seed = seed * 1000;
+  return plan;
+}
+
+apps::NetOptions lane_options(const Options& opt, net::NodeId victim,
+                              recover::Watchdog* watchdog) {
+  apps::NetOptions options;
+  // The lane is a reliable-transport story: under Transport::kDirect a crash
+  // window just drops words on the floor and no protocol recovers them.
+  options.transport = net::Transport::kReliable;
+  options.threads = opt.threads;
+  options.seed = opt.seed;
+  options.fault_plan = amnesia_plan(victim, opt.seed);
+  options.watchdog = watchdog;
+  if (opt.recover) {
+    options.recovery.enabled = true;
+    options.recovery.checkpoint.every_rounds = kLaneCheckpointEvery;
+  }
+  return options;
+}
+
+/// The --amnesia lane. With --recover every app must survive the wipe with
+/// the right answer and an honest, nonzero recovery tax; without it the
+/// watchdog must diagnose the dead node instead of letting the run hang.
+int run_recovery_lane(const net::Graph& graph, const Options& opt,
+                      const std::vector<AppEntry>& suite) {
+  const net::NodeId victim = graph.num_nodes() / 2;
+  check::Verifier verifier;
+  recover::Watchdog watchdog(recover::WatchdogConfig{
+      /*stall_rounds=*/kLaneStallRounds, /*deadline_rounds=*/0});
+  std::printf(
+      "# recovery lane: graph=%s nodes=%zu seed=%llu threads=%zu recover=%s\n",
+      opt.graph.c_str(), graph.num_nodes(),
+      static_cast<unsigned long long>(opt.seed), opt.threads,
+      opt.recover ? "on" : "off");
+  std::printf("# amnesia crash on node %zu, physical rounds [%zu, %zu), "
+              "reliable transport\n",
+              static_cast<std::size_t>(victim), kCrashRound, kRestartRound);
+  if (opt.recover) {
+    std::printf("%-12s %8s %8s %10s %9s %8s %s\n", "app", "success", "rounds",
+                "rec_rounds", "rec_words", "tax", "verdict");
+  } else {
+    std::printf("%-12s %-7s %s\n", "app", "verdict", "diagnosis");
+  }
+
+  int exit_code = 0;
+  for (const AppEntry& app : suite) {
+    // Fault-free baseline: the denominator of the recovery-tax column and
+    // the answer the recovered run must reproduce (via each app's own
+    // ground-truth check).
+    apps::NetOptions clean;
+    clean.transport = net::Transport::kReliable;
+    clean.threads = opt.threads;
+    clean.seed = opt.seed;
+    Outcome base = app.run(graph, clean);
+
+    apps::NetOptions options = lane_options(opt, victim, &watchdog);
+    if (opt.verify) options.observer = &verifier;
+
+    if (opt.recover) {
+      Outcome out;
+      bool threw = false;
+      try {
+        out = app.run(graph, options);
+      } catch (const std::exception&) {
+        threw = true;
+        if (opt.verify) verifier.abandon_run();
+      }
+      double tax = base.cost.rounds > 0
+                       ? static_cast<double>(out.cost.rounds) /
+                             static_cast<double>(base.cost.rounds)
+                       : 0.0;
+      // recovery_rounds == 0 would mean the wipe cost nothing — with these
+      // counters' honesty pinned by tests, that can only be a lane bug.
+      bool pass = !threw && out.success && out.cost.recovery_rounds > 0;
+      std::printf("%-12s %8s %8zu %10zu %9zu %7.2fx %s\n", app.name,
+                  out.success ? "yes" : "no", out.cost.rounds,
+                  out.cost.recovery_rounds, out.cost.recovery_words, tax,
+                  pass ? "PASS" : "FAIL");
+      if (!pass) exit_code = 1;
+    } else {
+      bool diagnosed = false;
+      std::string what = "no diagnosis: the run terminated on its own";
+      try {
+        (void)app.run(graph, options);
+      } catch (const recover::LivelockError& e) {
+        const std::vector<net::NodeId>& s = e.suspects();
+        diagnosed = std::find(s.begin(), s.end(), victim) != s.end();
+        what = e.what();
+        if (opt.verify) verifier.abandon_run();
+      } catch (const std::exception& e) {
+        what = std::string("unexpected error: ") + e.what();
+        if (opt.verify) verifier.abandon_run();
+      }
+      std::printf("%-12s %-7s %s\n", app.name, diagnosed ? "PASS" : "FAIL",
+                  what.c_str());
+      if (!diagnosed) exit_code = 1;
+    }
+  }
+  if (opt.verify) {
+    std::printf("%s\n", verifier.report().c_str());
+    if (!verifier.ok()) exit_code = 1;
+  }
+  if (exit_code != 0) {
+    std::fprintf(stderr, "chaos_run: recovery lane failed\n");
+  }
+  return exit_code;
+}
+
 /// Format a fault rate as a short fixed-point label ("0.05").
 std::string rate_label(double rate) {
   char buf[16];
@@ -369,6 +552,53 @@ int write_run_report(const net::Graph& graph, const Options& opt,
                      const std::vector<AppEntry>& suite) {
   obs::RunReport report("chaos_run");
   const std::vector<double> rates = {0.0, 0.05};
+
+  // One instrumented run -> one report section. Everything recorded stays
+  // seed-deterministic, so sections are byte-identical for any --threads.
+  auto instrument = [&](const AppEntry& app, const std::string& section_name,
+                        apps::NetOptions options,
+                        const std::function<void(obs::RunReport::Section&)>& label) {
+    net::Trace trace;
+    obs::RoundProfiler profiler;
+    options.trace = &trace;
+    options.metrics = &profiler;
+
+    Outcome out;
+    bool threw = false;
+    try {
+      out = app.run(graph, options);
+    } catch (const std::exception&) {
+      threw = true;
+      out.success = false;
+    }
+
+    obs::MetricsRegistry metrics;
+    metrics.count("runs", profiler.total_runs());
+    metrics.count("messages", trace.size());
+    if (out.success) metrics.count("successes");
+    if (threw) metrics.count("aborted_runs");
+    obs::Histogram& load =
+        metrics.histogram("messages_per_round", {1, 2, 4, 8, 16, 32, 64, 128});
+    for (std::size_t count : trace.per_round_counts()) {
+      load.observe(static_cast<double>(count));
+    }
+
+    obs::RunReport::Section& section = report.add_section(section_name);
+    section.set_label("app", app.name);
+    section.set_label("graph", opt.graph);
+    section.set_label("nodes", std::to_string(graph.num_nodes()));
+    section.set_label("seed", std::to_string(opt.seed));
+    label(section);
+    section.set_outcome(out.success);
+    section.set_result(out.cost);
+    section.set_profile(profiler);
+    section.set_trace(trace);
+    section.set_metrics(metrics);
+  };
+
+  const net::NodeId victim = graph.num_nodes() / 2;
+  recover::Watchdog watchdog(recover::WatchdogConfig{
+      /*stall_rounds=*/kLaneStallRounds, /*deadline_rounds=*/0});
   for (const AppEntry& app : suite) {
     for (double rate : rates) {
       apps::NetOptions options;
@@ -379,47 +609,29 @@ int write_run_report(const net::Graph& graph, const Options& opt,
       options.fault_plan.link.corrupt = rate / 5.0;
       options.fault_plan.link.duplicate = rate / 10.0;
       options.fault_plan.seed = opt.seed * 1000;
-
-      net::Trace trace;
-      obs::RoundProfiler profiler;
-      options.trace = &trace;
-      options.metrics = &profiler;
-
-      Outcome out;
-      bool threw = false;
-      try {
-        out = app.run(graph, options);
-      } catch (const std::exception&) {
-        threw = true;
-        out.success = false;
-      }
-
-      obs::MetricsRegistry metrics;
-      metrics.count("runs", profiler.total_runs());
-      metrics.count("messages", trace.size());
-      if (out.success) metrics.count("successes");
-      if (threw) metrics.count("aborted_runs");
-      obs::Histogram& load =
-          metrics.histogram("messages_per_round", {1, 2, 4, 8, 16, 32, 64, 128});
-      for (std::size_t count : trace.per_round_counts()) {
-        load.observe(static_cast<double>(count));
-      }
-
-      obs::RunReport::Section& section =
-          report.add_section(std::string(app.name) + "@drop=" + rate_label(rate));
-      section.set_label("app", app.name);
-      section.set_label("graph", opt.graph);
-      section.set_label("nodes", std::to_string(graph.num_nodes()));
-      section.set_label("drop", rate_label(rate));
-      section.set_label("transport", opt.transport == net::Transport::kReliable
+      instrument(app, std::string(app.name) + "@drop=" + rate_label(rate),
+                 options, [&](obs::RunReport::Section& section) {
+                   section.set_label("drop", rate_label(rate));
+                   section.set_label("transport",
+                                     opt.transport == net::Transport::kReliable
                                          ? "reliable"
                                          : "direct");
-      section.set_label("seed", std::to_string(opt.seed));
-      section.set_outcome(out.success);
-      section.set_result(out.cost);
-      section.set_profile(profiler);
-      section.set_trace(trace);
-      section.set_metrics(metrics);
+                 });
+    }
+    if (opt.amnesia) {
+      // The recovery lane's section: the amnesia crash schedule with (or
+      // without) recovery, so the report carries the recovery-tax counters.
+      apps::NetOptions options = lane_options(opt, victim, &watchdog);
+      instrument(app, std::string(app.name) + "@amnesia",
+                 options, [&](obs::RunReport::Section& section) {
+                   section.set_label("crash_node",
+                                     std::to_string(static_cast<std::size_t>(victim)));
+                   section.set_label("crash_window",
+                                     "[" + std::to_string(kCrashRound) + ", " +
+                                         std::to_string(kRestartRound) + ")");
+                   section.set_label("recover", opt.recover ? "on" : "off");
+                   section.set_label("transport", "reliable");
+                 });
     }
   }
   std::string json = report.to_json();
@@ -448,6 +660,7 @@ int main(int argc, char** argv) {
         "                 [--transport reliable|direct] [--seed S]\n"
         "                 [--threads T] [--jobs J]\n"
         "                 [--verify] [--audit-determinism] [--report PATH]\n"
+        "                 [--amnesia] [--recover]\n"
         "families: tree path cycle grid random");
     return 2;
   }
@@ -461,6 +674,21 @@ int main(int argc, char** argv) {
   };
 
   if (opt.audit_determinism) return run_determinism_audit(graph, opt, suite);
+
+  if (opt.amnesia) {
+    // The recovery lane adds the framework apps the sweep leaves out: both
+    // are multi-phase (election + tree build + pipelined aggregation), the
+    // richest recovery surface the suite has.
+    std::vector<AppEntry> recovery_suite = suite;
+    recovery_suite.push_back({"dj", run_dj});
+    recovery_suite.push_back({"meeting", run_meeting});
+    int exit_code = run_recovery_lane(graph, opt, recovery_suite);
+    if (!opt.report.empty()) {
+      int report_code = write_run_report(graph, opt, recovery_suite);
+      if (report_code != 0) exit_code = report_code;
+    }
+    return exit_code;
+  }
 
   check::Verifier verifier;
   const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.1};
