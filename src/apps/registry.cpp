@@ -1,0 +1,188 @@
+#include "src/apps/registry.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/apps/deutsch_jozsa.hpp"
+#include "src/apps/eccentricity.hpp"
+#include "src/apps/meeting_scheduling.hpp"
+#include "src/net/bfs.hpp"
+#include "src/net/generators.hpp"
+#include "src/net/multi_bfs.hpp"
+#include "src/net/pipeline.hpp"
+#include "src/util/rng.hpp"
+
+namespace qcongest::apps {
+
+namespace {
+
+net::Engine make_engine(const net::Graph& graph, const NetOptions& options) {
+  net::Engine engine(graph, options.bandwidth, options.seed);
+  options.configure(engine);
+  return engine;
+}
+
+AppOutcome run_leader(const net::Graph& graph, const NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  auto election = net::elect_leader(engine);
+  return {election.cost.completed && election.leader == graph.num_nodes() - 1,
+          election.cost};
+}
+
+AppOutcome run_bfs(const net::Graph& graph, const NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  std::vector<std::size_t> truth = graph.bfs_distances(0);
+  AppOutcome out;
+  out.cost = tree.cost;
+  out.success = tree.cost.completed && tree.depth == truth;
+  return out;
+}
+
+AppOutcome run_downcast(const net::Graph& graph, const NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  AppOutcome out;
+  out.cost = tree.cost;
+  std::vector<std::int64_t> payload(32);
+  std::iota(payload.begin(), payload.end(), 100);
+  auto down = net::pipelined_downcast(engine, tree, payload, /*quantum=*/false);
+  out.cost += down.cost;
+  out.success = down.cost.completed;
+  for (const auto& row : down.received) {
+    if (row != payload) out.success = false;
+  }
+  return out;
+}
+
+AppOutcome run_convergecast(const net::Graph& graph, const NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  net::BfsTree tree = net::build_bfs_tree(engine, 0);
+  AppOutcome out;
+  out.cost = tree.cost;
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::vector<std::int64_t>> values(n);
+  for (std::size_t v = 0; v < n; ++v) values[v] = {static_cast<std::int64_t>(v), 1};
+  auto conv = net::pipelined_convergecast(
+      engine, tree, values, /*value_words=*/1,
+      [](std::int64_t a, std::int64_t b) { return a + b; }, /*quantum=*/false);
+  out.cost += conv.cost;
+  auto expected = std::vector<std::int64_t>{
+      static_cast<std::int64_t>(n * (n - 1) / 2), static_cast<std::int64_t>(n)};
+  out.success = conv.cost.completed && conv.totals == expected;
+  return out;
+}
+
+AppOutcome run_multibfs(const net::Graph& graph, const NetOptions& options) {
+  net::Engine engine = make_engine(graph, options);
+  const std::size_t n = graph.num_nodes();
+  std::vector<net::NodeId> sources;
+  for (std::size_t s = 0; s < std::min<std::size_t>(4, n); ++s) sources.push_back(s);
+  auto bfs = net::multi_source_bfs(engine, sources, n);
+  AppOutcome out;
+  out.cost = bfs.cost;
+  out.success = bfs.cost.completed;
+  for (std::size_t slot = 0; slot < sources.size() && out.success; ++slot) {
+    std::vector<std::size_t> truth = graph.bfs_distances(sources[slot]);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<std::size_t>(bfs.dist[v][slot]) != truth[v]) {
+        out.success = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+AppOutcome run_diameter(const net::Graph& graph, const NetOptions& options) {
+  auto result = diameter_classical(graph, options);
+  return {result.cost.completed && result.value == graph.diameter(), result.cost};
+}
+
+AppOutcome run_radius(const net::Graph& graph, const NetOptions& options) {
+  auto result = radius_classical(graph, options);
+  return {result.cost.completed && result.value == graph.radius(), result.cost};
+}
+
+AppOutcome run_dj(const net::Graph& graph, const NetOptions& options) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t k = 8;
+  // Node 0 holds 01010101, everyone else all-zero: x = XOR_v x^{(v)} is
+  // balanced, and the exact protocol must say so.
+  std::vector<std::vector<query::Value>> data(n, std::vector<query::Value>(k, 0));
+  for (std::size_t i = 1; i < k; i += 2) data[0][i] = 1;
+  auto result = deutsch_jozsa_classical_exact(graph, data, options);
+  return {result.cost.completed && result.verdict == query::DjVerdict::kBalanced,
+          result.cost};
+}
+
+AppOutcome run_meeting(const net::Graph& graph, const NetOptions& options) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t k = 12;
+  Calendars calendars(n, std::vector<query::Value>(k, 0));
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < k; ++i) calendars[v][i] = (v + i) % 3 == 0 ? 1 : 0;
+  }
+  auto truth = meeting_scheduling_reference(calendars);
+  auto result = meeting_scheduling_classical(graph, calendars, options);
+  return {result.cost.completed && result.best_slot == truth.best_slot &&
+              result.availability == truth.availability,
+          result.cost};
+}
+
+}  // namespace
+
+const std::vector<RegisteredApp>& app_registry() {
+  static const std::vector<RegisteredApp> registry = {
+      {"leader", run_leader},         {"bfs", run_bfs},
+      {"downcast", run_downcast},     {"convergecast", run_convergecast},
+      {"multibfs", run_multibfs},     {"diameter", run_diameter},
+      {"radius", run_radius},         {"dj", run_dj},
+      {"meeting", run_meeting},
+  };
+  return registry;
+}
+
+const AppRunner* find_app(std::string_view name) {
+  for (const RegisteredApp& app : app_registry()) {
+    if (name == app.name) return &app.run;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> app_names() {
+  std::vector<std::string> names;
+  names.reserve(app_registry().size());
+  for (const RegisteredApp& app : app_registry()) names.emplace_back(app.name);
+  return names;
+}
+
+net::Graph make_registry_graph(std::string_view family, std::size_t nodes,
+                               std::uint64_t seed) {
+  if (nodes < 2) {
+    throw std::invalid_argument("make_registry_graph: need at least 2 nodes");
+  }
+  if (family == "tree") return net::binary_tree(nodes);
+  if (family == "path") return net::path_graph(nodes);
+  if (family == "cycle") return net::cycle_graph(nodes);
+  if (family == "star") return net::star_graph(nodes);
+  if (family == "complete") return net::complete_graph(nodes);
+  if (family == "grid") {
+    std::size_t side = 1;
+    while ((side + 1) * (side + 1) <= nodes) ++side;
+    return net::grid_graph(side, side);
+  }
+  if (family == "random") {
+    util::Rng rng(seed);
+    return net::random_connected_graph(nodes, nodes / 2, rng);
+  }
+  throw std::invalid_argument("make_registry_graph: unknown graph family '" +
+                              std::string(family) + "'");
+}
+
+std::vector<std::string> graph_families() {
+  return {"tree", "path", "cycle", "grid", "random", "star", "complete"};
+}
+
+}  // namespace qcongest::apps

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/apps/net_options.hpp"
+#include "src/net/engine.hpp"
+#include "src/net/graph.hpp"
+
+namespace qcongest::apps {
+
+/// Result of one registry app run: did the protocol's answer match ground
+/// truth, and what did the run cost. The success bit is computed by the
+/// runner itself (each app self-checks against an exact reference), so
+/// callers — chaos_run's sweep, the qcongestd service — never need
+/// app-specific knowledge to grade an outcome.
+struct AppOutcome {
+  bool success = false;
+  net::RunResult cost;
+};
+
+/// One application under test: run it on `graph` with the given options and
+/// self-check the answer. Runners are pure functions of (graph, options) —
+/// no hidden state — which is what lets the service execute many of them
+/// concurrently and still promise byte-identical reports per (job, seed).
+using AppRunner = std::function<AppOutcome(const net::Graph&, const NetOptions&)>;
+
+struct RegisteredApp {
+  const char* name;
+  AppRunner run;
+};
+
+/// The named application suite shared by chaos_run and the qcongestd
+/// service: leader, bfs, downcast, convergecast, multibfs, diameter,
+/// radius, dj, meeting. Order is fixed (it is the sweep's display order).
+const std::vector<RegisteredApp>& app_registry();
+
+/// Look up a runner by name; nullptr when unknown.
+const AppRunner* find_app(std::string_view name);
+
+/// The registered app names, in registry order.
+std::vector<std::string> app_names();
+
+/// Topology factory by family name: tree | path | cycle | grid | random |
+/// star | complete. `seed` only matters for the random family. Throws
+/// std::invalid_argument on an unknown family or a size the family cannot
+/// realize. grid builds the largest side*side grid with side*side <= nodes.
+net::Graph make_registry_graph(std::string_view family, std::size_t nodes,
+                               std::uint64_t seed);
+
+/// The accepted graph family names.
+std::vector<std::string> graph_families();
+
+}  // namespace qcongest::apps

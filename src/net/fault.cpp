@@ -26,11 +26,33 @@ bool FaultPlan::active() const {
 
 void FaultPlan::validate(std::size_t num_nodes) const {
   check_rates(link, "link");
+  // Overrides are keyed by *directed* edge; a duplicate key would make
+  // "which rates apply to u->v" depend on lookup order, and a self-loop
+  // names a channel the CONGEST graph cannot contain. Both are caller bugs
+  // and must be named precisely, not silently last-writer-wins.
+  std::vector<std::pair<NodeId, NodeId>> seen_edges;
+  seen_edges.reserve(edge_overrides.size());
   for (const auto& [edge, rates] : edge_overrides) {
+    auto edge_name = [&edge]() {
+      return std::to_string(edge.first) + "->" + std::to_string(edge.second);
+    };
     if (edge.first >= num_nodes || edge.second >= num_nodes) {
-      throw std::invalid_argument("FaultPlan: edge override endpoint out of range");
+      throw std::invalid_argument("FaultPlan: edge override endpoint out of range on edge " +
+                                  edge_name() + " (num_nodes " +
+                                  std::to_string(num_nodes) + ")");
     }
+    if (edge.first == edge.second) {
+      throw std::invalid_argument("FaultPlan: self-loop edge override on edge " + edge_name());
+    }
+    seen_edges.push_back(edge);
     check_rates(rates, "edge override");
+  }
+  std::sort(seen_edges.begin(), seen_edges.end());
+  auto dup = std::adjacent_find(seen_edges.begin(), seen_edges.end());
+  if (dup != seen_edges.end()) {
+    throw std::invalid_argument("FaultPlan: duplicate edge override on edge " +
+                                std::to_string(dup->first) + "->" +
+                                std::to_string(dup->second));
   }
   // Per-node crash windows must be disjoint so "is v crashed at round r" is
   // unambiguous.

@@ -1,0 +1,127 @@
+#include "src/serve/frame.hpp"
+
+namespace qcongest::serve {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                    (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+bool frame_type_known(std::uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kSubmit:
+    case FrameType::kResult:
+    case FrameType::kRejected:
+    case FrameType::kError:
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kShutdown:
+      return true;
+  }
+  return false;
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u16(out, kWireMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (poisoned_ || finished_) return;
+  buffer_.append(bytes);
+}
+
+void FrameReader::finish() { finished_ = true; }
+
+FrameReader::Result FrameReader::poison(std::string reason) {
+  poisoned_ = true;
+  error_ = std::move(reason);
+  buffer_.clear();
+  consumed_ = 0;
+  return Result::kError;
+}
+
+FrameReader::Result FrameReader::next(Frame* out) {
+  if (poisoned_) return Result::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) {
+    if (finished_ && available > 0) {
+      return poison("truncated frame: stream ended inside a header (" +
+                    std::to_string(available) + " of " +
+                    std::to_string(kHeaderBytes) + " header bytes)");
+    }
+    return Result::kNeedMore;
+  }
+  const char* header = buffer_.data() + consumed_;
+  const std::uint16_t magic = get_u16(header);
+  if (magic != kWireMagic) {
+    return poison("bad magic 0x" + std::to_string(magic) +
+                  ": not a qcongestd frame");
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(header[2]);
+  if (version != kWireVersion) {
+    return poison("unsupported wire version " + std::to_string(version) +
+                  " (speaking " + std::to_string(kWireVersion) + ")");
+  }
+  const std::uint8_t type = static_cast<std::uint8_t>(header[3]);
+  if (!frame_type_known(type)) {
+    return poison("unknown frame type " + std::to_string(type));
+  }
+  const std::uint32_t length = get_u32(header + 4);
+  if (length > max_payload_) {
+    // Reject before buffering: an attacker-chosen length must never drive
+    // an allocation.
+    return poison("oversized frame: payload " + std::to_string(length) +
+                  " exceeds cap " + std::to_string(max_payload_));
+  }
+  if (available < kHeaderBytes + length) {
+    if (finished_) {
+      return poison("truncated frame: stream ended " +
+                    std::to_string(kHeaderBytes + length - available) +
+                    " bytes short of the declared payload");
+    }
+    return Result::kNeedMore;
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buffer_, consumed_ + kHeaderBytes, length);
+  consumed_ += kHeaderBytes + length;
+  ++frames_parsed_;
+  // Compact once the parsed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return Result::kFrame;
+}
+
+}  // namespace qcongest::serve

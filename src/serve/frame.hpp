@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qcongest::serve {
+
+/// The qcongestd wire protocol: length-prefixed frames over a byte stream
+/// (monotone's netsync framing is the idiom reference). Every frame is an
+/// 8-byte little-endian header followed by the payload:
+///
+///   u16 magic     0x5143 ("CQ")
+///   u8  version   kWireVersion
+///   u8  type      FrameType
+///   u32 length    payload bytes that follow
+///
+/// Hardening contract: the parser never trusts the peer. A bad magic,
+/// unknown version or type, or a length above the reader's cap poisons the
+/// parse with a structured error — the server tears the connection down
+/// cleanly instead of desynchronizing or allocating attacker-chosen
+/// amounts. A stream that ends mid-frame is reported as truncated. Parser
+/// state is strictly per-connection (one FrameReader each), so no bytes or
+/// errors ever leak across connections.
+
+inline constexpr std::uint16_t kWireMagic = 0x5143;
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 8;
+/// Default payload cap. Run reports for the topologies the service admits
+/// are well under this; anything larger is a malformed or hostile frame.
+inline constexpr std::size_t kMaxPayload = 4u << 20;
+
+enum class FrameType : std::uint8_t {
+  /// Client -> server: a job spec (see serve/job.hpp) as key=value text.
+  kSubmit = 1,
+  /// Server -> client: a finished job's reply — status header lines, a
+  /// blank line, then the obs::RunReport JSON document.
+  kResult = 2,
+  /// Server -> client: the job was shed at admission (queue full or spec
+  /// over limits); header lines carry the reason and a retry-after hint.
+  kRejected = 3,
+  /// Server -> client: the connection itself is being torn down (protocol
+  /// violation); payload is a one-line reason.
+  kError = 4,
+  /// Client -> server liveness probe; the server answers with kPong.
+  kPing = 5,
+  kPong = 6,
+  /// Client -> server: finish in-flight jobs, then exit the serve loop.
+  kShutdown = 7,
+};
+
+/// True for the types a well-formed peer may put on the wire at all.
+bool frame_type_known(std::uint8_t type);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Serialize one frame (header + payload). The payload may hold arbitrary
+/// bytes; callers enforce their own size discipline (encode does not cap,
+/// the receiving reader does).
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Incremental frame parser for one connection. Feed bytes as they arrive;
+/// poll next() for complete frames. The first malformed header poisons the
+/// reader permanently — after a framing error the byte stream has no
+/// trustworthy resynchronization point, so the only safe move is to drop
+/// the connection.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kMaxPayload)
+      : max_payload_(max_payload) {}
+
+  enum class Result {
+    kFrame,     // *out was filled with the next complete frame
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // poisoned; see error()
+  };
+
+  /// Append raw bytes received from the peer.
+  void feed(std::string_view bytes);
+
+  /// Signal end-of-stream. Buffered partial bytes become a truncated-frame
+  /// error; a clean boundary stays kNeedMore.
+  void finish();
+
+  /// Extract the next complete frame. Validates magic, version, type, and
+  /// the length cap before accepting the header.
+  Result next(Frame* out);
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& error() const { return error_; }
+
+  /// Total frames successfully parsed (diagnostics).
+  std::size_t frames_parsed() const { return frames_parsed_; }
+
+ private:
+  Result poison(std::string reason);
+
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // parsed prefix of buffer_, compacted lazily
+  bool finished_ = false;
+  bool poisoned_ = false;
+  std::string error_;
+  std::size_t frames_parsed_ = 0;
+};
+
+}  // namespace qcongest::serve

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/engine.hpp"
+
+namespace qcongest::serve {
+
+/// One experiment job as submitted over the wire: which registry app to
+/// run, on what topology, under what fault schedule, from what seed, with
+/// what engine thread budget and round deadline. The spec travels as
+/// strict `key=value` lines (one per line, '#' comments allowed):
+///
+///   id=job-7             client-chosen reply token (required)
+///   app=bfs              registry app name (required)
+///   graph=tree           tree|path|cycle|grid|random|star|complete
+///   nodes=15             2 .. ServiceConfig::max_nodes
+///   seed=42              engine seed (u64)
+///   fault_seed=42000     fault-lottery seed (default seed * 1000)
+///   threads=8            engine shards; NEVER affects the report bytes
+///   deadline_rounds=500  watchdog round deadline (0 = server default)
+///   transport=reliable   reliable|direct
+///   drop=0.05 corrupt=0.01 duplicate=0.005
+///   crash=3:30:60        node:crash_round:restart_round, repeatable
+///   crash=3:90:120:amnesia   ...with amnesia (volatile state wiped)
+///   recover=1            enable checkpoint + neighbor-assisted recovery
+///
+/// Parsing is as strict as the framing underneath it: unknown keys,
+/// duplicate keys, malformed numbers, and out-of-range values are errors,
+/// never guesses — a malformed job must yield a structured error report,
+/// not a half-configured run.
+struct JobSpec {
+  std::string id;
+  std::string app;
+  std::string graph = "tree";
+  std::size_t nodes = 15;
+  std::uint64_t seed = 1;
+  std::uint64_t fault_seed = 0;  // meaningful only when fault_seed_set
+  bool fault_seed_set = false;
+  std::size_t threads = 1;
+  std::size_t deadline_rounds = 0;  // 0 = take the server default
+  net::Transport transport = net::Transport::kReliable;
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double duplicate = 0.0;
+  struct Crash {
+    net::NodeId node = 0;
+    std::size_t crash_round = 0;
+    std::size_t restart_round = 0;
+    bool amnesia = false;
+  };
+  std::vector<Crash> crashes;
+  bool recover = false;
+};
+
+/// Admission limits a spec is validated against (ServiceConfig owns the
+/// actual values; tests construct their own).
+struct JobLimits {
+  std::size_t max_nodes = 256;
+  std::size_t max_threads = 16;
+  std::size_t max_deadline_rounds = 1u << 20;
+};
+
+/// Parse `text` into *out. Returns false and a one-line reason in *error
+/// on the first violation. Never throws.
+bool parse_job_spec(std::string_view text, JobSpec* out, std::string* error);
+
+/// Semantic validation beyond syntax: app and graph exist, sizes within
+/// `limits`, fault probabilities in range, crash windows well-formed for
+/// the topology (delegates to net::FaultPlan::validate).
+bool validate_job_spec(const JobSpec& spec, const JobLimits& limits,
+                       std::string* error);
+
+/// The spec's fault schedule as an engine FaultPlan (fault_seed defaulting
+/// to seed * 1000, chaos_run's convention).
+net::FaultPlan job_fault_plan(const JobSpec& spec);
+
+/// Run the job to completion and render its obs::RunReport JSON document.
+///
+/// This is the determinism product feature (acceptance gate of the
+/// service-smoke CI job): the returned bytes are a pure function of the
+/// spec's *semantic* fields and `default_deadline_rounds` — `threads` and
+/// `id` are deliberately excluded from the document, so identical
+/// (job, seed) pairs replayed at any thread budget, server load, or
+/// arrival order compare byte-equal.
+///
+/// Exception isolation: a run that throws — a watchdog LivelockError at
+/// the deadline, a CONGEST violation, a protocol bug — is converted into
+/// a structured error section in the same report shape. The function
+/// itself never throws; the caller (a pool worker) must never die.
+std::string run_job_report(const JobSpec& spec,
+                           std::size_t default_deadline_rounds);
+
+}  // namespace qcongest::serve

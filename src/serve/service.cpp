@@ -1,0 +1,125 @@
+#include "src/serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qcongest::serve {
+
+Service::Service(ServiceConfig config)
+    : config_(config),
+      // ThreadPool(n) spawns n - 1 workers (the constructing thread only
+      // participates in parallel_for, which the service never calls), so
+      // +1 makes `workers` mean what it says: that many threads actually
+      // executing submitted jobs.
+      pool_(std::make_unique<util::ThreadPool>(
+          std::max<std::size_t>(config.workers, 1) + 1)) {}
+
+Service::~Service() = default;
+
+void Service::submit(std::string spec_text, ReplyFn done) {
+  JobSpec spec;
+  std::string error;
+  if (!parse_job_spec(spec_text, &spec, &error)) {
+    JobReply reply;
+    reply.status = JobReply::Status::kInvalid;
+    reply.id = spec.id.empty() ? "?" : spec.id;
+    reply.error = "bad job spec: " + error;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.submitted;
+      ++stats_.invalid_specs;
+    }
+    done(reply);
+    return;
+  }
+  if (!validate_job_spec(spec, config_.limits, &error)) {
+    JobReply reply;
+    reply.status = JobReply::Status::kInvalid;
+    reply.id = spec.id;
+    reply.error = "rejected job spec: " + error;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.submitted;
+      ++stats_.invalid_specs;
+    }
+    done(reply);
+    return;
+  }
+
+  // Admission control. The pending count is the only shared state the
+  // decision needs; everything a job touches while running is job-local.
+  bool shed = false;
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (stats_.pending >= config_.max_pending) {
+      ++stats_.rejected_overload;
+      shed = true;
+      depth = stats_.pending;
+    } else {
+      ++stats_.admitted;
+      ++stats_.pending;
+    }
+  }
+  if (shed) {
+    JobReply reply;
+    reply.status = JobReply::Status::kRejected;
+    reply.id = spec.id;
+    reply.error = "overloaded";
+    reply.queue_depth = depth;
+    // Hint scales with how deep past capacity we are, so a burst of
+    // rejected clients spreads out instead of re-arriving together (their
+    // own jittered backoff desynchronizes them further).
+    const std::size_t workers = std::max<std::size_t>(config_.workers, 1);
+    reply.retry_after_ms =
+        config_.retry_after_base_ms * std::max<std::size_t>(1, depth / workers);
+    done(reply);
+    return;
+  }
+
+  // Admitted: fan out. The worker task owns spec + callback; it must never
+  // throw (run_job_report converts run failures into error reports), but
+  // the pool would swallow and count a throw from the callback itself
+  // rather than let it kill the process.
+  const std::size_t default_deadline = config_.default_deadline_rounds;
+  pool_->submit([this, spec = std::move(spec), done = std::move(done),
+                 default_deadline]() {
+    JobReply reply;
+    reply.status = JobReply::Status::kOk;
+    reply.id = spec.id;
+    reply.body = run_job_report(spec, default_deadline);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.completed;
+      --stats_.pending;
+    }
+    done(reply);
+  });
+}
+
+Service::Stats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string render_reply_payload(const JobReply& reply) {
+  std::string out = "id=" + reply.id + "\n";
+  switch (reply.status) {
+    case JobReply::Status::kOk:
+      out += "status=ok\n\n";
+      out += reply.body;
+      break;
+    case JobReply::Status::kInvalid:
+      out += "status=invalid\nerror=" + reply.error + "\n";
+      break;
+    case JobReply::Status::kRejected:
+      out += "status=rejected\nreason=" + reply.error + "\nretry_after_ms=" +
+             std::to_string(reply.retry_after_ms) + "\nqueue_depth=" +
+             std::to_string(reply.queue_depth) + "\n";
+      break;
+  }
+  return out;
+}
+
+}  // namespace qcongest::serve

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/serve/job.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace qcongest::serve {
+
+/// Tuning of the multi-tenant job service.
+struct ServiceConfig {
+  /// Worker threads jobs fan out on (the shared util::ThreadPool).
+  std::size_t workers = 4;
+  /// Admission bound: jobs admitted but not yet replied to (queued +
+  /// running). One slow tenant can fill its share of the queue, but the
+  /// queue itself can never grow without bound — beyond this the service
+  /// sheds load with a structured rejection instead of buffering or
+  /// hanging.
+  std::size_t max_pending = 32;
+  /// Watchdog round deadline applied to jobs that do not set their own —
+  /// the guarantee that a hung protocol becomes a structured report, not a
+  /// wedged worker thread.
+  std::size_t default_deadline_rounds = 200000;
+  /// Per-spec admission limits.
+  JobLimits limits;
+  /// Base of the retry-after hint in rejections; the hint scales with the
+  /// overload depth so clients spread their retries.
+  std::uint64_t retry_after_base_ms = 25;
+};
+
+/// One reply per submitted job, exactly once.
+struct JobReply {
+  enum class Status {
+    /// The job ran; body is the report JSON (which itself may describe a
+    /// run-level error — deadline, CONGEST violation — in its error labels).
+    kOk,
+    /// The spec never ran: unparseable or invalid. error says why.
+    kInvalid,
+    /// Shed at admission; error names the reason and retry_after_ms hints
+    /// when to come back.
+    kRejected,
+  };
+  Status status = Status::kOk;
+  std::string id;  // spec id; "?" when the spec was too broken to carry one
+  std::string body;
+  std::string error;
+  std::uint64_t retry_after_ms = 0;
+  std::size_t queue_depth = 0;  // admitted jobs at reply time (rejections)
+};
+
+/// The socket-free heart of qcongestd: parse -> validate -> admit ->
+/// execute on the pool -> reply. Fully testable without a network, which
+/// is how the admission, deadline, and isolation semantics are unit-tested.
+///
+/// Robustness contract:
+///  - submit never blocks on job execution and never throws on bad input;
+///    every spec gets exactly one reply.
+///  - a full admission queue yields Status::kRejected with a retry-after
+///    hint (load shedding), never an unbounded queue or a hang;
+///  - job execution is exception-isolated (run_job_report converts throws
+///    into structured error reports);
+///  - destruction drains: admitted jobs finish and their callbacks fire
+///    before the destructor returns (the pool's drain guarantee).
+///
+/// Determinism: the reply body for an admitted job is a pure function of
+/// (spec semantics, default_deadline_rounds) — independent of load,
+/// arrival order, worker count, and the spec's own threads knob.
+class Service {
+ public:
+  using ReplyFn = std::function<void(const JobReply&)>;
+
+  explicit Service(ServiceConfig config);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit one job spec. `done` fires exactly once: synchronously (in the
+  /// calling thread) for rejections and invalid specs, from a pool worker
+  /// when an admitted job completes. The callback must be thread-safe
+  /// against the caller's own state and must not re-enter submit of a
+  /// draining service.
+  void submit(std::string spec_text, ReplyFn done);
+
+  struct Stats {
+    std::size_t submitted = 0;
+    std::size_t admitted = 0;
+    std::size_t completed = 0;
+    std::size_t rejected_overload = 0;
+    std::size_t invalid_specs = 0;
+    std::size_t pending = 0;  // admitted, reply not yet delivered
+  };
+  Stats stats() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  mutable std::mutex mutex_;
+  Stats stats_;
+  /// Declared last, so it is destroyed first: the pool drains in-flight
+  /// jobs while the rest of the service (mutex, stats, config) is still
+  /// alive for their completion callbacks.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// Render a reply as the wire payload of its frame (kResult / kRejected):
+/// `key=value` header lines, then for kOk a blank line and the report JSON.
+std::string render_reply_payload(const JobReply& reply);
+
+}  // namespace qcongest::serve

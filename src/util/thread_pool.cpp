@@ -1,5 +1,7 @@
 #include "src/util/thread_pool.hpp"
 
+#include <stdexcept>
+
 namespace qcongest::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -24,12 +26,74 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   while (true) {
     work_ready_.wait(lock, [&] {
-      return stopping_ || (job_.fn != nullptr && generation_ != seen);
+      return stopping_ || !tasks_.empty() ||
+             (job_.fn != nullptr && generation_ != seen);
     });
+    // parallel_for jobs first (a caller is blocked on them), then the
+    // fire-and-forget queue. A stopping pool still drains the queue — the
+    // destructor's contract is that every submitted task runs.
+    if (job_.fn != nullptr && generation_ != seen) {
+      seen = generation_;
+      drain_job(lock);
+      continue;
+    }
+    if (!tasks_.empty()) {
+      run_one_task(lock);
+      continue;
+    }
     if (stopping_) return;
-    seen = generation_;
-    drain_job(lock);
   }
+}
+
+void ThreadPool::run_one_task(std::unique_lock<std::mutex>& lock) {
+  std::function<void()> task = std::move(tasks_.front());
+  tasks_.pop_front();
+  ++tasks_running_;
+  lock.unlock();
+  bool threw = false;
+  try {
+    task();
+  } catch (...) {
+    threw = true;  // fire-and-forget: no caller stack to rethrow into
+  }
+  lock.lock();
+  if (threw) ++task_errors_;
+  if (--tasks_running_ == 0 && tasks_.empty()) tasks_done_.notify_all();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No concurrency available: run synchronously, same error policy.
+    bool threw = false;
+    try {
+      task();
+    } catch (...) {
+      threw = true;
+    }
+    if (threw) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++task_errors_;
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    }
+    tasks_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+std::size_t ThreadPool::task_errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return task_errors_;
+}
+
+std::size_t ThreadPool::tasks_pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size() + tasks_running_;
 }
 
 void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {

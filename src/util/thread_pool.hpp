@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -17,13 +18,15 @@ namespace qcongest::util {
 /// by qlint's `raw-thread` rule, because ad-hoc threads are where
 /// nondeterminism and leaked joins come from.
 ///
-/// The pool is deliberately minimal: a fixed set of workers and one
-/// blocking primitive, parallel_for. Determinism is the caller's job — the
-/// pool guarantees only that every index runs exactly once and that
-/// parallel_for does not return before all of them finished; callers that
-/// need a deterministic result must make each index's work independent and
-/// merge results in index order afterwards (see net::Engine's sharded
-/// round merge for the canonical pattern).
+/// The pool is deliberately minimal: a fixed set of workers and two
+/// primitives — the blocking parallel_for and the fire-and-forget submit
+/// queue the qcongestd service fans jobs out on. Determinism is the
+/// caller's job — the pool guarantees only that every index/task runs
+/// exactly once and that parallel_for does not return before all of its
+/// indices finished; callers that need a deterministic result must make
+/// each unit of work independent and merge results in a content-derived
+/// order afterwards (see net::Engine's sharded round merge for the
+/// canonical pattern).
 class ThreadPool {
  public:
   /// A pool that runs `threads` tasks concurrently. The calling thread of
@@ -47,6 +50,32 @@ class ThreadPool {
   /// Not reentrant: fn must not call parallel_for on the same pool.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Enqueue a fire-and-forget task. Tasks run on the workers in FIFO
+  /// submission order (concurrently across workers); on a pool with no
+  /// workers (threads <= 1) the task runs synchronously in submit itself,
+  /// so submit always degrades to a plain call rather than deadlocking.
+  ///
+  /// A throwing task never takes the process down: the exception is caught
+  /// and tallied in task_errors() — a fire-and-forget task has no caller
+  /// stack to rethrow into, so callers that care about failures must catch
+  /// inside the task (the qcongestd service does, converting every job
+  /// exception into a structured error report).
+  ///
+  /// Shutdown policy (deterministic by design, exercised under TSan by
+  /// tests/thread_pool_shutdown_test.cpp): the destructor DRAINS — every
+  /// task submitted before destruction runs to completion, then the workers
+  /// join. Abandoning queued tasks would make "was my job dropped?"
+  /// scheduling-dependent; draining makes destruction a barrier. Tasks must
+  /// therefore never block on work of the same pool, and must not call
+  /// submit during destruction (enqueue-after-stop throws).
+  void submit(std::function<void()> task);
+
+  /// Tasks whose exception the pool swallowed (see submit).
+  std::size_t task_errors() const;
+
+  /// Tasks submitted but not yet finished (queued + running).
+  std::size_t tasks_pending() const;
+
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -61,12 +90,18 @@ class ThreadPool {
   /// Claim and run indices of the current job until none remain. Returns
   /// with the pool mutex held by `lock`.
   void drain_job(std::unique_lock<std::mutex>& lock);
+  /// Pop and run one queued task. Returns with the pool mutex held.
+  void run_one_task(std::unique_lock<std::mutex>& lock);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable job_done_;
+  std::condition_variable tasks_done_;
   std::vector<std::thread> workers_;  // qlint-allow(raw-thread): pool internals
   Job job_;
+  std::deque<std::function<void()>> tasks_;  // FIFO submit queue
+  std::size_t tasks_running_ = 0;
+  std::size_t task_errors_ = 0;
   std::uint64_t generation_ = 0;  // bumped per job so sleeping workers wake once
   bool stopping_ = false;
 };

@@ -110,6 +110,55 @@ TEST(FaultPlan, RejectsOverrideOnNonEdge) {
   EXPECT_THROW(engine.set_fault_plan(plan), std::invalid_argument);
 }
 
+TEST(FaultPlan, RejectsDuplicateEdgeOverride) {
+  FaultPlan plan;
+  plan.edge_overrides.push_back({{0, 1}, FaultRates{0.5, 0.0, 0.0}});
+  plan.edge_overrides.push_back({{1, 0}, FaultRates{0.2, 0.0, 0.0}});  // ok: other direction
+  plan.edge_overrides.push_back({{0, 1}, FaultRates{0.1, 0.0, 0.0}});  // duplicate key
+  try {
+    plan.validate(3);
+    FAIL() << "duplicate directed-edge override must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("0->1"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlan, AcceptsBothDirectionsOfAnEdge) {
+  // The two directions of a link are distinct channels with independently
+  // overridable rates; only an exact (u, v) repeat is a duplicate.
+  FaultPlan plan;
+  plan.edge_overrides.push_back({{0, 1}, FaultRates{0.5, 0.0, 0.0}});
+  plan.edge_overrides.push_back({{1, 0}, FaultRates{0.2, 0.0, 0.0}});
+  EXPECT_NO_THROW(plan.validate(2));
+}
+
+TEST(FaultPlan, RejectsSelfLoopOverride) {
+  FaultPlan plan;
+  plan.edge_overrides.push_back({{2, 2}, FaultRates{0.5, 0.0, 0.0}});
+  try {
+    plan.validate(4);
+    FAIL() << "self-loop override must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("self-loop"), std::string::npos) << what;
+    EXPECT_NE(what.find("2->2"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlan, OutOfRangeOverrideNamesTheEdge) {
+  FaultPlan plan;
+  plan.edge_overrides.push_back({{0, 7}, FaultRates{0.5, 0.0, 0.0}});
+  try {
+    plan.validate(3);
+    FAIL() << "out-of-range endpoint must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0->7"), std::string::npos) << what;
+  }
+}
+
 TEST(FaultPlan, InactivePlanIsInactive) {
   Graph g = path_graph(2);
   Engine engine(g);

@@ -1,0 +1,156 @@
+// Shutdown semantics of util::ThreadPool's submit queue: destruction is a
+// drain barrier (every submitted task runs, none dropped, no deadlock),
+// throwing tasks are swallowed and tallied, and the FIFO/degraded-inline
+// contracts hold. The TSan CI lane reruns this suite (its name matches the
+// lane's 'ThreadPool' filter) to pin the absence of shutdown races.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
+
+namespace qcongest::util {
+namespace {
+
+TEST(ThreadPoolShutdown, DestructorDrainsPendingTasks) {
+  // Many more tasks than workers, so a healthy backlog is still queued when
+  // the destructor runs. Every single one must execute.
+  constexpr std::size_t kTasks = 500;
+  std::atomic<std::size_t> ran{0};
+  {
+    ThreadPool pool(4);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool: drain barrier
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolShutdown, DrainsWithThrowingTasksPending) {
+  // A queue full of throwing tasks must neither kill the process nor wedge
+  // the drain: the pool swallows and counts, and the non-throwing tasks
+  // interleaved behind them still run.
+  constexpr std::size_t kTasks = 200;
+  std::atomic<std::size_t> ran{0};
+  std::size_t errors = 0;
+  {
+    ThreadPool pool(3);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      if (i % 2 == 0) {
+        pool.submit([] { throw std::runtime_error("job failed"); });
+      } else {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    // task_errors is monotone but only final once the queue is empty; wait
+    // for the drain through the public API before sampling.
+    while (pool.tasks_pending() > 0) {
+    }
+    errors = pool.task_errors();
+  }
+  EXPECT_EQ(ran.load(), kTasks / 2);
+  EXPECT_EQ(errors, kTasks / 2);
+}
+
+TEST(ThreadPoolShutdown, TaskErrorCountIsExactAfterDrain) {
+  auto pool = std::make_unique<ThreadPool>(4);
+  for (int i = 0; i < 64; ++i) {
+    pool->submit([] { throw 42; });  // non-std::exception throws count too
+  }
+  while (pool->tasks_pending() > 0) {
+  }
+  EXPECT_EQ(pool->task_errors(), 64u);
+  pool.reset();  // drain of an already-empty queue must not hang either
+}
+
+TEST(ThreadPoolShutdown, InlineExecutionWithoutWorkers) {
+  // threads <= 1 spawns no workers; submit degrades to a synchronous call
+  // so nothing can be pending and shutdown trivially cannot deadlock.
+  ThreadPool pool(1);
+  std::size_t ran = 0;
+  pool.submit([&ran] { ++ran; });
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(pool.tasks_pending(), 0u);
+  pool.submit([] { throw std::runtime_error("inline failure"); });
+  EXPECT_EQ(pool.task_errors(), 1u);
+}
+
+TEST(ThreadPoolShutdown, SubmitFromTasksDuringDrain) {
+  // Tasks submitted *by running tasks* while the queue is still live must
+  // also run (the service never does this, but the drain barrier is easier
+  // to trust if enqueue-from-task is not a special case).
+  std::atomic<std::size_t> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&pool, &ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+    while (pool.tasks_pending() > 0) {
+    }
+  }
+  EXPECT_EQ(ran.load(), 32u);
+}
+
+TEST(ThreadPoolShutdown, ParallelForAndSubmitCoexist) {
+  // The engine's parallel_for and the service's submit queue share workers;
+  // neither may starve the other or trip the other's completion tracking.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> submitted_ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(
+        [&submitted_ran] { submitted_ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::vector<std::size_t> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1u) << "index " << i;
+  }
+  while (pool.tasks_pending() > 0) {
+  }
+  EXPECT_EQ(submitted_ran.load(), 50u);
+}
+
+TEST(ThreadPoolShutdown, ManyPoolsConstructDestructQuickly) {
+  // Rapid construct/submit/destruct cycles: the shutdown handshake must not
+  // depend on timing (a lost notify here is exactly the bug TSan+stress
+  // would catch as a hang).
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(2);
+      for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    ASSERT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPoolShutdown, TasksRunInFifoOrderPerQueue) {
+  // With a single worker the FIFO promise is observable directly.
+  ThreadPool pool(2);  // one spawned worker + the (idle) caller
+  std::mutex order_mutex;
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([i, &order_mutex, &order] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(i);
+    });
+  }
+  while (pool.tasks_pending() > 0) {
+  }
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace qcongest::util

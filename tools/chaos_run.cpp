@@ -4,11 +4,19 @@
 //
 //   chaos_run [--nodes N] [--trials T] [--graph FAMILY]
 //             [--transport reliable|direct] [--seed S]
-//             [--threads T] [--jobs J]
+//             [--threads T] [--jobs J] [--deadline ROUNDS]
 //             [--verify] [--audit-determinism] [--report PATH]
 //             [--amnesia] [--recover]
 //
-// families: tree | path | cycle | grid | random
+// families: tree | path | cycle | grid | random | star | complete
+// (the shared suite and topology factory live in src/apps/registry)
+//
+// --deadline R (default off) attaches a recover::Watchdog with a hard
+// round deadline to every run: a protocol still going after R physical
+// rounds is killed with a structured LivelockError instead of burning the
+// round budget. In the sweep the watchdog is per-trial (stack-local, so
+// --jobs fan-out never shares observer state); in the recovery lane and
+// report pass it rides the lane's existing watchdog.
 //
 // --threads T runs every engine in its deterministic sharded-parallel mode
 // (Engine::set_threads); results are byte-identical to --threads 1. The
@@ -61,27 +69,21 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <functional>
-#include <numeric>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "src/apps/deutsch_jozsa.hpp"
-#include "src/apps/eccentricity.hpp"
-#include "src/apps/meeting_scheduling.hpp"
 #include "src/apps/net_options.hpp"
+#include "src/apps/registry.hpp"
 #include "src/check/verifier.hpp"
-#include "src/net/bfs.hpp"
 #include "src/net/fault.hpp"
-#include "src/net/generators.hpp"
-#include "src/net/multi_bfs.hpp"
-#include "src/net/pipeline.hpp"
 #include "src/net/trace.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/round_profiler.hpp"
 #include "src/obs/run_report.hpp"
-#include "src/util/rng.hpp"
+#include "src/recover/watchdog.hpp"
 #include "src/util/thread_pool.hpp"
 
 using namespace qcongest;
@@ -101,6 +103,7 @@ struct Options {
   bool amnesia = false;  // run the crash-with-amnesia recovery lane
   bool recover = false;  // ...with checkpointing + neighbor-assisted catch-up
   std::string report;  // run-report output path ("" = no report)
+  std::size_t deadline_rounds = 0;  // watchdog round deadline (0 = off)
 };
 
 // Crash window of the --amnesia lane, in physical rounds: late enough that
@@ -113,151 +116,18 @@ constexpr std::size_t kRestartRound = 60;
 constexpr std::size_t kLaneStallRounds = 512;
 constexpr std::size_t kLaneCheckpointEvery = 3;  // virtual rounds per checkpoint
 
-struct Outcome {
-  bool success = false;
-  net::RunResult cost;
-};
-
-/// One application under test: run it on `graph` with the given fault plan
-/// and transport, and self-check the answer against ground truth.
-using App = std::function<Outcome(const net::Graph&, const apps::NetOptions&)>;
-
-struct AppEntry {
-  const char* name;
-  App run;
-};
-
-net::Engine make_engine(const net::Graph& graph, const apps::NetOptions& options) {
-  net::Engine engine(graph, options.bandwidth, options.seed);
-  options.configure(engine);
-  return engine;
-}
-
-Outcome run_leader(const net::Graph& graph, const apps::NetOptions& options) {
-  net::Engine engine = make_engine(graph, options);
-  auto election = net::elect_leader(engine);
-  Outcome out{election.cost.completed &&
-                  election.leader == graph.num_nodes() - 1,
-              election.cost};
-  return out;
-}
-
-Outcome run_bfs(const net::Graph& graph, const apps::NetOptions& options) {
-  net::Engine engine = make_engine(graph, options);
-  net::BfsTree tree = net::build_bfs_tree(engine, 0);
-  std::vector<std::size_t> truth = graph.bfs_distances(0);
-  Outcome out;
-  out.cost = tree.cost;
-  out.success = tree.cost.completed && tree.depth == truth;
-  return out;
-}
-
-Outcome run_downcast(const net::Graph& graph, const apps::NetOptions& options) {
-  net::Engine engine = make_engine(graph, options);
-  net::BfsTree tree = net::build_bfs_tree(engine, 0);
-  Outcome out;
-  out.cost = tree.cost;
-  std::vector<std::int64_t> payload(32);
-  std::iota(payload.begin(), payload.end(), 100);
-  auto down = net::pipelined_downcast(engine, tree, payload, /*quantum=*/false);
-  out.cost += down.cost;
-  out.success = down.cost.completed;
-  for (const auto& row : down.received) {
-    if (row != payload) out.success = false;
-  }
-  return out;
-}
-
-Outcome run_convergecast(const net::Graph& graph, const apps::NetOptions& options) {
-  net::Engine engine = make_engine(graph, options);
-  net::BfsTree tree = net::build_bfs_tree(engine, 0);
-  Outcome out;
-  out.cost = tree.cost;
-  const std::size_t n = graph.num_nodes();
-  std::vector<std::vector<std::int64_t>> values(n);
-  for (std::size_t v = 0; v < n; ++v) values[v] = {static_cast<std::int64_t>(v), 1};
-  auto conv = net::pipelined_convergecast(
-      engine, tree, values, /*value_words=*/1,
-      [](std::int64_t a, std::int64_t b) { return a + b; }, /*quantum=*/false);
-  out.cost += conv.cost;
-  auto expected = std::vector<std::int64_t>{
-      static_cast<std::int64_t>(n * (n - 1) / 2), static_cast<std::int64_t>(n)};
-  out.success = conv.cost.completed && conv.totals == expected;
-  return out;
-}
-
-Outcome run_multibfs(const net::Graph& graph, const apps::NetOptions& options) {
-  net::Engine engine = make_engine(graph, options);
-  const std::size_t n = graph.num_nodes();
-  std::vector<net::NodeId> sources;
-  for (std::size_t s = 0; s < std::min<std::size_t>(4, n); ++s) sources.push_back(s);
-  auto bfs = net::multi_source_bfs(engine, sources, n);
-  Outcome out;
-  out.cost = bfs.cost;
-  out.success = bfs.cost.completed;
-  for (std::size_t slot = 0; slot < sources.size() && out.success; ++slot) {
-    std::vector<std::size_t> truth = graph.bfs_distances(sources[slot]);
-    for (std::size_t v = 0; v < n; ++v) {
-      if (static_cast<std::size_t>(bfs.dist[v][slot]) != truth[v]) {
-        out.success = false;
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-Outcome run_diameter(const net::Graph& graph, const apps::NetOptions& options) {
-  auto result = apps::diameter_classical(graph, options);
-  return {result.cost.completed && result.value == graph.diameter(), result.cost};
-}
-
-Outcome run_radius(const net::Graph& graph, const apps::NetOptions& options) {
-  auto result = apps::radius_classical(graph, options);
-  return {result.cost.completed && result.value == graph.radius(), result.cost};
-}
-
-Outcome run_dj(const net::Graph& graph, const apps::NetOptions& options) {
-  const std::size_t n = graph.num_nodes();
-  const std::size_t k = 8;
-  // Node 0 holds 01010101, everyone else all-zero: x = XOR_v x^{(v)} is
-  // balanced, and the exact protocol must say so.
-  std::vector<std::vector<query::Value>> data(n, std::vector<query::Value>(k, 0));
-  for (std::size_t i = 1; i < k; i += 2) data[0][i] = 1;
-  auto result = apps::deutsch_jozsa_classical_exact(graph, data, options);
-  return {result.cost.completed && result.verdict == query::DjVerdict::kBalanced,
-          result.cost};
-}
-
-Outcome run_meeting(const net::Graph& graph, const apps::NetOptions& options) {
-  const std::size_t n = graph.num_nodes();
-  const std::size_t k = 12;
-  apps::Calendars calendars(n, std::vector<query::Value>(k, 0));
-  for (std::size_t v = 0; v < n; ++v) {
-    for (std::size_t i = 0; i < k; ++i) calendars[v][i] = (v + i) % 3 == 0 ? 1 : 0;
-  }
-  auto truth = apps::meeting_scheduling_reference(calendars);
-  auto result = apps::meeting_scheduling_classical(graph, calendars, options);
-  return {result.cost.completed && result.best_slot == truth.best_slot &&
-              result.availability == truth.availability,
-          result.cost};
-}
+// The application suite and topology factory are shared with the qcongestd
+// service (src/apps/registry); chaos_run keeps only its sweep/report logic.
+using Outcome = apps::AppOutcome;
+using AppEntry = apps::RegisteredApp;
 
 net::Graph make_graph(const Options& opt) {
-  if (opt.graph == "tree") return net::binary_tree(opt.nodes);
-  if (opt.graph == "path") return net::path_graph(opt.nodes);
-  if (opt.graph == "cycle") return net::cycle_graph(opt.nodes);
-  if (opt.graph == "grid") {
-    std::size_t side = 1;
-    while ((side + 1) * (side + 1) <= opt.nodes) ++side;
-    return net::grid_graph(side, side);
+  try {
+    return apps::make_registry_graph(opt.graph, opt.nodes, opt.seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
   }
-  if (opt.graph == "random") {
-    util::Rng rng(opt.seed);
-    return net::random_connected_graph(opt.nodes, opt.nodes / 2, rng);
-  }
-  std::fprintf(stderr, "unknown graph family: %s\n", opt.graph.c_str());
-  std::exit(2);
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -300,6 +170,8 @@ bool parse(int argc, char** argv, Options& opt) {
       if (opt.jobs == 0) opt.jobs = 1;
     } else if (flag == "--report") {
       opt.report = value;
+    } else if (flag == "--deadline") {
+      opt.deadline_rounds = static_cast<std::size_t>(std::stoul(value));
     } else if (flag == "--transport") {
       if (value == "reliable") {
         opt.transport = net::Transport::kReliable;
@@ -457,7 +329,8 @@ int run_recovery_lane(const net::Graph& graph, const Options& opt,
   const net::NodeId victim = graph.num_nodes() / 2;
   check::Verifier verifier;
   recover::Watchdog watchdog(recover::WatchdogConfig{
-      /*stall_rounds=*/kLaneStallRounds, /*deadline_rounds=*/0});
+      /*stall_rounds=*/kLaneStallRounds,
+      /*deadline_rounds=*/opt.deadline_rounds});
   std::printf(
       "# recovery lane: graph=%s nodes=%zu seed=%llu threads=%zu recover=%s\n",
       opt.graph.c_str(), graph.num_nodes(),
@@ -598,7 +471,8 @@ int write_run_report(const net::Graph& graph, const Options& opt,
 
   const net::NodeId victim = graph.num_nodes() / 2;
   recover::Watchdog watchdog(recover::WatchdogConfig{
-      /*stall_rounds=*/kLaneStallRounds, /*deadline_rounds=*/0});
+      /*stall_rounds=*/kLaneStallRounds,
+      /*deadline_rounds=*/opt.deadline_rounds});
   for (const AppEntry& app : suite) {
     for (double rate : rates) {
       apps::NetOptions options;
@@ -658,30 +532,30 @@ int main(int argc, char** argv) {
     std::puts(
         "usage: chaos_run [--nodes N] [--trials T] [--graph FAMILY]\n"
         "                 [--transport reliable|direct] [--seed S]\n"
-        "                 [--threads T] [--jobs J]\n"
+        "                 [--threads T] [--jobs J] [--deadline ROUNDS]\n"
         "                 [--verify] [--audit-determinism] [--report PATH]\n"
         "                 [--amnesia] [--recover]\n"
-        "families: tree path cycle grid random");
+        "families: tree path cycle grid random star complete");
     return 2;
   }
 
   const net::Graph graph = make_graph(opt);
-  const std::vector<AppEntry> suite = {
-      {"leader", run_leader},         {"bfs", run_bfs},
-      {"downcast", run_downcast},     {"convergecast", run_convergecast},
-      {"multibfs", run_multibfs},     {"diameter", run_diameter},
-      {"radius", run_radius},
-  };
+  // The sweep suite is the registry minus the framework apps dj and
+  // meeting, which join only the recovery lane below (historic sweep set —
+  // the sweep's fault levels were calibrated against these seven).
+  std::vector<AppEntry> suite;
+  for (const AppEntry& app : apps::app_registry()) {
+    std::string_view name = app.name;
+    if (name != "dj" && name != "meeting") suite.push_back(app);
+  }
 
   if (opt.audit_determinism) return run_determinism_audit(graph, opt, suite);
 
   if (opt.amnesia) {
-    // The recovery lane adds the framework apps the sweep leaves out: both
-    // are multi-phase (election + tree build + pipelined aggregation), the
+    // The recovery lane runs the full registry: dj and meeting are
+    // multi-phase (election + tree build + pipelined aggregation), the
     // richest recovery surface the suite has.
-    std::vector<AppEntry> recovery_suite = suite;
-    recovery_suite.push_back({"dj", run_dj});
-    recovery_suite.push_back({"meeting", run_meeting});
+    const std::vector<AppEntry>& recovery_suite = apps::app_registry();
     int exit_code = run_recovery_lane(graph, opt, recovery_suite);
     if (!opt.report.empty()) {
       int report_code = write_run_report(graph, opt, recovery_suite);
@@ -727,6 +601,14 @@ int main(int argc, char** argv) {
         apps::NetOptions trial_options = options;
         trial_options.seed = opt.seed + trial;
         trial_options.fault_plan.seed = opt.seed * 1000 + trial;
+        // --deadline: a per-trial, stack-local watchdog — concurrent trials
+        // (--jobs) must never share observer state. The LivelockError it
+        // throws at the deadline is absorbed by the catch below as a failed
+        // trial.
+        recover::WatchdogConfig deadline_config;
+        deadline_config.deadline_rounds = opt.deadline_rounds;
+        recover::Watchdog trial_watchdog(deadline_config);
+        if (opt.deadline_rounds > 0) trial_options.watchdog = &trial_watchdog;
         try {
           outcomes[trial] = app.run(graph, trial_options);
         } catch (const std::exception&) {

@@ -1,0 +1,167 @@
+// qcongestd: the fault-tolerant multi-tenant simulation service.
+//
+// A single binary that listens on a loopback TCP port, accepts job frames
+// (app, topology, fault plan, seed, threads, deadline) over the
+// length-prefixed wire protocol in src/serve/frame.hpp, runs each job on a
+// shared util::ThreadPool, and streams back obs::RunReport JSON documents.
+//
+//   qcongestd --port 7143 --workers 4 --max-pending 32
+//   qcongestd --port 0 --port-file /tmp/qcongestd.port   # ephemeral port
+//
+// Robustness properties (unit-tested in tests/serve_*_test.cpp, and
+// exercised end to end by scripts/service_smoke.sh):
+//   - bounded admission queue with structured load shedding;
+//   - per-job watchdog deadlines: hung protocols become error reports;
+//   - per-job exception isolation: a throwing job never kills the daemon;
+//   - strict frame validation: garbage tears down one connection only;
+//   - byte-identical reports for identical (job, seed) at any load.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/server.hpp"
+
+namespace {
+
+qcongest::serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  // request_stop only stores an atomic and write()s the self-pipe, both
+  // async-signal-safe; the reactor does the actual teardown.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port <n>            TCP port to bind (default 0 = ephemeral)\n"
+      "  --bind <addr>         bind address (default 127.0.0.1)\n"
+      "  --workers <n>         job worker threads (default 4)\n"
+      "  --max-pending <n>     admission bound before shedding (default 32)\n"
+      "  --max-connections <n> concurrent connections (default 64)\n"
+      "  --max-nodes <n>       per-job node cap (default 256)\n"
+      "  --deadline-rounds <n> default watchdog deadline (default 200000)\n"
+      "  --port-file <path>    write the bound port to this file\n",
+      argv0);
+}
+
+bool parse_size(const char* text, std::size_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qcongest::serve::ServerConfig config;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "qcongestd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::size_t value = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--port") {
+      if (!parse_size(next(), &value) || value > 65535) {
+        std::fprintf(stderr, "qcongestd: bad --port\n");
+        return 2;
+      }
+      config.port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--bind") {
+      config.bind_address = next();
+    } else if (arg == "--workers") {
+      if (!parse_size(next(), &value) || value == 0) {
+        std::fprintf(stderr, "qcongestd: bad --workers\n");
+        return 2;
+      }
+      config.service.workers = value;
+    } else if (arg == "--max-pending") {
+      if (!parse_size(next(), &value) || value == 0) {
+        std::fprintf(stderr, "qcongestd: bad --max-pending\n");
+        return 2;
+      }
+      config.service.max_pending = value;
+    } else if (arg == "--max-connections") {
+      if (!parse_size(next(), &value) || value == 0) {
+        std::fprintf(stderr, "qcongestd: bad --max-connections\n");
+        return 2;
+      }
+      config.max_connections = value;
+    } else if (arg == "--max-nodes") {
+      if (!parse_size(next(), &value) || value < 2) {
+        std::fprintf(stderr, "qcongestd: bad --max-nodes\n");
+        return 2;
+      }
+      config.service.limits.max_nodes = value;
+    } else if (arg == "--deadline-rounds") {
+      if (!parse_size(next(), &value) || value == 0) {
+        std::fprintf(stderr, "qcongestd: bad --deadline-rounds\n");
+        return 2;
+      }
+      config.service.default_deadline_rounds = value;
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else {
+      std::fprintf(stderr, "qcongestd: unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  qcongest::serve::Server server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "qcongestd: %s\n", error.c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("qcongestd: listening on %s:%u (workers=%zu max_pending=%zu)\n",
+              config.bind_address.c_str(), unsigned{server.port()},
+              config.service.workers, config.service.max_pending);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "qcongestd: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", unsigned{server.port()});
+    std::fclose(f);
+  }
+
+  server.run();
+  g_server = nullptr;
+
+  const auto server_stats = server.stats();
+  const auto service_stats = server.service().stats();
+  std::printf(
+      "qcongestd: shut down cleanly "
+      "(connections=%zu shed_connections=%zu frames=%zu protocol_errors=%zu "
+      "jobs=%zu completed=%zu shed_jobs=%zu invalid=%zu)\n",
+      server_stats.connections_accepted, server_stats.connections_rejected,
+      server_stats.frames_received, server_stats.protocol_errors,
+      service_stats.submitted, service_stats.completed,
+      service_stats.rejected_overload, service_stats.invalid_specs);
+  return 0;
+}
