@@ -1,0 +1,88 @@
+// Infra — qlint analyzer throughput.
+//
+// qlint v2 runs on every CI push over the whole tree (src tools bench
+// tests, ~200 TUs), so the token-stream engine has a latency budget of its
+// own: these benchmarks pin the cost of lexing and of the full ten-rule
+// pass on a synthetic TU whose shape (strings, templates, a lock scope, a
+// wire parse, a catch block) exercises every scanner path. Counters report
+// tokens and diagnostics so a rule change that silently alters coverage
+// shows up next to its cost.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/check/lint.hpp"
+#include "src/check/token.hpp"
+
+namespace {
+
+using namespace qcongest::check;
+
+/// A synthetic serve-layer TU: every tokenizer path (raw string, block
+/// comment, splice, directive) plus one trigger per new rule, suppressed
+/// the way real code would be, so lint_source walks every rule's full path.
+std::string synthetic_tu() {
+  std::string unit =
+      "#include \"src/serve/frame.hpp\"\n"
+      "#include <vector>\n"
+      "// a comment mentioning rand() and std::thread\n"
+      "/* block comment\n   spanning lines */\n"
+      "const char* kDoc = R\"doc(rand() inside a raw string)doc\";\n"
+      "const char* kMsg = \"std::thread in a plain string\";\n"
+      "std::unordered_map<std::string,\n"
+      "                   std::vector<int>> table_;\n"
+      "void wire(const std::uint8_t* p) {\n"
+      "  std::uint64_t length = get_u32(p + 4);\n"
+      "  if (length > kMaxPayload) return;\n"
+      "  std::size_t need = kHeaderBytes + length;\n"
+      "  (void)need;\n"
+      "}\n"
+      "void pump() {\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> lock(mutex_);\n"
+      "    ++depth_;\n"
+      "  }\n"
+      "  pool_->submit(task);\n"
+      "  try {\n"
+      "    run();\n"
+      "  } catch (...) {\n"
+      "    err_ = std::current_exception();\n"
+      "  }\n"
+      "}\n";
+  std::string out;
+  for (int i = 0; i < 16; ++i) out += unit;  // ~500 lines, a realistic TU
+  return out;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string source = synthetic_tu();
+  std::size_t tokens = 0;
+  for (auto _ : state) {
+    auto stream = tokenize(source);
+    tokens = stream.size();
+    benchmark::DoNotOptimize(stream);
+  }
+  state.counters["tokens"] = static_cast<double>(tokens);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_LintSource(benchmark::State& state) {
+  const std::string source = synthetic_tu();
+  std::size_t diagnostics = 0;
+  for (auto _ : state) {
+    auto diags = lint_source("src/serve/synthetic.cpp", source);
+    diagnostics = diags.size();
+    benchmark::DoNotOptimize(diags);
+  }
+  // The synthetic TU is written clean: a nonzero count means a rule
+  // changed shape, not that the benchmark got slower.
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_LintSource);
+
+}  // namespace

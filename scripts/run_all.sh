@@ -33,8 +33,8 @@ run "build" cmake --build build
 run_tests() { ctest --test-dir build 2>&1 | tee test_output.txt; }
 run "tests" run_tests
 
-run "qlint" ./build/tools/qlint --root src --root tools --root tests \
-  --allow tools/qlint_allow.txt
+run "qlint" ./build/tools/qlint --root src --root tools --root bench \
+  --root tests --allow tools/qlint_allow.txt
 
 run "determinism-audit" ./build/tools/chaos_run --audit-determinism \
   --graph tree --nodes 15

@@ -1,0 +1,72 @@
+#include "src/check/sarif.hpp"
+
+#include <cstdint>
+
+#include "src/obs/json.hpp"
+
+namespace qcongest::check {
+
+std::string render_sarif(const std::vector<LintDiagnostic>& diagnostics) {
+  const std::vector<RuleInfo>& rules = rule_infos();
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("$schema").value(
+      "https://docs.oasis-open.org/sarif/sarif/v2.1.0/cos02/schemas/"
+      "sarif-schema-2.1.0.json");
+  json.key("version").value("2.1.0");
+  json.key("runs").begin_array();
+  json.begin_object();
+  json.key("tool").begin_object();
+  json.key("driver").begin_object();
+  json.key("name").value("qlint");
+  json.key("informationUri").value("DESIGN.md");
+  json.key("rules").begin_array();
+  for (const RuleInfo& rule : rules) {
+    json.begin_object();
+    json.key("id").value(rule.id);
+    json.key("shortDescription").begin_object();
+    json.key("text").value(rule.summary);
+    json.end_object();
+    json.key("defaultConfiguration").begin_object();
+    json.key("level").value("error");
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();  // driver
+  json.end_object();  // tool
+  json.key("results").begin_array();
+  for (const LintDiagnostic& diag : diagnostics) {
+    std::int64_t rule_index = -1;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (diag.rule == rules[i].id) rule_index = static_cast<std::int64_t>(i);
+    }
+    json.begin_object();
+    json.key("ruleId").value(diag.rule);
+    if (rule_index >= 0) json.key("ruleIndex").value(rule_index);
+    json.key("level").value("error");
+    json.key("message").begin_object();
+    json.key("text").value(diag.message);
+    json.end_object();
+    json.key("locations").begin_array();
+    json.begin_object();
+    json.key("physicalLocation").begin_object();
+    json.key("artifactLocation").begin_object();
+    json.key("uri").value(diag.file);
+    json.end_object();
+    json.key("region").begin_object();
+    json.key("startLine").value(static_cast<std::int64_t>(diag.line));
+    json.end_object();
+    json.end_object();
+    json.end_object();
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();  // results
+  json.end_object();  // run
+  json.end_array();   // runs
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace qcongest::check

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/check/lint.hpp"
+
+namespace qcongest::check {
+
+/// Render diagnostics as a SARIF 2.1.0 document (one run, one result per
+/// diagnostic, rule metadata from rule_infos()) so CI can publish
+/// annotations and archive the artifact. Built on obs::JsonWriter, so the
+/// output is deterministic: byte-identical for identical inputs, the same
+/// contract the run reports carry (DESIGN.md §10).
+std::string render_sarif(const std::vector<LintDiagnostic>& diagnostics);
+
+}  // namespace qcongest::check

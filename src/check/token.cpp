@@ -1,0 +1,253 @@
+#include "src/check/token.hpp"
+
+#include <cctype>
+
+namespace qcongest::check {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+/// The input after phase-2 line splicing: a flat character array plus the
+/// original (line, column) of every surviving character, so tokens report
+/// positions in the file the user sees.
+struct Spliced {
+  std::string text;
+  std::vector<std::size_t> line;
+  std::vector<std::size_t> column;
+};
+
+Spliced splice(const std::string& source) {
+  Spliced out;
+  out.text.reserve(source.size());
+  out.line.reserve(source.size());
+  out.column.reserve(source.size());
+  std::size_t line = 1, column = 1;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    // Backslash-newline (optionally with a \r) disappears entirely.
+    if (c == '\\' && i + 1 < source.size()) {
+      std::size_t j = i + 1;
+      if (source[j] == '\r' && j + 1 < source.size()) ++j;
+      if (source[j] == '\n') {
+        i = j;
+        ++line;
+        column = 1;
+        continue;
+      }
+    }
+    out.text.push_back(c);
+    out.line.push_back(line);
+    out.column.push_back(column);
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return out;
+}
+
+/// Multi-character punctuators, longest first so greedy matching is right.
+const char* kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", ".*", "==", "!=", "<=",
+    ">=",  "&&",  "||",  "<<",  ">>",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  "##",
+};
+
+/// True when the identifier ending at s[i] is a string-literal encoding
+/// prefix (u8, u, U, L, R and their R-combinations).
+bool string_prefix(const std::string& s, std::size_t start, std::size_t end) {
+  std::string p = s.substr(start, end - start);
+  return p == "u8" || p == "u" || p == "U" || p == "L" || p == "R" ||
+         p == "u8R" || p == "uR" || p == "UR" || p == "LR";
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  Spliced in = splice(source);
+  const std::string& s = in.text;
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  bool line_start = true;  // only whitespace seen so far on this line
+
+  auto emit = [&](TokenKind kind, std::size_t start, std::size_t end) {
+    tokens.push_back(
+        {kind, s.substr(start, end - start), in.line[start], in.column[start]});
+  };
+
+  while (i < s.size()) {
+    char c = s[i];
+
+    if (c == '\n') {
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Comments vanish (a block comment spanning lines keeps line_start
+    // conservative: text after it on a line is not a directive anyway).
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < s.size() && !(s[i] == '*' && s[i + 1] == '/')) ++i;
+      i = i + 2 <= s.size() ? i + 2 : s.size();
+      line_start = false;
+      continue;
+    }
+
+    // A '#' opening a line swallows the whole (spliced) directive line.
+    if (c == '#' && line_start) {
+      std::size_t start = i;
+      while (i < s.size() && s[i] != '\n') {
+        // A // comment ends the directive text early.
+        if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') break;
+        ++i;
+      }
+      std::size_t end = i;
+      while (end > start && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+      }
+      emit(TokenKind::kDirective, start, end);
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    line_start = false;
+
+    // Identifier — possibly a string/char literal prefix.
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < s.size() && ident_char(s[i])) ++i;
+      if (i < s.size() && (s[i] == '"' || s[i] == '\'') &&
+          string_prefix(s, start, i)) {
+        // Fall through to the literal scanners with the prefix attached.
+        bool raw = s[i - 1] == 'R';
+        if (s[i] == '"' && raw) {
+          // R"delim( ... )delim"
+          std::size_t q = i;  // the opening quote
+          std::size_t d = q + 1;
+          while (d < s.size() && s[d] != '(' && s[d] != '"' && s[d] != ')' &&
+                 s[d] != '\\' && !std::isspace(static_cast<unsigned char>(s[d]))) {
+            ++d;
+          }
+          std::string close;
+          close.push_back(')');
+          close.append(s, q + 1, d - q - 1);
+          close.push_back('"');
+          std::size_t at = d < s.size() ? s.find(close, d) : std::string::npos;
+          std::size_t end =
+              at == std::string::npos ? s.size() : at + close.size();
+          emit(TokenKind::kString, start, end);
+          i = end;
+          continue;
+        }
+        char quote = s[i];
+        std::size_t j = i + 1;
+        while (j < s.size() && s[j] != quote && s[j] != '\n') {
+          if (s[j] == '\\' && j + 1 < s.size()) ++j;
+          ++j;
+        }
+        if (j < s.size() && s[j] == quote) ++j;
+        emit(quote == '"' ? TokenKind::kString : TokenKind::kChar, start, j);
+        i = j;
+        continue;
+      }
+      emit(TokenKind::kIdentifier, start, i);
+      continue;
+    }
+
+    // Plain string literal.
+    if (c == '"') {
+      std::size_t start = i;
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != '"' && s[j] != '\n') {
+        if (s[j] == '\\' && j + 1 < s.size()) ++j;
+        ++j;
+      }
+      if (j < s.size() && s[j] == '"') ++j;
+      emit(TokenKind::kString, start, j);
+      i = j;
+      continue;
+    }
+
+    // Char literal. A ' between digits is a separator, but that path never
+    // reaches here (numbers consume their separators below).
+    if (c == '\'') {
+      std::size_t start = i;
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != '\'' && s[j] != '\n') {
+        if (s[j] == '\\' && j + 1 < s.size()) ++j;
+        ++j;
+      }
+      if (j < s.size() && s[j] == '\'') ++j;
+      emit(TokenKind::kChar, start, j);
+      i = j;
+      continue;
+    }
+
+    // pp-number: starts with a digit, or '.' followed by a digit. Consumes
+    // identifier chars, '.', digit separators, and exponent signs.
+    if (digit(c) || (c == '.' && i + 1 < s.size() && digit(s[i + 1]))) {
+      std::size_t start = i;
+      ++i;
+      while (i < s.size()) {
+        char n = s[i];
+        if (ident_char(n) || n == '.') {
+          ++i;
+        } else if (n == '\'' && i + 1 < s.size() && ident_char(s[i + 1])) {
+          i += 2;  // digit separator
+        } else if ((n == '+' || n == '-') && i > start &&
+                   (s[i - 1] == 'e' || s[i - 1] == 'E' || s[i - 1] == 'p' ||
+                    s[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      emit(TokenKind::kNumber, start, i);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    std::size_t matched = 0;
+    for (const char* p : kPuncts) {
+      std::size_t len = std::char_traits<char>::length(p);
+      if (len <= s.size() - i && s.compare(i, len, p) == 0) {
+        matched = len;
+        break;
+      }
+    }
+    if (matched == 0) matched = 1;
+    emit(TokenKind::kPunct, i, i + matched);
+    i += matched;
+  }
+  return tokens;
+}
+
+bool is_float_literal(const Token& token) {
+  if (token.kind != TokenKind::kNumber) return false;
+  const std::string& t = token.text;
+  bool hex = t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X');
+  if (hex) return t.find('p') != std::string::npos || t.find('P') != std::string::npos;
+  if (t.find('.') != std::string::npos) return true;
+  return t.find('e') != std::string::npos || t.find('E') != std::string::npos;
+}
+
+}  // namespace qcongest::check

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qcongest::check {
+
+/// A small C++ lexer backing the qlint rule engine (see lint.hpp). It is
+/// not a compiler front end — no keyword table, no literal decoding — but
+/// it is exact about the things that made the old line-regex linter lie:
+///
+///   - comments (// and /* */, multi-line) produce no tokens at all;
+///   - string literals (including encoding prefixes and raw strings
+///     R"delim(...)delim") and char literals are single tokens, so rule
+///     triggers inside them ("std::thread", "rand()") can never match;
+///   - backslash-newline splices are handled everywhere, so a string or
+///     declaration continued across lines is still one token stream;
+///   - preprocessor directives (with their continuation lines) collapse
+///     into one kDirective token — directive bodies are not code;
+///   - multi-character punctuators (::, ->, ==, >>, ...) are kept whole,
+///     so `std::thread::id` is distinguishable from `std::thread` and a
+///     template `>` never masquerades as a comparison.
+///
+/// Known simplification: a raw string literal un-splices backslash-newline
+/// in real C++ (phase 1/2 are reverted inside raw strings); this lexer
+/// splices first, so a raw string containing a literal backslash-newline
+/// pair loses it. No rule depends on string contents, so this cannot
+/// change a diagnostic.
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords alike
+  kNumber,      // pp-number: 123, 0x1f, 1.5e-9, .5, 1'000'000
+  kString,      // "...", u8"...", R"(...)": full spelling, quotes included
+  kChar,        // 'a', '\n', u'x'
+  kPunct,       // one punctuator, multi-char forms kept whole
+  kDirective,   // a whole preprocessor directive, continuations joined
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 0;    // 1-based line the token starts on
+  std::size_t column = 0;  // 1-based byte column on that line
+};
+
+/// Lex `source` into tokens. Never throws; unterminated constructs
+/// (strings, block comments) consume to end of input.
+std::vector<Token> tokenize(const std::string& source);
+
+/// True when a kNumber token spells a floating-point literal: it carries a
+/// '.', a decimal exponent (e/E outside a hex literal), or a hex exponent
+/// (p/P). `1e-9` and `.5` count; `10`, `0x1f`, and `1'000` do not.
+bool is_float_literal(const Token& token);
+
+}  // namespace qcongest::check

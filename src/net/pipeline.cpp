@@ -172,8 +172,7 @@ class ConvergecastProgram final : public NodeProgram {
       out.push_back(static_cast<std::int64_t>(done));
     }
     out.push_back(static_cast<std::int64_t>(next_ready_));
-    // qlint-allow(unordered-iter): iterates the outer vector; map entries sorted below
-    for (const auto& per_child : chunks_seen_) {  // qlint-allow(unordered-iter)
+    for (const auto& per_child : chunks_seen_) {  // qlint-allow(unordered-iter): iterates the outer vector, one map per child; each map's entries are sorted below before use
       std::vector<std::pair<NodeId, std::size_t>> entries(
           per_child.begin(), per_child.end());  // qlint-allow(unordered-iter): sorted next line
       std::sort(entries.begin(), entries.end());

@@ -53,8 +53,8 @@ void ThreadPool::run_one_task(std::unique_lock<std::mutex>& lock) {
   bool threw = false;
   try {
     task();
-  } catch (...) {
-    threw = true;  // fire-and-forget: no caller stack to rethrow into
+  } catch (...) {  // qlint-allow(catch-all-swallow): designed isolation boundary — fire-and-forget task, no caller stack to rethrow into; the failure is tallied in task_errors() below
+    threw = true;
   }
   lock.lock();
   if (threw) ++task_errors_;
@@ -67,7 +67,7 @@ void ThreadPool::submit(std::function<void()> task) {
     bool threw = false;
     try {
       task();
-    } catch (...) {
+    } catch (...) {  // qlint-allow(catch-all-swallow): designed isolation boundary — same error policy as the worker path, tallied in task_errors() below
       threw = true;
     }
     if (threw) {

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/check/token.hpp"
+
+namespace qcongest::check {
+namespace {
+
+std::vector<std::string> texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const auto& t : tokens) out.push_back(t.text);
+  return out;
+}
+
+std::vector<Token> of_kind(const std::vector<Token>& tokens, TokenKind kind) {
+  std::vector<Token> out;
+  for (const auto& t : tokens) {
+    if (t.kind == kind) out.push_back(t);
+  }
+  return out;
+}
+
+// --- basics ------------------------------------------------------------------
+
+TEST(Token, IdentifiersNumbersAndPositions) {
+  auto tokens = tokenize("int x = 42;\nauto y = x;\n");
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].column, 1u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[5].text, "auto");
+  EXPECT_EQ(tokens[5].line, 2u);
+  EXPECT_EQ(tokens[5].column, 1u);
+}
+
+TEST(Token, MultiCharPunctuatorsStayWhole) {
+  auto tokens = tokenize("a->b::c >>= d <=> e ... f ->* g;");
+  auto t = texts(tokens);
+  EXPECT_NE(std::find(t.begin(), t.end(), "->"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "::"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), ">>="), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "<=>"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "..."), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "->*"), t.end());
+}
+
+// --- comments ----------------------------------------------------------------
+
+TEST(Token, CommentsProduceNoTokens) {
+  EXPECT_TRUE(tokenize("// std::thread rand() srand(7)\n").empty());
+  EXPECT_TRUE(tokenize("/* rand() */").empty());
+}
+
+TEST(Token, BlockCommentSpansLinesAndPositionsRecover) {
+  auto tokens = tokenize("a /* line one\n   line two\n   line three */ b\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 3u);
+}
+
+TEST(Token, UnterminatedBlockCommentConsumesToEnd) {
+  EXPECT_TRUE(tokenize("/* never closed\nrand();\n").empty());
+}
+
+// --- string and char literals ------------------------------------------------
+
+TEST(Token, StringLiteralIsOneTokenIncludingTriggers) {
+  auto tokens = tokenize("const char* s = \"std::thread and rand()\";\n");
+  auto strings = of_kind(tokens, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "\"std::thread and rand()\"");
+  // Nothing inside the literal leaked out as identifiers.
+  for (const auto& t : of_kind(tokens, TokenKind::kIdentifier)) {
+    EXPECT_NE(t.text, "thread");
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(Token, EscapedQuotesStayInsideTheLiteral) {
+  auto tokens = tokenize(R"(x = "a \" b"; y;)");
+  auto strings = of_kind(tokens, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "\"a \\\" b\"");
+}
+
+TEST(Token, EncodingPrefixesAttachToTheLiteral) {
+  auto tokens = tokenize("auto a = u8\"x\"; auto b = L\"y\"; auto c = u'z';\n");
+  auto strings = of_kind(tokens, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(strings[0].text, "u8\"x\"");
+  EXPECT_EQ(strings[1].text, "L\"y\"");
+  auto chars = of_kind(tokens, TokenKind::kChar);
+  ASSERT_EQ(chars.size(), 1u);
+  EXPECT_EQ(chars[0].text, "u'z'");
+}
+
+TEST(Token, RawStringWithDelimiterIsOneToken) {
+  // The inner `"` and `)` must not end the literal; only )doc" does.
+  std::string source = "auto s = R\"doc(quote \" close ) rand() std::thread)doc\";\n";
+  auto tokens = tokenize(source);
+  auto strings = of_kind(tokens, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text,
+            "R\"doc(quote \" close ) rand() std::thread)doc\"");
+  for (const auto& t : of_kind(tokens, TokenKind::kIdentifier)) {
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(Token, RawStringSpansLines) {
+  auto tokens = tokenize("auto s = R\"(line one\nline two)\"; next;\n");
+  auto strings = of_kind(tokens, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  // The token after the literal lands on the second line.
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[tokens.size() - 2].text, "next");
+  EXPECT_EQ(tokens[tokens.size() - 2].line, 2u);
+}
+
+// --- line splices ------------------------------------------------------------
+
+TEST(Token, BackslashNewlineSplicesAnIdentifier) {
+  auto tokens = tokenize("long_na\\\nme = 1;\n");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "long_name");
+}
+
+TEST(Token, BackslashNewlineInsideStringStaysOneLiteral) {
+  // The old line-based linter scanned the continuation line as code.
+  auto tokens = tokenize("auto s = \"no \\\nstd::thread here\";\n");
+  auto strings = of_kind(tokens, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  for (const auto& t : of_kind(tokens, TokenKind::kIdentifier)) {
+    EXPECT_NE(t.text, "thread");
+  }
+}
+
+// --- preprocessor directives -------------------------------------------------
+
+TEST(Token, DirectiveIsOneTokenAndNotCode) {
+  auto tokens = tokenize("#include \"src/net/graph.hpp\"\nint x;\n");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(tokens[0].text, "#include \"src/net/graph.hpp\"");
+  EXPECT_EQ(tokens[1].text, "int");
+}
+
+TEST(Token, ContinuedDefineIsOneDirective) {
+  auto tokens = tokenize("#define CHECK(x) \\\n  do { rand(); } while (0)\nint y;\n");
+  auto directives = of_kind(tokens, TokenKind::kDirective);
+  ASSERT_EQ(directives.size(), 1u);
+  // The macro body rides inside the directive token, not the code stream.
+  for (const auto& t : of_kind(tokens, TokenKind::kIdentifier)) {
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+TEST(Token, HashMidLineIsNotADirective) {
+  auto tokens = tokenize("int a = b # c;\n");  // not valid C++, but not a directive
+  EXPECT_TRUE(of_kind(tokens, TokenKind::kDirective).empty());
+}
+
+// --- numbers -----------------------------------------------------------------
+
+TEST(Token, DigitSeparatorsStayInOneNumber) {
+  auto tokens = tokenize("auto n = 1'000'000;\n");
+  auto numbers = of_kind(tokens, TokenKind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0].text, "1'000'000");
+  EXPECT_FALSE(is_float_literal(numbers[0]));
+}
+
+TEST(Token, FloatLiteralClassification) {
+  auto num = [](const std::string& text) {
+    auto tokens = tokenize("x = " + text + ";");
+    auto numbers = of_kind(tokens, TokenKind::kNumber);
+    EXPECT_EQ(numbers.size(), 1u) << text;
+    return numbers.empty() ? Token{} : numbers[0];
+  };
+  EXPECT_TRUE(is_float_literal(num("1.0")));
+  EXPECT_TRUE(is_float_literal(num(".5")));
+  EXPECT_TRUE(is_float_literal(num("1e-9")));
+  EXPECT_TRUE(is_float_literal(num("0x1fp3")));
+  EXPECT_FALSE(is_float_literal(num("42")));
+  EXPECT_FALSE(is_float_literal(num("0x1f")));
+  EXPECT_FALSE(is_float_literal(num("1'000")));
+}
+
+TEST(Token, NegativeExponentStaysInOneNumber) {
+  auto tokens = tokenize("if (x == 1.5e-9) {}");
+  auto numbers = of_kind(tokens, TokenKind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0].text, "1.5e-9");
+}
+
+}  // namespace
+}  // namespace qcongest::check

@@ -1,58 +1,65 @@
 // qlint — repo-specific static checks for the qcongest codebase.
 //
-//   qlint [--root DIR]... [--allow FILE] [--quiet] [--list-rules]
+//   qlint [--root DIR]... [--allow FILE] [--sarif FILE] [--quiet] [--list-rules]
 //
 // Scans every .cpp/.hpp under the given roots (default: src) for the
-// determinism and accounting contracts the general-purpose tools cannot
-// express — banned randomness sources, iteration over unordered containers,
-// exact float equality in quantum code, discarded RunResults in framework
-// phases. See src/check/lint.hpp for the rule definitions and suppression
-// syntax. Exit status: 0 clean, 1 violations found, 2 usage error.
+// determinism, accounting, and service-safety contracts the general-purpose
+// tools cannot express — banned randomness sources, iteration over unordered
+// containers, blocking calls in the poll() reactor, locks held across pool
+// hand-offs, unchecked narrowing of wire-supplied values, swallowed
+// exceptions. See src/check/lint.hpp for the rule definitions and
+// suppression syntax. Exit status: 0 clean, 1 violations found, 2 usage
+// error.
 //
 // Examples:
-//   qlint --root src --allow tools/qlint_allow.txt
-//   qlint --root src --root tools --quiet
+//   qlint --root src --root tools --root bench --root tests
+//         --allow tools/qlint_allow.txt --sarif qlint.sarif
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/check/lint.hpp"
+#include "src/check/sarif.hpp"
 
 using qcongest::check::LintConfig;
 using qcongest::check::LintResult;
 
 namespace {
 
-const char* kRuleHelp =
-    "rules:\n"
-    "  banned-random      rand()/srand()/std::random_device/time(NULL) outside\n"
-    "                     src/util — randomness must flow through util::Rng\n"
-    "  unordered-iter     iteration over std::unordered_{map,set}: visit order\n"
-    "                     is implementation-defined (protocol nondeterminism)\n"
-    "  float-equal        ==/!= against a float literal in src/quantum, src/query\n"
-    "  runresult-discard  framework phase called without accumulating its cost\n"
-    "suppress with `// qlint-allow(rule): reason` or an allowlist entry\n"
-    "`rule:path-substring[:line-substring]`\n";
+void print_rules() {
+  std::fputs("rules:\n", stdout);
+  for (const auto& rule : qcongest::check::rule_infos()) {
+    std::printf("  %-22s %s\n", rule.id, rule.summary);
+  }
+  std::fputs(
+      "suppress with `// qlint-allow(rule): reason` on the flagged line, or\n"
+      "an allowlist entry `rule:path-substring[:line-substring]  # reason` —\n"
+      "a suppression without a written reason does not suppress\n",
+      stdout);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string allow_file;
+  std::string sarif_file;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--list-rules") {
-      std::fputs(kRuleHelp, stdout);
+      print_rules();
       return 0;
     }
     if (flag == "--quiet") {
       quiet = true;
       continue;
     }
-    if ((flag == "--root" || flag == "--allow") && i + 1 >= argc) {
+    if ((flag == "--root" || flag == "--allow" || flag == "--sarif") &&
+        i + 1 >= argc) {
       std::fprintf(stderr, "qlint: %s needs a value\n", flag.c_str());
       return 2;
     }
@@ -60,10 +67,12 @@ int main(int argc, char** argv) {
       roots.push_back(argv[++i]);
     } else if (flag == "--allow") {
       allow_file = argv[++i];
+    } else if (flag == "--sarif") {
+      sarif_file = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: qlint [--root DIR]... [--allow FILE] [--quiet] "
-                   "[--list-rules]\n");
+                   "usage: qlint [--root DIR]... [--allow FILE] [--sarif FILE] "
+                   "[--quiet] [--list-rules]\n");
       return 2;
     }
   }
@@ -77,29 +86,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::size_t files = 0;
-  std::size_t violations = 0;
-  for (const std::string& root : roots) {
-    LintResult result;
-    try {
-      result = qcongest::check::lint_tree(root, config);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "qlint: %s\n", e.what());
-      return 2;
-    }
-    files += result.files_scanned;
-    violations += result.diagnostics.size();
-    for (const auto& diag : result.diagnostics) {
-      std::printf("%s\n", diag.to_string().c_str());
-      if (!quiet) std::printf("    %s\n", diag.line_text.c_str());
-    }
+  // One lint_trees call over all roots so the cross-TU symbol index spans
+  // them: a tests/ TU sees unordered members of the src/ headers it includes.
+  LintResult result;
+  try {
+    result = qcongest::check::lint_trees(roots, config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qlint: %s\n", e.what());
+    return 2;
   }
 
-  if (violations == 0) {
-    std::printf("qlint: %zu files clean\n", files);
+  for (const auto& diag : result.diagnostics) {
+    std::printf("%s\n", diag.to_string().c_str());
+    if (!quiet) std::printf("    %s\n", diag.line_text.c_str());
+  }
+
+  if (!sarif_file.empty()) {
+    std::ofstream out(sarif_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "qlint: cannot write %s\n", sarif_file.c_str());
+      return 2;
+    }
+    out << qcongest::check::render_sarif(result.diagnostics) << "\n";
+  }
+
+  if (result.diagnostics.empty()) {
+    std::printf("qlint: %zu files clean\n", result.files_scanned);
     return 0;
   }
-  std::fprintf(stderr, "qlint: %zu violation(s) in %zu files scanned\n", violations,
-               files);
+  std::fprintf(stderr, "qlint: %zu violation(s) in %zu files scanned\n",
+               result.diagnostics.size(), result.files_scanned);
   return 1;
 }

@@ -454,8 +454,10 @@ int main(int argc, char** argv) {
       }
       opt.max_retries = static_cast<std::size_t>(value);
     } else if (arg == "--timeout-ms") {
-      if (!parse_u64_arg(next(), &value) || value == 0) {
-        std::fprintf(stderr, "qload: bad --timeout-ms\n");
+      // Bound before the int cast: an hour is already absurd for a frame
+      // round-trip, and anything past INT_MAX would wrap negative.
+      if (!parse_u64_arg(next(), &value) || value == 0 || value > 3600000) {
+        std::fprintf(stderr, "qload: bad --timeout-ms (want 1..3600000)\n");
         return 2;
       }
       opt.timeout_ms = static_cast<int>(value);
