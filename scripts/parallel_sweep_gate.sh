@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Parallelism sweep gate: run BM_ParallelismSweep at engine thread budgets
+# {1, 8, 32} and fail if the scaling cliff ever comes back.
+#
+# The cliff this guards: before the arena delivery overhaul, the p=32 row
+# (n=33 double-star, ~diameter-many batches) took 1.66x the SERIAL p=1 row
+# (209ms vs 126ms) — sharding made the simulation slower than not sharding.
+# p=32 cannot beat a same-machine p=1 outright: it delivers ~8x the words
+# (minfind traffic grows as sqrt(k*p)), so its floor is message volume, not
+# pass overhead. The enforceable form of "p:32 wall-clock <= p:1" is
+# therefore pinned to the serial cliff reference below: the p=1 wall-clock
+# committed with the pre-overhaul baseline. p=32 finishing under the OLD
+# p=1 on every thread budget means the overhaul's win is intact; drifting
+# back over it is the regression this gate exists to catch.
+#
+# Usage: scripts/parallel_sweep_gate.sh [build_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+
+# Serial p=1 wall-clock of the pre-overhaul committed baseline. The gate
+# allows the same 25% wall-clock headroom as perf_gate (runner speed and
+# load vary); post-overhaul p=32 sits near 0.8x the reference, while the
+# pre-overhaul cliff was 1.66x — the two regimes stay separated even
+# through the headroom.
+CLIFF_REFERENCE_NS=126356237
+LIMIT_NS=$(awk -v n="${CLIFF_REFERENCE_NS}" 'BEGIN { printf "%d", n * 1.25 }')
+
+FILTER='BM_ParallelismSweep/p:(1|32)/'
+
+extract_ns() {
+  # real_time_ns of one named run from the line-oriented BENCH json.
+  awk -v bench="$2" '
+    /"name"/ { cur = $0; sub(/.*: *"/, "", cur); sub(/".*/, "", cur) }
+    /"real_time_ns"/ && cur == bench {
+      v = $0; sub(/.*: */, "", v); sub(/,.*/, "", v); printf "%d\n", v; exit
+    }
+  ' "$1"
+}
+
+status=0
+printf '%-8s %12s %12s %8s  %s\n' "threads" "p:1" "p:32" "p32/p1" "gate (p:32 vs cliff limit ${LIMIT_NS}ns)"
+for threads in 1 8 32; do
+  out_dir=$(mktemp -d)
+  QCONGEST_BENCH_JSON_DIR="${out_dir}" QCONGEST_BENCH_THREADS="${threads}" \
+      "${BUILD_DIR}/bench/bench_framework" --benchmark_filter="${FILTER}" \
+      > /dev/null
+  json="${out_dir}/BENCH_bench_framework.json"
+  p1=$(extract_ns "${json}" "BM_ParallelismSweep/p:1/iterations:1")
+  p32=$(extract_ns "${json}" "BM_ParallelismSweep/p:32/iterations:1")
+  rm -rf "${out_dir}"
+  if [ -z "${p1}" ] || [ -z "${p32}" ]; then
+    echo "parallel_sweep_gate: sweep rows missing from ${json}" >&2
+    exit 2
+  fi
+  ratio=$(awk -v a="${p32}" -v b="${p1}" 'BEGIN { printf "%.2f", a / b }')
+  if [ "${p32}" -le "${LIMIT_NS}" ]; then
+    verdict="ok"
+  else
+    verdict="FAIL (cliff is back)"
+    status=1
+  fi
+  printf '%-8s %10.2fms %10.2fms %8s  %s\n' "${threads}" \
+      "$(awk -v n="${p1}" 'BEGIN { print n / 1e6 }')" \
+      "$(awk -v n="${p32}" 'BEGIN { print n / 1e6 }')" \
+      "${ratio}" "${verdict}"
+done
+exit "${status}"

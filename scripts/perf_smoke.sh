@@ -15,12 +15,23 @@
 # Usage:
 #   scripts/perf_smoke.sh [build_dir]             # gate against baselines
 #   scripts/perf_smoke.sh [build_dir] --record    # re-record the baselines
+#
+# Environment knobs (all optional):
+#   QCONGEST_SMOKE_OUT    keep BENCH_*.json in this directory instead of a
+#                         throwaway mktemp dir (CI uploads them as artifacts)
+#   PERF_GATE_MARKDOWN    append the per-benchmark delta tables as markdown
+#                         to this file (CI points it at $GITHUB_STEP_SUMMARY)
+#
+# --record additionally appends one delta record per baseline file to the
+# committed perf trajectory (bench/baselines/PERF_HISTORY.jsonl), labelled
+# with the current commit, before overwriting the baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${1:-build}
 MODE=${2:-check}
 BASELINE_DIR=bench/baselines
+HISTORY_FILE=${BASELINE_DIR}/PERF_HISTORY.jsonl
 
 # The pinned subset: one framework batch-cost point, the two interesting
 # parallelism-sweep points (p=1 serial-engine hot path, p=32 ~ diameter),
@@ -31,16 +42,35 @@ FRAMEWORK_FILTER='BM_BatchCost/n:64/k:1024/p:8/q:10|BM_ParallelismSweep/p:(1|32)
 FAULT_FILTER='BM_FaultOverheadBfs/drop_permille:(0|50)/n:31'
 RECOVER_FILTER='BM_RecoveryTaxBfs/ckpt_every:(0|2)/n:31'
 
-OUT_DIR=$(mktemp -d)
-trap 'rm -rf "${OUT_DIR}"' EXIT
+if [ -n "${QCONGEST_SMOKE_OUT:-}" ]; then
+  OUT_DIR=${QCONGEST_SMOKE_OUT}
+  mkdir -p "${OUT_DIR}"
+else
+  OUT_DIR=$(mktemp -d)
+  trap 'rm -rf "${OUT_DIR}"' EXIT
+fi
 export QCONGEST_BENCH_JSON_DIR="${OUT_DIR}"
 
 "${BUILD_DIR}/bench/bench_framework" --benchmark_filter="${FRAMEWORK_FILTER}"
 "${BUILD_DIR}/bench/bench_fault_overhead" --benchmark_filter="${FAULT_FILTER}"
 "${BUILD_DIR}/bench/bench_recovery" --benchmark_filter="${RECOVER_FILTER}"
 
+# The perf-trajectory label: which commit this run is being compared (or
+# re-recorded) against, readable without checking out the repo.
+LABEL=$(git log -1 --format='%h %cs' 2>/dev/null || echo "uncommitted")
+
 if [ "${MODE}" = "--record" ]; then
   mkdir -p "${BASELINE_DIR}"
+  # Append old-baseline -> new-run deltas to the committed trajectory before
+  # overwriting. Drifted counters and regressions are sanctioned here (that
+  # is what re-recording means), so the gate's exit code is ignored.
+  for baseline in "${BASELINE_DIR}"/BENCH_*.json; do
+    [ -e "${baseline}" ] || continue
+    name=$(basename "${baseline}")
+    [ -e "${OUT_DIR}/${name}" ] || continue
+    "${BUILD_DIR}/tools/perf_gate" "${baseline}" "${OUT_DIR}/${name}" \
+        --history "${HISTORY_FILE}" --label "${LABEL} (re-record)" || true
+  done
   cp "${OUT_DIR}"/BENCH_*.json "${BASELINE_DIR}/"
   if compgen -G "${OUT_DIR}/REPORT_*.json" > /dev/null; then
     cp "${OUT_DIR}"/REPORT_*.json "${BASELINE_DIR}/"
@@ -50,9 +80,14 @@ if [ "${MODE}" = "--record" ]; then
 fi
 
 status=0
+GATE_EXTRA=()
+if [ -n "${PERF_GATE_MARKDOWN:-}" ]; then
+  GATE_EXTRA+=(--markdown "${PERF_GATE_MARKDOWN}")
+fi
 for baseline in "${BASELINE_DIR}"/BENCH_*.json; do
   name=$(basename "${baseline}")
-  if ! "${BUILD_DIR}/tools/perf_gate" "${baseline}" "${OUT_DIR}/${name}"; then
+  if ! "${BUILD_DIR}/tools/perf_gate" "${baseline}" "${OUT_DIR}/${name}" \
+      --label "${LABEL}" "${GATE_EXTRA[@]}"; then
     status=1
   fi
 done

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Render the committed perf trajectory as a markdown delta table.
+
+Reads bench/baselines/PERF_HISTORY.jsonl (one line-JSON record per
+perf_gate --history invocation, appended by scripts/perf_smoke.sh when
+baselines are re-recorded) and prints one GitHub-flavored markdown table
+per baseline file: each row is one recorded run of one benchmark, newest
+last, so the table reads as the benchmark's wall-clock history across
+commits. CI appends the output to the run-reports job summary.
+"""
+import collections
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench/baselines/PERF_HISTORY.jsonl"
+    try:
+        with open(path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+    except FileNotFoundError:
+        print(f"(no perf history at {path} yet)")
+        return 0
+    if not records:
+        print(f"(perf history at {path} is empty)")
+        return 0
+
+    by_baseline = collections.OrderedDict()
+    for record in records:
+        by_baseline.setdefault(record["baseline"], []).append(record)
+
+    print("## Perf trajectory (committed history)")
+    for baseline, recs in by_baseline.items():
+        print(f"\n### `{baseline}`\n")
+        print("| label | benchmark | before | after | delta |")
+        print("| --- | --- | ---: | ---: | ---: |")
+        for record in recs:
+            for run in record["runs"]:
+                before = run["baseline_ns"] / 1e6
+                after = run["current_ns"] / 1e6
+                delta = (run["ratio"] - 1.0) * 100.0
+                print(
+                    f"| {record['label']} | `{run['name']}` "
+                    f"| {before:.2f}ms | {after:.2f}ms | {delta:+.1f}% |"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

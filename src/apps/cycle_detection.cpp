@@ -36,7 +36,7 @@ class CycleBfsProgram final : public net::NodeProgram {
 
   std::int64_t candidate() const { return candidate_; }
 
-  void on_round(net::Context& ctx, const std::vector<net::Message>& inbox) override {
+  void on_round(net::Context& ctx, std::span<const net::Message> inbox) override {
     if (!(*active_)[ctx.id()]) return;
     if (ctx.round() == 0) {
       outbox_.resize(ctx.neighbors().size());
@@ -112,7 +112,7 @@ class PerSourceCycleProgram final : public net::NodeProgram {
 
   const std::vector<std::int64_t>& candidates() const { return candidate_; }
 
-  void on_round(net::Context& ctx, const std::vector<net::Message>& inbox) override {
+  void on_round(net::Context& ctx, std::span<const net::Message> inbox) override {
     if (ctx.round() == 0) {
       candidate_.assign(queries_->size(), kNoCycle);
       first_.assign(queries_->size(), Record{});

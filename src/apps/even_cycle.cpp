@@ -28,7 +28,7 @@ class ColorCodingProgram final : public net::NodeProgram {
 
   bool witnessed() const { return witnessed_; }
 
-  void on_round(net::Context& ctx, const std::vector<net::Message>& inbox) override {
+  void on_round(net::Context& ctx, std::span<const net::Message> inbox) override {
     const std::size_t degree = ctx.neighbors().size();
     if (ctx.round() == 0) {
       color_ = ctx.rng().index(length_);

@@ -838,6 +838,125 @@ void check_untrusted_narrowing(RuleCtx& ctx) {
   }
 }
 
+// --- Rule: hot-path-alloc ---------------------------------------------------
+
+/// The per-word / per-amplitude functions: Engine's round loop runs these
+/// tens of thousands of times per trial, Statevector::apply* once per gate
+/// per 2^q amplitudes. A heap allocation here is an allocator round-trip
+/// multiplied by the hottest loop in the repo — the arena/pooling work of
+/// DESIGN.md §13 exists to keep these allocation-free. Cold setup (the
+/// constructor, set_*, run() initialization) allocates freely; `grow_fill`
+/// is the sanctioned amortized growth path and is deliberately not listed.
+struct HotFn {
+  const char* cls;
+  const char* fn;
+};
+const HotFn kHotFns[] = {
+    {"Engine", "deliver"},          {"Engine", "commit"},
+    {"Engine", "admit"},            {"Engine", "corrupt_payload"},
+    {"Engine", "run_pass_serial"},  {"Engine", "run_pass_parallel"},
+    {"Engine", "scatter_inboxes"},  {"Engine", "reset_delivery_buffers"},
+    {"Statevector", "apply"},       {"Statevector", "apply_controlled"},
+    {"Statevector", "cnot"},        {"Statevector", "cz"},
+    {"Statevector", "ccx"},         {"Statevector", "swap_qubits"},
+    {"Statevector", "h_all"},
+};
+
+void check_hot_path_alloc(RuleCtx& ctx) {
+  const bool engine_tu = path_contains(ctx.path, "net/engine");
+  const bool statevector_tu = path_contains(ctx.path, "quantum/statevector");
+  const bool kernels_tu = path_contains(ctx.path, "quantum/kernels");
+  if (!engine_tu && !statevector_tu && !kernels_tu) return;
+  const std::vector<Token>& code = ctx.code;
+
+  // Receivers whose capacity is managed somewhere in this TU: a reserve /
+  // resize / assign anywhere means the container's push_back in steady
+  // state is a bump, not an allocation (the recycle-across-passes pattern:
+  // capacity survives clear()).
+  std::set<std::string> reserved;
+  for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    if (!(is_punct(code[i + 1], ".") || is_punct(code[i + 1], "->"))) continue;
+    if ((ctx.ident_at(i + 2, "reserve") || ctx.ident_at(i + 2, "resize") ||
+         ctx.ident_at(i + 2, "assign")) &&
+        ctx.punct_at(i + 3, "(")) {
+      reserved.insert(code[i].text);
+    }
+  }
+
+  // Hot token ranges: the whole file for the kernel TUs (every function
+  // there IS the inner loop), else the bodies of the kHotFns methods.
+  std::vector<std::pair<std::size_t, std::size_t>> hot;
+  if (kernels_tu) {
+    hot.emplace_back(0, code.size());
+  } else {
+    for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+      if (code[i].kind != TokenKind::kIdentifier || !is_punct(code[i + 1], "::") ||
+          code[i + 2].kind != TokenKind::kIdentifier || !is_punct(code[i + 3], "(")) {
+        continue;
+      }
+      bool is_hot = false;
+      for (const HotFn& fn : kHotFns) {
+        if (code[i].text == fn.cls && code[i + 2].text == fn.fn) is_hot = true;
+      }
+      if (!is_hot) continue;
+      std::size_t after = match_paren(code, i + 3);
+      if (after == std::string::npos) continue;
+      // Skip trailing qualifiers; a ';' means declaration, not definition.
+      std::size_t open = after;
+      while (open < code.size() && !is_punct(code[open], "{") &&
+             !is_punct(code[open], ";")) {
+        ++open;
+      }
+      if (open >= code.size() || !is_punct(code[open], "{")) continue;
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < code.size(); ++close) {
+        if (is_punct(code[close], "{")) ++depth;
+        if (is_punct(code[close], "}") && --depth == 0) break;
+      }
+      hot.emplace_back(open + 1, close);
+    }
+  }
+
+  auto flag = [&](std::size_t line, const std::string& what) {
+    ctx.flag(line, "hot-path-alloc",
+             what + " in a per-word/per-amplitude hot path (Engine round "
+                   "loop, Statevector::apply*, kernels): an allocator "
+                   "round-trip multiplied by the hottest loop in the repo — "
+                   "use the pass arena / pooled buffers (DESIGN.md §13), "
+                   "reserve up front, or qlint-allow a genuinely cold branch "
+                   "with a reason");
+  };
+  for (const auto& [lo, hi] : hot) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Token& t = code[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "new") {
+        // Placement new into arena storage is the sanctioned spelling and
+        // starts with '(' after `new`.
+        if (!ctx.punct_at(i + 1, "(")) flag(t.line, "'new'");
+      } else if ((t.text == "push_back" || t.text == "emplace_back") &&
+                 i >= 2 && ctx.punct_at(i + 1, "(") &&
+                 (is_punct(code[i - 1], ".") || is_punct(code[i - 1], "->"))) {
+        const Token& recv = code[i - 2];
+        if (recv.kind == TokenKind::kIdentifier &&
+            reserved.count(recv.text) == 0) {
+          flag(t.line, "'" + recv.text + "." + t.text +
+                           "' on a vector this TU never reserves");
+        }
+      } else if (t.text == "function" && ctx.punct_at(i + 1, "<")) {
+        flag(t.line, "'std::function' construction (type-erased callable "
+                     "heap-allocates its target)");
+      } else if ((t.text == "make_unique" || t.text == "make_shared" ||
+                  t.text == "malloc") &&
+                 (ctx.punct_at(i + 1, "(") || ctx.punct_at(i + 1, "<"))) {
+        flag(t.line, "'" + t.text + "'");
+      }
+    }
+  }
+}
+
 // --- Rule: catch-all-swallow ------------------------------------------------
 
 void check_catch_all_swallow(RuleCtx& ctx) {
@@ -911,6 +1030,9 @@ const std::vector<RuleInfo>& rule_infos() {
       {"untrusted-narrowing",
        "wire/spec-derived value narrowed or used in arithmetic before any "
        "bound check"},
+      {"hot-path-alloc",
+       "heap allocation (new, unreserved push_back, std::function) in the "
+       "Engine round loop, Statevector::apply*, or the SIMD kernels"},
       {"catch-all-swallow",
        "catch (...) that neither rethrows nor produces a structured error"},
   };
@@ -1000,6 +1122,7 @@ std::vector<LintDiagnostic> lint_source(
   check_reactor_blocking_call(ctx);
   check_lock_across_submit(ctx);
   check_untrusted_narrowing(ctx);
+  check_hot_path_alloc(ctx);
   check_catch_all_swallow(ctx);
 
   std::stable_sort(candidates.begin(), candidates.end(),

@@ -52,8 +52,15 @@ DistributedOracle::DistributedOracle(net::Engine& engine, const net::BfsTree& tr
 query::Value DistributedOracle::peek(std::size_t index) const {
   if (index >= config_.domain_size) throw std::out_of_range("oracle: peek out of range");
   if (truth_) return truth_(index);
+  if (peek_cached_.empty()) {
+    peek_cached_.assign(config_.domain_size, 0);
+    peek_cache_.assign(config_.domain_size, 0);
+  }
+  if (peek_cached_[index]) return peek_cache_[index];
   query::Value acc = config_.identity;
   for (const auto& row : data_) acc = config_.combine(acc, row[index]);
+  peek_cache_[index] = acc;
+  peek_cached_[index] = 1;
   return acc;
 }
 
@@ -70,19 +77,22 @@ std::vector<query::Value> DistributedOracle::fetch(
   };
 
   // Phase 1: downcast the p index registers (quantum words, pipelined).
+  // Recycled scratch + the pooled pipeline workspace keep the steady-state
+  // batch free of heap traffic (the sweep benchmarks run hundreds of
+  // batches per trial).
   mark("query-broadcast");
-  std::vector<std::int64_t> index_payload;
-  index_payload.reserve(indices.size() * idx_words);
+  payload_scratch_.clear();
+  payload_scratch_.reserve(indices.size() * idx_words);
   for (std::size_t idx : indices) {
-    index_payload.push_back(static_cast<std::int64_t>(idx));
-    for (std::size_t w = 1; w < idx_words; ++w) index_payload.push_back(0);
+    payload_scratch_.push_back(static_cast<std::int64_t>(idx));
+    for (std::size_t w = 1; w < idx_words; ++w) payload_scratch_.push_back(0);
   }
-  total_cost_ += net::pipelined_downcast(*engine_, *tree_, index_payload,
-                                         /*quantum=*/true)
+  total_cost_ += net::pipelined_downcast(*engine_, *tree_, payload_scratch_,
+                                         /*quantum=*/true, pipeline_ws_)
                      .cost;
 
   // Phase 2 (Corollary 9): on-the-fly value computation, alpha(p) rounds.
-  std::vector<std::vector<query::Value>> batch_values;
+  std::vector<std::vector<query::Value>> computed_values;
   if (computer_) {
     mark("batch-compute");
     BatchValues computed = computer_(indices);
@@ -90,19 +100,23 @@ std::vector<query::Value> DistributedOracle::fetch(
       throw std::logic_error("oracle: batch computer returned wrong node count");
     }
     total_cost_ += computed.cost;
-    batch_values = std::move(computed.per_node);
+    computed_values = std::move(computed.per_node);
   } else {
-    batch_values.resize(n);
+    batch_scratch_.resize(n);
     for (std::size_t v = 0; v < n; ++v) {
-      batch_values[v].reserve(indices.size());
-      for (std::size_t idx : indices) batch_values[v].push_back(data_[v][idx]);
+      batch_scratch_[v].clear();
+      batch_scratch_[v].reserve(indices.size());
+      for (std::size_t idx : indices) batch_scratch_[v].push_back(data_[v][idx]);
     }
   }
+  const std::vector<std::vector<query::Value>>& batch_values =
+      computer_ ? computed_values : batch_scratch_;
 
   // Phase 3: aggregating convergecast of the p values.
   mark("combine");
   auto conv = net::pipelined_convergecast(*engine_, *tree_, batch_values, val_words,
-                                          config_.combine, /*quantum=*/true);
+                                          config_.combine, /*quantum=*/true,
+                                          pipeline_ws_);
   total_cost_ += conv.cost;
 
   // Phase 4: uncompute — results echoed back down so the nodes can erase
@@ -110,18 +124,18 @@ std::vector<query::Value> DistributedOracle::fetch(
   // leader. Mirror schedules of phases 3 and 1 (see DESIGN.md).
   if (config_.charge_uncompute) {
     mark("uncompute");
-    std::vector<std::int64_t> result_payload;
-    result_payload.reserve(indices.size() * val_words);
+    payload_scratch_.clear();
+    payload_scratch_.reserve(indices.size() * val_words);
     for (std::int64_t total : conv.totals) {
-      result_payload.push_back(total);
-      for (std::size_t w = 1; w < val_words; ++w) result_payload.push_back(0);
+      payload_scratch_.push_back(total);
+      for (std::size_t w = 1; w < val_words; ++w) payload_scratch_.push_back(0);
     }
-    total_cost_ += net::pipelined_downcast(*engine_, *tree_, result_payload,
-                                           /*quantum=*/true)
+    total_cost_ += net::pipelined_downcast(*engine_, *tree_, payload_scratch_,
+                                           /*quantum=*/true, pipeline_ws_)
                        .cost;
     total_cost_ += undistribute_state(
         *engine_, *tree_,
-        indices.size() * util::ceil_log2(config_.domain_size));
+        indices.size() * util::ceil_log2(config_.domain_size), pipeline_ws_);
   }
   if (config_.profiler != nullptr) config_.profiler->end_phase();
 

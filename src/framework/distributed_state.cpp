@@ -32,6 +32,18 @@ net::RunResult undistribute_state(net::Engine& engine, const net::BfsTree& tree,
   return result.cost;
 }
 
+net::RunResult undistribute_state(net::Engine& engine, const net::BfsTree& tree,
+                                  std::size_t q_qubits, net::PipelineWorkspace& ws) {
+  const std::size_t n = engine.graph().num_nodes();
+  std::size_t words = words_for_bits(q_qubits, n);
+  ws.value_scratch.resize(n);
+  for (auto& row : ws.value_scratch) row.assign(words, 0);
+  auto result = net::pipelined_convergecast(
+      engine, tree, ws.value_scratch, /*value_words=*/1,
+      [](std::int64_t a, std::int64_t) { return a; }, /*quantum=*/true, ws);
+  return result.cost;
+}
+
 net::RunResult distribute_state_unpipelined(net::Engine& engine,
                                             const net::BfsTree& tree,
                                             std::size_t q_qubits) {

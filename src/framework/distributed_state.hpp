@@ -21,6 +21,11 @@ net::RunResult distribute_state(net::Engine& engine, const net::BfsTree& tree,
 net::RunResult undistribute_state(net::Engine& engine, const net::BfsTree& tree,
                                   std::size_t q_qubits);
 
+/// Pooled variant for hot loops (one call per charged oracle batch): the
+/// per-node programs and the zero-filled value matrix are recycled from `ws`.
+net::RunResult undistribute_state(net::Engine& engine, const net::BfsTree& tree,
+                                  std::size_t q_qubits, net::PipelineWorkspace& ws);
+
 /// Ablation: the naive unpipelined distribution, height * ceil(q / log n)
 /// rounds (the paper's "naively this would result in ..." remark).
 net::RunResult distribute_state_unpipelined(net::Engine& engine,

@@ -15,7 +15,7 @@ class FloodMaxProgram final : public NodeProgram {
  public:
   NodeId best() const { return best_; }
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     bool improved = false;
     if (ctx.round() == 0) {
       best_ = ctx.id();
@@ -59,7 +59,7 @@ class BfsBuildProgram final : public NodeProgram {
   std::size_t depth() const { return depth_; }
   const std::vector<NodeId>& children() const { return children_; }
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     if (ctx.round() == 0 && ctx.id() == root_) {
       parent_ = ctx.id();
       depth_ = 0;

@@ -1,6 +1,7 @@
 #include "src/net/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <iterator>
 #include <stdexcept>
 #include <utility>
@@ -10,14 +11,6 @@
 #include "src/net/violation.hpp"
 
 namespace qcongest::net {
-
-std::size_t Context::num_nodes() const { return engine_->graph().num_nodes(); }
-
-std::size_t Context::bandwidth() const { return engine_->bandwidth(); }
-
-const std::vector<NodeId>& Context::neighbors() const {
-  return engine_->graph().neighbors(id_);
-}
 
 void Context::send(NodeId to, Word word) { engine_->deliver(id_, to, word); }
 
@@ -51,7 +44,8 @@ void Engine::set_fault_plan(FaultPlan plan) {
   crash_nodes_.clear();
   restart_windows_.clear();
   restart_prefix_max_.clear();
-  edge_fault_rngs_.clear();
+  edge_thresholds_.clear();
+  fault_lottery_.clear();
   if (!fault_active_) return;
 
   const std::size_t n = graph_->num_nodes();
@@ -101,14 +95,16 @@ void Engine::set_fault_plan(FaultPlan plan) {
   }
 
   // One independent lottery stream per directed edge, forked in slot order
-  // from the plan seed. An edge's draws then depend only on its own traffic
-  // order, never on how sends across edges interleave — the property that
-  // keeps faulty runs byte-identical between the serial and sharded paths.
-  util::Rng base(fault_plan_.seed);
-  edge_fault_rngs_.reserve(edge_slot_offset_[n]);
-  for (std::size_t s = 0; s < edge_slot_offset_[n]; ++s) {
-    edge_fault_rngs_.push_back(base.fork());
+  // from the plan seed (see FaultLottery). Rates compile down to fixed-point
+  // thresholds once, here, so the delivery loop never touches a double.
+  edge_thresholds_.clear();
+  edge_thresholds_.reserve(edge_slot_offset_[n]);
+  for (const FaultRates& rates : edge_rates_) {
+    edge_thresholds_.push_back({FaultLottery::threshold(rates.drop),
+                                FaultLottery::threshold(rates.corrupt),
+                                FaultLottery::threshold(rates.duplicate)});
   }
+  fault_lottery_.reset(fault_plan_.seed, edge_slot_offset_[n]);
 }
 
 void Engine::clear_fault_plan() {
@@ -119,7 +115,8 @@ void Engine::clear_fault_plan() {
   crash_nodes_.clear();
   restart_windows_.clear();
   restart_prefix_max_.clear();
-  edge_fault_rngs_.clear();
+  edge_thresholds_.clear();
+  fault_lottery_.clear();
   amnesia_restarts_.clear();
 }
 
@@ -172,10 +169,11 @@ bool Engine::restart_pending(std::size_t round) const {
   return restart_prefix_max_[idx] >= round;
 }
 
-void Engine::corrupt_payload(Word& word, util::Rng& rng) {
+void Engine::corrupt_payload(Word& word, std::uint64_t raw) {
   // Flip exactly one uniformly random bit of the 128 payload bits. The tag
   // is never corrupted (headers are assumed protected by heavier coding).
-  std::size_t bit = rng.index(128);
+  // 128 divides 2^64, so masking the raw lottery draw is exactly uniform.
+  std::size_t bit = raw & 127;
   auto flip = [](std::int64_t v, unsigned b) {
     return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) ^ (1ULL << b));
   };
@@ -202,16 +200,36 @@ void Engine::deliver(NodeId from, NodeId to, Word word) {
     // sender's shard — each directed edge's budget is touched only by its
     // own sender, so this is race-free — while everything observable
     // (stats, trace, observer, fault lottery, inbox push) waits for the
-    // canonical-order merge on the engine thread.
+    // canonical-order merge on the engine thread. Each shard buffer is
+    // touched only by the one worker executing that shard.
     std::size_t slot = admit(from, to);
-    outbox_[from].push_back(PendingSend{to, word, slot, sent_this_round_[slot]});
+    shard_sends_[shard_of_node_[from]].push_back(
+        PendingSend{to, word, slot, sent_this_round_[slot]});
     return;
   }
   if (from != current_sender_) {
     throw std::logic_error("Engine: context used outside its node's turn");
   }
   std::size_t slot = admit(from, to);
-  commit(from, to, word, slot, sent_this_round_[slot]);
+  const std::size_t edge_words = sent_this_round_[slot];
+  if (fast_path_) {
+    // Serial no-fault, no-observer shape (the benchmark steady state): the
+    // full commit bookkeeping collapses to counters plus the inbox append.
+    if (edge_words > stats_.max_edge_words) stats_.max_edge_words = edge_words;
+    ++stats_.messages;
+    if (word.quantum) {
+      ++stats_.quantum_words;
+    } else {
+      ++stats_.classical_words;
+    }
+    if (contexts_[to].halted_) {
+      throw std::logic_error("Engine: message delivered to a halted node");
+    }
+    enqueue_delivery(to, Message{from, word});
+    delivered_any_ = true;
+    return;
+  }
+  commit(from, to, word, slot, edge_words);
 }
 
 void Engine::commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
@@ -235,7 +253,7 @@ void Engine::commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
     if (contexts_[to].halted_) {
       throw std::logic_error("Engine: message delivered to a halted node");
     }
-    next_inbox_[to].push_back(Message{from, word});
+    enqueue_delivery(to, Message{from, word});
     delivered_any_ = true;
     if (observer_ != nullptr) {
       observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDelivered,
@@ -245,8 +263,8 @@ void Engine::commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
   }
 
   // Fault lottery. Sends are counted above regardless of fate, so a plan
-  // with all-zero rates leaves every legacy counter byte-identical
-  // (Rng::bernoulli(0) draws nothing from the fault stream).
+  // with all-zero rates leaves every legacy counter byte-identical (a
+  // kNever threshold draws nothing from the fault stream).
   if (crashed_arrival_[to] != 0) {
     ++stats_.dropped_words;
     if (observer_ != nullptr) {
@@ -255,9 +273,8 @@ void Engine::commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
     }
     return;
   }
-  const FaultRates& rates = edge_rates_[slot];
-  util::Rng& lottery = edge_fault_rngs_[slot];
-  if (lottery.bernoulli(rates.drop)) {
+  const EdgeThresholds& th = edge_thresholds_[slot];
+  if (fault_lottery_.draw(slot, th.drop)) {
     ++stats_.dropped_words;
     if (observer_ != nullptr) {
       observer_->on_delivery(current_pass_, from, to, DeliveryFate::kDroppedLottery,
@@ -267,21 +284,21 @@ void Engine::commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
   }
   Word delivered = word;
   bool corrupted = false;
-  if (lottery.bernoulli(rates.corrupt)) {
-    corrupt_payload(delivered, lottery);
+  if (fault_lottery_.draw(slot, th.corrupt)) {
+    corrupt_payload(delivered, fault_lottery_.draw_raw(slot));
     ++stats_.corrupted_words;
     corrupted = true;
   }
   if (contexts_[to].halted_) {
     throw std::logic_error("Engine: message delivered to a halted node");
   }
-  next_inbox_[to].push_back(Message{from, delivered});
+  enqueue_delivery(to, Message{from, delivered});
   delivered_any_ = true;
   bool duplicated = false;
-  if (lottery.bernoulli(rates.duplicate)) {
+  if (fault_lottery_.draw(slot, th.duplicate)) {
     // The network, not the sender, duplicates: the extra copy is charged to
     // no edge budget and appears only in duplicated_words.
-    next_inbox_[to].push_back(Message{from, delivered});
+    enqueue_delivery(to, Message{from, delivered});
     ++stats_.duplicated_words;
     duplicated = true;
   }
@@ -327,13 +344,14 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
     pool_ = std::make_unique<util::ThreadPool>(threads_);
   }
 
-  // All per-run buffers persist across passes and runs: inner vectors are
-  // clear()ed (capacity retained), so the steady-state hot loop allocates
-  // nothing.
-  inbox_.resize(n);
-  next_inbox_.resize(n);
-  for (auto& box : inbox_) box.clear();
-  for (auto& box : next_inbox_) box.clear();
+  // All per-run buffers persist across passes and runs (the arenas recycle
+  // their blocks), so the steady-state hot loop allocates nothing.
+  inbox_offset_.assign(n, 0);
+  inbox_len_.assign(n, 0);
+  scatter_cursor_.resize(n);
+  inbox_touched_.reserve(n);
+  runnable_.reserve(n);
+  reset_delivery_buffers();
   sent_this_round_.assign(edge_slot_offset_[n], 0);
   contexts_.resize(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -364,6 +382,10 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
   delivered_any_ = false;
   parallel_pass_ = false;
   keep_alive_pending_ = false;
+  // Frozen per run: nothing a program can reach through its Context mutates
+  // the observer, trace, cut, or fault plan mid-run.
+  fast_path_ = !fault_active_ && observer_ == nullptr && trace_ == nullptr &&
+               cut_side_.empty();
   if (observer_ != nullptr) observer_->on_run_begin(*this);
   if (recovery_.enabled && recovery_.checkpoint.at_phase_start) {
     write_checkpoints(programs, /*rounds_done=*/0);
@@ -383,8 +405,7 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
   std::size_t last_send_pass = 0;
   bool sent_last_pass = false;
   for (std::size_t pass = 1; pass <= max_rounds + 1; ++pass) {
-    inbox_.swap(next_inbox_);
-    for (auto& box : next_inbox_) box.clear();
+    scatter_inboxes();
     std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
 
     const std::size_t round = pass - 1;
@@ -398,7 +419,7 @@ RunResult Engine::run_direct(std::span<const std::unique_ptr<NodeProgram>> progr
     std::size_t keep = 0;
     for (NodeId v : active_) {
       if (contexts_[v].halted_) {
-        if (!inbox_[v].empty()) {
+        if (inbox_len_[v] != 0) {
           throw std::logic_error("Engine: message delivered to a halted node");
         }
         continue;
@@ -507,14 +528,14 @@ void Engine::handle_amnesia_restart(NodeProgram& program, NodeId v, std::size_t 
   // in flight toward the restart round were committed before the death was
   // known — drop them here so the counters match a crash-stop exactly.
   amnesia_dead_[v] = 1;
-  for (const Message& m : inbox_[v]) {
+  for (const Message& m : inbox_span(v)) {
     ++stats_.dropped_words;
     if (observer_ != nullptr) {
       observer_->on_delivery(round, m.from, v, DeliveryFate::kDroppedCrashed,
                              /*corrupted=*/false, /*duplicated=*/false);
     }
   }
-  inbox_[v].clear();
+  inbox_len_[v] = 0;
 }
 
 void Engine::write_checkpoints(std::span<const std::unique_ptr<NodeProgram>> programs,
@@ -545,13 +566,14 @@ void Engine::run_pass_serial(std::span<const std::unique_ptr<NodeProgram>> progr
     ctx.round_ = round;
     ctx.keep_alive_ = false;
     current_sender_ = v;
-    programs[v]->on_round(ctx, inbox_[v]);
+    programs[v]->on_round(ctx, inbox_span(v));
     if (ctx.keep_alive_) keep_alive_pending_ = true;
   }
 }
 
 void Engine::run_pass_parallel(std::span<const std::unique_ptr<NodeProgram>> programs,
                                std::size_t round, bool crash_active) {
+  const std::size_t n = graph_->num_nodes();
   runnable_.clear();
   for (NodeId v : active_) {
     if (crash_active && crashed_now_[v] != 0) continue;
@@ -560,34 +582,74 @@ void Engine::run_pass_parallel(std::span<const std::unique_ptr<NodeProgram>> pro
   const std::size_t count = runnable_.size();
   if (count == 0) return;
 
-  if (outbox_.size() < graph_->num_nodes()) outbox_.resize(graph_->num_nodes());
   for (NodeId v : runnable_) {
-    outbox_[v].clear();
     Context& ctx = contexts_[v];
     ctx.round_ = round;
     ctx.keep_alive_ = false;
   }
 
-  // Contiguous shards over the ascending runnable list. Workers only touch
-  // sender-owned state (their nodes' contexts, rngs, inboxes, outboxes, and
-  // directed-edge budgets), so shards never race; everything observable is
-  // replayed below in canonical order.
+  // Contiguous shards over the ascending runnable list, sized by measured
+  // per-node delivery counts: a node's pass cost tracks the messages it
+  // must consume, not its mere existence, so equal-node shards starve some
+  // workers while one drags (the old p:32 > p:1 cliff). Weights are a
+  // deterministic function of this pass's deliveries, and shard boundaries
+  // only move work between workers — the merge below restores canonical
+  // order regardless.
   const std::size_t shards = std::min(pool_->threads(), count);
+  shard_weights_.resize(count);
+  std::size_t total_weight = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    total_weight += 1 + inbox_len_[runnable_[i]];
+    shard_weights_[i] = total_weight;  // inclusive prefix sum
+  }
+  shard_bounds_.resize(shards + 1);
+  shard_bounds_[0] = 0;
+  {
+    std::size_t idx = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      const std::size_t target = total_weight * s / shards;
+      while (idx < count && shard_weights_[idx] < target) ++idx;
+      // Clamp so every shard keeps at least one node.
+      idx = std::max(idx, shard_bounds_[s - 1] + 1);
+      idx = std::min(idx, count - (shards - s));
+      shard_bounds_[s] = idx;
+    }
+  }
+  shard_bounds_[shards] = count;
+
+  if (shard_sends_.size() < shards) shard_sends_.resize(shards);
+  if (shard_of_node_.size() < n) shard_of_node_.resize(n);
+  if (outbox_off_.size() < n) {
+    outbox_off_.resize(n);
+    outbox_len_.resize(n);
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_sends_[s].clear();
+    for (std::size_t i = shard_bounds_[s]; i < shard_bounds_[s + 1]; ++i) {
+      shard_of_node_[runnable_[i]] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Workers only touch sender-owned state (their nodes' contexts, rngs,
+  // inbox spans, shard buffer, and directed-edge budgets), so shards never
+  // race; everything observable is replayed below in canonical order.
   std::vector<std::pair<NodeId, std::exception_ptr>> shard_error(shards);
   parallel_pass_ = true;
   pool_->parallel_for(shards, [&](std::size_t s) {
-    const std::size_t lo = count * s / shards;
-    const std::size_t hi = count * (s + 1) / shards;
-    for (std::size_t i = lo; i < hi; ++i) {
+    std::vector<PendingSend>& sends = shard_sends_[s];
+    for (std::size_t i = shard_bounds_[s]; i < shard_bounds_[s + 1]; ++i) {
       NodeId v = runnable_[i];
+      outbox_off_[v] = sends.size();
       try {
-        programs[v]->on_round(contexts_[v], inbox_[v]);
+        programs[v]->on_round(contexts_[v], inbox_span(v));
       } catch (...) {
         // First failure stops the shard; the merge below reconstructs the
         // serial engine's behavior from the smallest failing node.
+        outbox_len_[v] = sends.size() - outbox_off_[v];
         shard_error[s] = {v, std::current_exception()};
         return;
       }
+      outbox_len_[v] = sends.size() - outbox_off_[v];
     }
   });
   parallel_pass_ = false;
@@ -606,15 +668,87 @@ void Engine::run_pass_parallel(std::span<const std::unique_ptr<NodeProgram>> pro
   // fault-lottery draws come out byte-identical for any thread count. On a
   // failure, nodes before the smallest offender plus the offender's
   // pre-failure sends are merged first — the same partial state the serial
-  // engine leaves behind — then the offender's exception propagates.
-  for (NodeId v : runnable_) {
-    current_sender_ = v;
-    for (const PendingSend& send : outbox_[v]) {
-      commit(v, send.to, send.word, send.slot, send.edge_words);
+  // engine leaves behind — then the offender's exception propagates (the
+  // later shards' buffered sends are dropped, exactly as the serial engine
+  // would never have executed those nodes).
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::vector<PendingSend>& sends = shard_sends_[s];
+    for (std::size_t i = shard_bounds_[s]; i < shard_bounds_[s + 1]; ++i) {
+      NodeId v = runnable_[i];
+      current_sender_ = v;
+      const std::size_t off = outbox_off_[v];
+      const std::size_t len = outbox_len_[v];
+      for (std::size_t j = off; j < off + len; ++j) {
+        const PendingSend& send = sends[j];
+        commit(v, send.to, send.word, send.slot, send.edge_words);
+      }
+      if (error != nullptr && v == error_node) std::rethrow_exception(error);
+      if (contexts_[v].keep_alive_) keep_alive_pending_ = true;
     }
-    if (error != nullptr && v == error_node) std::rethrow_exception(error);
-    if (contexts_[v].keep_alive_) keep_alive_pending_ = true;
   }
+}
+
+void Engine::grow_fill() {
+  // Amortized growth inside the fill arena: the abandoned old block is
+  // reclaimed wholesale at the next scatter's reset, and once the arena has
+  // seen its high-water pass the pre-sizing in scatter_inboxes makes this
+  // path unreachable.
+  const std::size_t cap = std::max<std::size_t>(64, fill_cap_ * 2);
+  Message* msgs = fill_arena_.allocate<Message>(cap);
+  NodeId* to = fill_arena_.allocate<NodeId>(cap);
+  if (fill_count_ > 0) {
+    std::memcpy(msgs, fill_msgs_, fill_count_ * sizeof(Message));
+    std::memcpy(to, fill_to_, fill_count_ * sizeof(NodeId));
+  }
+  fill_msgs_ = msgs;
+  fill_to_ = to;
+  fill_cap_ = cap;
+}
+
+void Engine::scatter_inboxes() {
+  // Group the fill buffer by receiver with a stable counting scatter —
+  // within one receiver, messages keep their canonical (sender, send-order)
+  // arrival order, exactly the old per-node push_back order.
+  deliver_arena_.reset();
+  inbox_msgs_ = deliver_arena_.allocate<Message>(fill_count_);
+  // All per-node bookkeeping is scoped to *touched* receivers — last pass's
+  // (zeroing stale lengths) and this pass's (counts and offsets) — so a
+  // sparse pass costs O(messages), not O(n). Receiver blocks are laid out
+  // in first-touch order; each node only ever reads its own span, and
+  // within a span the stable scatter keeps the canonical arrival order.
+  for (NodeId v : inbox_touched_) inbox_len_[v] = 0;
+  inbox_touched_.clear();
+  for (std::size_t i = 0; i < fill_count_; ++i) {
+    if (inbox_len_[fill_to_[i]]++ == 0) inbox_touched_.push_back(fill_to_[i]);
+  }
+  std::size_t offset = 0;
+  for (NodeId v : inbox_touched_) {
+    inbox_offset_[v] = offset;
+    scatter_cursor_[v] = offset;
+    offset += inbox_len_[v];
+  }
+  for (std::size_t i = 0; i < fill_count_; ++i) {
+    inbox_msgs_[scatter_cursor_[fill_to_[i]]++] = fill_msgs_[i];
+  }
+  // Recycle the fill arena for the coming pass, pre-sized to the high-water
+  // message count so the append path never grows in steady state.
+  fill_high_ = std::max(fill_high_, fill_count_);
+  fill_arena_.reset();
+  fill_cap_ = std::max<std::size_t>(64, fill_high_);
+  fill_msgs_ = fill_arena_.allocate<Message>(fill_cap_);
+  fill_to_ = fill_arena_.allocate<NodeId>(fill_cap_);
+  fill_count_ = 0;
+}
+
+void Engine::reset_delivery_buffers() {
+  inbox_touched_.clear();
+  deliver_arena_.reset();
+  inbox_msgs_ = deliver_arena_.allocate<Message>(0);
+  fill_arena_.reset();
+  fill_cap_ = std::max<std::size_t>(64, fill_high_);
+  fill_msgs_ = fill_arena_.allocate<Message>(fill_cap_);
+  fill_to_ = fill_arena_.allocate<NodeId>(fill_cap_);
+  fill_count_ = 0;
 }
 
 }  // namespace qcongest::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -11,6 +12,7 @@
 #include "src/net/graph.hpp"
 #include "src/net/message.hpp"
 #include "src/recover/checkpoint.hpp"
+#include "src/util/arena.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -130,7 +132,10 @@ class Context {
 class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
-  virtual void on_round(Context& ctx, const std::vector<Message>& inbox) = 0;
+  /// The inbox is a view into the engine's per-round delivery arena, valid
+  /// only for the duration of this call — programs that need messages later
+  /// must copy them (the words, not the span).
+  virtual void on_round(Context& ctx, std::span<const Message> inbox) = 0;
 
   // --- Durable-state interface (crash-with-amnesia recovery) -------------
   // A program opts in to recoverability by overriding snapshot/restore (and
@@ -398,6 +403,34 @@ class Engine {
     std::size_t edge_words = 0;
   };
 
+  /// Node v's inbox for the pass being executed: a contiguous span of the
+  /// delivery arena (see scatter_inboxes).
+  std::span<const Message> inbox_span(NodeId v) const {
+    // Untouched receivers keep a stale offset (scatter bookkeeping is
+    // scoped to touched nodes); never form a pointer from one.
+    const std::size_t len = inbox_len_[v];
+    if (len == 0) return {};
+    return {inbox_msgs_ + inbox_offset_[v], len};
+  }
+
+  /// Append one delivery to the fill buffers (receiver-tagged, canonical
+  /// send order). The hot path is two stores and a bump.
+  void enqueue_delivery(NodeId to, const Message& m) {
+    if (fill_count_ == fill_cap_) grow_fill();
+    fill_to_[fill_count_] = to;
+    fill_msgs_[fill_count_] = m;
+    ++fill_count_;
+  }
+  void grow_fill();
+
+  /// Start-of-pass delivery: stable counting scatter of the fill buffers
+  /// into per-receiver contiguous spans of the delivery arena, then recycle
+  /// the fill arena for the next pass. Replaces the old
+  /// vector-of-vectors inbox swap-and-clear.
+  void scatter_inboxes();
+  /// Reset both message arenas to the empty state (run start).
+  void reset_delivery_buffers();
+
   RunResult run_direct(std::span<const std::unique_ptr<NodeProgram>> programs,
                        std::size_t max_rounds);
   /// Amnesia handling for node v restarting at `round`: offer the wipe to
@@ -424,7 +457,7 @@ class Engine {
   /// fault lottery, and the inbox push. Engine thread only.
   void commit(NodeId from, NodeId to, const Word& word, std::size_t slot,
               std::size_t edge_words);
-  void corrupt_payload(Word& word, util::Rng& rng);
+  void corrupt_payload(Word& word, std::uint64_t raw);
   /// True when `node` is inside a crash window at round `round`.
   /// O(log events-on-node) via the per-node sorted crash schedule.
   bool crashed_at(NodeId node, std::size_t round) const;
@@ -450,7 +483,12 @@ class Engine {
   /// restart_round — the O(log) index behind restart_pending.
   std::vector<std::pair<std::size_t, std::size_t>> restart_windows_;
   std::vector<std::size_t> restart_prefix_max_;
-  std::vector<util::Rng> edge_fault_rngs_;  // per directed edge slot
+  /// Rates compiled to fixed-point lottery thresholds (set_fault_plan).
+  struct EdgeThresholds {
+    std::uint64_t drop, corrupt, duplicate;
+  };
+  std::vector<EdgeThresholds> edge_thresholds_;  // per directed edge slot
+  FaultLottery fault_lottery_;  // batched per-edge raw draws
 
   Transport transport_ = Transport::kDirect;
   ReliableParams reliable_params_;
@@ -476,13 +514,40 @@ class Engine {
   std::unique_ptr<util::ThreadPool> pool_;
 
   // Per-run state. All buffers persist across passes and runs so the hot
-  // loop never reallocates: inner vectors are clear()ed, keeping capacity.
-  std::vector<std::vector<Message>> inbox_;       // delivered this pass
-  std::vector<std::vector<Message>> next_inbox_;  // filling for next pass
+  // loop never reallocates in steady state.
+  //
+  // Message delivery is arena-based (DESIGN.md §13): sends of pass r are
+  // appended receiver-tagged to the flat fill buffers (fill arena) in
+  // canonical (sender, send-order); at the start of pass r+1 a stable
+  // counting scatter groups them by receiver into the delivery arena,
+  // giving every node a contiguous inbox span. Both arenas are recycled
+  // each pass with a pointer reset — no per-send push_back reallocation,
+  // no per-node vector clears, no vector-of-vectors pointer chase.
+  util::Arena fill_arena_;
+  util::Arena deliver_arena_;
+  Message* fill_msgs_ = nullptr;  // receiver-tagged sends, canonical order
+  NodeId* fill_to_ = nullptr;
+  std::size_t fill_count_ = 0;
+  std::size_t fill_cap_ = 0;
+  std::size_t fill_high_ = 0;  // high-water message count over all passes
+  Message* inbox_msgs_ = nullptr;           // grouped by receiver
+  std::vector<std::size_t> inbox_offset_;   // per node, into inbox_msgs_
+  std::vector<std::size_t> inbox_len_;      // per node (clearable)
+  std::vector<std::size_t> scatter_cursor_; // scatter write heads, scratch
+  std::vector<NodeId> inbox_touched_;       // receivers with a nonzero inbox
   std::vector<Context> contexts_;
   std::vector<NodeId> active_;    // not-yet-halted nodes, ascending
   std::vector<NodeId> runnable_;  // active minus currently-crashed, per pass
-  std::vector<std::vector<PendingSend>> outbox_;  // per sender, parallel mode
+  // Parallel mode: one flat send buffer per shard (a shard is executed by
+  // exactly one worker, and nodes within it run in ascending order, so the
+  // buffer is already in canonical order); per-node slices locate each
+  // sender's sends for the merge.
+  std::vector<std::vector<PendingSend>> shard_sends_;
+  std::vector<std::uint32_t> shard_of_node_;  // per node, valid for runnable
+  std::vector<std::size_t> shard_bounds_;     // shard s = runnable_[bounds[s], bounds[s+1])
+  std::vector<std::size_t> outbox_off_;  // per node: slice of its shard buffer
+  std::vector<std::size_t> outbox_len_;
+  std::vector<std::size_t> shard_weights_;  // partition scratch, per runnable
   std::vector<unsigned char> crashed_now_;      // node crashed this round
   std::vector<unsigned char> crashed_arrival_;  // node crashed next round
   std::vector<unsigned char> was_crashed_;
@@ -495,8 +560,17 @@ class Engine {
   NodeId current_sender_ = 0;
   std::size_t current_pass_ = 0;
   bool parallel_pass_ = false;   // sends buffer to outboxes instead of committing
-  bool delivered_any_ = false;   // something landed in next_inbox_ this pass
+  bool fast_path_ = false;       // no fault/observer/trace/cut this run
+  bool delivered_any_ = false;   // something was delivered for the next pass
   bool keep_alive_pending_ = false;
 };
+
+// Context accessors run once per node per round (or per send) — inline them
+// so the hot loop pays no cross-TU call.
+inline std::size_t Context::num_nodes() const { return engine_->graph().num_nodes(); }
+inline std::size_t Context::bandwidth() const { return engine_->bandwidth(); }
+inline const std::vector<NodeId>& Context::neighbors() const {
+  return engine_->graph().neighbors(id_);
+}
 
 }  // namespace qcongest::net

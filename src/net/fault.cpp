@@ -1,6 +1,7 @@
 #include "src/net/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -91,6 +92,41 @@ void FaultPlan::validate(std::size_t num_nodes) const {
                                   " overlaps " + window(cur));
     }
   }
+}
+
+std::uint64_t FaultLottery::threshold(double p) {
+  if (p <= 0.0) return kNever;
+  if (p >= 1.0) return kAlways;
+  // x86-64 long double carries a 64-bit mantissa, so p * 2^64 is exact to
+  // the u64 grid; on platforms where long double == double the threshold is
+  // within one part in 2^53 of p, far below any rate a test can resolve.
+  const auto wide =
+      static_cast<unsigned __int128>(std::ldexp(static_cast<long double>(p), 64));
+  if (wide == 0) return kNever;  // p below 2^-64 never fires
+  if (wide >= static_cast<unsigned __int128>(kAlways)) return kAlways - 1;
+  return static_cast<std::uint64_t>(wide);
+}
+
+void FaultLottery::reset(std::uint64_t seed, std::size_t slots) {
+  util::Rng base(seed);
+  streams_.clear();
+  streams_.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) streams_.push_back(base.fork());
+  buffer_.assign(slots * kBatch, 0);
+  pos_.assign(slots, kBatch);  // every buffer starts empty
+}
+
+void FaultLottery::clear() {
+  streams_.clear();
+  buffer_.clear();
+  pos_.clear();
+}
+
+void FaultLottery::refill(std::size_t slot) {
+  std::uint64_t* buf = buffer_.data() + slot * kBatch;
+  auto& engine = streams_[slot].engine();
+  for (std::size_t i = 0; i < kBatch; ++i) buf[i] = engine();
+  pos_[slot] = 0;
 }
 
 }  // namespace qcongest::net

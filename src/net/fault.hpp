@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/net/graph.hpp"
+#include "src/util/rng.hpp"
 
 namespace qcongest::net {
 
@@ -68,6 +69,60 @@ struct FaultPlan {
   /// Throws std::invalid_argument on out-of-range probabilities, unknown
   /// nodes, or overlapping crash windows.
   void validate(std::size_t num_nodes) const;
+};
+
+/// Batched per-edge fault lottery.
+///
+/// One independent raw-u64 stream per directed edge slot, forked in slot
+/// order from the plan seed — an edge's draws depend only on its own
+/// traffic order, never on how sends across edges interleave, which is the
+/// property that keeps faulty runs byte-identical between the serial and
+/// sharded engine paths. Each stream pre-generates draws in blocks of
+/// kBatch into a reusable flat buffer, so the per-(edge, round) cost in the
+/// delivery loop is an index bump and a compare instead of a
+/// std::bernoulli_distribution construction; the k-th draw of a slot is the
+/// same number whether it was buffered or generated on demand.
+///
+/// Bernoulli trials are fixed-point: a draw fires when the raw u64 is
+/// below threshold(p) = round-down(p * 2^64). p <= 0 and p >= 1
+/// short-circuit without consuming a draw, preserving the guarantee that a
+/// plan with all-zero rates leaves every counter and stream byte-identical
+/// to the unfaulted engine.
+class FaultLottery {
+ public:
+  static constexpr std::size_t kBatch = 16;
+  static constexpr std::uint64_t kNever = 0;
+  static constexpr std::uint64_t kAlways = ~std::uint64_t{0};
+
+  /// Fixed-point threshold for probability p (see class comment). Values
+  /// that would collide with the kAlways sentinel clamp one below it.
+  static std::uint64_t threshold(double p);
+
+  /// Fork `slots` per-edge streams from `seed` and mark all buffers empty.
+  void reset(std::uint64_t seed, std::size_t slots);
+  void clear();
+
+  /// Bernoulli trial on `slot`'s stream. kNever / kAlways short-circuit
+  /// without consuming a draw.
+  bool draw(std::size_t slot, std::uint64_t threshold) {
+    if (threshold == kNever) return false;
+    if (threshold == kAlways) return true;
+    return draw_raw(slot) < threshold;
+  }
+
+  /// Next raw u64 of `slot`'s stream (e.g. for corrupt-bit selection).
+  std::uint64_t draw_raw(std::size_t slot) {
+    std::uint32_t& pos = pos_[slot];
+    if (pos == kBatch) refill(slot);
+    return buffer_[slot * kBatch + pos++];
+  }
+
+ private:
+  void refill(std::size_t slot);  // bulk-generate kBatch draws, pos -> 0
+
+  std::vector<util::Rng> streams_;     // one per directed edge slot
+  std::vector<std::uint64_t> buffer_;  // slots x kBatch raw draws
+  std::vector<std::uint32_t> pos_;     // next unconsumed; kBatch = empty
 };
 
 }  // namespace qcongest::net

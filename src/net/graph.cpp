@@ -29,17 +29,6 @@ void Graph::add_edge(NodeId u, NodeId v) {
   ++num_edges_;
 }
 
-std::size_t Graph::neighbor_index(NodeId u, NodeId v) const {
-  if (u >= num_nodes()) {
-    throw std::out_of_range("Graph::neighbor_index: node out of range");
-  }
-  const auto& index = sorted_index_[u];
-  auto at = std::lower_bound(index.begin(), index.end(),
-                             std::make_pair(v, std::size_t{0}));
-  if (at == index.end() || at->first != v) return kUnreachable;
-  return at->second;
-}
-
 bool Graph::has_edge(NodeId u, NodeId v) const {
   return v < num_nodes() && neighbor_index(u, v) != kUnreachable;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,11 +37,28 @@ class Graph {
   std::size_t degree(NodeId v) const { return neighbors(v).size(); }
 
   /// Position of v in neighbors(u), or kUnreachable when {u, v} is not an
-  /// edge. O(log deg(u)) via the sorted neighbor-index table maintained by
-  /// add_edge — the engine's per-send edge-slot lookup, so it must never
-  /// fall back to a linear neighbor scan. Read-only and safe to call from
-  /// concurrent shards.
-  std::size_t neighbor_index(NodeId u, NodeId v) const;
+  /// edge. The engine's per-send edge-slot lookup: inline, with a short
+  /// linear scan for small degrees (the common case, cheaper than binary-
+  /// search dispatch) and O(log deg(u)) via the sorted neighbor-index table
+  /// otherwise — it must never degrade to a full linear neighbor scan.
+  /// Read-only and safe to call from concurrent shards.
+  std::size_t neighbor_index(NodeId u, NodeId v) const {
+    if (u >= num_nodes()) {
+      throw std::out_of_range("Graph::neighbor_index: node out of range");
+    }
+    const auto& index = sorted_index_[u];
+    if (index.size() <= 8) {
+      for (const auto& [neighbor, pos] : index) {
+        if (neighbor == v) return pos;
+        if (neighbor > v) break;
+      }
+      return kUnreachable;
+    }
+    auto at = std::lower_bound(index.begin(), index.end(),
+                               std::make_pair(v, std::size_t{0}));
+    if (at == index.end() || at->first != v) return kUnreachable;
+    return at->second;
+  }
 
   // --- Centralized ground-truth analysis (not visible to protocols) -------
 

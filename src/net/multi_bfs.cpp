@@ -25,7 +25,7 @@ class MultiBfsProgram final : public NodeProgram {
   const std::vector<std::size_t>& dist() const { return dist_; }
   const std::vector<NodeId>& parent() const { return parent_; }
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     if (ctx.round() == 0) {
       dist_.assign(sources_->size(), kUnreachable);
       parent_.assign(sources_->size(), kUnreachable);
@@ -155,7 +155,7 @@ class EccEchoProgram final : public NodeProgram {
 
   const std::vector<std::size_t>& eccentricity() const { return ecc_; }
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     const std::size_t slots = sources_->size();
     const auto& adj = ctx.neighbors();
     if (ctx.round() == 0) {

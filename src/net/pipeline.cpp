@@ -1,7 +1,7 @@
 #include "src/net/pipeline.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
@@ -20,11 +20,26 @@ class DowncastProgram final : public NodeProgram {
  public:
   DowncastProgram(const BfsTree& tree, const std::vector<std::int64_t>* payload,
                   bool quantum, bool pipelined)
-      : tree_(&tree), payload_(payload), quantum_(quantum), pipelined_(pipelined) {}
+      : tree_(&tree), payload_(payload), quantum_(quantum), pipelined_(pipelined) {
+    received_.reserve(payload->size());
+  }
+
+  /// Reset to a fresh round-0 state for a new run (pooled reuse); retains
+  /// the received_ capacity so steady-state runs allocate nothing.
+  void reinit(const BfsTree& tree, const std::vector<std::int64_t>* payload,
+              bool quantum, bool pipelined) {
+    tree_ = &tree;
+    payload_ = payload;
+    quantum_ = quantum;
+    pipelined_ = pipelined;
+    received_.clear();
+    received_.reserve(payload->size());
+    next_to_send_ = 0;
+  }
 
   const std::vector<std::int64_t>& received() const { return received_; }
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     const NodeId v = ctx.id();
     if (v == tree_->root && received_.empty() && ctx.round() == 0) {
       received_ = *payload_;  // the root "receives" its own payload at once
@@ -48,6 +63,15 @@ class DowncastProgram final : public NodeProgram {
                          received_[next_to_send_], quantum_});
       }
       ++next_to_send_;
+    }
+    // Received and forwarded everything: nothing can arrive here again
+    // (the parent sends exactly |payload| words), so drop out of the
+    // schedule instead of idling until the deepest leaf finishes. The pass
+    // count and message schedule are untouched — only idle on_round calls
+    // disappear.
+    if (received_.size() == payload_->size() &&
+        next_to_send_ == received_.size()) {
+      ctx.halt();
     }
   }
 
@@ -78,31 +102,54 @@ class DowncastProgram final : public NodeProgram {
   std::size_t next_to_send_ = 0;
 };
 
+/// Rebind `ws` to `tree`, discarding pooled programs built for another tree
+/// (or another node count — both pools are per-node arrays).
+void bind_workspace(PipelineWorkspace& ws, const BfsTree& tree) {
+  if (ws.bound_tree == &tree) return;
+  ws.downcast_programs.clear();
+  ws.convergecast_programs.clear();
+  ws.bound_tree = &tree;
+}
+
 DowncastResult run_downcast(Engine& engine, const BfsTree& tree,
                             const std::vector<std::int64_t>& payload, bool quantum,
-                            bool pipelined) {
+                            bool pipelined, PipelineWorkspace* ws,
+                            bool collect_received) {
   const std::size_t n = engine.graph().num_nodes();
   if (payload.empty()) throw std::invalid_argument("downcast: empty payload");
-  std::vector<std::unique_ptr<NodeProgram>> programs;
-  programs.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    programs.push_back(
-        std::make_unique<DowncastProgram>(tree, &payload, quantum, pipelined));
+  std::vector<std::unique_ptr<NodeProgram>> local;
+  std::vector<std::unique_ptr<NodeProgram>>* programs = &local;
+  if (ws != nullptr) {
+    bind_workspace(*ws, tree);
+    programs = &ws->downcast_programs;
+  }
+  if (programs->size() == n) {
+    for (NodeId v = 0; v < n; ++v) {
+      static_cast<DowncastProgram&>(*(*programs)[v])
+          .reinit(tree, &payload, quantum, pipelined);
+    }
+  } else {
+    programs->clear();
+    programs->reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      programs->push_back(
+          std::make_unique<DowncastProgram>(tree, &payload, quantum, pipelined));
+    }
   }
   engine.set_program_factory([&tree, &payload, quantum, pipelined](NodeId) {
     return std::make_unique<DowncastProgram>(tree, &payload, quantum, pipelined);
   });
   DowncastResult result;
   std::size_t limit = (tree.height + 2) * (payload.size() + 2) + 16;
-  result.cost = engine.run(programs, limit);
+  result.cost = engine.run(*programs, limit);
   if (!result.cost.completed) throw std::logic_error("downcast: did not complete");
-  result.received.reserve(n);
+  if (collect_received) result.received.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    auto& p = static_cast<DowncastProgram&>(*programs[v]);
+    auto& p = static_cast<DowncastProgram&>(*(*programs)[v]);
     if (p.received().size() != payload.size()) {
       throw std::logic_error("downcast: node missed words");
     }
-    result.received.push_back(p.received());
+    if (collect_received) result.received.push_back(p.received());
   }
   return result;
 }
@@ -112,31 +159,63 @@ DowncastResult run_downcast(Engine& engine, const BfsTree& tree,
 /// i, the node combines and enqueues item i for its parent. One word per
 /// round flows on each tree edge; items are pipelined, chunks of one item
 /// are not combinable until complete.
+///
+/// Per-child state lives in dense arrays indexed by the child's slot in a
+/// sorted copy of the tree children list (the earlier hash-map layout
+/// dominated the framework benchmarks' profile). The snapshot byte stream is
+/// unchanged: entries are emitted sorted by child id, only for children that
+/// have been touched, exactly as the sorted-map serialization did.
 class ConvergecastProgram final : public NodeProgram {
  public:
-  ConvergecastProgram(const BfsTree& tree, std::vector<std::int64_t> own,
+  ConvergecastProgram(const BfsTree& tree, NodeId self, std::vector<std::int64_t> own,
                       std::size_t value_words, const CombineOp* op, bool quantum)
       : tree_(&tree),
+        children_(tree.children[self]),
         acc_(std::move(own)),
         value_words_(value_words),
         op_(op),
         quantum_(quantum),
         children_done_(acc_.size(), 0),
-        chunks_seen_(acc_.size()) {}
+        chunks_seen_(acc_.size() * children_.size(), 0),
+        pending_value_(children_.size(), 0),
+        pending_has_(children_.size(), 0) {
+    std::sort(children_.begin(), children_.end());
+  }
+
+  /// Reset to a fresh round-0 state for a new run with new owned values
+  /// (pooled reuse — same tree/node, so the children list is kept). All
+  /// per-item/per-child arrays are reassigned in place, so steady-state runs
+  /// with a stable item count allocate nothing.
+  void reinit(const std::vector<std::int64_t>& own, std::size_t value_words,
+              const CombineOp* op, bool quantum) {
+    acc_.assign(own.begin(), own.end());
+    value_words_ = value_words;
+    op_ = op;
+    quantum_ = quantum;
+    children_done_.assign(acc_.size(), 0);
+    chunks_seen_.assign(acc_.size() * children_.size(), 0);
+    pending_value_.assign(children_.size(), 0);
+    pending_has_.assign(children_.size(), 0);
+    next_ready_ = 0;
+    outbox_.clear();
+    outbox_head_ = 0;
+  }
 
   const std::vector<std::int64_t>& totals() const { return acc_; }
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     const NodeId v = ctx.id();
-    const std::size_t num_children = tree_->children[v].size();
+    const std::size_t num_children = children_.size();
 
     for (const Message& m : inbox) {
       if (m.word.tag == kTagConv) {
         auto item = static_cast<std::size_t>(m.word.a);
-        pending_value_[m.from] = m.word.b;
-        note_chunk(m.from, item);
+        const std::size_t slot = child_slot(m.from);
+        pending_value_[slot] = m.word.b;
+        pending_has_[slot] = 1;
+        note_chunk(slot, item);
       } else if (m.word.tag == kTagConvPad) {
-        note_chunk(m.from, static_cast<std::size_t>(m.word.a));
+        note_chunk(child_slot(m.from), static_cast<std::size_t>(m.word.a));
       }
     }
 
@@ -154,48 +233,65 @@ class ConvergecastProgram final : public NodeProgram {
       ++next_ready_;
     }
 
-    for (std::size_t budget = ctx.bandwidth(); budget > 0 && !outbox_.empty();
-         --budget) {
-      ctx.send(tree_->parent[v], outbox_.front());
-      outbox_.pop_front();
+    for (std::size_t budget = ctx.bandwidth();
+         budget > 0 && outbox_head_ < outbox_.size(); --budget) {
+      ctx.send(tree_->parent[v], outbox_[outbox_head_]);
+      ++outbox_head_;
+    }
+    if (outbox_head_ == outbox_.size()) {
+      outbox_.clear();
+      outbox_head_ = 0;
+    }
+    // Every item combined and (for non-roots) forwarded: children have
+    // halted before us — values only flow child to parent — so nothing can
+    // arrive here again and the node can leave the schedule. Pass count and
+    // message schedule are untouched.
+    if (next_ready_ == acc_.size() && outbox_.empty()) {
+      ctx.halt();
     }
   }
 
-  // Unordered maps are serialized with keys sorted so the byte stream is
-  // independent of hash-table iteration order; on_round only ever looks the
-  // maps up by key, so the rebuilt layout is observationally identical.
+  // Per-child entries are serialized sorted by child id and only for touched
+  // children, matching the byte stream the earlier sorted-map serialization
+  // produced; on_round only ever looks per-child state up by child id, so
+  // the rebuilt layout is observationally identical.
   bool snapshot(std::vector<std::int64_t>& out) const override {
     const std::size_t items = acc_.size();
+    const std::size_t nc = children_.size();
     out.push_back(static_cast<std::int64_t>(items));
     out.insert(out.end(), acc_.begin(), acc_.end());
     for (std::size_t done : children_done_) {
       out.push_back(static_cast<std::int64_t>(done));
     }
     out.push_back(static_cast<std::int64_t>(next_ready_));
-    for (const auto& per_child : chunks_seen_) {  // qlint-allow(unordered-iter): iterates the outer vector, one map per child; each map's entries are sorted below before use
-      std::vector<std::pair<NodeId, std::size_t>> entries(
-          per_child.begin(), per_child.end());  // qlint-allow(unordered-iter): sorted next line
-      std::sort(entries.begin(), entries.end());
-      out.push_back(static_cast<std::int64_t>(entries.size()));
-      for (const auto& [child, seen] : entries) {
-        out.push_back(static_cast<std::int64_t>(child));
-        out.push_back(static_cast<std::int64_t>(seen));
+    for (std::size_t i = 0; i < items; ++i) {
+      std::size_t touched = 0;
+      for (std::size_t s = 0; s < nc; ++s) {
+        if (chunks_seen_[i * nc + s] != 0) ++touched;
+      }
+      out.push_back(static_cast<std::int64_t>(touched));
+      for (std::size_t s = 0; s < nc; ++s) {
+        if (chunks_seen_[i * nc + s] == 0) continue;
+        out.push_back(static_cast<std::int64_t>(children_[s]));
+        out.push_back(static_cast<std::int64_t>(chunks_seen_[i * nc + s]));
       }
     }
-    std::vector<std::pair<NodeId, std::int64_t>> sorted_pending(
-        pending_value_.begin(), pending_value_.end());  // qlint-allow(unordered-iter): sorted next line
-    std::sort(sorted_pending.begin(), sorted_pending.end());
-    out.push_back(static_cast<std::int64_t>(sorted_pending.size()));
-    for (const auto& [child, value] : sorted_pending) {
-      out.push_back(static_cast<std::int64_t>(child));
-      out.push_back(value);
+    std::size_t touched_pending = 0;
+    for (std::size_t s = 0; s < nc; ++s) {
+      if (pending_has_[s] != 0) ++touched_pending;
     }
-    out.push_back(static_cast<std::int64_t>(outbox_.size()));
-    for (const Word& w : outbox_) {
-      out.push_back(w.tag);
-      out.push_back(w.a);
-      out.push_back(w.b);
-      out.push_back(w.quantum ? 1 : 0);
+    out.push_back(static_cast<std::int64_t>(touched_pending));
+    for (std::size_t s = 0; s < nc; ++s) {
+      if (pending_has_[s] == 0) continue;
+      out.push_back(static_cast<std::int64_t>(children_[s]));
+      out.push_back(pending_value_[s]);
+    }
+    out.push_back(static_cast<std::int64_t>(outbox_.size() - outbox_head_));
+    for (std::size_t i = outbox_head_; i < outbox_.size(); ++i) {
+      out.push_back(outbox_[i].tag);
+      out.push_back(outbox_[i].a);
+      out.push_back(outbox_[i].b);
+      out.push_back(outbox_[i].quantum ? 1 : 0);
     }
     return true;
   }
@@ -211,6 +307,7 @@ class ConvergecastProgram final : public NodeProgram {
     std::int64_t w = 0;
     if (!take(w) || static_cast<std::size_t>(w) != acc_.size()) return false;
     const std::size_t items = acc_.size();
+    const std::size_t nc = children_.size();
     std::vector<std::int64_t> acc(items);
     std::vector<std::size_t> done(items);
     for (std::size_t i = 0; i < items; ++i) {
@@ -222,26 +319,32 @@ class ConvergecastProgram final : public NodeProgram {
     }
     if (!take(w)) return false;
     const auto next_ready = static_cast<std::size_t>(w);
-    std::vector<std::unordered_map<NodeId, std::size_t>> chunks(items);
+    std::vector<std::uint32_t> chunks(items * nc, 0);
     for (std::size_t i = 0; i < items; ++i) {
       if (!take(w)) return false;
       for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
         std::int64_t child = 0;
         std::int64_t seen = 0;
         if (!take(child) || !take(seen)) return false;
-        chunks[i][static_cast<NodeId>(child)] = static_cast<std::size_t>(seen);
+        const std::size_t slot = find_slot(static_cast<NodeId>(child));
+        if (slot == nc) return false;
+        chunks[i * nc + slot] = static_cast<std::uint32_t>(seen);
       }
     }
-    std::unordered_map<NodeId, std::int64_t> pending;
+    std::vector<std::int64_t> pending(nc, 0);
+    std::vector<std::uint8_t> pending_has(nc, 0);
     if (!take(w)) return false;
     for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
       std::int64_t child = 0;
       std::int64_t value = 0;
       if (!take(child) || !take(value)) return false;
-      pending[static_cast<NodeId>(child)] = value;
+      const std::size_t slot = find_slot(static_cast<NodeId>(child));
+      if (slot == nc) return false;
+      pending[slot] = value;
+      pending_has[slot] = 1;
     }
     if (!take(w)) return false;
-    std::deque<Word> outbox;
+    std::vector<Word> outbox;
     for (auto entries = static_cast<std::size_t>(w); entries > 0; --entries) {
       std::int64_t tag = 0;
       std::int64_t a = 0;
@@ -256,32 +359,63 @@ class ConvergecastProgram final : public NodeProgram {
     next_ready_ = next_ready;
     chunks_seen_ = std::move(chunks);
     pending_value_ = std::move(pending);
+    pending_has_ = std::move(pending_has);
     outbox_ = std::move(outbox);
+    outbox_head_ = 0;
     return true;
   }
 
   std::uint32_t state_version() const override { return 1; }
 
  private:
-  void note_chunk(NodeId child, std::size_t item) {
+  /// Slot of `child` in the sorted children list, or children_.size().
+  /// Tree fanout is tiny in practice (1 on the bench path graphs), so a
+  /// short linear scan beats binary-search dispatch on the hot receive loop.
+  std::size_t find_slot(NodeId child) const {
+    const std::size_t nc = children_.size();
+    if (nc <= 8) {
+      for (std::size_t slot = 0; slot < nc; ++slot) {
+        if (children_[slot] == child) return slot;
+        if (children_[slot] > child) break;
+      }
+      return nc;
+    }
+    auto it = std::lower_bound(children_.begin(), children_.end(), child);
+    if (it == children_.end() || *it != child) return nc;
+    return static_cast<std::size_t>(it - children_.begin());
+  }
+
+  std::size_t child_slot(NodeId child) const {
+    const std::size_t slot = find_slot(child);
+    if (slot == children_.size()) {
+      throw std::logic_error("convergecast: chunk from non-child");
+    }
+    return slot;
+  }
+
+  void note_chunk(std::size_t slot, std::size_t item) {
     if (item >= acc_.size()) throw std::logic_error("convergecast: bad item");
-    std::size_t seen = ++chunks_seen_[item][child];
+    std::uint32_t seen = ++chunks_seen_[item * children_.size() + slot];
     if (seen == value_words_) {
-      acc_[item] = (*op_)(acc_[item], pending_value_[child]);
+      pending_has_[slot] = 1;  // matches the old map's default-insert on combine
+      acc_[item] = (*op_)(acc_[item], pending_value_[slot]);
       ++children_done_[item];
     }
   }
 
   const BfsTree* tree_;
+  std::vector<NodeId> children_;  // sorted; dense slot index for per-child state
   std::vector<std::int64_t> acc_;
   std::size_t value_words_;  // qlint-allow(unsnapshotted-state): factory-reconstructed config
   const CombineOp* op_;
   bool quantum_;  // qlint-allow(unsnapshotted-state): factory-reconstructed config
   std::vector<std::size_t> children_done_;
-  std::vector<std::unordered_map<NodeId, std::size_t>> chunks_seen_;
-  std::unordered_map<NodeId, std::int64_t> pending_value_;
+  std::vector<std::uint32_t> chunks_seen_;   // items x children_, row-major
+  std::vector<std::int64_t> pending_value_;  // per child slot
+  std::vector<std::uint8_t> pending_has_;    // per child slot: serialize entry?
   std::size_t next_ready_ = 0;
-  std::deque<Word> outbox_;
+  std::vector<Word> outbox_;
+  std::size_t outbox_head_ = 0;  // outbox_[0, head) already sent
 };
 
 }  // namespace
@@ -289,19 +423,31 @@ class ConvergecastProgram final : public NodeProgram {
 DowncastResult pipelined_downcast(Engine& engine, const BfsTree& tree,
                                   const std::vector<std::int64_t>& payload,
                                   bool quantum) {
-  return run_downcast(engine, tree, payload, quantum, /*pipelined=*/true);
+  return run_downcast(engine, tree, payload, quantum, /*pipelined=*/true,
+                      /*ws=*/nullptr, /*collect_received=*/true);
+}
+
+DowncastResult pipelined_downcast(Engine& engine, const BfsTree& tree,
+                                  const std::vector<std::int64_t>& payload,
+                                  bool quantum, PipelineWorkspace& ws,
+                                  bool collect_received) {
+  return run_downcast(engine, tree, payload, quantum, /*pipelined=*/true, &ws,
+                      collect_received);
 }
 
 DowncastResult unpipelined_downcast(Engine& engine, const BfsTree& tree,
                                     const std::vector<std::int64_t>& payload,
                                     bool quantum) {
-  return run_downcast(engine, tree, payload, quantum, /*pipelined=*/false);
+  return run_downcast(engine, tree, payload, quantum, /*pipelined=*/false,
+                      /*ws=*/nullptr, /*collect_received=*/true);
 }
 
-ConvergecastResult pipelined_convergecast(
+namespace {
+
+ConvergecastResult run_convergecast(
     Engine& engine, const BfsTree& tree,
     const std::vector<std::vector<std::int64_t>>& values, std::size_t value_words,
-    const CombineOp& op, bool quantum) {
+    const CombineOp& op, bool quantum, PipelineWorkspace* ws) {
   const std::size_t n = engine.graph().num_nodes();
   if (values.size() != n) {
     throw std::invalid_argument("convergecast: one value vector per node");
@@ -315,22 +461,52 @@ ConvergecastResult pipelined_convergecast(
   }
   if (items == 0) throw std::invalid_argument("convergecast: no items");
 
-  std::vector<std::unique_ptr<NodeProgram>> programs;
-  programs.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    programs.push_back(std::make_unique<ConvergecastProgram>(tree, values[v],
-                                                             value_words, &op, quantum));
+  std::vector<std::unique_ptr<NodeProgram>> local;
+  std::vector<std::unique_ptr<NodeProgram>>* programs = &local;
+  if (ws != nullptr) {
+    bind_workspace(*ws, tree);
+    programs = &ws->convergecast_programs;
+  }
+  if (programs->size() == n) {
+    for (NodeId v = 0; v < n; ++v) {
+      static_cast<ConvergecastProgram&>(*(*programs)[v])
+          .reinit(values[v], value_words, &op, quantum);
+    }
+  } else {
+    programs->clear();
+    programs->reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      programs->push_back(std::make_unique<ConvergecastProgram>(
+          tree, v, values[v], value_words, &op, quantum));
+    }
   }
   engine.set_program_factory([&tree, &values, value_words, &op, quantum](NodeId v) {
-    return std::make_unique<ConvergecastProgram>(tree, values[v], value_words, &op,
+    return std::make_unique<ConvergecastProgram>(tree, v, values[v], value_words, &op,
                                                  quantum);
   });
   ConvergecastResult result;
   std::size_t limit = (tree.height + items + 2) * (value_words + 1) * 2 + 16;
-  result.cost = engine.run(programs, limit);
+  result.cost = engine.run(*programs, limit);
   if (!result.cost.completed) throw std::logic_error("convergecast: did not complete");
-  result.totals = static_cast<ConvergecastProgram&>(*programs[tree.root]).totals();
+  result.totals = static_cast<ConvergecastProgram&>(*(*programs)[tree.root]).totals();
   return result;
+}
+
+}  // namespace
+
+ConvergecastResult pipelined_convergecast(
+    Engine& engine, const BfsTree& tree,
+    const std::vector<std::vector<std::int64_t>>& values, std::size_t value_words,
+    const CombineOp& op, bool quantum) {
+  return run_convergecast(engine, tree, values, value_words, op, quantum,
+                          /*ws=*/nullptr);
+}
+
+ConvergecastResult pipelined_convergecast(
+    Engine& engine, const BfsTree& tree,
+    const std::vector<std::vector<std::int64_t>>& values, std::size_t value_words,
+    const CombineOp& op, bool quantum, PipelineWorkspace& ws) {
+  return run_convergecast(engine, tree, values, value_words, op, quantum, &ws);
 }
 
 }  // namespace qcongest::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/net/bfs.hpp"
@@ -15,6 +16,21 @@ struct DowncastResult {
   RunResult cost;
 };
 
+/// Reusable scratch for repeated pipeline runs over one engine/tree pair
+/// (the Theorem 8 oracle runs four per charged batch). Pools the per-node
+/// program objects and payload matrices so steady-state batches allocate
+/// nothing: programs are reinitialized in place before each run instead of
+/// reconstructed. The workspace binds to the first tree it is used with and
+/// discards its pools if the tree (or node count) changes. Not thread-safe;
+/// one workspace per caller. Treat the members as opaque — they are managed
+/// by the pipeline functions.
+struct PipelineWorkspace {
+  std::vector<std::unique_ptr<NodeProgram>> downcast_programs;
+  std::vector<std::unique_ptr<NodeProgram>> convergecast_programs;
+  std::vector<std::vector<std::int64_t>> value_scratch;
+  const BfsTree* bound_tree = nullptr;
+};
+
 /// Lemma 7's communication pattern: the root streams `payload` down the BFS
 /// tree, one word per edge per round, fully pipelined — a node forwards word
 /// i the round after receiving it, while word i+1 is still in flight.
@@ -23,6 +39,15 @@ struct DowncastResult {
 DowncastResult pipelined_downcast(Engine& engine, const BfsTree& tree,
                                   const std::vector<std::int64_t>& payload,
                                   bool quantum);
+
+/// Pooled variant for hot loops: programs come from `ws` (reinitialized in
+/// place, zero steady-state allocation). The per-node received copies are
+/// only collected into the result when `collect_received` is set — cost-only
+/// callers skip n payload copies per run.
+DowncastResult pipelined_downcast(Engine& engine, const BfsTree& tree,
+                                  const std::vector<std::int64_t>& payload,
+                                  bool quantum, PipelineWorkspace& ws,
+                                  bool collect_received = false);
 
 /// Ablation baseline: the naive unpipelined downcast, where a node only
 /// starts forwarding after receiving the *entire* payload. Rounds:
@@ -50,5 +75,12 @@ ConvergecastResult pipelined_convergecast(Engine& engine, const BfsTree& tree,
                                           const std::vector<std::vector<std::int64_t>>& values,
                                           std::size_t value_words, const CombineOp& op,
                                           bool quantum);
+
+/// Pooled variant for hot loops: programs come from `ws`, reinitialized in
+/// place (zero steady-state allocation per run).
+ConvergecastResult pipelined_convergecast(Engine& engine, const BfsTree& tree,
+                                          const std::vector<std::vector<std::int64_t>>& values,
+                                          std::size_t value_words, const CombineOp& op,
+                                          bool quantum, PipelineWorkspace& ws);
 
 }  // namespace qcongest::net

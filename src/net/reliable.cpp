@@ -150,7 +150,7 @@ class ReliableProgram final : public NodeProgram {
   ReliableProgram(NodeProgram& inner, Engine& engine, const ReliableParams& params)
       : inner_(&inner), engine_(&engine), params_(params) {}
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     if (!initialized_) initialize(ctx);
     // A node whose recovery failed (unreachable send-log round) goes silent
     // forever — the closest survivable-model analogue of a crash-stop.
@@ -447,7 +447,7 @@ class ReliableProgram final : public NodeProgram {
   /// that replayed sends stay off the wire (see inner_send). State updates
   /// (next_round_, momentum_, fences, checkpoints) are identical, which is
   /// what makes a completed replay land exactly on the pre-crash trajectory.
-  void run_inner(std::size_t r, const std::vector<Message>& inbox) {
+  void run_inner(std::size_t r, std::span<const Message> inbox) {
     inner_ctx_.set_round(r);
     inner_keep_alive_ = false;
     sent_any_ = false;

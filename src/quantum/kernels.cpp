@@ -1,0 +1,97 @@
+#include "src/quantum/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace qcongest::quantum::kernels {
+namespace {
+
+// --- Scalar oracle ----------------------------------------------------------
+//
+// These are the historical Statevector::apply loops verbatim. Strided pair
+// iteration: the 0-side indices of the (b, b | 1<<target) pairs are exactly
+// the runs [base, base + stride) for base stepping by 2 * stride, so the
+// inner loop is branch-free — no per-index bit test — and walks two
+// contiguous ranges the hardware prefetcher likes. No structure detection
+// here on purpose: the oracle stays the plain formula every backend is
+// diffed against.
+
+void scalar_pairs(Amplitude* amps, std::size_t dim, std::size_t stride,
+                  const Gate1Coeffs& g) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    Amplitude* lo = amps + base;
+    Amplitude* hi = lo + stride;
+    for (std::size_t off = 0; off < stride; ++off) {
+      const Amplitude a0 = lo[off];
+      const Amplitude a1 = hi[off];
+      lo[off] = g.g00 * a0 + g.g01 * a1;
+      hi[off] = g.g10 * a0 + g.g11 * a1;
+    }
+  }
+}
+
+void scalar_pairs_controlled(Amplitude* amps, std::size_t dim,
+                             std::size_t stride, const Gate1Coeffs& g,
+                             BasisState control_mask) {
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    Amplitude* lo = amps + base;
+    Amplitude* hi = lo + stride;
+    for (std::size_t off = 0; off < stride; ++off) {
+      if (((base + off) & control_mask) != control_mask) continue;
+      const Amplitude a0 = lo[off];
+      const Amplitude a1 = hi[off];
+      lo[off] = g.g00 * a0 + g.g01 * a1;
+      hi[off] = g.g10 * a0 + g.g11 * a1;
+    }
+  }
+}
+
+constexpr KernelOps kScalarOps{scalar_pairs, scalar_pairs_controlled};
+
+Backend detect_backend() {
+  const char* force = std::getenv("QCONGEST_FORCE_SCALAR");
+  if (force != nullptr && std::strcmp(force, "0") != 0) return Backend::kScalar;
+  if (avx2_ops_or_null() != nullptr) return Backend::kAvx2;
+  if (neon_ops_or_null() != nullptr) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+const KernelOps* ops_for(Backend b) {
+  switch (b) {
+    case Backend::kAvx2:
+      return avx2_ops_or_null();
+    case Backend::kNeon:
+      return neon_ops_or_null();
+    case Backend::kScalar:
+      break;
+  }
+  return &kScalarOps;
+}
+
+}  // namespace
+
+const KernelOps& scalar_ops() { return kScalarOps; }
+
+Backend active_backend() {
+  static const Backend backend = detect_backend();
+  return backend;
+}
+
+const KernelOps& active_ops() {
+  static const KernelOps* ops = ops_for(active_backend());
+  return *ops;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+}  // namespace qcongest::quantum::kernels

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/quantum/kernels.hpp"
+
 namespace qcongest::quantum {
 
 Statevector::Statevector(unsigned num_qubits) : Statevector(num_qubits, 0) {}
@@ -56,25 +58,12 @@ double Statevector::fidelity(const Statevector& other) const {
 
 void Statevector::apply(const Gate1& gate, unsigned target) {
   check_qubit(target);
-  // Strided pair iteration: the 0-side indices of the (b, b | 1<<target)
-  // pairs are exactly the runs [base, base + stride) for base stepping by
-  // 2 * stride, so the inner loop is branch-free — no per-index bit test —
-  // and walks two contiguous ranges the hardware prefetcher likes.
-  const std::size_t stride = std::size_t{1} << target;
-  const std::size_t dim = amplitudes_.size();
-  const Amplitude g00 = gate(0, 0), g01 = gate(0, 1);
-  const Amplitude g10 = gate(1, 0), g11 = gate(1, 1);
-  Amplitude* amps = amplitudes_.data();
-  for (std::size_t base = 0; base < dim; base += 2 * stride) {
-    Amplitude* lo = amps + base;
-    Amplitude* hi = lo + stride;
-    for (std::size_t off = 0; off < stride; ++off) {
-      const Amplitude a0 = lo[off];
-      const Amplitude a1 = hi[off];
-      lo[off] = g00 * a0 + g01 * a1;
-      hi[off] = g10 * a0 + g11 * a1;
-    }
-  }
+  // The strided pair walk lives in the kernel layer (runtime-dispatched
+  // AVX2 / NEON / scalar); the scalar backend is the historical loop and
+  // the oracle the vector backends are tested against.
+  const kernels::Gate1Coeffs g{gate(0, 0), gate(0, 1), gate(1, 0), gate(1, 1)};
+  kernels::active_ops().apply_pairs(amplitudes_.data(), amplitudes_.size(),
+                                    std::size_t{1} << target, g);
 }
 
 void Statevector::apply_controlled(const Gate1& gate,
@@ -87,25 +76,11 @@ void Statevector::apply_controlled(const Gate1& gate,
     if (c == target) throw std::invalid_argument("control equals target");
     control_mask |= BasisState{1} << c;
   }
-  // Same strided pair walk as apply(); only the control test remains in the
-  // inner loop (it cannot be folded into the stride pattern for arbitrary
-  // control sets without enumerating subcubes).
-  const std::size_t stride = std::size_t{1} << target;
-  const std::size_t dim = amplitudes_.size();
-  const Amplitude g00 = gate(0, 0), g01 = gate(0, 1);
-  const Amplitude g10 = gate(1, 0), g11 = gate(1, 1);
-  Amplitude* amps = amplitudes_.data();
-  for (std::size_t base = 0; base < dim; base += 2 * stride) {
-    Amplitude* lo = amps + base;
-    Amplitude* hi = lo + stride;
-    for (std::size_t off = 0; off < stride; ++off) {
-      if (((base + off) & control_mask) != control_mask) continue;
-      const Amplitude a0 = lo[off];
-      const Amplitude a1 = hi[off];
-      lo[off] = g00 * a0 + g01 * a1;
-      hi[off] = g10 * a0 + g11 * a1;
-    }
-  }
+  const kernels::Gate1Coeffs g{gate(0, 0), gate(0, 1), gate(1, 0), gate(1, 1)};
+  kernels::active_ops().apply_pairs_controlled(amplitudes_.data(),
+                                               amplitudes_.size(),
+                                               std::size_t{1} << target, g,
+                                               control_mask);
 }
 
 void Statevector::cnot(unsigned control, unsigned target) {

@@ -1,0 +1,71 @@
+#include "src/util/arena.hpp"
+
+#include <algorithm>
+
+namespace qcongest::util {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_bytes) {
+  std::size_t size = std::max<std::size_t>(initial_bytes, 64);
+  Block block{std::make_unique<std::byte[]>(size), size};
+  cursor_ = block.storage.get();
+  end_ = cursor_ + size;
+  capacity_ = size;
+  blocks_.push_back(std::move(block));
+}
+
+void* Arena::allocate_bytes(std::size_t bytes, std::size_t align) {
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  std::size_t padding = align_up(addr, align) - addr;
+  if (padding + bytes > static_cast<std::size_t>(end_ - cursor_)) {
+    return overflow(bytes, align);
+  }
+  std::byte* out = cursor_ + padding;
+  cursor_ = out + bytes;
+  bytes_used_ += bytes;
+  return out;
+}
+
+void* Arena::overflow(std::size_t bytes, std::size_t align) {
+  // Out-of-arena fallback: a dedicated spill block sized to at least the
+  // request and at least double the current capacity (geometric growth keeps
+  // the number of spills per cycle logarithmic). reset() coalesces.
+  std::size_t size = std::max(bytes + align, capacity_ * 2);
+  Block block{std::make_unique<std::byte[]>(size), size};
+  cursor_ = block.storage.get();
+  end_ = cursor_ + size;
+  capacity_ += size;
+  blocks_.push_back(std::move(block));
+
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  std::byte* out = cursor_ + (align_up(addr, align) - addr);
+  cursor_ = out + bytes;
+  bytes_used_ += bytes;
+  return out;
+}
+
+void Arena::reset() {
+  high_water_ = std::max(high_water_, bytes_used_);
+  if (blocks_.size() > 1) {
+    // The cycle spilled: coalesce into one block covering the high-water
+    // mark (with slack for alignment padding) so later cycles stay on the
+    // single-block bump path.
+    std::size_t size = std::max(high_water_ + high_water_ / 2 + 64, capacity_);
+    blocks_.clear();
+    Block block{std::make_unique<std::byte[]>(size), size};
+    capacity_ = size;
+    blocks_.push_back(std::move(block));
+  }
+  cursor_ = blocks_.front().storage.get();
+  end_ = cursor_ + blocks_.front().size;
+  bytes_used_ = 0;
+}
+
+}  // namespace qcongest::util

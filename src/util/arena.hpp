@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace qcongest::util {
+
+/// Bump allocator for per-round scratch storage — the allocation-discipline
+/// backbone of the engine's message delivery hot path.
+///
+/// Allocation is a pointer bump inside the current block; reset() reclaims
+/// every allocation at once without returning memory to the system, so a
+/// steady-state producer (one reset per engine pass) allocates from the OS
+/// only while it is still discovering its high-water mark. When a reset
+/// finds that the arena overflowed into spill blocks, the blocks are
+/// coalesced into one block sized to the high-water mark, restoring the
+/// single-block fast path for every later cycle.
+///
+/// Requests larger than the current block grow the arena (out-of-arena
+/// fallback: a dedicated spill block sized to the request), never fail.
+/// Memory is raw and unconstructed: allocate<T> requires trivially
+/// copyable, trivially destructible T — the arena never runs constructors
+/// or destructors.
+///
+/// Not thread-safe; each arena belongs to one owner (the engine thread).
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 1 << 12;  // 4 KiB
+
+  explicit Arena(std::size_t initial_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// `count` default-initialized-free slots of T, aligned to alignof(T).
+  /// count == 0 returns a non-null, unusable pointer (like std::vector::data
+  /// on an empty vector, callers may form zero-length spans from it).
+  template <typename T>
+  T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena never runs constructors or destructors");
+    return static_cast<T*>(allocate_bytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Raw aligned storage. `align` must be a power of two.
+  void* allocate_bytes(std::size_t bytes, std::size_t align);
+
+  /// Reclaim every allocation. Capacity is retained; if the cycle spilled
+  /// past the first block, all blocks are coalesced into one block sized to
+  /// the high-water mark so the next cycle bumps inside a single block.
+  void reset();
+
+  /// Bytes handed out since the last reset (excluding alignment padding).
+  std::size_t bytes_used() const { return bytes_used_; }
+  /// Largest bytes_used() over any cycle so far.
+  std::size_t high_water() const { return high_water_; }
+  /// Total bytes owned (all blocks).
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> storage;
+    std::size_t size = 0;
+  };
+
+  /// Slow path: open a new block big enough for the request.
+  void* overflow(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::byte* cursor_ = nullptr;  // next free byte of the current block
+  std::byte* end_ = nullptr;     // one past the current block
+  std::size_t bytes_used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace qcongest::util

@@ -1,0 +1,118 @@
+// util::Arena coverage: alignment guarantees, reset/reuse recycling,
+// growth across blocks, and the out-of-arena (oversized-request) fallback.
+// The arena backs the engine's per-pass message delivery, so these are the
+// invariants the hot path silently leans on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/arena.hpp"
+
+namespace qcongest::util {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedToTheRequestedType) {
+  Arena arena(256);
+  // Interleave types with different alignment so the bump cursor lands on
+  // odd offsets between requests.
+  for (int i = 0; i < 16; ++i) {
+    auto* c = arena.allocate<char>(1);
+    ASSERT_NE(c, nullptr);
+    auto* d = arena.allocate<double>(1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    auto* l = arena.allocate<long double>(1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(l) % alignof(long double), 0u);
+  }
+}
+
+TEST(Arena, ExplicitAlignmentIsHonoredForRawBytes) {
+  Arena arena(512);
+  (void)arena.allocate_bytes(3, 1);  // misalign the cursor
+  for (std::size_t align : {2u, 8u, 16u, 64u, 128u}) {
+    void* p = arena.allocate_bytes(align, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena arena(64);  // small so the test also crosses block boundaries
+  std::vector<std::uint32_t*> slots;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    auto* p = arena.allocate<std::uint32_t>(1);
+    *p = i;
+    slots.push_back(p);
+  }
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(*slots[i], i) << "slot " << i << " was clobbered";
+  }
+}
+
+TEST(Arena, ResetReusesCapacityWithoutGrowth) {
+  Arena arena(1 << 10);
+  (void)arena.allocate<double>(64);  // 512 bytes, fits the first block
+  const std::size_t cap = arena.capacity();
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    (void)arena.allocate<double>(64);
+    EXPECT_EQ(arena.bytes_used(), 64 * sizeof(double));
+  }
+  EXPECT_EQ(arena.capacity(), cap) << "steady-state cycles must not grow";
+}
+
+TEST(Arena, GrowthTracksHighWaterAndCoalescesOnReset) {
+  Arena arena(64);
+  // Overflow well past the initial block.
+  for (int i = 0; i < 32; ++i) (void)arena.allocate<double>(8);
+  const std::size_t used = arena.bytes_used();
+  EXPECT_EQ(used, 32 * 8 * sizeof(double));
+  arena.reset();
+  // high_water is sampled at end of cycle (reset), per its contract.
+  EXPECT_GE(arena.high_water(), used);
+  // After the coalescing reset the same workload must fit one block: no
+  // further capacity change on any later cycle.
+  const std::size_t cap = arena.capacity();
+  EXPECT_GE(cap, used);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 32; ++i) (void)arena.allocate<double>(8);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(Arena, OversizedRequestFallsBackToASpillBlock) {
+  Arena arena(64);
+  // Far larger than any block the arena currently owns.
+  auto* big = arena.allocate<std::uint8_t>(1 << 16);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 1 << 16);  // must be fully writable
+  // Later small allocations still work.
+  auto* small = arena.allocate<std::uint64_t>(4);
+  ASSERT_NE(small, nullptr);
+  small[0] = 1;
+  EXPECT_EQ(big[0], 0xAB);
+  EXPECT_EQ(big[(1 << 16) - 1], 0xAB);
+}
+
+TEST(Arena, ZeroCountAllocationIsNonNull) {
+  Arena arena;
+  EXPECT_NE(arena.allocate<double>(0), nullptr);
+}
+
+TEST(Arena, HighWaterPersistsAcrossResets) {
+  Arena arena(128);
+  (void)arena.allocate<std::uint8_t>(4000);
+  arena.reset();  // high_water is sampled here, at end of cycle
+  const std::size_t hw = arena.high_water();
+  EXPECT_GE(hw, 4000u);
+  (void)arena.allocate<std::uint8_t>(10);
+  arena.reset();
+  EXPECT_GE(arena.high_water(), hw) << "a small cycle must not shrink it";
+}
+
+}  // namespace
+}  // namespace qcongest::util

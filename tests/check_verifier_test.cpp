@@ -26,7 +26,7 @@ using net::Word;
 /// Floods a token from node 0; a well-behaved protocol for clean-run tests.
 class Flood final : public NodeProgram {
  public:
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     if (ctx.round() == 0 && ctx.id() == 0 && !seen_) {
       seen_ = true;
       for (NodeId u : ctx.neighbors()) ctx.send(u, Word{1, 7, 0, false});
@@ -49,7 +49,7 @@ class Flood final : public NodeProgram {
 /// Sends two words down the same unit-bandwidth edge in round 0.
 class OverBudget final : public NodeProgram {
  public:
-  void on_round(Context& ctx, const std::vector<Message>&) override {
+  void on_round(Context& ctx, std::span<const Message>) override {
     if (ctx.round() == 0 && ctx.id() == 0) {
       ctx.send(1, Word{});
       ctx.send(1, Word{});

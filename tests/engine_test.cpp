@@ -17,7 +17,7 @@ class FloodOnce final : public NodeProgram {
   bool reached = false;
   std::size_t reached_round = 0;
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     if (ctx.round() == 0 && ctx.id() == 0 && !reached) {
       reached = true;
       for (NodeId u : ctx.neighbors()) ctx.send(u, Word{1, 42, 0, false});
@@ -58,7 +58,7 @@ TEST(Engine, FloodReachesAllAndRoundsEqualEccentricity) {
 
 TEST(Engine, QuiescenceOnSilentPrograms) {
   class Silent final : public NodeProgram {
-    void on_round(Context&, const std::vector<Message>&) override {}
+    void on_round(Context&, std::span<const Message>) override {}
   };
   Graph g = path_graph(3);
   Engine engine(g);
@@ -71,7 +71,7 @@ TEST(Engine, QuiescenceOnSilentPrograms) {
 
 TEST(Engine, BandwidthEnforced) {
   class DoubleSend final : public NodeProgram {
-    void on_round(Context& ctx, const std::vector<Message>&) override {
+    void on_round(Context& ctx, std::span<const Message>) override {
       if (ctx.round() == 0 && ctx.id() == 0) {
         ctx.send(1, Word{});
         ctx.send(1, Word{});  // second word on the same edge: over budget
@@ -104,7 +104,7 @@ TEST(Engine, BandwidthEnforced) {
 
 TEST(Engine, SendToNonNeighborRejected) {
   class BadSend final : public NodeProgram {
-    void on_round(Context& ctx, const std::vector<Message>&) override {
+    void on_round(Context& ctx, std::span<const Message>) override {
       if (ctx.round() == 0 && ctx.id() == 0) ctx.send(2, Word{});
     }
   };
@@ -124,7 +124,7 @@ TEST(Engine, SendToNonNeighborRejected) {
 
 TEST(Engine, QuantumWordsCounted) {
   class QuantumSend final : public NodeProgram {
-    void on_round(Context& ctx, const std::vector<Message>&) override {
+    void on_round(Context& ctx, std::span<const Message>) override {
       if (ctx.round() == 0 && ctx.id() == 0) {
         ctx.send(1, Word{1, 0, 0, /*quantum=*/true});
       }

@@ -19,7 +19,7 @@ namespace {
 class Flooder final : public NodeProgram {
  public:
   explicit Flooder(std::size_t words_per_round) : words_(words_per_round) {}
-  void on_round(Context& ctx, const std::vector<Message>&) override {
+  void on_round(Context& ctx, std::span<const Message>) override {
     if (ctx.round() > 2) return;
     for (NodeId u : ctx.neighbors()) {
       for (std::size_t w = 0; w < words_; ++w) ctx.send(u, Word{1, 0, 0, false});
@@ -46,7 +46,7 @@ TEST(FailureInjection, OverBudgetSenderIsRejected) {
 
 class HaltsThenGetsMail final : public NodeProgram {
  public:
-  void on_round(Context& ctx, const std::vector<Message>&) override {
+  void on_round(Context& ctx, std::span<const Message>) override {
     if (ctx.id() == 1 && ctx.round() == 0) {
       ctx.halt();  // halts while node 0's message is already in flight
       return;
@@ -66,7 +66,7 @@ TEST(FailureInjection, MessageToHaltedNodeIsAnError) {
 
 class ImpersonatingSender final : public NodeProgram {
  public:
-  void on_round(Context& ctx, const std::vector<Message>&) override {
+  void on_round(Context& ctx, std::span<const Message>) override {
     if (ctx.id() == 0 && ctx.round() == 0) {
       stolen_ = &ctx;  // leak the context to another node's turn
     }
@@ -95,7 +95,7 @@ TEST(FailureInjection, RoundLimitReportsIncomplete) {
   // and rounds equal to the cap's last sending pass.
   class PingPong final : public NodeProgram {
    public:
-    void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    void on_round(Context& ctx, std::span<const Message> inbox) override {
       if (ctx.id() == 0 && ctx.round() == 0) {
         ctx.send(1, Word{1, 0, 0, false});
         return;

@@ -22,7 +22,7 @@ class Streamer final : public NodeProgram {
   explicit Streamer(std::size_t count) : count_(count) {}
   std::vector<std::int64_t> received;
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       if (m.word.tag == 7) received.push_back(m.word.a);
     }
@@ -324,7 +324,7 @@ TEST(FaultPlan, RestartOutlivesQuiescence) {
   class LateEcho final : public NodeProgram {
    public:
     bool woke = false;
-    void on_round(Context& ctx, const std::vector<Message>&) override {
+    void on_round(Context& ctx, std::span<const Message>) override {
       // Node 1 acts only when it is scheduled at round >= 8 (after its
       // outage); everyone else is silent from the start.
       if (ctx.id() == 1 && ctx.round() >= 8 && !woke) {
@@ -380,7 +380,7 @@ TEST(Engine, KeepAliveDefersQuiescence) {
   class Sleeper final : public NodeProgram {
    public:
     bool delivered = false;
-    void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    void on_round(Context& ctx, std::span<const Message> inbox) override {
       if (!inbox.empty()) delivered = true;
       if (ctx.id() != 0) return;
       if (ctx.round() < 5) {
@@ -406,7 +406,7 @@ TEST(Engine, WithoutKeepAliveQuiescenceWins) {
   class SilentSleeper final : public NodeProgram {
    public:
     bool delivered = false;
-    void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+    void on_round(Context& ctx, std::span<const Message> inbox) override {
       if (!inbox.empty()) delivered = true;
       if (ctx.id() == 0 && ctx.round() == 5) ctx.send(1, Word{3, 1, 0, false});
     }

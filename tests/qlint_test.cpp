@@ -680,11 +680,70 @@ TEST(QlintCatch, ReasonedAllowSuppressesDesignedBoundary) {
           .empty());
 }
 
+// --- hot-path-alloc ----------------------------------------------------------
+
+TEST(QlintHotPath, FlagsUnreservedPushBackInDeliver) {
+  auto d = lint_source("src/net/engine.cpp",
+                       "void Engine::deliver(NodeId from, NodeId to, Word w) {\n"
+                       "  extra_.push_back(w);\n"
+                       "}\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "hot-path-alloc");
+  EXPECT_EQ(d[0].line, 2u);
+}
+
+TEST(QlintHotPath, ReservedReceiverIsClean) {
+  // A reserve anywhere in the TU marks the vector capacity-managed: its
+  // steady-state push_back is a bump, which is the sanctioned pattern.
+  EXPECT_TRUE(lint_source("src/net/engine.cpp",
+                          "void Engine::prepare(std::size_t n) {\n"
+                          "  extra_.reserve(n);\n"
+                          "}\n"
+                          "void Engine::deliver(NodeId from, NodeId to, Word w) {\n"
+                          "  extra_.push_back(w);\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(QlintHotPath, FlagsNewAndStdFunctionInKernels) {
+  EXPECT_TRUE(flags(lint_source("src/quantum/kernels_avx2.cpp",
+                                "void f() { auto* p = new double[8]; }\n"),
+                    "hot-path-alloc"));
+  EXPECT_TRUE(flags(lint_source("src/quantum/kernels.cpp",
+                                "void g() { std::function<void()> cb = h; }\n"),
+                    "hot-path-alloc"));
+}
+
+TEST(QlintHotPath, ColdEngineSetupAllocatesFreely) {
+  // set_fault_plan is per-run setup, not the round loop: unreserved growth
+  // there is outside the rule's hot-function list.
+  EXPECT_TRUE(lint_source("src/net/engine.cpp",
+                          "void Engine::set_fault_plan(FaultPlan plan) {\n"
+                          "  schedules_.push_back(plan);\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(QlintHotPath, OtherTranslationUnitsAreOutOfScope) {
+  EXPECT_TRUE(lint_source("src/framework/oracle.cpp",
+                          "void f() { values_.push_back(1); }\n")
+                  .empty());
+}
+
+TEST(QlintHotPath, ReasonedAllowSuppressesColdBranch) {
+  EXPECT_TRUE(
+      lint_source("src/net/engine.cpp",
+                  "void Engine::commit(NodeId f, NodeId t, const Word& w) {\n"
+                  "  log_.push_back(w);  // qlint-allow(hot-path-alloc): observer-only branch, off in benchmarks\n"
+                  "}\n")
+          .empty());
+}
+
 // --- rule metadata & SARIF ---------------------------------------------------
 
-TEST(QlintMeta, RuleInfosCoverTenRulesWithUniqueIds) {
+TEST(QlintMeta, RuleInfosCoverElevenRulesWithUniqueIds) {
   const auto& rules = rule_infos();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   std::vector<std::string> ids;
   for (const auto& rule : rules) {
     ids.push_back(rule.id);
@@ -696,6 +755,7 @@ TEST(QlintMeta, RuleInfosCoverTenRulesWithUniqueIds) {
   EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "lock-across-submit"));
   EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "untrusted-narrowing"));
   EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "catch-all-swallow"));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "hot-path-alloc"));
 }
 
 TEST(QlintMeta, SarifOutputIsValidJsonWithRuleMetadata) {

@@ -255,7 +255,7 @@ class RingCounter final : public NodeProgram {
 
   std::int64_t sum() const { return sum_; }
 
-  void on_round(net::Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(net::Context& ctx, std::span<const Message> inbox) override {
     for (const Message& m : inbox) sum_ += m.word.a;
     if (ctx.round() < rounds_) {
       auto token = static_cast<std::int64_t>(ctx.id() * 100 + ctx.round());

@@ -23,7 +23,7 @@ class Streamer final : public NodeProgram {
   explicit Streamer(std::size_t count) : count_(count) {}
   std::vector<std::int64_t> received;
 
-  void on_round(Context& ctx, const std::vector<Message>& inbox) override {
+  void on_round(Context& ctx, std::span<const Message> inbox) override {
     for (const Message& m : inbox) {
       if (m.word.tag == 7) received.push_back(m.word.a);
     }
@@ -200,7 +200,7 @@ TEST(ReliableTransport, RespectsPhysicalBandwidth) {
 
 TEST(ReliableTransport, InnerCongestionViolationStillThrows) {
   class DoubleSend final : public NodeProgram {
-    void on_round(Context& ctx, const std::vector<Message>&) override {
+    void on_round(Context& ctx, std::span<const Message>) override {
       if (ctx.round() == 0 && ctx.id() == 0) {
         ctx.send(1, Word{});
         ctx.send(1, Word{});  // over the virtual per-round edge budget

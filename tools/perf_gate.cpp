@@ -22,8 +22,17 @@
 // digests, or metrics is a behavioural change and fails, with the first
 // differing line printed.
 //
+// Either way the gate prints a per-benchmark before/after delta table
+// (baseline ms, current ms, delta %, verdict) rather than bare pass/fail
+// lines, so a CI log answers "what moved and by how much" directly.
+// --markdown appends the same table as GitHub-flavored markdown (for the
+// job summary); --history appends one line-JSON record of the deltas to a
+// committed trajectory file (bench/baselines/PERF_HISTORY.jsonl), labelled
+// via --label (the recording script passes the commit hash + date).
+//
 // Usage: perf_gate <baseline.json> <current.json>
 //          [--threshold R] [--min-ns N] [--no-time] [--report]
+//          [--markdown FILE] [--history FILE] [--label TEXT]
 //
 // Exit 0 when every benchmark present in the baseline passes; 1 on any
 // regression or missing benchmark; 2 on usage/parse errors.
@@ -32,6 +41,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -112,8 +122,130 @@ std::map<std::string, BenchRun> parse_bench_json(const std::string& path) {
 
 int usage() {
   std::cerr << "usage: perf_gate <baseline.json> <current.json>"
-            << " [--threshold R] [--min-ns N] [--no-time] [--report]\n";
+            << " [--threshold R] [--min-ns N] [--no-time] [--report]\n"
+            << "         [--markdown FILE] [--history FILE] [--label TEXT]\n";
   return 2;
+}
+
+/// One delta-table line: the before/after comparison of a single benchmark.
+struct DeltaRow {
+  std::string name;
+  double base_ns = 0.0;
+  double cur_ns = 0.0;
+  bool timed = false;      // baseline met --min-ns and --no-time is off
+  bool time_fail = false;  // timed and ratio exceeded the threshold
+  bool missing = false;    // benchmark absent from the current run
+  std::vector<std::string> drifted;  // exact-counter drift descriptions
+
+  double ratio() const { return base_ns > 0.0 ? cur_ns / base_ns : 0.0; }
+  bool failed() const { return missing || time_fail || !drifted.empty(); }
+};
+
+std::string format_ms(double ns) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << ns / 1e6 << "ms";
+  return out.str();
+}
+
+std::string format_delta(const DeltaRow& row) {
+  if (row.missing || row.base_ns <= 0.0) return "--";
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  double pct = (row.ratio() - 1.0) * 100.0;
+  if (pct >= 0.0) out << "+";
+  out << pct << "%";
+  return out.str();
+}
+
+std::string verdict(const DeltaRow& row) {
+  if (row.missing) return "MISSING";
+  if (row.time_fail && !row.drifted.empty()) return "FAIL time+counters";
+  if (row.time_fail) return "FAIL time";
+  if (!row.drifted.empty()) return "FAIL counters";
+  if (!row.timed) return "ok (untimed)";
+  return "ok";
+}
+
+/// Plain-text delta table on stdout: one aligned row per baseline
+/// benchmark, counter drift detail lines underneath their row.
+void print_table(const std::vector<DeltaRow>& rows) {
+  std::size_t name_w = std::string("benchmark").size();
+  for (const DeltaRow& row : rows) name_w = std::max(name_w, row.name.size());
+  std::cout << std::left << std::setw(static_cast<int>(name_w)) << "benchmark"
+            << "  " << std::right << std::setw(12) << "baseline"
+            << std::setw(12) << "current" << std::setw(9) << "delta"
+            << "  verdict\n";
+  for (const DeltaRow& row : rows) {
+    std::cout << std::left << std::setw(static_cast<int>(name_w)) << row.name
+              << "  " << std::right << std::setw(12) << format_ms(row.base_ns)
+              << std::setw(12) << (row.missing ? "--" : format_ms(row.cur_ns))
+              << std::setw(9) << format_delta(row) << "  " << verdict(row)
+              << "\n";
+    for (const std::string& drift : row.drifted) {
+      std::cout << std::left << std::setw(static_cast<int>(name_w)) << ""
+                << "  ! " << drift << "\n";
+    }
+  }
+}
+
+/// The same table as GitHub-flavored markdown, appended to `path` so CI can
+/// accumulate tables from several gate invocations into one job summary.
+void append_markdown(const std::string& path, const std::string& baseline_file,
+                     const std::vector<DeltaRow>& rows) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("cannot append markdown to " + path);
+  out << "\n#### perf trajectory: `" << baseline_file << "`\n\n"
+      << "| benchmark | baseline | current | delta | verdict |\n"
+      << "| --- | ---: | ---: | ---: | --- |\n";
+  for (const DeltaRow& row : rows) {
+    out << "| `" << row.name << "` | " << format_ms(row.base_ns) << " | "
+        << (row.missing ? std::string("--") : format_ms(row.cur_ns)) << " | "
+        << format_delta(row) << " | " << verdict(row);
+    for (const std::string& drift : row.drifted) out << "<br>" << drift;
+    out << " |\n";
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// One line-JSON trajectory record per gate invocation, appended to the
+/// committed history file. Timings are per-run snapshots; the committed
+/// sequence of records is the perf trajectory the run-reports job renders.
+void append_history(const std::string& path, const std::string& label,
+                    const std::string& baseline_file,
+                    const std::vector<DeltaRow>& rows) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("cannot append history to " + path);
+  out << "{\"label\": \"" << json_escape(label) << "\", \"baseline\": \""
+      << json_escape(baseline_file) << "\", \"runs\": [";
+  bool first = true;
+  out.setf(std::ios::fixed);
+  out.precision(0);
+  for (const DeltaRow& row : rows) {
+    if (row.missing) continue;
+    if (!first) out << ", ";
+    first = false;
+    std::ostringstream ratio;
+    ratio.setf(std::ios::fixed);
+    ratio.precision(4);
+    ratio << row.ratio();
+    out << "{\"name\": \"" << json_escape(row.name) << "\", \"baseline_ns\": "
+        << row.base_ns << ", \"current_ns\": " << row.cur_ns
+        << ", \"ratio\": " << ratio.str() << "}";
+  }
+  out << "]}\n";
 }
 
 std::string read_file(const std::string& path) {
@@ -177,6 +309,9 @@ int main(int argc, char** argv) {
   double min_ns = 1e6;
   bool check_time = true;
   bool report_mode = false;
+  std::string markdown_path;
+  std::string history_path;
+  std::string label;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--threshold" && i + 1 < argc) {
@@ -187,6 +322,12 @@ int main(int argc, char** argv) {
       check_time = false;
     } else if (arg == "--report") {
       report_mode = true;
+    } else if (arg == "--markdown" && i + 1 < argc) {
+      markdown_path = argv[++i];
+    } else if (arg == "--history" && i + 1 < argc) {
+      history_path = argv[++i];
+    } else if (arg == "--label" && i + 1 < argc) {
+      label = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -205,54 +346,63 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  int failures = 0;
-  auto fail = [&](const std::string& what) {
-    std::cerr << "FAIL  " << what << "\n";
-    ++failures;
-  };
-
+  std::vector<DeltaRow> rows;
+  rows.reserve(baseline.size());
   for (const auto& [name, base] : baseline) {
+    DeltaRow row;
+    row.name = name;
+    row.base_ns = base.real_time_ns;
     auto it = current.find(name);
     if (it == current.end()) {
-      fail(name + ": present in baseline but missing from current run");
+      row.missing = true;
+      rows.push_back(std::move(row));
       continue;
     }
     const BenchRun& cur = it->second;
-
-    if (check_time && base.real_time_ns >= min_ns) {
-      double ratio = cur.real_time_ns / base.real_time_ns;
-      std::ostringstream row;
-      row.precision(3);
-      row << name << ": real_time " << base.real_time_ns / 1e6 << "ms -> "
-          << cur.real_time_ns / 1e6 << "ms (x" << ratio << ", limit x"
-          << threshold << ")";
-      if (ratio > threshold) {
-        fail(row.str());
-      } else {
-        std::cout << "ok    " << row.str() << "\n";
-      }
-    }
+    row.cur_ns = cur.real_time_ns;
+    row.timed = check_time && base.real_time_ns >= min_ns;
+    row.time_fail = row.timed && row.ratio() > threshold;
 
     for (const auto& [counter, expected] : base.counters) {
       if (!exact_counter(counter)) continue;
       auto cit = cur.counters.find(counter);
+      std::ostringstream drift;
+      drift.precision(12);
       if (cit == cur.counters.end()) {
-        fail(name + ": counter '" + counter + "' missing from current run");
+        drift << "counter '" << counter << "' missing from current run";
+      } else if (std::abs(cit->second - expected) >
+                 1e-9 * std::max(1.0, std::abs(expected))) {
+        drift << "counter '" << counter << "' drifted " << expected << " -> "
+              << cit->second;
+      } else {
         continue;
       }
-      if (std::abs(cit->second - expected) > 1e-9 * std::max(1.0, std::abs(expected))) {
-        std::ostringstream row;
-        row.precision(12);
-        row << name << ": deterministic counter '" << counter << "' drifted "
-            << expected << " -> " << cit->second;
-        fail(row.str());
-      }
+      row.drifted.push_back(drift.str());
     }
+    rows.push_back(std::move(row));
   }
 
+  print_table(rows);
+  try {
+    if (!markdown_path.empty()) append_markdown(markdown_path, positional[0], rows);
+    if (!history_path.empty()) append_history(history_path, label, positional[0], rows);
+  } catch (const std::exception& e) {
+    std::cerr << "perf_gate: " << e.what() << "\n";
+    return 2;
+  }
+
+  int failures = 0;
+  for (const DeltaRow& row : rows) {
+    if (!row.failed()) continue;
+    ++failures;
+    std::cerr << "FAIL  " << row.name << ": " << verdict(row) << "\n";
+    for (const std::string& drift : row.drifted) {
+      std::cerr << "      " << drift << "\n";
+    }
+  }
   if (failures > 0) {
     std::cerr << "perf_gate: " << failures << " regression(s) against "
-              << positional[0] << "\n";
+              << positional[0] << " (threshold x" << threshold << ")\n";
     return 1;
   }
   std::cout << "perf_gate: all " << baseline.size() << " benchmarks within limits\n";
