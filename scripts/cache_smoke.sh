@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Cache-smoke gate: run the chaos_run sweep + report matrix twice against a
+# fresh content-addressed store and hold the result-cache guarantees:
+#
+#   1. read-through correctness — the second identical invocation is served
+#      (almost) entirely from the store: >= 90% cache hits, zero misses,
+#      and a byte-identical run-report document;
+#   2. thread-count independence — a third pass at a different --threads
+#      still hits (thread budget is excluded from the cache key by the
+#      determinism contract) and writes the same report bytes;
+#   3. corruption degrades, never propagates — a bit-flipped entry is
+#      detected by the integrity check, recomputed as a miss, resealed,
+#      and the report bytes do not change;
+#   4. invalidation by code version — flipping QCONGEST_CACHE_SALT misses
+#      on every single entry (a full re-run), because the salt is baked
+#      into every key;
+#   5. gc — eviction respects the byte budget and reports what it did.
+#
+# Usage: scripts/cache_smoke.sh [build_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+CHAOS_RUN="${BUILD_DIR}/tools/chaos_run"
+
+WORK_DIR=$(mktemp -d)
+CACHE_DIR="${WORK_DIR}/cache"
+cleanup() { rm -rf "${WORK_DIR}"; }
+trap cleanup EXIT
+
+SWEEP_ARGS=(--nodes 10 --trials 3 --graph tree --seed 7 --jobs 4)
+
+run_pass() {
+  local out=$1 report=$2
+  shift 2
+  "${CHAOS_RUN}" "${SWEEP_ARGS[@]}" --cache-dir "${CACHE_DIR}" \
+    --report "${report}" "$@" > "${out}"
+}
+
+# Parse "# cache: hits=H misses=M puts=P corrupt=C" from a pass's stdout.
+# (No `| head` here: under pipefail an early pipe close turns into exit 141.)
+cache_stat() {
+  local file=$1 stat=$2
+  sed -n "s/^# cache: .*${stat}=\([0-9]*\).*/\1/p" "${file}"
+}
+
+echo "== pass 1: cold store =="
+run_pass "${WORK_DIR}/pass1.txt" "${WORK_DIR}/report1.json"
+MISSES1=$(cache_stat "${WORK_DIR}/pass1.txt" misses)
+[ "${MISSES1}" -gt 0 ] || { echo "FAIL: cold pass recorded no misses"; exit 1; }
+
+echo "== pass 2: warm store must serve >= 90% from cache =="
+run_pass "${WORK_DIR}/pass2.txt" "${WORK_DIR}/report2.json"
+HITS=$(cache_stat "${WORK_DIR}/pass2.txt" hits)
+MISSES=$(cache_stat "${WORK_DIR}/pass2.txt" misses)
+TOTAL=$((HITS + MISSES))
+[ "${TOTAL}" -gt 0 ] || { echo "FAIL: warm pass issued no cache lookups"; exit 1; }
+if [ $((HITS * 10)) -lt $((TOTAL * 9)) ]; then
+  echo "FAIL: warm pass hit rate ${HITS}/${TOTAL} below 90%"
+  exit 1
+fi
+cmp "${WORK_DIR}/report1.json" "${WORK_DIR}/report2.json" \
+  || { echo "FAIL: warm-pass report differs from cold-pass report"; exit 1; }
+echo "ok: ${HITS}/${TOTAL} hits, report byte-identical"
+
+echo "== pass 3: different --threads must still hit =="
+run_pass "${WORK_DIR}/pass3.txt" "${WORK_DIR}/report3.json" --threads 4
+MISSES3=$(cache_stat "${WORK_DIR}/pass3.txt" misses)
+[ "${MISSES3}" -eq 0 ] || { echo "FAIL: --threads 4 missed ${MISSES3} entries"; exit 1; }
+cmp "${WORK_DIR}/report1.json" "${WORK_DIR}/report3.json" \
+  || { echo "FAIL: --threads 4 report differs"; exit 1; }
+echo "ok: thread budget excluded from keys"
+
+echo "== pass 4: corrupt one entry, expect recomputed miss =="
+VICTIM=$(find "${CACHE_DIR}/objects" -type f | sort | awk 'NR == 1')
+python3 - "${VICTIM}" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[-1] ^= 0xFF
+open(path, "wb").write(data)
+EOF
+run_pass "${WORK_DIR}/pass4.txt" "${WORK_DIR}/report4.json"
+CORRUPT=$(cache_stat "${WORK_DIR}/pass4.txt" corrupt)
+[ "${CORRUPT}" -eq 1 ] || { echo "FAIL: expected 1 corrupt miss, saw ${CORRUPT}"; exit 1; }
+cmp "${WORK_DIR}/report1.json" "${WORK_DIR}/report4.json" \
+  || { echo "FAIL: report changed after corrupt-entry recompute"; exit 1; }
+echo "ok: corruption degraded to a recomputed miss"
+
+echo "== pass 5: salt flip must invalidate everything =="
+QCONGEST_CACHE_SALT=cache-smoke-other-version \
+  run_pass "${WORK_DIR}/pass5.txt" "${WORK_DIR}/report5.json"
+HITS5=$(cache_stat "${WORK_DIR}/pass5.txt" hits)
+[ "${HITS5}" -eq 0 ] || { echo "FAIL: salt flip still hit ${HITS5} entries"; exit 1; }
+cmp "${WORK_DIR}/report1.json" "${WORK_DIR}/report5.json" \
+  || { echo "FAIL: salt flip changed the report bytes"; exit 1; }
+echo "ok: full invalidation on code-version salt change"
+
+echo "== gc: evict down to a small budget =="
+"${CHAOS_RUN}" gc --cache-dir "${CACHE_DIR}" --max-bytes 4096 | tee "${WORK_DIR}/gc.txt"
+grep -q "evicted=" "${WORK_DIR}/gc.txt" || { echo "FAIL: gc printed no result"; exit 1; }
+# Entry bytes only (directory inodes don't count against the budget).
+AFTER=$(find "${CACHE_DIR}/objects" -type f -printf '%s\n' | awk '{s+=$1} END {print s+0}')
+[ "${AFTER}" -le 4096 ] || { echo "FAIL: gc left ${AFTER} bytes over budget"; exit 1; }
+
+echo
+echo "cache_smoke: all checks passed"

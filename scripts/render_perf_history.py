@@ -15,9 +15,22 @@ import sys
 
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "bench/baselines/PERF_HISTORY.jsonl"
+    records = []
     try:
         with open(path, encoding="utf-8") as handle:
-            records = [json.loads(line) for line in handle if line.strip()]
+            for number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                # A truncated append or botched merge must not take down the
+                # whole trajectory render; skip the bad line, keep the rest.
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    print(
+                        f"warning: {path}:{number}: skipping malformed "
+                        f"history line ({error})",
+                        file=sys.stderr,
+                    )
     except FileNotFoundError:
         print(f"(no perf history at {path} yet)")
         return 0

@@ -4,19 +4,25 @@
 # commands — the one-command reproduction driver.
 #
 # Every step runs even if an earlier one failed; the script exits non-zero
-# if ANY step failed, naming the failures at the end.
-set -uo pipefail
+# if ANY step failed, naming the failures at the end. Steps go through
+# run(), which captures the real per-stage exit code — anything outside a
+# run() guard (cd, the final summary) is under set -e and aborts hard.
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 failures=()
 
-# run <name> <cmd...>: run a step, record its exit code, keep going.
+# run <name> <cmd...>: run a step, record its exit code, keep going. The
+# `|| rc=$?` capture keeps errexit from killing the script and records the
+# step's actual status (a bare $? after `if ! cmd` is the negation's — 0).
 run() {
   local name=$1
   shift
   echo "===== ${name} ====="
-  if ! "$@"; then
-    echo "FAILED: ${name} (exit $?)" >&2
+  local rc=0
+  "$@" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "FAILED: ${name} (exit ${rc})" >&2
     failures+=("${name}")
   fi
 }
@@ -56,6 +62,8 @@ run_examples() {
   done
 }
 run "examples" run_examples
+
+run "cache-smoke" scripts/cache_smoke.sh
 
 run "cli-diameter" build/tools/qcongest_cli diameter --graph two-stars --nodes 64
 run "cli-meeting" build/tools/qcongest_cli meeting --graph path --nodes 9 --k 16384

@@ -1,0 +1,209 @@
+#include "src/cache/dag.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "src/util/thread_pool.hpp"
+
+namespace qcongest::cache {
+
+namespace {
+
+/// Name -> index map; false on duplicates.
+bool index_by_name(const std::vector<Experiment>& experiments,
+                   std::map<std::string, std::size_t>* index,
+                   std::string* error) {
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    if (experiments[i].name.empty()) {
+      if (error != nullptr) {
+        *error = "experiment #" + std::to_string(i) + " has an empty name";
+      }
+      return false;
+    }
+    if (!index->emplace(experiments[i].name, i).second) {
+      if (error != nullptr) {
+        *error = "duplicate experiment name '" + experiments[i].name + "'";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+/// DFS colors (monotone's cycle_detector.hh / gnTundra's
+/// DetectCyclicDependencies: a gray node reached again closes a cycle).
+enum class Mark : unsigned char { kWhite, kGray, kBlack };
+
+/// Walk dependencies depth-first from `node`; on a back edge, name the
+/// cycle by unwinding the explicit stack. Returns true when a cycle was
+/// found (and *error carries "a -> b -> ... -> a").
+bool find_cycle(std::size_t node, const std::vector<Experiment>& experiments,
+                const std::map<std::string, std::size_t>& index,
+                std::vector<Mark>& marks, std::string* error) {
+  struct Frame {
+    std::size_t node;
+    std::size_t next_dep = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node});
+  marks[node] = Mark::kGray;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const std::vector<std::string>& deps = experiments[frame.node].deps;
+    if (frame.next_dep == deps.size()) {
+      marks[frame.node] = Mark::kBlack;
+      stack.pop_back();
+      continue;
+    }
+    const std::size_t dep = index.at(deps[frame.next_dep++]);
+    if (marks[dep] == Mark::kBlack) continue;
+    if (marks[dep] == Mark::kGray) {
+      if (error != nullptr) {
+        // The cycle is the stack suffix starting at `dep`, plus the back
+        // edge closing it.
+        std::string walk;
+        bool in_cycle = false;
+        for (const Frame& f : stack) {
+          if (f.node == dep) in_cycle = true;
+          if (!in_cycle) continue;
+          walk += experiments[f.node].name + " -> ";
+        }
+        walk += experiments[dep].name;
+        *error = "dependency cycle: " + walk;
+      }
+      return true;
+    }
+    marks[dep] = Mark::kGray;
+    stack.push_back({dep});
+  }
+  return false;
+}
+
+}  // namespace
+
+bool validate_experiment_dag(const std::vector<Experiment>& experiments,
+                             std::string* error) {
+  std::map<std::string, std::size_t> index;
+  if (!index_by_name(experiments, &index, error)) return false;
+  for (const Experiment& experiment : experiments) {
+    for (const std::string& dep : experiment.deps) {
+      if (index.find(dep) == index.end()) {
+        if (error != nullptr) {
+          *error = "experiment '" + experiment.name +
+                   "' depends on unknown experiment '" + dep + "'";
+        }
+        return false;
+      }
+    }
+  }
+  std::vector<Mark> marks(experiments.size(), Mark::kWhite);
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    if (marks[i] == Mark::kWhite &&
+        find_cycle(i, experiments, index, marks, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ExperimentResult> DagRunner::run(
+    const std::vector<Experiment>& experiments, std::size_t jobs) {
+  std::string error;
+  if (!validate_experiment_dag(experiments, &error)) {
+    throw std::invalid_argument("experiment DAG: " + error);
+  }
+
+  std::map<std::string, std::size_t> index;
+  index_by_name(experiments, &index, nullptr);
+
+  // Longest-path depth per node; nodes of equal depth have no edges between
+  // them, so each depth level is a safe parallel wave of ready nodes.
+  std::vector<std::size_t> depth(experiments.size(), 0);
+  std::function<std::size_t(std::size_t)> depth_of = [&](std::size_t i) {
+    if (depth[i] != 0) return depth[i];
+    std::size_t best = 0;
+    for (const std::string& dep : experiments[i].deps) {
+      best = std::max(best, depth_of(index.at(dep)));
+    }
+    depth[i] = best + 1;
+    return depth[i];
+  };
+  std::size_t levels = 0;
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    levels = std::max(levels, depth_of(i));
+  }
+  std::vector<std::vector<std::size_t>> waves(levels);
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    waves[depth[i] - 1].push_back(i);
+  }
+
+  std::vector<ExperimentResult> results(experiments.size());
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    results[i].name = experiments[i].name;
+  }
+
+  util::ThreadPool pool(std::max<std::size_t>(jobs, 1));
+  for (const std::vector<std::size_t>& wave : waves) {
+    pool.parallel_for(wave.size(), [&](std::size_t w) {
+      const std::size_t node = wave[w];
+      const Experiment& experiment = experiments[node];
+      ExperimentResult& result = results[node];
+
+      // A failed or skipped dependency poisons the node: running an
+      // experiment whose declared prerequisite never happened would report
+      // results under false pretenses.
+      for (const std::string& dep : experiment.deps) {
+        const ExperimentResult& upstream = results[index.at(dep)];
+        if (!upstream.ok) {
+          result.ok = false;
+          result.error = "skipped: dependency '" + dep + "' failed";
+          return;
+        }
+      }
+
+      if (store_ != nullptr && !experiment.key.empty() &&
+          store_->get(experiment.key, &result.blob)) {
+        result.from_cache = true;
+        result.ok = true;
+        return;
+      }
+      try {
+        result.blob = experiment.produce();
+        result.ok = true;
+      } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+        return;
+      }
+      if (store_ != nullptr && !experiment.key.empty()) {
+        // A failed put degrades to "not cached", never to a failed run.
+        std::string put_error;
+        (void)store_->put(experiment.key, result.blob, &put_error);
+      }
+    });
+  }
+
+  if (metrics_ != nullptr) {
+    std::uint64_t hits = 0, executed = 0, failed = 0, skipped = 0;
+    for (const ExperimentResult& result : results) {
+      if (result.from_cache) {
+        ++hits;
+      } else if (result.ok) {
+        ++executed;
+      } else if (result.error.rfind("skipped:", 0) == 0) {
+        ++skipped;
+      } else {
+        ++failed;
+      }
+    }
+    metrics_->count("dag.nodes", results.size());
+    metrics_->count("dag.cache_hits", hits);
+    metrics_->count("dag.executed", executed);
+    metrics_->count("dag.failed", failed);
+    metrics_->count("dag.skipped", skipped);
+  }
+  return results;
+}
+
+}  // namespace qcongest::cache

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cache/store.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace qcongest::cache {
+
+/// One node of an experiment DAG: a named unit of work that produces a
+/// sealed result blob, optionally content-addressed by `key`.
+struct Experiment {
+  /// Unique name; cycle and dependency errors are reported in these.
+  std::string name;
+  /// Names of experiments that must complete before this one starts.
+  /// Dependencies order execution only — results flow through the caller's
+  /// own state (or the store), keeping produce() a pure closure.
+  std::vector<std::string> deps;
+  /// Cache key (a KeyBuilder digest). Empty = never cached: the experiment
+  /// executes on every run.
+  std::string key;
+  /// Compute the blob. Runs on a pool worker; must be self-contained and
+  /// thread-safe against sibling experiments. May throw — the error is
+  /// captured per-node, never propagated across the DAG.
+  std::function<std::string()> produce;
+};
+
+struct ExperimentResult {
+  std::string name;
+  std::string blob;
+  bool from_cache = false;
+  bool ok = false;
+  std::string error;  // why ok is false: produce() threw or a dep failed
+};
+
+/// Validate `experiments` as a DAG: unique names, known dependencies, no
+/// cycles. A cycle is rejected with the full walk in the error ("a -> b ->
+/// a"), because "there is a cycle somewhere" is not an actionable message.
+/// True when the graph is runnable.
+bool validate_experiment_dag(const std::vector<Experiment>& experiments,
+                             std::string* error);
+
+/// Schedules a validated experiment DAG: ready nodes (all deps done) fan
+/// out across a util::ThreadPool of `jobs` workers, cache hits are served
+/// from the store without executing, and misses execute then seal their
+/// blob back. Results come back in input order regardless of scheduling.
+///
+/// Counter contract: when `metrics` is non-null the runner counts
+/// dag.nodes / dag.cache_hits / dag.executed / dag.failed / dag.skipped
+/// into it (and the store's own cache.* counters cover hit/miss/corrupt
+/// detail) — the one metrics pipeline, not printf.
+class DagRunner {
+ public:
+  /// Both taps optional: store == nullptr disables caching entirely,
+  /// metrics == nullptr disables counting.
+  DagRunner(Store* store, obs::MetricsRegistry* metrics)
+      : store_(store), metrics_(metrics) {}
+
+  /// Run the whole DAG. Throws std::invalid_argument with the validation
+  /// error (including the named cycle) when `experiments` is not a DAG.
+  /// A node whose produce() throws fails alone (ok=false, error=what);
+  /// its transitive dependents are skipped with an error naming the failed
+  /// dependency.
+  std::vector<ExperimentResult> run(const std::vector<Experiment>& experiments,
+                                    std::size_t jobs);
+
+ private:
+  Store* store_;
+  obs::MetricsRegistry* metrics_;
+};
+
+}  // namespace qcongest::cache

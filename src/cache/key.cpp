@@ -1,0 +1,120 @@
+#include "src/cache/key.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "src/cache/sha256.hpp"
+
+namespace qcongest::cache {
+
+std::string code_version_salt() {
+  const char* env = std::getenv("QCONGEST_CACHE_SALT");
+  if (env != nullptr && *env != '\0') return env;
+  return std::string(kCodeVersionSalt);
+}
+
+std::string canonical_double(double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  static const char* hex = "0123456789abcdef";
+  std::string out = "f64:";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(hex[(bits >> shift) & 0xF]);
+  }
+  return out;
+}
+
+KeyBuilder& KeyBuilder::set(std::string_view name, std::string encoded) {
+  auto [it, inserted] = fields_.emplace(std::string(name), std::move(encoded));
+  if (!inserted) {
+    throw std::logic_error("KeyBuilder: duplicate field '" + it->first + "'");
+  }
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, std::string_view value) {
+  std::string encoded;
+  encoded.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '\n') encoded.push_back('\\');
+    encoded.push_back(c == '\n' ? 'n' : c);
+  }
+  return set(name, std::move(encoded));
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, std::uint64_t value) {
+  return set(name, std::to_string(value));
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, bool value) {
+  return set(name, value ? "1" : "0");
+}
+
+KeyBuilder& KeyBuilder::field(std::string_view name, double value) {
+  return set(name, canonical_double(value));
+}
+
+KeyBuilder& KeyBuilder::fault_plan(std::string_view prefix,
+                                   const net::FaultPlan& plan) {
+  const std::string p(prefix);
+  field(p + ".drop", plan.link.drop);
+  field(p + ".corrupt", plan.link.corrupt);
+  field(p + ".duplicate", plan.link.duplicate);
+  field(p + ".seed", plan.seed);
+
+  // Crash events are a set (validate() requires disjoint windows), so the
+  // vector order a caller happened to build must not reach the key.
+  std::vector<net::CrashEvent> crashes = plan.crashes;
+  std::sort(crashes.begin(), crashes.end(),
+            [](const net::CrashEvent& a, const net::CrashEvent& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.crash_round != b.crash_round) {
+                return a.crash_round < b.crash_round;
+              }
+              if (a.restart_round != b.restart_round) {
+                return a.restart_round < b.restart_round;
+              }
+              return static_cast<int>(a.amnesia) < static_cast<int>(b.amnesia);
+            });
+  std::string crash_text;
+  for (const net::CrashEvent& c : crashes) {
+    crash_text += std::to_string(static_cast<std::size_t>(c.node)) + ":" +
+                  std::to_string(c.crash_round) + ":" +
+                  std::to_string(c.restart_round) + ":" +
+                  (c.amnesia ? "1" : "0") + ";";
+  }
+  field(p + ".crashes", crash_text);
+
+  auto overrides = plan.edge_overrides;
+  std::sort(overrides.begin(), overrides.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string edge_text;
+  for (const auto& [edge, rates] : overrides) {
+    edge_text += std::to_string(static_cast<std::size_t>(edge.first)) + ":" +
+                 std::to_string(static_cast<std::size_t>(edge.second)) + ":" +
+                 canonical_double(rates.drop) + ":" +
+                 canonical_double(rates.corrupt) + ":" +
+                 canonical_double(rates.duplicate) + ";";
+  }
+  field(p + ".edge_overrides", edge_text);
+  return *this;
+}
+
+std::string KeyBuilder::canonical() const {
+  // The schema tag versions the encoding itself, separately from the
+  // code-version salt the caller adds as a field.
+  std::string out = "qcongest-job-key-v1\n";
+  for (const auto& [name, value] : fields_) {
+    out += name;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string KeyBuilder::digest() const { return sha256_hex(canonical()); }
+
+}  // namespace qcongest::cache

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qcongest::cache {
+
+/// SHA-256 (FIPS 180-4) over an in-memory buffer, returned as 64 lowercase
+/// hex characters. This is the content-addressing hash of the result cache:
+/// the store names every object by the digest of its canonical job
+/// description, so the implementation must be byte-exact and
+/// platform-independent — no library dependency, no endianness surprises.
+std::string sha256_hex(std::string_view data);
+
+/// FNV-1a 64-bit over `data`. Cheaper companion hash used for store-entry
+/// integrity checksums (detecting torn or bit-rotted payloads on read, not
+/// resisting collisions — the SHA-256 key already owns identity).
+std::uint64_t fnv1a64(std::string_view data);
+
+}  // namespace qcongest::cache

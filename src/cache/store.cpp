@@ -1,0 +1,226 @@
+#include "src/cache/store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/cache/sha256.hpp"
+
+namespace qcongest::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kMagic = "qcache 1 ";
+
+bool hex_key(const std::string& key) {
+  if (key.size() < 16 || key.size() > 64) return false;
+  for (char c : key) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+std::string hex16(std::uint64_t value) {
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parse and verify one raw entry; true iff it carries a sound payload.
+bool decode_entry(const std::string& raw, std::string* payload) {
+  if (raw.size() < kMagic.size() ||
+      std::string_view(raw).substr(0, kMagic.size()) != kMagic) {
+    return false;
+  }
+  std::size_t eol = raw.find('\n', kMagic.size());
+  if (eol == std::string::npos) return false;
+  std::string_view header(raw.data() + kMagic.size(), eol - kMagic.size());
+  std::size_t space = header.find(' ');
+  if (space == std::string_view::npos) return false;
+  std::uint64_t size = 0;
+  for (char c : header.substr(0, space)) {
+    if (c < '0' || c > '9') return false;
+    if (size > (UINT64_MAX - 9) / 10) return false;
+    size = size * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  std::string_view checksum = header.substr(space + 1);
+  std::string_view body(raw.data() + eol + 1, raw.size() - eol - 1);
+  if (body.size() != size) return false;  // truncated or padded
+  if (checksum != hex16(fnv1a64(body))) return false;  // bit rot
+  if (payload != nullptr) payload->assign(body);
+  return true;
+}
+
+}  // namespace
+
+Store::Store(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) throw std::invalid_argument("Store: empty root");
+  while (root_.size() > 1 && root_.back() == '/') root_.pop_back();
+}
+
+std::string Store::object_path(const std::string& key) const {
+  if (!hex_key(key)) {
+    throw std::invalid_argument("Store: key is not lowercase hex: '" + key + "'");
+  }
+  return root_ + "/objects/" + key.substr(0, 2) + "/" + key.substr(2);
+}
+
+bool Store::get(const std::string& key, std::string* blob) {
+  const fs::path path = object_path(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return false;
+  }
+  std::string raw = read_file(path);
+  if (!decode_entry(raw, blob)) {
+    // Corrupt or truncated: degrade to a recomputed miss and drop the bad
+    // entry so the follow-up put starts clean.
+    fs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_misses;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.hits;
+  return true;
+}
+
+bool Store::put(const std::string& key, std::string_view blob,
+                std::string* error) {
+  const fs::path path = object_path(key);
+  auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.put_errors;
+    return false;
+  };
+
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) return fail("cannot create " + path.parent_path().string());
+  fs::create_directories(fs::path(root_) / "tmp", ec);
+  if (ec) return fail("cannot create " + root_ + "/tmp");
+
+  // Unique tmp name per in-flight write: two workers putting the same key
+  // concurrently each rename their own complete file (last one wins, both
+  // are byte-identical when the key derivation is sound).
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path tmp = fs::path(root_) / "tmp" /
+                       (key + "." + std::to_string(counter.fetch_add(1)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cannot open " + tmp.string());
+    out << kMagic << blob.size() << ' ' << hex16(fnv1a64(blob)) << '\n';
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      std::error_code cleanup;
+      fs::remove(tmp, cleanup);
+      return fail("short write to " + tmp.string());
+    }
+  }
+  fs::rename(tmp, path, ec);  // atomic publish
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
+    return fail("cannot rename " + tmp.string() + " -> " + path.string());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.puts;
+  return true;
+}
+
+Store::Stats Store::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Store::export_metrics(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.count("cache.hits", s.hits);
+  registry.count("cache.misses", s.misses);
+  registry.count("cache.corrupt_misses", s.corrupt_misses);
+  registry.count("cache.puts", s.puts);
+  registry.count("cache.put_errors", s.put_errors);
+}
+
+Store::GcResult Store::gc(std::uint64_t max_bytes) {
+  GcResult result;
+  std::error_code ec;
+
+  // Stale tmp/ files are crash debris; sweep unconditionally.
+  const fs::path tmp_dir = fs::path(root_) / "tmp";
+  if (fs::exists(tmp_dir, ec) && !ec) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(tmp_dir, ec)) {
+      std::error_code rm;
+      fs::remove(entry.path(), rm);
+    }
+  }
+
+  struct Entry {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  const fs::path objects = fs::path(root_) / "objects";
+  if (fs::exists(objects, ec) && !ec) {
+    for (const fs::directory_entry& item :
+         fs::recursive_directory_iterator(objects, ec)) {
+      if (!item.is_regular_file(ec) || ec) continue;
+      ++result.scanned;
+      if (!decode_entry(read_file(item.path()), nullptr)) {
+        std::error_code rm;
+        fs::remove(item.path(), rm);
+        ++result.corrupt_removed;
+        continue;
+      }
+      Entry entry;
+      entry.path = item.path();
+      entry.size = static_cast<std::uint64_t>(fs::file_size(item.path(), ec));
+      entry.mtime = fs::last_write_time(item.path(), ec);
+      entries.push_back(std::move(entry));
+      result.bytes_before += entries.back().size;
+    }
+  }
+
+  // Oldest first; paths break mtime ties so the eviction order is a pure
+  // function of the on-disk state.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  });
+  result.bytes_after = result.bytes_before;
+  for (const Entry& entry : entries) {
+    if (result.bytes_after <= max_bytes) break;
+    std::error_code rm;
+    fs::remove(entry.path, rm);
+    if (!rm) {
+      ++result.evicted;
+      result.bytes_after -= entry.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace qcongest::cache

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.hpp"
+
+namespace qcongest::cache {
+
+/// Content-addressed on-disk store for sealed result blobs (monotone's
+/// storage model: objects named by the hash of what produced them, fanned
+/// out under two-character prefix directories).
+///
+/// Layout under `root`:
+///   objects/<key[0:2]>/<key[2:]>   one entry per key
+///   tmp/<key>.<pid>                in-flight writes (never readable)
+///
+/// Durability contract:
+///  * put() writes the full entry to tmp/ and renames it into place —
+///    readers see either the complete entry or nothing, never a torn write;
+///    a crash mid-put leaves only tmp/ garbage for gc to sweep.
+///  * get() verifies the entry header (magic, payload size) and an FNV-1a
+///    payload checksum; a corrupt or truncated entry is unlinked and
+///    reported as a miss — the caller recomputes, it never crashes and
+///    never consumes bad bytes.
+///  * all methods are thread-safe (the service's pool workers share one
+///    Store); distinct keys never contend beyond the stats mutex.
+///
+/// Keys must be lowercase-hex strings (the KeyBuilder digest); anything
+/// else throws std::invalid_argument before touching the filesystem, so a
+/// hostile key cannot escape the store root.
+class Store {
+ public:
+  explicit Store(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Fetch the blob for `key` into *blob. False on miss — absent, corrupt,
+  /// or truncated (the latter two also unlink the bad entry).
+  bool get(const std::string& key, std::string* blob);
+
+  /// Atomically persist `blob` under `key`. False + *error on I/O failure;
+  /// overwriting an existing entry is allowed (last writer wins — both
+  /// wrote the same bytes if the key derivation is sound).
+  bool put(const std::string& key, std::string_view blob,
+           std::string* error = nullptr);
+
+  /// Running tallies since construction (thread-safe snapshot).
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;          // absent entries
+    std::size_t corrupt_misses = 0;  // failed verification, treated as miss
+    std::size_t puts = 0;
+    std::size_t put_errors = 0;
+  };
+  Stats stats() const;
+
+  /// Export the stats as "cache.*" counters (hit/miss visibility in run
+  /// tooling goes through the one metrics pipeline, DESIGN.md §10).
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Evict entries, oldest modification time first (ties broken by path so
+  /// two gc runs over the same tree delete the same files), until the
+  /// store holds at most `max_bytes` of entries. max_bytes == 0
+  /// empties the store. Unreadable or corrupt entries and stale tmp/ files
+  /// are always removed. Returns what happened.
+  struct GcResult {
+    std::size_t scanned = 0;
+    std::size_t evicted = 0;
+    std::size_t corrupt_removed = 0;
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_after = 0;
+  };
+  GcResult gc(std::uint64_t max_bytes);
+
+ private:
+  std::string object_path(const std::string& key) const;
+
+  std::string root_;
+  mutable std::mutex mutex_;  // guards stats_ only; file ops are lock-free
+  Stats stats_;
+};
+
+}  // namespace qcongest::cache

@@ -6,24 +6,85 @@
 
 namespace qcongest::obs {
 
+namespace {
+
+/// Decode the UTF-8 sequence starting at text[i]. Returns its length in
+/// bytes (1..4) and stores the code point, or returns 0 when the sequence
+/// is malformed: invalid lead byte, bad or missing continuation byte,
+/// overlong encoding, surrogate code point, or above U+10FFFF.
+std::size_t decode_utf8(std::string_view text, std::size_t i,
+                        std::uint32_t* code_point) {
+  const unsigned char lead = static_cast<unsigned char>(text[i]);
+  if (lead < 0x80) {
+    *code_point = lead;
+    return 1;
+  }
+  std::size_t len = 0;
+  std::uint32_t cp = 0;
+  std::uint32_t min = 0;
+  if ((lead & 0xE0) == 0xC0) {
+    len = 2; cp = lead & 0x1Fu; min = 0x80;
+  } else if ((lead & 0xF0) == 0xE0) {
+    len = 3; cp = lead & 0x0Fu; min = 0x800;
+  } else if ((lead & 0xF8) == 0xF0) {
+    len = 4; cp = lead & 0x07u; min = 0x10000;
+  } else {
+    return 0;  // continuation byte or 0xF8..0xFF lead
+  }
+  if (i + len > text.size()) return 0;  // truncated at end of input
+  for (std::size_t k = 1; k < len; ++k) {
+    const unsigned char cont = static_cast<unsigned char>(text[i + k]);
+    if ((cont & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (cont & 0x3Fu);
+  }
+  if (cp < min) return 0;                      // overlong encoding
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;  // UTF-16 surrogate
+  if (cp > 0x10FFFF) return 0;
+  *code_point = cp;
+  return len;
+}
+
+}  // namespace
+
 std::string json_escape(std::string_view text) {
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    const unsigned char byte = static_cast<unsigned char>(c);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(byte));
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (byte < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    std::uint32_t cp = 0;
+    const std::size_t len = decode_utf8(text, i, &cp);
+    if (len == 0) {
+      // One escaped replacement character per malformed byte, so the
+      // output stays pure ASCII and resynchronizes at the next valid lead.
+      out += "\\ufffd";
+      ++i;
+    } else {
+      out.append(text.substr(i, len));
+      i += len;
     }
   }
   return out;
@@ -147,6 +208,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  begin_value();
+  out_ += fragment;
+  return *this;
+}
+
 // --- Validator --------------------------------------------------------------
 
 namespace {
@@ -198,6 +265,13 @@ class Parser {
         return true;
       }
       if (c < 0x20) return fail("raw control character in string");
+      if (c >= 0x80) {
+        std::uint32_t cp = 0;
+        const std::size_t len = decode_utf8(text_, pos_, &cp);
+        if (len == 0) return fail("invalid UTF-8 in string");
+        pos_ += len;
+        continue;
+      }
       if (c == '\\') {
         ++pos_;
         if (pos_ >= text_.size()) return fail("truncated escape");

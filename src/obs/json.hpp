@@ -8,8 +8,14 @@
 namespace qcongest::obs {
 
 /// Escape `text` for inclusion inside a JSON string literal (the
-/// surrounding quotes are the caller's). Control characters below 0x20 are
-/// emitted as \u00XX so no input can produce invalid JSON.
+/// surrounding quotes are the caller's). Every control character
+/// U+0000..U+001F is escaped — \b \f \n \r \t by their short forms, the
+/// rest as \u00XX — and the bytes are validated as UTF-8: well-formed
+/// multi-byte sequences pass through unchanged, while each byte of a
+/// malformed sequence (bad lead or continuation byte, truncated sequence,
+/// overlong encoding, surrogate code point, > U+10FFFF) is replaced by an
+/// escaped U+FFFD replacement character. No input can produce invalid
+/// JSON, and escaping is deterministic byte-for-byte.
 std::string json_escape(std::string_view text);
 
 /// Render a double as a JSON token with `precision` significant digits.
@@ -50,6 +56,14 @@ class JsonWriter {
     return value(static_cast<std::int64_t>(number));
   }
   JsonWriter& null();
+
+  /// Splice a pre-rendered JSON value verbatim as the next value: the
+  /// leading comma and indentation are emitted exactly as for any other
+  /// value, then `fragment` is appended untouched. The fragment must be a
+  /// complete JSON value whose internal indentation already matches the
+  /// splice depth — which is how the result cache re-emits sealed report
+  /// sections byte-identically to a fresh render (Section::render).
+  JsonWriter& raw(std::string_view fragment);
 
   /// How many non-finite doubles were serialized as null so far.
   std::size_t non_finite_values() const { return non_finite_; }

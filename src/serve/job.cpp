@@ -7,6 +7,7 @@
 
 #include "src/apps/net_options.hpp"
 #include "src/apps/registry.hpp"
+#include "src/cache/key.hpp"
 #include "src/net/trace.hpp"
 #include "src/obs/round_profiler.hpp"
 #include "src/obs/run_report.hpp"
@@ -345,6 +346,27 @@ std::string run_job_report(const JobSpec& spec,
     section.set_label("error", "unknown exception");
   }
   return report.to_json();
+}
+
+std::string job_cache_key(const JobSpec& spec,
+                          std::size_t default_deadline_rounds,
+                          std::string_view salt) {
+  const std::size_t deadline =
+      spec.deadline_rounds > 0 ? spec.deadline_rounds : default_deadline_rounds;
+  cache::KeyBuilder key;
+  key.field("salt", salt);
+  key.field("producer", "qcongestd");
+  key.field("schema", static_cast<std::uint64_t>(obs::kReportSchemaVersion));
+  key.field("app", spec.app);
+  key.field("graph", spec.graph);
+  key.field("nodes", static_cast<std::uint64_t>(spec.nodes));
+  key.field("seed", spec.seed);
+  key.field("deadline_rounds", static_cast<std::uint64_t>(deadline));
+  key.field("transport",
+            spec.transport == net::Transport::kReliable ? "reliable" : "direct");
+  key.field("recover", spec.recover);
+  key.fault_plan("fault", job_fault_plan(spec));
+  return key.digest();
 }
 
 }  // namespace qcongest::serve

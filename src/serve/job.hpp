@@ -95,4 +95,16 @@ net::FaultPlan job_fault_plan(const JobSpec& spec);
 std::string run_job_report(const JobSpec& spec,
                            std::size_t default_deadline_rounds);
 
+/// The content-address of run_job_report's result: a cache::KeyBuilder
+/// digest over exactly the inputs the report bytes depend on — semantic
+/// spec fields plus the effective deadline — under `salt` (the
+/// code-version salt). Deliberately excluded: `id` (reply header only,
+/// never in the body) and `threads` (the engine's determinism contract
+/// makes the body thread-count-independent, so all thread budgets share
+/// one entry). fault_seed enters as its *effective* value, so an explicit
+/// "fault_seed=<seed*1000>" and the default produce the same key.
+std::string job_cache_key(const JobSpec& spec,
+                          std::size_t default_deadline_rounds,
+                          std::string_view salt);
+
 }  // namespace qcongest::serve

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/cache/store.hpp"
 #include "src/serve/job.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -31,6 +32,14 @@ struct ServiceConfig {
   /// Base of the retry-after hint in rejections; the hint scales with the
   /// overload depth so clients spread their retries.
   std::uint64_t retry_after_base_ms = 25;
+  /// Root of the content-addressed result cache (src/cache). Empty = no
+  /// caching. With a cache, admitted jobs take a read-through path: the
+  /// reply body for an identical (job, seed) submission — any thread
+  /// budget, any id — is served from the store instead of re-running, and
+  /// misses seal their report back in. Safe because the body is a pure
+  /// function of the job_cache_key inputs; a corrupt entry degrades to a
+  /// recomputed miss inside the store.
+  std::string cache_dir;
 };
 
 /// One reply per submitted job, exactly once.
@@ -94,6 +103,8 @@ class Service {
     std::size_t rejected_overload = 0;
     std::size_t invalid_specs = 0;
     std::size_t pending = 0;  // admitted, reply not yet delivered
+    std::size_t cache_hits = 0;    // replies served from the result cache
+    std::size_t cache_misses = 0;  // executed (and sealed) on a miss
   };
   Stats stats() const;
 
@@ -103,9 +114,12 @@ class Service {
   ServiceConfig config_;
   mutable std::mutex mutex_;
   Stats stats_;
+  /// The read-through result cache (null when cache_dir is empty). Must be
+  /// declared before pool_: draining workers still consult it.
+  std::unique_ptr<cache::Store> store_;
   /// Declared last, so it is destroyed first: the pool drains in-flight
-  /// jobs while the rest of the service (mutex, stats, config) is still
-  /// alive for their completion callbacks.
+  /// jobs while the rest of the service (mutex, stats, config, store) is
+  /// still alive for their completion callbacks.
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

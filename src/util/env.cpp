@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
+#include <string_view>
 
 namespace qcongest::util {
 
@@ -49,6 +50,46 @@ std::size_t env_thread_count(const char* text, std::size_t fallback,
 std::string env_directory(const char* text) {
   if (text == nullptr) return "";
   std::string dir = text;
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  return dir;
+}
+
+std::string env_cache_dir(const char* text, std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  if (text == nullptr) return "";
+
+  std::string dir = text;
+  bool blank = true;
+  for (char c : dir) {
+    if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+  }
+  if (blank) {
+    if (warning != nullptr) *warning = "is empty; caching disabled";
+    return "";
+  }
+
+  // Split on '/' and reject any ".." component of a relative path. The
+  // check is on components, not substrings: "..cache" and "a..b" are fine.
+  if (dir.front() != '/') {
+    std::size_t start = 0;
+    while (start <= dir.size()) {
+      std::size_t slash = dir.find('/', start);
+      std::string_view part =
+          slash == std::string::npos
+              ? std::string_view(dir).substr(start)
+              : std::string_view(dir).substr(start, slash - start);
+      if (part == "..") {
+        if (warning != nullptr) {
+          *warning = "is a relative path with '..' ('" + dir +
+                     "'); caching disabled";
+        }
+        return "";
+      }
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+  }
+
   while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
   return dir;
 }

@@ -24,4 +24,15 @@ std::size_t env_thread_count(const char* text, std::size_t fallback,
 /// callers can unconditionally append "/file" without doubling separators.
 std::string env_directory(const char* text);
 
+/// Strict parse of a cache-directory environment value (QCONGEST_CACHE_DIR
+/// and friends), matching the QCONGEST_BENCH_* strictness: null or unset ->
+/// "" with no warning (caching simply off); present but unusable -> ""
+/// plus a human-readable reason in *warning. Rejected: empty or
+/// whitespace-only values, and relative paths containing a ".." component
+/// (a relative climb silently escapes the working tree — an absolute path
+/// says where the cache lives, a relative "../x" says "somewhere above
+/// wherever you happen to run"). Accepted values are normalized like
+/// env_directory: trailing '/' stripped (a lone "/" stays the root).
+std::string env_cache_dir(const char* text, std::string* warning = nullptr);
+
 }  // namespace qcongest::util

@@ -74,6 +74,43 @@ TEST(EnvDirectory, NormalizesTrailingSlashes) {
   EXPECT_EQ(util::env_directory("/"), "/");  // root stays root
 }
 
+TEST(EnvCacheDir, UnsetIsOffWithoutWarning) {
+  std::string warning = "sentinel";
+  EXPECT_EQ(util::env_cache_dir(nullptr, &warning), "");
+  EXPECT_TRUE(warning.empty());
+}
+
+TEST(EnvCacheDir, EmptyOrBlankWarnsAndDisables) {
+  for (const char* bad : {"", "   ", "\t"}) {
+    std::string warning;
+    EXPECT_EQ(util::env_cache_dir(bad, &warning), "") << "input: '" << bad << "'";
+    EXPECT_FALSE(warning.empty()) << "input: '" << bad << "'";
+  }
+}
+
+TEST(EnvCacheDir, RejectsRelativeClimbs) {
+  // A relative ".." component escapes the working tree silently; reject.
+  for (const char* bad : {"..", "../cache", "a/../b", "cache/.."}) {
+    std::string warning;
+    EXPECT_EQ(util::env_cache_dir(bad, &warning), "") << "input: " << bad;
+    EXPECT_FALSE(warning.empty()) << "input: " << bad;
+  }
+  // The check is per component, not substring: dotted names are fine, and
+  // absolute paths may say whatever they like.
+  std::string warning;
+  EXPECT_EQ(util::env_cache_dir("..cache", &warning), "..cache");
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(util::env_cache_dir("a..b/c", &warning), "a..b/c");
+  EXPECT_EQ(util::env_cache_dir("/x/../y", &warning), "/x/../y");
+}
+
+TEST(EnvCacheDir, NormalizesTrailingSlashes) {
+  std::string warning;
+  EXPECT_EQ(util::env_cache_dir("/tmp/cache/", &warning), "/tmp/cache");
+  EXPECT_EQ(util::env_cache_dir("cache///", &warning), "cache");
+  EXPECT_EQ(util::env_cache_dir("/", &warning), "/");  // root stays root
+}
+
 TEST(SessionReport, IsProcessWideAndStartsEmpty) {
   obs::RunReport& report = bench::session_report();
   EXPECT_EQ(&report, &bench::session_report());

@@ -30,6 +30,78 @@ TEST(Json, EscapesControlCharactersAndQuotes) {
   EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
 }
 
+TEST(Json, EscapesEveryControlCharacter) {
+  // Regression test: \b and \f get their RFC 8259 short forms, everything
+  // else below 0x20 a \u00XX escape — including U+0000, which must never
+  // truncate the output.
+  EXPECT_EQ(json_escape(std::string_view("\b\f", 2)), "\\b\\f");
+  EXPECT_EQ(json_escape(std::string_view("\0", 1)), "\\u0000");
+  for (int c = 0; c < 0x20; ++c) {
+    const char byte = static_cast<char>(c);
+    const std::string escaped = json_escape(std::string_view(&byte, 1));
+    EXPECT_GE(escaped.size(), 2u) << "control char " << c << " passed raw";
+    EXPECT_EQ(escaped[0], '\\') << "control char " << c;
+    const std::string doc = "{\"k\": \"" + escaped + "\"}";
+    EXPECT_TRUE(json_valid(doc)) << "control char " << c;
+  }
+}
+
+TEST(Json, PassesWellFormedUtf8Through) {
+  // é (2 bytes), ∑ (3 bytes), 𝄞 (4 bytes) survive byte-for-byte.
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(json_escape("\xe2\x88\x91"), "\xe2\x88\x91");
+  EXPECT_EQ(json_escape("\xf0\x9d\x84\x9e"), "\xf0\x9d\x84\x9e");
+  EXPECT_TRUE(json_valid("\"caf\xc3\xa9\""));
+}
+
+TEST(Json, ReplacesMalformedUtf8) {
+  // Each malformed byte becomes an escaped U+FFFD — never raw passthrough
+  // (which used to emit invalid-UTF-8 documents strict parsers reject).
+  EXPECT_EQ(json_escape("\x80"), "\\ufffd");           // stray continuation
+  EXPECT_EQ(json_escape("\xff"), "\\ufffd");           // invalid lead
+  EXPECT_EQ(json_escape("\xc3"), "\\ufffd");           // truncated sequence
+  EXPECT_EQ(json_escape("\xc0\xaf"), "\\ufffd\\ufffd");  // overlong '/'
+  EXPECT_EQ(json_escape("\xed\xa0\x80"), "\\ufffd\\ufffd\\ufffd");  // surrogate
+  // Resynchronizes: valid text on both sides of the bad byte survives.
+  EXPECT_EQ(json_escape("a\x80z"), "a\\ufffdz");
+  const std::string doc = "{\"k\": \"" + json_escape("\xfe\xc3(") + "\"}";
+  EXPECT_TRUE(json_valid(doc));
+}
+
+TEST(Json, ValidatorRejectsMalformedUtf8Strings) {
+  EXPECT_TRUE(json_valid("\"caf\xc3\xa9\""));
+  std::string error;
+  EXPECT_FALSE(json_valid("\"\x80\"", &error));
+  EXPECT_NE(error.find("UTF-8"), std::string::npos);
+  EXPECT_FALSE(json_valid("\"\xc0\xaf\""));        // overlong
+  EXPECT_FALSE(json_valid("\"\xed\xa0\x80\""));    // surrogate
+  EXPECT_FALSE(json_valid("\"\xf4\x90\x80\x80\""));  // above U+10FFFF
+  EXPECT_FALSE(json_valid("\"\xc3\""));            // truncated at close quote
+}
+
+TEST(Json, RawSplicesVerbatimFragments) {
+  // Build the same array once with values, once by splicing pre-rendered
+  // fragments; the two documents must be byte-identical.
+  JsonWriter direct;
+  direct.begin_object();
+  direct.key("xs").begin_array();
+  direct.begin_object().key("a").value(1).end_object();
+  direct.begin_object().key("b").value(2).end_object();
+  direct.end_array();
+  direct.end_object();
+
+  JsonWriter spliced;
+  spliced.begin_object();
+  spliced.key("xs").begin_array();
+  spliced.raw("{\n      \"a\": 1\n    }");
+  spliced.raw("{\n      \"b\": 2\n    }");
+  spliced.end_array();
+  spliced.end_object();
+
+  EXPECT_EQ(direct.str(), spliced.str());
+  EXPECT_TRUE(json_valid(spliced.str()));
+}
+
 TEST(Json, NonFiniteNumbersSerializeAsNull) {
   // Regression test: NaN / ±Inf used to be printed raw into BENCH_*.json,
   // producing documents no JSON parser would accept.
@@ -295,6 +367,29 @@ TEST(RunReport, WritesToDiskWithoutThrowing) {
   // Unwritable path: reports failure through the out-param, never throws.
   EXPECT_FALSE(report.write("/nonexistent-dir/x/y.json", &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(RunReport, RenderedSectionsSpliceByteIdentically) {
+  // The result cache's contract: rendering each section standalone and
+  // splicing the fragments back produces the same bytes as a fresh
+  // to_json(), so a cache-hit report is indistinguishable from a computed
+  // one. Exercised with a rich section (labels, result, trace, profile,
+  // metrics) plus a second minimal one (mixed fresh/cached order).
+  RunReport fresh = make_report();
+  fresh.add_section("second").set_label("k", "v");
+
+  RunReport spliced("obs_test");
+  for (const RunReport::Section& section : fresh.sections()) {
+    spliced.add_rendered_section(section.name(), section.render());
+  }
+  EXPECT_EQ(spliced.to_json(), fresh.to_json());
+
+  // Mixed: first section cached, second fresh.
+  RunReport mixed("obs_test");
+  mixed.add_rendered_section(fresh.sections()[0].name(),
+                             fresh.sections()[0].render());
+  mixed.add_section("second").set_label("k", "v");
+  EXPECT_EQ(mixed.to_json(), fresh.to_json());
 }
 
 TEST(RunReport, EmptySectionsStillValid) {

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <string>
@@ -335,6 +337,77 @@ TEST(ServeService, IdenticalJobsYieldIdenticalBodiesUnderLoad) {
     bodies[side] = probe.body;
   }
   EXPECT_EQ(bodies[0], bodies[1]);
+}
+
+TEST(ServeService, ReadThroughCacheServesIdenticalJobsByteIdentically) {
+  // The read-through contract: with a cache_dir configured, the second
+  // submission of the same (job, seed) — even under a different client id
+  // and thread budget — is served from the store, byte-identical, and the
+  // hit/miss counters say which path ran.
+  namespace fs = std::filesystem;
+  const fs::path cache_dir =
+      fs::path(::testing::TempDir()) / "serve_read_through_cache";
+  fs::remove_all(cache_dir);
+
+  ServiceConfig config;
+  config.workers = 2;
+  config.cache_dir = cache_dir.string();
+  Service service(config);
+
+  JobReply cold = wait_submit(
+      service, "id=c1\napp=bfs\nnodes=14\nseed=9\ndrop=0.03\nthreads=1\n");
+  ASSERT_EQ(cold.status, JobReply::Status::kOk);
+  JobReply warm = wait_submit(
+      service, "id=c2\napp=bfs\nnodes=14\nseed=9\ndrop=0.03\nthreads=8\n");
+  ASSERT_EQ(warm.status, JobReply::Status::kOk);
+  EXPECT_EQ(cold.body, warm.body);
+
+  Service::Stats stats = service.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // A semantically different job must not be served from the same entry.
+  JobReply other = wait_submit(
+      service, "id=c3\napp=bfs\nnodes=14\nseed=10\ndrop=0.03\n");
+  ASSERT_EQ(other.status, JobReply::Status::kOk);
+  EXPECT_NE(other.body, cold.body);
+  EXPECT_EQ(service.stats().cache_misses, 2u);
+  fs::remove_all(cache_dir);
+}
+
+TEST(ServeService, CorruptCacheEntryIsRecomputedNotServed) {
+  namespace fs = std::filesystem;
+  const fs::path cache_dir =
+      fs::path(::testing::TempDir()) / "serve_corrupt_cache";
+  fs::remove_all(cache_dir);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.cache_dir = cache_dir.string();
+  Service service(config);
+
+  const std::string spec = "id=k1\napp=leader\nnodes=10\nseed=4\n";
+  JobReply first = wait_submit(service, spec);
+  ASSERT_EQ(first.status, JobReply::Status::kOk);
+
+  // Flip a byte in the single sealed entry behind the service's back.
+  fs::path entry;
+  for (const fs::directory_entry& item :
+       fs::recursive_directory_iterator(cache_dir / "objects")) {
+    if (item.is_regular_file()) entry = item.path();
+  }
+  ASSERT_FALSE(entry.empty());
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>('~'));
+  }
+
+  JobReply second = wait_submit(service, spec);
+  ASSERT_EQ(second.status, JobReply::Status::kOk);
+  EXPECT_EQ(second.body, first.body);  // recomputed, not parroted corruption
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+  fs::remove_all(cache_dir);
 }
 
 // -------------------------------------------------------------- the backoff

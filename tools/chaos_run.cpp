@@ -7,9 +7,27 @@
 //             [--threads T] [--jobs J] [--deadline ROUNDS]
 //             [--verify] [--audit-determinism] [--report PATH]
 //             [--amnesia] [--recover]
+//             [--cache] [--no-cache] [--cache-dir PATH]
+//   chaos_run gc [--cache-dir PATH] [--max-bytes N]
 //
 // families: tree | path | cycle | grid | random | star | complete
 // (the shared suite and topology factory live in src/apps/registry)
+//
+// The sweep is an experiment DAG (src/cache/dag): one node per (app, fault
+// level), where every faulty level depends on its app's clean run (the
+// overhead denominator), scheduled ready-first across --jobs workers.
+// Results are sealed blobs in the content-addressed store (src/cache/store)
+// keyed by everything that can change the bytes — app, topology spec, seed,
+// trials, transport, fault level, deadline, and the code-version salt — so
+// a second identical invocation is served entirely from cache, and any
+// input change is a clean miss. --verify bypasses the cache (its shared
+// conformance observer must see every run execute).
+//
+// Cache selection: --cache-dir PATH wins; otherwise QCONGEST_CACHE_DIR
+// (strict-parsed — a malformed value disables caching with a warning);
+// --cache falls back to ./.qcongest-cache when neither is set; --no-cache
+// always wins. `chaos_run gc` evicts oldest-first down to --max-bytes
+// (default 64 MiB) and sweeps tmp/ and corrupt entries.
 //
 // --deadline R (default off) attaches a recover::Watchdog with a hard
 // round deadline to every run: a protocol still going after R physical
@@ -22,9 +40,9 @@
 // (Engine::set_threads); results are byte-identical to --threads 1. The
 // determinism audit exploits this: with --threads > 1 it diffs a serial run
 // against a sharded run instead of two serial runs, which is the strongest
-// reproducibility check the tool offers. --jobs J fans independent sweep
-// trials across J workers (ignored under --verify, whose shared conformance
-// observer must see runs one at a time).
+// reproducibility check the tool offers. --jobs J fans ready sweep
+// experiments across J DAG workers (ignored under --verify, whose shared
+// conformance observer must see runs one at a time).
 //
 // Fault levels pair a word-drop probability with proportional corruption
 // (rate/5) and duplication (rate/10) so a single knob exercises all three
@@ -70,13 +88,18 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/apps/net_options.hpp"
 #include "src/apps/registry.hpp"
+#include "src/cache/dag.hpp"
+#include "src/cache/key.hpp"
+#include "src/cache/store.hpp"
 #include "src/check/verifier.hpp"
 #include "src/net/fault.hpp"
 #include "src/net/trace.hpp"
@@ -84,7 +107,7 @@
 #include "src/obs/round_profiler.hpp"
 #include "src/obs/run_report.hpp"
 #include "src/recover/watchdog.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/util/env.hpp"
 
 using namespace qcongest;
 
@@ -104,6 +127,10 @@ struct Options {
   bool recover = false;  // ...with checkpointing + neighbor-assisted catch-up
   std::string report;  // run-report output path ("" = no report)
   std::size_t deadline_rounds = 0;  // watchdog round deadline (0 = off)
+  // Result-cache selection: 0 = auto (QCONGEST_CACHE_DIR decides), +1 =
+  // --cache (fall back to ./.qcongest-cache), -1 = --no-cache.
+  int cache_mode = 0;
+  std::string cache_dir;  // --cache-dir override (implies on)
 };
 
 // Crash window of the --amnesia lane, in physical rounds: late enough that
@@ -149,6 +176,14 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.recover = true;
       continue;
     }
+    if (flag == "--cache") {
+      opt.cache_mode = 1;
+      continue;
+    }
+    if (flag == "--no-cache") {
+      opt.cache_mode = -1;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
       return false;
@@ -170,6 +205,8 @@ bool parse(int argc, char** argv, Options& opt) {
       if (opt.jobs == 0) opt.jobs = 1;
     } else if (flag == "--report") {
       opt.report = value;
+    } else if (flag == "--cache-dir") {
+      opt.cache_dir = value;
     } else if (flag == "--deadline") {
       opt.deadline_rounds = static_cast<std::size_t>(std::stoul(value));
     } else if (flag == "--transport") {
@@ -417,12 +454,217 @@ std::string rate_label(double rate) {
   return buf;
 }
 
+// --- Result cache ------------------------------------------------------------
+
+/// Resolve the cache root from flags and environment. Empty = caching off.
+std::string resolve_cache_dir(const Options& opt) {
+  if (opt.cache_mode < 0) return "";
+  if (!opt.cache_dir.empty()) return opt.cache_dir;
+  std::string warning;
+  std::string dir =
+      util::env_cache_dir(std::getenv("QCONGEST_CACHE_DIR"), &warning);
+  if (!warning.empty()) {
+    std::fprintf(stderr, "chaos_run: QCONGEST_CACHE_DIR %s\n", warning.c_str());
+  }
+  if (dir.empty() && opt.cache_mode > 0) dir = ".qcongest-cache";
+  return dir;
+}
+
+/// One sweep trial's sealed facts — everything the table and the exit-code
+/// bar need, nothing else (so the blob is stable across presentation-only
+/// changes to the tool).
+struct TrialStat {
+  bool success = false;
+  std::size_t rounds = 0;
+  std::size_t retransmissions = 0;
+};
+
+constexpr std::string_view kSweepBlobMagic = "chaos-sweep 1";
+
+std::string encode_sweep_blob(const std::vector<TrialStat>& trials) {
+  std::string blob(kSweepBlobMagic);
+  blob += '\n';
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    blob += "trial " + std::to_string(i) +
+            " success=" + std::to_string(trials[i].success ? 1 : 0) +
+            " rounds=" + std::to_string(trials[i].rounds) +
+            " retrans=" + std::to_string(trials[i].retransmissions) + '\n';
+  }
+  return blob;
+}
+
+bool decode_sweep_blob(const std::string& blob, std::vector<TrialStat>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  auto next_line = [&](std::string_view* line) {
+    if (pos >= blob.size()) return false;
+    std::size_t eol = blob.find('\n', pos);
+    if (eol == std::string::npos) return false;  // blobs end in '\n'
+    *line = std::string_view(blob).substr(pos, eol - pos);
+    pos = eol + 1;
+    return true;
+  };
+  std::string_view line;
+  if (!next_line(&line) || line != kSweepBlobMagic) return false;
+  while (next_line(&line)) {
+    TrialStat stat;
+    unsigned long long index = 0, success = 0, rounds = 0, retrans = 0;
+    if (std::sscanf(std::string(line).c_str(),
+                    "trial %llu success=%llu rounds=%llu retrans=%llu", &index,
+                    &success, &rounds, &retrans) != 4 ||
+        success > 1 || index != out->size()) {
+      return false;
+    }
+    stat.success = success == 1;
+    stat.rounds = static_cast<std::size_t>(rounds);
+    stat.retransmissions = static_cast<std::size_t>(retrans);
+    out->push_back(stat);
+  }
+  return true;
+}
+
+/// Content address of one (app, fault level) sweep experiment: every input
+/// that can change the sealed blob, plus the code-version salt. --threads
+/// and --jobs are deliberately absent — results are byte-identical across
+/// both (the determinism contract), so varying them must still hit.
+std::string sweep_cache_key(const Options& opt, const net::Graph& graph,
+                            std::string_view app_name, double rate) {
+  cache::KeyBuilder key;
+  key.field("salt", cache::code_version_salt());
+  key.field("producer", "chaos_run-sweep");
+  key.field("blob_schema", std::uint64_t{1});
+  key.field("app", app_name);
+  key.field("graph", opt.graph);
+  key.field("nodes", static_cast<std::uint64_t>(graph.num_nodes()));
+  key.field("trials", static_cast<std::uint64_t>(opt.trials));
+  key.field("seed", opt.seed);
+  key.field("deadline_rounds", static_cast<std::uint64_t>(opt.deadline_rounds));
+  key.field("transport",
+            opt.transport == net::Transport::kReliable ? "reliable" : "direct");
+  key.field("drop", rate);  // corrupt (rate/5) and duplicate (rate/10) derive
+  return key.digest();
+}
+
+/// Execute one sweep experiment: opt.trials seeded trials, serial within
+/// the node (the DAG scheduler provides the fan-out across experiments).
+std::string run_sweep_experiment(const net::Graph& graph, const Options& opt,
+                                 const AppEntry& app, double rate,
+                                 check::Verifier* verifier) {
+  std::vector<TrialStat> stats(opt.trials);
+  for (std::size_t trial = 0; trial < opt.trials; ++trial) {
+    apps::NetOptions options;
+    options.transport = opt.transport;
+    options.threads = opt.threads;
+    options.fault_plan.link.drop = rate;
+    options.fault_plan.link.corrupt = rate / 5.0;
+    options.fault_plan.link.duplicate = rate / 10.0;
+    options.seed = opt.seed + trial;
+    options.fault_plan.seed = opt.seed * 1000 + trial;
+    if (verifier != nullptr) options.observer = verifier;
+    // --deadline: a per-trial, stack-local watchdog — concurrent experiments
+    // (--jobs) must never share observer state. The LivelockError it throws
+    // at the deadline is absorbed by the catch below as a failed trial.
+    recover::WatchdogConfig deadline_config;
+    deadline_config.deadline_rounds = opt.deadline_rounds;
+    recover::Watchdog trial_watchdog(deadline_config);
+    if (opt.deadline_rounds > 0) options.watchdog = &trial_watchdog;
+    try {
+      Outcome out = app.run(graph, options);
+      stats[trial].success = out.success;
+      stats[trial].rounds = out.cost.rounds;
+      stats[trial].retransmissions = out.cost.retransmissions;
+    } catch (const std::exception&) {
+      stats[trial].success = false;  // a run that tripped an invariant
+      if (verifier != nullptr) verifier->abandon_run();
+    }
+  }
+  return encode_sweep_blob(stats);
+}
+
+/// `chaos_run gc`: evict the store down to --max-bytes, oldest first.
+int run_gc(int argc, char** argv) {
+  std::string dir;
+  std::uint64_t max_bytes = 64ull << 20;  // 64 MiB default budget
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", flag.c_str());
+      return 2;
+    }
+    std::string value = argv[++i];
+    if (flag == "--cache-dir") {
+      dir = value;
+    } else if (flag == "--max-bytes") {
+      char* end = nullptr;
+      max_bytes = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "bad --max-bytes: %s\n", value.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown gc flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::string warning;
+    dir = util::env_cache_dir(std::getenv("QCONGEST_CACHE_DIR"), &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "chaos_run: QCONGEST_CACHE_DIR %s\n",
+                   warning.c_str());
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "chaos_run gc: no cache directory (--cache-dir or "
+                 "QCONGEST_CACHE_DIR)\n");
+    return 2;
+  }
+  cache::Store store(dir);
+  const cache::Store::GcResult result = store.gc(max_bytes);
+  std::printf(
+      "# gc %s: scanned=%zu evicted=%zu corrupt_removed=%zu "
+      "bytes=%llu -> %llu (budget %llu)\n",
+      dir.c_str(), result.scanned, result.evicted, result.corrupt_removed,
+      static_cast<unsigned long long>(result.bytes_before),
+      static_cast<unsigned long long>(result.bytes_after),
+      static_cast<unsigned long long>(max_bytes));
+  return 0;
+}
+
+/// Content address of one report section: the section name already encodes
+/// the app and fault level (or the amnesia lane), so the key adds the
+/// topology spec, seed, transport, lane knobs, schema version, and salt.
+std::string report_section_key(const Options& opt, const net::Graph& graph,
+                               const std::string& section_name) {
+  cache::KeyBuilder key;
+  key.field("salt", cache::code_version_salt());
+  key.field("producer", "chaos_run-report");
+  key.field("schema", static_cast<std::uint64_t>(obs::kReportSchemaVersion));
+  key.field("section", section_name);
+  key.field("graph", opt.graph);
+  key.field("nodes", static_cast<std::uint64_t>(graph.num_nodes()));
+  key.field("seed", opt.seed);
+  key.field("deadline_rounds", static_cast<std::uint64_t>(opt.deadline_rounds));
+  key.field("transport",
+            opt.transport == net::Transport::kReliable ? "reliable" : "direct");
+  key.field("amnesia", opt.amnesia);
+  key.field("recover", opt.recover);
+  return key.digest();
+}
+
 /// The --report pass: one instrumented run per (app, fault level) with the
 /// full observability stack attached, merged into a single schema-versioned
 /// document. Everything recorded is seed-deterministic (no wall-clock, no
 /// thread counts), so the file is byte-identical for any --threads value.
+///
+/// With a store, each section is read through the result cache: a hit
+/// splices the sealed fragment back into the document (Section::render /
+/// add_rendered_section keep the bytes identical to a fresh render); a miss
+/// runs, renders, and seals. Cached and uncached invocations therefore
+/// write byte-for-byte the same file.
 int write_run_report(const net::Graph& graph, const Options& opt,
-                     const std::vector<AppEntry>& suite) {
+                     const std::vector<AppEntry>& suite, cache::Store* store) {
   obs::RunReport report("chaos_run");
   const std::vector<double> rates = {0.0, 0.05};
 
@@ -431,6 +673,16 @@ int write_run_report(const net::Graph& graph, const Options& opt,
   auto instrument = [&](const AppEntry& app, const std::string& section_name,
                         apps::NetOptions options,
                         const std::function<void(obs::RunReport::Section&)>& label) {
+    std::string key;
+    if (store != nullptr) {
+      key = report_section_key(opt, graph, section_name);
+      std::string fragment;
+      if (store->get(key, &fragment)) {
+        report.add_rendered_section(section_name, std::move(fragment));
+        return;
+      }
+    }
+
     net::Trace trace;
     obs::RoundProfiler profiler;
     options.trace = &trace;
@@ -456,7 +708,7 @@ int write_run_report(const net::Graph& graph, const Options& opt,
       load.observe(static_cast<double>(count));
     }
 
-    obs::RunReport::Section& section = report.add_section(section_name);
+    obs::RunReport::Section section(section_name);
     section.set_label("app", app.name);
     section.set_label("graph", opt.graph);
     section.set_label("nodes", std::to_string(graph.num_nodes()));
@@ -467,6 +719,13 @@ int write_run_report(const net::Graph& graph, const Options& opt,
     section.set_profile(profiler);
     section.set_trace(trace);
     section.set_metrics(metrics);
+
+    std::string fragment = section.render();
+    if (store != nullptr) {
+      std::string put_error;
+      (void)store->put(key, fragment, &put_error);  // best effort
+    }
+    report.add_rendered_section(section_name, std::move(fragment));
   };
 
   const net::NodeId victim = graph.num_nodes() / 2;
@@ -527,6 +786,8 @@ int write_run_report(const net::Graph& graph, const Options& opt,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "gc") == 0) return run_gc(argc, argv);
+
   Options opt;
   if (!parse(argc, argv, opt)) {
     std::puts(
@@ -535,6 +796,8 @@ int main(int argc, char** argv) {
         "                 [--threads T] [--jobs J] [--deadline ROUNDS]\n"
         "                 [--verify] [--audit-determinism] [--report PATH]\n"
         "                 [--amnesia] [--recover]\n"
+        "                 [--cache] [--no-cache] [--cache-dir PATH]\n"
+        "       chaos_run gc [--cache-dir PATH] [--max-bytes N]\n"
         "families: tree path cycle grid random star complete");
     return 2;
   }
@@ -549,16 +812,25 @@ int main(int argc, char** argv) {
     if (name != "dj" && name != "meeting") suite.push_back(app);
   }
 
+  // The result cache (src/cache): shared by the sweep DAG and the report
+  // pass. The determinism audit never touches it — its whole point is to
+  // re-execute.
+  const std::string cache_dir = resolve_cache_dir(opt);
+  std::unique_ptr<cache::Store> store;
+  if (!cache_dir.empty()) store = std::make_unique<cache::Store>(cache_dir);
+
   if (opt.audit_determinism) return run_determinism_audit(graph, opt, suite);
 
   if (opt.amnesia) {
     // The recovery lane runs the full registry: dj and meeting are
     // multi-phase (election + tree build + pipelined aggregation), the
-    // richest recovery surface the suite has.
+    // richest recovery surface the suite has. The lane itself always
+    // executes (its verdicts are about live behaviour under a watchdog);
+    // only the report sections read through the cache.
     const std::vector<AppEntry>& recovery_suite = apps::app_registry();
     int exit_code = run_recovery_lane(graph, opt, recovery_suite);
     if (!opt.report.empty()) {
-      int report_code = write_run_report(graph, opt, recovery_suite);
+      int report_code = write_run_report(graph, opt, recovery_suite, store.get());
       if (report_code != 0) exit_code = report_code;
     }
     return exit_code;
@@ -569,66 +841,87 @@ int main(int argc, char** argv) {
 
   std::size_t jobs = opt.jobs;
   if (opt.verify && jobs > 1) {
-    std::printf("# --verify shares one conformance observer; trials run serially\n");
+    std::printf("# --verify shares one conformance observer; experiments run serially\n");
     jobs = 1;
   }
-  util::ThreadPool trial_pool(jobs);
+  // --verify must observe every run execute, so it bypasses the cache.
+  cache::Store* sweep_store = opt.verify ? nullptr : store.get();
 
   std::printf("# graph=%s nodes=%zu trials=%zu transport=%s threads=%zu jobs=%zu\n",
               opt.graph.c_str(), graph.num_nodes(), opt.trials,
               opt.transport == net::Transport::kReliable ? "reliable" : "direct",
               opt.threads, jobs);
+  if (store != nullptr) {
+    std::printf("# cache: %s%s\n", cache_dir.c_str(),
+                sweep_store == nullptr ? " (bypassed by --verify)" : "");
+  }
+
+  // The sweep as an experiment DAG: one node per (app, fault level); every
+  // faulty level depends on its app's clean run, whose median rounds is the
+  // overhead denominator. The runner schedules ready nodes across `jobs`
+  // workers, serves hits from the store, and seals misses back in;
+  // aggregation below consumes sealed blobs only, so the table is identical
+  // whether a row was computed or replayed.
+  std::vector<cache::Experiment> experiments;
+  for (const AppEntry& app : suite) {
+    const std::string clean_name =
+        std::string(app.name) + "@drop=" + rate_label(rates[0]);
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      const double rate = rates[ri];
+      cache::Experiment experiment;
+      experiment.name = std::string(app.name) + "@drop=" + rate_label(rate);
+      if (ri > 0) experiment.deps.push_back(clean_name);
+      if (sweep_store != nullptr) {
+        experiment.key = sweep_cache_key(opt, graph, app.name, rate);
+      }
+      check::Verifier* observer = opt.verify ? &verifier : nullptr;
+      experiment.produce = [&graph, &opt, &app, rate, observer]() {
+        return run_sweep_experiment(graph, opt, app, rate, observer);
+      };
+      experiments.push_back(std::move(experiment));
+    }
+  }
+
+  obs::MetricsRegistry cache_metrics;
+  cache::DagRunner runner(sweep_store, &cache_metrics);
+  const std::vector<cache::ExperimentResult> results =
+      runner.run(experiments, jobs);
+
   std::printf("%-12s %6s %8s %6s %9s %11s %9s %13s\n", "app", "drop", "corrupt",
               "dup", "success", "med_rounds", "overhead", "retrans/run");
 
   int exit_code = 0;
+  std::size_t result_index = 0;
   for (const AppEntry& app : suite) {
     double clean_rounds = 0.0;
-    for (double rate : rates) {
-      apps::NetOptions options;
-      options.transport = opt.transport;
-      options.threads = opt.threads;
-      options.fault_plan.link.drop = rate;
-      options.fault_plan.link.corrupt = rate / 5.0;
-      options.fault_plan.link.duplicate = rate / 10.0;
-      if (opt.verify) options.observer = &verifier;
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+      const double rate = rates[ri];
+      const cache::ExperimentResult& result = results[result_index++];
+      std::vector<TrialStat> stats;
+      if (!result.ok) {
+        std::fprintf(stderr, "chaos_run: experiment %s failed: %s\n",
+                     result.name.c_str(), result.error.c_str());
+        exit_code = 1;
+      } else if (!decode_sweep_blob(result.blob, &stats)) {
+        std::fprintf(stderr, "chaos_run: experiment %s: undecodable blob\n",
+                     result.name.c_str());
+        exit_code = 1;
+        stats.clear();
+      }
 
-      // Independent trials (own engine, own seeds) fan out across the job
-      // pool; aggregation below stays in trial order, so the report is the
-      // same for any --jobs value.
-      std::vector<Outcome> outcomes(opt.trials);
-      trial_pool.parallel_for(opt.trials, [&](std::size_t trial) {
-        apps::NetOptions trial_options = options;
-        trial_options.seed = opt.seed + trial;
-        trial_options.fault_plan.seed = opt.seed * 1000 + trial;
-        // --deadline: a per-trial, stack-local watchdog — concurrent trials
-        // (--jobs) must never share observer state. The LivelockError it
-        // throws at the deadline is absorbed by the catch below as a failed
-        // trial.
-        recover::WatchdogConfig deadline_config;
-        deadline_config.deadline_rounds = opt.deadline_rounds;
-        recover::Watchdog trial_watchdog(deadline_config);
-        if (opt.deadline_rounds > 0) trial_options.watchdog = &trial_watchdog;
-        try {
-          outcomes[trial] = app.run(graph, trial_options);
-        } catch (const std::exception&) {
-          outcomes[trial].success = false;  // a run that tripped an invariant
-          if (opt.verify) verifier.abandon_run();
-        }
-      });
       std::size_t successes = 0;
       std::size_t retransmissions = 0;
       std::vector<double> rounds;
-      for (const Outcome& out : outcomes) {
-        retransmissions += out.cost.retransmissions;
-        if (out.success) {
+      for (const TrialStat& stat : stats) {
+        retransmissions += stat.retransmissions;
+        if (stat.success) {
           ++successes;
-          rounds.push_back(static_cast<double>(out.cost.rounds));
+          rounds.push_back(static_cast<double>(stat.rounds));
         }
       }
 
       double med = median(rounds);
-      if (rate == 0.0) clean_rounds = med;
+      if (ri == 0) clean_rounds = med;
       double overhead = clean_rounds > 0.0 && med > 0.0 ? med / clean_rounds : 0.0;
       double success_rate =
           static_cast<double>(successes) / static_cast<double>(opt.trials);
@@ -652,8 +945,18 @@ int main(int argc, char** argv) {
     if (!verifier.ok()) exit_code = 1;
   }
   if (!opt.report.empty()) {
-    int report_code = write_run_report(graph, opt, suite);
+    int report_code = write_run_report(graph, opt, suite, store.get());
     if (report_code != 0) exit_code = report_code;
+  }
+  if (store != nullptr) {
+    // hit/miss/evict visibility rides the metrics pipeline (the DAG runner
+    // counted dag.* into cache_metrics above); the store totals below also
+    // cover the report pass, which shares the same Store.
+    store->export_metrics(cache_metrics);
+    const cache::Store::Stats totals = store->stats();
+    std::printf("# cache: hits=%zu misses=%zu puts=%zu corrupt=%zu\n",
+                totals.hits, totals.misses + totals.corrupt_misses, totals.puts,
+                totals.corrupt_misses);
   }
   return exit_code;
 }

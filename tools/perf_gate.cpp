@@ -220,32 +220,83 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-/// One line-JSON trajectory record per gate invocation, appended to the
+/// Extract the "label" value of one history record written by
+/// append_history below (the gate owns both ends of the format). Empty
+/// when the line carries no label field.
+std::string history_label(const std::string& line) {
+  const std::string marker = "\"label\": \"";
+  std::size_t start = line.find(marker);
+  if (start == std::string::npos) return "";
+  start += marker.size();
+  std::string label;
+  for (std::size_t i = start; i < line.size(); ++i) {
+    if (line[i] == '\\') {
+      ++i;
+      if (i < line.size()) label.push_back(line[i]);
+      continue;
+    }
+    if (line[i] == '"') return label;
+    label.push_back(line[i]);
+  }
+  return "";
+}
+
+/// One line-JSON trajectory record per gate invocation, merged into the
 /// committed history file. Timings are per-run snapshots; the committed
 /// sequence of records is the perf trajectory the run-reports job renders.
+///
+/// The merge keeps the file healthy instead of trusting it blindly:
+/// malformed lines (a truncated append, a botched conflict resolution) are
+/// dropped with a warning rather than aborting the gate, and any earlier
+/// record with this label is replaced — re-running the gate on the same
+/// commit updates its record instead of stuttering the trajectory.
 void append_history(const std::string& path, const std::string& label,
                     const std::string& baseline_file,
                     const std::vector<DeltaRow>& rows) {
-  std::ofstream out(path, std::ios::app);
-  if (!out) throw std::runtime_error("cannot append history to " + path);
-  out << "{\"label\": \"" << json_escape(label) << "\", \"baseline\": \""
-      << json_escape(baseline_file) << "\", \"runs\": [";
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    std::size_t line_number = 0;
+    while (in && std::getline(in, line)) {
+      ++line_number;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (!qcongest::obs::json_valid(line)) {
+        std::cerr << "perf_gate: warning: " << path << ":" << line_number
+                  << ": skipping malformed history line\n";
+        continue;
+      }
+      if (!label.empty() && history_label(line) == label) continue;  // dedupe
+      kept.push_back(line);
+    }
+  }
+
+  std::ostringstream record;
+  record << "{\"label\": \"" << json_escape(label) << "\", \"baseline\": \""
+         << json_escape(baseline_file) << "\", \"runs\": [";
   bool first = true;
-  out.setf(std::ios::fixed);
-  out.precision(0);
+  record.setf(std::ios::fixed);
+  record.precision(0);
   for (const DeltaRow& row : rows) {
     if (row.missing) continue;
-    if (!first) out << ", ";
+    if (!first) record << ", ";
     first = false;
     std::ostringstream ratio;
     ratio.setf(std::ios::fixed);
     ratio.precision(4);
     ratio << row.ratio();
-    out << "{\"name\": \"" << json_escape(row.name) << "\", \"baseline_ns\": "
-        << row.base_ns << ", \"current_ns\": " << row.cur_ns
-        << ", \"ratio\": " << ratio.str() << "}";
+    record << "{\"name\": \"" << json_escape(row.name) << "\", \"baseline_ns\": "
+           << row.base_ns << ", \"current_ns\": " << row.cur_ns
+           << ", \"ratio\": " << ratio.str() << "}";
   }
-  out << "]}\n";
+  record << "]}";
+  kept.push_back(record.str());
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write history to " + path);
+  for (const std::string& line : kept) out << line << "\n";
+  out.flush();
+  if (!out) throw std::runtime_error("short write to " + path);
 }
 
 std::string read_file(const std::string& path) {

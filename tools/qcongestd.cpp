@@ -23,6 +23,7 @@
 #include <string>
 
 #include "src/serve/server.hpp"
+#include "src/util/env.hpp"
 
 namespace {
 
@@ -45,6 +46,8 @@ void usage(const char* argv0) {
       "  --max-connections <n> concurrent connections (default 64)\n"
       "  --max-nodes <n>       per-job node cap (default 256)\n"
       "  --deadline-rounds <n> default watchdog deadline (default 200000)\n"
+      "  --cache-dir <path>    content-addressed result cache root\n"
+      "                        (default $QCONGEST_CACHE_DIR; empty = off)\n"
       "  --port-file <path>    write the bound port to this file\n",
       argv0);
 }
@@ -115,12 +118,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.service.default_deadline_rounds = value;
+    } else if (arg == "--cache-dir") {
+      config.service.cache_dir = next();
     } else if (arg == "--port-file") {
       port_file = next();
     } else {
       std::fprintf(stderr, "qcongestd: unknown option %s\n", arg.c_str());
       usage(argv[0]);
       return 2;
+    }
+  }
+
+  // --cache-dir wins; otherwise the strict QCONGEST_CACHE_DIR parse decides
+  // (a malformed value disables caching with a visible reason, it never
+  // half-configures the store).
+  if (config.service.cache_dir.empty()) {
+    std::string warning;
+    config.service.cache_dir = qcongest::util::env_cache_dir(
+        std::getenv("QCONGEST_CACHE_DIR"), &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "qcongestd: QCONGEST_CACHE_DIR %s\n", warning.c_str());
     }
   }
 
@@ -158,10 +175,12 @@ int main(int argc, char** argv) {
   std::printf(
       "qcongestd: shut down cleanly "
       "(connections=%zu shed_connections=%zu frames=%zu protocol_errors=%zu "
-      "jobs=%zu completed=%zu shed_jobs=%zu invalid=%zu)\n",
+      "jobs=%zu completed=%zu shed_jobs=%zu invalid=%zu "
+      "cache_hits=%zu cache_misses=%zu)\n",
       server_stats.connections_accepted, server_stats.connections_rejected,
       server_stats.frames_received, server_stats.protocol_errors,
       service_stats.submitted, service_stats.completed,
-      service_stats.rejected_overload, service_stats.invalid_specs);
+      service_stats.rejected_overload, service_stats.invalid_specs,
+      service_stats.cache_hits, service_stats.cache_misses);
   return 0;
 }
