@@ -1,0 +1,139 @@
+// Infra — durability layer cost (EXPERIMENTS.md E-durable).
+//
+// Three numbers bound what --journal-dir charges the service:
+//   1. BM_JournalAppend: the per-record write-ahead cost on the admission
+//      path (encode + checksum + append, with rotation/compaction folded
+//      in at realistic segment sizes).
+//   2. BM_RecoveryScan: restart latency — scanning and classifying a
+//      segment full of lifecycle records, the work between exec() and the
+//      first replayed job.
+//   3. BM_ServiceSubmitLatency: end-to-end submit -> reply latency with
+//      the journal off vs on; the E-durable gate expects the on/off ratio
+//      to stay under ~1.05 (journal writes are two tiny appends against a
+//      full protocol simulation).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/serve/journal.hpp"
+#include "src/serve/service.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace qcongest;
+using namespace qcongest::serve;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("qcongest_bench_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string hex_key(std::size_t i) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%032zx", i);
+  return buf;
+}
+
+JournalRecord make_record(JournalRecordType type, std::size_t i) {
+  JournalRecord record;
+  record.type = type;
+  record.key = hex_key(i);
+  record.id = "job-" + std::to_string(i);
+  if (type == JournalRecordType::kAccepted) {
+    record.spec = "id=job-" + std::to_string(i) +
+                  "\napp=bfs\nnodes=16\nseed=" + std::to_string(i) + "\n";
+  }
+  return record;
+}
+
+void BM_JournalAppend(benchmark::State& state) {
+  const std::string dir = fresh_dir("journal_append");
+  JournalConfig config;
+  config.dir = dir;
+  config.rotate_bytes = static_cast<std::size_t>(state.range(0));
+  Journal journal(config);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    journal.append(make_record(JournalRecordType::kAccepted, i));
+    journal.append(make_record(JournalRecordType::kCompleted, i));
+    ++i;
+  }
+  const Journal::Stats stats = journal.stats();
+  state.counters["appends"] = static_cast<double>(stats.appends);
+  state.counters["rotations"] = static_cast<double>(stats.rotations);
+  state.counters["compactions"] = static_cast<double>(stats.compactions);
+  state.counters["bytes_per_job"] =
+      i > 0 ? static_cast<double>(stats.bytes_appended) / static_cast<double>(i)
+            : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.appends));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_JournalAppend)
+    ->ArgName("rotate_bytes")
+    ->Arg(1 << 20)
+    ->Arg(1 << 14);
+
+void BM_RecoveryScan(benchmark::State& state) {
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  std::string bytes;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    bytes += encode_journal_record(make_record(JournalRecordType::kAccepted, i));
+    bytes += encode_journal_record(make_record(JournalRecordType::kStarted, i));
+    if (i % 4 != 0) {  // leave a quarter incomplete, like a real crash
+      bytes +=
+          encode_journal_record(make_record(JournalRecordType::kCompleted, i));
+    }
+  }
+
+  std::size_t records = 0;
+  for (auto _ : state) {
+    std::vector<JournalRecord> decoded;
+    JournalScanStats stats;
+    scan_journal_segment(bytes, &decoded, &stats);
+    records = stats.records;
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["segment_bytes"] = static_cast<double>(bytes.size());
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      bytes.size() * static_cast<std::size_t>(state.iterations())));
+}
+BENCHMARK(BM_RecoveryScan)->ArgName("jobs")->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ServiceSubmitLatency(benchmark::State& state) {
+  const bool journaled = state.range(0) != 0;
+  const std::string dir = fresh_dir("journal_service");
+  ServiceConfig config;
+  config.workers = 2;
+  if (journaled) config.journal_dir = dir;
+  Service service(config);
+
+  std::size_t seed = 1;
+  for (auto _ : state) {
+    // A unique seed each round keeps every job a genuine run (no cache,
+    // no in-flight coalescing), so the delta between arms is pure journal.
+    const std::string spec = "id=lat-" + std::to_string(seed) +
+                             "\napp=bfs\nnodes=16\nseed=" +
+                             std::to_string(seed) + "\n";
+    ++seed;
+    std::atomic<bool> done{false};
+    service.submit(spec, [&](const JobReply&) { done.store(true); });
+    while (!done.load()) {
+    }
+  }
+  state.counters["journal"] = journaled ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ServiceSubmitLatency)->ArgName("journal")->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,195 @@
+#!/usr/bin/env bash
+# Crash-smoke gate: the durability contract of --journal-dir, held under a
+# real SIGKILL. Three phases:
+#
+#   REF    an uninterrupted daemon runs a fixed burst of jobs and dumps
+#          every report body — the byte-identity reference.
+#   CHAOS  a fresh daemon (1 worker, journal + cache on) takes the same
+#          burst from qload --reconnect, is SIGKILLed mid-flight, and is
+#          restarted on the same port with 6 workers. qload must reconnect,
+#          resubmit, and finish with every job ok — and every report must
+#          be byte-identical to the reference. Replayed jobs, cache
+#          re-serves, and fresh runs are all indistinguishable on the wire;
+#          that is the whole point.
+#   TAIL   garbage is appended to the newest journal segment (a torn /
+#          corrupt tail, as a crash mid-append would leave). The restart
+#          must boot with zero lost accepted jobs and zero double-runs:
+#          every resubmitted job re-serves from the cache (cache_misses=0)
+#          and matches the reference bytes.
+#
+# Usage: scripts/crash_smoke.sh [build_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+QCONGESTD="${BUILD_DIR}/tools/qcongestd"
+QLOAD="${BUILD_DIR}/tools/qload"
+
+WORK_DIR=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill -9 "${SERVER_PID}" 2>/dev/null || true
+    wait "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+JOBS=24
+LOAD_ARGS=(--jobs "${JOBS}" --burst --apps diameter,multibfs,bfs
+           --graph complete --nodes 24 --drop 0.1 --seed 7)
+
+start_daemon() {  # start_daemon <log> <workers> <extra-args...>
+  local log=$1 workers=$2
+  shift 2
+  "${QCONGESTD}" --workers "${workers}" --max-nodes 64 "$@" \
+    > "${log}" 2>&1 &
+  SERVER_PID=$!
+}
+
+wait_port() {  # wait_port <port_file> <log>
+  local port_file=$1 log=$2
+  for _ in $(seq 1 100); do
+    [[ -s "${port_file}" ]] && return 0
+    kill -0 "${SERVER_PID}" 2>/dev/null || {
+      echo "crash-smoke: daemon died during startup"; cat "${log}"; exit 1; }
+    sleep 0.1
+  done
+  echo "crash-smoke: daemon never bound a port"; cat "${log}"; exit 1
+}
+
+fail=0
+
+echo "== phase 1: reference run (no crash) =="
+start_daemon "${WORK_DIR}/ref.log" 2 --port 0 --port-file "${WORK_DIR}/ref.port"
+wait_port "${WORK_DIR}/ref.port" "${WORK_DIR}/ref.log"
+REF_PORT=$(cat "${WORK_DIR}/ref.port")
+"${QLOAD}" --port "${REF_PORT}" "${LOAD_ARGS[@]}" \
+  --dump-dir "${WORK_DIR}/ref" --shutdown || fail=1
+wait "${SERVER_PID}" || { echo "crash-smoke: reference daemon exited nonzero"; fail=1; }
+SERVER_PID=""
+ref_count=$(ls "${WORK_DIR}/ref" | wc -l)
+[[ "${ref_count}" -eq "${JOBS}" ]] || {
+  echo "crash-smoke: reference run dumped ${ref_count}/${JOBS} reports"; fail=1; }
+
+echo "== phase 2: SIGKILL mid-burst, restart, every byte identical =="
+JOURNAL="${WORK_DIR}/journal"
+CACHE="${WORK_DIR}/cache"
+start_daemon "${WORK_DIR}/chaos1.log" 1 --port 0 \
+  --port-file "${WORK_DIR}/chaos.port" \
+  --journal-dir "${JOURNAL}" --cache-dir "${CACHE}"
+wait_port "${WORK_DIR}/chaos.port" "${WORK_DIR}/chaos1.log"
+PORT=$(cat "${WORK_DIR}/chaos.port")
+
+"${QLOAD}" --port "${PORT}" "${LOAD_ARGS[@]}" --reconnect \
+  --dump-dir "${WORK_DIR}/out" > "${WORK_DIR}/qload.log" 2>&1 &
+QLOAD_PID=$!
+
+# Let the burst land and a few jobs finish, then kill without mercy: some
+# jobs are completed (journal proves it), some accepted-but-unfinished
+# (journal replays them), maybe one is mid-append (torn tail).
+sleep 0.4
+kill -9 "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+echo "   killed worker-1 daemon mid-burst"
+
+# Restart on the same port, same journal and cache, more workers: the
+# byte-identity contract must hold across a different execution schedule.
+start_daemon "${WORK_DIR}/chaos2.log" 6 --port "${PORT}" \
+  --journal-dir "${JOURNAL}" --cache-dir "${CACHE}" \
+  --stats-json "${WORK_DIR}/chaos2-stats.json"
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${WORK_DIR}/chaos2.log" 2>/dev/null && break
+  kill -0 "${SERVER_PID}" 2>/dev/null || {
+    echo "crash-smoke: restarted daemon died"; cat "${WORK_DIR}/chaos2.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "journal recovered" "${WORK_DIR}/chaos2.log" || {
+  echo "crash-smoke: restart log has no recovery line"; fail=1; }
+
+if wait "${QLOAD_PID}"; then
+  echo "   qload survived the crash: $(tail -n 1 "${WORK_DIR}/qload.log")"
+else
+  echo "crash-smoke: qload failed across the restart"
+  cat "${WORK_DIR}/qload.log"
+  fail=1
+fi
+
+for ref in "${WORK_DIR}/ref/"*.json; do
+  name=$(basename "${ref}")
+  if ! cmp -s "${ref}" "${WORK_DIR}/out/${name}"; then
+    echo "crash-smoke: report ${name} differs from the uninterrupted run"
+    fail=1
+  fi
+done
+echo "   ${ref_count} reports byte-checked against the reference"
+
+echo "== phase 3: corrupt journal tail, zero lost jobs, zero double-runs =="
+"${QLOAD}" --port "${PORT}" --jobs 1 --apps bfs --nodes 8 --seed 999 \
+  --shutdown >/dev/null 2>&1 || true
+for _ in $(seq 1 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "${SERVER_PID}" 2>/dev/null && {
+  echo "crash-smoke: daemon ignored shutdown"; exit 1; }
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+newest_wal=$(ls "${JOURNAL}"/wal-*.log | sort | tail -n 1)
+printf 'qwal1 accepted 999999 0123456789abcdef\ntorn mid-append' >> "${newest_wal}"
+echo "   appended garbage tail to $(basename "${newest_wal}")"
+
+start_daemon "${WORK_DIR}/chaos3.log" 4 --port "${PORT}" \
+  --journal-dir "${JOURNAL}" --cache-dir "${CACHE}" \
+  --stats-json "${WORK_DIR}/chaos3-stats.json"
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${WORK_DIR}/chaos3.log" 2>/dev/null && break
+  kill -0 "${SERVER_PID}" 2>/dev/null || {
+    echo "crash-smoke: daemon died on a corrupt journal"; cat "${WORK_DIR}/chaos3.log"; exit 1; }
+  sleep 0.1
+done
+# Zero lost accepted jobs: everything finished before the clean shutdown,
+# so the corrupted tail must not resurrect (or lose) anything.
+grep -q "journal recovered incomplete=0" "${WORK_DIR}/chaos3.log" || {
+  echo "crash-smoke: corrupt tail changed the recovered set"
+  cat "${WORK_DIR}/chaos3.log"; fail=1; }
+
+"${QLOAD}" --port "${PORT}" "${LOAD_ARGS[@]}" \
+  --dump-dir "${WORK_DIR}/out3" --shutdown || fail=1
+for _ in $(seq 1 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+for ref in "${WORK_DIR}/ref/"*.json; do
+  name=$(basename "${ref}")
+  if ! cmp -s "${ref}" "${WORK_DIR}/out3/${name}"; then
+    echo "crash-smoke: post-corruption report ${name} differs"
+    fail=1
+  fi
+done
+# Zero double-runs: every resubmission re-served from the sealed cache.
+grep -q '"service.cache_misses": 0' "${WORK_DIR}/chaos3-stats.json" || {
+  echo "crash-smoke: resubmission after restart re-ran a completed job:"
+  cat "${WORK_DIR}/chaos3-stats.json"; fail=1; }
+hits=$(grep -o '"service.cache_hits": [0-9]*' "${WORK_DIR}/chaos3-stats.json" \
+  | grep -o '[0-9]*$' || echo 0)
+[[ "${hits}" -ge "${JOBS}" ]] || {
+  echo "crash-smoke: expected >= ${JOBS} cache hits, saw ${hits}"; fail=1; }
+echo "   all ${JOBS} resubmissions served from cache (${hits} hits, 0 misses)"
+
+echo "== daemon logs =="
+tail -n 4 "${WORK_DIR}/chaos1.log" || true
+tail -n 6 "${WORK_DIR}/chaos2.log" || true
+tail -n 6 "${WORK_DIR}/chaos3.log" || true
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "crash-smoke: FAIL"
+  exit 1
+fi
+echo "crash-smoke: PASS"

@@ -110,4 +110,15 @@ std::uint64_t fnv1a64(std::string_view data) {
   return hash;
 }
 
+std::string fnv1a64_hex(std::string_view data) {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t value = fnv1a64(data);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
 }  // namespace qcongest::cache

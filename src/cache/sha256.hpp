@@ -18,4 +18,9 @@ std::string sha256_hex(std::string_view data);
 /// resisting collisions — the SHA-256 key already owns identity).
 std::uint64_t fnv1a64(std::string_view data);
 
+/// fnv1a64 rendered as 16 lowercase hex characters — the canonical
+/// checksum field of both the store's entry header and the journal's
+/// record header, so the two persistence formats stay comparable on disk.
+std::string fnv1a64_hex(std::string_view data);
+
 }  // namespace qcongest::cache

@@ -26,16 +26,6 @@ bool hex_key(const std::string& key) {
   return true;
 }
 
-std::string hex16(std::uint64_t value) {
-  static const char* hex = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = hex[value & 0xF];
-    value >>= 4;
-  }
-  return out;
-}
-
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return "";
@@ -64,7 +54,7 @@ bool decode_entry(const std::string& raw, std::string* payload) {
   std::string_view checksum = header.substr(space + 1);
   std::string_view body(raw.data() + eol + 1, raw.size() - eol - 1);
   if (body.size() != size) return false;  // truncated or padded
-  if (checksum != hex16(fnv1a64(body))) return false;  // bit rot
+  if (checksum != fnv1a64_hex(body)) return false;  // bit rot
   if (payload != nullptr) payload->assign(body);
   return true;
 }
@@ -130,7 +120,7 @@ bool Store::put(const std::string& key, std::string_view blob,
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return fail("cannot open " + tmp.string());
-    out << kMagic << blob.size() << ' ' << hex16(fnv1a64(blob)) << '\n';
+    out << kMagic << blob.size() << ' ' << fnv1a64_hex(blob) << '\n';
     out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     out.flush();
     if (!out) {
@@ -204,11 +194,13 @@ Store::GcResult Store::gc(std::uint64_t max_bytes) {
     }
   }
 
-  // Oldest first; paths break mtime ties so the eviction order is a pure
-  // function of the on-disk state.
+  // Oldest first; equal mtimes (coarse filesystem timestamps make them
+  // common in tests and bulk imports) fall back to lexicographic order of
+  // the generic path string, so the eviction order is a pure function of
+  // the on-disk state — reproducible across runs and platforms.
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
     if (a.mtime != b.mtime) return a.mtime < b.mtime;
-    return a.path < b.path;
+    return a.path.generic_string() < b.path.generic_string();
   });
   result.bytes_after = result.bytes_before;
   for (const Entry& entry : entries) {

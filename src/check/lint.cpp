@@ -1000,6 +1000,55 @@ void check_catch_all_swallow(RuleCtx& ctx) {
   }
 }
 
+// --- Rule: unchecked-io-result ----------------------------------------------
+
+void check_unchecked_io_result(RuleCtx& ctx) {
+  // The persistence paths: the journal/cache files that promise durability
+  // and the reactor sockets. A write()/fsync()/rename() whose result is
+  // dropped turns "durable" into "probably durable" — ENOSPC, EIO, and
+  // disk-full all report through exactly the return value being ignored.
+  if (!path_contains(ctx.path, "src/serve") &&
+      !path_contains(ctx.path, "src/cache")) {
+    return;
+  }
+  static const std::set<std::string> kCalls = {
+      "write", "pwrite", "fsync", "fdatasync", "rename", "ftruncate"};
+  const std::vector<Token>& code = ctx.code;
+  auto at_statement_start = [&](std::size_t s) {
+    if (s == 0) return true;
+    const Token& prev = code[s - 1];
+    return is_punct(prev, ";") || is_punct(prev, "{") || is_punct(prev, "}");
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != TokenKind::kIdentifier || kCalls.count(t.text) == 0) continue;
+    if (!ctx.punct_at(i + 1, "(")) continue;
+    // Member calls (stream.write) and named-namespace calls (fs::rename,
+    // which reports through an error_code or throws) are out of scope;
+    // only the POSIX spellings `call(...)` and `::call(...)` are IO-result
+    // carriers here.
+    std::size_t s = i;
+    if (i >= 1 && is_punct(code[i - 1], "::")) {
+      if (i >= 2 && code[i - 2].kind == TokenKind::kIdentifier) continue;
+      s = i - 1;
+    } else if (i >= 1 && (is_punct(code[i - 1], ".") || is_punct(code[i - 1], "->"))) {
+      continue;
+    }
+    bool bare = at_statement_start(s);
+    // `(void)call(...)` is the same silent discard with extra ceremony; an
+    // intentional drop must say why via qlint-allow instead.
+    bool void_cast = s >= 3 && is_punct(code[s - 3], "(") &&
+                     is_ident(code[s - 2], "void") && is_punct(code[s - 1], ")") &&
+                     at_statement_start(s - 3);
+    if (!bare && !void_cast) continue;
+    ctx.flag(t.line, "unchecked-io-result",
+             "result of '" + t.text +
+                 "()' ignored in a persistence path: ENOSPC/EIO report "
+                 "through this return value — check it and degrade "
+                 "explicitly (journal-style), or qlint-allow with a reason");
+  }
+}
+
 }  // namespace
 
 // --- Public API -------------------------------------------------------------
@@ -1035,6 +1084,9 @@ const std::vector<RuleInfo>& rule_infos() {
        "Engine round loop, Statevector::apply*, or the SIMD kernels"},
       {"catch-all-swallow",
        "catch (...) that neither rethrows nor produces a structured error"},
+      {"unchecked-io-result",
+       "write/fsync/rename/ftruncate result ignored in the src/serve or "
+       "src/cache persistence paths"},
   };
   return kRules;
 }
@@ -1124,6 +1176,7 @@ std::vector<LintDiagnostic> lint_source(
   check_untrusted_narrowing(ctx);
   check_hot_path_alloc(ctx);
   check_catch_all_swallow(ctx);
+  check_unchecked_io_result(ctx);
 
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const LintDiagnostic& a, const LintDiagnostic& b) {

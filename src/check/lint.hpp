@@ -12,9 +12,9 @@ namespace qcongest::check {
 /// line-regex engine lied about strings, raw strings, multi-line
 /// constructs, and preprocessor continuations; the lexer does not).
 ///
-/// Ten rules, each guarding a determinism, accounting, or service-safety
-/// contract of the reproduction (see DESIGN.md "Invariants & static
-/// analysis"):
+/// Twelve rules, each guarding a determinism, accounting, or
+/// service-safety contract of the reproduction (see DESIGN.md
+/// "Invariants & static analysis"):
 ///
 ///   banned-random      rand()/srand()/std::random_device/time(NULL) outside
 ///                      src/util — all randomness must flow through the
@@ -76,6 +76,18 @@ namespace qcongest::check {
 ///                      stderr). Swallowed exceptions erase failures from
 ///                      the accounting; designated isolation boundaries
 ///                      carry an explicit qlint-allow with a reason.
+///   hot-path-alloc     a heap allocation (new, unreserved push_back,
+///                      std::function, make_unique/make_shared/malloc) in
+///                      the Engine round loop, Statevector::apply*, or the
+///                      SIMD kernels — the measured hot paths must not
+///                      allocate per round.
+///   unchecked-io-result  a statement-level `write`/`pwrite`/`fsync`/
+///                      `fdatasync`/`rename`/`ftruncate` (bare or
+///                      ::-qualified POSIX spelling, including the
+///                      `(void)` cast form) whose return value is dropped
+///                      in src/serve or src/cache. Those return values are
+///                      the only place ENOSPC/EIO surface; the durability
+///                      layer must check them and degrade explicitly.
 ///
 /// Suppression must name its reason: append
 ///   `// qlint-allow(rule): reason` to the flagged line (a bare

@@ -92,4 +92,10 @@ void MetricsRegistry::write_json(JsonWriter& writer) const {
   writer.end_object();
 }
 
+std::string MetricsRegistry::to_json() const {
+  JsonWriter writer;
+  write_json(writer);
+  return writer.str();
+}
+
 }  // namespace qcongest::obs

@@ -69,6 +69,10 @@ class MetricsRegistry {
   /// "histograms": ...}), names sorted.
   void write_json(JsonWriter& writer) const;
 
+  /// The write_json document as a standalone string — the one-call form
+  /// for consumers that dump a whole registry (qcongestd --stats-json).
+  std::string to_json() const;
+
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;

@@ -32,6 +32,22 @@ std::string LivelockError::describe(Kind kind, std::size_t round,
   return what;
 }
 
+std::string Diagnosis::to_string() const {
+  std::string out = subsystem;
+  out += ' ';
+  out += kind;
+  if (!subject.empty()) {
+    out += " [";
+    out += subject;
+    out += ']';
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
 void Watchdog::on_run_begin(const net::Engine& engine) {
   last_traffic_round_ = 0;
   suspects_.clear();

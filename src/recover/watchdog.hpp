@@ -51,6 +51,26 @@ class LivelockError : public std::runtime_error {
   std::vector<net::NodeId> suspects_;
 };
 
+/// A structured recovery diagnosis, the non-throwing sibling of
+/// LivelockError for subsystems that must keep going after noticing damage
+/// (the job journal's replay scan, checkpoint loaders). Like the livelock
+/// path it carries provenance as fields — which subsystem, which invariant,
+/// which object — so callers log or count structurally instead of parsing
+/// prose; to_string renders the one-line form that ends up on stderr.
+struct Diagnosis {
+  /// Subsystem that noticed the damage, e.g. "journal".
+  std::string subsystem;
+  /// Invariant that failed, a stable lowercase token, e.g. "orphan_record",
+  /// "invalid_spec", "corrupt_segment".
+  std::string kind;
+  /// The damaged object: a journal key, a segment file name, a node id.
+  std::string subject;
+  /// Free-form human detail (never parsed).
+  std::string detail;
+
+  std::string to_string() const;
+};
+
 /// Liveness thresholds, all in rounds (never wall clock — the watchdog must
 /// stay seed-deterministic and thread-count independent). Zero disables a
 /// check. stall_rounds must comfortably exceed any legitimate outage: the

@@ -1,0 +1,618 @@
+#include "src/serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/cache/sha256.hpp"
+
+namespace qcongest::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kMagic = "qwal1 ";
+/// Ceiling on a claimed payload length; anything above it is a corrupted
+/// length prefix, not a real record (specs are tiny, reports never enter
+/// the journal). Keeps a flipped bit in the length field from swallowing
+/// the rest of a segment as "payload".
+constexpr std::size_t kMaxRecordPayload = 1 << 20;
+
+bool hex_key(const std::string& key) {
+  if (key.size() < 16 || key.size() > 64) return false;
+  for (char c : key) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+bool type_from_word(std::string_view word, JournalRecordType* type) {
+  if (word == "accepted") *type = JournalRecordType::kAccepted;
+  else if (word == "started") *type = JournalRecordType::kStarted;
+  else if (word == "completed") *type = JournalRecordType::kCompleted;
+  else if (word == "aborted") *type = JournalRecordType::kAborted;
+  else return false;
+  return true;
+}
+
+std::string sanitize_line(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+/// Parse a verified payload back into a record (the checksum already
+/// passed; this guards the field structure). False on malformed layout.
+bool decode_payload(JournalRecordType type, std::string_view payload,
+                    JournalRecord* record) {
+  record->type = type;
+  record->key.clear();
+  record->id.clear();
+  record->spec.clear();
+  record->reason.clear();
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    std::string_view line = payload.substr(pos, eol - pos);
+    if (line.empty()) {
+      // Blank separator: the rest is the spec text, verbatim.
+      if (type != JournalRecordType::kAccepted) return false;
+      record->spec.assign(payload.substr(eol + 1 > payload.size()
+                                             ? payload.size()
+                                             : eol + 1));
+      break;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return false;
+    std::string_view name = line.substr(0, eq);
+    std::string_view value = line.substr(eq + 1);
+    if (name == "key") record->key.assign(value);
+    else if (name == "id") record->id.assign(value);
+    else if (name == "reason") record->reason.assign(value);
+    else return false;  // unknown header = not a sound record
+    pos = eol + 1;
+  }
+  if (!hex_key(record->key)) return false;
+  if (type == JournalRecordType::kAccepted && record->spec.empty()) return false;
+  return true;
+}
+
+/// Parse `<type> <len> <fnv16>` after the magic. False on any deviation.
+bool parse_header(std::string_view rest, JournalRecordType* type,
+                  std::size_t* len, std::string_view* checksum) {
+  std::size_t sp1 = rest.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  if (!type_from_word(rest.substr(0, sp1), type)) return false;
+  std::size_t sp2 = rest.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  std::size_t value = 0;
+  for (char c : rest.substr(sp1 + 1, sp2 - sp1 - 1)) {
+    if (c < '0' || c > '9') return false;
+    if (value > (kMaxRecordPayload + 9)) return false;  // early overflow cut
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *len = value;
+  *checksum = rest.substr(sp2 + 1);
+  if (checksum->size() != 16) return false;
+  for (char c : *checksum) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+std::string segment_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Sequence number of a segment file name, or 0 if the name is foreign.
+std::uint64_t segment_seq(const std::string& name) {
+  if (name.size() < 13 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return 0;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = 4; i + 4 < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+/// Segment paths in `dir`, sorted by file name (= sequence order).
+std::vector<fs::path> list_segments(const std::string& dir) {
+  std::vector<fs::path> segments;
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) return segments;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (segment_seq(entry.path().filename().string()) == 0) continue;
+    segments.push_back(entry.path());
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  return segments;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string_view journal_type_word(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::kAccepted: return "accepted";
+    case JournalRecordType::kStarted: return "started";
+    case JournalRecordType::kCompleted: return "completed";
+    case JournalRecordType::kAborted: return "aborted";
+  }
+  return "accepted";
+}
+
+std::string encode_journal_record(const JournalRecord& record) {
+  std::string payload = "key=" + record.key + "\nid=" +
+                        sanitize_line(record.id) + "\n";
+  if (record.type == JournalRecordType::kAborted) {
+    payload += "reason=" + sanitize_line(record.reason) + "\n";
+  }
+  if (record.type == JournalRecordType::kAccepted) {
+    payload += "\n";
+    payload += record.spec;
+  }
+  std::string out;
+  out.reserve(payload.size() + 48);
+  out += kMagic;
+  out += journal_type_word(record.type);
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += cache::fnv1a64_hex(payload);
+  out += '\n';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+void scan_journal_segment(std::string_view bytes, std::vector<JournalRecord>* out,
+                          JournalScanStats* stats) {
+  std::size_t pos = 0;
+  // Skip damage by hunting for the next plausible record boundary; the
+  // checksum then arbitrates whether it really is one.
+  auto resync = [&](std::size_t from) {
+    ++stats->corrupt_records;
+    std::size_t next = bytes.find("\nqwal1 ", from);
+    if (next == std::string_view::npos) {
+      pos = bytes.size();
+      return;
+    }
+    ++stats->resyncs;
+    pos = next + 1;
+  };
+  while (pos < bytes.size()) {
+    std::size_t eol = bytes.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      // No complete header line remains: a record (or garbage) cut at EOF.
+      // Indistinguishable from a crash mid-append, so count it as torn.
+      stats->torn_tail = true;
+      return;
+    }
+    if (bytes.compare(pos, kMagic.size(), kMagic) != 0) {
+      resync(pos);
+      continue;
+    }
+    JournalRecordType type;
+    std::size_t len = 0;
+    std::string_view checksum;
+    if (!parse_header(bytes.substr(pos + kMagic.size(), eol - pos - kMagic.size()),
+                      &type, &len, &checksum) ||
+        len > kMaxRecordPayload) {
+      resync(eol);
+      continue;
+    }
+    std::size_t end = eol + 1 + len + 1;  // payload + trailing newline
+    if (end > bytes.size()) {
+      // The file ends inside the claimed payload. A genuine torn tail —
+      // unless a later record boundary exists, which means the length
+      // prefix itself is corrupt and the tail is salvageable.
+      if (bytes.find("\nqwal1 ", eol) != std::string_view::npos) {
+        resync(eol);
+        continue;
+      }
+      stats->torn_tail = true;
+      return;
+    }
+    std::string_view payload = bytes.substr(eol + 1, len);
+    if (bytes[end - 1] != '\n' || cache::fnv1a64_hex(payload) != checksum) {
+      // Payload-level damage under a parseable header. Prefer skipping by
+      // the claimed length — when the flipped byte is in the payload (or
+      // the separator newline itself) the next record sits exactly at
+      // `end` even though no "\n" boundary survives to search for. If the
+      // length field was what got flipped, `end` lands in garbage; fall
+      // back to the boundary hunt.
+      if (end == bytes.size() ||
+          bytes.compare(end, kMagic.size(), kMagic) == 0) {
+        ++stats->corrupt_records;
+        pos = end;
+        continue;
+      }
+      resync(eol);
+      continue;
+    }
+    JournalRecord record;
+    if (!decode_payload(type, payload, &record)) {
+      // Well-framed (the checksum passed) but structurally foreign: skip
+      // by the verified frame length, no resync hunt needed.
+      ++stats->corrupt_records;
+      pos = end;
+      continue;
+    }
+    ++stats->records;
+    if (out != nullptr) out->push_back(std::move(record));
+    pos = end;
+  }
+}
+
+bool JournalRecovery::is_terminal(const std::string& key) const {
+  auto it = terminal_.find(key);
+  return it != terminal_.end() && it->second;
+}
+
+JournalRecovery recover_journal(const std::string& dir) {
+  JournalRecovery recovery;
+  struct JobState {
+    bool accepted = false;
+    bool terminal = false;
+    std::size_t order = 0;
+    std::string id;
+    std::string spec;
+  };
+  std::map<std::string, JobState> jobs;
+  std::size_t next_order = 0;
+
+  for (const fs::path& segment : list_segments(dir)) {
+    ++recovery.segments;
+    std::vector<JournalRecord> records;
+    JournalScanStats scan;
+    scan_journal_segment(read_file(segment), &records, &scan);
+    recovery.records += scan.records;
+    recovery.corrupt_records += scan.corrupt_records;
+    recovery.resyncs += scan.resyncs;
+    if (scan.torn_tail) ++recovery.torn_tails;
+    if (scan.corrupt_records > 0) {
+      recovery.diagnostics.push_back(recover::Diagnosis{
+          "journal", "corrupt_segment", segment.filename().string(),
+          std::to_string(scan.corrupt_records) + " corrupt record(s) skipped, " +
+              std::to_string(scan.resyncs) + " resync(s)"});
+    }
+
+    for (JournalRecord& record : records) {
+      JobState& state = jobs[record.key];
+      switch (record.type) {
+        case JournalRecordType::kAccepted:
+          // First acceptance wins; duplicates (compaction echoes, client
+          // resubmissions that raced a crash) are idempotent, and a
+          // terminal state is never resurrected.
+          if (!state.accepted && !state.terminal) {
+            state.accepted = true;
+            state.order = next_order++;
+            state.id = std::move(record.id);
+            state.spec = std::move(record.spec);
+          }
+          break;
+        case JournalRecordType::kStarted:
+          if (!state.accepted && !state.terminal) {
+            recovery.diagnostics.push_back(recover::Diagnosis{
+                "journal", "orphan_record", record.key,
+                "started record without an accepted record (id=" + record.id +
+                    ", segment " + segment.filename().string() + ")"});
+          }
+          break;
+        case JournalRecordType::kCompleted:
+        case JournalRecordType::kAborted:
+          if (!state.accepted && !state.terminal) {
+            recovery.diagnostics.push_back(recover::Diagnosis{
+                "journal", "orphan_record", record.key,
+                std::string(journal_type_word(record.type)) +
+                    " record without an accepted record (id=" + record.id +
+                    ", segment " + segment.filename().string() + ")"});
+          }
+          // Terminal states absorb regardless of record order, so replay
+          // can never re-run a job that any surviving record proves done.
+          if (!state.terminal) {
+            state.terminal = true;
+            if (record.type == JournalRecordType::kCompleted) {
+              ++recovery.completed_jobs;
+            } else {
+              ++recovery.aborted_jobs;
+            }
+          }
+          break;
+      }
+    }
+  }
+
+  std::vector<std::pair<std::size_t, RecoveredJob>> ordered;
+  for (auto& [key, state] : jobs) {
+    if (state.accepted) ++recovery.accepted_jobs;
+    recovery.terminal_[key] = state.terminal;
+    if (state.accepted && !state.terminal) {
+      ordered.push_back({state.order, RecoveredJob{key, std::move(state.id),
+                                                  std::move(state.spec)}});
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  recovery.incomplete.reserve(ordered.size());
+  for (auto& [order, job] : ordered) {
+    recovery.incomplete.push_back(std::move(job));
+  }
+  return recovery;
+}
+
+std::size_t compact_journal(const std::string& dir,
+                            const JournalRecovery& recovery) {
+  std::vector<fs::path> segments = list_segments(dir);
+  if (segments.empty()) return 0;
+  std::uint64_t max_seq = 0;
+  for (const fs::path& segment : segments) {
+    max_seq = std::max(max_seq, segment_seq(segment.filename().string()));
+  }
+
+  // Publish the live set as one fresh segment *above* every existing one,
+  // then delete the old files. A crash in between leaves duplicates, which
+  // recovery treats as idempotent.
+  if (!recovery.incomplete.empty()) {
+    const fs::path target = fs::path(dir) / segment_name(max_seq + 1);
+    const fs::path tmp = target.string() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return 0;
+      for (const RecoveredJob& job : recovery.incomplete) {
+        JournalRecord record;
+        record.type = JournalRecordType::kAccepted;
+        record.key = job.key;
+        record.id = job.id;
+        record.spec = job.spec;
+        out << encode_journal_record(record);
+      }
+      out.flush();
+      if (!out) {
+        std::error_code cleanup;
+        fs::remove(tmp, cleanup);
+        return 0;
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, target, ec);  // atomic publish
+    if (ec) {
+      std::error_code cleanup;
+      fs::remove(tmp, cleanup);
+      return 0;
+    }
+  }
+
+  std::size_t removed = 0;
+  for (const fs::path& segment : segments) {
+    std::error_code rm;
+    fs::remove(segment, rm);
+    if (!rm) ++removed;
+  }
+  return removed;
+}
+
+Journal::Journal(JournalConfig config) : config_(std::move(config)) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec) {
+    degrade_locked("cannot create journal dir");
+    return;
+  }
+  std::uint64_t max_seq = 0;
+  for (const fs::path& segment : list_segments(config_.dir)) {
+    max_seq = std::max(max_seq, segment_seq(segment.filename().string()));
+    closed_.push_back(segment.string());
+  }
+  next_seq_ = max_seq + 1;
+  if (!open_segment_locked()) degrade_locked("cannot open journal segment");
+}
+
+Journal::~Journal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::seed_live(const std::vector<RecoveredJob>& jobs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const RecoveredJob& job : jobs) {
+    live_[job.key] = {job.id, job.spec};
+  }
+}
+
+bool Journal::open_segment_locked() {
+  const std::string path =
+      config_.dir + "/" + segment_name(next_seq_);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  fd_ = fd;
+  active_path_ = path;
+  active_bytes_ = 0;
+  ++next_seq_;
+  return true;
+}
+
+bool Journal::write_all_locked(std::string_view bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // disk full, EIO, closed fd — degrade, never throw
+  }
+  if (config_.fsync_each_record) {
+    while (::fsync(fd_) != 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Journal::degrade_locked(const char* what) {
+  ++stats_.io_errors;
+  if (!stats_.degraded) {
+    stats_.degraded = true;
+    std::fprintf(stderr,
+                 "qcongestd journal: %s (errno=%d %s); degrading to "
+                 "non-durable mode — jobs keep running, restarts lose "
+                 "in-flight work\n",
+                 what, errno, std::strerror(errno));
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.degraded) {
+    ++stats_.dropped;
+    return;
+  }
+  const std::string bytes = encode_journal_record(record);
+  if (!write_all_locked(bytes)) {
+    degrade_locked("append failed");
+    ++stats_.dropped;
+    return;
+  }
+  ++stats_.appends;
+  stats_.bytes_appended += bytes.size();
+  active_bytes_ += bytes.size();
+
+  switch (record.type) {
+    case JournalRecordType::kAccepted:
+      live_[record.key] = {record.id, record.spec};
+      break;
+    case JournalRecordType::kStarted:
+      break;
+    case JournalRecordType::kCompleted:
+    case JournalRecordType::kAborted:
+      live_.erase(record.key);
+      break;
+  }
+
+  if (active_bytes_ >= config_.rotate_bytes) rotate_locked();
+  if (closed_.size() > config_.max_segments) compact_closed_locked();
+}
+
+void Journal::rotate_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  closed_.push_back(active_path_);
+  if (!open_segment_locked()) {
+    degrade_locked("cannot rotate journal segment");
+    return;
+  }
+  ++stats_.rotations;
+}
+
+void Journal::compact_closed_locked() {
+  // Rewrite every closed segment into one holding the accepted records of
+  // jobs still live. The terminal records that complete live jobs land in
+  // the active segment (or later ones); recovery is order-insensitive per
+  // key, so the compacted segment taking a higher sequence number is fine.
+  const std::string target =
+      config_.dir + "/" + segment_name(next_seq_);
+  const std::string tmp = target + ".tmp";
+  ++next_seq_;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      degrade_locked("cannot open compaction tmp");
+      return;
+    }
+    for (const auto& [key, job] : live_) {
+      JournalRecord record;
+      record.type = JournalRecordType::kAccepted;
+      record.key = key;
+      record.id = job.first;
+      record.spec = job.second;
+      out << encode_journal_record(record);
+    }
+    out.flush();
+    if (!out) {
+      std::error_code cleanup;
+      fs::remove(tmp, cleanup);
+      degrade_locked("short write during compaction");
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);  // atomic publish
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
+    degrade_locked("cannot publish compacted segment");
+    return;
+  }
+  for (const std::string& segment : closed_) {
+    std::error_code rm;
+    fs::remove(segment, rm);
+  }
+  closed_.clear();
+  closed_.push_back(target);
+  ++stats_.compactions;
+}
+
+bool Journal::durable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !stats_.degraded;
+}
+
+Journal::Stats Journal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Journal::export_metrics(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.count("journal.appends", s.appends);
+  registry.count("journal.dropped", s.dropped);
+  registry.count("journal.io_errors", s.io_errors);
+  registry.count("journal.rotations", s.rotations);
+  registry.count("journal.compactions", s.compactions);
+  registry.count("journal.bytes_appended", s.bytes_appended);
+  registry.count("journal.degraded", s.degraded ? 1 : 0);
+}
+
+}  // namespace qcongest::serve

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/recover/watchdog.hpp"
+
+namespace qcongest::serve {
+
+/// Write-ahead journal of job lifecycle records, the durability layer under
+/// qcongestd (DESIGN.md §15). The contract leans entirely on the paper's
+/// determinism guarantee: a report is a pure function of its spec, so the
+/// journal never needs to persist results — it persists *intents* (the spec
+/// text behind every accepted job) and lets replay re-derive byte-identical
+/// bytes, with the content-addressed store (src/cache) short-circuiting
+/// anything that already completed.
+///
+/// On-disk format, one record:
+///
+///   qwal1 <type> <len> <fnv16>\n<payload bytes>\n
+///
+/// where <type> is accepted|started|completed|aborted, <len> the decimal
+/// payload size, and <fnv16> cache::fnv1a64_hex(payload) — the same
+/// checksum the store stamps on entries. The payload is `key=value` header
+/// lines (key, id, reason) and, for accepted records, a blank line followed
+/// by the raw spec text. Records append to segment files
+/// `wal-<8-digit-seq>.log`; segments rotate at a byte budget and fully
+/// completed history is compacted away by rewriting the live set through a
+/// tmp-then-rename publish (the store's discipline).
+///
+/// Failure policy, in order of preference ("degradation ladder", DESIGN.md
+/// §15): fsync per record when configured, plain buffered appends by
+/// default (SIGKILL-proof via the page cache), and on any I/O failure —
+/// disk full, EIO, unwritable dir — the journal drops to non-durable mode:
+/// one warning, a counter, every later append a no-op. Never a throw from
+/// the hot path, never wrong bytes (replay only ever re-runs pure specs).
+
+/// Lifecycle stages a job moves through, in order. `aborted` is terminal
+/// like `completed` but marks a job that will never produce a report
+/// (e.g. its recovered spec no longer validates).
+enum class JournalRecordType : std::uint8_t {
+  kAccepted = 0,
+  kStarted = 1,
+  kCompleted = 2,
+  kAborted = 3,
+};
+
+/// The wire token for a record type ("accepted", ...).
+std::string_view journal_type_word(JournalRecordType type);
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kAccepted;
+  /// The job's cache key (lowercase hex) — the journal's identity for the
+  /// job, fixed at acceptance time. Replies, retries, and replay all key
+  /// on it; the client-chosen id is carried only for diagnostics.
+  std::string key;
+  std::string id;
+  /// Raw spec text as submitted; accepted records only.
+  std::string spec;
+  /// Why the job will never complete; aborted records only. Newlines are
+  /// sanitized to spaces on encode (the payload header is line-oriented).
+  std::string reason;
+};
+
+/// Render one record in the on-disk format above.
+std::string encode_journal_record(const JournalRecord& record);
+
+/// Tally of one segment scan. Torn tails (the file ends mid-record — the
+/// expected signature of a crash during append) are separate from corrupt
+/// records (checksum or format violations with more data behind them);
+/// only the latter trigger a resync search for the next record boundary.
+struct JournalScanStats {
+  std::size_t records = 0;
+  std::size_t corrupt_records = 0;
+  std::size_t resyncs = 0;
+  bool torn_tail = false;
+};
+
+/// Scan one segment's bytes, appending every sound record to `out` in file
+/// order. Tolerates arbitrary damage: a torn tail stops the scan quietly, a
+/// corrupt record is skipped by resyncing to the next `\nqwal1 ` boundary
+/// so one flipped bit never takes down the records behind it. Never throws.
+void scan_journal_segment(std::string_view bytes, std::vector<JournalRecord>* out,
+                          JournalScanStats* stats);
+
+/// One job the journal proves was accepted but never finished.
+struct RecoveredJob {
+  std::string key;
+  std::string id;
+  std::string spec;
+};
+
+/// The digested state of a journal directory after a full replay scan.
+struct JournalRecovery {
+  /// Jobs to re-enqueue, in journal order (first-accepted order across
+  /// segments sorted by name). Deduplicated by key; terminal records are
+  /// absorbing, so a completed/aborted job never reappears here no matter
+  /// how records are duplicated or reordered by compaction.
+  std::vector<RecoveredJob> incomplete;
+  /// Keys with a terminal completed record (served from cache on replay).
+  std::size_t completed_jobs = 0;
+  std::size_t aborted_jobs = 0;
+  std::size_t accepted_jobs = 0;  // distinct accepted keys seen
+  std::size_t segments = 0;
+  std::size_t records = 0;
+  std::size_t corrupt_records = 0;
+  std::size_t resyncs = 0;
+  std::size_t torn_tails = 0;
+  /// Structured diagnoses (orphaned lifecycle records, unreadable
+  /// segments), ready for the daemon's stderr via Diagnosis::to_string.
+  std::vector<recover::Diagnosis> diagnostics;
+
+  /// True iff `key` reached a terminal state (completed or aborted).
+  bool is_terminal(const std::string& key) const;
+
+ private:
+  friend JournalRecovery recover_journal(const std::string& dir);
+  std::map<std::string, bool> terminal_;  // key -> reached terminal state
+};
+
+/// Replay every segment in `dir` (missing or empty dir = empty recovery).
+/// Never throws; damage becomes counters and diagnostics.
+JournalRecovery recover_journal(const std::string& dir);
+
+/// Rewrite the whole directory down to (at most) one fresh segment holding
+/// only the accepted records of still-incomplete jobs, via tmp-then-rename,
+/// then delete the superseded segments. A crash at any point leaves a
+/// recoverable superset (duplicate accepted records are idempotent and
+/// terminal records are absorbing). Returns segments removed.
+std::size_t compact_journal(const std::string& dir, const JournalRecovery& recovery);
+
+struct JournalConfig {
+  std::string dir;
+  /// Rotate the active segment once it exceeds this many bytes.
+  std::size_t rotate_bytes = 1 << 20;
+  /// Compact once more than this many closed segments accumulate.
+  std::size_t max_segments = 4;
+  /// fsync after every record: survives power loss, not just SIGKILL.
+  /// Off by default — the crash gate only requires process-death
+  /// durability, which buffered appends already give via the page cache.
+  bool fsync_each_record = false;
+};
+
+/// The append side: one writer per daemon, thread-safe (workers append
+/// started/completed concurrently with the reactor's accepted records).
+class Journal {
+ public:
+  explicit Journal(JournalConfig config);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Seed the in-memory live set with jobs recovered as incomplete, so a
+  /// runtime compaction preserves their accepted records. Call once,
+  /// before the first append.
+  void seed_live(const std::vector<RecoveredJob>& jobs);
+
+  /// Append one record. Never throws, never blocks on anything but local
+  /// file I/O; on failure the journal degrades to non-durable mode (see
+  /// file comment) and the append is counted as dropped.
+  void append(const JournalRecord& record);
+
+  /// False once an I/O failure demoted the journal to non-durable mode.
+  bool durable() const;
+
+  struct Stats {
+    std::size_t appends = 0;        // records durably appended
+    std::size_t dropped = 0;        // appends skipped in degraded mode
+    std::size_t io_errors = 0;      // failures observed (degrade + later)
+    std::size_t rotations = 0;      // active-segment rollovers
+    std::size_t compactions = 0;    // runtime compaction passes
+    std::size_t bytes_appended = 0;
+    bool degraded = false;
+  };
+  Stats stats() const;
+
+  /// journal.* counters, Store-style.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  bool write_all_locked(std::string_view bytes);
+  bool open_segment_locked();
+  void rotate_locked();
+  void compact_closed_locked();
+  void degrade_locked(const char* what);
+
+  JournalConfig config_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;  // next unused segment sequence number
+  std::string active_path_;
+  std::size_t active_bytes_ = 0;
+  std::vector<std::string> closed_;  // closed segment paths, oldest first
+  /// key -> (id, spec) for accepted-but-not-terminal jobs; what a
+  /// compaction must rewrite.
+  std::map<std::string, std::pair<std::string, std::string>> live_;
+  Stats stats_;
+};
+
+}  // namespace qcongest::serve

@@ -87,9 +87,14 @@ void Server::request_stop() {
 
 void Server::wake() {
   // write() is async-signal-safe; a full pipe just means a wakeup is
-  // already pending, which is all we need.
+  // already pending, which is all we need. A signal landing mid-write must
+  // not eat the wakeup though — a swallowed EINTR here would stall reply
+  // delivery until the poll timeout.
   char byte = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  ssize_t n;
+  do {
+    n = ::write(wake_write_fd_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
 }
 
 void Server::queue_frame(Connection& conn, FrameType type,
@@ -310,8 +315,15 @@ void Server::run() {
 
     std::size_t index = 0;
     if (fds[index].revents & POLLIN) {
+      // Drain until EAGAIN, retrying through EINTR: a signal mid-drain
+      // must not leave bytes behind, or the pipe stays readable and poll
+      // spins hot on a permanently-ready fd.
       char drain[256];
-      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      while (true) {
+        ssize_t n = ::read(wake_read_fd_, drain, sizeof(drain));
+        if (n > 0) continue;
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EAGAIN (empty) or a dead pipe; both end the drain
       }
     }
     ++index;

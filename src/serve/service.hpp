@@ -3,12 +3,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/cache/store.hpp"
 #include "src/serve/job.hpp"
+#include "src/serve/journal.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace qcongest::serve {
@@ -40,6 +43,21 @@ struct ServiceConfig {
   /// function of the job_cache_key inputs; a corrupt entry degrades to a
   /// recomputed miss inside the store.
   std::string cache_dir;
+  /// Root of the write-ahead job journal (src/serve/journal). Empty = no
+  /// durability. With a journal, every admitted job's spec is persisted
+  /// before its reply can exist; on construction the service replays the
+  /// directory — completed jobs are left to the result cache, incomplete
+  /// accepted jobs are re-enqueued in journal order — so a SIGKILLed
+  /// daemon restarts without losing a single accepted job. Pair it with
+  /// cache_dir: the cache is what makes replayed completions cheap and
+  /// client resubmissions byte-identical.
+  std::string journal_dir;
+  /// fsync the journal after every record (power-loss durability). The
+  /// default off still survives process death via the page cache.
+  bool journal_fsync = false;
+  /// Journal segment rotation / compaction knobs (see JournalConfig).
+  std::size_t journal_rotate_bytes = 1 << 20;
+  std::size_t journal_max_segments = 4;
 };
 
 /// One reply per submitted job, exactly once.
@@ -105,15 +123,48 @@ class Service {
     std::size_t pending = 0;  // admitted, reply not yet delivered
     std::size_t cache_hits = 0;    // replies served from the result cache
     std::size_t cache_misses = 0;  // executed (and sealed) on a miss
+    /// Submissions that attached to an identical in-flight job instead of
+    /// running again — the server half of idempotent resubmission: a
+    /// reconnecting client re-sending a spec whose first copy is still
+    /// running gets the same bytes from the same run.
+    std::size_t coalesced = 0;
+    std::size_t recovered = 0;         // incomplete jobs re-enqueued at startup
+    std::size_t recovery_aborted = 0;  // recovered specs that failed re-validation
   };
   Stats stats() const;
 
   const ServiceConfig& config() const { return config_; }
 
+  /// What the journal replay found at construction (empty recovery when
+  /// journal_dir is unset).
+  const JournalRecovery& recovery() const { return recovery_; }
+  /// The live journal, or nullptr when journal_dir is unset.
+  const Journal* journal() const { return journal_.get(); }
+
  private:
+  struct Waiter {
+    std::string id;
+    ReplyFn done;  // empty for journal-replayed jobs (no client to answer)
+  };
+
+  /// Fan one admitted job out to the pool; the accepted record (if any)
+  /// must already be journaled. Completion resolves every waiter
+  /// registered under `key`.
+  void enqueue_job(JobSpec spec, std::string key);
+  /// Re-enqueue the recovery's incomplete jobs, in journal order.
+  void replay_recovered();
+
   ServiceConfig config_;
   mutable std::mutex mutex_;
   Stats stats_;
+  /// Admitted jobs not yet completed, keyed by cache key, each with the
+  /// waiters to answer on completion. Guarded by mutex_.
+  std::map<std::string, std::vector<Waiter>> inflight_;
+  JournalRecovery recovery_;
+  /// Durability layer (null when journal_dir is empty). Like the store it
+  /// must be declared before pool_: draining workers still append
+  /// completion records.
+  std::unique_ptr<Journal> journal_;
   /// The read-through result cache (null when cache_dir is empty). Must be
   /// declared before pool_: draining workers still consult it.
   std::unique_ptr<cache::Store> store_;

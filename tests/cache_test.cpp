@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -259,6 +260,40 @@ TEST_F(StoreTest, GcEvictsOldestFirstAndSweepsDebris) {
   const Store::GcResult wipe = store.gc(0);
   EXPECT_EQ(wipe.evicted, 1u);
   EXPECT_EQ(wipe.bytes_after, 0u);
+}
+
+TEST_F(StoreTest, GcBreaksEqualMtimeTiesByPathLexicographically) {
+  // Coarse filesystem timestamps routinely give a burst of puts identical
+  // mtimes; without a secondary key, which entries survive a tight budget
+  // would depend on directory iteration order. The contract: among equal
+  // mtimes, lexicographically smaller entry paths are evicted first.
+  Store store(root_.string());
+  const std::vector<std::string> keys = {
+      sha256_hex("tie-a"), sha256_hex("tie-b"), sha256_hex("tie-c"),
+      sha256_hex("tie-d")};
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(store.put(key, std::string(100, 'x')));
+  }
+  const auto stamp = fs::last_write_time(entry_path(keys[0]));
+  for (const std::string& key : keys) {
+    fs::last_write_time(entry_path(key), stamp);
+  }
+
+  std::vector<std::string> paths;
+  for (const std::string& key : keys) {
+    paths.push_back(entry_path(key).generic_string());
+  }
+  std::sort(paths.begin(), paths.end());
+  const std::uintmax_t entry_bytes = fs::file_size(entry_path(keys[0]));
+
+  // Budget fits exactly two entries: the two lexicographically smallest
+  // paths must be the ones evicted, every time.
+  const Store::GcResult result = store.gc(2 * entry_bytes);
+  EXPECT_EQ(result.evicted, 2u);
+  EXPECT_FALSE(fs::exists(paths[0]));
+  EXPECT_FALSE(fs::exists(paths[1]));
+  EXPECT_TRUE(fs::exists(paths[2]));
+  EXPECT_TRUE(fs::exists(paths[3]));
 }
 
 TEST_F(StoreTest, GcRemovesCorruptEntries) {

@@ -739,11 +739,71 @@ TEST(QlintHotPath, ReasonedAllowSuppressesColdBranch) {
           .empty());
 }
 
+// --- unchecked-io-result -----------------------------------------------------
+
+TEST(QlintIoResult, FlagsBareWriteAndFsyncInPersistencePaths) {
+  auto d = lint_source("src/serve/journal.cpp",
+                       "void f(int fd, const char* p, size_t n) {\n"
+                       "  write(fd, p, n);\n"
+                       "  ::fsync(fd);\n"
+                       "}\n");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].rule, "unchecked-io-result");
+  EXPECT_EQ(d[0].line, 2u);
+  EXPECT_EQ(d[1].line, 3u);
+  EXPECT_TRUE(flags(lint_source("src/cache/store.cpp",
+                                "void g() { rename(\"a.tmp\", \"a\"); }\n"),
+                    "unchecked-io-result"));
+  EXPECT_TRUE(flags(lint_source("src/serve/journal.cpp",
+                                "void h(int fd) { ::ftruncate(fd, 0); }\n"),
+                    "unchecked-io-result"));
+}
+
+TEST(QlintIoResult, VoidCastIsStillADiscard) {
+  EXPECT_TRUE(flags(lint_source("src/serve/journal.cpp",
+                                "void f(int fd) { (void)::fsync(fd); }\n"),
+                    "unchecked-io-result"));
+}
+
+TEST(QlintIoResult, CheckedResultsAreClean) {
+  EXPECT_TRUE(lint_source("src/serve/journal.cpp",
+                          "bool f(int fd, const char* p, size_t n) {\n"
+                          "  ssize_t w = ::write(fd, p, n);\n"
+                          "  if (::fsync(fd) != 0) return false;\n"
+                          "  while (::fdatasync(fd) != 0) {}\n"
+                          "  return w >= 0 && rename(\"a\", \"b\") == 0;\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(QlintIoResult, MemberAndNamespacedCallsAreOutOfScope) {
+  // fs::rename reports through an error_code (or throws); stream .write
+  // carries its state in the stream. Neither is a POSIX result carrier.
+  EXPECT_TRUE(lint_source("src/cache/store.cpp",
+                          "void f(std::ofstream& out, const std::string& b) {\n"
+                          "  out.write(b.data(), 1);\n"
+                          "  fs::rename(\"a.tmp\", \"a\", ec);\n"
+                          "}\n")
+                  .empty());
+}
+
+TEST(QlintIoResult, OtherTreesAndReasonedAllowsAreClean) {
+  EXPECT_TRUE(lint_source("src/net/transport.cpp",
+                          "void f(int fd) { ::fsync(fd); }\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("src/serve/journal.cpp",
+                  "void f(int fd) {\n"
+                  "  ::fsync(fd);  // qlint-allow(unchecked-io-result): best-effort flush before abort\n"
+                  "}\n")
+          .empty());
+}
+
 // --- rule metadata & SARIF ---------------------------------------------------
 
-TEST(QlintMeta, RuleInfosCoverElevenRulesWithUniqueIds) {
+TEST(QlintMeta, RuleInfosCoverTwelveRulesWithUniqueIds) {
   const auto& rules = rule_infos();
-  ASSERT_EQ(rules.size(), 11u);
+  ASSERT_EQ(rules.size(), 12u);
   std::vector<std::string> ids;
   for (const auto& rule : rules) {
     ids.push_back(rule.id);
@@ -756,6 +816,7 @@ TEST(QlintMeta, RuleInfosCoverElevenRulesWithUniqueIds) {
   EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "untrusted-narrowing"));
   EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "catch-all-swallow"));
   EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "hot-path-alloc"));
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), "unchecked-io-result"));
 }
 
 TEST(QlintMeta, SarifOutputIsValidJsonWithRuleMetadata) {

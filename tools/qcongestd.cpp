@@ -22,6 +22,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/obs/metrics.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/env.hpp"
 
@@ -48,6 +49,14 @@ void usage(const char* argv0) {
       "  --deadline-rounds <n> default watchdog deadline (default 200000)\n"
       "  --cache-dir <path>    content-addressed result cache root\n"
       "                        (default $QCONGEST_CACHE_DIR; empty = off)\n"
+      "  --journal-dir <path>  write-ahead job journal root (empty = off);\n"
+      "                        on restart the journal is replayed: completed\n"
+      "                        jobs re-serve from the cache, incomplete ones\n"
+      "                        re-enqueue in journal order\n"
+      "  --journal-fsync       fsync every journal record (power-loss\n"
+      "                        durability; default off = survives SIGKILL)\n"
+      "  --stats-json <path>   write final server/service/journal counters\n"
+      "                        as JSON on clean shutdown\n"
       "  --port-file <path>    write the bound port to this file\n",
       argv0);
 }
@@ -66,6 +75,7 @@ bool parse_size(const char* text, std::size_t* out) {
 int main(int argc, char** argv) {
   qcongest::serve::ServerConfig config;
   std::string port_file;
+  std::string stats_json_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,6 +130,12 @@ int main(int argc, char** argv) {
       config.service.default_deadline_rounds = value;
     } else if (arg == "--cache-dir") {
       config.service.cache_dir = next();
+    } else if (arg == "--journal-dir") {
+      config.service.journal_dir = next();
+    } else if (arg == "--journal-fsync") {
+      config.service.journal_fsync = true;
+    } else if (arg == "--stats-json") {
+      stats_json_file = next();
     } else if (arg == "--port-file") {
       port_file = next();
     } else {
@@ -141,11 +157,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Durability without a result cache still replays incomplete jobs, but
+  // completed ones lose their cheap re-serve path; say so once up front.
+  if (!config.service.journal_dir.empty() && config.service.cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "qcongestd: --journal-dir without --cache-dir: replayed "
+                 "completed jobs will re-run instead of re-serving from the "
+                 "cache\n");
+  }
+
   qcongest::serve::Server server(config);
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "qcongestd: %s\n", error.c_str());
     return 1;
+  }
+
+  // Constructing the server replayed the journal (if any); surface what
+  // the recovery found before the first new job arrives, so restart logs
+  // carry the durability story.
+  if (!config.service.journal_dir.empty()) {
+    const auto& recovery = server.service().recovery();
+    std::printf(
+        "qcongestd: journal recovered incomplete=%zu completed=%zu "
+        "aborted=%zu records=%zu segments=%zu corrupt=%zu torn_tails=%zu "
+        "diagnostics=%zu\n",
+        recovery.incomplete.size(), recovery.completed_jobs,
+        recovery.aborted_jobs, recovery.records, recovery.segments,
+        recovery.corrupt_records, recovery.torn_tails,
+        recovery.diagnostics.size());
   }
 
   g_server = &server;
@@ -176,11 +216,64 @@ int main(int argc, char** argv) {
       "qcongestd: shut down cleanly "
       "(connections=%zu shed_connections=%zu frames=%zu protocol_errors=%zu "
       "jobs=%zu completed=%zu shed_jobs=%zu invalid=%zu "
-      "cache_hits=%zu cache_misses=%zu)\n",
+      "cache_hits=%zu cache_misses=%zu "
+      "coalesced=%zu recovered=%zu recovery_aborted=%zu)\n",
       server_stats.connections_accepted, server_stats.connections_rejected,
       server_stats.frames_received, server_stats.protocol_errors,
       service_stats.submitted, service_stats.completed,
       service_stats.rejected_overload, service_stats.invalid_specs,
-      service_stats.cache_hits, service_stats.cache_misses);
+      service_stats.cache_hits, service_stats.cache_misses,
+      service_stats.coalesced, service_stats.recovered,
+      service_stats.recovery_aborted);
+  if (const auto* journal = server.service().journal()) {
+    const auto journal_stats = journal->stats();
+    std::printf(
+        "qcongestd: journal (appends=%zu dropped=%zu io_errors=%zu "
+        "rotations=%zu compactions=%zu degraded=%d)\n",
+        journal_stats.appends, journal_stats.dropped, journal_stats.io_errors,
+        journal_stats.rotations, journal_stats.compactions,
+        int{journal_stats.degraded});
+  }
+
+  if (!stats_json_file.empty()) {
+    qcongest::obs::MetricsRegistry registry;
+    registry.count("server.connections_accepted",
+                   server_stats.connections_accepted);
+    registry.count("server.connections_rejected",
+                   server_stats.connections_rejected);
+    registry.count("server.frames_received", server_stats.frames_received);
+    registry.count("server.protocol_errors", server_stats.protocol_errors);
+    registry.count("service.submitted", service_stats.submitted);
+    registry.count("service.admitted", service_stats.admitted);
+    registry.count("service.completed", service_stats.completed);
+    registry.count("service.rejected_overload", service_stats.rejected_overload);
+    registry.count("service.invalid_specs", service_stats.invalid_specs);
+    registry.count("service.cache_hits", service_stats.cache_hits);
+    registry.count("service.cache_misses", service_stats.cache_misses);
+    registry.count("service.coalesced", service_stats.coalesced);
+    registry.count("service.recovered", service_stats.recovered);
+    registry.count("service.recovery_aborted", service_stats.recovery_aborted);
+    if (const auto* journal = server.service().journal()) {
+      journal->export_metrics(registry);
+      const auto& recovery = server.service().recovery();
+      registry.count("recovery.incomplete", recovery.incomplete.size());
+      registry.count("recovery.completed_jobs", recovery.completed_jobs);
+      registry.count("recovery.aborted_jobs", recovery.aborted_jobs);
+      registry.count("recovery.records", recovery.records);
+      registry.count("recovery.segments", recovery.segments);
+      registry.count("recovery.corrupt_records", recovery.corrupt_records);
+      registry.count("recovery.torn_tails", recovery.torn_tails);
+    }
+    std::FILE* f = std::fopen(stats_json_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "qcongestd: cannot write %s\n",
+                   stats_json_file.c_str());
+      return 1;
+    }
+    const std::string doc = registry.to_json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
   return 0;
 }

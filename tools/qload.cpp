@@ -14,6 +14,15 @@
 //   qload --port 7143 --jobs 24 --apps bfs,leader --nodes 24
 //   qload --port-file /tmp/p --jobs 64 --burst --expect-shed
 //   qload --port 7143 --check-determinism --shutdown
+//   qload --port 7143 --jobs 32 --reconnect --dump-dir /tmp/reports
+//
+// With --reconnect a lost connection (daemon crash, restart) is not an
+// error: qload reconnects with bounded retries and re-submits every
+// unacknowledged spec. Resubmission is idempotent end to end — the server
+// keys jobs by their content-derived cache key, so the retried job either
+// attaches to the original run, re-serves from the result cache, or
+// re-runs to the same bytes. Used by scripts/crash_smoke.sh to prove the
+// journal's crash-restart contract.
 //
 // Exit status: 0 when every check passed, 1 otherwise.
 
@@ -29,6 +38,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,6 +71,14 @@ struct Options {
   bool shutdown_server = false;
   std::size_t max_retries = 8;
   int timeout_ms = 60000;
+  /// Survive lost connections: reconnect (bounded retries, fixed delay)
+  /// and re-submit every spec that never got its reply.
+  bool reconnect = false;
+  std::size_t reconnect_attempts = 120;
+  std::uint64_t reconnect_delay_ms = 250;
+  /// Write each ok reply body to <dump_dir>/<id>.json (byte-identity
+  /// audits across runs; crash_smoke compares these with cmp).
+  std::string dump_dir;
 };
 
 void sleep_ms(std::uint64_t ms) {
@@ -155,6 +174,14 @@ class Client {
     }
   }
 
+  /// Drop the connection and all buffered frame state, ready for a fresh
+  /// connect() — the reconnect path after a daemon crash.
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    reader_ = FrameReader(qcongest::serve::kMaxPayload);
+  }
+
  private:
   int fd_ = -1;
   FrameReader reader_;
@@ -228,20 +255,48 @@ struct Tally {
   std::size_t shed = 0;      // overload rejections observed (pre-retry)
   std::size_t retried = 0;   // submits re-sent after a shed
   std::size_t failed = 0;    // gave up: retries exhausted or hard error
+  std::size_t reconnects = 0;  // connections re-established after a loss
 };
+
+/// (Re)connect, with bounded retries when --reconnect is on: a restarting
+/// daemon needs a moment between SIGKILL and the fresh bind.
+bool connect_with_retry(Client& client, const Options& opt,
+                        std::string* error) {
+  const std::size_t attempts = opt.reconnect ? opt.reconnect_attempts : 1;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    client.reset();
+    if (client.connect(opt.host, opt.port, error)) return true;
+    if (attempt + 1 < attempts) sleep_ms(opt.reconnect_delay_ms);
+  }
+  return false;
+}
 
 /// Submit one spec, retrying shed jobs with capped jittered backoff. The
 /// jitter stream is the job index, so a burst of shed clients spreads out
-/// deterministically instead of re-arriving in lockstep.
+/// deterministically instead of re-arriving in lockstep. With --reconnect
+/// a transport failure (crash, restart, timeout) additionally reconnects
+/// and re-submits: safe because the server dedupes on the spec's cache
+/// key, so the retry can only yield the same bytes.
 bool submit_with_retry(Client& client, const Options& opt,
                        const std::string& spec, std::uint64_t stream,
                        Reply* out, Tally* tally, std::string* error) {
   qcongest::serve::BackoffParams backoff;
   backoff.seed = opt.seed;
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    if (!client.send_frame(FrameType::kSubmit, spec, error)) return false;
+  std::size_t transport_failures = 0;
+  for (std::uint32_t attempt = 0;;) {
     Frame frame;
-    if (!client.recv_frame(&frame, opt.timeout_ms, error)) return false;
+    const bool exchanged = client.send_frame(FrameType::kSubmit, spec, error) &&
+                           client.recv_frame(&frame, opt.timeout_ms, error);
+    if (!exchanged) {
+      if (!opt.reconnect) return false;
+      if (++transport_failures > 10) {
+        *error = "too many transport failures, last: " + *error;
+        return false;
+      }
+      if (!connect_with_retry(client, opt, error)) return false;
+      ++tally->reconnects;
+      continue;  // idempotent resubmission of the same spec
+    }
     if (frame.type == FrameType::kError) {
       *error = "server error: " + frame.payload;
       return false;
@@ -258,12 +313,24 @@ bool submit_with_retry(Client& client, const Options& opt,
     if (out->retry_after_ms > delay) delay = out->retry_after_ms;
     sleep_ms(delay);
     ++tally->retried;
+    ++attempt;
   }
 }
 
-void count_reply(const Reply& reply, Tally* tally) {
+/// Persist an ok reply's report for byte-identity audits across runs.
+void dump_reply(const Options& opt, const Reply& reply) {
+  if (opt.dump_dir.empty() || reply.status != "ok" || reply.id.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.dump_dir, ec);
+  std::ofstream out(opt.dump_dir + "/" + reply.id + ".json",
+                    std::ios::binary | std::ios::trunc);
+  out << reply.body;
+}
+
+void count_reply(const Options& opt, const Reply& reply, Tally* tally) {
   if (reply.status == "ok") {
     ++tally->ok;
+    dump_reply(opt, reply);
   } else if (reply.status == "invalid") {
     ++tally->invalid;
   } else {
@@ -305,7 +372,7 @@ bool run_determinism_check(const Options& opt, Tally* tally) {
                      id.c_str(), reply.status.c_str(), reply.reason.c_str());
         return false;
       }
-      count_reply(reply, tally);
+      count_reply(opt, reply, tally);
       bodies[side] = reply.body;
     }
     if (bodies[0] != bodies[1]) {
@@ -345,6 +412,9 @@ void usage(const char* argv0) {
       "  --check-determinism    byte-compare reports at threads 1 vs 8\n"
       "  --max-retries <n>      retries per shed job (default 8)\n"
       "  --timeout-ms <n>       per-reply timeout (default 60000)\n"
+      "  --reconnect            survive lost connections: reconnect and\n"
+      "                         re-submit unacknowledged specs (idempotent)\n"
+      "  --dump-dir <path>      write each ok report to <path>/<id>.json\n"
       "  --shutdown             send a shutdown frame when done\n",
       argv0);
 }
@@ -461,6 +531,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.timeout_ms = static_cast<int>(value);
+    } else if (arg == "--reconnect") {
+      opt.reconnect = true;
+    } else if (arg == "--dump-dir") {
+      opt.dump_dir = next();
     } else if (arg == "--shutdown") {
       opt.shutdown_server = true;
     } else {
@@ -493,44 +567,67 @@ int main(int argc, char** argv) {
   std::string error;
 
   if (opt.burst) {
-    // One connection, all submits in flight at once — the overload probe.
+    // One connection, all submits in flight at once — the overload probe
+    // (and, under --reconnect, the crash probe: a daemon SIGKILLed with
+    // this burst in flight must answer every job after its restart).
     Client client;
-    if (!client.connect(opt.host, opt.port, &error)) {
+    if (!connect_with_retry(client, opt, &error)) {
       std::fprintf(stderr, "qload: connect: %s\n", error.c_str());
       return 1;
     }
-    std::map<std::string, std::string> shed_specs;  // id -> spec to retry
+    // Every spec stays in this map until its reply is read; whatever
+    // remains after the burst — shed, unacknowledged, or never sent — is
+    // re-submitted in the second pass.
+    std::map<std::string, std::string> outstanding;  // id -> spec
+    bool severed = false;
     for (std::size_t j = 0; j < opt.jobs; ++j) {
       const std::string id = "burst-" + std::to_string(j);
       const std::string spec = make_spec(
           opt, id, opt.apps[j % opt.apps.size()], opt.seed + j, opt.threads);
+      outstanding.emplace(id, spec);
+      if (severed) continue;  // resubmitted below
       if (!client.send_frame(FrameType::kSubmit, spec, &error)) {
-        std::fprintf(stderr, "qload: %s\n", error.c_str());
-        return 1;
+        if (!opt.reconnect) {
+          std::fprintf(stderr, "qload: %s\n", error.c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "qload: burst send lost (%s), will resubmit\n",
+                     error.c_str());
+        severed = true;
       }
-      shed_specs.emplace(id, spec);
     }
-    for (std::size_t j = 0; j < opt.jobs; ++j) {
+    for (std::size_t j = 0; j < opt.jobs && !severed && !outstanding.empty();
+         ++j) {
       Frame frame;
       if (!client.recv_frame(&frame, opt.timeout_ms, &error)) {
-        std::fprintf(stderr, "qload: burst reply %zu/%zu: %s\n", j + 1,
-                     opt.jobs, error.c_str());
-        return 1;
+        if (!opt.reconnect) {
+          std::fprintf(stderr, "qload: burst reply %zu/%zu: %s\n", j + 1,
+                       opt.jobs, error.c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "qload: burst reply %zu/%zu lost (%s), will resubmit "
+                     "%zu outstanding\n",
+                     j + 1, opt.jobs, error.c_str(), outstanding.size());
+        severed = true;
+        break;
       }
       Reply reply = parse_reply(frame.payload);
       if (reply.status == "rejected" && reply.reason == "overloaded") {
         ++tally.shed;
         continue;  // retried below, off the hot burst
       }
-      count_reply(reply, &tally);
-      shed_specs.erase(reply.id);
+      count_reply(opt, reply, &tally);
+      outstanding.erase(reply.id);
     }
-    // Second pass: everything shed in the burst is retried with backoff
-    // on a fresh connection, and must now succeed.
+    // Second pass: everything still outstanding is retried with backoff on
+    // a fresh connection, and must now succeed. Idempotent by the server's
+    // cache-key dedup: a job that actually completed before a crash (or
+    // whose reply was lost on the wire) re-serves the same bytes.
     std::uint64_t stream = 0;
-    for (const auto& [id, spec] : shed_specs) {
+    for (const auto& [id, spec] : outstanding) {
       Client retry_client;
-      if (!retry_client.connect(opt.host, opt.port, &error)) {
+      if (!connect_with_retry(retry_client, opt, &error)) {
         std::fprintf(stderr, "qload: retry connect: %s\n", error.c_str());
         return 1;
       }
@@ -547,12 +644,12 @@ int main(int argc, char** argv) {
         all_ok = false;
         continue;
       }
-      count_reply(reply, &tally);
+      count_reply(opt, reply, &tally);
       ++stream;
     }
   } else {
     Client client;
-    if (!client.connect(opt.host, opt.port, &error)) {
+    if (!connect_with_retry(client, opt, &error)) {
       std::fprintf(stderr, "qload: connect: %s\n", error.c_str());
       return 1;
     }
@@ -567,7 +664,7 @@ int main(int argc, char** argv) {
         all_ok = false;
         continue;
       }
-      count_reply(reply, &tally);
+      count_reply(opt, reply, &tally);
     }
   }
 
@@ -591,8 +688,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "qload: ok=%zu invalid=%zu shed=%zu retried=%zu failed=%zu -> %s\n",
+      "qload: ok=%zu invalid=%zu shed=%zu retried=%zu failed=%zu "
+      "reconnects=%zu -> %s\n",
       tally.ok, tally.invalid, tally.shed, tally.retried, tally.failed,
-      all_ok ? "PASS" : "FAIL");
+      tally.reconnects, all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;
 }
